@@ -1,0 +1,724 @@
+//! The conservative fault-injection correctness check (§2.5).
+//!
+//! For every recorded injection, the checker verifies — using only the
+//! guaranteed time bounds of the global timeline — that the injection
+//! provably occurred while its fault expression held:
+//!
+//! * "the upper bound of the state start time and lower bound of the fault
+//!   injection time are used to determine whether the fault was injected
+//!   after the state was entered. Likewise, the lower bound of the state
+//!   end time and upper bound of the fault injection time are used to
+//!   determine whether the fault was injected before the state was exited."
+//!
+//! Generalized to arbitrary Boolean expressions: an atom `(sm:state)` is
+//! *definitely true* during `[enter.hi, exit.lo]` of an occupancy interval
+//! and *possibly true* during `[enter.lo, exit.hi]`; conjunction intersects,
+//! disjunction unions, and negation complements the *possible* set. An
+//! injection is correct iff its whole `[lo, hi]` interval lies within a
+//! definitely-true region. The check is deliberately conservative: an
+//! injection it cannot prove correct is treated as incorrect and the whole
+//! experiment is discarded (§2.5).
+
+use crate::global::GlobalTimeline;
+use crate::intervals::IntervalSet;
+use loki_core::fault::{CompiledExpr, Trigger};
+use loki_core::ids::{FaultId, SmId, StateId};
+use loki_core::study::Study;
+use loki_core::time::TimeBounds;
+use std::collections::HashMap;
+
+/// Truth regions of an expression: definite and possible interval sets.
+#[derive(Clone, Debug)]
+pub struct Truth {
+    /// Where the expression provably holds.
+    pub definite: IntervalSet,
+    /// Where the expression may hold.
+    pub possible: IntervalSet,
+}
+
+/// Computes the truth regions of an atom `(sm:state)` from the global
+/// timeline's occupancy intervals.
+fn atom_truth(gt: &GlobalTimeline, sm: SmId, state: StateId, window: (f64, f64)) -> Truth {
+    let mut definite = Vec::new();
+    let mut possible = Vec::new();
+    for iv in gt.intervals_of(sm) {
+        if iv.state != state {
+            continue;
+        }
+        let (exit_lo, exit_hi) = match iv.exit {
+            Some(exit) => (exit.lo.as_f64(), exit.hi.as_f64()),
+            None => (window.1, window.1),
+        };
+        definite.push((iv.enter.hi.as_f64(), exit_lo));
+        possible.push((iv.enter.lo.as_f64(), exit_hi));
+    }
+    Truth {
+        definite: IntervalSet::from_spans(definite),
+        possible: IntervalSet::from_spans(possible),
+    }
+}
+
+/// Computes the truth regions of a compiled fault expression.
+pub fn expr_truth(gt: &GlobalTimeline, expr: &CompiledExpr, window: (f64, f64)) -> Truth {
+    match expr {
+        CompiledExpr::Atom(sm, state) => atom_truth(gt, *sm, *state, window),
+        CompiledExpr::And(a, b) => {
+            let ta = expr_truth(gt, a, window);
+            let tb = expr_truth(gt, b, window);
+            Truth {
+                definite: ta.definite.intersect(&tb.definite),
+                possible: ta.possible.intersect(&tb.possible),
+            }
+        }
+        CompiledExpr::Or(a, b) => {
+            let ta = expr_truth(gt, a, window);
+            let tb = expr_truth(gt, b, window);
+            Truth {
+                definite: ta.definite.union(&tb.definite),
+                possible: ta.possible.union(&tb.possible),
+            }
+        }
+        CompiledExpr::Not(a) => {
+            let ta = expr_truth(gt, a, window);
+            Truth {
+                definite: ta.possible.complement(window.0, window.1),
+                possible: ta.definite.complement(window.0, window.1),
+            }
+        }
+    }
+}
+
+/// The verdict for one recorded injection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Provably injected while the expression held.
+    Correct,
+    /// Cannot be proven correct — treated as incorrect (conservative).
+    Incorrect {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// The check result for one injection occurrence.
+#[derive(Clone, Debug)]
+pub struct InjectionCheck {
+    /// The fault injected.
+    pub fault: FaultId,
+    /// The machine whose probe injected it.
+    pub sm: SmId,
+    /// Global-time bounds of the injection.
+    pub bounds: TimeBounds,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// What to do about faults whose expression provably became true but which
+/// were never injected ("each injection that *should* have been made",
+/// §2.5).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum MissingPolicy {
+    /// Missing injections invalidate the experiment (thesis behaviour).
+    #[default]
+    Fail,
+    /// Only check the injections that actually happened.
+    Ignore,
+}
+
+/// The verdict for a whole experiment.
+#[derive(Clone, Debug)]
+pub struct ExperimentVerdict {
+    /// Per-injection checks.
+    pub checks: Vec<InjectionCheck>,
+    /// Faults with provably-missed injections (see [`MissingPolicy`]).
+    pub missing: Vec<FaultId>,
+    /// Whether the experiment's results may be used for measures.
+    pub accepted: bool,
+}
+
+impl ExperimentVerdict {
+    /// Number of provably-correct injections.
+    pub fn correct_count(&self) -> usize {
+        self.checks
+            .iter()
+            .filter(|c| c.verdict == Verdict::Correct)
+            .count()
+    }
+}
+
+/// Checks every injection of an experiment against its fault specification.
+///
+/// The experiment is accepted iff **all** recorded injections are provably
+/// correct and (under [`MissingPolicy::Fail`]) no injection provably went
+/// missing.
+pub fn check_experiment(
+    study: &Study,
+    gt: &GlobalTimeline,
+    policy: MissingPolicy,
+) -> ExperimentVerdict {
+    // Pad the window so complements extend beyond the last event: a state
+    // held at the end remains definitely-true at the final instants.
+    let window = (gt.start.as_f64() - 1.0, gt.end.as_f64() + 1.0);
+    let mut truths: HashMap<FaultId, Truth> = HashMap::new();
+    for fault in &study.faults {
+        truths.insert(fault.id, expr_truth(gt, &fault.expr, window));
+    }
+
+    let mut checks = Vec::new();
+    let mut injected_counts: HashMap<FaultId, usize> = HashMap::new();
+    for (event, fault_id) in gt.injections() {
+        *injected_counts.entry(fault_id).or_insert(0) += 1;
+        let fault = &study.faults[fault_id.index()];
+        let correct = injection_definitely_correct(study, gt, event, &fault.expr, window)
+            == Tri::True;
+        let verdict = if correct {
+            Verdict::Correct
+        } else {
+            Verdict::Incorrect {
+                reason: format!(
+                    "injection bounds {} not provably within a true region of `{}`",
+                    event.bounds,
+                    study.fault_names.name(fault_id)
+                ),
+            }
+        };
+        checks.push(InjectionCheck {
+            fault: fault_id,
+            sm: event.sm,
+            bounds: event.bounds,
+            verdict,
+        });
+    }
+
+    // Provably-missed injections: count definite-true intervals that are
+    // separated by definite-false regions — each such interval began with a
+    // provable false→true edge the runtime should have acted on.
+    let mut missing = Vec::new();
+    if policy == MissingPolicy::Fail {
+        for fault in &study.faults {
+            let truth = &truths[&fault.id];
+            let definitely_false = truth.possible.complement(window.0, window.1);
+            // A false→true edge provably occurred before a definite-true
+            // span iff the expression was provably false at some point
+            // since the previous definite-true span (clock-uncertainty
+            // bands in between do not refute the edge).
+            let mut provable_edges = 0usize;
+            let mut prev_hi = window.0;
+            for &(lo, hi) in truth.definite.spans() {
+                let gap = IntervalSet::from_spans(vec![(prev_hi, lo)]);
+                if !definitely_false.intersect(&gap).is_empty() {
+                    provable_edges += 1;
+                }
+                prev_hi = hi;
+            }
+            let expected = match fault.trigger {
+                Trigger::Once => provable_edges.min(1),
+                Trigger::Always => provable_edges,
+            };
+            if injected_counts.get(&fault.id).copied().unwrap_or(0) < expected {
+                missing.push(fault.id);
+            }
+        }
+    }
+
+    let accepted = checks.iter().all(|c| c.verdict == Verdict::Correct) && missing.is_empty();
+    ExperimentVerdict {
+        checks,
+        missing,
+        accepted,
+    }
+}
+
+/// Three-valued truth for the pointwise check.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Tri {
+    True,
+    False,
+    Unknown,
+}
+
+impl Tri {
+    fn not(self) -> Tri {
+        match self {
+            Tri::True => Tri::False,
+            Tri::False => Tri::True,
+            Tri::Unknown => Tri::Unknown,
+        }
+    }
+    fn and(self, other: Tri) -> Tri {
+        match (self, other) {
+            (Tri::False, _) | (_, Tri::False) => Tri::False,
+            (Tri::True, Tri::True) => Tri::True,
+            _ => Tri::Unknown,
+        }
+    }
+    fn or(self, other: Tri) -> Tri {
+        match (self, other) {
+            (Tri::True, _) | (_, Tri::True) => Tri::True,
+            (Tri::False, Tri::False) => Tri::False,
+            _ => Tri::Unknown,
+        }
+    }
+}
+
+/// Whether the expression provably held at the instant of `injection`.
+///
+/// Atoms about the *injecting machine itself* are decided exactly from
+/// record order: the machine's own timeline orders its state changes and
+/// its injections on one clock, so "was I in state S when I injected?" has
+/// a definite answer regardless of clock-bound widths. Atoms about *other*
+/// machines fall back to the interval comparison of §2.5: definitely true
+/// iff the injection's whole bound interval lies within
+/// `[state-entry upper bound, state-exit lower bound]`, definitely false
+/// iff it misses every possible occupancy interval, unknown otherwise —
+/// and unknown is conservatively not-correct.
+fn injection_definitely_correct(
+    study: &Study,
+    gt: &GlobalTimeline,
+    injection: &crate::global::GlobalEvent,
+    expr: &CompiledExpr,
+    window: (f64, f64),
+) -> Tri {
+    match expr {
+        CompiledExpr::Atom(sm, state) => {
+            if *sm == injection.sm {
+                // Same process: decide by record order on one clock.
+                let current = own_state_at_record(study, gt, injection.sm, injection.record_index);
+                if current == *state {
+                    Tri::True
+                } else {
+                    Tri::False
+                }
+            } else {
+                let truth = atom_truth(gt, *sm, *state, window);
+                let (lo, hi) = (injection.bounds.lo.as_f64(), injection.bounds.hi.as_f64());
+                if truth.definite.contains_interval(lo, hi) {
+                    Tri::True
+                } else if truth
+                    .possible
+                    .intersect(&IntervalSet::from_spans(vec![(lo, hi)]))
+                    .is_empty()
+                {
+                    Tri::False
+                } else {
+                    Tri::Unknown
+                }
+            }
+        }
+        CompiledExpr::And(a, b) => injection_definitely_correct(study, gt, injection, a, window)
+            .and(injection_definitely_correct(study, gt, injection, b, window)),
+        CompiledExpr::Or(a, b) => injection_definitely_correct(study, gt, injection, a, window)
+            .or(injection_definitely_correct(study, gt, injection, b, window)),
+        CompiledExpr::Not(a) => {
+            injection_definitely_correct(study, gt, injection, a, window).not()
+        }
+    }
+}
+
+/// The state machine `sm` occupied immediately before its record
+/// `record_index` (from its own, totally-ordered timeline).
+fn own_state_at_record(
+    study: &Study,
+    gt: &GlobalTimeline,
+    sm: SmId,
+    record_index: usize,
+) -> StateId {
+    let mut current = study.reserved.begin;
+    for e in &gt.events {
+        if e.sm != sm || e.record_index >= record_index {
+            continue;
+        }
+        match &e.kind {
+            crate::global::GlobalEventKind::StateChange { new_state, .. } => {
+                current = *new_state;
+            }
+            crate::global::GlobalEventKind::Restart { .. } => {
+                current = study.reserved.begin;
+            }
+            _ => {}
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::{make_global, GlobalOptions};
+    use loki_core::campaign::{ExperimentData, HostSync, SyncSample};
+    use loki_core::fault::FaultExpr;
+    use loki_core::recorder::Recorder;
+    use loki_core::spec::{StateMachineSpec, StudyDef};
+    use loki_core::time::LocalNanos;
+
+    /// Machines `a` (worker, INIT→WORK→EXIT) and `b` (injector); fault `f`
+    /// on `(a:WORK)` owned by `b` — the cross-machine case whose
+    /// correctness the clock bounds must prove.
+    fn study(trigger: Trigger) -> Study {
+        let def = StudyDef::new("s")
+            .machine(
+                StateMachineSpec::builder("a")
+                    .states(&["INIT", "WORK", "WATCH"])
+                    .events(&["GO", "DONE"])
+                    .state("INIT", &["b"], &[("GO", "WORK")])
+                    .state("WORK", &["b"], &[("DONE", "EXIT")])
+                    .build(),
+            )
+            .machine(
+                StateMachineSpec::builder("b")
+                    .states(&["INIT", "WORK", "WATCH"])
+                    .events(&["GO", "DONE"])
+                    .state("WATCH", &[], &[("DONE", "EXIT")])
+                    .build(),
+            )
+            .fault("b", "f", FaultExpr::atom("a", "WORK"), trigger);
+        Study::compile(&def).unwrap()
+    }
+
+    fn ideal_sync(host: &str) -> HostSync {
+        let mut samples = Vec::new();
+        for k in 0..10u64 {
+            let t = k * 1_000_000;
+            samples.push(SyncSample {
+                from_reference: true,
+                send: LocalNanos(t),
+                recv: LocalNanos(t + 30_000),
+            });
+            samples.push(SyncSample {
+                from_reference: false,
+                send: LocalNanos(t + 500_000),
+                recv: LocalNanos(t + 530_000),
+            });
+        }
+        HostSync {
+            host: host.to_owned(),
+            samples,
+        }
+    }
+
+    /// Builds an experiment where `a` enters WORK at `work_ms` and leaves at
+    /// `exit_ms`, while `b` injects the fault at `inject_ms`. Both machines
+    /// run on the non-reference host `h2`, so every projected time carries
+    /// clock-bound uncertainty.
+    fn experiment(study: &Study, work_ms: u64, inject_ms: u64, exit_ms: u64) -> ExperimentData {
+        let a = study.sm_id("a").unwrap();
+        let b = study.sm_id("b").unwrap();
+        let go = study.events.lookup("GO").unwrap();
+        let done = study.events.lookup("DONE").unwrap();
+        let init = study.states.lookup("INIT").unwrap();
+        let work = study.states.lookup("WORK").unwrap();
+        let watch = study.states.lookup("WATCH").unwrap();
+        let f = study.fault_names.lookup("f").unwrap();
+        let mut rec_a = Recorder::new(a, "a", "h2");
+        rec_a.record_state_change(LocalNanos::from_millis(1), go, init);
+        rec_a.record_state_change(LocalNanos::from_millis(work_ms), go, work);
+        rec_a.record_state_change(LocalNanos::from_millis(exit_ms), done, study.reserved.exit);
+        let mut rec_b = Recorder::new(b, "b", "h2");
+        rec_b.record_state_change(LocalNanos::from_millis(1), go, watch);
+        rec_b.record_injection(LocalNanos::from_millis(inject_ms), f);
+        rec_b.record_state_change(LocalNanos::from_millis(exit_ms), done, study.reserved.exit);
+        ExperimentData {
+            study: "s".into(),
+            experiment: 0,
+            timelines: vec![rec_a.finish(), rec_b.finish()],
+            hosts: vec!["h1".into(), "h2".into()],
+            reference_host: "h1".into(),
+            pre_sync: vec![ideal_sync("h2")],
+            post_sync: vec![ideal_sync("h2")],
+            end: Default::default(),
+            warnings: vec![],
+        }
+    }
+
+    fn check(study: &Study, data: &ExperimentData) -> ExperimentVerdict {
+        let gt = make_global(study, data, &GlobalOptions::default()).unwrap();
+        check_experiment(study, &gt, MissingPolicy::Fail)
+    }
+
+    #[test]
+    fn injection_well_inside_state_is_correct() {
+        let study = study(Trigger::Once);
+        let data = experiment(&study, 10, 20, 30);
+        let verdict = check(&study, &data);
+        assert_eq!(verdict.correct_count(), 1);
+        assert!(verdict.missing.is_empty());
+        assert!(verdict.accepted);
+    }
+
+    #[test]
+    fn injection_before_state_entry_is_rejected() {
+        let study = study(Trigger::Once);
+        let data = experiment(&study, 10, 5, 30); // injected while still in INIT
+        let verdict = check(&study, &data);
+        assert_eq!(verdict.correct_count(), 0);
+        assert!(!verdict.accepted);
+        assert!(matches!(verdict.checks[0].verdict, Verdict::Incorrect { .. }));
+    }
+
+    #[test]
+    fn injection_after_state_exit_is_rejected() {
+        let study = study(Trigger::Once);
+        let data = experiment(&study, 10, 40, 30); // injected after leaving WORK
+        let verdict = check(&study, &data);
+        assert!(!verdict.accepted);
+    }
+
+    #[test]
+    fn injection_at_uncertain_boundary_is_conservatively_rejected() {
+        // Injection within the clock-uncertainty band around entry: the
+        // bounds straddle the state's definite region -> rejected even
+        // though it may actually have been correct (§2.5).
+        let study = study(Trigger::Once);
+        let data = experiment(&study, 10, 10, 30);
+        let verdict = check(&study, &data);
+        assert!(!verdict.accepted);
+    }
+
+    #[test]
+    fn missing_injection_fails_experiment() {
+        let study = study(Trigger::Once);
+        let a = study.sm_id("a").unwrap();
+        let go = study.events.lookup("GO").unwrap();
+        let done = study.events.lookup("DONE").unwrap();
+        let init = study.states.lookup("INIT").unwrap();
+        let work = study.states.lookup("WORK").unwrap();
+        // WORK entered but no injection recorded.
+        let mut rec = Recorder::new(a, "a", "h2");
+        rec.record_state_change(LocalNanos::from_millis(1), go, init);
+        rec.record_state_change(LocalNanos::from_millis(10), go, work);
+        rec.record_state_change(LocalNanos::from_millis(30), done, study.reserved.exit);
+        let data = ExperimentData {
+            study: "s".into(),
+            experiment: 0,
+            timelines: vec![rec.finish()],
+            hosts: vec!["h1".into(), "h2".into()],
+            reference_host: "h1".into(),
+            pre_sync: vec![ideal_sync("h2")],
+            post_sync: vec![ideal_sync("h2")],
+            end: Default::default(),
+            warnings: vec![],
+        };
+        let gt = make_global(&study, &data, &GlobalOptions::default()).unwrap();
+        let verdict = check_experiment(&study, &gt, MissingPolicy::Fail);
+        assert_eq!(verdict.missing.len(), 1);
+        assert!(!verdict.accepted);
+        // With Ignore, the experiment passes (no recorded injections).
+        let verdict = check_experiment(&study, &gt, MissingPolicy::Ignore);
+        assert!(verdict.accepted);
+    }
+
+    #[test]
+    fn always_fault_requires_one_injection_per_provable_entry() {
+        let study = study(Trigger::Always);
+        let a = study.sm_id("a").unwrap();
+        let go = study.events.lookup("GO").unwrap();
+        let done = study.events.lookup("DONE").unwrap();
+        let init = study.states.lookup("INIT").unwrap();
+        let work = study.states.lookup("WORK").unwrap();
+        let f = study.fault_names.lookup("f").unwrap();
+        // Two WORK visits, only one injection: missing.
+        let mut rec = Recorder::new(a, "a", "h2");
+        rec.record_state_change(LocalNanos::from_millis(1), go, init);
+        rec.record_state_change(LocalNanos::from_millis(10), go, work);
+        rec.record_injection(LocalNanos::from_millis(15), f);
+        rec.record_state_change(LocalNanos::from_millis(20), go, init);
+        rec.record_state_change(LocalNanos::from_millis(30), go, work);
+        rec.record_state_change(LocalNanos::from_millis(40), done, study.reserved.exit);
+        let data = ExperimentData {
+            study: "s".into(),
+            experiment: 0,
+            timelines: vec![rec.finish()],
+            hosts: vec!["h1".into(), "h2".into()],
+            reference_host: "h1".into(),
+            pre_sync: vec![ideal_sync("h2")],
+            post_sync: vec![ideal_sync("h2")],
+            end: Default::default(),
+            warnings: vec![],
+        };
+        let gt = make_global(&study, &data, &GlobalOptions::default()).unwrap();
+        let verdict = check_experiment(&study, &gt, MissingPolicy::Fail);
+        assert_eq!(verdict.missing.len(), 1);
+        assert!(!verdict.accepted);
+    }
+
+    #[test]
+    fn conjunction_requires_simultaneity() {
+        // f2 on ((a:WORK) & (b:WORK)): injection while only a is in WORK is
+        // rejected.
+        let def = StudyDef::new("s")
+            .machine(
+                StateMachineSpec::builder("a")
+                    .states(&["INIT", "WORK"])
+                    .events(&["GO", "DONE"])
+                    .state("INIT", &[], &[("GO", "WORK")])
+                    .state("WORK", &[], &[("DONE", "EXIT")])
+                    .build(),
+            )
+            .machine(
+                StateMachineSpec::builder("b")
+                    .states(&["INIT", "WORK"])
+                    .events(&["GO", "DONE"])
+                    .state("INIT", &[], &[("GO", "WORK")])
+                    .state("WORK", &[], &[("DONE", "EXIT")])
+                    .build(),
+            )
+            .fault(
+                "a",
+                "f2",
+                FaultExpr::atom("a", "WORK").and(FaultExpr::atom("b", "WORK")),
+                Trigger::Once,
+            );
+        let study = Study::compile(&def).unwrap();
+        let a = study.sm_id("a").unwrap();
+        let b = study.sm_id("b").unwrap();
+        let go = study.events.lookup("GO").unwrap();
+        let done = study.events.lookup("DONE").unwrap();
+        let init = study.states.lookup("INIT").unwrap();
+        let work = study.states.lookup("WORK").unwrap();
+        let f2 = study.fault_names.lookup("f2").unwrap();
+
+        let make = |inject_ms: u64, b_work: (u64, u64)| {
+            let mut rec_a = Recorder::new(a, "a", "h2");
+            rec_a.record_state_change(LocalNanos::from_millis(1), go, init);
+            rec_a.record_state_change(LocalNanos::from_millis(10), go, work);
+            rec_a.record_injection(LocalNanos::from_millis(inject_ms), f2);
+            rec_a.record_state_change(LocalNanos::from_millis(50), done, study.reserved.exit);
+            let mut rec_b = Recorder::new(b, "b", "h2");
+            rec_b.record_state_change(LocalNanos::from_millis(1), go, init);
+            rec_b.record_state_change(LocalNanos::from_millis(b_work.0), go, work);
+            rec_b.record_state_change(LocalNanos::from_millis(b_work.1), done, study.reserved.exit);
+            ExperimentData {
+                study: "s".into(),
+                experiment: 0,
+                timelines: vec![rec_a.finish(), rec_b.finish()],
+                hosts: vec!["h1".into(), "h2".into()],
+                reference_host: "h1".into(),
+                pre_sync: vec![ideal_sync("h2")],
+                post_sync: vec![ideal_sync("h2")],
+                end: Default::default(),
+                warnings: vec![],
+            }
+        };
+
+        // b in WORK [20,40]; injection at 30: both in WORK -> correct.
+        let data = make(30, (20, 40));
+        let gt = make_global(&study, &data, &GlobalOptions::default()).unwrap();
+        assert!(check_experiment(&study, &gt, MissingPolicy::Ignore).accepted);
+
+        // b enters WORK only at 35; injection at 30 -> incorrect.
+        let data = make(30, (35, 40));
+        let gt = make_global(&study, &data, &GlobalOptions::default()).unwrap();
+        assert!(!check_experiment(&study, &gt, MissingPolicy::Ignore).accepted);
+    }
+
+    #[test]
+    fn same_machine_injection_at_entry_instant_is_exact() {
+        // A fault owned by the machine itself injects at the *same local
+        // timestamp* as the state entry. Interval bounds alone could never
+        // prove "after entry", but same-clock record order can.
+        let def = StudyDef::new("s")
+            .machine(
+                StateMachineSpec::builder("a")
+                    .states(&["INIT", "WORK"])
+                    .events(&["GO", "DONE"])
+                    .state("INIT", &[], &[("GO", "WORK")])
+                    .state("WORK", &[], &[("DONE", "EXIT")])
+                    .build(),
+            )
+            .fault("a", "own", FaultExpr::atom("a", "WORK"), Trigger::Once);
+        let study = Study::compile(&def).unwrap();
+        let a = study.sm_id("a").unwrap();
+        let go = study.events.lookup("GO").unwrap();
+        let done = study.events.lookup("DONE").unwrap();
+        let init = study.states.lookup("INIT").unwrap();
+        let work = study.states.lookup("WORK").unwrap();
+        let f = study.fault_names.lookup("own").unwrap();
+        let mut rec = Recorder::new(a, "a", "h2");
+        rec.record_state_change(LocalNanos::from_millis(1), go, init);
+        rec.record_state_change(LocalNanos::from_millis(10), go, work);
+        rec.record_injection(LocalNanos::from_millis(10), f); // same instant
+        rec.record_state_change(LocalNanos::from_millis(30), done, study.reserved.exit);
+        let data = ExperimentData {
+            study: "s".into(),
+            experiment: 0,
+            timelines: vec![rec.finish()],
+            hosts: vec!["h1".into(), "h2".into()],
+            reference_host: "h1".into(),
+            pre_sync: vec![ideal_sync("h2")],
+            post_sync: vec![ideal_sync("h2")],
+            end: Default::default(),
+            warnings: vec![],
+        };
+        let gt = make_global(&study, &data, &GlobalOptions::default()).unwrap();
+        let verdict = check_experiment(&study, &gt, MissingPolicy::Fail);
+        assert!(verdict.accepted, "{:?}", verdict.checks);
+
+        // But the same injection recorded *before* the WORK record is
+        // definitely wrong (record order proves it).
+        let mut rec = Recorder::new(a, "a", "h2");
+        rec.record_state_change(LocalNanos::from_millis(1), go, init);
+        rec.record_injection(LocalNanos::from_millis(9), f);
+        rec.record_state_change(LocalNanos::from_millis(10), go, work);
+        rec.record_state_change(LocalNanos::from_millis(30), done, study.reserved.exit);
+        let data = ExperimentData {
+            study: "s".into(),
+            experiment: 0,
+            timelines: vec![rec.finish()],
+            hosts: vec!["h1".into(), "h2".into()],
+            reference_host: "h1".into(),
+            pre_sync: vec![ideal_sync("h2")],
+            post_sync: vec![ideal_sync("h2")],
+            end: Default::default(),
+            warnings: vec![],
+        };
+        let gt = make_global(&study, &data, &GlobalOptions::default()).unwrap();
+        let verdict = check_experiment(&study, &gt, MissingPolicy::Ignore);
+        assert!(!verdict.accepted);
+    }
+
+    #[test]
+    fn negation_uses_possible_complement() {
+        // f3 on ~(a:WORK): injection while a is provably in WORK is
+        // incorrect; injection while a is in INIT is correct.
+        let def = StudyDef::new("s")
+            .machine(
+                StateMachineSpec::builder("a")
+                    .states(&["INIT", "WORK"])
+                    .events(&["GO", "DONE"])
+                    .state("INIT", &[], &[("GO", "WORK")])
+                    .state("WORK", &[], &[("DONE", "EXIT")])
+                    .build(),
+            )
+            .fault("a", "f3", FaultExpr::atom("a", "WORK").not(), Trigger::Once);
+        let study = Study::compile(&def).unwrap();
+        let a = study.sm_id("a").unwrap();
+        let go = study.events.lookup("GO").unwrap();
+        let done = study.events.lookup("DONE").unwrap();
+        let init = study.states.lookup("INIT").unwrap();
+        let work = study.states.lookup("WORK").unwrap();
+        let f3 = study.fault_names.lookup("f3").unwrap();
+
+        let make = |inject_ms: u64| {
+            let mut rec = Recorder::new(a, "a", "h2");
+            rec.record_state_change(LocalNanos::from_millis(1), go, init);
+            rec.record_injection(LocalNanos::from_millis(inject_ms), f3);
+            rec.record_state_change(LocalNanos::from_millis(10), go, work);
+            rec.record_state_change(LocalNanos::from_millis(30), done, study.reserved.exit);
+            ExperimentData {
+                study: "s".into(),
+                experiment: 0,
+                timelines: vec![rec.finish()],
+                hosts: vec!["h1".into(), "h2".into()],
+                reference_host: "h1".into(),
+                pre_sync: vec![ideal_sync("h2")],
+                post_sync: vec![ideal_sync("h2")],
+                end: Default::default(),
+                warnings: vec![],
+            }
+        };
+
+        let data = make(5); // in INIT: ~(a:WORK) definitely true
+        let gt = make_global(&study, &data, &GlobalOptions::default()).unwrap();
+        assert!(check_experiment(&study, &gt, MissingPolicy::Ignore).accepted);
+    }
+}

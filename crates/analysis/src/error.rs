@@ -1,0 +1,69 @@
+//! Analysis-phase errors.
+
+use loki_clock::sync::SyncError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from global-timeline construction.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// A host's clock could not be calibrated against the reference.
+    Sync {
+        /// The host.
+        host: String,
+        /// The underlying estimation error.
+        source: SyncError,
+    },
+    /// A timeline record was stamped on a host with no calibration data.
+    UnknownHost {
+        /// The unknown host.
+        host: String,
+        /// The state machine whose timeline referenced it.
+        sm: String,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Sync { host, source } => {
+                write!(f, "clock calibration failed for host `{host}`: {source}")
+            }
+            AnalysisError::UnknownHost { host, sm } => write!(
+                f,
+                "timeline of `{sm}` references host `{host}` with no sync data"
+            ),
+        }
+    }
+}
+
+impl Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AnalysisError::Sync { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = AnalysisError::Sync {
+            host: "h2".into(),
+            source: SyncError::Infeasible,
+        };
+        assert!(e.to_string().contains("h2"));
+        assert!(e.source().is_some());
+        let e = AnalysisError::UnknownHost {
+            host: "hx".into(),
+            sm: "black".into(),
+        };
+        assert!(e.to_string().contains("black"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,374 @@
+//! Global timeline construction (the thesis's `alphabeta` + `makeglobal`,
+//! §5.7).
+//!
+//! For each experiment: estimate `(α, β)` bounds per host from the sync
+//! mini-phases, project every local timeline record onto the reference
+//! timeline as a [`TimeBounds`] interval, and derive per-machine state
+//! intervals (entry/exit bounds per occupied state). The resulting
+//! [`GlobalTimeline`] is the input to both the fault-injection correctness
+//! check and the measure phase.
+
+use crate::error::AnalysisError;
+use loki_clock::sync::{estimate_alpha_beta, AlphaBetaBounds, SyncOptions};
+use loki_core::campaign::ExperimentData;
+use loki_core::ids::{EventId, FaultId, SmId, StateId};
+use loki_core::recorder::RecordKind;
+use loki_core::study::Study;
+use loki_core::time::{GlobalNanos, TimeBounds};
+use std::collections::HashMap;
+
+/// The payload of a global-timeline event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GlobalEventKind {
+    /// `event` occurred while the machine was in `from_state`, entering
+    /// `new_state`. (Figure 4.2's "Begin State" column is `from_state`.)
+    StateChange {
+        /// The triggering event.
+        event: EventId,
+        /// State the machine was in when the event occurred.
+        from_state: StateId,
+        /// State entered.
+        new_state: StateId,
+    },
+    /// A fault injection performed by this machine's probe.
+    Injection {
+        /// The injected fault.
+        fault: FaultId,
+    },
+    /// The machine restarted on `host`.
+    Restart {
+        /// Host of the new incarnation.
+        host: String,
+    },
+    /// A user message.
+    UserMessage(String),
+}
+
+/// One event projected onto the global timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GlobalEvent {
+    /// The machine whose timeline produced the event.
+    pub sm: SmId,
+    /// The payload.
+    pub kind: GlobalEventKind,
+    /// Guaranteed-enclosing bounds on the occurrence time.
+    pub bounds: TimeBounds,
+    /// Index of the source record in the machine's local timeline.
+    pub record_index: usize,
+}
+
+/// A maximal interval during which one machine occupied one state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateInterval {
+    /// The machine.
+    pub sm: SmId,
+    /// The state occupied.
+    pub state: StateId,
+    /// Bounds on the entry instant.
+    pub enter: TimeBounds,
+    /// Bounds on the exit instant; `None` when the state was held until
+    /// the end of the experiment.
+    pub exit: Option<TimeBounds>,
+}
+
+/// The single global timeline of one experiment (§2.5).
+#[derive(Clone, Debug)]
+pub struct GlobalTimeline {
+    /// All events, sorted by the midpoint of their bounds.
+    pub events: Vec<GlobalEvent>,
+    /// State-occupancy intervals, grouped by machine in record order.
+    pub intervals: Vec<StateInterval>,
+    /// Experiment window start (minimum lower bound over events).
+    pub start: GlobalNanos,
+    /// Experiment window end (maximum upper bound over events).
+    pub end: GlobalNanos,
+    /// Per-host `(α, β)` bounds used for the projection.
+    pub alpha_beta: HashMap<String, AlphaBetaBounds>,
+    /// The reference host.
+    pub reference_host: String,
+}
+
+impl GlobalTimeline {
+    /// Intervals of one machine, in chronological (record) order.
+    pub fn intervals_of(&self, sm: SmId) -> impl Iterator<Item = &StateInterval> {
+        self.intervals.iter().filter(move |iv| iv.sm == sm)
+    }
+
+    /// All fault injections on the global timeline.
+    pub fn injections(&self) -> impl Iterator<Item = (&GlobalEvent, FaultId)> {
+        self.events.iter().filter_map(|e| match e.kind {
+            GlobalEventKind::Injection { fault } => Some((e, fault)),
+            _ => None,
+        })
+    }
+}
+
+/// Options for global timeline construction.
+#[derive(Clone, Debug, Default)]
+pub struct GlobalOptions {
+    /// Options for the `(α, β)` bound estimation.
+    pub sync: SyncOptions,
+}
+
+/// Builds the global timeline of one experiment.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::Sync`] when a host's clock cannot be calibrated
+/// and [`AnalysisError::UnknownHost`] when a timeline references a host with
+/// no sync data.
+pub fn make_global(
+    study: &Study,
+    data: &ExperimentData,
+    opts: &GlobalOptions,
+) -> Result<GlobalTimeline, AnalysisError> {
+    // --- alphabeta: per-host clock calibration -----------------------------
+    let mut alpha_beta: HashMap<String, AlphaBetaBounds> = HashMap::new();
+    alpha_beta.insert(data.reference_host.clone(), AlphaBetaBounds::identity());
+    for host in &data.hosts {
+        if *host == data.reference_host {
+            continue;
+        }
+        let samples = data.sync_samples_for(host);
+        let bounds = estimate_alpha_beta(&samples, &opts.sync).map_err(|source| {
+            AnalysisError::Sync {
+                host: host.clone(),
+                source,
+            }
+        })?;
+        alpha_beta.insert(host.clone(), bounds);
+    }
+
+    // --- makeglobal: project every record -----------------------------------
+    let mut events: Vec<GlobalEvent> = Vec::new();
+    let mut intervals: Vec<StateInterval> = Vec::new();
+
+    for timeline in &data.timelines {
+        let mut current_state = study.reserved.begin;
+        let mut open: Option<(StateId, TimeBounds)> = None;
+
+        for (idx, host, record) in timeline.records_with_hosts() {
+            let ab = alpha_beta
+                .get(host)
+                .ok_or_else(|| AnalysisError::UnknownHost {
+                    host: host.to_owned(),
+                    sm: timeline.sm_name.clone(),
+                })?;
+            let bounds = ab.project(record.time);
+            let kind = match &record.kind {
+                RecordKind::StateChange { event, new_state } => {
+                    let from_state = current_state;
+                    // Close the open interval and open the next one.
+                    if let Some((state, enter)) = open.take() {
+                        intervals.push(StateInterval {
+                            sm: timeline.sm,
+                            state,
+                            enter,
+                            exit: Some(bounds),
+                        });
+                    }
+                    open = Some((*new_state, bounds));
+                    current_state = *new_state;
+                    GlobalEventKind::StateChange {
+                        event: *event,
+                        from_state,
+                        new_state: *new_state,
+                    }
+                }
+                RecordKind::FaultInjection { fault } => {
+                    GlobalEventKind::Injection { fault: *fault }
+                }
+                RecordKind::Restart { host } => {
+                    // The machine is back in BEGIN until its first
+                    // notification; close whatever was open (normally the
+                    // CRASH interval written by the daemon).
+                    if let Some((state, enter)) = open.take() {
+                        intervals.push(StateInterval {
+                            sm: timeline.sm,
+                            state,
+                            enter,
+                            exit: Some(bounds),
+                        });
+                    }
+                    open = Some((study.reserved.begin, bounds));
+                    current_state = study.reserved.begin;
+                    GlobalEventKind::Restart { host: host.clone() }
+                }
+                RecordKind::UserMessage(m) => GlobalEventKind::UserMessage(m.clone()),
+            };
+            events.push(GlobalEvent {
+                sm: timeline.sm,
+                kind,
+                bounds,
+                record_index: idx,
+            });
+        }
+        if let Some((state, enter)) = open.take() {
+            intervals.push(StateInterval {
+                sm: timeline.sm,
+                state,
+                enter,
+                exit: None,
+            });
+        }
+    }
+
+    events.sort_by(|a, b| a.bounds.mid().total_cmp(&b.bounds.mid()));
+    let start = events
+        .iter()
+        .map(|e| e.bounds.lo)
+        .fold(GlobalNanos(f64::INFINITY), GlobalNanos::min);
+    let end = events
+        .iter()
+        .map(|e| e.bounds.hi)
+        .fold(GlobalNanos(f64::NEG_INFINITY), GlobalNanos::max);
+    let (start, end) = if events.is_empty() {
+        (GlobalNanos::ZERO, GlobalNanos::ZERO)
+    } else {
+        (start, end)
+    };
+
+    Ok(GlobalTimeline {
+        events,
+        intervals,
+        start,
+        end,
+        alpha_beta,
+        reference_host: data.reference_host.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_core::campaign::{HostSync, SyncSample};
+    use loki_core::recorder::Recorder;
+    use loki_core::spec::{StateMachineSpec, StudyDef};
+    use loki_core::time::LocalNanos;
+
+    fn study() -> Study {
+        let def = StudyDef::new("s").machine(
+            StateMachineSpec::builder("a")
+                .states(&["INIT", "WORK"])
+                .events(&["GO", "DONE"])
+                .state("INIT", &[], &[("GO", "WORK")])
+                .state("WORK", &[], &[("DONE", "EXIT")])
+                .build(),
+        );
+        Study::compile(&def).unwrap()
+    }
+
+    /// Sync samples for an ideal (identical) clock pair: tight bounds.
+    fn ideal_sync(host: &str) -> HostSync {
+        let mut samples = Vec::new();
+        for k in 0..10u64 {
+            let t = k * 1_000_000;
+            samples.push(SyncSample {
+                from_reference: true,
+                send: LocalNanos(t),
+                recv: LocalNanos(t + 50_000),
+            });
+            samples.push(SyncSample {
+                from_reference: false,
+                send: LocalNanos(t + 500_000),
+                recv: LocalNanos(t + 550_000),
+            });
+        }
+        HostSync {
+            host: host.to_owned(),
+            samples,
+        }
+    }
+
+    fn experiment(study: &Study) -> ExperimentData {
+        let a = study.sm_id("a").unwrap();
+        let go = study.events.lookup("GO").unwrap();
+        let done = study.events.lookup("DONE").unwrap();
+        let init = study.states.lookup("INIT").unwrap();
+        let work = study.states.lookup("WORK").unwrap();
+        let exit = study.reserved.exit;
+        let mut rec = Recorder::new(a, "a", "h2");
+        rec.record_state_change(LocalNanos::from_millis(10), go, init);
+        rec.record_state_change(LocalNanos::from_millis(20), go, work);
+        rec.record_state_change(LocalNanos::from_millis(30), done, exit);
+        ExperimentData {
+            study: "s".into(),
+            experiment: 0,
+            timelines: vec![rec.finish()],
+            hosts: vec!["h1".into(), "h2".into()],
+            reference_host: "h1".into(),
+            pre_sync: vec![ideal_sync("h2")],
+            post_sync: vec![ideal_sync("h2")],
+            end: Default::default(),
+            warnings: vec![],
+        }
+    }
+
+    #[test]
+    fn builds_events_and_intervals() {
+        let study = study();
+        let data = experiment(&study);
+        let gt = make_global(&study, &data, &GlobalOptions::default()).unwrap();
+        assert_eq!(gt.events.len(), 3);
+        // Intervals: INIT [10,20], WORK [20,30], EXIT [30, ..).
+        let a = study.sm_id("a").unwrap();
+        let ivs: Vec<&StateInterval> = gt.intervals_of(a).collect();
+        assert_eq!(ivs.len(), 3);
+        assert_eq!(ivs[0].state, study.states.lookup("INIT").unwrap());
+        assert!(ivs[0].exit.is_some());
+        assert_eq!(ivs[2].state, study.reserved.exit);
+        assert!(ivs[2].exit.is_none());
+        // Projection bounds contain the local times (clocks ideal & equal).
+        assert!(ivs[0].enter.lo.as_f64() <= 10_000_000.0);
+        assert!(ivs[0].enter.hi.as_f64() >= 10_000_000.0 - 60_000.0);
+        assert!(gt.start.as_f64() < gt.end.as_f64());
+    }
+
+    #[test]
+    fn from_state_tracks_previous_state() {
+        let study = study();
+        let data = experiment(&study);
+        let gt = make_global(&study, &data, &GlobalOptions::default()).unwrap();
+        let kinds: Vec<(&str, &str)> = gt
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                GlobalEventKind::StateChange {
+                    from_state,
+                    new_state,
+                    ..
+                } => Some((
+                    study.states.name(*from_state),
+                    study.states.name(*new_state),
+                )),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![("BEGIN", "INIT"), ("INIT", "WORK"), ("WORK", "EXIT")]
+        );
+    }
+
+    #[test]
+    fn missing_sync_data_is_an_error() {
+        let study = study();
+        let mut data = experiment(&study);
+        data.pre_sync.clear();
+        data.post_sync.clear();
+        let err = make_global(&study, &data, &GlobalOptions::default());
+        assert!(matches!(err, Err(AnalysisError::Sync { .. })));
+    }
+
+    #[test]
+    fn reference_host_projects_exactly() {
+        let study = study();
+        let mut data = experiment(&study);
+        // Move the machine onto the reference host: exact projection.
+        data.timelines[0].stints[0].host = "h1".into();
+        let gt = make_global(&study, &data, &GlobalOptions::default()).unwrap();
+        let e = &gt.events[0];
+        assert_eq!(e.bounds.lo.as_f64(), 10_000_000.0);
+        assert_eq!(e.bounds.hi.as_f64(), 10_000_000.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Interval sets over the global timeline.
+//!
+//! The correctness check reasons about *definitely-true* and
+//! *possibly-true* regions of Boolean state expressions. Both are unions of
+//! disjoint time intervals; this module provides the set algebra (union,
+//! intersection, complement within a window) those computations need.
+
+/// A set of disjoint, sorted, closed intervals `[lo, hi]` over global time
+/// (nanoseconds as `f64`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct IntervalSet {
+    spans: Vec<(f64, f64)>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        IntervalSet { spans: Vec::new() }
+    }
+
+    /// Builds a set from arbitrary (possibly overlapping, unsorted)
+    /// intervals; empty or inverted inputs are dropped.
+    pub fn from_spans(mut spans: Vec<(f64, f64)>) -> Self {
+        spans.retain(|(lo, hi)| lo <= hi);
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(spans.len());
+        for (lo, hi) in spans {
+            match merged.last_mut() {
+                Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        IntervalSet { spans: merged }
+    }
+
+    /// The spans of the set.
+    pub fn spans(&self) -> &[(f64, f64)] {
+        &self.spans
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Number of disjoint spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether `t` lies in the set.
+    pub fn contains(&self, t: f64) -> bool {
+        self.spans.iter().any(|&(lo, hi)| lo <= t && t <= hi)
+    }
+
+    /// Whether the whole interval `[lo, hi]` lies within a single span.
+    pub fn contains_interval(&self, lo: f64, hi: f64) -> bool {
+        self.spans.iter().any(|&(a, b)| a <= lo && hi <= b)
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let mut spans = self.spans.clone();
+        spans.extend_from_slice(&other.spans);
+        IntervalSet::from_spans(spans)
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.spans.len() && j < other.spans.len() {
+            let (a_lo, a_hi) = self.spans[i];
+            let (b_lo, b_hi) = other.spans[j];
+            let lo = a_lo.max(b_lo);
+            let hi = a_hi.min(b_hi);
+            if lo <= hi {
+                out.push((lo, hi));
+            }
+            if a_hi < b_hi {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet { spans: out }
+    }
+
+    /// Complement within the window `[window_lo, window_hi]`.
+    pub fn complement(&self, window_lo: f64, window_hi: f64) -> IntervalSet {
+        let mut out = Vec::new();
+        let mut cursor = window_lo;
+        for &(lo, hi) in &self.spans {
+            if hi < window_lo {
+                continue;
+            }
+            if lo > window_hi {
+                break;
+            }
+            if lo > cursor {
+                out.push((cursor, lo));
+            }
+            cursor = cursor.max(hi);
+        }
+        if cursor < window_hi {
+            out.push((cursor, window_hi));
+        }
+        IntervalSet { spans: out }
+    }
+
+    /// Total measure (sum of span lengths).
+    pub fn total_length(&self) -> f64 {
+        self.spans.iter().map(|(lo, hi)| hi - lo).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(spans: &[(f64, f64)]) -> IntervalSet {
+        IntervalSet::from_spans(spans.to_vec())
+    }
+
+    #[test]
+    fn from_spans_merges_and_sorts() {
+        let s = set(&[(5.0, 7.0), (1.0, 3.0), (2.0, 4.0), (9.0, 8.0)]);
+        assert_eq!(s.spans(), &[(1.0, 4.0), (5.0, 7.0)]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn touching_spans_merge() {
+        let s = set(&[(1.0, 2.0), (2.0, 3.0)]);
+        assert_eq!(s.spans(), &[(1.0, 3.0)]);
+    }
+
+    #[test]
+    fn containment() {
+        let s = set(&[(1.0, 3.0), (5.0, 8.0)]);
+        assert!(s.contains(2.0));
+        assert!(!s.contains(4.0));
+        assert!(s.contains_interval(5.5, 7.0));
+        assert!(!s.contains_interval(2.0, 6.0)); // spans a gap
+        assert!(!IntervalSet::empty().contains(0.0));
+    }
+
+    #[test]
+    fn union_intersect() {
+        let a = set(&[(1.0, 4.0), (6.0, 9.0)]);
+        let b = set(&[(3.0, 7.0)]);
+        assert_eq!(a.union(&b).spans(), &[(1.0, 9.0)]);
+        assert_eq!(a.intersect(&b).spans(), &[(3.0, 4.0), (6.0, 7.0)]);
+        assert!(a.intersect(&IntervalSet::empty()).is_empty());
+    }
+
+    #[test]
+    fn complement_within_window() {
+        let a = set(&[(2.0, 3.0), (5.0, 6.0)]);
+        assert_eq!(
+            a.complement(0.0, 10.0).spans(),
+            &[(0.0, 2.0), (3.0, 5.0), (6.0, 10.0)]
+        );
+        assert_eq!(IntervalSet::empty().complement(0.0, 1.0).spans(), &[(0.0, 1.0)]);
+        // Span covering the whole window -> empty complement.
+        let full = set(&[(0.0, 10.0)]);
+        assert!(full.complement(0.0, 10.0).is_empty());
+        // Spans outside the window are ignored.
+        let outside = set(&[(20.0, 30.0)]);
+        assert_eq!(outside.complement(0.0, 10.0).spans(), &[(0.0, 10.0)]);
+    }
+
+    #[test]
+    fn double_complement_is_identity_within_window() {
+        let a = set(&[(2.0, 3.0), (5.0, 6.0)]);
+        let cc = a.complement(0.0, 10.0).complement(0.0, 10.0);
+        assert_eq!(cc, a);
+    }
+
+    #[test]
+    fn total_length() {
+        let a = set(&[(1.0, 3.0), (5.0, 8.0)]);
+        assert!((a.total_length() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,117 @@
+//! # loki-analysis
+//!
+//! The off-line analysis phase of the Loki fault injector (thesis §2.5,
+//! §5.7):
+//!
+//! 1. **`alphabeta`** — calibrate each host's clock against the reference
+//!    host from the sync mini-phase samples, obtaining guaranteed bounds on
+//!    offset α and drift β (via `loki-clock`).
+//! 2. **`makeglobal`** ([`global::make_global`]) — project every local
+//!    timeline onto the single global timeline; every occurrence time
+//!    becomes an interval that provably contains the true time.
+//! 3. **Correctness check** ([`checker::check_experiment`]) — verify, for
+//!    every recorded injection, that it provably landed while its fault
+//!    expression held; experiments with unprovable or missing injections
+//!    are discarded, and only the survivors feed the measure phase.
+//!
+//! [`analyze`] runs the whole phase for a batch of experiments.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod checker;
+pub mod error;
+pub mod global;
+pub mod intervals;
+
+pub use checker::{check_experiment, ExperimentVerdict, MissingPolicy, Verdict};
+pub use error::AnalysisError;
+pub use global::{
+    make_global, GlobalEvent, GlobalEventKind, GlobalOptions, GlobalTimeline, StateInterval,
+};
+pub use intervals::IntervalSet;
+
+use loki_core::campaign::{ExperimentData, ExperimentEnd};
+use loki_core::study::Study;
+
+/// One experiment after analysis: its raw data, global timeline, and
+/// verdict.
+#[derive(Clone, Debug)]
+pub struct AnalyzedExperiment {
+    /// The raw experiment output.
+    pub data: ExperimentData,
+    /// The constructed global timeline (`None` when construction failed).
+    pub global: Option<GlobalTimeline>,
+    /// The correctness verdict (`accepted == false` when the experiment
+    /// aborted, timed out, failed analysis, or failed the check).
+    pub verdict: Option<ExperimentVerdict>,
+    /// Analysis error, if any.
+    pub error: Option<AnalysisError>,
+}
+
+impl AnalyzedExperiment {
+    /// Whether this experiment's results may be used for measures.
+    pub fn accepted(&self) -> bool {
+        self.data.end == ExperimentEnd::Completed
+            && self.verdict.as_ref().map(|v| v.accepted).unwrap_or(false)
+    }
+}
+
+/// Analysis options.
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisOptions {
+    /// Global-timeline construction options.
+    pub global: GlobalOptions,
+    /// Missing-injection policy.
+    pub missing: MissingPolicy,
+}
+
+/// Runs the complete analysis phase over a batch of experiments.
+///
+/// Aborted and timed-out experiments are retained (for bookkeeping) but
+/// never accepted.
+pub fn analyze(
+    study: &Study,
+    experiments: Vec<ExperimentData>,
+    opts: &AnalysisOptions,
+) -> Vec<AnalyzedExperiment> {
+    experiments
+        .into_iter()
+        .map(|data| {
+            if data.end != ExperimentEnd::Completed {
+                return AnalyzedExperiment {
+                    data,
+                    global: None,
+                    verdict: None,
+                    error: None,
+                };
+            }
+            match make_global(study, &data, &opts.global) {
+                Ok(gt) => {
+                    let verdict = check_experiment(study, &gt, opts.missing);
+                    AnalyzedExperiment {
+                        data,
+                        global: Some(gt),
+                        verdict: Some(verdict),
+                        error: None,
+                    }
+                }
+                Err(e) => AnalyzedExperiment {
+                    data,
+                    global: None,
+                    verdict: None,
+                    error: Some(e),
+                },
+            }
+        })
+        .collect()
+}
+
+/// Convenience: the accepted experiments' global timelines.
+pub fn accepted_timelines(analyzed: &[AnalyzedExperiment]) -> Vec<&GlobalTimeline> {
+    analyzed
+        .iter()
+        .filter(|a| a.accepted())
+        .filter_map(|a| a.global.as_ref())
+        .collect()
+}

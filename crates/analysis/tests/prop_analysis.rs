@@ -1,0 +1,154 @@
+//! Property tests for the analysis phase.
+
+use loki_analysis::checker::expr_truth;
+use loki_analysis::global::{GlobalTimeline, StateInterval};
+use loki_core::fault::CompiledExpr;
+use loki_core::ids::Id;
+use loki_core::time::{GlobalNanos, TimeBounds};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Builds a synthetic global timeline: for each machine, a sequence of
+/// state intervals with bounded-uncertainty transition times.
+fn timeline_strategy() -> impl Strategy<Value = GlobalTimeline> {
+    let machine_intervals = prop::collection::vec(
+        (0u32..4, 1.0f64..50.0, 0.0f64..2.0),
+        1..8,
+    );
+    prop::collection::vec(machine_intervals, 1..3).prop_map(|machines| {
+        let mut intervals = Vec::new();
+        for (m, segs) in machines.iter().enumerate() {
+            let mut t = 0.0;
+            for (i, (state, len, width)) in segs.iter().enumerate() {
+                let enter = TimeBounds::new(GlobalNanos(t), GlobalNanos(t + width));
+                let t_end = t + width + len;
+                let exit = TimeBounds::new(GlobalNanos(t_end), GlobalNanos(t_end + width));
+                intervals.push(StateInterval {
+                    sm: Id::from_raw(m as u32),
+                    state: Id::from_raw(*state),
+                    enter,
+                    exit: if i + 1 == segs.len() { None } else { Some(exit) },
+                });
+                t = t_end;
+            }
+        }
+        GlobalTimeline {
+            events: Vec::new(),
+            intervals,
+            start: GlobalNanos(0.0),
+            end: GlobalNanos(200.0),
+            alpha_beta: HashMap::new(),
+            reference_host: "ref".into(),
+        }
+    })
+}
+
+fn expr_strategy(depth: u32) -> BoxedStrategy<CompiledExpr> {
+    let atom = (0u32..3, 0u32..4)
+        .prop_map(|(m, s)| CompiledExpr::Atom(Id::from_raw(m), Id::from_raw(s)));
+    if depth == 0 {
+        atom.boxed()
+    } else {
+        let sub = expr_strategy(depth - 1);
+        prop_oneof![
+            atom,
+            (expr_strategy(depth - 1), sub.clone())
+                .prop_map(|(a, b)| CompiledExpr::And(Box::new(a), Box::new(b))),
+            (expr_strategy(depth - 1), sub.clone())
+                .prop_map(|(a, b)| CompiledExpr::Or(Box::new(a), Box::new(b))),
+            sub.prop_map(|a| CompiledExpr::Not(Box::new(a))),
+        ]
+        .boxed()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The fundamental three-valued invariant: wherever an expression is
+    /// *definitely* true it must also be *possibly* true — for arbitrary
+    /// expressions over arbitrary uncertain timelines.
+    #[test]
+    fn definite_is_subset_of_possible(
+        gt in timeline_strategy(),
+        expr in expr_strategy(3),
+        probes in prop::collection::vec(0.0f64..200.0, 1..20),
+    ) {
+        let window = (-1.0, 201.0);
+        let truth = expr_truth(&gt, &expr, window);
+        for t in probes {
+            if truth.definite.contains(t) {
+                prop_assert!(
+                    truth.possible.contains(t),
+                    "definite at {t} but not possible"
+                );
+            }
+        }
+    }
+
+    /// Negation duality: definite(~e) is disjoint from possible(e), and
+    /// possible(~e) is disjoint from definite(e).
+    #[test]
+    fn negation_duality(
+        gt in timeline_strategy(),
+        expr in expr_strategy(2),
+        probes in prop::collection::vec(0.0f64..200.0, 1..20),
+    ) {
+        let window = (-1.0, 201.0);
+        let e = expr_truth(&gt, &expr, window);
+        let not_e = expr_truth(
+            &gt,
+            &CompiledExpr::Not(Box::new(expr.clone())),
+            window,
+        );
+        for t in probes {
+            prop_assert!(!(not_e.definite.contains(t) && e.possible.contains(t)));
+            prop_assert!(!(not_e.possible.contains(t) && e.definite.contains(t)));
+        }
+    }
+
+    /// With zero-width bounds (exact clocks), definite and possible
+    /// coincide except at the transition instants themselves.
+    #[test]
+    fn exact_bounds_collapse_the_gap(
+        expr in expr_strategy(2),
+        probes in prop::collection::vec(0.0f64..200.0, 1..20),
+    ) {
+        // One machine cycling through states 0,1,2 with exact bounds.
+        let mut intervals = Vec::new();
+        let mut t = 0.0;
+        for i in 0..10u32 {
+            let enter = TimeBounds::point(GlobalNanos(t));
+            let exit = TimeBounds::point(GlobalNanos(t + 10.0));
+            intervals.push(StateInterval {
+                sm: Id::from_raw(0),
+                state: Id::from_raw(i % 3),
+                enter,
+                exit: Some(exit),
+            });
+            t += 10.0;
+        }
+        let gt = GlobalTimeline {
+            events: Vec::new(),
+            intervals,
+            start: GlobalNanos(0.0),
+            end: GlobalNanos(100.0),
+            alpha_beta: HashMap::new(),
+            reference_host: "ref".into(),
+        };
+        let window = (-1.0, 101.0);
+        let truth = expr_truth(&gt, &expr, window);
+        for t in probes {
+            // Avoid the measure-zero transition instants.
+            if (t / 10.0).fract() < 1e-9 {
+                continue;
+            }
+            prop_assert_eq!(
+                truth.definite.contains(t),
+                truth.possible.contains(t),
+                "gap at {} with exact bounds",
+                t
+            );
+        }
+    }
+}

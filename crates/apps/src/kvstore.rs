@@ -1,0 +1,393 @@
+//! A primary-backup replicated key-value store.
+//!
+//! One machine starts as primary; it generates client operations and
+//! replicates them to the backups (the replication stream doubles as a
+//! heartbeat). When the primary crashes, backups detect the silence, raise
+//! `PRIMARY_FAILED`, and the deterministic successor (the lowest-id backup)
+//! promotes itself; the others step back to `BACKUP` under the new primary.
+//!
+//! This is the kind of reliable distributed system the thesis motivates:
+//! failures propagate across components, so meaningful faults (and
+//! measures) are phrased over the *global* state — e.g. "inject while some
+//! machine is `PRIMARY`" or "how long was no machine `PRIMARY`?"
+//! (unavailability).
+
+use loki_core::ids::SmId;
+use loki_core::probe::{ActionProbe, FaultAction};
+use loki_core::spec::{StateMachineSpec, StudyDef};
+use loki_core::study::Study;
+use loki_runtime::daemons::AppFactory;
+use loki_runtime::node::{AppLogic, NodeCtx};
+use loki_runtime::AppPayload;
+use rand::Rng;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Tunables of the store.
+#[derive(Clone, Debug)]
+pub struct KvConfig {
+    /// INIT phase length.
+    pub init_delay_ns: u64,
+    /// Interval between replicated operations (also the heartbeat period).
+    pub op_interval_ns: u64,
+    /// Backup patience before declaring the primary failed.
+    pub fail_timeout_ns: u64,
+    /// Delay between `PRIMARY_FAILED` and the successor's promotion.
+    pub promote_delay_ns: u64,
+    /// Application lifetime.
+    pub lifetime_ns: u64,
+    /// Probe actions per fault name (default: crash).
+    pub probe: ActionProbe,
+}
+
+impl Default for KvConfig {
+    fn default() -> Self {
+        KvConfig {
+            init_delay_ns: 80_000_000,
+            op_interval_ns: 30_000_000,
+            fail_timeout_ns: 120_000_000,
+            promote_delay_ns: 40_000_000,
+            lifetime_ns: 2_000_000_000,
+            probe: ActionProbe::new(),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Msg {
+    /// Primary → backups: apply an operation (doubles as heartbeat).
+    Replicate {
+        /// Monotone sequence number.
+        seq: u64,
+        /// Key.
+        key: u64,
+        /// Value.
+        value: u64,
+    },
+    /// The successor announces itself.
+    NewPrimary,
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Role {
+    Init,
+    Primary,
+    Backup,
+    Failover,
+}
+
+const TAG_INIT_DONE: u64 = 1;
+const TAG_OP: u64 = 2;
+const TAG_WATCH: u64 = 3;
+const TAG_PROMOTE: u64 = 4;
+const TAG_LIFETIME: u64 = 5;
+
+/// One store replica.
+pub struct KvReplica {
+    cfg: Rc<KvConfig>,
+    role: Role,
+    is_initial_primary: bool,
+    store: HashMap<u64, u64>,
+    seq: u64,
+    last_seen_ns: u64,
+    probe: ActionProbe,
+}
+
+impl KvReplica {
+    /// Creates a replica; `is_initial_primary` marks the machine that
+    /// starts as primary.
+    pub fn new(cfg: Rc<KvConfig>, is_initial_primary: bool) -> Self {
+        let probe = cfg.probe.clone();
+        KvReplica {
+            cfg,
+            role: Role::Init,
+            is_initial_primary,
+            store: HashMap::new(),
+            seq: 0,
+            last_seen_ns: 0,
+            probe,
+        }
+    }
+
+    /// The deterministic successor: the lowest-id live machine other than
+    /// the (presumed dead) initial primary — approximated as the lowest-id
+    /// machine currently executing.
+    fn i_am_successor(&self, ctx: &NodeCtx<'_, '_>) -> bool {
+        let me = ctx.my_sm();
+        ctx.live_machines().into_iter().min() == Some(me)
+    }
+}
+
+impl AppLogic for KvReplica {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_, '_>, restarted: bool) {
+        ctx.set_timer(self.cfg.lifetime_ns, TAG_LIFETIME);
+        // Restarted replicas rejoin as backups (not modelled further).
+        let _ = restarted;
+        ctx.notify_event("INIT").expect("initial state");
+        ctx.set_timer(self.cfg.init_delay_ns, TAG_INIT_DONE);
+    }
+
+    fn on_app_message(&mut self, ctx: &mut NodeCtx<'_, '_>, _from: SmId, payload: AppPayload) {
+        let Some(msg) = payload.downcast_ref::<Msg>() else {
+            return;
+        };
+        match msg {
+            Msg::Replicate { seq, key, value } => {
+                self.last_seen_ns = ctx.local_time().as_nanos();
+                if self.role == Role::Backup {
+                    if *seq > self.seq {
+                        self.seq = *seq;
+                        self.store.insert(*key, *value);
+                    }
+                } else if self.role == Role::Failover {
+                    // A primary is alive after all: step back.
+                    let _ = ctx.notify_event("STEPPED_BACK");
+                    self.role = Role::Backup;
+                }
+            }
+            Msg::NewPrimary => {
+                self.last_seen_ns = ctx.local_time().as_nanos();
+                if self.role == Role::Failover {
+                    let _ = ctx.notify_event("STEPPED_BACK");
+                    self.role = Role::Backup;
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tag: u64) {
+        match tag {
+            TAG_INIT_DONE => {
+                if self.role != Role::Init {
+                    return;
+                }
+                if self.is_initial_primary {
+                    self.role = Role::Primary;
+                    ctx.notify_event("INIT_DONE_P").expect("INIT -> PRIMARY");
+                    ctx.set_timer(self.cfg.op_interval_ns, TAG_OP);
+                } else {
+                    self.role = Role::Backup;
+                    ctx.notify_event("INIT_DONE_B").expect("INIT -> BACKUP");
+                    self.last_seen_ns = ctx.local_time().as_nanos();
+                    ctx.set_timer(self.cfg.fail_timeout_ns / 2, TAG_WATCH);
+                }
+            }
+            TAG_OP => {
+                if self.role == Role::Primary {
+                    self.seq += 1;
+                    let key = ctx.rng().gen_range(0..64);
+                    let value = ctx.rng().gen();
+                    self.store.insert(key, value);
+                    ctx.broadcast(Rc::new(Msg::Replicate {
+                        seq: self.seq,
+                        key,
+                        value,
+                    }));
+                    ctx.set_timer(self.cfg.op_interval_ns, TAG_OP);
+                }
+            }
+            TAG_WATCH => {
+                if self.role == Role::Backup {
+                    let silent = ctx
+                        .local_time()
+                        .as_nanos()
+                        .saturating_sub(self.last_seen_ns)
+                        > self.cfg.fail_timeout_ns;
+                    if silent {
+                        self.role = Role::Failover;
+                        let _ = ctx.notify_event("PRIMARY_FAILED");
+                        if self.i_am_successor(ctx) {
+                            ctx.set_timer(self.cfg.promote_delay_ns, TAG_PROMOTE);
+                        } else {
+                            // Wait for the successor; keep watching in case
+                            // it also died.
+                            ctx.set_timer(self.cfg.fail_timeout_ns, TAG_WATCH);
+                        }
+                    } else {
+                        ctx.set_timer(self.cfg.fail_timeout_ns / 2, TAG_WATCH);
+                    }
+                } else if self.role == Role::Failover {
+                    // Successor never showed up: try to promote ourselves.
+                    if self.i_am_successor(ctx) {
+                        ctx.set_timer(self.cfg.promote_delay_ns, TAG_PROMOTE);
+                    } else {
+                        ctx.set_timer(self.cfg.fail_timeout_ns, TAG_WATCH);
+                    }
+                }
+            }
+            TAG_PROMOTE => {
+                if self.role == Role::Failover {
+                    self.role = Role::Primary;
+                    ctx.notify_event("PROMOTED").expect("FAILOVER -> PRIMARY");
+                    ctx.broadcast(Rc::new(Msg::NewPrimary));
+                    ctx.set_timer(self.cfg.op_interval_ns, TAG_OP);
+                }
+            }
+            TAG_LIFETIME => {
+                let _ = ctx.notify_event("ERROR");
+                ctx.exit();
+            }
+            _ => {}
+        }
+    }
+
+    fn on_fault(&mut self, ctx: &mut NodeCtx<'_, '_>, fault: &str) {
+        match self.probe.action_for(fault).cloned() {
+            Some(FaultAction::CrashNode) | None => ctx.crash(),
+            Some(FaultAction::CrashWithProbability { activation, .. }) => {
+                if activation >= 1.0 || ctx.rng().gen_bool(activation.clamp(0.0, 1.0)) {
+                    ctx.crash();
+                }
+            }
+            Some(_) => {
+                ctx.record_user_message(&format!("fault {fault} injected (no-op action)"));
+            }
+        }
+    }
+}
+
+/// Builds the per-machine specification: `PRIMARY` and `CRASH` notify every
+/// other machine (faults and measures observe them remotely).
+pub fn kv_sm_spec(name: &str, all: &[&str]) -> StateMachineSpec {
+    let others: Vec<&str> = all.iter().copied().filter(|n| *n != name).collect();
+    StateMachineSpec::builder(name)
+        .states(&[
+            "BEGIN", "INIT", "PRIMARY", "BACKUP", "FAILOVER", "CRASH", "EXIT",
+        ])
+        .events(&[
+            "INIT_DONE_P",
+            "INIT_DONE_B",
+            "PRIMARY_FAILED",
+            "PROMOTED",
+            "STEPPED_BACK",
+            "CRASH",
+            "ERROR",
+        ])
+        .state(
+            "INIT",
+            &others,
+            &[
+                ("INIT_DONE_P", "PRIMARY"),
+                ("INIT_DONE_B", "BACKUP"),
+                ("ERROR", "EXIT"),
+            ],
+        )
+        .state("PRIMARY", &others, &[("CRASH", "CRASH"), ("ERROR", "EXIT")])
+        .state(
+            "BACKUP",
+            &[],
+            &[
+                ("PRIMARY_FAILED", "FAILOVER"),
+                ("CRASH", "CRASH"),
+                ("ERROR", "EXIT"),
+            ],
+        )
+        .state(
+            "FAILOVER",
+            &others,
+            &[
+                ("PROMOTED", "PRIMARY"),
+                ("STEPPED_BACK", "BACKUP"),
+                ("CRASH", "CRASH"),
+                ("ERROR", "EXIT"),
+            ],
+        )
+        .state("CRASH", &others, &[])
+        .state("EXIT", &[], &[])
+        .build()
+}
+
+/// A study with replicas `kv1..kvN` on hosts `host1..hostN`; `kv1` is the
+/// initial primary.
+pub fn kv_study(name: &str, replicas: usize) -> StudyDef {
+    let names: Vec<String> = (1..=replicas).map(|i| format!("kv{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut def = StudyDef::new(name);
+    for n in &name_refs {
+        def = def.machine(kv_sm_spec(n, &name_refs));
+    }
+    for (i, n) in name_refs.iter().enumerate() {
+        def = def.place(n, &format!("host{}", i + 1));
+    }
+    def
+}
+
+/// An [`AppFactory`] for the store; the machine named `kv1` starts as
+/// primary.
+pub fn kv_factory(cfg: KvConfig) -> AppFactory {
+    let cfg = Rc::new(cfg);
+    Rc::new(move |study: &Study, sm| {
+        let is_primary = study.sms.name(sm) == "kv1";
+        Box::new(KvReplica::new(cfg.clone(), is_primary)) as Box<dyn AppLogic>
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_core::campaign::ExperimentEnd;
+    use loki_core::fault::{FaultExpr, Trigger};
+    use loki_core::recorder::RecordKind;
+    use loki_runtime::harness::{run_experiment, SimHarnessConfig};
+
+    fn states<'a>(
+        study: &'a Study,
+        data: &loki_core::campaign::ExperimentData,
+        sm: &str,
+    ) -> Vec<&'a str> {
+        data.timeline_for(sm)
+            .unwrap()
+            .records
+            .iter()
+            .filter_map(|r| match r.kind {
+                RecordKind::StateChange { new_state, .. } => Some(study.states.name(new_state)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fault_free_run_keeps_primary() {
+        let study = Study::compile_arc(&kv_study("s", 3)).unwrap();
+        let data = run_experiment(
+            &study,
+            kv_factory(KvConfig::default()),
+            &SimHarnessConfig::three_hosts(11),
+            0,
+        );
+        assert_eq!(data.end, ExperimentEnd::Completed);
+        assert_eq!(states(&study, &data, "kv1").iter().filter(|s| **s == "PRIMARY").count(), 1);
+        for sm in ["kv2", "kv3"] {
+            let st = states(&study, &data, sm);
+            assert!(st.contains(&"BACKUP"), "{sm}: {st:?}");
+            assert!(!st.contains(&"FAILOVER"), "{sm}: {st:?}");
+        }
+    }
+
+    #[test]
+    fn primary_crash_triggers_failover_to_lowest_backup() {
+        let def = kv_study("s", 3).fault(
+            "kv1",
+            "kill_primary",
+            FaultExpr::atom("kv1", "PRIMARY"),
+            Trigger::Once,
+        );
+        let study = Study::compile_arc(&def).unwrap();
+        let data = run_experiment(
+            &study,
+            kv_factory(KvConfig::default()),
+            &SimHarnessConfig::three_hosts(13),
+            0,
+        );
+        assert_eq!(data.end, ExperimentEnd::Completed);
+        let kv1 = states(&study, &data, "kv1");
+        assert!(kv1.contains(&"CRASH"), "{kv1:?}");
+        // kv2 (lowest surviving id) promoted; kv3 stepped back to BACKUP.
+        let kv2 = states(&study, &data, "kv2");
+        assert!(kv2.contains(&"FAILOVER") && kv2.contains(&"PRIMARY"), "{kv2:?}");
+        let kv3 = states(&study, &data, "kv3");
+        assert!(kv3.contains(&"FAILOVER"), "{kv3:?}");
+        assert!(!kv3.contains(&"PRIMARY"), "{kv3:?}");
+        assert_eq!(data.total_injections(), 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! # loki-apps
+//!
+//! Instrumented example distributed applications for the Loki fault
+//! injector — each implements [`loki_runtime::node::AppLogic`] (the probe
+//! interface) and ships a study builder with the state-machine
+//! specifications and notify lists its faults need:
+//!
+//! * [`election`] — the thesis's Chapter-5 test application: leader
+//!   election among `black`/`yellow`/`green` with crash/restart support.
+//! * [`kvstore`] — a primary-backup replicated key-value store with
+//!   deterministic failover (unavailability measures).
+//! * [`token_ring`] — token-ring mutual exclusion with loss detection and
+//!   regeneration (global-invariant measures).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod election;
+pub mod kvstore;
+pub mod token_ring;
+
+pub use election::{election_factory, election_sm_spec, election_study, Election, ElectionConfig};
+pub use kvstore::{kv_factory, kv_sm_spec, kv_study, KvConfig, KvReplica};
+pub use token_ring::{ring_factory, ring_sm_spec, ring_study, RingConfig, RingMember};

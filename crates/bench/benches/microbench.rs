@@ -1,0 +1,160 @@
+//! Criterion micro-benchmarks for the Loki runtime and analysis paths.
+//!
+//! The thesis's performance analysis (§3.2.2) argues that Loki's own
+//! overheads — fault-expression parsing, recording, notification handling —
+//! are minimal next to OS context-switch costs; these benchmarks quantify
+//! our implementation's equivalents, plus the off-line analysis and
+//! measure-evaluation costs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use loki_bench::accuracy::{injection_accuracy, AccuracyConfig};
+use loki_clock::params::{ClockParams, VirtualClock};
+use loki_clock::sync::{estimate_alpha_beta, SyncOptions};
+use loki_core::campaign::SyncSample;
+use loki_core::fault::{FaultExpr, FaultParser, Trigger};
+use loki_core::ids::Id;
+use loki_core::recorder::Recorder;
+use loki_core::spec::{StateMachineSpec, StudyDef};
+use loki_core::study::Study;
+use loki_core::time::LocalNanos;
+use loki_core::view::PartialView;
+use loki_measure::fig42::{fig_4_2, predicate_3};
+use loki_measure::obsfn::{ImpulseStep, ObservationFn, UpDown};
+use loki_runtime::messages::NotifyRouting;
+
+/// Fault parser re-evaluation on a view change (the §3.5.5 hot path).
+fn bench_fault_parser(c: &mut Criterion) {
+    // Twenty faults over a five-machine view, mixed expressions.
+    let def = (0..5).fold(StudyDef::new("s"), |def, i| {
+        def.machine(
+            StateMachineSpec::builder(&format!("m{i}"))
+                .states(&["A", "B", "C"])
+                .events(&["go"])
+                .state("A", &[], &[("go", "B")])
+                .build(),
+        )
+    });
+    let def = (0..20).fold(def, |def, i| {
+        let expr = FaultExpr::atom(&format!("m{}", i % 5), "B")
+            .and(FaultExpr::atom(&format!("m{}", (i + 1) % 5), "A").not())
+            .or(FaultExpr::atom(&format!("m{}", (i + 2) % 5), "C"));
+        def.fault("m0", &format!("f{i}"), expr, Trigger::Always)
+    });
+    let study = Study::compile(&def).unwrap();
+    let faults = study.faults_owned_by(study.sm_id("m0").unwrap());
+    let b = study.states.lookup("B").unwrap();
+    let a = study.states.lookup("A").unwrap();
+
+    c.bench_function("fault_parser/20_faults_view_change", |bencher| {
+        bencher.iter_batched(
+            || {
+                let mut view = PartialView::new(5);
+                for i in 0..5u32 {
+                    view.set(Id::from_raw(i), a);
+                }
+                (FaultParser::new(faults.clone()), view)
+            },
+            |(mut parser, mut view)| {
+                for i in 0..5u32 {
+                    view.set(Id::from_raw(i), b);
+                    criterion::black_box(parser.on_view_change(&view));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Recorder append (the intrusion §3.5.6 minimizes with index tables).
+fn bench_recorder(c: &mut Criterion) {
+    c.bench_function("recorder/append_state_change", |bencher| {
+        bencher.iter_batched(
+            || Recorder::new(Id::from_raw(0), "m", "h"),
+            |mut rec| {
+                for i in 0..100u64 {
+                    rec.record_state_change(LocalNanos(i), Id::from_raw(0), Id::from_raw(1));
+                }
+                rec
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Off-line clock synchronization: the convex-hull bound estimation.
+fn bench_clock_sync(c: &mut Criterion) {
+    let reference = VirtualClock::new(ClockParams::ideal());
+    let machine = VirtualClock::new(ClockParams::with_drift_ppm(2e6, 80.0));
+    let mut samples = Vec::new();
+    for k in 0..40u64 {
+        let t = k * 500_000;
+        samples.push(SyncSample {
+            from_reference: true,
+            send: reference.read(t),
+            recv: machine.read(t + 60_000 + (k * 7919) % 90_000),
+        });
+        samples.push(SyncSample {
+            from_reference: false,
+            send: machine.read(t + 250_000),
+            recv: reference.read(t + 310_000 + (k * 104_729) % 80_000),
+        });
+    }
+    c.bench_function("clock_sync/estimate_80_samples", |bencher| {
+        bencher.iter(|| {
+            criterion::black_box(
+                estimate_alpha_beta(&samples, &SyncOptions::default()).unwrap(),
+            )
+        })
+    });
+
+    let bounds = estimate_alpha_beta(&samples, &SyncOptions::default()).unwrap();
+    c.bench_function("clock_sync/project_timestamp", |bencher| {
+        bencher.iter(|| criterion::black_box(bounds.project(LocalNanos(123_456_789))))
+    });
+}
+
+/// Predicate evaluation + observation functions on the Figure 4.2 data.
+fn bench_measure(c: &mut Criterion) {
+    let (study, gt) = fig_4_2();
+    let compiled = predicate_3().compile(&study).unwrap();
+    let window = (0.0, 50.0e6);
+    c.bench_function("measure/predicate3_eval", |bencher| {
+        bencher.iter(|| criterion::black_box(compiled.eval(&gt, window)))
+    });
+    let tl = compiled.eval(&gt, window);
+    let f = ObservationFn::count(UpDown::Up, ImpulseStep::Both, 10.0, 35.0);
+    c.bench_function("measure/count_observation", |bencher| {
+        bencher.iter(|| criterion::black_box(f.eval(&tl, window)))
+    });
+}
+
+/// One complete experiment through the whole pipeline (runtime → sync →
+/// analysis): the end-to-end cost of a single Figure 3.2 data point cell.
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("one_accuracy_experiment", |bencher| {
+        let mut seed = 0u64;
+        bencher.iter(|| {
+            seed += 1;
+            criterion::black_box(injection_accuracy(&AccuracyConfig {
+                timeslice_ns: 1_000_000,
+                time_in_state_ns: 5_000_000,
+                experiments: 1,
+                seed,
+                routing: NotifyRouting::Direct,
+            }))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fault_parser,
+    bench_recorder,
+    bench_clock_sync,
+    bench_measure,
+    bench_pipeline
+);
+criterion_main!(benches);

@@ -1,0 +1,170 @@
+//! The §3.4 design-choice ablation: notification latency and node
+//! entry/exit cost across the three runtime architectures.
+//!
+//! The thesis compares centralized, partially distributed, and fully
+//! distributed daemon designs, with notifications either routed through
+//! daemons or sent directly (§3.4.1–3.4.2, Figure 3.4). This module
+//! measures the *notification latency* (targeted-state entry on one host →
+//! injection on another host) per design on identical workloads, and
+//! derives the connection-setup costs of node entry/exit analytically from
+//! the design's topology (as §3.4.2 argues them).
+
+use crate::accuracy::{accuracy_study, AccuracyConfig};
+use loki_core::recorder::RecordKind;
+use loki_core::study::Study;
+use loki_runtime::harness::{run_study, SimHarnessConfig};
+use loki_runtime::messages::NotifyRouting;
+use loki_sim::config::HostConfig;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Latency samples for one routing design.
+#[derive(Clone, Debug)]
+pub struct LatencySample {
+    /// The design measured.
+    pub routing: NotifyRouting,
+    /// Per-experiment notification latencies in nanoseconds (state entry
+    /// on the target host → injection on the injector host, on ideal
+    /// clocks).
+    pub latencies_ns: Vec<f64>,
+}
+
+impl LatencySample {
+    /// Mean latency (ns).
+    pub fn mean(&self) -> f64 {
+        if self.latencies_ns.is_empty() {
+            return f64::NAN;
+        }
+        self.latencies_ns.iter().sum::<f64>() / self.latencies_ns.len() as f64
+    }
+
+    /// The `q`-quantile latency (ns), e.g. `0.95`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.latencies_ns.is_empty() {
+            return f64::NAN;
+        }
+        let mut sorted = self.latencies_ns.clone();
+        sorted.sort_by(f64::total_cmp);
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    }
+}
+
+/// Measures notification latency for `routing` with the given timeslice.
+///
+/// Hosts use *ideal* clocks so that local timestamps on different hosts are
+/// directly comparable; latency = injector's injection record time −
+/// target's state-entry record time.
+pub fn notification_latency(
+    routing: NotifyRouting,
+    timeslice_ns: u64,
+    experiments: u32,
+    seed: u64,
+) -> LatencySample {
+    let study = Arc::new(Study::compile(&accuracy_study()).expect("valid study"));
+
+    // Long residence so the injection always lands while ARMED holds.
+    let cfg = AccuracyConfig {
+        timeslice_ns,
+        time_in_state_ns: 40 * timeslice_ns.max(1_000_000),
+        experiments,
+        seed,
+        routing,
+    };
+    let settle_ns = 150_000_000;
+    let lifetime_ns = settle_ns + cfg.time_in_state_ns + 250_000_000;
+    let time_in_state_ns = cfg.time_in_state_ns;
+    let factory: loki_runtime::AppFactory = {
+        use crate::accuracy::{InjectorApp, TargetApp};
+        Rc::new(move |study: &Study, sm| -> Box<dyn loki_runtime::AppLogic> {
+            if study.sms.name(sm) == "target" {
+                Box::new(TargetApp::new(settle_ns, time_in_state_ns))
+            } else {
+                Box::new(InjectorApp::new(lifetime_ns))
+            }
+        })
+    };
+
+    let harness = SimHarnessConfig {
+        hosts: vec![
+            HostConfig::new("host1").timeslice_ns(timeslice_ns),
+            HostConfig::new("host2").timeslice_ns(timeslice_ns),
+        ],
+        routing,
+        seed,
+        ..Default::default()
+    };
+
+    let armed = study.states.lookup("ARMED").expect("state exists");
+    let mut latencies = Vec::new();
+    for data in run_study(&study, factory, &harness, experiments) {
+        let Some(target) = data.timeline_for("target") else {
+            continue;
+        };
+        let Some(injector) = data.timeline_for("injector") else {
+            continue;
+        };
+        let entry = target.records.iter().find_map(|r| match r.kind {
+            RecordKind::StateChange { new_state, .. } if new_state == armed => {
+                Some(r.time.as_nanos())
+            }
+            _ => None,
+        });
+        let injection = injector.records.iter().find_map(|r| match r.kind {
+            RecordKind::FaultInjection { .. } => Some(r.time.as_nanos()),
+            _ => None,
+        });
+        if let (Some(entry), Some(injection)) = (entry, injection) {
+            if injection >= entry {
+                latencies.push((injection - entry) as f64);
+            }
+        }
+    }
+    LatencySample {
+        routing,
+        latencies_ns: latencies,
+    }
+}
+
+/// Connection-setup counts on node entry, per design (§3.4.2): how many
+/// connections a dynamically entering node must establish.
+///
+/// Returns `(ipc_connections, tcp_connections)` for a system of `n` nodes.
+pub fn entry_connections(routing: NotifyRouting, n: usize) -> (usize, usize) {
+    match routing {
+        // Partially distributed through daemons: connect to the local
+        // daemon over IPC only.
+        NotifyRouting::ThroughDaemons => (1, 0),
+        // Direct: TCP connections to every other state machine.
+        NotifyRouting::Direct => (0, n.saturating_sub(1)),
+        // Centralized: one TCP connection to the global daemon.
+        NotifyRouting::Centralized => (0, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_is_fastest_daemons_slowest_per_hop_count() {
+        // With zero timeslice the latencies are pure link sums:
+        // Direct = 1 TCP hop; Centralized = 2; ThroughDaemons = IPC+TCP+IPC.
+        let direct = notification_latency(NotifyRouting::Direct, 0, 8, 1);
+        let central = notification_latency(NotifyRouting::Centralized, 0, 8, 1);
+        let daemons = notification_latency(NotifyRouting::ThroughDaemons, 0, 8, 1);
+        assert!(!direct.latencies_ns.is_empty());
+        assert!(direct.mean() < central.mean(), "{} vs {}", direct.mean(), central.mean());
+        assert!(direct.mean() < daemons.mean());
+        // All are far below a millisecond (the §3.4.2 argument that the
+        // daemon detour costs little next to OS scheduling).
+        assert!(daemons.mean() < 1_000_000.0);
+    }
+
+    #[test]
+    fn entry_cost_table() {
+        assert_eq!(entry_connections(NotifyRouting::ThroughDaemons, 10), (1, 0));
+        assert_eq!(entry_connections(NotifyRouting::Direct, 10), (0, 9));
+        assert_eq!(entry_connections(NotifyRouting::Centralized, 10), (0, 1));
+    }
+}

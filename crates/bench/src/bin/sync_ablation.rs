@@ -1,0 +1,95 @@
+//! Ablation: how the synchronization mini-phases drive the quality of the
+//! off-line clock bounds — and hence the conservatism of the correctness
+//! check (§2.5: "bounds ... acceptably small" on a LAN).
+//!
+//! Sweeps (a) the number of sync rounds and (b) the network jitter, and
+//! reports the resulting α-interval width (the uncertainty every projected
+//! timestamp inherits) plus the drift-interval width.
+//!
+//! ```text
+//! cargo run -p loki-bench --release --bin sync_ablation
+//! ```
+
+use loki_clock::params::{ClockParams, VirtualClock};
+use loki_clock::sync::{estimate_alpha_beta, SyncOptions};
+use loki_core::campaign::SyncSample;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn exchange(
+    reference: &VirtualClock,
+    machine: &VirtualClock,
+    rounds: u32,
+    jitter_ns: u64,
+    rng: &mut StdRng,
+    start_ns: u64,
+) -> Vec<SyncSample> {
+    let mut samples = Vec::new();
+    let base = 50_000u64;
+    for k in 0..rounds as u64 {
+        let t = start_ns + k * 1_000_000;
+        let d1 = base + rng.gen_range(0..=jitter_ns);
+        samples.push(SyncSample {
+            from_reference: true,
+            send: reference.read(t),
+            recv: machine.read(t + d1),
+        });
+        let t2 = t + 500_000;
+        let d2 = base + rng.gen_range(0..=jitter_ns);
+        samples.push(SyncSample {
+            from_reference: false,
+            send: machine.read(t2),
+            recv: reference.read(t2 + d2),
+        });
+    }
+    samples
+}
+
+fn main() {
+    let reference = VirtualClock::new(ClockParams::ideal());
+    let machine = VirtualClock::new(ClockParams::with_drift_ppm(3e6, 120.0));
+    let (true_alpha, true_beta) = machine.params().relative_to(reference.params());
+
+    println!("# Sync-phase ablation: bound quality vs rounds and network jitter");
+    println!("# (pre-phase at t=0, post-phase 10 s later, one-way base delay 50 us)");
+    println!(
+        "{:>7} {:>11} {:>14} {:>14} {:>9}",
+        "rounds", "jitter_us", "alpha_width_us", "beta_width", "sound"
+    );
+    for &jitter_us in &[10u64, 50, 200, 1000] {
+        for &rounds in &[2u32, 5, 10, 20, 50] {
+            let mut rng = StdRng::seed_from_u64(rounds as u64 * 1000 + jitter_us);
+            let mut samples = exchange(
+                &reference,
+                &machine,
+                rounds,
+                jitter_us * 1_000,
+                &mut rng,
+                0,
+            );
+            samples.extend(exchange(
+                &reference,
+                &machine,
+                rounds,
+                jitter_us * 1_000,
+                &mut rng,
+                10_000_000_000,
+            ));
+            let bounds = estimate_alpha_beta(&samples, &SyncOptions::default()).unwrap();
+            println!(
+                "{:>7} {:>11} {:>14.1} {:>14.2e} {:>9}",
+                rounds,
+                jitter_us,
+                bounds.alpha_width() / 1e3,
+                bounds.beta_width(),
+                bounds.contains(true_alpha, true_beta),
+            );
+        }
+    }
+    println!();
+    println!("# Reading: the alpha width tracks the *minimum observed round-trip*, so more");
+    println!("# rounds help exactly as much as they improve the best-case exchange; jitter");
+    println!("# sets the floor. Every row must report sound=true: the bounds are guarantees.");
+    println!("# The alpha width is the uncertainty added to every projected timestamp, i.e.");
+    println!("# the margin the conservative injection check forfeits at state boundaries.");
+}

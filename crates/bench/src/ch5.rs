@@ -1,0 +1,315 @@
+//! The Chapter-5 example campaign: coverage and correlation measures over
+//! the leader election application (§5.4, §5.8).
+//!
+//! **Evaluation 1 — coverage of a leader error.** Studies 1–3 inject
+//! `bfault1`/`yfault1`/`gfault1` into `black`/`yellow`/`green` whenever the
+//! machine leads; the injected fault crashes the leader; the system may
+//! restart it (with probability = the system's true coverage). The thesis's
+//! study measure
+//!
+//! ```text
+//! ((default,        (X:CRASH),      total_duration(T, START_EXP, END_EXP)),
+//!  ((OBS_VALUE > 0), (X:RESTART_SM), total_duration(T, START_EXP, END_EXP) > 0))
+//! ```
+//!
+//! yields 1 when the crash was covered and 0 when it was not; the overall
+//! coverage combines the three studies as a stratified weighted measure
+//! `c = Σ wᵢcᵢ / Σ wᵢ`.
+//!
+//! **Evaluation 2 — correlation of a leader crash with a simultaneous
+//! follower error.** Study 4 injects `bfault1` plus
+//! `gfault2 ((black:CRASH) & ((green:FOLLOW) | (green:ELECT)))`; study 5
+//! injects `gfault3 ((green:FOLLOW) | (green:ELECT))` alone. Comparing the
+//! fractions of injections that became errors estimates the correlation.
+
+use loki_analysis::{accepted_timelines, analyze, AnalysisOptions};
+use loki_apps::election::{election_factory, election_study, ElectionConfig};
+use loki_core::fault::{FaultExpr, Trigger};
+use loki_core::probe::{ActionProbe, FaultAction};
+use loki_core::study::Study;
+use loki_measure::prelude::*;
+use loki_measure::ObservationFn as Obs;
+use loki_runtime::daemons::{RestartPlacement, RestartPolicy};
+use loki_runtime::harness::{run_study, SimHarnessConfig};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// An observation function returning 1.0 iff the predicate is ever true
+/// during the experiment (the thesis's `total_duration(...) > 0`).
+fn ever_true() -> Obs {
+    Obs::User(Rc::new(|tl: &loki_measure::PredicateTimeline| {
+        let (lo, hi) = tl.window;
+        if tl.total_true(lo, hi) > 0.0 || !tl.impulses().is_empty() {
+            1.0
+        } else {
+            0.0
+        }
+    }))
+}
+
+/// The §5.8 coverage study measure for machine `x`.
+pub fn coverage_measure(x: &str) -> StudyMeasure {
+    StudyMeasure::new(&format!("coverage-{x}"))
+        .step(MeasureStep {
+            subset: SubsetSel::All,
+            predicate: Predicate::state(x, "CRASH"),
+            observation: Obs::total_true(),
+        })
+        .step(MeasureStep {
+            subset: SubsetSel::Gt(0.0),
+            predicate: Predicate::state(x, "RESTART_SM"),
+            observation: ever_true(),
+        })
+}
+
+/// Per-study outcome of the coverage campaign.
+#[derive(Clone, Debug)]
+pub struct CoverageStudy {
+    /// The machine whose leader-error coverage this study estimates.
+    pub machine: String,
+    /// Experiments run.
+    pub experiments: u32,
+    /// Experiments accepted by the analysis phase.
+    pub accepted: usize,
+    /// Accepted experiments in which the machine actually crashed (passed
+    /// the first subset selection).
+    pub crashed: usize,
+    /// Of those, how many were covered (restarted).
+    pub covered: usize,
+    /// The per-experiment 0/1 coverage observations.
+    pub values: Vec<f64>,
+}
+
+impl CoverageStudy {
+    /// The study's coverage estimate `cᵢ`.
+    pub fn coverage(&self) -> f64 {
+        if self.values.is_empty() {
+            f64::NAN
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+}
+
+/// The full coverage campaign result.
+#[derive(Clone, Debug)]
+pub struct CoverageCampaign {
+    /// Studies 1–3.
+    pub studies: Vec<CoverageStudy>,
+    /// The stratified weighted combination (overall coverage moments).
+    pub overall: Option<MomentStats>,
+}
+
+/// Runs the §5.8 coverage campaign.
+///
+/// `restart_probability` is the system's true coverage (the supervisor's
+/// restart probability); `weights` are the fault-occurrence rates
+/// `w_b, w_y, w_g`.
+pub fn coverage_campaign(
+    experiments: u32,
+    restart_probability: f64,
+    weights: [f64; 3],
+    seed: u64,
+) -> CoverageCampaign {
+    let machines = ["black", "yellow", "green"];
+    let mut studies = Vec::new();
+    let mut per_study_values = Vec::new();
+
+    for (i, machine) in machines.iter().enumerate() {
+        let def = election_study(&format!("study{}", i + 1)).fault(
+            machine,
+            &format!("{}fault1", &machine[..1]),
+            FaultExpr::atom(machine, "LEAD"),
+            Trigger::Once,
+        );
+        let study = Arc::new(Study::compile(&def).expect("valid study"));
+
+        let mut harness = SimHarnessConfig::three_hosts(seed.wrapping_add((i as u64) << 40));
+        harness.restart = Some(RestartPolicy {
+            probability: restart_probability,
+            delay_ns: 60_000_000,
+            max_restarts: 1,
+            placement: RestartPlacement::NextHost,
+        });
+
+        let data = run_study(
+            &study,
+            election_factory(ElectionConfig::default()),
+            &harness,
+            experiments,
+        );
+        let analyzed = analyze(&study, data, &AnalysisOptions::default());
+        let accepted = accepted_timelines(&analyzed);
+        let accepted_count = accepted.len();
+
+        let measure = coverage_measure(machine);
+        let values = measure
+            .apply_all(&study, accepted.iter().copied())
+            .expect("measure evaluates");
+        let covered = values.iter().filter(|v| **v > 0.5).count();
+        studies.push(CoverageStudy {
+            machine: (*machine).to_owned(),
+            experiments,
+            accepted: accepted_count,
+            crashed: values.len(),
+            covered,
+            values: values.clone(),
+        });
+        per_study_values.push(values);
+    }
+
+    let overall = stratified_weighted(&per_study_values, &weights).ok();
+    CoverageCampaign { studies, overall }
+}
+
+/// Result of the correlation campaign (studies 4 and 5).
+#[derive(Clone, Debug)]
+pub struct CorrelationCampaign {
+    /// Fraction of `gfault2` injections that became errors, given the
+    /// leader had crashed (study 4).
+    pub with_leader_crash: f64,
+    /// Sample size behind `with_leader_crash`.
+    pub n_with: usize,
+    /// Fraction of `gfault3` injections that became errors with no leader
+    /// crash (study 5).
+    pub without_leader_crash: f64,
+    /// Sample size behind `without_leader_crash`.
+    pub n_without: usize,
+}
+
+/// Runs the §5.8 correlation campaign: does a leader crash make a
+/// simultaneous fault in a follower more likely to become an error?
+///
+/// `activation` is the true per-injection error probability of the
+/// follower fault (identical in both studies here, so the ground truth is
+/// "no correlation"; the campaign's job is to *measure* that).
+pub fn correlation_campaign(experiments: u32, activation: f64, seed: u64) -> CorrelationCampaign {
+    // --- study 4: bfault1 + gfault2 ------------------------------------------
+    let def = election_study("study4")
+        .fault("black", "bfault1", FaultExpr::atom("black", "LEAD"), Trigger::Once)
+        .fault(
+            "green",
+            "gfault2",
+            FaultExpr::atom("black", "CRASH").and(
+                FaultExpr::atom("green", "FOLLOW").or(FaultExpr::atom("green", "ELECT")),
+            ),
+            Trigger::Once,
+        );
+    let study4 = Arc::new(Study::compile(&def).expect("valid study"));
+    let app_cfg4 = ElectionConfig {
+        probe: ActionProbe::new()
+            .on("bfault1", FaultAction::CrashNode)
+            .on(
+                "gfault2",
+                FaultAction::CrashWithProbability {
+                    activation,
+                    dormancy_ns: 0,
+                },
+            ),
+        ..Default::default()
+    };
+    let data4 = run_study(
+        &study4,
+        election_factory(app_cfg4),
+        &SimHarnessConfig::three_hosts(seed),
+        experiments,
+    );
+    let analyzed4 = analyze(&study4, data4, &AnalysisOptions::default());
+    let accepted4 = accepted_timelines(&analyzed4);
+    // m4: black crashed -> did green crash too?
+    let m4 = StudyMeasure::new("m4")
+        .step(MeasureStep {
+            subset: SubsetSel::All,
+            predicate: Predicate::state("black", "CRASH"),
+            observation: Obs::total_true(),
+        })
+        .step(MeasureStep {
+            subset: SubsetSel::Gt(0.0),
+            predicate: Predicate::state("green", "CRASH"),
+            observation: ever_true(),
+        });
+    let v4 = m4
+        .apply_all(&study4, accepted4.iter().copied())
+        .expect("measure evaluates");
+
+    // --- study 5: gfault3 alone ----------------------------------------------
+    let def = election_study("study5").fault(
+        "green",
+        "gfault3",
+        FaultExpr::atom("green", "FOLLOW").or(FaultExpr::atom("green", "ELECT")),
+        Trigger::Once,
+    );
+    let study5 = Arc::new(Study::compile(&def).expect("valid study"));
+    let app_cfg5 = ElectionConfig {
+        probe: ActionProbe::new().on(
+            "gfault3",
+            FaultAction::CrashWithProbability {
+                activation,
+                dormancy_ns: 0,
+            },
+        ),
+        ..Default::default()
+    };
+    let data5 = run_study(
+        &study5,
+        election_factory(app_cfg5),
+        &SimHarnessConfig::three_hosts(seed.wrapping_add(1 << 40)),
+        experiments,
+    );
+    let analyzed5 = analyze(&study5, data5, &AnalysisOptions::default());
+    let accepted5 = accepted_timelines(&analyzed5);
+    let m5 = StudyMeasure::new("m5").step(MeasureStep {
+        subset: SubsetSel::All,
+        predicate: Predicate::state("green", "CRASH"),
+        observation: ever_true(),
+    });
+    let v5 = m5
+        .apply_all(&study5, accepted5.iter().copied())
+        .expect("measure evaluates");
+
+    let frac = |v: &[f64]| {
+        if v.is_empty() {
+            f64::NAN
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    CorrelationCampaign {
+        with_leader_crash: frac(&v4),
+        n_with: v4.len(),
+        without_leader_crash: frac(&v5),
+        n_without: v5.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_campaign_estimates_restart_probability() {
+        let campaign = coverage_campaign(6, 1.0, [3.0, 1.0, 1.0], 17);
+        assert_eq!(campaign.studies.len(), 3);
+        // With restart probability 1, every accepted crash is covered.
+        for s in &campaign.studies {
+            assert_eq!(s.covered, s.crashed, "{s:?}");
+        }
+        // At least one machine crashed somewhere across the studies.
+        let total_crashed: usize = campaign.studies.iter().map(|s| s.crashed).sum();
+        assert!(total_crashed > 0);
+        if let Some(overall) = &campaign.overall {
+            assert!((overall.mean() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn correlation_campaign_runs() {
+        let c = correlation_campaign(6, 1.0, 23);
+        // With activation 1.0 every injected follower fault crashes.
+        if c.n_with > 0 {
+            assert!((c.with_leader_crash - 1.0).abs() < 1e-9, "{c:?}");
+        }
+        assert!(c.n_without > 0);
+        assert!((c.without_leader_crash - 1.0).abs() < 1e-9, "{c:?}");
+    }
+}

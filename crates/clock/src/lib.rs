@@ -1,0 +1,44 @@
+//! # loki-clock
+//!
+//! Clock substrate for the Loki fault injector: per-machine virtual clocks
+//! with offset/drift/granularity, and the **off-line clock synchronization**
+//! used by the analysis phase (thesis §2.5).
+//!
+//! The synchronization computes *guaranteed-enclosing* bounds `[α⁻, α⁺]`,
+//! `[β⁻, β⁺]` on each machine's clock offset and drift relative to a
+//! reference machine, from synchronization messages exchanged before and
+//! after each experiment. Every local timestamp can then be projected onto
+//! the reference (global) timeline as an interval that provably contains the
+//! true occurrence time — the foundation of Loki's conservative
+//! fault-injection correctness check.
+//!
+//! ```
+//! use loki_clock::{ClockParams, VirtualClock};
+//! use loki_clock::sync::{estimate_alpha_beta, SyncOptions};
+//! use loki_core::campaign::SyncSample;
+//!
+//! let reference = VirtualClock::new(ClockParams::ideal());
+//! let machine = VirtualClock::new(ClockParams::with_drift_ppm(2e6, 120.0));
+//!
+//! // Exchange a few messages (delays are physical; clocks disagree).
+//! let mut samples = Vec::new();
+//! for k in 0..10u64 {
+//!     let t = k * 1_000_000;
+//!     samples.push(SyncSample { from_reference: true, send: reference.read(t), recv: machine.read(t + 80_000) });
+//!     samples.push(SyncSample { from_reference: false, send: machine.read(t + 400_000), recv: reference.read(t + 480_000) });
+//! }
+//!
+//! let bounds = estimate_alpha_beta(&samples, &SyncOptions::default())?;
+//! let (alpha, beta) = machine.params().relative_to(reference.params());
+//! assert!(bounds.contains(alpha, beta)); // bounds, not estimates
+//! # Ok::<(), loki_clock::sync::SyncError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod params;
+pub mod sync;
+
+pub use params::{fastest_reference, ClockParams, VirtualClock};
+pub use sync::{estimate_alpha_beta, AlphaBetaBounds, SyncError, SyncOptions};

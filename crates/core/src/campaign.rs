@@ -1,0 +1,154 @@
+//! Experiment-level data containers and clock-sync sample records.
+//!
+//! Each *experiment* is one run of the distributed application plus the
+//! fault injections of its study (§2.2.3). The runtime produces one
+//! [`ExperimentData`] per experiment: the local timelines of every state
+//! machine plus the synchronization samples gathered in the mini-phases
+//! before and after the run (§2.3). The analysis phase consumes these.
+
+use crate::recorder::LocalTimeline;
+use crate::time::LocalNanos;
+use serde::{Deserialize, Serialize};
+
+/// One synchronization message exchanged between a host and the reference
+/// host during a sync mini-phase.
+///
+/// Both timestamps are *local clock readings*: `send` on the sending
+/// machine's clock and `recv` on the receiving machine's clock. The
+/// off-line synchronization (in `loki-clock`) turns a set of these into
+/// bounds on the clock offset α and drift β.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncSample {
+    /// `true` when the reference host sent and the calibrated host
+    /// received; `false` for the opposite direction.
+    pub from_reference: bool,
+    /// Sender's local clock at transmission.
+    pub send: LocalNanos,
+    /// Receiver's local clock at reception.
+    pub recv: LocalNanos,
+}
+
+/// All sync samples between one host and the reference host.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostSync {
+    /// The calibrated (non-reference) host.
+    pub host: String,
+    /// The samples, in exchange order.
+    pub samples: Vec<SyncSample>,
+}
+
+/// Why an experiment ended.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExperimentEnd {
+    /// Every node exited or crashed: normal completion (§3.6.1).
+    #[default]
+    Completed,
+    /// The central daemon's timeout elapsed; the experiment was aborted and
+    /// all state machines were killed (§3.5.1).
+    TimedOut,
+    /// A runtime abnormality (e.g. a local daemon crash) forced an abort.
+    Aborted,
+}
+
+/// The raw output of one experiment run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentData {
+    /// The study this experiment instantiates.
+    pub study: String,
+    /// Experiment index within the study.
+    pub experiment: u32,
+    /// One local timeline per state machine that ever ran.
+    pub timelines: Vec<LocalTimeline>,
+    /// All hosts that participated.
+    pub hosts: Vec<String>,
+    /// The reference host for the global timeline (the fastest machine,
+    /// §5.7).
+    pub reference_host: String,
+    /// Sync samples from the mini-phase before the run.
+    pub pre_sync: Vec<HostSync>,
+    /// Sync samples from the mini-phase after the run.
+    pub post_sync: Vec<HostSync>,
+    /// How the experiment ended.
+    pub end: ExperimentEnd,
+    /// Runtime warnings (e.g. notifications dropped for dead machines).
+    pub warnings: Vec<String>,
+}
+
+impl ExperimentData {
+    /// All sync samples (pre- and post-phase) for `host`, in order.
+    pub fn sync_samples_for(&self, host: &str) -> Vec<SyncSample> {
+        let mut out = Vec::new();
+        for phase in [&self.pre_sync, &self.post_sync] {
+            for hs in phase.iter().filter(|hs| hs.host == host) {
+                out.extend_from_slice(&hs.samples);
+            }
+        }
+        out
+    }
+
+    /// The timeline for the machine named `sm`, if present.
+    pub fn timeline_for(&self, sm: &str) -> Option<&LocalTimeline> {
+        self.timelines.iter().find(|t| t.sm_name == sm)
+    }
+
+    /// Total number of fault injections across all timelines.
+    pub fn total_injections(&self) -> usize {
+        self.timelines.iter().map(|t| t.injection_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Id;
+    use crate::recorder::Recorder;
+
+    fn data() -> ExperimentData {
+        let mut rec = Recorder::new(Id::from_raw(0), "black", "h1");
+        rec.record_injection(LocalNanos(5), Id::from_raw(0));
+        ExperimentData {
+            study: "s1".into(),
+            experiment: 0,
+            timelines: vec![rec.finish()],
+            hosts: vec!["h1".into(), "h2".into()],
+            reference_host: "h1".into(),
+            pre_sync: vec![HostSync {
+                host: "h2".into(),
+                samples: vec![SyncSample {
+                    from_reference: true,
+                    send: LocalNanos(1),
+                    recv: LocalNanos(2),
+                }],
+            }],
+            post_sync: vec![HostSync {
+                host: "h2".into(),
+                samples: vec![SyncSample {
+                    from_reference: false,
+                    send: LocalNanos(9),
+                    recv: LocalNanos(10),
+                }],
+            }],
+            end: ExperimentEnd::Completed,
+            warnings: vec![],
+        }
+    }
+
+    #[test]
+    fn sync_samples_concatenate_phases() {
+        let d = data();
+        let samples = d.sync_samples_for("h2");
+        assert_eq!(samples.len(), 2);
+        assert!(samples[0].from_reference);
+        assert!(!samples[1].from_reference);
+        assert!(d.sync_samples_for("h3").is_empty());
+    }
+
+    #[test]
+    fn lookup_and_counting() {
+        let d = data();
+        assert!(d.timeline_for("black").is_some());
+        assert!(d.timeline_for("white").is_none());
+        assert_eq!(d.total_injections(), 1);
+        assert_eq!(d.end, ExperimentEnd::Completed);
+    }
+}

@@ -1,0 +1,264 @@
+//! Interned identifiers for state machines, states, events, and faults.
+//!
+//! The thesis's on-disk timeline format replaces names with small integer
+//! indices "to make the local timeline compact and decrease intrusion during
+//! recording" (§3.5.6). We use the same scheme in memory: every name is
+//! interned once per study into a [`NameTable`], and the runtime manipulates
+//! only the typed index newtypes below.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Marker for state-machine names.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SmTag {}
+/// Marker for state names (the study-wide `global_state_list`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum StateTag {}
+/// Marker for event names.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum EventTag {}
+/// Marker for fault names.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FaultTag {}
+
+/// A typed index into a [`NameTable`].
+///
+/// The `Tag` parameter statically distinguishes state-machine, state, event,
+/// and fault indices so they cannot be confused (C-NEWTYPE).
+#[derive(Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Id<Tag> {
+    raw: u32,
+    #[serde(skip)]
+    _tag: PhantomData<fn() -> Tag>,
+}
+
+impl<Tag> Id<Tag> {
+    /// Creates an id from a raw index. Intended for table internals and
+    /// deserialization of the on-disk formats.
+    pub fn from_raw(raw: u32) -> Self {
+        Id {
+            raw,
+            _tag: PhantomData,
+        }
+    }
+
+    /// Returns the raw index.
+    pub fn raw(self) -> u32 {
+        self.raw
+    }
+
+    /// Returns the raw index as a `usize`, for table addressing.
+    pub fn index(self) -> usize {
+        self.raw as usize
+    }
+}
+
+impl<Tag> Copy for Id<Tag> {}
+impl<Tag> Clone for Id<Tag> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<Tag> PartialEq for Id<Tag> {
+    fn eq(&self, other: &Self) -> bool {
+        self.raw == other.raw
+    }
+}
+impl<Tag> Eq for Id<Tag> {}
+impl<Tag> PartialOrd for Id<Tag> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<Tag> Ord for Id<Tag> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.raw.cmp(&other.raw)
+    }
+}
+impl<Tag> std::hash::Hash for Id<Tag> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.raw.hash(state);
+    }
+}
+impl<Tag> fmt::Debug for Id<Tag> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.raw)
+    }
+}
+
+/// Index of a state machine (node) within a study.
+pub type SmId = Id<SmTag>;
+/// Index of a state within the study-wide state list.
+pub type StateId = Id<StateTag>;
+/// Index of an event within the study-wide event list.
+pub type EventId = Id<EventTag>;
+/// Index of a fault within the study-wide fault list.
+pub type FaultId = Id<FaultTag>;
+
+/// An order-preserving name interner.
+///
+/// # Examples
+///
+/// ```
+/// use loki_core::ids::{NameTable, StateTag};
+///
+/// let mut t: NameTable<StateTag> = NameTable::new();
+/// let a = t.intern("ELECT");
+/// let b = t.intern("FOLLOW");
+/// assert_eq!(t.intern("ELECT"), a); // idempotent
+/// assert_eq!(t.name(a), "ELECT");
+/// assert_eq!(t.lookup("FOLLOW"), Some(b));
+/// assert_eq!(t.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct NameTable<Tag> {
+    names: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, u32>,
+    #[serde(skip)]
+    _tag: PhantomData<fn() -> Tag>,
+}
+
+impl<Tag> NameTable<Tag> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        NameTable {
+            names: Vec::new(),
+            index: HashMap::new(),
+            _tag: PhantomData,
+        }
+    }
+
+    /// Interns `name`, returning its id; returns the existing id if the name
+    /// is already present.
+    pub fn intern(&mut self, name: &str) -> Id<Tag> {
+        if let Some(&raw) = self.index.get(name) {
+            return Id::from_raw(raw);
+        }
+        let raw = u32::try_from(self.names.len()).expect("name table overflow");
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), raw);
+        Id::from_raw(raw)
+    }
+
+    /// Looks up an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<Id<Tag>> {
+        self.index.get(name).map(|&raw| Id::from_raw(raw))
+    }
+
+    /// Returns the name for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn name(&self, id: Id<Tag>) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Id<Tag>, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Id::from_raw(i as u32), n.as_str()))
+    }
+
+    /// Iterates over all ids in interning order.
+    pub fn ids(&self) -> impl Iterator<Item = Id<Tag>> {
+        (0..self.names.len() as u32).map(Id::from_raw)
+    }
+
+    /// Rebuilds the reverse index after deserialization.
+    pub(crate) fn rebuild_index(&mut self) {
+        self.index = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+    }
+}
+
+impl<Tag> NameTable<Tag> {
+    /// Builds a table from an explicit name sequence (e.g. when reading an
+    /// on-disk index list) and restores its reverse index.
+    pub fn from_names<I: IntoIterator<Item = String>>(names: I) -> Self {
+        let mut t = NameTable {
+            names: names.into_iter().collect(),
+            index: HashMap::new(),
+            _tag: PhantomData,
+        };
+        t.rebuild_index();
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_and_lookup() {
+        let mut t: NameTable<EventTag> = NameTable::new();
+        let a = t.intern("START");
+        let b = t.intern("CRASH");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("START"), a);
+        assert_eq!(t.lookup("CRASH"), Some(b));
+        assert_eq!(t.lookup("missing"), None);
+        assert_eq!(t.name(a), "START");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn iteration_order_is_interning_order() {
+        let mut t: NameTable<StateTag> = NameTable::new();
+        for n in ["A", "B", "C"] {
+            t.intern(n);
+        }
+        let names: Vec<&str> = t.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["A", "B", "C"]);
+        assert_eq!(t.ids().count(), 3);
+    }
+
+    #[test]
+    fn from_names_rebuilds_index() {
+        let t: NameTable<SmTag> =
+            NameTable::from_names(vec!["black".to_owned(), "green".to_owned()]);
+        assert_eq!(t.lookup("green").map(|id| id.raw()), Some(1));
+    }
+
+    #[test]
+    fn ids_are_typed() {
+        // Compile-time check: SmId and StateId are distinct types.
+        fn takes_sm(_: SmId) {}
+        let mut t: NameTable<SmTag> = NameTable::new();
+        takes_sm(t.intern("x"));
+    }
+
+    #[test]
+    fn id_traits() {
+        let a: StateId = Id::from_raw(1);
+        let b: StateId = Id::from_raw(2);
+        assert!(a < b);
+        assert_eq!(format!("{a:?}"), "#1");
+        let mut set = std::collections::HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&a));
+    }
+}

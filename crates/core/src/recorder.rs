@@ -1,0 +1,251 @@
+//! The recorder and local timelines (§3.5.6).
+//!
+//! During an experiment each node's recorder appends state changes and fault
+//! injections, with their local-clock occurrence times, to a *local
+//! timeline*. The analysis phase later projects every local timeline onto
+//! the single global timeline. Because a node may crash and restart on a
+//! *different* host (§3.6.3), a timeline is segmented into [`HostStint`]s:
+//! runs of records whose timestamps were produced by one particular host's
+//! clock.
+
+use crate::ids::{EventId, FaultId, SmId, StateId};
+use crate::time::LocalNanos;
+use serde::{Deserialize, Serialize};
+
+/// The payload of one timeline record.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecordKind {
+    /// A state transition: `event` occurred and the machine entered
+    /// `new_state`. Crashes appear as the reserved `CRASH` event entering
+    /// the `CRASH` state; clean exits as transitions into `EXIT`.
+    StateChange {
+        /// The triggering event.
+        event: EventId,
+        /// The state entered.
+        new_state: StateId,
+    },
+    /// The probe injected `fault` at the recorded time.
+    FaultInjection {
+        /// The injected fault.
+        fault: FaultId,
+    },
+    /// The node restarted on `host`; the host name is recorded because
+    /// subsequent timestamps come from that host's clock (§3.6.3).
+    Restart {
+        /// Host the node restarted on.
+        host: String,
+    },
+    /// A free-form user message (§3.5.6 allows arbitrary messages).
+    UserMessage(String),
+}
+
+/// One record of a local timeline: a payload and its local occurrence time.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimelineRecord {
+    /// Local-clock reading when the record was made.
+    pub time: LocalNanos,
+    /// The payload.
+    pub kind: RecordKind,
+}
+
+/// A run of records timestamped by one host's clock.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostStint {
+    /// The host whose clock stamped these records.
+    pub host: String,
+    /// Index of the first record of the stint.
+    pub first_record: usize,
+}
+
+/// The local timeline of one state machine across one experiment.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalTimeline {
+    /// The state machine this timeline belongs to.
+    pub sm: SmId,
+    /// The machine's nickname (kept for the on-disk header).
+    pub sm_name: String,
+    /// All records in append order.
+    pub records: Vec<TimelineRecord>,
+    /// Host stints covering `records`; always non-empty, and
+    /// `stints[0].first_record == 0`.
+    pub stints: Vec<HostStint>,
+}
+
+impl LocalTimeline {
+    /// The host whose clock stamped record `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timeline has no stints (it always has at least one).
+    pub fn host_of_record(&self, index: usize) -> &str {
+        let mut host = &self.stints[0].host;
+        for stint in &self.stints {
+            if stint.first_record <= index {
+                host = &stint.host;
+            } else {
+                break;
+            }
+        }
+        host
+    }
+
+    /// Iterates over `(record index, host, record)`.
+    pub fn records_with_hosts(&self) -> impl Iterator<Item = (usize, &str, &TimelineRecord)> {
+        self.records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i, self.host_of_record(i), r))
+    }
+
+    /// Number of fault injections recorded.
+    pub fn injection_count(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.kind, RecordKind::FaultInjection { .. }))
+            .count()
+    }
+}
+
+/// Appends records to a [`LocalTimeline`] on behalf of one node.
+///
+/// # Examples
+///
+/// ```
+/// use loki_core::ids::Id;
+/// use loki_core::recorder::{Recorder, RecordKind};
+/// use loki_core::time::LocalNanos;
+///
+/// let mut rec = Recorder::new(Id::from_raw(0), "black", "host1");
+/// rec.record_state_change(LocalNanos::from_millis(1), Id::from_raw(0), Id::from_raw(1));
+/// rec.record_injection(LocalNanos::from_millis(2), Id::from_raw(0));
+/// let timeline = rec.finish();
+/// assert_eq!(timeline.records.len(), 2);
+/// assert_eq!(timeline.host_of_record(1), "host1");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Recorder {
+    timeline: LocalTimeline,
+}
+
+impl Recorder {
+    /// Creates a recorder for machine `sm` (named `sm_name`) whose first
+    /// stint runs on `host`.
+    pub fn new(sm: SmId, sm_name: &str, host: &str) -> Self {
+        Recorder {
+            timeline: LocalTimeline {
+                sm,
+                sm_name: sm_name.to_owned(),
+                records: Vec::new(),
+                stints: vec![HostStint {
+                    host: host.to_owned(),
+                    first_record: 0,
+                }],
+            },
+        }
+    }
+
+    /// Resumes recording into an existing timeline (node restart): appends a
+    /// `Restart` record and opens a new stint on `host`.
+    pub fn resume(mut timeline: LocalTimeline, time: LocalNanos, host: &str) -> Self {
+        timeline.stints.push(HostStint {
+            host: host.to_owned(),
+            first_record: timeline.records.len(),
+        });
+        timeline.records.push(TimelineRecord {
+            time,
+            kind: RecordKind::Restart {
+                host: host.to_owned(),
+            },
+        });
+        Recorder { timeline }
+    }
+
+    /// Records a state change.
+    pub fn record_state_change(&mut self, time: LocalNanos, event: EventId, new_state: StateId) {
+        self.push(time, RecordKind::StateChange { event, new_state });
+    }
+
+    /// Records a fault injection.
+    pub fn record_injection(&mut self, time: LocalNanos, fault: FaultId) {
+        self.push(time, RecordKind::FaultInjection { fault });
+    }
+
+    /// Records a free-form user message.
+    pub fn record_user_message(&mut self, time: LocalNanos, message: &str) {
+        self.push(time, RecordKind::UserMessage(message.to_owned()));
+    }
+
+    /// The timeline accumulated so far.
+    pub fn timeline(&self) -> &LocalTimeline {
+        &self.timeline
+    }
+
+    /// Consumes the recorder, yielding the finished timeline.
+    pub fn finish(self) -> LocalTimeline {
+        self.timeline
+    }
+
+    fn push(&mut self, time: LocalNanos, kind: RecordKind) {
+        self.timeline.records.push(TimelineRecord { time, kind });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Id;
+
+    fn ev(i: u32) -> EventId {
+        Id::from_raw(i)
+    }
+    fn st(i: u32) -> StateId {
+        Id::from_raw(i)
+    }
+    fn f(i: u32) -> FaultId {
+        Id::from_raw(i)
+    }
+
+    #[test]
+    fn records_append_in_order() {
+        let mut r = Recorder::new(Id::from_raw(0), "a", "h1");
+        r.record_state_change(LocalNanos(10), ev(0), st(1));
+        r.record_injection(LocalNanos(20), f(0));
+        r.record_user_message(LocalNanos(30), "note");
+        let t = r.finish();
+        assert_eq!(t.records.len(), 3);
+        assert_eq!(t.records[0].time, LocalNanos(10));
+        assert!(matches!(t.records[2].kind, RecordKind::UserMessage(ref m) if m == "note"));
+        assert_eq!(t.injection_count(), 1);
+    }
+
+    #[test]
+    fn host_stints_track_restarts() {
+        let mut r = Recorder::new(Id::from_raw(0), "a", "h1");
+        r.record_state_change(LocalNanos(10), ev(0), st(1));
+        r.record_state_change(LocalNanos(20), ev(1), st(2)); // crash on h1
+        let timeline = r.finish();
+
+        // Restart on a different host.
+        let mut r = Recorder::resume(timeline, LocalNanos(5), "h2");
+        r.record_state_change(LocalNanos(6), ev(0), st(3));
+        let t = r.finish();
+
+        assert_eq!(t.stints.len(), 2);
+        assert_eq!(t.host_of_record(0), "h1");
+        assert_eq!(t.host_of_record(1), "h1");
+        assert_eq!(t.host_of_record(2), "h2"); // the Restart record itself
+        assert_eq!(t.host_of_record(3), "h2");
+        assert!(matches!(t.records[2].kind, RecordKind::Restart { ref host } if host == "h2"));
+    }
+
+    #[test]
+    fn records_with_hosts_pairs_correctly() {
+        let mut r = Recorder::new(Id::from_raw(0), "a", "h1");
+        r.record_state_change(LocalNanos(1), ev(0), st(0));
+        let mut r = Recorder::resume(r.finish(), LocalNanos(2), "h2");
+        r.record_state_change(LocalNanos(3), ev(0), st(1));
+        let t = r.finish();
+        let hosts: Vec<&str> = t.records_with_hosts().map(|(_, h, _)| h).collect();
+        assert_eq!(hosts, vec!["h1", "h2", "h2"]);
+    }
+}

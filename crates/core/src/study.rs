@@ -1,0 +1,595 @@
+//! Compiled studies: validated, name-resolved specifications ready for the
+//! runtime.
+//!
+//! [`Study::compile`] interns every name into study-wide tables, validates
+//! cross-references (transitions, notify lists, fault atoms), installs the
+//! reserved states/events, and synthesizes the implicit `CRASH` transitions.
+
+use crate::error::CoreError;
+use crate::fault::{compile_expr, CompiledFault};
+use crate::ids::{EventId, FaultId, NameTable, SmId, StateId};
+use crate::spec::{StudyDef, DEFAULT_EVENT, RESERVED_EVENTS, RESERVED_STATES};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Ids of the reserved states and events, cached for fast access.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReservedIds {
+    /// The `BEGIN` state every machine starts in.
+    pub begin: StateId,
+    /// The `EXIT` state for clean termination.
+    pub exit: StateId,
+    /// The `CRASH` state.
+    pub crash: StateId,
+    /// The `RESTART` state.
+    pub restart: StateId,
+    /// The synthesized `CRASH` event.
+    pub crash_event: EventId,
+    /// The synthesized `RESTART` event.
+    pub restart_event: EventId,
+    /// The wildcard `default` event.
+    pub default_event: EventId,
+}
+
+/// A single state machine with all names resolved.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CompiledSm {
+    /// This machine's id.
+    pub id: SmId,
+    /// Its nickname.
+    pub name: String,
+    /// Explicit `(state, event) → next state` transitions.
+    transitions: HashMap<(StateId, EventId), StateId>,
+    /// Per-state wildcard transitions (`default` event).
+    defaults: HashMap<StateId, StateId>,
+    /// Per-state notify lists.
+    notify: HashMap<StateId, Vec<SmId>>,
+    /// Events declared in this machine's `event_list`.
+    pub declared_events: Vec<EventId>,
+    /// States for which this machine has a `state` block.
+    pub declared_states: Vec<StateId>,
+}
+
+impl CompiledSm {
+    /// Looks up the state entered when `event` occurs in `state`.
+    ///
+    /// Resolution order matches the runtime semantics: explicit transition,
+    /// then the state's `default` transition, then the implicit
+    /// `CRASH`-event rule (handled at compile time). Returns `None` when the
+    /// machine has no transition for the pair.
+    pub fn next_state(&self, state: StateId, event: EventId) -> Option<StateId> {
+        self.transitions
+            .get(&(state, event))
+            .or_else(|| self.defaults.get(&state))
+            .copied()
+    }
+
+    /// Whether an *explicit* (non-default) transition exists.
+    pub fn has_explicit(&self, state: StateId, event: EventId) -> bool {
+        self.transitions.contains_key(&(state, event))
+    }
+
+    /// The machines to notify when this machine enters `state`.
+    pub fn notify_list(&self, state: StateId) -> &[SmId] {
+        self.notify.get(&state).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// A compiled study: interned tables, machines, faults, and placement.
+///
+/// Studies are immutable once compiled and are shared across node runtimes
+/// behind an [`Arc`].
+///
+/// # Examples
+///
+/// ```
+/// use loki_core::spec::{StateMachineSpec, StudyDef};
+/// use loki_core::fault::{FaultExpr, Trigger};
+/// use loki_core::study::Study;
+///
+/// let def = StudyDef::new("s")
+///     .machine(
+///         StateMachineSpec::builder("a")
+///             .states(&["IDLE", "BUSY"])
+///             .events(&["GO", "DONE"])
+///             .state("IDLE", &["b"], &[("GO", "BUSY")])
+///             .state("BUSY", &[], &[("DONE", "IDLE")])
+///             .build(),
+///     )
+///     .machine(
+///         StateMachineSpec::builder("b")
+///             .states(&["IDLE", "BUSY"])
+///             .events(&["GO", "DONE"])
+///             .state("IDLE", &[], &[("GO", "BUSY")])
+///             .build(),
+///     )
+///     .fault("b", "f1", FaultExpr::atom("a", "BUSY"), Trigger::Always)
+///     .place("a", "host1")
+///     .place("b", "host2");
+/// let study = Study::compile(&def)?;
+/// assert_eq!(study.num_machines(), 2);
+/// # Ok::<(), loki_core::error::CoreError>(())
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Study {
+    /// Study name.
+    pub name: String,
+    /// State machine names.
+    pub sms: NameTable<crate::ids::SmTag>,
+    /// The study-wide global state list.
+    pub states: NameTable<crate::ids::StateTag>,
+    /// The study-wide event list (union of per-machine lists plus reserved
+    /// events and init aliases).
+    pub events: NameTable<crate::ids::EventTag>,
+    /// Fault names.
+    pub fault_names: NameTable<crate::ids::FaultTag>,
+    /// Compiled machines, indexed by [`SmId`].
+    pub machines: Vec<CompiledSm>,
+    /// Compiled faults, indexed by [`FaultId`].
+    pub faults: Vec<CompiledFault>,
+    /// Initial placement: `(machine, Some(host))` entries are started at
+    /// experiment begin; `None` hosts enter dynamically.
+    pub placements: Vec<(SmId, Option<String>)>,
+    /// Cached reserved ids.
+    pub reserved: ReservedIds,
+    /// Alias event for initializing to a state by name: maps each state to
+    /// the synthesized event with the same name (the thesis treats the first
+    /// probe notification as a state, §3.5.7).
+    init_alias: HashMap<StateId, EventId>,
+    /// The original definition (kept for spec-file round-tripping).
+    pub def: StudyDef,
+}
+
+impl Study {
+    /// Compiles and validates a study definition.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoreError`] when names collide, transitions reference
+    /// undeclared states/events, notify lists or fault expressions reference
+    /// unknown machines, or placements name unknown machines.
+    pub fn compile(def: &StudyDef) -> Result<Study, CoreError> {
+        let mut sms = NameTable::new();
+        let mut states = NameTable::new();
+        let mut events = NameTable::new();
+        let mut fault_names = NameTable::new();
+
+        // Reserved names first so their ids are stable across studies.
+        for s in RESERVED_STATES {
+            states.intern(s);
+        }
+        for e in RESERVED_EVENTS {
+            events.intern(e);
+        }
+        let reserved = ReservedIds {
+            begin: states.lookup("BEGIN").unwrap(),
+            exit: states.lookup("EXIT").unwrap(),
+            crash: states.lookup("CRASH").unwrap(),
+            restart: states.lookup("RESTART").unwrap(),
+            crash_event: events.lookup("CRASH").unwrap(),
+            restart_event: events.lookup("RESTART").unwrap(),
+            default_event: events.lookup(DEFAULT_EVENT).unwrap(),
+        };
+
+        // Machine names.
+        for m in &def.machines {
+            if sms.lookup(&m.name).is_some() {
+                return Err(CoreError::DuplicateName {
+                    kind: "state machine",
+                    name: m.name.clone(),
+                });
+            }
+            sms.intern(&m.name);
+        }
+
+        // Global state list: union across machines, order of first mention.
+        for m in &def.machines {
+            for s in &m.global_states {
+                states.intern(s);
+            }
+        }
+
+        // Events: union, then per-machine declared lists.
+        for m in &def.machines {
+            for e in &m.events {
+                events.intern(e);
+            }
+        }
+
+        // Init aliases: every state name is also usable as the first probe
+        // notification, so give each state an event alias of the same name.
+        let mut init_alias = HashMap::new();
+        let state_ids: Vec<(StateId, String)> = states
+            .iter()
+            .map(|(id, n)| (id, n.to_owned()))
+            .collect();
+        for (sid, name) in &state_ids {
+            init_alias.insert(*sid, events.intern(name));
+        }
+
+        // Compile each machine.
+        let mut machines = Vec::with_capacity(def.machines.len());
+        for (idx, m) in def.machines.iter().enumerate() {
+            let id = SmId::from_raw(idx as u32);
+            let mut transitions = HashMap::new();
+            let mut defaults = HashMap::new();
+            let mut notify = HashMap::new();
+            let mut declared_states = Vec::new();
+
+            for block in &m.states {
+                let state = states.lookup(&block.state).ok_or_else(|| {
+                    CoreError::UnknownState {
+                        sm: m.name.clone(),
+                        state: block.state.clone(),
+                    }
+                })?;
+                declared_states.push(state);
+
+                let mut list = Vec::new();
+                for target in &block.notify {
+                    let target_id =
+                        sms.lookup(target).ok_or_else(|| CoreError::UnknownStateMachine {
+                            name: target.clone(),
+                        })?;
+                    if target_id != id && !list.contains(&target_id) {
+                        list.push(target_id);
+                    }
+                }
+                notify.insert(state, list);
+
+                for t in &block.transitions {
+                    let next = states.lookup(&t.next_state).ok_or_else(|| {
+                        CoreError::UnknownState {
+                            sm: m.name.clone(),
+                            state: t.next_state.clone(),
+                        }
+                    })?;
+                    if t.event == DEFAULT_EVENT {
+                        defaults.insert(state, next);
+                        continue;
+                    }
+                    let declared = m.events.iter().any(|e| e == &t.event)
+                        || RESERVED_EVENTS.contains(&t.event.as_str());
+                    if !declared {
+                        return Err(CoreError::UnknownEvent {
+                            sm: m.name.clone(),
+                            event: t.event.clone(),
+                        });
+                    }
+                    let event = events.lookup(&t.event).unwrap_or_else(|| {
+                        unreachable!("declared events are interned above")
+                    });
+                    transitions.insert((state, event), next);
+                }
+            }
+
+            // Implicit rule: in any declared state (and BEGIN), a CRASH
+            // event without an explicit transition leads to the CRASH state.
+            let mut crashable: Vec<StateId> = declared_states.clone();
+            crashable.push(reserved.begin);
+            for s in crashable {
+                transitions
+                    .entry((s, reserved.crash_event))
+                    .or_insert(reserved.crash);
+            }
+
+            let declared_events = m
+                .events
+                .iter()
+                .map(|e| events.lookup(e).expect("interned above"))
+                .collect();
+
+            machines.push(CompiledSm {
+                id,
+                name: m.name.clone(),
+                transitions,
+                defaults,
+                notify,
+                declared_events,
+                declared_states,
+            });
+        }
+
+        // Compile faults.
+        let mut faults = Vec::with_capacity(def.faults.len());
+        for f in &def.faults {
+            if fault_names.lookup(&f.name).is_some() {
+                return Err(CoreError::DuplicateName {
+                    kind: "fault",
+                    name: f.name.clone(),
+                });
+            }
+            let id: FaultId = fault_names.intern(&f.name);
+            let owner = sms.lookup(&f.owner).ok_or_else(|| CoreError::UnknownStateMachine {
+                name: f.owner.clone(),
+            })?;
+            let expr = compile_expr(&f.expr, &|n| sms.lookup(n), &|n| states.lookup(n))?;
+            faults.push(CompiledFault {
+                id,
+                name: f.name.clone(),
+                owner,
+                expr,
+                trigger: f.trigger,
+            });
+        }
+
+        // Placement.
+        let mut placements = Vec::with_capacity(def.placements.len());
+        for p in &def.placements {
+            let sm = sms.lookup(&p.sm).ok_or_else(|| CoreError::UnknownStateMachine {
+                name: p.sm.clone(),
+            })?;
+            placements.push((sm, p.host.clone()));
+        }
+
+        Ok(Study {
+            name: def.name.clone(),
+            sms,
+            states,
+            events,
+            fault_names,
+            machines,
+            faults,
+            placements,
+            reserved,
+            init_alias,
+            def: def.clone(),
+        })
+    }
+
+    /// Convenience: compile and wrap in an [`Arc`].
+    pub fn compile_arc(def: &StudyDef) -> Result<Arc<Study>, CoreError> {
+        Study::compile(def).map(Arc::new)
+    }
+
+    /// Number of state machines in the study.
+    pub fn num_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Looks up a machine by nickname.
+    pub fn sm_id(&self, name: &str) -> Option<SmId> {
+        self.sms.lookup(name)
+    }
+
+    /// The compiled machine for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a machine of this study.
+    pub fn machine(&self, id: SmId) -> &CompiledSm {
+        &self.machines[id.index()]
+    }
+
+    /// The faults injected by machine `sm`'s probe.
+    pub fn faults_owned_by(&self, sm: SmId) -> Vec<CompiledFault> {
+        self.faults.iter().filter(|f| f.owner == sm).cloned().collect()
+    }
+
+    /// The event alias used when a probe's first notification names a state.
+    pub fn init_alias(&self, state: StateId) -> EventId {
+        self.init_alias[&state]
+    }
+
+    /// All machines that observe `sm` through some fault expression (used to
+    /// derive notify lists automatically; the thesis leaves this manual but
+    /// suggests automating it, §5.3).
+    pub fn observers_of(&self, sm: SmId) -> Vec<SmId> {
+        let mut observers = Vec::new();
+        for f in &self.faults {
+            if f.expr.observed_machines().contains(&sm)
+                && f.owner != sm
+                && !observers.contains(&f.owner)
+            {
+                observers.push(f.owner);
+            }
+        }
+        observers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultExpr, Trigger};
+    use crate::spec::StateMachineSpec;
+
+    fn two_machine_def() -> StudyDef {
+        StudyDef::new("s")
+            .machine(
+                StateMachineSpec::builder("a")
+                    .states(&["IDLE", "BUSY"])
+                    .events(&["GO", "DONE"])
+                    .state("IDLE", &["b"], &[("GO", "BUSY")])
+                    .state("BUSY", &["b"], &[("DONE", "IDLE")])
+                    .build(),
+            )
+            .machine(
+                StateMachineSpec::builder("b")
+                    .states(&["IDLE", "BUSY"])
+                    .events(&["GO"])
+                    .state("IDLE", &[], &[("GO", "BUSY")])
+                    .build(),
+            )
+            .fault("b", "f1", FaultExpr::atom("a", "BUSY"), Trigger::Always)
+            .place("a", "h1")
+            .place("b", "h2")
+    }
+
+    #[test]
+    fn compile_two_machines() {
+        let study = Study::compile(&two_machine_def()).unwrap();
+        assert_eq!(study.num_machines(), 2);
+        let a = study.sm_id("a").unwrap();
+        let b = study.sm_id("b").unwrap();
+        let idle = study.states.lookup("IDLE").unwrap();
+        let busy = study.states.lookup("BUSY").unwrap();
+        let go = study.events.lookup("GO").unwrap();
+        assert_eq!(study.machine(a).next_state(idle, go), Some(busy));
+        assert_eq!(study.machine(a).notify_list(idle), &[b]);
+        assert_eq!(study.machine(b).notify_list(idle), &[] as &[SmId]);
+        assert_eq!(study.faults_owned_by(b).len(), 1);
+        assert_eq!(study.faults_owned_by(a).len(), 0);
+        assert_eq!(study.observers_of(a), vec![b]);
+    }
+
+    #[test]
+    fn reserved_names_always_present() {
+        let study = Study::compile(&StudyDef::new("empty")).unwrap();
+        for s in RESERVED_STATES {
+            assert!(study.states.lookup(s).is_some(), "missing state {s}");
+        }
+        for e in RESERVED_EVENTS {
+            assert!(study.events.lookup(e).is_some(), "missing event {e}");
+        }
+        assert_eq!(study.states.name(study.reserved.begin), "BEGIN");
+        assert_eq!(study.events.name(study.reserved.crash_event), "CRASH");
+    }
+
+    #[test]
+    fn implicit_crash_transition() {
+        let study = Study::compile(&two_machine_def()).unwrap();
+        let a = study.sm_id("a").unwrap();
+        let busy = study.states.lookup("BUSY").unwrap();
+        assert_eq!(
+            study.machine(a).next_state(busy, study.reserved.crash_event),
+            Some(study.reserved.crash)
+        );
+        // ... but an explicit transition on CRASH wins.
+        let def = StudyDef::new("s").machine(
+            StateMachineSpec::builder("a")
+                .states(&["IDLE", "LIMBO"])
+                .events(&[])
+                .state("IDLE", &[], &[("CRASH", "LIMBO")])
+                .build(),
+        );
+        let study = Study::compile(&def).unwrap();
+        let a = study.sm_id("a").unwrap();
+        let idle = study.states.lookup("IDLE").unwrap();
+        let limbo = study.states.lookup("LIMBO").unwrap();
+        assert_eq!(
+            study.machine(a).next_state(idle, study.reserved.crash_event),
+            Some(limbo)
+        );
+    }
+
+    #[test]
+    fn default_transition() {
+        let def = StudyDef::new("s").machine(
+            StateMachineSpec::builder("a")
+                .states(&["IDLE", "SINK"])
+                .events(&["X"])
+                .state("IDLE", &[], &[("default", "SINK")])
+                .build(),
+        );
+        let study = Study::compile(&def).unwrap();
+        let a = study.sm_id("a").unwrap();
+        let idle = study.states.lookup("IDLE").unwrap();
+        let sink = study.states.lookup("SINK").unwrap();
+        let x = study.events.lookup("X").unwrap();
+        assert_eq!(study.machine(a).next_state(idle, x), Some(sink));
+        assert!(!study.machine(a).has_explicit(idle, x));
+    }
+
+    #[test]
+    fn duplicate_machine_name_rejected() {
+        let def = StudyDef::new("s")
+            .machine(StateMachineSpec::builder("a").build())
+            .machine(StateMachineSpec::builder("a").build());
+        assert!(matches!(
+            Study::compile(&def),
+            Err(CoreError::DuplicateName { kind: "state machine", .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_fault_name_rejected() {
+        let def = StudyDef::new("s")
+            .machine(
+                StateMachineSpec::builder("a")
+                    .states(&["X"])
+                    .build(),
+            )
+            .fault("a", "f", FaultExpr::atom("a", "X"), Trigger::Once)
+            .fault("a", "f", FaultExpr::atom("a", "X"), Trigger::Once);
+        assert!(matches!(
+            Study::compile(&def),
+            Err(CoreError::DuplicateName { kind: "fault", .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_references_rejected() {
+        // Transition to undeclared state.
+        let def = StudyDef::new("s").machine(
+            StateMachineSpec::builder("a")
+                .states(&["IDLE"])
+                .events(&["GO"])
+                .state("IDLE", &[], &[("GO", "NOWHERE")])
+                .build(),
+        );
+        assert!(matches!(Study::compile(&def), Err(CoreError::UnknownState { .. })));
+
+        // Undeclared event in a transition.
+        let def = StudyDef::new("s").machine(
+            StateMachineSpec::builder("a")
+                .states(&["IDLE"])
+                .events(&[])
+                .state("IDLE", &[], &[("GO", "IDLE")])
+                .build(),
+        );
+        assert!(matches!(Study::compile(&def), Err(CoreError::UnknownEvent { .. })));
+
+        // Notify target that does not exist.
+        let def = StudyDef::new("s").machine(
+            StateMachineSpec::builder("a")
+                .states(&["IDLE"])
+                .state("IDLE", &["ghost"], &[])
+                .build(),
+        );
+        assert!(matches!(
+            Study::compile(&def),
+            Err(CoreError::UnknownStateMachine { .. })
+        ));
+
+        // Fault expression over an unknown machine.
+        let def = StudyDef::new("s")
+            .machine(StateMachineSpec::builder("a").states(&["X"]).build())
+            .fault("a", "f", FaultExpr::atom("ghost", "X"), Trigger::Once);
+        assert!(matches!(
+            Study::compile(&def),
+            Err(CoreError::UnknownStateMachine { .. })
+        ));
+
+        // Placement of an unknown machine.
+        let def = StudyDef::new("s").place("ghost", "h");
+        assert!(matches!(
+            Study::compile(&def),
+            Err(CoreError::UnknownStateMachine { .. })
+        ));
+    }
+
+    #[test]
+    fn self_notify_is_dropped() {
+        let def = StudyDef::new("s").machine(
+            StateMachineSpec::builder("a")
+                .states(&["IDLE"])
+                .state("IDLE", &["a"], &[])
+                .build(),
+        );
+        let study = Study::compile(&def).unwrap();
+        let a = study.sm_id("a").unwrap();
+        let idle = study.states.lookup("IDLE").unwrap();
+        assert!(study.machine(a).notify_list(idle).is_empty());
+    }
+
+    #[test]
+    fn init_alias_exists_for_every_state() {
+        let study = Study::compile(&two_machine_def()).unwrap();
+        for (sid, name) in study.states.iter() {
+            let alias = study.init_alias(sid);
+            assert_eq!(study.events.name(alias), name);
+        }
+    }
+}

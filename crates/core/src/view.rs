@@ -1,0 +1,139 @@
+//! The partial view of global state (§2.2.1).
+//!
+//! The global state of the system is the vector of the local states of all
+//! its components; a node only ever tracks the "interesting" portion of it —
+//! its own state plus the states of the machines that notify it. Machines
+//! for which no notification has arrived yet are *unknown*.
+
+use crate::ids::{SmId, StateId};
+use serde::{Deserialize, Serialize};
+
+/// A node's partial view of the global state: for each state machine in the
+/// study, either its last known state or `None` if unknown.
+///
+/// # Examples
+///
+/// ```
+/// use loki_core::ids::Id;
+/// use loki_core::view::PartialView;
+///
+/// let mut view = PartialView::new(3);
+/// let sm = Id::from_raw(1);
+/// let state = Id::from_raw(4);
+/// assert_eq!(view.get(sm), None);
+/// assert!(view.set(sm, state));       // changed
+/// assert!(!view.set(sm, state));      // unchanged
+/// assert_eq!(view.get(sm), Some(state));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialView {
+    states: Vec<Option<StateId>>,
+}
+
+impl PartialView {
+    /// Creates a view over `num_machines` state machines, all unknown.
+    pub fn new(num_machines: usize) -> Self {
+        PartialView {
+            states: vec![None; num_machines],
+        }
+    }
+
+    /// Number of machines covered by the view.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the view covers no machines.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Last known state of `sm`, or `None` if no information has arrived.
+    pub fn get(&self, sm: SmId) -> Option<StateId> {
+        self.states.get(sm.index()).copied().flatten()
+    }
+
+    /// Records that `sm` is (believed to be) in `state`. Returns `true` if
+    /// this changed the view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sm` is out of range for this view.
+    pub fn set(&mut self, sm: SmId, state: StateId) -> bool {
+        let slot = &mut self.states[sm.index()];
+        if *slot == Some(state) {
+            false
+        } else {
+            *slot = Some(state);
+            true
+        }
+    }
+
+    /// Marks `sm` as unknown again (e.g. before a restarted node has
+    /// received its state updates). Returns `true` if this changed the view.
+    pub fn clear(&mut self, sm: SmId) -> bool {
+        let slot = &mut self.states[sm.index()];
+        if slot.is_none() {
+            false
+        } else {
+            *slot = None;
+            true
+        }
+    }
+
+    /// Iterates over `(machine, known state)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SmId, Option<StateId>)> + '_ {
+        self.states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SmId::from_raw(i as u32), *s))
+    }
+
+    /// Iterates over machines with a known state only.
+    pub fn known(&self) -> impl Iterator<Item = (SmId, StateId)> + '_ {
+        self.iter().filter_map(|(sm, s)| s.map(|s| (sm, s)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Id;
+
+    #[test]
+    fn set_get_clear() {
+        let mut v = PartialView::new(2);
+        let (a, b) = (Id::from_raw(0), Id::from_raw(1));
+        let s = Id::from_raw(3);
+        assert!(v.set(a, s));
+        assert_eq!(v.get(a), Some(s));
+        assert_eq!(v.get(b), None);
+        assert!(v.clear(a));
+        assert!(!v.clear(a));
+        assert_eq!(v.get(a), None);
+    }
+
+    #[test]
+    fn known_iterates_only_known() {
+        let mut v = PartialView::new(3);
+        v.set(Id::from_raw(1), Id::from_raw(9));
+        let known: Vec<_> = v.known().collect();
+        assert_eq!(known, vec![(Id::from_raw(1), Id::from_raw(9))]);
+        assert_eq!(v.iter().count(), 3);
+    }
+
+    #[test]
+    fn equality_detects_changes() {
+        let mut a = PartialView::new(2);
+        let b = a.clone();
+        assert_eq!(a, b);
+        a.set(Id::from_raw(0), Id::from_raw(0));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert!(PartialView::new(0).is_empty());
+        assert_eq!(PartialView::new(5).len(), 5);
+    }
+}

@@ -1,0 +1,190 @@
+//! Campaign-level measures (§4.4).
+//!
+//! Final observation function values are combined across studies in one of
+//! three ways:
+//!
+//! * **simple sampling** — all studies' values are instances of one random
+//!   variable; pool them and compute moments (§4.4.1);
+//! * **stratified weighted** — each study is a separate random variable;
+//!   moments are combined by a linearly weighted function with normalized
+//!   weights (§4.4.2), the form used for coverage `c = Σ wᵢcᵢ / Σ wᵢ`;
+//! * **stratified user** — an arbitrary user function combines the
+//!   studies; only a point value is produced, by substituting each study's
+//!   mean (§4.4.3 — the thesis notes the result "may have no statistical
+//!   meaning").
+
+use crate::error::MeasureError;
+use crate::stats::MomentStats;
+
+/// Simple sampling: pools every study's final observation values into one
+/// sample (§4.4.1).
+///
+/// # Errors
+///
+/// Returns [`MeasureError::NoData`] when all studies are empty.
+pub fn simple_sampling(per_study: &[Vec<f64>]) -> Result<MomentStats, MeasureError> {
+    let pooled: Vec<f64> = per_study.iter().flatten().copied().collect();
+    MomentStats::from_sample(&pooled).ok_or(MeasureError::NoData)
+}
+
+/// Stratified weighted combination (§4.4.2): per-study moments are combined
+/// linearly with normalized weights `pᵢ`:
+///
+/// ```text
+/// μ'₁ = Σ pᵢ μ'₁ᵢ        μₖ = Σ pᵢ μₖᵢ   (k = 2, 3, 4)
+/// ```
+///
+/// assuming independence of the per-study random variables. Weights need
+/// not be pre-normalized.
+///
+/// # Errors
+///
+/// Returns [`MeasureError::NoData`] if any selected study has no values,
+/// and [`MeasureError::BadWeights`] when weights are non-positive or the
+/// lengths disagree.
+pub fn stratified_weighted(
+    per_study: &[Vec<f64>],
+    weights: &[f64],
+) -> Result<MomentStats, MeasureError> {
+    if per_study.len() != weights.len() {
+        return Err(MeasureError::BadWeights {
+            reason: format!(
+                "{} studies but {} weights",
+                per_study.len(),
+                weights.len()
+            ),
+        });
+    }
+    if per_study.is_empty() {
+        return Err(MeasureError::NoData);
+    }
+    let total: f64 = weights.iter().sum();
+    if !(total > 0.0) || weights.iter().any(|w| *w < 0.0) {
+        return Err(MeasureError::BadWeights {
+            reason: "weights must be non-negative with a positive sum".to_owned(),
+        });
+    }
+
+    let mut mean = 0.0;
+    let mut central = [0.0f64; 3];
+    let mut n = 0usize;
+    for (values, w) in per_study.iter().zip(weights) {
+        let stats = MomentStats::from_sample(values).ok_or(MeasureError::NoData)?;
+        let p = w / total;
+        mean += p * stats.mean();
+        for k in 0..3 {
+            central[k] += p * stats.central[k];
+        }
+        n += stats.n;
+    }
+
+    // Reconstruct non-central moments from the combined mean and central
+    // moments so the result is a self-consistent MomentStats.
+    let m1 = mean;
+    let m2 = central[0] + m1 * m1;
+    let m3 = central[1] + 3.0 * m2 * m1 - 2.0 * m1.powi(3);
+    let m4 = central[2] + 4.0 * m3 * m1 - 6.0 * m2 * m1 * m1 + 3.0 * m1.powi(4);
+    Ok(MomentStats::from_raw_moments(n, [m1, m2, m3, m4]))
+}
+
+/// Stratified user combination (§4.4.3): applies `combine` to the vector of
+/// per-study means.
+///
+/// # Errors
+///
+/// Returns [`MeasureError::NoData`] if any study has no values.
+pub fn stratified_user(
+    per_study: &[Vec<f64>],
+    combine: impl FnOnce(&[f64]) -> f64,
+) -> Result<f64, MeasureError> {
+    let mut means = Vec::with_capacity(per_study.len());
+    for values in per_study {
+        let stats = MomentStats::from_sample(values).ok_or(MeasureError::NoData)?;
+        means.push(stats.mean());
+    }
+    Ok(combine(&means))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_sampling_pools_studies() {
+        let s = simple_sampling(&[vec![1.0, 2.0], vec![3.0, 4.0, 5.0]]).unwrap();
+        assert_eq!(s.n, 5);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert!(matches!(simple_sampling(&[vec![], vec![]]), Err(MeasureError::NoData)));
+    }
+
+    #[test]
+    fn stratified_weighted_mean_is_weighted() {
+        // Coverage example: c = (w_b c_b + w_g c_g + w_y c_y) / Σw (§5.8).
+        let per_study = [vec![1.0, 1.0, 0.0, 1.0], vec![1.0, 0.0], vec![0.0, 0.0]];
+        let weights = [3.0, 1.0, 1.0];
+        let s = stratified_weighted(&per_study, &weights).unwrap();
+        let expected = (3.0 * 0.75 + 1.0 * 0.5 + 1.0 * 0.0) / 5.0;
+        assert!((s.mean() - expected).abs() < 1e-12);
+        assert_eq!(s.n, 8);
+    }
+
+    #[test]
+    fn stratified_weighted_variance_combines_linearly() {
+        // Two studies with known variances 0.25 each, equal weights:
+        // combined μ₂ = 0.25.
+        let a = vec![0.0, 1.0]; // mean .5, var .25
+        let b = vec![2.0, 3.0]; // mean 2.5, var .25
+        let s = stratified_weighted(&[a, b], &[1.0, 1.0]).unwrap();
+        assert!((s.variance() - 0.25).abs() < 1e-12);
+        assert!((s.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stratified_weighted_equal_weights_singletons_match_simple() {
+        // With one value per study and equal weights, the stratified mean
+        // equals the pooled mean.
+        let per_study = [vec![1.0], vec![2.0], vec![6.0]];
+        let s = stratified_weighted(&per_study, &[1.0, 1.0, 1.0]).unwrap();
+        let pooled = simple_sampling(&per_study).unwrap();
+        assert!((s.mean() - pooled.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stratified_weighted_validates() {
+        assert!(matches!(
+            stratified_weighted(&[vec![1.0]], &[1.0, 2.0]),
+            Err(MeasureError::BadWeights { .. })
+        ));
+        assert!(matches!(
+            stratified_weighted(&[vec![1.0]], &[0.0]),
+            Err(MeasureError::BadWeights { .. })
+        ));
+        assert!(matches!(
+            stratified_weighted(&[vec![1.0], vec![]], &[1.0, 1.0]),
+            Err(MeasureError::NoData)
+        ));
+        assert!(matches!(
+            stratified_weighted(&[], &[]),
+            Err(MeasureError::NoData)
+        ));
+    }
+
+    #[test]
+    fn stratified_user_combines_means() {
+        let per_study = [vec![1.0, 3.0], vec![10.0]];
+        let v = stratified_user(&per_study, |means| means[0] * means[1]).unwrap();
+        assert!((v - 20.0).abs() < 1e-12);
+        assert!(matches!(
+            stratified_user(&[vec![]], |_| 0.0),
+            Err(MeasureError::NoData)
+        ));
+    }
+
+    #[test]
+    fn weighted_percentile_is_usable() {
+        let per_study = [vec![0.0, 1.0, 0.0, 1.0, 1.0], vec![1.0, 1.0, 0.0]];
+        let s = stratified_weighted(&per_study, &[2.0, 1.0]).unwrap();
+        let p90 = s.percentile(0.9);
+        assert!(p90.is_finite());
+    }
+}

@@ -1,0 +1,61 @@
+//! Measure-phase errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from measure specification or estimation.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum MeasureError {
+    /// A predicate referenced an unknown machine/state/event.
+    UnknownName {
+        /// What kind of name ("state machine", "state", "event").
+        kind: &'static str,
+        /// The name.
+        name: String,
+    },
+    /// A study measure with no triples.
+    EmptyMeasure {
+        /// The measure's name.
+        name: String,
+    },
+    /// No observation values to estimate from.
+    NoData,
+    /// Invalid stratification weights.
+    BadWeights {
+        /// Why.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeasureError::UnknownName { kind, name } => {
+                write!(f, "unknown {kind} `{name}` in predicate")
+            }
+            MeasureError::EmptyMeasure { name } => {
+                write!(f, "study measure `{name}` has no triples")
+            }
+            MeasureError::NoData => write!(f, "no observation values to estimate from"),
+            MeasureError::BadWeights { reason } => write!(f, "invalid weights: {reason}"),
+        }
+    }
+}
+
+impl Error for MeasureError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = MeasureError::UnknownName {
+            kind: "state",
+            name: "LEAD".into(),
+        };
+        assert!(e.to_string().contains("LEAD"));
+        assert!(MeasureError::NoData.to_string().contains("no observation"));
+    }
+}

@@ -1,0 +1,401 @@
+//! Observation functions (§4.3.2).
+//!
+//! An observation function extracts one value from a predicate value
+//! timeline. The five predefined functions of the thesis are provided, plus
+//! arbitrary user-defined functions. Durations and instants are returned in
+//! **milliseconds**, the unit used throughout the thesis's examples;
+//! `count` and `outcome` are dimensionless.
+
+use crate::timeline::{PredicateTimeline, TransKind, TransSource};
+use crate::timeref::TimeRef;
+use std::fmt;
+use std::rc::Rc;
+
+/// Transition-direction selector (`U`, `D`, `B`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum UpDown {
+    /// False→true transitions only.
+    Up,
+    /// True→false transitions only.
+    Down,
+    /// Both directions.
+    Both,
+}
+
+impl UpDown {
+    fn matches(self, kind: TransKind) -> bool {
+        matches!(
+            (self, kind),
+            (UpDown::Up, TransKind::Up) | (UpDown::Down, TransKind::Down) | (UpDown::Both, _)
+        )
+    }
+}
+
+/// Transition-source selector (`I`, `S`, `B`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ImpulseStep {
+    /// Impulses only.
+    Impulse,
+    /// Steps only.
+    Step,
+    /// Both.
+    Both,
+}
+
+impl ImpulseStep {
+    fn matches(self, source: TransSource) -> bool {
+        matches!(
+            (self, source),
+            (ImpulseStep::Impulse, TransSource::Impulse)
+                | (ImpulseStep::Step, TransSource::Step)
+                | (ImpulseStep::Both, _)
+        )
+    }
+}
+
+/// Truth selector (`T`, `F`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TrueFalse {
+    /// The predicate-true periods.
+    True,
+    /// The predicate-false periods.
+    False,
+}
+
+/// An observation function.
+#[derive(Clone)]
+pub enum ObservationFn {
+    /// `count(<U|D|B>, <I|S|B>, START, END)`: number of matching
+    /// transitions in the window.
+    Count {
+        /// Direction selector.
+        trans: UpDown,
+        /// Source selector.
+        kind: ImpulseStep,
+        /// Window start.
+        start: TimeRef,
+        /// Window end.
+        end: TimeRef,
+    },
+    /// `outcome(t)`: the predicate value at `t` as 0/1.
+    Outcome {
+        /// The instant to sample.
+        t: TimeRef,
+    },
+    /// `duration(<T|F>, x, START, END)`: how long the predicate stays
+    /// true (false) after the `x`-th false→true (true→false) transition in
+    /// the window; 0 when the transition does not exist (ms).
+    Duration {
+        /// Which value's run to measure.
+        value: TrueFalse,
+        /// 1-based transition index.
+        x: u32,
+        /// Window start.
+        start: TimeRef,
+        /// Window end.
+        end: TimeRef,
+    },
+    /// `instant(<U|D|B>, <I|S|B>, x, START, END)`: the instant of the
+    /// `x`-th matching transition; 0 when it does not exist (ms).
+    Instant {
+        /// Direction selector.
+        trans: UpDown,
+        /// Source selector.
+        kind: ImpulseStep,
+        /// 1-based transition index.
+        x: u32,
+        /// Window start.
+        start: TimeRef,
+        /// Window end.
+        end: TimeRef,
+    },
+    /// `total_duration(<T|F>, START, END)`: total time the predicate is
+    /// true (false) within the window (ms).
+    TotalDuration {
+        /// Which value to total.
+        value: TrueFalse,
+        /// Window start.
+        start: TimeRef,
+        /// Window end.
+        end: TimeRef,
+    },
+    /// A user-defined observation function (§4.3.2 allows any function of
+    /// the predicate value timeline).
+    User(Rc<dyn Fn(&PredicateTimeline) -> f64>),
+}
+
+impl fmt::Debug for ObservationFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObservationFn::Count { trans, kind, .. } => {
+                write!(f, "count({trans:?}, {kind:?}, ..)")
+            }
+            ObservationFn::Outcome { t } => write!(f, "outcome({t:?})"),
+            ObservationFn::Duration { value, x, .. } => write!(f, "duration({value:?}, {x}, ..)"),
+            ObservationFn::Instant { trans, kind, x, .. } => {
+                write!(f, "instant({trans:?}, {kind:?}, {x}, ..)")
+            }
+            ObservationFn::TotalDuration { value, .. } => {
+                write!(f, "total_duration({value:?}, ..)")
+            }
+            ObservationFn::User(_) => write!(f, "user_fn"),
+        }
+    }
+}
+
+impl ObservationFn {
+    /// Convenience constructor for `count` over a millisecond window.
+    pub fn count(trans: UpDown, kind: ImpulseStep, start_ms: f64, end_ms: f64) -> Self {
+        ObservationFn::Count {
+            trans,
+            kind,
+            start: TimeRef::Millis(start_ms),
+            end: TimeRef::Millis(end_ms),
+        }
+    }
+
+    /// Convenience constructor for `duration` over a millisecond window.
+    pub fn duration(value: TrueFalse, x: u32, start_ms: f64, end_ms: f64) -> Self {
+        ObservationFn::Duration {
+            value,
+            x,
+            start: TimeRef::Millis(start_ms),
+            end: TimeRef::Millis(end_ms),
+        }
+    }
+
+    /// Convenience constructor for `instant` over a millisecond window.
+    pub fn instant(trans: UpDown, kind: ImpulseStep, x: u32, start_ms: f64, end_ms: f64) -> Self {
+        ObservationFn::Instant {
+            trans,
+            kind,
+            x,
+            start: TimeRef::Millis(start_ms),
+            end: TimeRef::Millis(end_ms),
+        }
+    }
+
+    /// `total_duration` over the whole experiment.
+    pub fn total_true() -> Self {
+        ObservationFn::TotalDuration {
+            value: TrueFalse::True,
+            start: TimeRef::StartExp,
+            end: TimeRef::EndExp,
+        }
+    }
+
+    /// Evaluates the function on a predicate value timeline. `exp_window`
+    /// is the experiment window in nanoseconds (resolves `START_EXP` /
+    /// `END_EXP`).
+    pub fn eval(&self, timeline: &PredicateTimeline, exp_window: (f64, f64)) -> f64 {
+        match self {
+            ObservationFn::Count {
+                trans,
+                kind,
+                start,
+                end,
+            } => {
+                let (lo, hi) = (start.resolve(exp_window), end.resolve(exp_window));
+                timeline
+                    .transitions()
+                    .iter()
+                    .filter(|t| {
+                        lo <= t.at && t.at <= hi && trans.matches(t.kind) && kind.matches(t.source)
+                    })
+                    .count() as f64
+            }
+            ObservationFn::Outcome { t } => {
+                if timeline.value_at(t.resolve(exp_window)) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ObservationFn::Duration {
+                value,
+                x,
+                start,
+                end,
+            } => {
+                let (lo, hi) = (start.resolve(exp_window), end.resolve(exp_window));
+                let wanted = match value {
+                    TrueFalse::True => TransKind::Up,
+                    TrueFalse::False => TransKind::Down,
+                };
+                let nth = timeline
+                    .transitions()
+                    .into_iter()
+                    .filter(|t| lo <= t.at && t.at <= hi && t.kind == wanted)
+                    .nth((*x as usize).saturating_sub(1));
+                match nth {
+                    None => 0.0,
+                    Some(t) => {
+                        let run = match value {
+                            TrueFalse::True => {
+                                if t.source == TransSource::Impulse {
+                                    0.0
+                                } else {
+                                    timeline.true_run_after(t.at)
+                                }
+                            }
+                            TrueFalse::False => timeline.false_run_after(t.at),
+                        };
+                        run / 1e6
+                    }
+                }
+            }
+            ObservationFn::Instant {
+                trans,
+                kind,
+                x,
+                start,
+                end,
+            } => {
+                let (lo, hi) = (start.resolve(exp_window), end.resolve(exp_window));
+                timeline
+                    .transitions()
+                    .into_iter()
+                    .filter(|t| {
+                        lo <= t.at && t.at <= hi && trans.matches(t.kind) && kind.matches(t.source)
+                    })
+                    .nth((*x as usize).saturating_sub(1))
+                    .map(|t| t.at / 1e6)
+                    .unwrap_or(0.0)
+            }
+            ObservationFn::TotalDuration { value, start, end } => {
+                let (lo, hi) = (start.resolve(exp_window), end.resolve(exp_window));
+                let total_true = timeline.total_true(lo, hi);
+                let v = match value {
+                    TrueFalse::True => total_true,
+                    TrueFalse::False => (hi - lo) - total_true,
+                };
+                v / 1e6
+            }
+            ObservationFn::User(f) => f(timeline),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig42::{fig_4_2, predicate_1, predicate_2, predicate_3};
+    use crate::timeline::PredicateTimeline;
+
+    const WINDOW: (f64, f64) = (0.0, 50.0e6);
+
+    fn timelines() -> [PredicateTimeline; 3] {
+        let (study, gt) = fig_4_2();
+        [
+            predicate_1().compile(&study).unwrap().eval(&gt, WINDOW),
+            predicate_2().compile(&study).unwrap().eval(&gt, WINDOW),
+            predicate_3().compile(&study).unwrap().eval(&gt, WINDOW),
+        ]
+    }
+
+    /// Thesis: `count(U, B, 10, 35)` = 2, 2, 5.
+    #[test]
+    fn thesis_count_example() {
+        let tls = timelines();
+        let f = ObservationFn::count(UpDown::Up, ImpulseStep::Both, 10.0, 35.0);
+        let got: Vec<f64> = tls.iter().map(|t| f.eval(t, WINDOW)).collect();
+        assert_eq!(got, vec![2.0, 2.0, 5.0]);
+    }
+
+    /// Thesis: `duration(T, 2, 10, 40)` = 1.4 ms, 0 ms, 7.0 ms.
+    ///
+    /// The third value is 6.9 ms from the printed timeline (20.0 − 13.1);
+    /// the thesis's 7.0 appears to be rounded — see `fig42` module docs.
+    #[test]
+    fn thesis_duration_example() {
+        let tls = timelines();
+        let f = ObservationFn::duration(TrueFalse::True, 2, 10.0, 40.0);
+        let got: Vec<f64> = tls.iter().map(|t| f.eval(t, WINDOW)).collect();
+        assert!((got[0] - 1.4).abs() < 1e-9, "{got:?}");
+        assert_eq!(got[1], 0.0);
+        assert!((got[2] - 6.9).abs() < 1e-9, "{got:?}");
+    }
+
+    /// Thesis: `instant(U, I, 2, 0, 50)` = 0 ms, 26.3 ms, 21.2 ms.
+    ///
+    /// The third value is 21.4 ms from the printed timeline (SM5's second
+    /// `Event5`); the thesis's 21.2 appears to be a typo — see `fig42`
+    /// module docs.
+    #[test]
+    fn thesis_instant_example() {
+        let tls = timelines();
+        let f = ObservationFn::instant(UpDown::Up, ImpulseStep::Impulse, 2, 0.0, 50.0);
+        let got: Vec<f64> = tls.iter().map(|t| f.eval(t, WINDOW)).collect();
+        assert_eq!(got[0], 0.0);
+        assert!((got[1] - 26.3).abs() < 1e-9, "{got:?}");
+        assert!((got[2] - 21.4).abs() < 1e-9, "{got:?}");
+    }
+
+    #[test]
+    fn outcome_samples_value() {
+        let tls = timelines();
+        let f = ObservationFn::Outcome {
+            t: TimeRef::Millis(15.0),
+        };
+        assert_eq!(f.eval(&tls[0], WINDOW), 1.0); // SM1 in State1 at 15ms
+        let f = ObservationFn::Outcome {
+            t: TimeRef::Millis(25.0),
+        };
+        assert_eq!(f.eval(&tls[0], WINDOW), 0.0);
+    }
+
+    #[test]
+    fn total_duration_true_and_false() {
+        let tls = timelines();
+        // Predicate 1 true spans: 6.5 + 1.4 + 3.3 = 11.2 ms.
+        let f = ObservationFn::TotalDuration {
+            value: TrueFalse::True,
+            start: TimeRef::Millis(0.0),
+            end: TimeRef::Millis(50.0),
+        };
+        assert!((f.eval(&tls[0], WINDOW) - 11.2).abs() < 1e-9);
+        let f = ObservationFn::TotalDuration {
+            value: TrueFalse::False,
+            start: TimeRef::Millis(0.0),
+            end: TimeRef::Millis(50.0),
+        };
+        assert!((f.eval(&tls[0], WINDOW) - 38.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_false_measures_gap() {
+        let tls = timelines();
+        // Predicate 1: 1st down transition at 18.9; false until 30.9.
+        let f = ObservationFn::duration(TrueFalse::False, 1, 0.0, 50.0);
+        assert!((f.eval(&tls[0], WINDOW) - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn count_down_and_step_selectors() {
+        let tls = timelines();
+        // Predicate 3 down-steps in [0,50]: ends of [13.1,20] and [32.3,37.9].
+        let f = ObservationFn::count(UpDown::Down, ImpulseStep::Step, 0.0, 50.0);
+        assert_eq!(f.eval(&tls[2], WINDOW), 2.0);
+        // Impulse-only count on predicate 3: 4 impulses × up.
+        let f = ObservationFn::count(UpDown::Up, ImpulseStep::Impulse, 0.0, 50.0);
+        assert_eq!(f.eval(&tls[2], WINDOW), 4.0);
+    }
+
+    #[test]
+    fn user_function() {
+        let tls = timelines();
+        let f = ObservationFn::User(Rc::new(|t: &PredicateTimeline| {
+            t.impulses().len() as f64 * 10.0
+        }));
+        assert_eq!(f.eval(&tls[2], WINDOW), 40.0);
+    }
+
+    #[test]
+    fn missing_transition_yields_zero() {
+        let tls = timelines();
+        let f = ObservationFn::duration(TrueFalse::True, 99, 0.0, 50.0);
+        assert_eq!(f.eval(&tls[0], WINDOW), 0.0);
+        let f = ObservationFn::instant(UpDown::Up, ImpulseStep::Both, 99, 0.0, 50.0);
+        assert_eq!(f.eval(&tls[0], WINDOW), 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Time references usable in predicates and observation functions.
+//!
+//! The thesis's measure language provides the macros `START_EXP` and
+//! `END_EXP` "that take the values of the beginning time and ending time of
+//! the current experiment" (§5.8); absolute instants are also allowed (the
+//! `10 < t < 20` windows of §4.3.1).
+
+use serde::{Deserialize, Serialize};
+
+/// A point in global time, resolved per experiment.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TimeRef {
+    /// An absolute global time in milliseconds (the thesis's unit).
+    Millis(f64),
+    /// The experiment's start (`START_EXP`).
+    StartExp,
+    /// The experiment's end (`END_EXP`).
+    EndExp,
+}
+
+impl TimeRef {
+    /// Resolves to nanoseconds given the experiment window `(start, end)`
+    /// in nanoseconds.
+    pub fn resolve(&self, window: (f64, f64)) -> f64 {
+        match self {
+            TimeRef::Millis(ms) => ms * 1e6,
+            TimeRef::StartExp => window.0,
+            TimeRef::EndExp => window.1,
+        }
+    }
+}
+
+/// A `[lo, hi]` window in global time.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Window {
+    /// Lower edge.
+    pub lo: TimeRef,
+    /// Upper edge.
+    pub hi: TimeRef,
+}
+
+impl Window {
+    /// The whole experiment.
+    pub fn whole() -> Self {
+        Window {
+            lo: TimeRef::StartExp,
+            hi: TimeRef::EndExp,
+        }
+    }
+
+    /// An absolute window in milliseconds.
+    pub fn millis(lo: f64, hi: f64) -> Self {
+        Window {
+            lo: TimeRef::Millis(lo),
+            hi: TimeRef::Millis(hi),
+        }
+    }
+
+    /// Resolves to nanoseconds.
+    pub fn resolve(&self, window: (f64, f64)) -> (f64, f64) {
+        (self.lo.resolve(window), self.hi.resolve(window))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution() {
+        let w = (5.0e6, 9.0e6);
+        assert_eq!(TimeRef::Millis(2.0).resolve(w), 2.0e6);
+        assert_eq!(TimeRef::StartExp.resolve(w), 5.0e6);
+        assert_eq!(TimeRef::EndExp.resolve(w), 9.0e6);
+        assert_eq!(Window::millis(1.0, 2.0).resolve(w), (1.0e6, 2.0e6));
+        assert_eq!(Window::whole().resolve(w), w);
+    }
+}

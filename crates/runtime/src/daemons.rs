@@ -1,0 +1,557 @@
+//! The Loki daemons: local daemons, the central daemon, and the restart
+//! supervisor.
+//!
+//! * A **local daemon** (§3.5.2) runs on every host: it registers local
+//!   state machines, routes their notification messages (one message per
+//!   destination host even for multiple recipients there), acts as watchdog
+//!   — writing a crash record into a dead node's timeline and notifying the
+//!   other daemons — and performs the local experiment-completion check.
+//! * The **central daemon** (§3.5.1) starts the initial machines from the
+//!   node file, aborts hung experiments after a timeout, detects daemon
+//!   crashes, and declares the experiment complete when every local daemon
+//!   reports completion.
+//! * The **supervisor** stands in for the *reliable distributed system's*
+//!   own recovery mechanism: the thesis's test application assumes crashed
+//!   processes "can restart and join the system again" (§5.2); the
+//!   supervisor implements that restart with a configurable policy,
+//!   possibly on a different host (§3.6.3).
+
+use crate::messages::{NotifyRouting, RtMsg};
+use crate::node::{AppLogic, NodeActor};
+use crate::store::{ExperimentControl, NodeDirectory, TimelineStore, WarningSink};
+use crate::wiring::Wiring;
+use loki_core::ids::SmId;
+use loki_core::recorder::{RecordKind, TimelineRecord};
+use loki_core::study::Study;
+use loki_sim::engine::{ActorId, Ctx, DownReason, HostId};
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Creates the application half of a node. Called once per (re)start of a
+/// machine, so stateful applications get a fresh instance each incarnation.
+pub type AppFactory = Rc<dyn Fn(&Study, SmId) -> Box<dyn AppLogic>>;
+
+/// Shared construction context for daemons and nodes.
+#[derive(Clone)]
+pub(crate) struct Bundle {
+    pub study: Arc<Study>,
+    pub store: TimelineStore,
+    pub directory: NodeDirectory,
+    pub warnings: WarningSink,
+    pub wiring: Rc<Wiring>,
+    pub factory: AppFactory,
+    pub routing: NotifyRouting,
+    pub host_names: Rc<Vec<String>>,
+}
+
+impl Bundle {
+    fn host_idx(&self, name: &str) -> Option<u32> {
+        self.host_names
+            .iter()
+            .position(|h| h == name)
+            .map(|i| i as u32)
+    }
+}
+
+/// The local daemon actor (one per host; one total in the centralized
+/// design).
+pub struct LocalDaemon {
+    bundle: Bundle,
+    my_host: u32,
+    /// Nodes attached to this daemon: machine → actor.
+    local_nodes: HashMap<SmId, ActorId>,
+    /// Reverse map for crash detection.
+    node_of_actor: HashMap<ActorId, SmId>,
+    /// Known location (host index) of every executing machine.
+    locations: HashMap<SmId, u32>,
+    /// Machines believed to be executing anywhere in the system.
+    alive: HashSet<SmId>,
+    /// Whether any machine ever started (guards the end check).
+    any_started: bool,
+    /// Whether the end notice has been sent to the central daemon.
+    end_sent: bool,
+}
+
+impl LocalDaemon {
+    pub(crate) fn new(bundle: Bundle, my_host: u32) -> Self {
+        // Initial placements are known to every daemon from the node file
+        // (§3.5.1), avoiding startup routing races.
+        let mut locations = HashMap::new();
+        for (sm, host) in &bundle.study.placements {
+            if let Some(host) = host {
+                if let Some(idx) = bundle.host_idx(host) {
+                    locations.insert(*sm, idx);
+                }
+            }
+        }
+        LocalDaemon {
+            bundle,
+            my_host,
+            local_nodes: HashMap::new(),
+            node_of_actor: HashMap::new(),
+            locations,
+            alive: HashSet::new(),
+            any_started: false,
+            end_sent: false,
+        }
+    }
+
+    fn peers(&self, ctx: &Ctx<'_, RtMsg>) -> Vec<ActorId> {
+        self.bundle
+            .wiring
+            .unique_daemons()
+            .into_iter()
+            .filter(|&d| d != ctx.me())
+            .collect()
+    }
+
+    fn broadcast_to_peers(&self, ctx: &mut Ctx<'_, RtMsg>, msg: RtMsg) {
+        for peer in self.peers(ctx) {
+            ctx.send(peer, msg.clone());
+        }
+    }
+
+    /// Spawns a node for `sm` on host `host` (instructed by the central
+    /// daemon or the supervisor).
+    fn start_node(&mut self, ctx: &mut Ctx<'_, RtMsg>, sm: SmId, host: u32) {
+        let app = (self.bundle.factory)(&self.bundle.study, sm);
+        let actor = ctx.spawn(
+            HostId(host),
+            Box::new(NodeActor::new(
+                self.bundle.study.clone(),
+                sm,
+                ctx.me(),
+                self.bundle.routing,
+                self.bundle.store.clone(),
+                self.bundle.directory.clone(),
+                self.bundle.warnings.clone(),
+                app,
+            )),
+        );
+        ctx.watch(actor);
+        self.local_nodes.insert(sm, actor);
+        self.node_of_actor.insert(actor, sm);
+        self.locations.insert(sm, host);
+        self.alive.insert(sm);
+        self.any_started = true;
+    }
+
+    /// Routes a notification to its target machines: local targets get a
+    /// direct delivery; remote hosts get one `ForwardNotify` each (§3.6.1).
+    fn route(
+        &mut self,
+        ctx: &mut Ctx<'_, RtMsg>,
+        from_sm: SmId,
+        state: loki_core::ids::StateId,
+        targets: Vec<SmId>,
+    ) {
+        let mut per_host: HashMap<u32, Vec<SmId>> = HashMap::new();
+        for target in targets {
+            if let Some(&actor) = self.local_nodes.get(&target) {
+                ctx.send(actor, RtMsg::DeliverNotify { from_sm, state });
+            } else if let Some(&host) = self.locations.get(&target) {
+                if host == self.my_host {
+                    // Known-local but no live actor: the machine is gone.
+                    self.warn_dropped(from_sm, target);
+                } else {
+                    per_host.entry(host).or_default().push(target);
+                }
+            } else {
+                self.warn_dropped(from_sm, target);
+            }
+        }
+        for (host, targets) in per_host {
+            let daemon = self.bundle.wiring.daemon_for(host as usize);
+            ctx.send(
+                daemon,
+                RtMsg::ForwardNotify {
+                    from_sm,
+                    state,
+                    targets,
+                },
+            );
+        }
+    }
+
+    fn warn_dropped(&self, from_sm: SmId, target: SmId) {
+        self.bundle.warnings.warn(format!(
+            "notification from {} to non-executing machine {} discarded",
+            self.bundle.study.sms.name(from_sm),
+            self.bundle.study.sms.name(target)
+        ));
+    }
+
+    /// The local experiment-completion check (§3.5.2): complete when no
+    /// machine is executing anywhere.
+    fn check_experiment_end(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
+        if self.any_started && self.alive.is_empty() && !self.end_sent {
+            self.end_sent = true;
+            let central = self.bundle.wiring.central();
+            ctx.send(central, RtMsg::ExperimentEndNotice);
+        }
+    }
+
+    /// Handles the death of one of this daemon's nodes.
+    fn handle_node_down(&mut self, ctx: &mut Ctx<'_, RtMsg>, actor: ActorId, reason: DownReason) {
+        let Some(sm) = self.node_of_actor.remove(&actor) else {
+            return;
+        };
+        if self.local_nodes.get(&sm) == Some(&actor) {
+            self.local_nodes.remove(&sm);
+        }
+        self.bundle.directory.remove_if(sm, actor);
+        self.alive.remove(&sm);
+        let crashed = reason == DownReason::Crash;
+        if crashed {
+            // Write the crash event and crash state into the node's local
+            // timeline, timestamped with this daemon's (same-host) clock at
+            // detection time (§3.6.2).
+            let now = ctx.local_clock();
+            let study = &self.bundle.study;
+            let crash_event = study.reserved.crash_event;
+            let crash_state = study.reserved.crash;
+            self.bundle.store.with_mut(sm, |t| {
+                t.records.push(TimelineRecord {
+                    time: now,
+                    kind: RecordKind::StateChange {
+                        event: crash_event,
+                        new_state: crash_state,
+                    },
+                });
+            });
+            // Deliver the CRASH state's notifications on the machine's
+            // behalf (e.g. `state CRASH notify green yellow`, §5.3).
+            let targets = study.machine(sm).notify_list(crash_state).to_vec();
+            if !targets.is_empty() {
+                self.route(ctx, sm, crash_state, targets);
+            }
+        }
+        let host = self.my_host;
+        self.broadcast_to_peers(ctx, RtMsg::NodeDown { sm, crashed, host });
+        if let Some(supervisor) = self.bundle.wiring.supervisor() {
+            ctx.send(supervisor, RtMsg::NodeDown { sm, crashed, host });
+        }
+        self.check_experiment_end(ctx);
+    }
+}
+
+impl loki_sim::engine::Actor<RtMsg> for LocalDaemon {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, RtMsg>, from: ActorId, msg: RtMsg) {
+        match msg {
+            RtMsg::StartNode { sm, host } => {
+                self.start_node(ctx, sm, host);
+            }
+            RtMsg::Register { sm, restarted } => {
+                // A register from an actor that already died must be
+                // ignored: its crash/exit has been (or will be) handled and
+                // bookkeeping must not be resurrected. In the real runtime
+                // the equivalent is the daemon finding the node's shared
+                // memory segment already torn down.
+                if !ctx.is_alive(from) {
+                    return;
+                }
+                // Nodes this daemon spawned are pre-registered; dynamic
+                // entries are recorded here.
+                self.local_nodes.insert(sm, from);
+                self.node_of_actor.insert(from, sm);
+                self.locations.insert(sm, self.my_host);
+                self.alive.insert(sm);
+                self.any_started = true;
+                let host = self.my_host;
+                self.broadcast_to_peers(ctx, RtMsg::NodeUp { sm, restarted, host });
+            }
+            RtMsg::Notify {
+                from_sm,
+                state,
+                targets,
+            } => {
+                self.route(ctx, from_sm, state, targets);
+            }
+            RtMsg::ForwardNotify {
+                from_sm,
+                state,
+                targets,
+            } => {
+                for target in targets {
+                    if let Some(&actor) = self.local_nodes.get(&target) {
+                        ctx.send(actor, RtMsg::DeliverNotify { from_sm, state });
+                    } else {
+                        self.warn_dropped(from_sm, target);
+                    }
+                }
+            }
+            RtMsg::StateUpdateRequest { for_sm } => {
+                // Fan out to local nodes; if the request came from one of
+                // our own nodes, also forward to the other daemons.
+                let from_local_node = self.node_of_actor.contains_key(&from);
+                for (&sm, &actor) in &self.local_nodes {
+                    if sm != for_sm {
+                        ctx.send(actor, RtMsg::StateUpdateRequest { for_sm });
+                    }
+                }
+                if from_local_node {
+                    self.broadcast_to_peers(ctx, RtMsg::StateUpdateRequest { for_sm });
+                }
+            }
+            RtMsg::NodeUp { sm, host, .. } => {
+                self.locations.insert(sm, host);
+                self.alive.insert(sm);
+                self.any_started = true;
+            }
+            RtMsg::NodeDown { sm, host, .. } => {
+                if self.locations.get(&sm) == Some(&host) {
+                    self.locations.remove(&sm);
+                }
+                self.alive.remove(&sm);
+                self.check_experiment_end(ctx);
+            }
+            RtMsg::KillAllNodes => {
+                let actors: Vec<ActorId> = self.local_nodes.values().copied().collect();
+                for actor in actors {
+                    ctx.kill(actor, DownReason::Crash);
+                }
+            }
+            other => {
+                self.bundle
+                    .warnings
+                    .warn(format!("local daemon received unexpected {other:?}"));
+            }
+        }
+    }
+
+    fn on_peer_down(&mut self, ctx: &mut Ctx<'_, RtMsg>, peer: ActorId, reason: DownReason) {
+        self.handle_node_down(ctx, peer, reason);
+    }
+}
+
+const TAG_TIMEOUT: u64 = 1;
+const TAG_SHUTDOWN: u64 = 2;
+
+/// The central daemon actor.
+pub struct CentralDaemon {
+    bundle: Bundle,
+    control: ExperimentControl,
+    timeout_ns: u64,
+    grace_ns: u64,
+    ends: HashSet<ActorId>,
+    done: bool,
+}
+
+impl CentralDaemon {
+    pub(crate) fn new(
+        bundle: Bundle,
+        control: ExperimentControl,
+        timeout_ns: u64,
+        grace_ns: u64,
+    ) -> Self {
+        CentralDaemon {
+            bundle,
+            control,
+            timeout_ns,
+            grace_ns,
+            ends: HashSet::new(),
+            done: false,
+        }
+    }
+
+    fn shutdown(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
+        if let Some(supervisor) = self.bundle.wiring.supervisor() {
+            ctx.kill(supervisor, DownReason::Exit);
+        }
+        for daemon in self.bundle.wiring.unique_daemons() {
+            ctx.kill(daemon, DownReason::Exit);
+        }
+        ctx.exit_self();
+    }
+}
+
+impl loki_sim::engine::Actor<RtMsg> for CentralDaemon {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
+        for daemon in self.bundle.wiring.unique_daemons() {
+            ctx.watch(daemon);
+        }
+        ctx.set_timer(self.timeout_ns, TAG_TIMEOUT);
+        // Start the machines listed with a host in the node file (§3.5.1).
+        let placements = self.bundle.study.placements.clone();
+        for (sm, host) in placements {
+            if let Some(host) = host {
+                if let Some(idx) = self.bundle.host_idx(&host) {
+                    let daemon = self.bundle.wiring.daemon_for(idx as usize);
+                    ctx.send(daemon, RtMsg::StartNode { sm, host: idx });
+                } else {
+                    self.bundle
+                        .warnings
+                        .warn(format!("placement on unknown host `{host}`"));
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, RtMsg>, from: ActorId, msg: RtMsg) {
+        match msg {
+            RtMsg::ExperimentEndNotice => {
+                self.ends.insert(from);
+                if !self.done && self.ends.len() == self.bundle.wiring.unique_daemons().len() {
+                    self.done = true;
+                    self.control.mark_completed();
+                    self.shutdown(ctx);
+                }
+            }
+            other => {
+                self.bundle
+                    .warnings
+                    .warn(format!("central daemon received unexpected {other:?}"));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, RtMsg>, tag: u64) {
+        match tag {
+            TAG_TIMEOUT if !self.done => {
+                // Hung experiment: kill everything and abort (§3.5.1).
+                self.done = true;
+                self.control.mark_timed_out();
+                for daemon in self.bundle.wiring.unique_daemons() {
+                    ctx.send(daemon, RtMsg::KillAllNodes);
+                }
+                ctx.set_timer(self.grace_ns, TAG_SHUTDOWN);
+            }
+            TAG_SHUTDOWN => {
+                self.shutdown(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_peer_down(&mut self, ctx: &mut Ctx<'_, RtMsg>, _peer: ActorId, _reason: DownReason) {
+        // A local daemon crashed: abnormality — abort the experiment.
+        if !self.done {
+            self.done = true;
+            self.control.mark_aborted();
+            for daemon in self.bundle.wiring.unique_daemons() {
+                if ctx.is_alive(daemon) {
+                    ctx.send(daemon, RtMsg::KillAllNodes);
+                }
+            }
+            ctx.set_timer(self.grace_ns, TAG_SHUTDOWN);
+        }
+    }
+}
+
+/// Where a crashed machine restarts.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum RestartPlacement {
+    /// Restart on the host it crashed on.
+    #[default]
+    SameHost,
+    /// Restart on the next host (round-robin) — exercises restart on a
+    /// *different* host (§3.6.3).
+    NextHost,
+    /// Restart on a uniformly random host.
+    RandomHost,
+}
+
+/// The recovery policy of the system under study.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct RestartPolicy {
+    /// Probability that a crashed machine is restarted (coverage studies
+    /// need both outcomes).
+    pub probability: f64,
+    /// Delay between crash detection and restart, in nanoseconds.
+    pub delay_ns: u64,
+    /// Maximum restarts per machine per experiment.
+    pub max_restarts: u32,
+    /// Host selection.
+    pub placement: RestartPlacement,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy {
+            probability: 1.0,
+            delay_ns: 30_000_000, // 30 ms
+            max_restarts: 1,
+            placement: RestartPlacement::NextHost,
+        }
+    }
+}
+
+/// The restart supervisor: the application's recovery mechanism.
+pub struct Supervisor {
+    bundle: Bundle,
+    policy: RestartPolicy,
+    restarts: HashMap<SmId, u32>,
+}
+
+impl Supervisor {
+    pub(crate) fn new(bundle: Bundle, policy: RestartPolicy) -> Self {
+        Supervisor {
+            bundle,
+            policy,
+            restarts: HashMap::new(),
+        }
+    }
+}
+
+impl loki_sim::engine::Actor<RtMsg> for Supervisor {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, RtMsg>, _from: ActorId, msg: RtMsg) {
+        if let RtMsg::NodeDown {
+            sm,
+            crashed: true,
+            host,
+        } = msg
+        {
+            let count = self.restarts.entry(sm).or_insert(0);
+            if *count >= self.policy.max_restarts {
+                return;
+            }
+            if self.policy.probability < 1.0 && !ctx.rng().gen_bool(self.policy.probability) {
+                return;
+            }
+            *count += 1;
+            let n = self.bundle.host_names.len() as u32;
+            let target = match self.policy.placement {
+                RestartPlacement::SameHost => host,
+                RestartPlacement::NextHost => (host + 1) % n,
+                RestartPlacement::RandomHost => ctx.rng().gen_range(0..n),
+            };
+            // Encode machine and host into the timer tag.
+            let tag = ((sm.raw() as u64) << 32) | target as u64;
+            ctx.set_timer(self.policy.delay_ns, tag);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, RtMsg>, tag: u64) {
+        let sm = SmId::from_raw((tag >> 32) as u32);
+        let host = (tag & 0xffff_ffff) as u32;
+        let daemon = self.bundle.wiring.daemon_for(host as usize);
+        if ctx.is_alive(daemon) {
+            ctx.send(daemon, RtMsg::StartNode { sm, host });
+        }
+    }
+}
+
+/// Failure injection on the injector itself: crashes a daemon after a
+/// delay, so tests can exercise the central daemon's abnormality handling
+/// (§3.5.1: "if an abnormality occurs, the central daemon instructs the
+/// local daemons to kill all the state machines, and aborts the
+/// experiment").
+pub struct Saboteur {
+    /// The daemon to crash.
+    pub victim: ActorId,
+    /// Delay before the crash (ns).
+    pub after_ns: u64,
+}
+
+impl loki_sim::engine::Actor<RtMsg> for Saboteur {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
+        ctx.set_timer(self.after_ns, 0);
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, RtMsg>, _from: ActorId, _msg: RtMsg) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, RtMsg>, _tag: u64) {
+        ctx.kill(self.victim, DownReason::Crash);
+        ctx.exit_self();
+    }
+}

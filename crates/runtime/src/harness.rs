@@ -1,0 +1,255 @@
+//! The experiment harness: runs studies on the simulation backend.
+//!
+//! One experiment (§2.3) = pre-sync mini-phase → runtime phase (daemons +
+//! nodes until completion or timeout) → post-sync mini-phase. The harness
+//! assembles the resulting [`ExperimentData`] — local timelines plus sync
+//! samples — which feeds the analysis phase.
+
+use crate::daemons::{AppFactory, Bundle, CentralDaemon, LocalDaemon, RestartPolicy, Supervisor};
+use crate::messages::{NotifyRouting, RtMsg};
+use crate::store::{ExperimentControl, NodeDirectory, SyncCollector, TimelineStore, WarningSink};
+use crate::syncer::{SyncEcho, Syncer};
+use crate::wiring::Wiring;
+use loki_clock::params::fastest_reference;
+use loki_core::campaign::{ExperimentData, ExperimentEnd, HostSync};
+use loki_core::study::Study;
+use loki_sim::config::{HostConfig, NetworkConfig};
+use loki_sim::engine::{HostId, Simulation};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Configuration of the simulation harness.
+#[derive(Clone, Debug)]
+pub struct SimHarnessConfig {
+    /// The simulated hosts. Their order defines host indices; placements in
+    /// the study refer to these names.
+    pub hosts: Vec<HostConfig>,
+    /// Network latency models.
+    pub network: NetworkConfig,
+    /// Experiment timeout (central daemon aborts after this, §3.5.1).
+    pub timeout_ns: u64,
+    /// Rounds per sync mini-phase (each round yields two samples).
+    pub sync_rounds: u32,
+    /// Spacing between sync rounds.
+    pub sync_interval_ns: u64,
+    /// Notification routing design (§3.4.1).
+    pub routing: NotifyRouting,
+    /// Restart policy of the system under study, if any.
+    pub restart: Option<RestartPolicy>,
+    /// Fault injection on the *injector itself*: crash the local daemon of
+    /// host index `.0` at simulation offset `.1` (ns) into the runtime
+    /// phase. The central daemon must detect the abnormality and abort the
+    /// experiment (§3.5.1).
+    pub kill_daemon: Option<(u32, u64)>,
+    /// Base RNG seed; experiment `k` of a study uses `seed + k`.
+    pub seed: u64,
+}
+
+impl Default for SimHarnessConfig {
+    fn default() -> Self {
+        SimHarnessConfig {
+            hosts: Vec::new(),
+            network: NetworkConfig::default(),
+            timeout_ns: 60_000_000_000, // 60 s
+            sync_rounds: 20,
+            sync_interval_ns: 2_000_000, // 2 ms
+            routing: NotifyRouting::default(),
+            restart: None,
+            kill_daemon: None,
+            seed: 0,
+        }
+    }
+}
+
+impl SimHarnessConfig {
+    /// A convenient three-host cluster with distinct clock drifts, the
+    /// usual setup of the thesis's example campaign (§5.3).
+    pub fn three_hosts(seed: u64) -> Self {
+        use loki_clock::params::ClockParams;
+        SimHarnessConfig {
+            hosts: vec![
+                HostConfig::new("host1").clock(ClockParams::with_drift_ppm(0.0, 120.0)),
+                HostConfig::new("host2").clock(ClockParams::with_drift_ppm(2e6, -35.0)),
+                HostConfig::new("host3").clock(ClockParams::with_drift_ppm(5e5, 60.0)),
+            ],
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// The reference host for off-line synchronization: the fastest clock
+    /// (§5.7).
+    pub fn reference_host(&self) -> &str {
+        fastest_reference(self.hosts.iter().map(|h| (h.name.as_str(), &h.clock)))
+            .expect("at least one host")
+    }
+}
+
+/// Runs one experiment of `study` and returns its raw data.
+///
+/// # Panics
+///
+/// Panics if the configuration has no hosts or a placement names an
+/// unknown host.
+pub fn run_experiment(
+    study: &Arc<Study>,
+    factory: AppFactory,
+    cfg: &SimHarnessConfig,
+    experiment: u32,
+) -> ExperimentData {
+    assert!(!cfg.hosts.is_empty(), "need at least one host");
+    let mut sim: Simulation<RtMsg> = Simulation::new(cfg.seed.wrapping_add(experiment as u64));
+    sim.disable_trace();
+    sim.set_network(cfg.network);
+    let host_ids: Vec<HostId> = cfg.hosts.iter().map(|h| sim.add_host(h.clone())).collect();
+    let host_names: Rc<Vec<String>> = Rc::new(cfg.hosts.iter().map(|h| h.name.clone()).collect());
+    let reference = cfg.reference_host().to_owned();
+    let ref_idx = host_names
+        .iter()
+        .position(|h| *h == reference)
+        .expect("reference host exists");
+
+    // --- pre-experiment synchronization mini-phase -------------------------
+    // Sync phases run on an otherwise idle system (§2.5: messages are
+    // exchanged before and after the experiment), so endpoints are
+    // dispatched without scheduling delay.
+    let collector = SyncCollector::new();
+    sim.set_sched_enabled(false);
+    run_sync_phase(&mut sim, &host_ids, &host_names, ref_idx, cfg, &collector);
+    sim.set_sched_enabled(true);
+    let pre_sync = collector.drain();
+
+    // --- runtime phase ------------------------------------------------------
+    let store = TimelineStore::new();
+    let directory = NodeDirectory::new();
+    let warnings = WarningSink::new();
+    let control = ExperimentControl::new();
+    let wiring = Rc::new(Wiring::new());
+    let bundle = Bundle {
+        study: study.clone(),
+        store: store.clone(),
+        directory,
+        warnings: warnings.clone(),
+        wiring: wiring.clone(),
+        factory,
+        routing: cfg.routing,
+        host_names: host_names.clone(),
+    };
+
+    let daemons: Vec<_> = match cfg.routing {
+        NotifyRouting::Centralized => {
+            // One global daemon, placed on the reference host.
+            let d = sim.spawn(
+                host_ids[ref_idx],
+                Box::new(LocalDaemon::new(bundle.clone(), ref_idx as u32)),
+            );
+            vec![d; host_ids.len()]
+        }
+        _ => host_ids
+            .iter()
+            .enumerate()
+            .map(|(idx, &h)| {
+                sim.spawn(h, Box::new(LocalDaemon::new(bundle.clone(), idx as u32)))
+            })
+            .collect(),
+    };
+    wiring.set_daemons(daemons);
+
+    if let Some(policy) = cfg.restart {
+        let supervisor = sim.spawn(
+            host_ids[ref_idx],
+            Box::new(Supervisor::new(bundle.clone(), policy)),
+        );
+        wiring.set_supervisor(supervisor);
+    }
+
+    let central = sim.spawn(
+        host_ids[ref_idx],
+        Box::new(CentralDaemon::new(
+            bundle.clone(),
+            control.clone(),
+            cfg.timeout_ns,
+            100_000_000, // 100 ms shutdown grace
+        )),
+    );
+    wiring.set_central(central);
+
+    if let Some((host, after_ns)) = cfg.kill_daemon {
+        let victim = wiring.daemon_for(host as usize);
+        sim.spawn(
+            host_ids[ref_idx],
+            Box::new(crate::daemons::Saboteur {
+                victim,
+                after_ns,
+            }),
+        );
+    }
+
+    sim.run();
+
+    // --- post-experiment synchronization mini-phase -------------------------
+    sim.set_sched_enabled(false);
+    run_sync_phase(&mut sim, &host_ids, &host_names, ref_idx, cfg, &collector);
+    sim.set_sched_enabled(true);
+    let post_sync = collector.drain();
+
+    let end = if control.completed() {
+        ExperimentEnd::Completed
+    } else if control.timed_out() {
+        ExperimentEnd::TimedOut
+    } else {
+        ExperimentEnd::Aborted
+    };
+
+    ExperimentData {
+        study: study.name.clone(),
+        experiment,
+        timelines: store.drain(),
+        hosts: host_names.as_ref().clone(),
+        reference_host: reference,
+        pre_sync,
+        post_sync,
+        end,
+        warnings: warnings.drain(),
+    }
+}
+
+fn run_sync_phase(
+    sim: &mut Simulation<RtMsg>,
+    host_ids: &[HostId],
+    host_names: &[String],
+    ref_idx: usize,
+    cfg: &SimHarnessConfig,
+    collector: &SyncCollector,
+) -> Vec<HostSync> {
+    for (idx, &host) in host_ids.iter().enumerate() {
+        if idx == ref_idx {
+            continue;
+        }
+        let echo = sim.spawn(host_ids[ref_idx], Box::new(SyncEcho));
+        sim.spawn(
+            host,
+            Box::new(Syncer::new(
+                echo,
+                &host_names[idx],
+                cfg.sync_rounds,
+                cfg.sync_interval_ns,
+                collector.clone(),
+            )),
+        );
+    }
+    sim.run();
+    Vec::new()
+}
+
+/// Runs `experiments` experiments of `study`, with per-experiment seeds.
+pub fn run_study(
+    study: &Arc<Study>,
+    factory: AppFactory,
+    cfg: &SimHarnessConfig,
+    experiments: u32,
+) -> Vec<ExperimentData> {
+    (0..experiments)
+        .map(|k| run_experiment(study, factory.clone(), cfg, k))
+        .collect()
+}

@@ -1,0 +1,46 @@
+//! # loki-runtime
+//!
+//! The enhanced Loki runtime (thesis Chapter 3) on a deterministic
+//! simulation backend:
+//!
+//! * [`node`] — the per-node runtime (state machine + transport + fault
+//!   parser + recorder) and the [`node::AppLogic`] trait applications
+//!   implement (the probe interface).
+//! * [`daemons`] — local daemons (routing, watchdog, crash records,
+//!   experiment-completion checks), the central daemon (startup, timeout,
+//!   abort), and the restart supervisor (the system under study's recovery
+//!   mechanism, supporting restart on a *different* host).
+//! * [`syncer`] — the synchronization mini-phases before and after each
+//!   experiment.
+//! * [`harness`] — experiment orchestration: returns
+//!   [`loki_core::campaign::ExperimentData`] ready for the analysis phase.
+//! * [`thread_backend`] — a real-concurrency backend (nodes as OS threads
+//!   with virtual per-host clocks) producing the same `ExperimentData`.
+//! * [`messages`] — the runtime protocol and the §3.4.1 design-choice
+//!   routing modes (through-daemons / direct / centralized) used by the
+//!   design ablation.
+//!
+//! The runtime communicates exclusively through simulated messages with
+//! realistic scheduling and link delays; the shared stores in [`store`]
+//! model the thesis's NFS-mounted timeline files, not a covert channel.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod daemons;
+pub mod harness;
+pub mod messages;
+pub mod node;
+pub mod store;
+pub mod syncer;
+pub mod thread_backend;
+pub mod wiring;
+
+pub use daemons::{AppFactory, RestartPlacement, RestartPolicy};
+pub use harness::{run_experiment, run_study, SimHarnessConfig};
+pub use messages::{AppPayload, NotifyRouting, RtMsg};
+pub use node::{AppLogic, NodeCtx};
+pub use thread_backend::{
+    run_thread_experiment, ThreadApp, ThreadAppFactory, ThreadCtx, ThreadHarnessConfig,
+    ThreadPayload,
+};

@@ -1,0 +1,308 @@
+//! Shared experiment stores.
+//!
+//! The thesis's runtime persists local timelines to NFS-mounted files so
+//! that (a) a restarted node can discover its earlier life and (b) the
+//! local daemon can append a crash record to a dead node's timeline
+//! (§3.6.2–3.6.3). In the simulation backend these stores play the role of
+//! that shared filesystem: they are *storage*, not a communication channel —
+//! runtime coordination flows exclusively through messages.
+
+use loki_core::campaign::{HostSync, SyncSample};
+use loki_core::ids::SmId;
+use loki_core::recorder::LocalTimeline;
+use loki_sim::engine::ActorId;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The "NFS-mounted" timeline storage: one timeline per state machine.
+///
+/// # Examples
+///
+/// ```
+/// use loki_core::ids::Id;
+/// use loki_core::recorder::Recorder;
+/// use loki_runtime::store::TimelineStore;
+///
+/// let store = TimelineStore::new();
+/// let sm = Id::from_raw(0);
+/// store.put(sm, Recorder::new(sm, "black", "h1").finish());
+/// assert!(store.take(sm).is_some());
+/// assert!(store.take(sm).is_none());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TimelineStore {
+    inner: Rc<RefCell<HashMap<SmId, LocalTimeline>>>,
+}
+
+impl TimelineStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        TimelineStore::default()
+    }
+
+    /// Stores (replaces) the timeline for `sm`.
+    pub fn put(&self, sm: SmId, timeline: LocalTimeline) {
+        self.inner.borrow_mut().insert(sm, timeline);
+    }
+
+    /// Removes and returns the timeline for `sm` (used by a restarting node
+    /// to resume its timeline, and by the harness to collect results).
+    pub fn take(&self, sm: SmId) -> Option<LocalTimeline> {
+        self.inner.borrow_mut().remove(&sm)
+    }
+
+    /// Whether a timeline exists for `sm` (restart detection, §3.6.3).
+    pub fn contains(&self, sm: SmId) -> bool {
+        self.inner.borrow().contains_key(&sm)
+    }
+
+    /// Applies `f` to the stored timeline for `sm` (e.g. the daemon
+    /// appending a crash record).
+    pub fn with_mut<R>(&self, sm: SmId, f: impl FnOnce(&mut LocalTimeline) -> R) -> Option<R> {
+        self.inner.borrow_mut().get_mut(&sm).map(f)
+    }
+
+    /// Drains every stored timeline (end of experiment).
+    pub fn drain(&self) -> Vec<LocalTimeline> {
+        let mut map = self.inner.borrow_mut();
+        let mut v: Vec<LocalTimeline> = map.drain().map(|(_, t)| t).collect();
+        v.sort_by_key(|t| t.sm);
+        v
+    }
+}
+
+/// Collector for synchronization samples, keyed by calibrated host.
+#[derive(Clone, Debug, Default)]
+pub struct SyncCollector {
+    inner: Rc<RefCell<HashMap<String, Vec<SyncSample>>>>,
+}
+
+impl SyncCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        SyncCollector::default()
+    }
+
+    /// Appends a sample for `host`.
+    pub fn push(&self, host: &str, sample: SyncSample) {
+        self.inner
+            .borrow_mut()
+            .entry(host.to_owned())
+            .or_default()
+            .push(sample);
+    }
+
+    /// Drains all samples into per-host records.
+    pub fn drain(&self) -> Vec<HostSync> {
+        let mut v: Vec<HostSync> = self
+            .inner
+            .borrow_mut()
+            .drain()
+            .map(|(host, samples)| HostSync { host, samples })
+            .collect();
+        v.sort_by(|a, b| a.host.cmp(&b.host));
+        v
+    }
+}
+
+/// Collector for runtime warnings (e.g. notifications dropped because the
+/// recipient machine is not executing, §3.6.1).
+#[derive(Clone, Debug, Default)]
+pub struct WarningSink {
+    inner: Rc<RefCell<Vec<String>>>,
+}
+
+impl WarningSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        WarningSink::default()
+    }
+
+    /// Records a warning.
+    pub fn warn(&self, message: String) {
+        self.inner.borrow_mut().push(message);
+    }
+
+    /// Drains all recorded warnings.
+    pub fn drain(&self) -> Vec<String> {
+        std::mem::take(&mut *self.inner.borrow_mut())
+    }
+}
+
+/// Shared control block between the central daemon and the harness.
+#[derive(Clone, Debug, Default)]
+pub struct ExperimentControl {
+    inner: Rc<RefCell<ControlState>>,
+}
+
+#[derive(Debug, Default)]
+struct ControlState {
+    timed_out: bool,
+    aborted: bool,
+    completed: bool,
+}
+
+impl ExperimentControl {
+    /// Creates a fresh control block.
+    pub fn new() -> Self {
+        ExperimentControl::default()
+    }
+
+    /// Marks the experiment as timed out.
+    pub fn mark_timed_out(&self) {
+        self.inner.borrow_mut().timed_out = true;
+    }
+
+    /// Marks the experiment as aborted (runtime abnormality).
+    pub fn mark_aborted(&self) {
+        self.inner.borrow_mut().aborted = true;
+    }
+
+    /// Marks normal completion.
+    pub fn mark_completed(&self) {
+        self.inner.borrow_mut().completed = true;
+    }
+
+    /// Whether the experiment timed out.
+    pub fn timed_out(&self) -> bool {
+        self.inner.borrow().timed_out
+    }
+
+    /// Whether the experiment aborted abnormally.
+    pub fn aborted(&self) -> bool {
+        self.inner.borrow().aborted
+    }
+
+    /// Whether the experiment completed normally.
+    pub fn completed(&self) -> bool {
+        self.inner.borrow().completed
+    }
+}
+
+/// The application's own name service: maps state machines to the actors
+/// currently embodying them (for direct application messaging, which in the
+/// thesis travels on the system-under-study's own LAN).
+#[derive(Clone, Debug, Default)]
+pub struct NodeDirectory {
+    inner: Rc<RefCell<HashMap<SmId, ActorId>>>,
+}
+
+impl NodeDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        NodeDirectory::default()
+    }
+
+    /// Registers (or replaces) the actor embodying `sm`.
+    pub fn insert(&self, sm: SmId, actor: ActorId) {
+        self.inner.borrow_mut().insert(sm, actor);
+    }
+
+    /// Removes `sm` if it is still mapped to `actor` (a stale removal after
+    /// a restart must not clobber the new incarnation).
+    pub fn remove_if(&self, sm: SmId, actor: ActorId) {
+        let mut map = self.inner.borrow_mut();
+        if map.get(&sm) == Some(&actor) {
+            map.remove(&sm);
+        }
+    }
+
+    /// Looks up the actor embodying `sm`.
+    pub fn lookup(&self, sm: SmId) -> Option<ActorId> {
+        self.inner.borrow().get(&sm).copied()
+    }
+
+    /// All currently embodied machines.
+    pub fn machines(&self) -> Vec<SmId> {
+        let mut v: Vec<SmId> = self.inner.borrow().keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_core::ids::Id;
+    use loki_core::recorder::Recorder;
+    use loki_core::time::LocalNanos;
+
+    #[test]
+    fn timeline_store_roundtrip() {
+        let store = TimelineStore::new();
+        let sm = Id::from_raw(3);
+        assert!(!store.contains(sm));
+        store.put(sm, Recorder::new(sm, "x", "h").finish());
+        assert!(store.contains(sm));
+        store.with_mut(sm, |t| {
+            t.records.push(loki_core::recorder::TimelineRecord {
+                time: LocalNanos(1),
+                kind: loki_core::recorder::RecordKind::UserMessage("m".into()),
+            });
+        });
+        let t = store.take(sm).unwrap();
+        assert_eq!(t.records.len(), 1);
+        assert!(store.drain().is_empty());
+    }
+
+    #[test]
+    fn drain_sorts_by_machine() {
+        let store = TimelineStore::new();
+        for i in [2u32, 0, 1] {
+            let sm = Id::from_raw(i);
+            store.put(sm, Recorder::new(sm, &format!("m{i}"), "h").finish());
+        }
+        let drained = store.drain();
+        let ids: Vec<u32> = drained.iter().map(|t| t.sm.raw()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sync_collector_groups_by_host() {
+        let c = SyncCollector::new();
+        let s = SyncSample {
+            from_reference: true,
+            send: LocalNanos(1),
+            recv: LocalNanos(2),
+        };
+        c.push("h2", s);
+        c.push("h2", s);
+        c.push("h3", s);
+        let drained = c.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].host, "h2");
+        assert_eq!(drained[0].samples.len(), 2);
+    }
+
+    #[test]
+    fn directory_stale_removal_is_ignored() {
+        let d = NodeDirectory::new();
+        let sm = Id::from_raw(0);
+        d.insert(sm, ActorId(1));
+        d.insert(sm, ActorId(2)); // restart incarnation
+        d.remove_if(sm, ActorId(1)); // stale removal
+        assert_eq!(d.lookup(sm), Some(ActorId(2)));
+        d.remove_if(sm, ActorId(2));
+        assert_eq!(d.lookup(sm), None);
+    }
+
+    #[test]
+    fn control_flags() {
+        let c = ExperimentControl::new();
+        assert!(!c.completed() && !c.timed_out() && !c.aborted());
+        c.mark_completed();
+        c.mark_timed_out();
+        c.mark_aborted();
+        assert!(c.completed() && c.timed_out() && c.aborted());
+    }
+
+    #[test]
+    fn warning_sink_drains() {
+        let w = WarningSink::new();
+        w.warn("a".into());
+        w.warn("b".into());
+        assert_eq!(w.drain().len(), 2);
+        assert!(w.drain().is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! The synchronization mini-phases (§2.3, §2.5).
+//!
+//! Before and after every experiment, each non-reference host exchanges a
+//! round of timestamped messages with the reference host. Each round yields
+//! two [`SyncSample`]s — one per direction — from which the off-line
+//! synchronization later derives hard bounds on the host clock's offset and
+//! drift. The messages travel over the same simulated network as everything
+//! else, so they experience genuine scheduling and link delays.
+
+use crate::messages::RtMsg;
+use crate::store::SyncCollector;
+use loki_core::campaign::SyncSample;
+use loki_core::time::LocalNanos;
+use loki_sim::engine::{ActorId, Ctx};
+use std::collections::HashMap;
+
+/// Echo endpoint on the reference host.
+pub struct SyncEcho;
+
+impl loki_sim::engine::Actor<RtMsg> for SyncEcho {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, RtMsg>, from: ActorId, msg: RtMsg) {
+        match msg {
+            RtMsg::SyncPing { seq, .. } => {
+                let now = ctx.local_clock();
+                ctx.send(
+                    from,
+                    RtMsg::SyncEcho {
+                        seq,
+                        ref_recv: now,
+                        ref_send: now,
+                    },
+                );
+            }
+            RtMsg::SyncDone => ctx.exit_self(),
+            _ => {}
+        }
+    }
+}
+
+/// Originator on a calibrated host: drives `rounds` ping/echo exchanges
+/// with `interval_ns` spacing and records the samples.
+pub struct Syncer {
+    echo: ActorId,
+    host_name: String,
+    rounds: u32,
+    interval_ns: u64,
+    collector: SyncCollector,
+    sent: HashMap<u32, LocalNanos>,
+}
+
+impl Syncer {
+    /// Creates a syncer for `host_name` talking to `echo`.
+    pub fn new(
+        echo: ActorId,
+        host_name: &str,
+        rounds: u32,
+        interval_ns: u64,
+        collector: SyncCollector,
+    ) -> Self {
+        Syncer {
+            echo,
+            host_name: host_name.to_owned(),
+            rounds,
+            interval_ns,
+            collector,
+            sent: HashMap::new(),
+        }
+    }
+
+    fn ping(&mut self, ctx: &mut Ctx<'_, RtMsg>, seq: u32) {
+        let send_local = ctx.local_clock();
+        self.sent.insert(seq, send_local);
+        ctx.send(self.echo, RtMsg::SyncPing { seq, send_local });
+    }
+}
+
+impl loki_sim::engine::Actor<RtMsg> for Syncer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
+        if self.rounds == 0 {
+            ctx.send(self.echo, RtMsg::SyncDone);
+            ctx.exit_self();
+            return;
+        }
+        self.ping(ctx, 0);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, RtMsg>, _from: ActorId, msg: RtMsg) {
+        if let RtMsg::SyncEcho {
+            seq,
+            ref_recv,
+            ref_send,
+        } = msg
+        {
+            let now = ctx.local_clock();
+            if let Some(my_send) = self.sent.remove(&seq) {
+                // machine → reference leg.
+                self.collector.push(
+                    &self.host_name,
+                    SyncSample {
+                        from_reference: false,
+                        send: my_send,
+                        recv: ref_recv,
+                    },
+                );
+                // reference → machine leg.
+                self.collector.push(
+                    &self.host_name,
+                    SyncSample {
+                        from_reference: true,
+                        send: ref_send,
+                        recv: now,
+                    },
+                );
+            }
+            let next = seq + 1;
+            if next < self.rounds {
+                let delay = self.interval_ns;
+                ctx.set_timer(delay, next as u64);
+            } else {
+                ctx.send(self.echo, RtMsg::SyncDone);
+                ctx.exit_self();
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, RtMsg>, tag: u64) {
+        self.ping(ctx, tag as u32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_clock::params::ClockParams;
+    use loki_clock::sync::{estimate_alpha_beta, SyncOptions};
+    use loki_sim::config::HostConfig;
+    use loki_sim::engine::Simulation;
+
+    #[test]
+    fn sync_phase_produces_sound_bounds() {
+        let mut sim: Simulation<RtMsg> = Simulation::new(11);
+        let ref_clock = ClockParams::ideal();
+        let m_clock = ClockParams::with_drift_ppm(3e6, 140.0);
+        let h_ref = sim.add_host(HostConfig::new("ref").clock(ref_clock).timeslice_ns(1_000_000));
+        let h2 = sim.add_host(HostConfig::new("h2").clock(m_clock).timeslice_ns(1_000_000));
+
+        let collector = SyncCollector::new();
+        let echo = sim.spawn(h_ref, Box::new(SyncEcho));
+        sim.spawn(
+            h2,
+            Box::new(Syncer::new(echo, "h2", 15, 2_000_000, collector.clone())),
+        );
+        sim.run();
+
+        let syncs = collector.drain();
+        assert_eq!(syncs.len(), 1);
+        assert_eq!(syncs[0].samples.len(), 30); // two per round
+
+        let bounds = estimate_alpha_beta(&syncs[0].samples, &SyncOptions::default()).unwrap();
+        let (alpha, beta) = m_clock.relative_to(&ref_clock);
+        assert!(bounds.contains(alpha, beta), "{bounds:?} vs ({alpha},{beta})");
+    }
+
+    #[test]
+    fn zero_rounds_terminates_cleanly() {
+        let mut sim: Simulation<RtMsg> = Simulation::new(1);
+        let h = sim.add_host(HostConfig::new("h"));
+        let collector = SyncCollector::new();
+        let echo = sim.spawn(h, Box::new(SyncEcho));
+        sim.spawn(h, Box::new(Syncer::new(echo, "h", 0, 1, collector.clone())));
+        sim.run();
+        assert!(collector.drain().is_empty());
+    }
+}

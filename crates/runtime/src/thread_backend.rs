@@ -1,0 +1,893 @@
+//! A real-concurrency backend: nodes as OS threads.
+//!
+//! The simulation backend is deterministic and models delays explicitly;
+//! this backend runs every node as an actual thread exchanging messages
+//! over channels, with *virtual per-host clocks* (synthetic offset/drift
+//! over one monotonic epoch) so the off-line clock synchronization and the
+//! conservative correctness check operate on genuinely concurrent,
+//! nondeterministic executions. The output is the same
+//! [`ExperimentData`] the analysis phase consumes.
+//!
+//! Scope: the thread backend supports the full injection pipeline — state
+//! machines, partial views, notifications, edge-triggered injection,
+//! recorders, sync mini-phases, crash (cooperative) and coordinator-driven
+//! restart on a different virtual host. It routes notifications directly
+//! (the original runtime's design); the daemon topologies exist in the
+//! simulation backend where their latencies can be controlled.
+
+use crate::messages::NotifyRouting;
+use loki_clock::params::{fastest_reference, ClockParams, VirtualClock};
+use loki_core::campaign::{ExperimentData, ExperimentEnd, HostSync, SyncSample};
+use loki_core::error::CoreError;
+use loki_core::fault::FaultParser;
+use loki_core::ids::{SmId, StateId};
+use loki_core::recorder::{HostStint, LocalTimeline, RecordKind, TimelineRecord};
+use loki_core::state_machine::StateMachine;
+use loki_core::study::Study;
+use loki_core::time::LocalNanos;
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::any::Any;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::mpsc::{RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Application payload on the thread backend.
+pub type ThreadPayload = Arc<dyn Any + Send + Sync>;
+
+/// Messages delivered to a node thread.
+enum TMsg {
+    /// A remote state notification.
+    Notify { from: SmId, state: StateId },
+    /// A restarted machine asks for our current state.
+    StateUpdateRequest { for_sm: SmId },
+    /// An application message.
+    App { from: SmId, payload: ThreadPayload },
+    /// Coordinator orders the node killed (timeout/abort).
+    Kill,
+}
+
+/// The application trait for the thread backend (the probe interface).
+pub trait ThreadApp: Send {
+    /// Called when the node starts; the first
+    /// [`ThreadCtx::notify_event`] initializes the state machine.
+    fn on_start(&mut self, ctx: &mut ThreadCtx<'_>, restarted: bool);
+    /// An application message arrived.
+    fn on_app_message(&mut self, ctx: &mut ThreadCtx<'_>, from: SmId, payload: ThreadPayload);
+    /// A timer set via [`ThreadCtx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut ThreadCtx<'_>, tag: u64) {
+        let _ = (ctx, tag);
+    }
+    /// The probe's `injectFault()`.
+    fn on_fault(&mut self, ctx: &mut ThreadCtx<'_>, fault: &str);
+}
+
+/// Factory producing thread-backend applications.
+pub type ThreadAppFactory =
+    Arc<dyn Fn(&Study, SmId) -> Box<dyn ThreadApp> + Send + Sync>;
+
+/// Routing table shared by all node threads (the application's name
+/// service plus Loki's transport).
+#[derive(Clone, Default)]
+struct Router {
+    inner: Arc<RwLock<HashMap<SmId, Sender<TMsg>>>>,
+}
+
+impl Router {
+    fn insert(&self, sm: SmId, tx: Sender<TMsg>) {
+        self.inner.write().insert(sm, tx);
+    }
+    fn remove(&self, sm: SmId) {
+        self.inner.write().remove(&sm);
+    }
+    fn send(&self, to: SmId, msg: TMsg) {
+        if let Some(tx) = self.inner.read().get(&to) {
+            let _ = tx.send(msg);
+        }
+    }
+    fn machines(&self) -> Vec<SmId> {
+        let mut v: Vec<SmId> = self.inner.read().keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+/// What a finished node reports to the coordinator.
+enum NodeReport {
+    Exited { timeline: LocalTimeline },
+    Crashed { sm: SmId, timeline: LocalTimeline },
+}
+
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum LifeCycle {
+    Running,
+    Crashing,
+    Exiting,
+}
+
+/// The context handed to [`ThreadApp`] callbacks.
+pub struct ThreadCtx<'a> {
+    study: &'a Arc<Study>,
+    sm: &'a mut StateMachine,
+    parser: &'a mut FaultParser,
+    timeline: &'a mut LocalTimeline,
+    router: &'a Router,
+    clock: &'a VirtualClock,
+    epoch: Instant,
+    timers: &'a mut BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+    rng: &'a mut StdRng,
+    life: &'a mut LifeCycle,
+    restarted: bool,
+    pending_faults: Vec<loki_core::ids::FaultId>,
+}
+
+impl<'a> ThreadCtx<'a> {
+    /// Reads this node's (virtual) host clock.
+    pub fn local_time(&self) -> LocalNanos {
+        self.clock.read(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    /// The probe's event notification; see
+    /// [`NodeCtx::notify_event`](crate::node::NodeCtx::notify_event).
+    ///
+    /// # Errors
+    ///
+    /// Returns the state machine's error for invalid events.
+    pub fn notify_event(&mut self, name: &str) -> Result<(), CoreError> {
+        let outcome = if self.sm.is_initialized() {
+            self.sm.apply_event_name(name)?
+        } else {
+            self.sm.initialize(name)?
+        };
+        let now = self.local_time();
+        self.timeline.records.push(TimelineRecord {
+            time: now,
+            kind: RecordKind::StateChange {
+                event: outcome.event,
+                new_state: outcome.new_state,
+            },
+        });
+        for target in &outcome.notify {
+            self.router.send(
+                *target,
+                TMsg::Notify {
+                    from: self.sm.id(),
+                    state: outcome.new_state,
+                },
+            );
+        }
+        self.reparse();
+        Ok(())
+    }
+
+    fn reparse(&mut self) {
+        for fault in self.parser.on_view_change(self.sm.view()) {
+            self.pending_faults.push(fault);
+        }
+    }
+
+    /// Sends an application message to another machine.
+    pub fn send_to(&self, to: SmId, payload: ThreadPayload) {
+        self.router.send(
+            to,
+            TMsg::App {
+                from: self.sm.id(),
+                payload,
+            },
+        );
+    }
+
+    /// Broadcasts an application message to every executing machine.
+    pub fn broadcast(&self, payload: ThreadPayload) {
+        let me = self.sm.id();
+        for sm in self.router.machines() {
+            if sm != me {
+                self.send_to(sm, payload.clone());
+            }
+        }
+    }
+
+    /// Sets a one-shot timer `delay_ns` from now.
+    pub fn set_timer(&mut self, delay_ns: u64, tag: u64) {
+        let deadline = self.epoch.elapsed().as_nanos() as u64 + delay_ns;
+        self.timers.push(std::cmp::Reverse((deadline, tag)));
+    }
+
+    /// Crashes this node (cooperative: the thread stops without cleanup
+    /// and the node records its own crash, the thesis's overridden-signal-
+    /// handler path, §3.6.2).
+    pub fn crash(&mut self) {
+        *self.life = LifeCycle::Crashing;
+    }
+
+    /// Exits this node cleanly (sends exit notifications).
+    pub fn exit(&mut self) {
+        *self.life = LifeCycle::Exiting;
+    }
+
+    /// This node's machine id.
+    pub fn my_sm(&self) -> SmId {
+        self.sm.id()
+    }
+
+    /// This node's nickname.
+    pub fn my_name(&self) -> &str {
+        self.study.sms.name(self.sm.id())
+    }
+
+    /// All machines of the study.
+    pub fn machines(&self) -> Vec<SmId> {
+        self.study.sms.ids().collect()
+    }
+
+    /// Machines currently executing.
+    pub fn live_machines(&self) -> Vec<SmId> {
+        self.router.machines()
+    }
+
+    /// The compiled study.
+    pub fn study(&self) -> &Arc<Study> {
+        self.study
+    }
+
+    /// Whether this incarnation is a restart.
+    pub fn is_restarted(&self) -> bool {
+        self.restarted
+    }
+
+    /// A per-node RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+/// Configuration of the thread backend.
+#[derive(Clone, Debug)]
+pub struct ThreadHarnessConfig {
+    /// Virtual hosts: `(name, clock model)`. Placements in the study refer
+    /// to these names.
+    pub hosts: Vec<(String, ClockParams)>,
+    /// Sync-exchange rounds per mini-phase.
+    pub sync_rounds: u32,
+    /// Wall-clock experiment timeout.
+    pub timeout: Duration,
+    /// Restart policy: `Some(probability)` restarts crashed nodes once, on
+    /// the next virtual host.
+    pub restart_probability: Option<f64>,
+    /// RNG seed for application/restart decisions (thread interleaving
+    /// remains nondeterministic).
+    pub seed: u64,
+}
+
+impl Default for ThreadHarnessConfig {
+    fn default() -> Self {
+        ThreadHarnessConfig {
+            hosts: vec![
+                ("host1".to_owned(), ClockParams::with_drift_ppm(0.0, 90.0)),
+                ("host2".to_owned(), ClockParams::with_drift_ppm(2e6, -40.0)),
+                ("host3".to_owned(), ClockParams::with_drift_ppm(5e5, 30.0)),
+            ],
+            sync_rounds: 25,
+            timeout: Duration::from_secs(20),
+            restart_probability: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Runs one experiment with every node as an OS thread.
+///
+/// # Panics
+///
+/// Panics if the study places machines on hosts absent from the config.
+pub fn run_thread_experiment(
+    study: &Arc<Study>,
+    factory: ThreadAppFactory,
+    cfg: &ThreadHarnessConfig,
+    experiment: u32,
+) -> ExperimentData {
+    let epoch = Instant::now();
+    let clocks: HashMap<String, VirtualClock> = cfg
+        .hosts
+        .iter()
+        .map(|(name, params)| (name.clone(), VirtualClock::new(*params)))
+        .collect();
+    let reference = fastest_reference(cfg.hosts.iter().map(|(n, c)| (n.as_str(), c)))
+        .expect("at least one host")
+        .to_owned();
+
+    // --- pre-sync mini-phase -------------------------------------------------
+    let pre_sync = sync_phase(&clocks, &reference, epoch, cfg.sync_rounds);
+
+    // --- runtime phase ---------------------------------------------------------
+    let router = Router::default();
+    let (report_tx, report_rx) = std::sync::mpsc::channel::<NodeReport>();
+
+    let mut host_of: HashMap<SmId, String> = HashMap::new();
+    let mut handles = Vec::new();
+    let mut running = 0usize;
+    for (sm, host) in &study.placements {
+        let Some(host) = host else { continue };
+        let clock = *clocks
+            .get(host)
+            .unwrap_or_else(|| panic!("placement on unknown host `{host}`"));
+        host_of.insert(*sm, host.clone());
+        handles.push(spawn_node(
+            study.clone(),
+            factory.clone(),
+            *sm,
+            host.clone(),
+            clock,
+            epoch,
+            router.clone(),
+            report_tx.clone(),
+            None,
+            cfg.seed ^ (sm.raw() as u64) << 17 ^ experiment as u64,
+        ));
+        running += 1;
+    }
+
+    // --- coordinator: completion, timeout, restarts ----------------------------
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(experiment as u64));
+    let mut timelines: Vec<LocalTimeline> = Vec::new();
+    let mut restarts: HashMap<SmId, u32> = HashMap::new();
+    let deadline = Instant::now() + cfg.timeout;
+    let mut end = ExperimentEnd::Completed;
+    while running > 0 {
+        let now = Instant::now();
+        if now >= deadline {
+            end = ExperimentEnd::TimedOut;
+            // Kill whatever is left.
+            for sm in router.machines() {
+                router.send(sm, TMsg::Kill);
+            }
+            // Drain the remaining reports (threads exit on Kill).
+            while running > 0 {
+                if let Ok(report) = report_rx.recv_timeout(Duration::from_secs(5)) {
+                    let (NodeReport::Exited { timeline }
+                    | NodeReport::Crashed { timeline, .. }) = report;
+                    timelines.push(timeline);
+                    running -= 1;
+                } else {
+                    break;
+                }
+            }
+            break;
+        }
+        match report_rx.recv_timeout(deadline - now) {
+            Ok(NodeReport::Exited { timeline }) => {
+                timelines.push(timeline);
+                running -= 1;
+            }
+            Ok(NodeReport::Crashed { sm, timeline }) => {
+                running -= 1;
+                let attempts = restarts.entry(sm).or_insert(0);
+                let restart = match cfg.restart_probability {
+                    Some(p) if *attempts < 1 => {
+                        use rand::Rng;
+                        p >= 1.0 || rng.gen_bool(p.clamp(0.0, 1.0))
+                    }
+                    _ => false,
+                };
+                if restart {
+                    *attempts += 1;
+                    // Restart on the *next* virtual host.
+                    let old_host = host_of.get(&sm).cloned().unwrap_or_default();
+                    let idx = cfg
+                        .hosts
+                        .iter()
+                        .position(|(n, _)| *n == old_host)
+                        .unwrap_or(0);
+                    let (new_host, params) = &cfg.hosts[(idx + 1) % cfg.hosts.len()];
+                    host_of.insert(sm, new_host.clone());
+                    handles.push(spawn_node(
+                        study.clone(),
+                        factory.clone(),
+                        sm,
+                        new_host.clone(),
+                        VirtualClock::new(*params),
+                        epoch,
+                        router.clone(),
+                        report_tx.clone(),
+                        Some(timeline),
+                        cfg.seed ^ 0xdead ^ (sm.raw() as u64) << 9,
+                    ));
+                    running += 1;
+                } else {
+                    timelines.push(timeline);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    timelines.sort_by_key(|t| t.sm);
+
+    // --- post-sync mini-phase ----------------------------------------------------
+    let post_sync = sync_phase(&clocks, &reference, epoch, cfg.sync_rounds);
+
+    ExperimentData {
+        study: study.name.clone(),
+        experiment,
+        timelines,
+        hosts: cfg.hosts.iter().map(|(n, _)| n.clone()).collect(),
+        reference_host: reference,
+        pre_sync,
+        post_sync,
+        end,
+        warnings: Vec::new(),
+    }
+}
+
+/// Exchanges timestamps between the reference clock and every other host's
+/// clock. Both reads happen on this machine's monotonic clock with real
+/// elapsed time in between, so every constraint the estimator derives is
+/// physically valid.
+fn sync_phase(
+    clocks: &HashMap<String, VirtualClock>,
+    reference: &str,
+    epoch: Instant,
+    rounds: u32,
+) -> Vec<HostSync> {
+    let ref_clock = &clocks[reference];
+    let mut out = Vec::new();
+    for (host, clock) in clocks {
+        if host == reference {
+            continue;
+        }
+        let mut samples = Vec::new();
+        for _ in 0..rounds {
+            // reference → machine
+            let send = ref_clock.read(epoch.elapsed().as_nanos() as u64);
+            std::hint::black_box(busy_wait_ns(2_000));
+            let recv = clock.read(epoch.elapsed().as_nanos() as u64);
+            samples.push(SyncSample {
+                from_reference: true,
+                send,
+                recv,
+            });
+            // machine → reference
+            let send = clock.read(epoch.elapsed().as_nanos() as u64);
+            std::hint::black_box(busy_wait_ns(2_000));
+            let recv = ref_clock.read(epoch.elapsed().as_nanos() as u64);
+            samples.push(SyncSample {
+                from_reference: false,
+                send,
+                recv,
+            });
+        }
+        out.push(HostSync {
+            host: host.clone(),
+            samples,
+        });
+    }
+    out.sort_by(|a, b| a.host.cmp(&b.host));
+    out
+}
+
+fn busy_wait_ns(ns: u64) {
+    let start = Instant::now();
+    while (start.elapsed().as_nanos() as u64) < ns {
+        std::hint::spin_loop();
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_node(
+    study: Arc<Study>,
+    factory: ThreadAppFactory,
+    sm_id: SmId,
+    host: String,
+    clock: VirtualClock,
+    epoch: Instant,
+    router: Router,
+    report: Sender<NodeReport>,
+    prior: Option<LocalTimeline>,
+    seed: u64,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let (tx, rx) = std::sync::mpsc::channel::<TMsg>();
+        let restarted = prior.is_some();
+        let mut timeline = match prior {
+            Some(mut t) => {
+                let now = clock.read(epoch.elapsed().as_nanos() as u64);
+                t.stints.push(HostStint {
+                    host: host.clone(),
+                    first_record: t.records.len(),
+                });
+                t.records.push(TimelineRecord {
+                    time: now,
+                    kind: RecordKind::Restart { host: host.clone() },
+                });
+                t
+            }
+            None => LocalTimeline {
+                sm: sm_id,
+                sm_name: study.sms.name(sm_id).to_owned(),
+                records: Vec::new(),
+                stints: vec![HostStint {
+                    host: host.clone(),
+                    first_record: 0,
+                }],
+            },
+        };
+
+        let mut sm = StateMachine::new(study.clone(), sm_id);
+        let mut parser = FaultParser::new(study.faults_owned_by(sm_id));
+        let mut timers: BinaryHeap<std::cmp::Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut app = factory(&study, sm_id);
+        let mut life = LifeCycle::Running;
+
+        router.insert(sm_id, tx);
+        if restarted {
+            // Ask everyone for state updates (§3.6.3).
+            for peer in router.machines() {
+                if peer != sm_id {
+                    router.send(peer, TMsg::StateUpdateRequest { for_sm: sm_id });
+                }
+            }
+        }
+
+        // Helper: run one app callback and drain pending injections.
+        macro_rules! with_app {
+            ($f:expr) => {{
+                let mut ctx = ThreadCtx {
+                    study: &study,
+                    sm: &mut sm,
+                    parser: &mut parser,
+                    timeline: &mut timeline,
+                    router: &router,
+                    clock: &clock,
+                    epoch,
+                    timers: &mut timers,
+                    rng: &mut rng,
+                    life: &mut life,
+                    restarted,
+                    pending_faults: Vec::new(),
+                };
+                #[allow(clippy::redundant_closure_call)]
+                ($f)(&mut *app, &mut ctx);
+                let mut pending: Vec<_> = ctx.pending_faults.drain(..).collect();
+                while let Some(fault) = pending.pop() {
+                    if life != LifeCycle::Running {
+                        break;
+                    }
+                    let now = clock.read(epoch.elapsed().as_nanos() as u64);
+                    timeline.records.push(TimelineRecord {
+                        time: now,
+                        kind: RecordKind::FaultInjection { fault },
+                    });
+                    let name = study.fault_names.name(fault).to_owned();
+                    let mut ctx = ThreadCtx {
+                        study: &study,
+                        sm: &mut sm,
+                        parser: &mut parser,
+                        timeline: &mut timeline,
+                        router: &router,
+                        clock: &clock,
+                        epoch,
+                        timers: &mut timers,
+                        rng: &mut rng,
+                        life: &mut life,
+                        restarted,
+                        pending_faults: Vec::new(),
+                    };
+                    app.on_fault(&mut ctx, &name);
+                    pending.extend(ctx.pending_faults.drain(..));
+                }
+            }};
+        }
+
+        with_app!(|app: &mut dyn ThreadApp, ctx: &mut ThreadCtx<'_>| {
+            app.on_start(ctx, restarted)
+        });
+
+        while life == LifeCycle::Running {
+            // Earliest timer deadline bounds the wait.
+            let now_ns = epoch.elapsed().as_nanos() as u64;
+            let wait = match timers.peek() {
+                Some(std::cmp::Reverse((deadline, _))) if *deadline <= now_ns => {
+                    let std::cmp::Reverse((_, tag)) = timers.pop().expect("peeked");
+                    with_app!(|app: &mut dyn ThreadApp, ctx: &mut ThreadCtx<'_>| {
+                        app.on_timer(ctx, tag)
+                    });
+                    continue;
+                }
+                Some(std::cmp::Reverse((deadline, _))) => {
+                    Duration::from_nanos(deadline - now_ns)
+                }
+                None => Duration::from_millis(50),
+            };
+            match rx.recv_timeout(wait) {
+                Ok(TMsg::Notify { from, state }) => {
+                    if sm.apply_remote(from, state) {
+                        with_app!(|_app: &mut dyn ThreadApp, ctx: &mut ThreadCtx<'_>| {
+                            ctx.reparse()
+                        });
+                    }
+                }
+                Ok(TMsg::StateUpdateRequest { for_sm }) => {
+                    if sm.is_initialized() {
+                        router.send(
+                            for_sm,
+                            TMsg::Notify {
+                                from: sm_id,
+                                state: sm.state(),
+                            },
+                        );
+                    }
+                }
+                Ok(TMsg::App { from, payload }) => {
+                    with_app!(|app: &mut dyn ThreadApp, ctx: &mut ThreadCtx<'_>| {
+                        app.on_app_message(ctx, from, payload.clone())
+                    });
+                }
+                Ok(TMsg::Kill) => {
+                    life = LifeCycle::Crashing;
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        router.remove(sm_id);
+        match life {
+            LifeCycle::Exiting => {
+                // Enter EXIT (if not already) and notify everyone (§3.6.2).
+                let exit_state = study.reserved.exit;
+                if sm.state() != exit_state {
+                    let now = clock.read(epoch.elapsed().as_nanos() as u64);
+                    timeline.records.push(TimelineRecord {
+                        time: now,
+                        kind: RecordKind::StateChange {
+                            event: study.init_alias(exit_state),
+                            new_state: exit_state,
+                        },
+                    });
+                }
+                for peer in study.sms.ids() {
+                    if peer != sm_id {
+                        router.send(
+                            peer,
+                            TMsg::Notify {
+                                from: sm_id,
+                                state: exit_state,
+                            },
+                        );
+                    }
+                }
+                let _ = report.send(NodeReport::Exited { timeline });
+            }
+            _ => {
+                // Crash: record it (the overridden-signal-handler path) and
+                // notify the CRASH state's list on the machine's behalf.
+                let crash_state = study.reserved.crash;
+                let now = clock.read(epoch.elapsed().as_nanos() as u64);
+                timeline.records.push(TimelineRecord {
+                    time: now,
+                    kind: RecordKind::StateChange {
+                        event: study.reserved.crash_event,
+                        new_state: crash_state,
+                    },
+                });
+                for peer in study.machine(sm_id).notify_list(crash_state) {
+                    router.send(
+                        *peer,
+                        TMsg::Notify {
+                            from: sm_id,
+                            state: crash_state,
+                        },
+                    );
+                }
+                let _ = report.send(NodeReport::Crashed {
+                    sm: sm_id,
+                    timeline,
+                });
+            }
+        }
+    })
+}
+
+/// The routing design implemented by the thread backend.
+pub const THREAD_BACKEND_ROUTING: NotifyRouting = NotifyRouting::Direct;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_analysis::{analyze, AnalysisOptions};
+    use loki_core::fault::{FaultExpr, Trigger};
+    use loki_core::spec::{StateMachineSpec, StudyDef};
+
+    fn wo_study() -> Arc<Study> {
+        let def = StudyDef::new("wo")
+            .machine(
+                StateMachineSpec::builder("worker")
+                    .states(&["INIT", "BUSY", "DONE"])
+                    .events(&["GO", "FINISH"])
+                    .state("INIT", &["observer"], &[("GO", "BUSY")])
+                    .state("BUSY", &["observer"], &[("FINISH", "DONE")])
+                    .state("DONE", &["observer"], &[])
+                    .build(),
+            )
+            .machine(
+                StateMachineSpec::builder("observer")
+                    .states(&["WATCH"])
+                    .events(&["STOP"])
+                    .state("WATCH", &[], &[("STOP", "EXIT")])
+                    .build(),
+            )
+            .fault(
+                "observer",
+                "f",
+                FaultExpr::atom("worker", "BUSY"),
+                Trigger::Once,
+            )
+            .place("worker", "host1")
+            .place("observer", "host2");
+        Study::compile_arc(&def).unwrap()
+    }
+
+    struct Worker;
+    impl ThreadApp for Worker {
+        fn on_start(&mut self, ctx: &mut ThreadCtx<'_>, _restarted: bool) {
+            ctx.notify_event("INIT").unwrap();
+            ctx.set_timer(30_000_000, 1);
+        }
+        fn on_app_message(&mut self, _: &mut ThreadCtx<'_>, _: SmId, _: ThreadPayload) {}
+        fn on_timer(&mut self, ctx: &mut ThreadCtx<'_>, tag: u64) {
+            match tag {
+                1 => {
+                    ctx.notify_event("GO").unwrap();
+                    ctx.set_timer(80_000_000, 2); // 80 ms of BUSY
+                }
+                2 => {
+                    ctx.notify_event("FINISH").unwrap();
+                    ctx.exit();
+                }
+                _ => {}
+            }
+        }
+        fn on_fault(&mut self, _: &mut ThreadCtx<'_>, _: &str) {}
+    }
+
+    struct Observer;
+    impl ThreadApp for Observer {
+        fn on_start(&mut self, ctx: &mut ThreadCtx<'_>, _restarted: bool) {
+            ctx.notify_event("WATCH").unwrap();
+            ctx.set_timer(250_000_000, 1);
+        }
+        fn on_app_message(&mut self, _: &mut ThreadCtx<'_>, _: SmId, _: ThreadPayload) {}
+        fn on_timer(&mut self, ctx: &mut ThreadCtx<'_>, tag: u64) {
+            if tag == 1 {
+                ctx.notify_event("STOP").unwrap();
+                ctx.exit();
+            }
+        }
+        fn on_fault(&mut self, _: &mut ThreadCtx<'_>, _: &str) {}
+    }
+
+    fn factory() -> ThreadAppFactory {
+        Arc::new(|study: &Study, sm| -> Box<dyn ThreadApp> {
+            if study.sms.name(sm) == "worker" {
+                Box::new(Worker)
+            } else {
+                Box::new(Observer)
+            }
+        })
+    }
+
+    #[test]
+    fn thread_experiment_runs_injects_and_passes_analysis() {
+        let study = wo_study();
+        let mut cfg = ThreadHarnessConfig::default();
+        cfg.hosts.truncate(2);
+        let data = run_thread_experiment(&study, factory(), &cfg, 0);
+        assert_eq!(data.end, ExperimentEnd::Completed);
+        assert_eq!(data.timelines.len(), 2);
+        assert_eq!(data.total_injections(), 1);
+        assert!(!data.pre_sync.is_empty() && !data.post_sync.is_empty());
+
+        // The same off-line pipeline consumes thread-backend output. With
+        // an 80 ms BUSY window and channel latencies in the microseconds,
+        // the injection is provably correct.
+        let analyzed = analyze(&study, vec![data], &AnalysisOptions::default());
+        assert!(analyzed[0].accepted(), "{:?}", analyzed[0].verdict);
+    }
+
+    #[test]
+    fn thread_timeout_kills_everything() {
+        struct Immortal;
+        impl ThreadApp for Immortal {
+            fn on_start(&mut self, ctx: &mut ThreadCtx<'_>, _: bool) {
+                ctx.notify_event("WATCH").unwrap();
+            }
+            fn on_app_message(&mut self, _: &mut ThreadCtx<'_>, _: SmId, _: ThreadPayload) {}
+            fn on_fault(&mut self, _: &mut ThreadCtx<'_>, _: &str) {}
+        }
+        let def = StudyDef::new("s")
+            .machine(
+                StateMachineSpec::builder("a")
+                    .states(&["WATCH"])
+                    .build(),
+            )
+            .place("a", "host1");
+        let study = Study::compile_arc(&def).unwrap();
+        let cfg = ThreadHarnessConfig {
+            hosts: vec![("host1".to_owned(), ClockParams::ideal())],
+            timeout: Duration::from_millis(200),
+            ..Default::default()
+        };
+        let f: ThreadAppFactory = Arc::new(|_, _| Box::new(Immortal));
+        let data = run_thread_experiment(&study, f, &cfg, 0);
+        assert_eq!(data.end, ExperimentEnd::TimedOut);
+    }
+
+    #[test]
+    fn thread_crash_and_restart_on_other_host() {
+        struct Crasher;
+        impl ThreadApp for Crasher {
+            fn on_start(&mut self, ctx: &mut ThreadCtx<'_>, restarted: bool) {
+                if restarted {
+                    ctx.notify_event("DONE").unwrap(); // init alias to DONE
+                    ctx.set_timer(20_000_000, 9);
+                } else {
+                    ctx.notify_event("INIT").unwrap();
+                    ctx.set_timer(30_000_000, 1);
+                }
+            }
+            fn on_app_message(&mut self, _: &mut ThreadCtx<'_>, _: SmId, _: ThreadPayload) {}
+            fn on_timer(&mut self, ctx: &mut ThreadCtx<'_>, tag: u64) {
+                match tag {
+                    1 => {
+                        ctx.notify_event("GO").unwrap(); // -> BUSY triggers fault
+                    }
+                    9 => ctx.exit(),
+                    _ => {}
+                }
+            }
+            fn on_fault(&mut self, ctx: &mut ThreadCtx<'_>, _: &str) {
+                ctx.crash();
+            }
+        }
+        let def = StudyDef::new("s")
+            .machine(
+                StateMachineSpec::builder("a")
+                    .states(&["INIT", "BUSY", "DONE"])
+                    .events(&["GO"])
+                    .state("INIT", &[], &[("GO", "BUSY")])
+                    .state("BUSY", &[], &[])
+                    .state("DONE", &[], &[])
+                    .build(),
+            )
+            .fault("a", "kill", FaultExpr::atom("a", "BUSY"), Trigger::Once)
+            .place("a", "host1");
+        let study = Study::compile_arc(&def).unwrap();
+        let cfg = ThreadHarnessConfig {
+            hosts: vec![
+                ("host1".to_owned(), ClockParams::ideal()),
+                ("host2".to_owned(), ClockParams::with_drift_ppm(1e6, 50.0)),
+            ],
+            restart_probability: Some(1.0),
+            timeout: Duration::from_secs(10),
+            ..Default::default()
+        };
+        let f: ThreadAppFactory = Arc::new(|_, _| Box::new(Crasher));
+        let data = run_thread_experiment(&study, f, &cfg, 0);
+        assert_eq!(data.end, ExperimentEnd::Completed);
+        let t = data.timeline_for("a").unwrap();
+        assert_eq!(t.stints.len(), 2);
+        assert_eq!(t.stints[0].host, "host1");
+        assert_eq!(t.stints[1].host, "host2");
+        assert!(t
+            .records
+            .iter()
+            .any(|r| matches!(&r.kind, RecordKind::Restart { host } if host == "host2")));
+        assert_eq!(t.injection_count(), 1);
+    }
+}

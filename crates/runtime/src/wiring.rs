@@ -1,0 +1,98 @@
+//! Actor wiring: who the daemons, central daemon, and supervisor are.
+//!
+//! Plays the role of the thesis's *daemon startup file* and *daemon contact
+//! file* (§3.5.2): configuration every component reads at startup to find
+//! its peers. The harness fills it after spawning all long-lived actors and
+//! before the simulation runs its first event.
+
+use loki_sim::engine::ActorId;
+use std::cell::RefCell;
+
+/// Shared wiring table.
+#[derive(Debug, Default)]
+pub struct Wiring {
+    daemons: RefCell<Vec<ActorId>>,
+    central: RefCell<Option<ActorId>>,
+    supervisor: RefCell<Option<ActorId>>,
+}
+
+impl Wiring {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Wiring::default()
+    }
+
+    /// Sets the per-host daemon list (index = host index). In the
+    /// centralized design every entry is the same actor.
+    pub fn set_daemons(&self, daemons: Vec<ActorId>) {
+        *self.daemons.borrow_mut() = daemons;
+    }
+
+    /// The daemon serving `host_idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wiring has not been filled for that host.
+    pub fn daemon_for(&self, host_idx: usize) -> ActorId {
+        self.daemons.borrow()[host_idx]
+    }
+
+    /// All *distinct* daemon actors, in host order.
+    pub fn unique_daemons(&self) -> Vec<ActorId> {
+        let mut seen = Vec::new();
+        for &d in self.daemons.borrow().iter() {
+            if !seen.contains(&d) {
+                seen.push(d);
+            }
+        }
+        seen
+    }
+
+    /// Sets the central daemon.
+    pub fn set_central(&self, central: ActorId) {
+        *self.central.borrow_mut() = Some(central);
+    }
+
+    /// The central daemon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if unset.
+    pub fn central(&self) -> ActorId {
+        self.central.borrow().expect("central daemon wired")
+    }
+
+    /// Sets the restart supervisor (optional).
+    pub fn set_supervisor(&self, supervisor: ActorId) {
+        *self.supervisor.borrow_mut() = Some(supervisor);
+    }
+
+    /// The restart supervisor, if configured.
+    pub fn supervisor(&self) -> Option<ActorId> {
+        *self.supervisor.borrow()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_daemons_dedups_centralized_wiring() {
+        let w = Wiring::new();
+        let d = ActorId(7);
+        w.set_daemons(vec![d, d, d]);
+        assert_eq!(w.unique_daemons(), vec![d]);
+        assert_eq!(w.daemon_for(2), d);
+    }
+
+    #[test]
+    fn central_and_supervisor() {
+        let w = Wiring::new();
+        assert_eq!(w.supervisor(), None);
+        w.set_central(ActorId(1));
+        w.set_supervisor(ActorId(2));
+        assert_eq!(w.central(), ActorId(1));
+        assert_eq!(w.supervisor(), Some(ActorId(2)));
+    }
+}

@@ -1,0 +1,922 @@
+//! The deterministic discrete-event engine: actors, messages, timers,
+//! crashes.
+//!
+//! Components (daemons, nodes) are [`Actor`]s placed on simulated hosts.
+//! They exchange typed messages with realistic delays (link latency plus
+//! per-endpoint OS scheduling delay), set timers, watch each other for
+//! crashes, and read their host's drifting virtual clock. Execution is
+//! fully deterministic for a given seed: the event queue is ordered by
+//! `(time, sequence number)` and all randomness flows from one seeded RNG.
+
+use crate::config::{HostConfig, NetworkConfig};
+use loki_clock::params::VirtualClock;
+use loki_core::time::LocalNanos;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::fmt;
+
+/// Identifies a simulated host.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub u32);
+
+/// Identifies an actor (a simulated process).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActorId(pub u32);
+
+/// Identifies a timer set by an actor.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+/// Why a watched peer went down.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DownReason {
+    /// The peer crashed (killed or crashed itself).
+    Crash,
+    /// The peer exited cleanly.
+    Exit,
+}
+
+/// A simulated process. `M` is the application-defined message type.
+///
+/// All callbacks receive a [`Ctx`] granting access to the clock, messaging,
+/// timers, spawning, and the RNG. Callbacks run to completion at one
+/// simulation instant (computation time can be modelled explicitly with
+/// timers if needed).
+pub trait Actor<M> {
+    /// Called once when the actor starts (at its spawn instant).
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
+        let _ = ctx;
+    }
+
+    /// Called for each delivered message.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, from: ActorId, msg: M);
+
+    /// Called when a timer set via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, tag: u64) {
+        let _ = (ctx, tag);
+    }
+
+    /// Called when a peer watched via [`Ctx::watch`] dies.
+    fn on_peer_down(&mut self, ctx: &mut Ctx<'_, M>, peer: ActorId, reason: DownReason) {
+        let _ = (ctx, peer, reason);
+    }
+}
+
+enum Event<M> {
+    Start {
+        actor: ActorId,
+    },
+    Deliver {
+        to: ActorId,
+        from: ActorId,
+        msg: M,
+    },
+    Timer {
+        actor: ActorId,
+        id: TimerId,
+        tag: u64,
+    },
+    PeerDown {
+        observer: ActorId,
+        dead: ActorId,
+        reason: DownReason,
+    },
+}
+
+struct Scheduled<M> {
+    time: u64,
+    seq: u64,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// One entry of the simulation trace (for debugging and tests).
+#[derive(Clone, Debug)]
+pub enum TraceEntry {
+    /// An actor was spawned on a host.
+    Spawn {
+        /// Simulation time (physical ns).
+        time: u64,
+        /// The new actor.
+        actor: ActorId,
+        /// Its host.
+        host: HostId,
+    },
+    /// An actor died.
+    Down {
+        /// Simulation time (physical ns).
+        time: u64,
+        /// The dead actor.
+        actor: ActorId,
+        /// Crash or clean exit.
+        reason: DownReason,
+    },
+    /// A message was delivered.
+    Deliver {
+        /// Simulation time (physical ns).
+        time: u64,
+        /// Sender.
+        from: ActorId,
+        /// Receiver.
+        to: ActorId,
+    },
+}
+
+/// The discrete-event simulation.
+///
+/// # Examples
+///
+/// ```
+/// use loki_sim::config::HostConfig;
+/// use loki_sim::engine::{Actor, ActorId, Ctx, Simulation};
+///
+/// struct Echo;
+/// impl Actor<String> for Echo {
+///     fn on_message(&mut self, ctx: &mut Ctx<'_, String>, from: ActorId, msg: String) {
+///         if msg == "ping" {
+///             ctx.send(from, "pong".to_owned());
+///         }
+///     }
+/// }
+///
+/// struct Probe { echoed: bool }
+/// impl Actor<String> for Probe {
+///     fn on_start(&mut self, ctx: &mut Ctx<'_, String>) {
+///         ctx.send(ActorId(0), "ping".to_owned());
+///     }
+///     fn on_message(&mut self, _ctx: &mut Ctx<'_, String>, _from: ActorId, msg: String) {
+///         assert_eq!(msg, "pong");
+///         self.echoed = true;
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(42);
+/// let h = sim.add_host(HostConfig::new("h1"));
+/// sim.spawn(h, Box::new(Echo));
+/// sim.spawn(h, Box::new(Probe { echoed: false }));
+/// sim.run();
+/// assert!(sim.now() > 0); // messages took simulated time
+/// ```
+pub struct Simulation<M> {
+    time: u64,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<M>>,
+    hosts: Vec<HostConfig>,
+    clocks: Vec<VirtualClock>,
+    actors: Vec<Option<Box<dyn Actor<M>>>>,
+    actor_hosts: Vec<HostId>,
+    alive: Vec<bool>,
+    watchers: HashMap<ActorId, Vec<ActorId>>,
+    fifo_horizon: HashMap<(ActorId, ActorId), u64>,
+    cancelled_timers: HashSet<TimerId>,
+    next_timer: u64,
+    network: NetworkConfig,
+    sched_enabled: bool,
+    rng: StdRng,
+    trace: Vec<TraceEntry>,
+    trace_enabled: bool,
+    max_events: u64,
+    events_processed: u64,
+}
+
+impl<M: 'static> Simulation<M> {
+    /// Creates an empty simulation seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Simulation {
+            time: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            hosts: Vec::new(),
+            clocks: Vec::new(),
+            actors: Vec::new(),
+            actor_hosts: Vec::new(),
+            alive: Vec::new(),
+            watchers: HashMap::new(),
+            fifo_horizon: HashMap::new(),
+            cancelled_timers: HashSet::new(),
+            next_timer: 0,
+            network: NetworkConfig::default(),
+            sched_enabled: true,
+            rng: StdRng::seed_from_u64(seed),
+            trace: Vec::new(),
+            trace_enabled: true,
+            max_events: 50_000_000,
+            events_processed: 0,
+        }
+    }
+
+    /// Replaces the network latency configuration.
+    pub fn set_network(&mut self, network: NetworkConfig) {
+        self.network = network;
+    }
+
+    /// Enables or disables OS scheduling delays on message endpoints.
+    ///
+    /// On an idle host a runnable process is dispatched immediately; the
+    /// Loki harness disables scheduling delays during the synchronization
+    /// mini-phases (which run before/after the experiment, when nothing
+    /// else is runnable) and enables them during the busy runtime phase.
+    pub fn set_sched_enabled(&mut self, enabled: bool) {
+        self.sched_enabled = enabled;
+    }
+
+    /// Disables trace collection (for long benchmark runs).
+    pub fn disable_trace(&mut self) {
+        self.trace_enabled = false;
+        self.trace.clear();
+    }
+
+    /// Caps the number of processed events (a runaway guard).
+    pub fn set_max_events(&mut self, max: u64) {
+        self.max_events = max;
+    }
+
+    /// Adds a host; returns its id.
+    pub fn add_host(&mut self, config: HostConfig) -> HostId {
+        let id = HostId(self.hosts.len() as u32);
+        self.clocks.push(VirtualClock::new(config.clock));
+        self.hosts.push(config);
+        id
+    }
+
+    /// Host configuration lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is not part of this simulation.
+    pub fn host(&self, host: HostId) -> &HostConfig {
+        &self.hosts[host.0 as usize]
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Spawns an actor on `host`; its `on_start` runs at the current time.
+    pub fn spawn(&mut self, host: HostId, actor: Box<dyn Actor<M>>) -> ActorId {
+        let id = ActorId(self.actors.len() as u32);
+        self.actors.push(Some(actor));
+        self.actor_hosts.push(host);
+        self.alive.push(true);
+        if self.trace_enabled {
+            self.trace.push(TraceEntry::Spawn {
+                time: self.time,
+                actor: id,
+                host,
+            });
+        }
+        self.push(self.time, Event::Start { actor: id });
+        id
+    }
+
+    /// Current simulation (physical) time in nanoseconds.
+    pub fn now(&self) -> u64 {
+        self.time
+    }
+
+    /// Reads `host`'s local clock at the current instant.
+    pub fn local_clock(&self, host: HostId) -> LocalNanos {
+        self.clocks[host.0 as usize].read(self.time)
+    }
+
+    /// Whether `actor` is still alive.
+    pub fn is_alive(&self, actor: ActorId) -> bool {
+        self.alive.get(actor.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// The host an actor runs on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actor` was never spawned.
+    pub fn host_of(&self, actor: ActorId) -> HostId {
+        self.actor_hosts[actor.0 as usize]
+    }
+
+    /// The collected trace.
+    pub fn trace(&self) -> &[TraceEntry] {
+        &self.trace
+    }
+
+    /// Kills an actor from outside the simulation (test harness use).
+    pub fn kill(&mut self, actor: ActorId, reason: DownReason) {
+        self.kill_internal(actor, reason);
+    }
+
+    /// Runs until the event queue drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event cap is exceeded (runaway protection).
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until the queue drains or the simulation clock passes
+    /// `deadline_ns`, then advances the clock to `deadline_ns` if it is
+    /// still behind. Returns `true` if the deadline was hit with events
+    /// still pending.
+    pub fn run_until(&mut self, deadline_ns: u64) -> bool {
+        loop {
+            match self.queue.peek() {
+                None => {
+                    self.time = self.time.max(deadline_ns);
+                    return false;
+                }
+                Some(s) if s.time > deadline_ns => {
+                    self.time = deadline_ns;
+                    return true;
+                }
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Processes one event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(s) = self.queue.pop() else {
+            return false;
+        };
+        self.events_processed += 1;
+        assert!(
+            self.events_processed <= self.max_events,
+            "simulation exceeded {} events — runaway?",
+            self.max_events
+        );
+        debug_assert!(s.time >= self.time, "time went backwards");
+        self.time = s.time;
+        match s.event {
+            Event::Start { actor } => {
+                self.dispatch(actor, |a, ctx| a.on_start(ctx));
+            }
+            Event::Deliver { to, from, msg } => {
+                if self.trace_enabled && self.is_alive(to) {
+                    self.trace.push(TraceEntry::Deliver {
+                        time: self.time,
+                        from,
+                        to,
+                    });
+                }
+                self.dispatch(to, move |a, ctx| a.on_message(ctx, from, msg));
+            }
+            Event::Timer { actor, id, tag } => {
+                if self.cancelled_timers.remove(&id) {
+                    return true;
+                }
+                self.dispatch(actor, move |a, ctx| a.on_timer(ctx, tag));
+            }
+            Event::PeerDown {
+                observer,
+                dead,
+                reason,
+            } => {
+                self.dispatch(observer, move |a, ctx| a.on_peer_down(ctx, dead, reason));
+            }
+        }
+        true
+    }
+
+    fn dispatch(
+        &mut self,
+        actor: ActorId,
+        f: impl FnOnce(&mut Box<dyn Actor<M>>, &mut Ctx<'_, M>),
+    ) {
+        if !self.is_alive(actor) {
+            return;
+        }
+        let mut a = match self.actors[actor.0 as usize].take() {
+            Some(a) => a,
+            None => return,
+        };
+        let mut ctx = Ctx {
+            sim: self,
+            me: actor,
+            self_down: None,
+        };
+        f(&mut a, &mut ctx);
+        let self_down = ctx.self_down;
+        match self_down {
+            None => {
+                // Only restore if the actor wasn't killed by someone else
+                // during its own callback (not possible today, but cheap to
+                // guard).
+                if self.alive[actor.0 as usize] {
+                    self.actors[actor.0 as usize] = Some(a);
+                }
+            }
+            Some(reason) => {
+                self.actors[actor.0 as usize] = Some(a); // keep the corpse for ownership hygiene
+                self.kill_internal(actor, reason);
+            }
+        }
+    }
+
+    fn kill_internal(&mut self, actor: ActorId, reason: DownReason) {
+        if !self.is_alive(actor) {
+            return;
+        }
+        self.alive[actor.0 as usize] = false;
+        self.actors[actor.0 as usize] = None;
+        if self.trace_enabled {
+            self.trace.push(TraceEntry::Down {
+                time: self.time,
+                actor,
+                reason,
+            });
+        }
+        let detect = self.hosts[self.actor_hosts[actor.0 as usize].0 as usize].crash_detect_ns;
+        if let Some(watchers) = self.watchers.remove(&actor) {
+            for observer in watchers {
+                self.push(
+                    self.time + detect,
+                    Event::PeerDown {
+                        observer,
+                        dead: actor,
+                        reason,
+                    },
+                );
+            }
+        }
+    }
+
+    fn push(&mut self, time: u64, event: Event<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { time, seq, event });
+    }
+}
+
+impl<M> fmt::Debug for Simulation<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("time", &self.time)
+            .field("hosts", &self.hosts.len())
+            .field("actors", &self.actors.len())
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+/// The context handed to actor callbacks: clock, messaging, timers,
+/// spawning, RNG.
+pub struct Ctx<'a, M> {
+    sim: &'a mut Simulation<M>,
+    me: ActorId,
+    self_down: Option<DownReason>,
+}
+
+impl<'a, M: 'static> Ctx<'a, M> {
+    /// The current actor's id.
+    pub fn me(&self) -> ActorId {
+        self.me
+    }
+
+    /// The current actor's host.
+    pub fn my_host(&self) -> HostId {
+        self.sim.host_of(self.me)
+    }
+
+    /// The host name of the current actor.
+    pub fn my_host_name(&self) -> String {
+        self.sim.host(self.my_host()).name.clone()
+    }
+
+    /// Reads the *local clock* of this actor's host — the only notion of
+    /// time a Loki runtime component may use.
+    pub fn local_clock(&self) -> LocalNanos {
+        self.sim.local_clock(self.my_host())
+    }
+
+    /// Physical simulation time. Reserved for harness-level ground truth
+    /// (e.g. computing a true injection-correctness oracle); runtime
+    /// components must not consult it.
+    pub fn physical_now(&self) -> u64 {
+        self.sim.now()
+    }
+
+    /// Sends `msg` to `to` with realistic delay: sender scheduling delay +
+    /// link latency (IPC within a host, TCP across hosts) + receiver
+    /// scheduling delay. Deliveries between the same `(sender, receiver)`
+    /// pair are FIFO, as over a TCP connection or a shared-memory queue.
+    /// Messages to dead actors are silently dropped at delivery time.
+    pub fn send(&mut self, to: ActorId, msg: M) {
+        let from_host = self.sim.host_of(self.me);
+        let to_host = self.sim.host_of(to);
+        let link = if from_host == to_host {
+            self.sim.network.ipc
+        } else {
+            self.sim.network.tcp
+        };
+        let (d_send, d_recv) = if self.sim.sched_enabled {
+            (
+                self.sim.hosts[from_host.0 as usize].sched_delay(&mut self.sim.rng),
+                self.sim.hosts[to_host.0 as usize].sched_delay(&mut self.sim.rng),
+            )
+        } else {
+            (0, 0)
+        };
+        let d_link = link.sample(&mut self.sim.rng);
+        let at = self.sim.time + d_send + d_link + d_recv;
+        self.deliver_fifo(to, at, msg);
+    }
+
+    /// Sends with an explicit extra delay (e.g. modelling processing time)
+    /// plus the link latency; scheduling delays are not added.
+    pub fn send_after(&mut self, delay_ns: u64, to: ActorId, msg: M) {
+        let from_host = self.sim.host_of(self.me);
+        let to_host = self.sim.host_of(to);
+        let link = if from_host == to_host {
+            self.sim.network.ipc
+        } else {
+            self.sim.network.tcp
+        };
+        let d_link = link.sample(&mut self.sim.rng);
+        let at = self.sim.time + delay_ns + d_link;
+        self.deliver_fifo(to, at, msg);
+    }
+
+    fn deliver_fifo(&mut self, to: ActorId, at: u64, msg: M) {
+        let key = (self.me, to);
+        let at = match self.sim.fifo_horizon.get(&key) {
+            Some(&last) if at <= last => last + 1,
+            _ => at,
+        };
+        self.sim.fifo_horizon.insert(key, at);
+        self.sim.push(
+            at,
+            Event::Deliver {
+                to,
+                from: self.me,
+                msg,
+            },
+        );
+    }
+
+    /// Sets a timer firing after `delay_ns`; `tag` is returned to
+    /// [`Actor::on_timer`].
+    pub fn set_timer(&mut self, delay_ns: u64, tag: u64) -> TimerId {
+        let id = TimerId(self.sim.next_timer);
+        self.sim.next_timer += 1;
+        let at = self.sim.time + delay_ns;
+        self.sim.push(
+            at,
+            Event::Timer {
+                actor: self.me,
+                id,
+                tag,
+            },
+        );
+        id
+    }
+
+    /// Cancels a pending timer (firing already-queued timers is prevented).
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.sim.cancelled_timers.insert(id);
+    }
+
+    /// Registers interest in `peer`'s death; [`Actor::on_peer_down`] will be
+    /// called (after the host's crash-detection latency).
+    pub fn watch(&mut self, peer: ActorId) {
+        self.sim.watchers.entry(peer).or_default().push(self.me);
+    }
+
+    /// Spawns a new actor on `host` (it starts at the current instant).
+    pub fn spawn(&mut self, host: HostId, actor: Box<dyn Actor<M>>) -> ActorId {
+        self.sim.spawn(host, actor)
+    }
+
+    /// Kills another actor immediately (e.g. a daemon killing a node).
+    pub fn kill(&mut self, actor: ActorId, reason: DownReason) {
+        if actor == self.me {
+            self.self_down = Some(reason);
+        } else {
+            self.sim.kill_internal(actor, reason);
+        }
+    }
+
+    /// Terminates the current actor with a crash.
+    pub fn crash_self(&mut self) {
+        self.self_down = Some(DownReason::Crash);
+    }
+
+    /// Whether the current actor has requested its own termination during
+    /// this callback (via [`Ctx::crash_self`] or [`Ctx::exit_self`]).
+    pub fn terminating(&self) -> bool {
+        self.self_down.is_some()
+    }
+
+    /// Terminates the current actor cleanly.
+    pub fn exit_self(&mut self) {
+        self.self_down = Some(DownReason::Exit);
+    }
+
+    /// Whether `actor` is alive.
+    pub fn is_alive(&self, actor: ActorId) -> bool {
+        self.sim.is_alive(actor)
+    }
+
+    /// The host an actor runs on.
+    pub fn host_of(&self, actor: ActorId) -> HostId {
+        self.sim.host_of(actor)
+    }
+
+    /// Name of a host.
+    pub fn host_name(&self, host: HostId) -> &str {
+        &self.sim.host(host).name
+    }
+
+    /// Looks up a host id by name.
+    pub fn find_host(&self, name: &str) -> Option<HostId> {
+        self.sim
+            .hosts
+            .iter()
+            .position(|h| h.name == name)
+            .map(|i| HostId(i as u32))
+    }
+
+    /// The deterministic simulation RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.sim.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LatencyModel;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Debug, PartialEq, Clone)]
+    enum Msg {
+        Ping,
+        Pong,
+    }
+
+    struct Ponger;
+    impl Actor<Msg> for Ponger {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: ActorId, msg: Msg) {
+            if msg == Msg::Ping {
+                ctx.send(from, Msg::Pong);
+            }
+        }
+    }
+
+    struct Pinger {
+        target: ActorId,
+        log: Rc<RefCell<Vec<(u64, Msg)>>>,
+    }
+    impl Actor<Msg> for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            ctx.send(self.target, Msg::Ping);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: ActorId, msg: Msg) {
+            self.log.borrow_mut().push((ctx.physical_now(), msg));
+        }
+    }
+
+    fn two_host_sim(seed: u64) -> (Simulation<Msg>, HostId, HostId) {
+        let mut sim = Simulation::new(seed);
+        let h1 = sim.add_host(HostConfig::new("h1").timeslice_ns(0));
+        let h2 = sim.add_host(HostConfig::new("h2").timeslice_ns(0));
+        sim.set_network(NetworkConfig {
+            ipc: LatencyModel::constant(20_000),
+            tcp: LatencyModel::constant(150_000),
+        });
+        (sim, h1, h2)
+    }
+
+    #[test]
+    fn ping_pong_across_hosts_takes_two_tcp_hops() {
+        let (mut sim, h1, h2) = two_host_sim(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let ponger = sim.spawn(h2, Box::new(Ponger));
+        sim.spawn(
+            h1,
+            Box::new(Pinger {
+                target: ponger,
+                log: log.clone(),
+            }),
+        );
+        sim.run();
+        let log = log.borrow();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0], (300_000, Msg::Pong)); // 2 × 150 µs
+    }
+
+    #[test]
+    fn same_host_uses_ipc_latency() {
+        let (mut sim, h1, _) = two_host_sim(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let ponger = sim.spawn(h1, Box::new(Ponger));
+        sim.spawn(
+            h1,
+            Box::new(Pinger {
+                target: ponger,
+                log: log.clone(),
+            }),
+        );
+        sim.run();
+        assert_eq!(log.borrow()[0].0, 40_000); // 2 × 20 µs
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed| {
+            let mut sim = Simulation::new(seed);
+            let h1 = sim.add_host(HostConfig::new("h1").timeslice_ns(1_000_000));
+            let h2 = sim.add_host(HostConfig::new("h2").timeslice_ns(1_000_000));
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let ponger = sim.spawn(h2, Box::new(Ponger));
+            sim.spawn(
+                h1,
+                Box::new(Pinger {
+                    target: ponger,
+                    log: log.clone(),
+                }),
+            );
+            sim.run();
+            let v = log.borrow().clone();
+            v
+        };
+        assert_eq!(run(7), run(7));
+        // Different seeds give different scheduling delays (almost surely).
+        assert_ne!(run(7), run(8));
+    }
+
+    struct CrashOnStart;
+    impl Actor<Msg> for CrashOnStart {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            ctx.crash_self();
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, Msg>, _: ActorId, _: Msg) {}
+    }
+
+    struct Watcher {
+        target: ActorId,
+        seen: Rc<RefCell<Option<(ActorId, DownReason)>>>,
+    }
+    impl Actor<Msg> for Watcher {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            ctx.watch(self.target);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, Msg>, _: ActorId, _: Msg) {}
+        fn on_peer_down(&mut self, _ctx: &mut Ctx<'_, Msg>, peer: ActorId, reason: DownReason) {
+            *self.seen.borrow_mut() = Some((peer, reason));
+        }
+    }
+
+    #[test]
+    fn watcher_notified_of_crash_after_detect_delay() {
+        let (mut sim, h1, _) = two_host_sim(3);
+        let seen = Rc::new(RefCell::new(None));
+        // Spawn watcher first so it registers before the crash.
+        let crasher_id = ActorId(1);
+        sim.spawn(
+            h1,
+            Box::new(Watcher {
+                target: crasher_id,
+                seen: seen.clone(),
+            }),
+        );
+        let spawned = sim.spawn(h1, Box::new(CrashOnStart));
+        assert_eq!(spawned, crasher_id);
+        sim.run();
+        assert_eq!(*seen.borrow(), Some((crasher_id, DownReason::Crash)));
+        assert!(!sim.is_alive(crasher_id));
+        // Crash detection took the configured latency.
+        assert_eq!(sim.now(), 50_000);
+    }
+
+    #[test]
+    fn messages_to_dead_actors_are_dropped() {
+        let (mut sim, h1, _) = two_host_sim(4);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let dead = sim.spawn(h1, Box::new(CrashOnStart));
+        sim.spawn(
+            h1,
+            Box::new(Pinger {
+                target: dead,
+                log: log.clone(),
+            }),
+        );
+        sim.run();
+        assert!(log.borrow().is_empty());
+    }
+
+    struct TimerActor {
+        fired: Rc<RefCell<Vec<u64>>>,
+        cancel_second: bool,
+    }
+    impl Actor<Msg> for TimerActor {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            ctx.set_timer(1_000, 1);
+            let second = ctx.set_timer(2_000, 2);
+            if self.cancel_second {
+                ctx.cancel_timer(second);
+            }
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, Msg>, _: ActorId, _: Msg) {}
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, Msg>, tag: u64) {
+            self.fired.borrow_mut().push(tag);
+        }
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        let (mut sim, h1, _) = two_host_sim(5);
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        sim.spawn(
+            h1,
+            Box::new(TimerActor {
+                fired: fired.clone(),
+                cancel_second: true,
+            }),
+        );
+        sim.run();
+        assert_eq!(*fired.borrow(), vec![1]);
+
+        let fired2 = Rc::new(RefCell::new(Vec::new()));
+        let (mut sim, h1, _) = two_host_sim(5);
+        sim.spawn(
+            h1,
+            Box::new(TimerActor {
+                fired: fired2.clone(),
+                cancel_second: false,
+            }),
+        );
+        sim.run();
+        assert_eq!(*fired2.borrow(), vec![1, 2]);
+    }
+
+    #[test]
+    fn local_clocks_drift_apart() {
+        use loki_clock::params::ClockParams;
+        let mut sim: Simulation<Msg> = Simulation::new(6);
+        let h1 = sim.add_host(HostConfig::new("h1").clock(ClockParams::with_drift_ppm(0.0, 0.0)));
+        let h2 =
+            sim.add_host(HostConfig::new("h2").clock(ClockParams::with_drift_ppm(5000.0, 100.0)));
+        // No events: drive time forward with run_until.
+        sim.run_until(1_000_000_000);
+        let c1 = sim.local_clock(h1).as_nanos();
+        let c2 = sim.local_clock(h2).as_nanos();
+        assert_eq!(c1, 1_000_000_000);
+        assert_eq!(c2, 1_000_105_000); // 5 µs offset + 100 ppm drift
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let (mut sim, h1, _) = two_host_sim(7);
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        sim.spawn(
+            h1,
+            Box::new(TimerActor {
+                fired: fired.clone(),
+                cancel_second: false,
+            }),
+        );
+        let pending = sim.run_until(1_500);
+        assert!(pending);
+        assert_eq!(*fired.borrow(), vec![1]);
+        assert_eq!(sim.now(), 1_500);
+    }
+
+    #[test]
+    fn trace_records_lifecycle() {
+        let (mut sim, h1, _) = two_host_sim(8);
+        sim.spawn(h1, Box::new(CrashOnStart));
+        sim.run();
+        let kinds: Vec<&'static str> = sim
+            .trace()
+            .iter()
+            .map(|t| match t {
+                TraceEntry::Spawn { .. } => "spawn",
+                TraceEntry::Down { .. } => "down",
+                TraceEntry::Deliver { .. } => "deliver",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["spawn", "down"]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # loki-sim
+//!
+//! Deterministic discrete-event simulation substrate for the Loki fault
+//! injector. The thesis evaluated Loki on a cluster of Linux hosts; this
+//! crate models exactly the aspects of that environment the evaluation
+//! depends on:
+//!
+//! * **hosts** with independent, drifting virtual clocks
+//!   ([`loki_clock::VirtualClock`]) read at a configurable granularity;
+//! * an **OS scheduler** per host whose timeslice adds a dispatch delay to
+//!   every message endpoint — the dominant cause of missed state-targeted
+//!   injections (thesis §3.2.2, Figures 3.2/3.3);
+//! * a **network** with IPC-like (~20 µs) same-host and TCP-like (~150 µs)
+//!   cross-host latency (the figures of the §3.4.2 design comparison);
+//! * **processes** (actors) that can crash, exit, watch one another, set
+//!   timers, and spawn new processes — everything the Loki daemons and
+//!   nodes need.
+//!
+//! Runs are exactly reproducible for a given seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+
+pub use config::{HostConfig, LatencyModel, NetworkConfig};
+pub use engine::{Actor, ActorId, Ctx, DownReason, HostId, Simulation, TimerId, TraceEntry};

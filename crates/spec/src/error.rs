@@ -1,0 +1,57 @@
+//! Parse errors with line information.
+
+use std::error::Error;
+use std::fmt;
+
+/// A parse error in one of Loki's textual formats.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number where the error occurred (0 when not tied to a
+    /// specific line, e.g. an unexpected end of input).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates an error at `line` with `message`.
+    pub fn at(line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Creates an error not tied to a line (e.g. unexpected EOF).
+    pub fn eof(message: impl Into<String>) -> Self {
+        ParseError {
+            line: 0,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "parse error: {}", self.message)
+        } else {
+            write!(f, "parse error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = ParseError::at(7, "bad token");
+        assert_eq!(e.to_string(), "parse error at line 7: bad token");
+        let e = ParseError::eof("unexpected end of input");
+        assert_eq!(e.to_string(), "parse error: unexpected end of input");
+    }
+}

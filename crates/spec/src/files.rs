@@ -1,0 +1,365 @@
+//! The small line-oriented configuration files of the Loki runtime.
+//!
+//! * **fault specification** (§3.5.5): `<FaultName> <BooleanExpr> <once|always>`
+//! * **node file** (§3.5.1): `<SM NickName> [<HostName>]`
+//! * **machines file** (§5.6): one host name per line
+//! * **daemon startup file** (§3.5.2): `<HostName> <PortNumber>`
+//! * **daemon contact file** (§3.5.2): `<HostName> <SharedMemoryID> <SemaphoreID>`
+//! * **study file** (§5.6): six fixed lines naming the machine and its
+//!   input files
+//!
+//! All parsers ignore blank lines and `#` comments.
+
+use crate::error::ParseError;
+use crate::expr::parse_expr;
+use loki_core::fault::Trigger;
+use loki_core::spec::{FaultSpec, NodePlacement};
+use serde::{Deserialize, Serialize};
+
+fn content_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines().enumerate().filter_map(|(i, raw)| {
+        let line = match raw.find('#') {
+            Some(idx) => &raw[..idx],
+            None => raw,
+        }
+        .trim();
+        (!line.is_empty()).then_some((i + 1, line))
+    })
+}
+
+/// Parses a fault specification file; `owner` is the state machine whose
+/// probe injects these faults (fault files are per-machine, §3.5.5).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for malformed lines or expressions.
+///
+/// # Examples
+///
+/// ```
+/// use loki_spec::files::parse_fault_spec;
+///
+/// let faults = parse_fault_spec(
+///     "green",
+///     "gfault2 ((black:CRASH) & ((green:FOLLOW) | (green:ELECT))) once\n",
+/// )?;
+/// assert_eq!(faults[0].name, "gfault2");
+/// # Ok::<(), loki_spec::error::ParseError>(())
+/// ```
+pub fn parse_fault_spec(owner: &str, text: &str) -> Result<Vec<FaultSpec>, ParseError> {
+    let mut out = Vec::new();
+    for (lineno, line) in content_lines(text) {
+        let name = line.split_whitespace().next().expect("non-empty");
+        let rest = line[name.len()..].trim();
+        let trigger_word = rest
+            .split_whitespace()
+            .last()
+            .ok_or_else(|| ParseError::at(lineno, "fault line needs an expression and a trigger"))?;
+        let trigger = match trigger_word {
+            "once" => Trigger::Once,
+            "always" => Trigger::Always,
+            other => {
+                return Err(ParseError::at(
+                    lineno,
+                    format!("expected `once` or `always`, found `{other}`"),
+                ))
+            }
+        };
+        let expr_text = rest[..rest.len() - trigger_word.len()].trim();
+        let expr = parse_expr(expr_text).map_err(|e| {
+            ParseError::at(lineno, format!("in fault `{name}`: {}", e.message))
+        })?;
+        out.push(FaultSpec {
+            owner: owner.to_owned(),
+            name: name.to_owned(),
+            expr,
+            trigger,
+        });
+    }
+    Ok(out)
+}
+
+/// Writes a fault specification file.
+pub fn write_fault_spec(faults: &[FaultSpec]) -> String {
+    let mut out = String::new();
+    for f in faults {
+        out.push_str(&format!("{} {} {}\n", f.name, f.expr, f.trigger));
+    }
+    out
+}
+
+/// Parses a node file: `<SM NickName> [<HostName>]` per line (§3.5.1).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for lines with more than two tokens.
+pub fn parse_node_file(text: &str) -> Result<Vec<NodePlacement>, ParseError> {
+    let mut out = Vec::new();
+    for (lineno, line) in content_lines(text) {
+        let mut tokens = line.split_whitespace();
+        let sm = tokens.next().expect("non-empty").to_owned();
+        let host = tokens.next().map(str::to_owned);
+        if tokens.next().is_some() {
+            return Err(ParseError::at(lineno, "node file lines have at most two fields"));
+        }
+        out.push(NodePlacement { sm, host });
+    }
+    Ok(out)
+}
+
+/// Writes a node file.
+pub fn write_node_file(placements: &[NodePlacement]) -> String {
+    let mut out = String::new();
+    for p in placements {
+        match &p.host {
+            Some(h) => out.push_str(&format!("{} {}\n", p.sm, h)),
+            None => out.push_str(&format!("{}\n", p.sm)),
+        }
+    }
+    out
+}
+
+/// Parses a machines file: one host name per line (§5.6).
+pub fn parse_machines_file(text: &str) -> Vec<String> {
+    content_lines(text).map(|(_, l)| l.to_owned()).collect()
+}
+
+/// Writes a machines file.
+pub fn write_machines_file(hosts: &[String]) -> String {
+    let mut out = String::new();
+    for h in hosts {
+        out.push_str(h);
+        out.push('\n');
+    }
+    out
+}
+
+/// One entry of the daemon startup file: where each local daemon listens.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DaemonEndpoint {
+    /// Host name.
+    pub host: String,
+    /// TCP port of the local daemon.
+    pub port: u16,
+}
+
+/// Parses a daemon startup file: `<HostName> <PortNumber>` (§3.5.2).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for malformed ports or extra fields.
+pub fn parse_daemon_startup(text: &str) -> Result<Vec<DaemonEndpoint>, ParseError> {
+    let mut out = Vec::new();
+    for (lineno, line) in content_lines(text) {
+        let mut tokens = line.split_whitespace();
+        let host = tokens.next().expect("non-empty").to_owned();
+        let port_str = tokens
+            .next()
+            .ok_or_else(|| ParseError::at(lineno, "daemon startup line needs a port"))?;
+        let port: u16 = port_str
+            .parse()
+            .map_err(|_| ParseError::at(lineno, format!("invalid port `{port_str}`")))?;
+        if tokens.next().is_some() {
+            return Err(ParseError::at(lineno, "unexpected extra field"));
+        }
+        out.push(DaemonEndpoint { host, port });
+    }
+    Ok(out)
+}
+
+/// Writes a daemon startup file.
+pub fn write_daemon_startup(endpoints: &[DaemonEndpoint]) -> String {
+    let mut out = String::new();
+    for e in endpoints {
+        out.push_str(&format!("{} {}\n", e.host, e.port));
+    }
+    out
+}
+
+/// One entry of the daemon contact file: the IPC identifiers a state
+/// machine uses to reach its local daemon.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DaemonContact {
+    /// Host name.
+    pub host: String,
+    /// Shared memory identifier.
+    pub shm_id: u64,
+    /// Semaphore identifier.
+    pub sem_id: u64,
+}
+
+/// Parses a daemon contact file: `<HostName> <SharedMemoryID> <SemaphoreID>`
+/// (§3.5.2).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for malformed identifiers or missing fields.
+pub fn parse_daemon_contact(text: &str) -> Result<Vec<DaemonContact>, ParseError> {
+    let mut out = Vec::new();
+    for (lineno, line) in content_lines(text) {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.len() != 3 {
+            return Err(ParseError::at(lineno, "expected `<host> <shmid> <semid>`"));
+        }
+        let shm_id = tokens[1]
+            .parse()
+            .map_err(|_| ParseError::at(lineno, format!("invalid shm id `{}`", tokens[1])))?;
+        let sem_id = tokens[2]
+            .parse()
+            .map_err(|_| ParseError::at(lineno, format!("invalid sem id `{}`", tokens[2])))?;
+        out.push(DaemonContact {
+            host: tokens[0].to_owned(),
+            shm_id,
+            sem_id,
+        });
+    }
+    Ok(out)
+}
+
+/// Writes a daemon contact file.
+pub fn write_daemon_contact(contacts: &[DaemonContact]) -> String {
+    let mut out = String::new();
+    for c in contacts {
+        out.push_str(&format!("{} {} {}\n", c.host, c.shm_id, c.sem_id));
+    }
+    out
+}
+
+/// The study file: per-machine pointers to its specification inputs (§5.6).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StudyFile {
+    /// The machine's nickname (`<SMNickName>`).
+    pub sm_nickname: String,
+    /// Path of the node file.
+    pub node_file: String,
+    /// Path of the state machine specification file.
+    pub sm_spec_file: String,
+    /// Path of the fault specification file.
+    pub fault_spec_file: String,
+    /// Path of the instrumented application executable.
+    pub executable: String,
+    /// Application arguments (a single line; may be empty).
+    pub arguments: String,
+}
+
+/// Parses a study file: six fixed lines (§5.6). The arguments line may be
+/// absent, in which case `arguments` is empty.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] when fewer than five content lines are present.
+pub fn parse_study_file(text: &str) -> Result<StudyFile, ParseError> {
+    let lines: Vec<&str> = content_lines(text).map(|(_, l)| l).collect();
+    if lines.len() < 5 {
+        return Err(ParseError::eof(format!(
+            "study file needs at least 5 lines, found {}",
+            lines.len()
+        )));
+    }
+    Ok(StudyFile {
+        sm_nickname: lines[0].to_owned(),
+        node_file: lines[1].to_owned(),
+        sm_spec_file: lines[2].to_owned(),
+        fault_spec_file: lines[3].to_owned(),
+        executable: lines[4].to_owned(),
+        arguments: lines.get(5).copied().unwrap_or("").to_owned(),
+    })
+}
+
+/// Writes a study file.
+pub fn write_study_file(study: &StudyFile) -> String {
+    format!(
+        "{}\n{}\n{}\n{}\n{}\n{}\n",
+        study.sm_nickname,
+        study.node_file,
+        study.sm_spec_file,
+        study.fault_spec_file,
+        study.executable,
+        study.arguments
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_core::fault::FaultExpr;
+
+    #[test]
+    fn fault_spec_roundtrip_thesis_examples() {
+        let text = "\
+bfault1 (black:LEAD) always
+gfault2 ((black:CRASH) & ((green:FOLLOW) | (green:ELECT))) once
+gfault3 ((green:FOLLOW) | (green:ELECT)) once
+";
+        let faults = parse_fault_spec("green", text).unwrap();
+        assert_eq!(faults.len(), 3);
+        assert_eq!(faults[0].name, "bfault1");
+        assert_eq!(faults[0].trigger, Trigger::Always);
+        assert_eq!(faults[0].expr, FaultExpr::atom("black", "LEAD"));
+        assert_eq!(faults[1].trigger, Trigger::Once);
+        let rewritten = write_fault_spec(&faults);
+        let reparsed = parse_fault_spec("green", &rewritten).unwrap();
+        assert_eq!(faults, reparsed);
+    }
+
+    #[test]
+    fn fault_spec_errors() {
+        assert!(parse_fault_spec("m", "f1 (a:X) sometimes\n").is_err());
+        assert!(parse_fault_spec("m", "f1\n").is_err());
+        assert!(parse_fault_spec("m", "f1 ((a:X) once\n").is_err());
+    }
+
+    #[test]
+    fn node_file_roundtrip() {
+        let text = "black host1\nyellow host2\ngreen\n";
+        let placements = parse_node_file(text).unwrap();
+        assert_eq!(placements.len(), 3);
+        assert_eq!(placements[0].host.as_deref(), Some("host1"));
+        assert_eq!(placements[2].host, None);
+        assert_eq!(write_node_file(&placements), text);
+        assert!(parse_node_file("a b c\n").is_err());
+    }
+
+    #[test]
+    fn machines_file_roundtrip() {
+        let hosts = vec!["h1".to_owned(), "h2".to_owned()];
+        let text = write_machines_file(&hosts);
+        assert_eq!(parse_machines_file(&text), hosts);
+    }
+
+    #[test]
+    fn daemon_startup_roundtrip() {
+        let text = "host1 9000\nhost2 9001\n";
+        let eps = parse_daemon_startup(text).unwrap();
+        assert_eq!(eps[1], DaemonEndpoint { host: "host2".into(), port: 9001 });
+        assert_eq!(write_daemon_startup(&eps), text);
+        assert!(parse_daemon_startup("host1\n").is_err());
+        assert!(parse_daemon_startup("host1 notaport\n").is_err());
+    }
+
+    #[test]
+    fn daemon_contact_roundtrip() {
+        let text = "host1 12 34\n";
+        let cs = parse_daemon_contact(text).unwrap();
+        assert_eq!(cs[0].shm_id, 12);
+        assert_eq!(cs[0].sem_id, 34);
+        assert_eq!(write_daemon_contact(&cs), text);
+        assert!(parse_daemon_contact("host1 12\n").is_err());
+        assert!(parse_daemon_contact("host1 x y\n").is_err());
+    }
+
+    #[test]
+    fn study_file_roundtrip() {
+        let sf = StudyFile {
+            sm_nickname: "black".into(),
+            node_file: "nodes.txt".into(),
+            sm_spec_file: "black.sm".into(),
+            fault_spec_file: "black.flt".into(),
+            executable: "/bin/election".into(),
+            arguments: "--replicas 3".into(),
+        };
+        let text = write_study_file(&sf);
+        assert_eq!(parse_study_file(&text).unwrap(), sf);
+        assert!(parse_study_file("only\nthree\nlines\n").is_err());
+    }
+}

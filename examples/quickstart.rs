@@ -1,0 +1,155 @@
+//! Quickstart: the whole Loki pipeline in one file.
+//!
+//! 1. Specify a two-machine system (state machines + a global-state fault).
+//! 2. Implement the application against the probe interface.
+//! 3. Run experiments on the simulation backend (clocks drift, messages lag).
+//! 4. Analyze: off-line clock sync → global timeline → correctness check.
+//! 5. Estimate a measure from the accepted experiments.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use loki::analysis::{analyze, AnalysisOptions};
+use loki::core::fault::{FaultExpr, Trigger};
+use loki::core::spec::{StateMachineSpec, StudyDef};
+use loki::core::study::Study;
+use loki::measure::prelude::*;
+use loki::runtime::harness::{run_study, SimHarnessConfig};
+use loki::runtime::node::{AppLogic, NodeCtx};
+use loki::runtime::AppFactory;
+use std::rc::Rc;
+
+/// `worker` grinds through INIT → BUSY → DONE; `observer` watches and
+/// injects a fault whenever the worker is BUSY — based purely on its
+/// (possibly stale) view of the *global* state.
+struct Worker;
+struct Observer;
+
+impl AppLogic for Worker {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_, '_>, _restarted: bool) {
+        ctx.notify_event("INIT").unwrap();
+        ctx.set_timer(100_000_000, 1); // 100 ms of setup
+    }
+    fn on_app_message(
+        &mut self,
+        _ctx: &mut NodeCtx<'_, '_>,
+        _from: loki::core::ids::SmId,
+        _payload: loki::runtime::AppPayload,
+    ) {
+    }
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tag: u64) {
+        match tag {
+            1 => {
+                ctx.notify_event("GO").unwrap(); // -> BUSY
+                ctx.set_timer(40_000_000, 2); // 40 ms of work
+            }
+            2 => {
+                ctx.notify_event("FINISH").unwrap(); // -> DONE
+                ctx.exit();
+            }
+            _ => {}
+        }
+    }
+    fn on_fault(&mut self, _ctx: &mut NodeCtx<'_, '_>, _fault: &str) {}
+}
+
+impl AppLogic for Observer {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_, '_>, _restarted: bool) {
+        ctx.notify_event("WATCH").unwrap();
+        ctx.set_timer(400_000_000, 1);
+    }
+    fn on_app_message(
+        &mut self,
+        _ctx: &mut NodeCtx<'_, '_>,
+        _from: loki::core::ids::SmId,
+        _payload: loki::runtime::AppPayload,
+    ) {
+    }
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tag: u64) {
+        if tag == 1 {
+            ctx.notify_event("STOP").unwrap();
+            ctx.exit();
+        }
+    }
+    fn on_fault(&mut self, ctx: &mut NodeCtx<'_, '_>, fault: &str) {
+        // The probe's injectFault(): here we only log; campaigns usually
+        // crash/corrupt the process.
+        ctx.record_user_message(&format!("injected {fault}"));
+    }
+}
+
+fn main() {
+    // --- 1. specification ---------------------------------------------------
+    let def = StudyDef::new("quickstart")
+        .machine(
+            StateMachineSpec::builder("worker")
+                .states(&["INIT", "BUSY", "DONE"])
+                .events(&["GO", "FINISH"])
+                // BUSY notifies the observer: that's the partial view of
+                // global state the fault needs.
+                .state("INIT", &["observer"], &[("GO", "BUSY")])
+                .state("BUSY", &["observer"], &[("FINISH", "DONE")])
+                .state("DONE", &["observer"], &[])
+                .build(),
+        )
+        .machine(
+            StateMachineSpec::builder("observer")
+                .states(&["WATCH"])
+                .events(&["STOP"])
+                .state("WATCH", &[], &[("STOP", "EXIT")])
+                .build(),
+        )
+        .fault(
+            "observer",
+            "poke_busy_worker",
+            FaultExpr::atom("worker", "BUSY"),
+            Trigger::Once,
+        )
+        .place("worker", "host1")
+        .place("observer", "host2");
+    let study = Study::compile_arc(&def).expect("specification is valid");
+
+    // --- 2./3. run experiments ----------------------------------------------
+    let factory: AppFactory = Rc::new(|study: &Study, sm| -> Box<dyn AppLogic> {
+        if study.sms.name(sm) == "worker" {
+            Box::new(Worker)
+        } else {
+            Box::new(Observer)
+        }
+    });
+    let mut harness = SimHarnessConfig::three_hosts(7);
+    harness.hosts.truncate(2);
+    let experiments = run_study(&study, factory, &harness, 10);
+    println!("ran {} experiments", experiments.len());
+
+    // --- 4. analysis ----------------------------------------------------------
+    let analyzed = analyze(&study, experiments, &AnalysisOptions::default());
+    let accepted: Vec<_> = analyzed.iter().filter(|a| a.accepted()).collect();
+    println!(
+        "analysis accepted {}/{} experiments (injections provably in (worker:BUSY))",
+        accepted.len(),
+        analyzed.len()
+    );
+
+    // --- 5. measures ------------------------------------------------------------
+    // "How long was the worker BUSY?" across accepted experiments.
+    let measure = StudyMeasure::new("busy-time").step(MeasureStep {
+        subset: SubsetSel::All,
+        predicate: Predicate::state("worker", "BUSY"),
+        observation: ObservationFn::total_true(),
+    });
+    let values: Vec<f64> = accepted
+        .iter()
+        .filter_map(|a| a.global.as_ref())
+        .filter_map(|gt| measure.apply(&study, gt).unwrap())
+        .collect();
+    if let Some(stats) = MomentStats::from_sample(&values) {
+        println!(
+            "busy time: mean {:.2} ms, std-dev {:.3} ms over {} experiments",
+            stats.mean(),
+            stats.std_dev(),
+            stats.n
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! # Loki — state-driven fault injection for distributed systems
+//!
+//! A Rust reproduction of **Loki** (Chandra, Lefever, Cukier, Sanders —
+//! DSN 2000 / UIUC CRHC-00-09): a fault injector that injects faults into a
+//! distributed system *based on its global state*, verifies after the fact —
+//! via off-line clock synchronization — that every injection landed in the
+//! intended global state, and estimates dependability and performance
+//! measures from the experiments that pass that check.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `loki-core` | state machines, fault parser, recorder, probes, campaigns |
+//! | [`clock`] | `loki-clock` | virtual clocks, convex-hull offline synchronization |
+//! | [`spec`] | `loki-spec` | parsers/writers for the thesis's file formats |
+//! | [`sim`] | `loki-sim` | deterministic discrete-event simulation substrate |
+//! | [`runtime`] | `loki-runtime` | daemons, transports, node lifecycle, experiment runner |
+//! | [`analysis`] | `loki-analysis` | global timeline + injection correctness checking |
+//! | [`measure`] | `loki-measure` | predicates, observation functions, campaign statistics |
+//! | [`apps`] | `loki-apps` | instrumented example applications |
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour: specify → run →
+//! analyze → measure.
+
+pub use loki_analysis as analysis;
+pub use loki_apps as apps;
+pub use loki_clock as clock;
+pub use loki_core as core;
+pub use loki_measure as measure;
+pub use loki_runtime as runtime;
+pub use loki_sim as sim;
+pub use loki_spec as spec;
