@@ -169,8 +169,8 @@ pub fn check_experiment(
     for (event, fault_id) in gt.injections() {
         *injected_counts.entry(fault_id).or_insert(0) += 1;
         let fault = &study.faults[fault_id.index()];
-        let correct = injection_definitely_correct(study, gt, event, &fault.expr, window)
-            == Tri::True;
+        let correct =
+            injection_definitely_correct(study, gt, event, &fault.expr, window) == Tri::True;
         let verdict = if correct {
             Verdict::Correct
         } else {
@@ -306,12 +306,13 @@ fn injection_definitely_correct(
             }
         }
         CompiledExpr::And(a, b) => injection_definitely_correct(study, gt, injection, a, window)
-            .and(injection_definitely_correct(study, gt, injection, b, window)),
-        CompiledExpr::Or(a, b) => injection_definitely_correct(study, gt, injection, a, window)
-            .or(injection_definitely_correct(study, gt, injection, b, window)),
-        CompiledExpr::Not(a) => {
-            injection_definitely_correct(study, gt, injection, a, window).not()
-        }
+            .and(injection_definitely_correct(
+                study, gt, injection, b, window,
+            )),
+        CompiledExpr::Or(a, b) => injection_definitely_correct(study, gt, injection, a, window).or(
+            injection_definitely_correct(study, gt, injection, b, window),
+        ),
+        CompiledExpr::Not(a) => injection_definitely_correct(study, gt, injection, a, window).not(),
     }
 }
 
@@ -452,7 +453,10 @@ mod tests {
         let verdict = check(&study, &data);
         assert_eq!(verdict.correct_count(), 0);
         assert!(!verdict.accepted);
-        assert!(matches!(verdict.checks[0].verdict, Verdict::Incorrect { .. }));
+        assert!(matches!(
+            verdict.checks[0].verdict,
+            Verdict::Incorrect { .. }
+        ));
     }
 
     #[test]

@@ -130,12 +130,11 @@ pub fn make_global(
             continue;
         }
         let samples = data.sync_samples_for(host);
-        let bounds = estimate_alpha_beta(&samples, &opts.sync).map_err(|source| {
-            AnalysisError::Sync {
+        let bounds =
+            estimate_alpha_beta(&samples, &opts.sync).map_err(|source| AnalysisError::Sync {
                 host: host.clone(),
                 source,
-            }
-        })?;
+            })?;
         alpha_beta.insert(host.clone(), bounds);
     }
 

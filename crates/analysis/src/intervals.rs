@@ -161,7 +161,10 @@ mod tests {
             a.complement(0.0, 10.0).spans(),
             &[(0.0, 2.0), (3.0, 5.0), (6.0, 10.0)]
         );
-        assert_eq!(IntervalSet::empty().complement(0.0, 1.0).spans(), &[(0.0, 1.0)]);
+        assert_eq!(
+            IntervalSet::empty().complement(0.0, 1.0).spans(),
+            &[(0.0, 1.0)]
+        );
         // Span covering the whole window -> empty complement.
         let full = set(&[(0.0, 10.0)]);
         assert!(full.complement(0.0, 10.0).is_empty());

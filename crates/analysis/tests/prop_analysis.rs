@@ -11,10 +11,7 @@ use std::collections::HashMap;
 /// Builds a synthetic global timeline: for each machine, a sequence of
 /// state intervals with bounded-uncertainty transition times.
 fn timeline_strategy() -> impl Strategy<Value = GlobalTimeline> {
-    let machine_intervals = prop::collection::vec(
-        (0u32..4, 1.0f64..50.0, 0.0f64..2.0),
-        1..8,
-    );
+    let machine_intervals = prop::collection::vec((0u32..4, 1.0f64..50.0, 0.0f64..2.0), 1..8);
     prop::collection::vec(machine_intervals, 1..3).prop_map(|machines| {
         let mut intervals = Vec::new();
         for (m, segs) in machines.iter().enumerate() {
@@ -27,7 +24,11 @@ fn timeline_strategy() -> impl Strategy<Value = GlobalTimeline> {
                     sm: Id::from_raw(m as u32),
                     state: Id::from_raw(*state),
                     enter,
-                    exit: if i + 1 == segs.len() { None } else { Some(exit) },
+                    exit: if i + 1 == segs.len() {
+                        None
+                    } else {
+                        Some(exit)
+                    },
                 });
                 t = t_end;
             }
@@ -44,8 +45,8 @@ fn timeline_strategy() -> impl Strategy<Value = GlobalTimeline> {
 }
 
 fn expr_strategy(depth: u32) -> BoxedStrategy<CompiledExpr> {
-    let atom = (0u32..3, 0u32..4)
-        .prop_map(|(m, s)| CompiledExpr::Atom(Id::from_raw(m), Id::from_raw(s)));
+    let atom =
+        (0u32..3, 0u32..4).prop_map(|(m, s)| CompiledExpr::Atom(Id::from_raw(m), Id::from_raw(s)));
     if depth == 0 {
         atom.boxed()
     } else {

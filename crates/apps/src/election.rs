@@ -25,6 +25,7 @@ use loki_runtime::AppPayload;
 use rand::Rng;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Tunables of the election application.
 #[derive(Clone, Debug)]
@@ -56,11 +57,11 @@ pub struct ElectionConfig {
 impl Default for ElectionConfig {
     fn default() -> Self {
         ElectionConfig {
-            init_delay_ns: 80_000_000,        // 80 ms
-            collect_timeout_ns: 120_000_000,  // 120 ms
+            init_delay_ns: 80_000_000,         // 80 ms
+            collect_timeout_ns: 120_000_000,   // 120 ms
             heartbeat_interval_ns: 40_000_000, // 40 ms
             heartbeat_timeout_ns: 160_000_000, // 160 ms
-            lifetime_ns: 2_000_000_000,       // 2 s
+            lifetime_ns: 2_000_000_000,        // 2 s
             restart_done_delay_ns: 30_000_000, // 30 ms
             number_range: u64::MAX,
             fault_activation: 1.0,
@@ -103,7 +104,7 @@ const TAG_COLLECT_BASE: u64 = 100;
 
 /// The election process (one per node).
 pub struct Election {
-    cfg: Rc<ElectionConfig>,
+    cfg: Arc<ElectionConfig>,
     role: Role,
     round: u32,
     numbers: HashMap<u32, HashMap<SmId, u64>>,
@@ -115,7 +116,7 @@ pub struct Election {
 
 impl Election {
     /// Creates a process with the given configuration.
-    pub fn new(cfg: Rc<ElectionConfig>) -> Self {
+    pub fn new(cfg: Arc<ElectionConfig>) -> Self {
         let probe = cfg.probe.clone();
         Election {
             cfg,
@@ -141,7 +142,10 @@ impl Election {
             value,
         };
         self.send_broadcast(ctx, msg);
-        ctx.set_timer(self.cfg.collect_timeout_ns, TAG_COLLECT_BASE + self.round as u64);
+        ctx.set_timer(
+            self.cfg.collect_timeout_ns,
+            TAG_COLLECT_BASE + self.round as u64,
+        );
     }
 
     fn send_broadcast(&mut self, ctx: &mut NodeCtx<'_, '_>, msg: Msg) {
@@ -252,7 +256,8 @@ impl AppLogic for Election {
             }
             TAG_RESTART_DONE => {
                 if self.role == Role::Restarting {
-                    ctx.notify_event("RESTART_DONE").expect("RESTART_SM -> FOLLOW");
+                    ctx.notify_event("RESTART_DONE")
+                        .expect("RESTART_SM -> FOLLOW");
                     self.role = Role::Follower;
                     self.last_heartbeat_ns = ctx.local_time().as_nanos();
                     ctx.set_timer(self.cfg.heartbeat_timeout_ns / 2, TAG_HB_CHECK);
@@ -362,7 +367,11 @@ pub fn election_sm_spec(name: &str, all: &[&str]) -> StateMachineSpec {
             "CRASH",
             "ERROR",
         ])
-        .state("INIT", &others, &[("INIT_DONE", "ELECT"), ("ERROR", "EXIT")])
+        .state(
+            "INIT",
+            &others,
+            &[("INIT_DONE", "ELECT"), ("ERROR", "EXIT")],
+        )
         .state(
             "RESTART_SM",
             &others,
@@ -415,8 +424,8 @@ pub fn election_study(name: &str) -> StudyDef {
 
 /// An [`AppFactory`] producing election processes with a shared config.
 pub fn election_factory(cfg: ElectionConfig) -> AppFactory {
-    let cfg = Rc::new(cfg);
-    Rc::new(move |_study: &Study, _sm| Box::new(Election::new(cfg.clone())) as Box<dyn AppLogic>)
+    let cfg = Arc::new(cfg);
+    Arc::new(move |_study: &Study, _sm| Box::new(Election::new(cfg.clone())) as Box<dyn AppLogic>)
 }
 
 #[cfg(test)]
@@ -441,9 +450,7 @@ mod tests {
             .records
             .iter()
             .filter_map(|r| match r.kind {
-                RecordKind::StateChange { new_state, .. } => {
-                    Some(study.states.name(new_state))
-                }
+                RecordKind::StateChange { new_state, .. } => Some(study.states.name(new_state)),
                 _ => None,
             })
             .collect()

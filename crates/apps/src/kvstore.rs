@@ -22,6 +22,7 @@ use loki_runtime::AppPayload;
 use rand::Rng;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Tunables of the store.
 #[derive(Clone, Debug)]
@@ -84,7 +85,7 @@ const TAG_LIFETIME: u64 = 5;
 
 /// One store replica.
 pub struct KvReplica {
-    cfg: Rc<KvConfig>,
+    cfg: Arc<KvConfig>,
     role: Role,
     is_initial_primary: bool,
     store: HashMap<u64, u64>,
@@ -96,7 +97,7 @@ pub struct KvReplica {
 impl KvReplica {
     /// Creates a replica; `is_initial_primary` marks the machine that
     /// starts as primary.
-    pub fn new(cfg: Rc<KvConfig>, is_initial_primary: bool) -> Self {
+    pub fn new(cfg: Arc<KvConfig>, is_initial_primary: bool) -> Self {
         let probe = cfg.probe.clone();
         KvReplica {
             cfg,
@@ -315,8 +316,8 @@ pub fn kv_study(name: &str, replicas: usize) -> StudyDef {
 /// An [`AppFactory`] for the store; the machine named `kv1` starts as
 /// primary.
 pub fn kv_factory(cfg: KvConfig) -> AppFactory {
-    let cfg = Rc::new(cfg);
-    Rc::new(move |study: &Study, sm| {
+    let cfg = Arc::new(cfg);
+    Arc::new(move |study: &Study, sm| {
         let is_primary = study.sms.name(sm) == "kv1";
         Box::new(KvReplica::new(cfg.clone(), is_primary)) as Box<dyn AppLogic>
     })
@@ -356,7 +357,13 @@ mod tests {
             0,
         );
         assert_eq!(data.end, ExperimentEnd::Completed);
-        assert_eq!(states(&study, &data, "kv1").iter().filter(|s| **s == "PRIMARY").count(), 1);
+        assert_eq!(
+            states(&study, &data, "kv1")
+                .iter()
+                .filter(|s| **s == "PRIMARY")
+                .count(),
+            1
+        );
         for sm in ["kv2", "kv3"] {
             let st = states(&study, &data, sm);
             assert!(st.contains(&"BACKUP"), "{sm}: {st:?}");
@@ -384,7 +391,10 @@ mod tests {
         assert!(kv1.contains(&"CRASH"), "{kv1:?}");
         // kv2 (lowest surviving id) promoted; kv3 stepped back to BACKUP.
         let kv2 = states(&study, &data, "kv2");
-        assert!(kv2.contains(&"FAILOVER") && kv2.contains(&"PRIMARY"), "{kv2:?}");
+        assert!(
+            kv2.contains(&"FAILOVER") && kv2.contains(&"PRIMARY"),
+            "{kv2:?}"
+        );
         let kv3 = states(&study, &data, "kv3");
         assert!(kv3.contains(&"FAILOVER"), "{kv3:?}");
         assert!(!kv3.contains(&"PRIMARY"), "{kv3:?}");

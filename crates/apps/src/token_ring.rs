@@ -21,6 +21,7 @@ use loki_runtime::node::{AppLogic, NodeCtx};
 use loki_runtime::AppPayload;
 use rand::Rng;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Tunables of the ring.
 #[derive(Clone, Debug)]
@@ -73,7 +74,7 @@ const TAG_LIFETIME: u64 = 5;
 
 /// One ring member.
 pub struct RingMember {
-    cfg: Rc<RingConfig>,
+    cfg: Arc<RingConfig>,
     phase: Phase,
     generation: u32,
     last_token_ns: u64,
@@ -83,7 +84,7 @@ pub struct RingMember {
 
 impl RingMember {
     /// Creates a member.
-    pub fn new(cfg: Rc<RingConfig>) -> Self {
+    pub fn new(cfg: Arc<RingConfig>) -> Self {
         let probe = cfg.probe.clone();
         RingMember {
             cfg,
@@ -323,8 +324,8 @@ pub fn ring_study(name: &str, members: usize) -> StudyDef {
 
 /// An [`AppFactory`] for ring members.
 pub fn ring_factory(cfg: RingConfig) -> AppFactory {
-    let cfg = Rc::new(cfg);
-    Rc::new(move |_study: &Study, _sm| Box::new(RingMember::new(cfg.clone())) as Box<dyn AppLogic>)
+    let cfg = Arc::new(cfg);
+    Arc::new(move |_study: &Study, _sm| Box::new(RingMember::new(cfg.clone())) as Box<dyn AppLogic>)
 }
 
 #[cfg(test)]
@@ -346,7 +347,9 @@ mod tests {
             .unwrap()
             .records
             .iter()
-            .filter(|r| matches!(r.kind, RecordKind::StateChange { new_state, .. } if new_state == sid))
+            .filter(
+                |r| matches!(r.kind, RecordKind::StateChange { new_state, .. } if new_state == sid),
+            )
             .count()
     }
 

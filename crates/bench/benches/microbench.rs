@@ -101,9 +101,7 @@ fn bench_clock_sync(c: &mut Criterion) {
     }
     c.bench_function("clock_sync/estimate_80_samples", |bencher| {
         bencher.iter(|| {
-            criterion::black_box(
-                estimate_alpha_beta(&samples, &SyncOptions::default()).unwrap(),
-            )
+            criterion::black_box(estimate_alpha_beta(&samples, &SyncOptions::default()).unwrap())
         })
     });
 

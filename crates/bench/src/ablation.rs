@@ -15,7 +15,6 @@ use loki_core::study::Study;
 use loki_runtime::harness::{run_study, SimHarnessConfig};
 use loki_runtime::messages::NotifyRouting;
 use loki_sim::config::HostConfig;
-use std::rc::Rc;
 use std::sync::Arc;
 
 /// Latency samples for one routing design.
@@ -76,13 +75,15 @@ pub fn notification_latency(
     let time_in_state_ns = cfg.time_in_state_ns;
     let factory: loki_runtime::AppFactory = {
         use crate::accuracy::{InjectorApp, TargetApp};
-        Rc::new(move |study: &Study, sm| -> Box<dyn loki_runtime::AppLogic> {
-            if study.sms.name(sm) == "target" {
-                Box::new(TargetApp::new(settle_ns, time_in_state_ns))
-            } else {
-                Box::new(InjectorApp::new(lifetime_ns))
-            }
-        })
+        Arc::new(
+            move |study: &Study, sm| -> Box<dyn loki_runtime::AppLogic> {
+                if study.sms.name(sm) == "target" {
+                    Box::new(TargetApp::new(settle_ns, time_in_state_ns))
+                } else {
+                    Box::new(InjectorApp::new(lifetime_ns))
+                }
+            },
+        )
     };
 
     let harness = SimHarnessConfig {
@@ -154,7 +155,12 @@ mod tests {
         let central = notification_latency(NotifyRouting::Centralized, 0, 8, 1);
         let daemons = notification_latency(NotifyRouting::ThroughDaemons, 0, 8, 1);
         assert!(!direct.latencies_ns.is_empty());
-        assert!(direct.mean() < central.mean(), "{} vs {}", direct.mean(), central.mean());
+        assert!(
+            direct.mean() < central.mean(),
+            "{} vs {}",
+            direct.mean(),
+            central.mean()
+        );
         assert!(direct.mean() < daemons.mean());
         // All are far below a millisecond (the §3.4.2 argument that the
         // daemon detour costs little next to OS scheduling).

@@ -21,7 +21,6 @@ use loki_runtime::harness::{run_study, SimHarnessConfig};
 use loki_runtime::messages::NotifyRouting;
 use loki_runtime::node::{AppLogic, NodeCtx};
 use loki_sim::config::HostConfig;
-use std::rc::Rc;
 use std::sync::Arc;
 
 /// Configuration for one accuracy sweep point.
@@ -164,7 +163,11 @@ pub fn accuracy_study() -> StudyDef {
             StateMachineSpec::builder("target")
                 .states(&["SETUP", "ARMED", "COOL"])
                 .events(&["ENTER", "LEAVE", "DONE"])
-                .state("SETUP", &["injector"], &[("ENTER", "ARMED"), ("DONE", "EXIT")])
+                .state(
+                    "SETUP",
+                    &["injector"],
+                    &[("ENTER", "ARMED"), ("DONE", "EXIT")],
+                )
                 .state("ARMED", &["injector"], &[("LEAVE", "COOL")])
                 .state("COOL", &["injector"], &[("DONE", "EXIT")])
                 .build(),
@@ -195,7 +198,7 @@ pub fn injection_accuracy(cfg: &AccuracyConfig) -> AccuracyPoint {
     let settle_ns = 150_000_000; // everyone registered before ARMED
     let lifetime_ns = settle_ns + cfg.time_in_state_ns + 250_000_000;
     let time_in_state_ns = cfg.time_in_state_ns;
-    let factory: AppFactory = Rc::new(move |study: &Study, sm| -> Box<dyn AppLogic> {
+    let factory: AppFactory = Arc::new(move |study: &Study, sm| -> Box<dyn AppLogic> {
         if study.sms.name(sm) == "target" {
             Box::new(TargetApp::new(settle_ns, time_in_state_ns))
         } else {
@@ -262,7 +265,7 @@ mod tests {
     #[test]
     fn long_residence_is_nearly_always_correct() {
         let p = injection_accuracy(&AccuracyConfig {
-            timeslice_ns: 1_000_000, // 1 ms slice
+            timeslice_ns: 1_000_000,      // 1 ms slice
             time_in_state_ns: 20_000_000, // 20 ms >> 2 timeslices
             experiments: 15,
             seed: 1,
@@ -274,7 +277,7 @@ mod tests {
     #[test]
     fn sub_timeslice_residence_mostly_misses() {
         let p = injection_accuracy(&AccuracyConfig {
-            timeslice_ns: 10_000_000, // 10 ms slice
+            timeslice_ns: 10_000_000,    // 10 ms slice
             time_in_state_ns: 2_000_000, // 2 ms << timeslice
             experiments: 15,
             seed: 2,

@@ -1,0 +1,105 @@
+//! Campaign throughput scaling: wall-clock of a token-ring campaign under
+//! the parallel experiment executor, per worker count.
+//!
+//! Runs a ≥100-experiment fault-injection campaign on the token-ring
+//! application once per worker count (1, 2, 4, …, up to the machine's
+//! available parallelism), prints the wall-clock and speedup of each run,
+//! and verifies that every configuration produces byte-identical
+//! experiment data and identical post-analysis verdicts — the parallel
+//! executor must be unobservable in the results.
+//!
+//! ```text
+//! cargo run --release --bin campaign_scaling [experiments]
+//! ```
+
+use loki_analysis::{analyze, AnalysisOptions};
+use loki_apps::token_ring::{ring_factory, ring_study, RingConfig};
+use loki_core::fault::{FaultExpr, Trigger};
+use loki_core::study::Study;
+use loki_runtime::harness::{run_study_with_workers, SimHarnessConfig};
+use std::time::Instant;
+
+fn main() {
+    let experiments: u32 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120);
+    let seed = 0x10C1;
+
+    let def = ring_study("scaling", 3).fault(
+        "tr2",
+        "kill_holder",
+        FaultExpr::atom("tr2", "HAS_TOKEN"),
+        Trigger::Once,
+    );
+    let study = Study::compile_arc(&def).expect("valid study");
+    let cfg = SimHarnessConfig::three_hosts(seed);
+
+    let max_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut worker_counts = vec![1usize];
+    let mut w = 2;
+    while w <= max_workers {
+        worker_counts.push(w);
+        w *= 2;
+    }
+    if worker_counts.last() != Some(&max_workers) {
+        worker_counts.push(max_workers);
+    }
+
+    println!(
+        "token-ring campaign: {experiments} experiments, seed {seed:#x}, \
+         available parallelism {max_workers}"
+    );
+    println!(
+        "{:>8}  {:>12}  {:>8}  {:>10}  {:>9}",
+        "workers", "wall-clock", "speedup", "completed", "accepted"
+    );
+
+    let mut baseline_secs = None;
+    let mut baseline: Option<(Vec<_>, Vec<bool>)> = None;
+    for &workers in &worker_counts {
+        let start = Instant::now();
+        let data = run_study_with_workers(
+            &study,
+            ring_factory(RingConfig::default()),
+            &cfg,
+            experiments,
+            workers,
+        );
+        let elapsed = start.elapsed().as_secs_f64();
+
+        let completed = data
+            .iter()
+            .filter(|d| d.end == loki_core::campaign::ExperimentEnd::Completed)
+            .count();
+        let analyzed = analyze(&study, data.clone(), &AnalysisOptions::default());
+        let verdicts: Vec<bool> = analyzed.iter().map(|a| a.accepted()).collect();
+        let accepted = verdicts.iter().filter(|v| **v).count();
+
+        let speedup = match baseline_secs {
+            None => {
+                baseline_secs = Some(elapsed);
+                1.0
+            }
+            Some(base) => base / elapsed,
+        };
+        println!("{workers:>8}  {elapsed:>11.3}s  {speedup:>7.2}x  {completed:>10}  {accepted:>9}");
+
+        match &baseline {
+            None => baseline = Some((data, verdicts)),
+            Some((base_data, base_verdicts)) => {
+                assert_eq!(
+                    *base_data, data,
+                    "worker count {workers} changed experiment data"
+                );
+                assert_eq!(
+                    *base_verdicts, verdicts,
+                    "worker count {workers} changed verdicts"
+                );
+            }
+        }
+    }
+    println!("all worker counts produced identical experiment data and verdicts");
+}

@@ -43,9 +43,16 @@ fn main() {
         Some(overall) => {
             println!();
             println!("overall coverage c = sum(w_i c_i)/sum(w):");
-            println!("  mean      = {:.3} (ground truth {true_coverage})", overall.mean());
+            println!(
+                "  mean      = {:.3} (ground truth {true_coverage})",
+                overall.mean()
+            );
             println!("  variance  = {:.4}", overall.variance());
-            println!("  beta1     = {:.3}   beta2 = {:.3}", overall.beta1(), overall.beta2());
+            println!(
+                "  beta1     = {:.3}   beta2 = {:.3}",
+                overall.beta1(),
+                overall.beta2()
+            );
             println!(
                 "  p05/p95   = {:.3} / {:.3} (Cornish-Fisher four-moment approximation)",
                 overall.percentile(0.05),

@@ -17,7 +17,10 @@ fn main() {
     let designs = [
         ("direct (original runtime)", NotifyRouting::Direct),
         ("centralized daemon", NotifyRouting::Centralized),
-        ("partially distributed / daemons", NotifyRouting::ThroughDaemons),
+        (
+            "partially distributed / daemons",
+            NotifyRouting::ThroughDaemons,
+        ),
     ];
 
     println!("# Design-choice ablation (thesis §3.4.1-3.4.2)");
@@ -43,7 +46,10 @@ fn main() {
 
     println!();
     println!("## Node entry cost (connections a dynamically entering node establishes)");
-    println!("{:<34} {:>8} {:>8}", "design (10-node system)", "IPC", "TCP");
+    println!(
+        "{:<34} {:>8} {:>8}",
+        "design (10-node system)", "IPC", "TCP"
+    );
     for (name, routing) in designs {
         let (ipc, tcp) = entry_connections(routing, 10);
         println!("{:<34} {:>8} {:>8}", name, ipc, tcp);

@@ -18,7 +18,10 @@ fn main() {
     println!("# Figure 3.3 — correct fault injection probability vs time in state");
     println!("# OS timeslice: 1 ms; runtime: direct connections (original Loki runtime)");
     println!("# {experiments} experiments per point; full runtime->sync->analysis pipeline");
-    println!("{:>16} {:>12} {:>10} {:>10}", "time_in_state_ms", "P(correct)", "injected", "total");
+    println!(
+        "{:>16} {:>12} {:>10} {:>10}",
+        "time_in_state_ms", "P(correct)", "injected", "total"
+    );
     for (ms, point) in accuracy_sweep(1_000_000, &points, experiments, 0x0303) {
         println!(
             "{:>16.1} {:>12.3} {:>10} {:>10}",

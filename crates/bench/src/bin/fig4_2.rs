@@ -27,8 +27,16 @@ fn main() {
             .iter()
             .map(|(lo, hi)| format!("[{:.1}, {:.1}]", lo / 1e6, hi / 1e6))
             .collect();
-        let impulses: Vec<String> = tl.impulses().iter().map(|t| format!("{:.1}", t / 1e6)).collect();
-        println!("{name}: steps(ms) {{{}}} impulses(ms) {{{}}}", spans.join(" "), impulses.join(" "));
+        let impulses: Vec<String> = tl
+            .impulses()
+            .iter()
+            .map(|t| format!("{:.1}", t / 1e6))
+            .collect();
+        println!(
+            "{name}: steps(ms) {{{}}} impulses(ms) {{{}}}",
+            spans.join(" "),
+            impulses.join(" ")
+        );
     }
 
     let count = ObservationFn::count(UpDown::Up, ImpulseStep::Both, 10.0, 35.0);
@@ -46,7 +54,10 @@ fn main() {
             .iter()
             .map(|(_, tl)| format!("{:.1}", f.eval(tl, window)))
             .collect();
-        println!("{:<28} {:>10} {:>10} {:>10}", name, vals[0], vals[1], vals[2]);
+        println!(
+            "{:<28} {:>10} {:>10} {:>10}",
+            name, vals[0], vals[1], vals[2]
+        );
     };
     row("count(U,B,10,35)", &count);
     row("duration(T,2,10,40) [ms]", &duration);

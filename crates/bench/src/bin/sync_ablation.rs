@@ -59,14 +59,8 @@ fn main() {
     for &jitter_us in &[10u64, 50, 200, 1000] {
         for &rounds in &[2u32, 5, 10, 20, 50] {
             let mut rng = StdRng::seed_from_u64(rounds as u64 * 1000 + jitter_us);
-            let mut samples = exchange(
-                &reference,
-                &machine,
-                rounds,
-                jitter_us * 1_000,
-                &mut rng,
-                0,
-            );
+            let mut samples =
+                exchange(&reference, &machine, rounds, jitter_us * 1_000, &mut rng, 0);
             samples.extend(exchange(
                 &reference,
                 &machine,

@@ -186,26 +186,28 @@ pub struct CorrelationCampaign {
 pub fn correlation_campaign(experiments: u32, activation: f64, seed: u64) -> CorrelationCampaign {
     // --- study 4: bfault1 + gfault2 ------------------------------------------
     let def = election_study("study4")
-        .fault("black", "bfault1", FaultExpr::atom("black", "LEAD"), Trigger::Once)
+        .fault(
+            "black",
+            "bfault1",
+            FaultExpr::atom("black", "LEAD"),
+            Trigger::Once,
+        )
         .fault(
             "green",
             "gfault2",
-            FaultExpr::atom("black", "CRASH").and(
-                FaultExpr::atom("green", "FOLLOW").or(FaultExpr::atom("green", "ELECT")),
-            ),
+            FaultExpr::atom("black", "CRASH")
+                .and(FaultExpr::atom("green", "FOLLOW").or(FaultExpr::atom("green", "ELECT"))),
             Trigger::Once,
         );
     let study4 = Arc::new(Study::compile(&def).expect("valid study"));
     let app_cfg4 = ElectionConfig {
-        probe: ActionProbe::new()
-            .on("bfault1", FaultAction::CrashNode)
-            .on(
-                "gfault2",
-                FaultAction::CrashWithProbability {
-                    activation,
-                    dormancy_ns: 0,
-                },
-            ),
+        probe: ActionProbe::new().on("bfault1", FaultAction::CrashNode).on(
+            "gfault2",
+            FaultAction::CrashWithProbability {
+                activation,
+                dormancy_ns: 0,
+            },
+        ),
         ..Default::default()
     };
     let data4 = run_study(

@@ -23,5 +23,7 @@ pub mod accuracy;
 pub mod ch5;
 
 pub use ablation::{entry_connections, notification_latency, LatencySample};
-pub use accuracy::{accuracy_study, accuracy_sweep, injection_accuracy, AccuracyConfig, AccuracyPoint};
+pub use accuracy::{
+    accuracy_study, accuracy_sweep, injection_accuracy, AccuracyConfig, AccuracyPoint,
+};
 pub use ch5::{correlation_campaign, coverage_campaign, CorrelationCampaign, CoverageCampaign};

@@ -49,7 +49,7 @@ impl Default for SyncOptions {
 }
 
 /// Errors from the bound estimation.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 #[non_exhaustive]
 pub enum SyncError {
     /// Bound estimation needs at least one message in each direction.
@@ -63,6 +63,16 @@ pub enum SyncError {
     /// linear clocks within the configured β box (e.g. a clock stepped
     /// mid-experiment).
     Infeasible,
+    /// The [`SyncOptions`] are unusable: the β box must satisfy
+    /// `0 < beta_lo ≤ beta_hi` with finite bounds (a β interval touching
+    /// zero would make the timestamp projection `(C_i − α)/β` divide by
+    /// zero), and the slack must be finite and non-negative.
+    InvalidOptions {
+        /// The offending β box.
+        beta_range: (f64, f64),
+        /// The offending slack.
+        slack_ns: f64,
+    },
 }
 
 impl fmt::Display for SyncError {
@@ -78,6 +88,14 @@ impl fmt::Display for SyncError {
             SyncError::Infeasible => {
                 write!(f, "sync timestamps admit no linear clock relation")
             }
+            SyncError::InvalidOptions {
+                beta_range: (lo, hi),
+                slack_ns,
+            } => write!(
+                f,
+                "invalid sync options: need finite 0 < beta_lo <= beta_hi and finite slack_ns >= 0 \
+                 (got beta_range = [{lo}, {hi}], slack_ns = {slack_ns})"
+            ),
         }
     }
 }
@@ -203,6 +221,24 @@ pub fn estimate_alpha_beta(
     samples: &[SyncSample],
     opts: &SyncOptions,
 ) -> Result<AlphaBetaBounds, SyncError> {
+    // Reject unusable options up front instead of panicking later: a β box
+    // touching zero would divide by zero in `AlphaBetaBounds::project`
+    // (`0/0` is NaN, which trips the `TimeBounds` constructor), and a
+    // non-finite slack poisons every constraint.
+    let (beta_lo_opt, beta_hi_opt) = opts.beta_range;
+    if !(beta_lo_opt.is_finite()
+        && beta_hi_opt.is_finite()
+        && beta_lo_opt > 0.0
+        && beta_lo_opt <= beta_hi_opt
+        && opts.slack_ns.is_finite()
+        && opts.slack_ns >= 0.0)
+    {
+        return Err(SyncError::InvalidOptions {
+            beta_range: opts.beta_range,
+            slack_ns: opts.slack_ns,
+        });
+    }
+
     let n_from = samples.iter().filter(|s| s.from_reference).count();
     let n_to = samples.len() - n_from;
     if n_from == 0 || n_to == 0 {
@@ -468,6 +504,113 @@ mod tests {
         let b = estimate_alpha_beta(&samples, &opts).unwrap();
         let (alpha, beta) = m.params().relative_to(r.params());
         assert!(b.contains(alpha, beta));
+    }
+
+    #[test]
+    fn single_sample_each_direction_is_enough() {
+        // The minimum legal input: one message per direction. Bounds are
+        // wide but valid and contain the truth.
+        let r = VirtualClock::new(ClockParams::ideal());
+        let m = VirtualClock::new(ClockParams::with_drift_ppm(1e6, 50.0));
+        let samples = vec![
+            SyncSample {
+                from_reference: true,
+                send: r.read(0),
+                recv: m.read(100_000),
+            },
+            SyncSample {
+                from_reference: false,
+                send: m.read(500_000),
+                recv: r.read(600_000),
+            },
+        ];
+        let b = estimate_alpha_beta(&samples, &SyncOptions::default()).unwrap();
+        let (alpha, beta) = m.params().relative_to(r.params());
+        assert!(b.contains(alpha, beta), "{b:?} vs ({alpha}, {beta})");
+        assert!(b.alpha_lo <= b.alpha_hi && b.beta_lo <= b.beta_hi);
+    }
+
+    #[test]
+    fn identical_timestamps_do_not_panic() {
+        // All sync messages carry the same instant (e.g. a clock with
+        // granularity coarser than the whole mini-phase). The constraints
+        // are satisfiable (α ≈ 0 works), so this must produce bounds, not
+        // a crash or an inverted interval.
+        let s = |from_reference| SyncSample {
+            from_reference,
+            send: LocalNanos(1_000_000),
+            recv: LocalNanos(1_000_000),
+        };
+        let samples = vec![s(true), s(true), s(false), s(false)];
+        let b = estimate_alpha_beta(&samples, &SyncOptions::default()).unwrap();
+        assert!(b.alpha_lo <= 0.0 && 0.0 <= b.alpha_hi, "{b:?}");
+        assert!(b.beta_lo <= b.beta_hi, "{b:?}");
+        // Projection through those wide-but-valid bounds stays ordered.
+        let p = b.project(LocalNanos(2_000_000));
+        assert!(p.lo.as_f64() <= p.hi.as_f64());
+    }
+
+    #[test]
+    fn zero_drift_identical_clocks_give_tight_valid_bounds() {
+        // Reference and machine are the same ideal clock: α = 0, β = 1
+        // exactly. Degenerate (every constraint passes through the truth)
+        // but must not panic or go infeasible.
+        let r = VirtualClock::new(ClockParams::ideal());
+        let m = VirtualClock::new(ClockParams::ideal());
+        let samples = exchange(&r, &m, 10, 500_000, |_| 80_000, 0);
+        let b = estimate_alpha_beta(&samples, &SyncOptions::default()).unwrap();
+        assert!(b.contains(0.0, 1.0), "{b:?}");
+    }
+
+    #[test]
+    fn invalid_options_are_a_typed_error() {
+        let samples = vec![
+            SyncSample {
+                from_reference: true,
+                send: LocalNanos(0),
+                recv: LocalNanos(100),
+            },
+            SyncSample {
+                from_reference: false,
+                send: LocalNanos(200),
+                recv: LocalNanos(300),
+            },
+        ];
+        for opts in [
+            // β box spanning zero divides by zero in project().
+            SyncOptions {
+                beta_range: (-0.5, 1.1),
+                ..Default::default()
+            },
+            // Inverted β box.
+            SyncOptions {
+                beta_range: (1.1, 0.9),
+                ..Default::default()
+            },
+            // Non-finite β bound.
+            SyncOptions {
+                beta_range: (0.9, f64::INFINITY),
+                ..Default::default()
+            },
+            // Negative slack silently tightens constraints past the truth.
+            SyncOptions {
+                slack_ns: -1.0,
+                ..Default::default()
+            },
+            // Non-finite slack poisons every constraint.
+            SyncOptions {
+                slack_ns: f64::NAN,
+                ..Default::default()
+            },
+        ] {
+            assert!(
+                matches!(
+                    estimate_alpha_beta(&samples, &opts),
+                    Err(SyncError::InvalidOptions { .. })
+                ),
+                "{opts:?} should be rejected"
+            );
+        }
     }
 
     #[test]

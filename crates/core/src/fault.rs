@@ -92,6 +92,9 @@ impl FaultExpr {
     }
 
     /// Negation `~self`.
+    // Part of the expression-builder DSL next to `and`/`or`; an `ops::Not`
+    // impl would force `!expr` syntax on every caller instead.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> FaultExpr {
         FaultExpr::Not(Box::new(self))
     }
@@ -288,9 +291,8 @@ pub fn compile_expr(
 ) -> Result<CompiledExpr, CoreError> {
     match expr {
         FaultExpr::Atom { sm, state } => {
-            let sm_id = lookup_sm(sm).ok_or_else(|| CoreError::UnknownStateMachine {
-                name: sm.clone(),
-            })?;
+            let sm_id =
+                lookup_sm(sm).ok_or_else(|| CoreError::UnknownStateMachine { name: sm.clone() })?;
             let state_id = lookup_state(state).ok_or_else(|| CoreError::UnknownState {
                 sm: sm.clone(),
                 state: state.clone(),

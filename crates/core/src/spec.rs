@@ -113,7 +113,9 @@ impl StateMachineSpecBuilder {
 
     /// Appends names to the `event_list`.
     pub fn events(mut self, events: &[&str]) -> Self {
-        self.spec.events.extend(events.iter().map(|e| (*e).to_owned()));
+        self.spec
+            .events
+            .extend(events.iter().map(|e| (*e).to_owned()));
         self
     }
 
@@ -275,7 +277,7 @@ impl StudyDef {
             let Some(machine) = self.machines.iter_mut().find(|m| m.name == sm) else {
                 continue; // unknown machine: left for compile() to report
             };
-            if !machine.global_states.iter().any(|s| *s == state) {
+            if !machine.global_states.contains(&state) {
                 machine.global_states.push(state.clone());
             }
             if machine.state_def(&state).is_none() {
@@ -291,7 +293,7 @@ impl StudyDef {
                 continue;
             };
             for block in &mut machine.states {
-                if !block.notify.iter().any(|n| *n == observer) {
+                if !block.notify.contains(&observer) {
                     block.notify.push(observer.clone());
                 }
             }
@@ -363,7 +365,9 @@ mod tests {
 
     #[test]
     fn campaign_collects_studies() {
-        let c = CampaignDef::new("c").study(StudyDef::new("s1")).study(StudyDef::new("s2"));
+        let c = CampaignDef::new("c")
+            .study(StudyDef::new("s1"))
+            .study(StudyDef::new("s2"));
         assert_eq!(c.studies.len(), 2);
     }
 
@@ -386,9 +390,8 @@ mod tests {
             .fault(
                 "green",
                 "gfault2",
-                FaultExpr::atom("black", "CRASH").and(
-                    FaultExpr::atom("green", "FOLLOW").or(FaultExpr::atom("green", "ELECT")),
-                ),
+                FaultExpr::atom("black", "CRASH")
+                    .and(FaultExpr::atom("green", "FOLLOW").or(FaultExpr::atom("green", "ELECT"))),
                 Trigger::Once,
             )
             .derive_notify_lists();
@@ -429,7 +432,10 @@ mod tests {
             .fault("b", "f", FaultExpr::atom("a", "CRASH"), Trigger::Once)
             .derive_notify_lists();
         assert!(study.machines[0].global_states.iter().any(|s| s == "CRASH"));
-        assert_eq!(study.machines[0].state_def("CRASH").unwrap().notify, vec!["b"]);
+        assert_eq!(
+            study.machines[0].state_def("CRASH").unwrap().notify,
+            vec!["b"]
+        );
     }
 
     #[test]

@@ -200,10 +200,8 @@ impl Study {
         // Init aliases: every state name is also usable as the first probe
         // notification, so give each state an event alias of the same name.
         let mut init_alias = HashMap::new();
-        let state_ids: Vec<(StateId, String)> = states
-            .iter()
-            .map(|(id, n)| (id, n.to_owned()))
-            .collect();
+        let state_ids: Vec<(StateId, String)> =
+            states.iter().map(|(id, n)| (id, n.to_owned())).collect();
         for (sid, name) in &state_ids {
             init_alias.insert(*sid, events.intern(name));
         }
@@ -218,20 +216,21 @@ impl Study {
             let mut declared_states = Vec::new();
 
             for block in &m.states {
-                let state = states.lookup(&block.state).ok_or_else(|| {
-                    CoreError::UnknownState {
+                let state = states
+                    .lookup(&block.state)
+                    .ok_or_else(|| CoreError::UnknownState {
                         sm: m.name.clone(),
                         state: block.state.clone(),
-                    }
-                })?;
+                    })?;
                 declared_states.push(state);
 
                 let mut list = Vec::new();
                 for target in &block.notify {
                     let target_id =
-                        sms.lookup(target).ok_or_else(|| CoreError::UnknownStateMachine {
-                            name: target.clone(),
-                        })?;
+                        sms.lookup(target)
+                            .ok_or_else(|| CoreError::UnknownStateMachine {
+                                name: target.clone(),
+                            })?;
                     if target_id != id && !list.contains(&target_id) {
                         list.push(target_id);
                     }
@@ -239,12 +238,13 @@ impl Study {
                 notify.insert(state, list);
 
                 for t in &block.transitions {
-                    let next = states.lookup(&t.next_state).ok_or_else(|| {
-                        CoreError::UnknownState {
-                            sm: m.name.clone(),
-                            state: t.next_state.clone(),
-                        }
-                    })?;
+                    let next =
+                        states
+                            .lookup(&t.next_state)
+                            .ok_or_else(|| CoreError::UnknownState {
+                                sm: m.name.clone(),
+                                state: t.next_state.clone(),
+                            })?;
                     if t.event == DEFAULT_EVENT {
                         defaults.insert(state, next);
                         continue;
@@ -257,9 +257,9 @@ impl Study {
                             event: t.event.clone(),
                         });
                     }
-                    let event = events.lookup(&t.event).unwrap_or_else(|| {
-                        unreachable!("declared events are interned above")
-                    });
+                    let event = events
+                        .lookup(&t.event)
+                        .unwrap_or_else(|| unreachable!("declared events are interned above"));
                     transitions.insert((state, event), next);
                 }
             }
@@ -301,9 +301,11 @@ impl Study {
                 });
             }
             let id: FaultId = fault_names.intern(&f.name);
-            let owner = sms.lookup(&f.owner).ok_or_else(|| CoreError::UnknownStateMachine {
-                name: f.owner.clone(),
-            })?;
+            let owner = sms
+                .lookup(&f.owner)
+                .ok_or_else(|| CoreError::UnknownStateMachine {
+                    name: f.owner.clone(),
+                })?;
             let expr = compile_expr(&f.expr, &|n| sms.lookup(n), &|n| states.lookup(n))?;
             faults.push(CompiledFault {
                 id,
@@ -317,9 +319,9 @@ impl Study {
         // Placement.
         let mut placements = Vec::with_capacity(def.placements.len());
         for p in &def.placements {
-            let sm = sms.lookup(&p.sm).ok_or_else(|| CoreError::UnknownStateMachine {
-                name: p.sm.clone(),
-            })?;
+            let sm = sms
+                .lookup(&p.sm)
+                .ok_or_else(|| CoreError::UnknownStateMachine { name: p.sm.clone() })?;
             placements.push((sm, p.host.clone()));
         }
 
@@ -364,7 +366,11 @@ impl Study {
 
     /// The faults injected by machine `sm`'s probe.
     pub fn faults_owned_by(&self, sm: SmId) -> Vec<CompiledFault> {
-        self.faults.iter().filter(|f| f.owner == sm).cloned().collect()
+        self.faults
+            .iter()
+            .filter(|f| f.owner == sm)
+            .cloned()
+            .collect()
     }
 
     /// The event alias used when a probe's first notification names a state.
@@ -453,7 +459,9 @@ mod tests {
         let a = study.sm_id("a").unwrap();
         let busy = study.states.lookup("BUSY").unwrap();
         assert_eq!(
-            study.machine(a).next_state(busy, study.reserved.crash_event),
+            study
+                .machine(a)
+                .next_state(busy, study.reserved.crash_event),
             Some(study.reserved.crash)
         );
         // ... but an explicit transition on CRASH wins.
@@ -469,7 +477,9 @@ mod tests {
         let idle = study.states.lookup("IDLE").unwrap();
         let limbo = study.states.lookup("LIMBO").unwrap();
         assert_eq!(
-            study.machine(a).next_state(idle, study.reserved.crash_event),
+            study
+                .machine(a)
+                .next_state(idle, study.reserved.crash_event),
             Some(limbo)
         );
     }
@@ -499,18 +509,17 @@ mod tests {
             .machine(StateMachineSpec::builder("a").build());
         assert!(matches!(
             Study::compile(&def),
-            Err(CoreError::DuplicateName { kind: "state machine", .. })
+            Err(CoreError::DuplicateName {
+                kind: "state machine",
+                ..
+            })
         ));
     }
 
     #[test]
     fn duplicate_fault_name_rejected() {
         let def = StudyDef::new("s")
-            .machine(
-                StateMachineSpec::builder("a")
-                    .states(&["X"])
-                    .build(),
-            )
+            .machine(StateMachineSpec::builder("a").states(&["X"]).build())
             .fault("a", "f", FaultExpr::atom("a", "X"), Trigger::Once)
             .fault("a", "f", FaultExpr::atom("a", "X"), Trigger::Once);
         assert!(matches!(
@@ -529,7 +538,10 @@ mod tests {
                 .state("IDLE", &[], &[("GO", "NOWHERE")])
                 .build(),
         );
-        assert!(matches!(Study::compile(&def), Err(CoreError::UnknownState { .. })));
+        assert!(matches!(
+            Study::compile(&def),
+            Err(CoreError::UnknownState { .. })
+        ));
 
         // Undeclared event in a transition.
         let def = StudyDef::new("s").machine(
@@ -539,7 +551,10 @@ mod tests {
                 .state("IDLE", &[], &[("GO", "IDLE")])
                 .build(),
         );
-        assert!(matches!(Study::compile(&def), Err(CoreError::UnknownEvent { .. })));
+        assert!(matches!(
+            Study::compile(&def),
+            Err(CoreError::UnknownEvent { .. })
+        ));
 
         // Notify target that does not exist.
         let def = StudyDef::new("s").machine(

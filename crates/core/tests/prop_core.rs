@@ -39,8 +39,8 @@ fn reference_firings(
 
 /// Random expression over `sms` machines × `states` states.
 fn expr_strategy(sms: u32, states: u32, depth: u32) -> BoxedStrategy<CompiledExpr> {
-    let atom = (0..sms, 0..states)
-        .prop_map(|(m, s)| CompiledExpr::Atom(Id::from_raw(m), Id::from_raw(s)));
+    let atom =
+        (0..sms, 0..states).prop_map(|(m, s)| CompiledExpr::Atom(Id::from_raw(m), Id::from_raw(s)));
     if depth == 0 {
         atom.boxed()
     } else {

@@ -48,20 +48,16 @@ pub fn stratified_weighted(
 ) -> Result<MomentStats, MeasureError> {
     if per_study.len() != weights.len() {
         return Err(MeasureError::BadWeights {
-            reason: format!(
-                "{} studies but {} weights",
-                per_study.len(),
-                weights.len()
-            ),
+            reason: format!("{} studies but {} weights", per_study.len(), weights.len()),
         });
     }
     if per_study.is_empty() {
         return Err(MeasureError::NoData);
     }
     let total: f64 = weights.iter().sum();
-    if !(total > 0.0) || weights.iter().any(|w| *w < 0.0) {
+    if !total.is_finite() || total <= 0.0 || weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
         return Err(MeasureError::BadWeights {
-            reason: "weights must be non-negative with a positive sum".to_owned(),
+            reason: "weights must be finite and non-negative with a positive finite sum".to_owned(),
         });
     }
 
@@ -72,8 +68,8 @@ pub fn stratified_weighted(
         let stats = MomentStats::from_sample(values).ok_or(MeasureError::NoData)?;
         let p = w / total;
         mean += p * stats.mean();
-        for k in 0..3 {
-            central[k] += p * stats.central[k];
+        for (c, s) in central.iter_mut().zip(&stats.central) {
+            *c += p * s;
         }
         n += stats.n;
     }
@@ -114,7 +110,10 @@ mod tests {
         let s = simple_sampling(&[vec![1.0, 2.0], vec![3.0, 4.0, 5.0]]).unwrap();
         assert_eq!(s.n, 5);
         assert!((s.mean() - 3.0).abs() < 1e-12);
-        assert!(matches!(simple_sampling(&[vec![], vec![]]), Err(MeasureError::NoData)));
+        assert!(matches!(
+            simple_sampling(&[vec![], vec![]]),
+            Err(MeasureError::NoData)
+        ));
     }
 
     #[test]

@@ -136,8 +136,11 @@ pub fn fig_4_2() -> (Study, GlobalTimeline) {
 /// Thesis predicate 1:
 /// `((StateMachine1, State1, 10 < t < 20) | (StateMachine2, State2, 30 < t < 40))`.
 pub fn predicate_1() -> Predicate {
-    Predicate::state_in("SM1", "State1", Window::millis(10.0, 20.0))
-        .or(Predicate::state_in("SM2", "State2", Window::millis(30.0, 40.0)))
+    Predicate::state_in("SM1", "State1", Window::millis(10.0, 20.0)).or(Predicate::state_in(
+        "SM2",
+        "State2",
+        Window::millis(30.0, 40.0),
+    ))
 }
 
 /// Thesis predicate 2:

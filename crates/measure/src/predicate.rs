@@ -108,6 +108,8 @@ impl Predicate {
     }
 
     /// Negation.
+    // Part of the predicate-builder DSL next to `and`/`or`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Predicate {
         Predicate::Not(Box::new(self))
     }
@@ -132,12 +134,13 @@ impl Predicate {
             } => Ok(CompiledPredicate::Event {
                 sm: lookup_sm(study, sm)?,
                 state: lookup_state(study, state)?,
-                event: study.events.lookup(event).ok_or_else(|| {
-                    MeasureError::UnknownName {
+                event: study
+                    .events
+                    .lookup(event)
+                    .ok_or_else(|| MeasureError::UnknownName {
                         kind: "event",
                         name: event.clone(),
-                    }
-                })?,
+                    })?,
                 window: *window,
             }),
             Predicate::And(a, b) => Ok(CompiledPredicate::And(
@@ -154,10 +157,13 @@ impl Predicate {
 }
 
 fn lookup_sm(study: &Study, name: &str) -> Result<SmId, MeasureError> {
-    study.sms.lookup(name).ok_or_else(|| MeasureError::UnknownName {
-        kind: "state machine",
-        name: name.to_owned(),
-    })
+    study
+        .sms
+        .lookup(name)
+        .ok_or_else(|| MeasureError::UnknownName {
+            kind: "state machine",
+            name: name.to_owned(),
+        })
 }
 
 fn lookup_state(study: &Study, name: &str) -> Result<StateId, MeasureError> {
@@ -215,10 +221,7 @@ impl CompiledPredicate {
                         continue;
                     }
                     let lo = iv.enter.mid().as_f64();
-                    let hi = iv
-                        .exit
-                        .map(|b| b.mid().as_f64())
-                        .unwrap_or(exp_window.1);
+                    let hi = iv.exit.map(|b| b.mid().as_f64()).unwrap_or(exp_window.1);
                     let (lo, hi) = match restrict {
                         Some((rlo, rhi)) => (lo.max(rlo), hi.min(rhi)),
                         None => (lo, hi),
@@ -257,9 +260,7 @@ impl CompiledPredicate {
                 }
                 PredicateTimeline::new(exp_window, IntervalSet::empty(), impulses)
             }
-            CompiledPredicate::And(a, b) => {
-                a.eval(gt, exp_window).and(&b.eval(gt, exp_window))
-            }
+            CompiledPredicate::And(a, b) => a.eval(gt, exp_window).and(&b.eval(gt, exp_window)),
             CompiledPredicate::Or(a, b) => a.eval(gt, exp_window).or(&b.eval(gt, exp_window)),
             CompiledPredicate::Not(a) => a.eval(gt, exp_window).negate(),
         }
@@ -276,7 +277,9 @@ mod tests {
     fn compile_rejects_unknown_names() {
         let (study, _) = fig_4_2();
         assert!(Predicate::state("ghost", "State1").compile(&study).is_err());
-        assert!(Predicate::state("SM1", "GhostState").compile(&study).is_err());
+        assert!(Predicate::state("SM1", "GhostState")
+            .compile(&study)
+            .is_err());
         assert!(Predicate::event("SM1", "State1", "GhostEvent")
             .compile(&study)
             .is_err());

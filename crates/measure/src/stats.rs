@@ -167,6 +167,8 @@ pub fn central_from_raw(raw: [f64; 4]) -> [f64; 3] {
 /// # Panics
 ///
 /// Panics if `p` is not within `(0, 1)`.
+// Acklam's coefficients are kept verbatim from the published algorithm.
+#[allow(clippy::excessive_precision)]
 pub fn inverse_normal_cdf(p: f64) -> f64 {
     assert!(p > 0.0 && p < 1.0, "probability must be in (0,1), got {p}");
     const A: [f64; 6] = [

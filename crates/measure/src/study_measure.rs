@@ -146,11 +146,7 @@ impl StudyMeasure {
     ///
     /// Returns [`MeasureError`] when a predicate references unknown names
     /// or the measure has no steps.
-    pub fn apply(
-        &self,
-        study: &Study,
-        gt: &GlobalTimeline,
-    ) -> Result<Option<f64>, MeasureError> {
+    pub fn apply(&self, study: &Study, gt: &GlobalTimeline) -> Result<Option<f64>, MeasureError> {
         if self.steps.is_empty() {
             return Err(MeasureError::EmptyMeasure {
                 name: self.name.clone(),

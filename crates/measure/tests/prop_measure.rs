@@ -2,11 +2,11 @@
 //! campaign statistics.
 
 use loki_analysis::intervals::IntervalSet;
+use loki_measure::campaign_measure::{simple_sampling, stratified_weighted};
 use loki_measure::obsfn::{ImpulseStep, ObservationFn, TrueFalse, UpDown};
 use loki_measure::stats::{central_from_raw, inverse_normal_cdf, MomentStats};
 use loki_measure::timeline::PredicateTimeline;
 use loki_measure::timeref::TimeRef;
-use loki_measure::campaign_measure::{simple_sampling, stratified_weighted};
 use proptest::prelude::*;
 
 const W: (f64, f64) = (0.0, 1000.0);
@@ -125,7 +125,7 @@ proptest! {
     /// sampling.
     #[test]
     fn single_stratum_equals_simple(values in prop::collection::vec(-50.0f64..50.0, 1..40)) {
-        let simple = simple_sampling(&[values.clone()]).unwrap();
+        let simple = simple_sampling(std::slice::from_ref(&values)).unwrap();
         let strat = stratified_weighted(&[values], &[2.5]).unwrap();
         prop_assert!((simple.mean() - strat.mean()).abs() < 1e-9);
         prop_assert!((simple.variance() - strat.variance()).abs() < 1e-6);

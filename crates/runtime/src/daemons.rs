@@ -25,13 +25,18 @@ use loki_core::recorder::{RecordKind, TimelineRecord};
 use loki_core::study::Study;
 use loki_sim::engine::{ActorId, Ctx, DownReason, HostId};
 use rand::Rng;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::Arc;
 
 /// Creates the application half of a node. Called once per (re)start of a
 /// machine, so stateful applications get a fresh instance each incarnation.
-pub type AppFactory = Rc<dyn Fn(&Study, SmId) -> Box<dyn AppLogic>>;
+///
+/// The factory is `Send + Sync` (and `Arc`-shared) so one factory can be
+/// handed to every worker of the parallel experiment executor
+/// ([`crate::harness::run_study`]); the [`AppLogic`] instances it produces
+/// stay on the worker that created them.
+pub type AppFactory = Arc<dyn Fn(&Study, SmId) -> Box<dyn AppLogic> + Send + Sync>;
 
 /// Shared construction context for daemons and nodes.
 #[derive(Clone)]
@@ -140,6 +145,13 @@ impl LocalDaemon {
 
     /// Routes a notification to its target machines: local targets get a
     /// direct delivery; remote hosts get one `ForwardNotify` each (§3.6.1).
+    ///
+    /// The per-host fan-out iterates a `BTreeMap` so the forwarding order —
+    /// and with it the simulation's event sequence and RNG consumption — is
+    /// deterministic. A `HashMap` here made identically-seeded experiments
+    /// diverge across processes and threads (`RandomState` differs per
+    /// instance), which the parallel study executor turns from a latent
+    /// into a permanent failure.
     fn route(
         &mut self,
         ctx: &mut Ctx<'_, RtMsg>,
@@ -147,7 +159,7 @@ impl LocalDaemon {
         state: loki_core::ids::StateId,
         targets: Vec<SmId>,
     ) {
-        let mut per_host: HashMap<u32, Vec<SmId>> = HashMap::new();
+        let mut per_host: BTreeMap<u32, Vec<SmId>> = BTreeMap::new();
         for target in targets {
             if let Some(&actor) = self.local_nodes.get(&target) {
                 ctx.send(actor, RtMsg::DeliverNotify { from_sm, state });
@@ -260,7 +272,14 @@ impl loki_sim::engine::Actor<RtMsg> for LocalDaemon {
                 self.alive.insert(sm);
                 self.any_started = true;
                 let host = self.my_host;
-                self.broadcast_to_peers(ctx, RtMsg::NodeUp { sm, restarted, host });
+                self.broadcast_to_peers(
+                    ctx,
+                    RtMsg::NodeUp {
+                        sm,
+                        restarted,
+                        host,
+                    },
+                );
             }
             RtMsg::Notify {
                 from_sm,
@@ -283,10 +302,14 @@ impl loki_sim::engine::Actor<RtMsg> for LocalDaemon {
                 }
             }
             RtMsg::StateUpdateRequest { for_sm } => {
-                // Fan out to local nodes; if the request came from one of
-                // our own nodes, also forward to the other daemons.
+                // Fan out to local nodes (in machine order, for the same
+                // determinism reasons as `route`); if the request came from
+                // one of our own nodes, also forward to the other daemons.
                 let from_local_node = self.node_of_actor.contains_key(&from);
-                for (&sm, &actor) in &self.local_nodes {
+                let mut local: Vec<(SmId, ActorId)> =
+                    self.local_nodes.iter().map(|(&sm, &a)| (sm, a)).collect();
+                local.sort_by_key(|&(sm, _)| sm);
+                for (sm, actor) in local {
                     if sm != for_sm {
                         ctx.send(actor, RtMsg::StateUpdateRequest { for_sm });
                     }
@@ -308,7 +331,10 @@ impl loki_sim::engine::Actor<RtMsg> for LocalDaemon {
                 self.check_experiment_end(ctx);
             }
             RtMsg::KillAllNodes => {
-                let actors: Vec<ActorId> = self.local_nodes.values().copied().collect();
+                // Sorted: the kill order schedules watcher notifications
+                // and must not depend on hash-map iteration order.
+                let mut actors: Vec<ActorId> = self.local_nodes.values().copied().collect();
+                actors.sort();
                 for actor in actors {
                     ctx.kill(actor, DownReason::Crash);
                 }

@@ -43,6 +43,13 @@ pub struct SimHarnessConfig {
     pub kill_daemon: Option<(u32, u64)>,
     /// Base RNG seed; experiment `k` of a study uses `seed + k`.
     pub seed: u64,
+    /// Worker threads for [`run_study`]: `Some(n)` forces `n` workers
+    /// (`Some(1)` runs sequentially on the calling thread); `None` uses the
+    /// `LOKI_WORKERS` environment variable if set, otherwise the machine's
+    /// available parallelism. Experiment results are identical for every
+    /// worker count — each experiment is fully determined by
+    /// `(seed, experiment_index)`.
+    pub workers: Option<usize>,
 }
 
 impl Default for SimHarnessConfig {
@@ -57,6 +64,7 @@ impl Default for SimHarnessConfig {
             restart: None,
             kill_daemon: None,
             seed: 0,
+            workers: None,
         }
     }
 }
@@ -148,9 +156,7 @@ pub fn run_experiment(
         _ => host_ids
             .iter()
             .enumerate()
-            .map(|(idx, &h)| {
-                sim.spawn(h, Box::new(LocalDaemon::new(bundle.clone(), idx as u32)))
-            })
+            .map(|(idx, &h)| sim.spawn(h, Box::new(LocalDaemon::new(bundle.clone(), idx as u32))))
             .collect(),
     };
     wiring.set_daemons(daemons);
@@ -178,10 +184,7 @@ pub fn run_experiment(
         let victim = wiring.daemon_for(host as usize);
         sim.spawn(
             host_ids[ref_idx],
-            Box::new(crate::daemons::Saboteur {
-                victim,
-                after_ns,
-            }),
+            Box::new(crate::daemons::Saboteur { victim, after_ns }),
         );
     }
 
@@ -242,14 +245,111 @@ fn run_sync_phase(
     Vec::new()
 }
 
+/// Resolves the worker count for a study: explicit config, then the
+/// `LOKI_WORKERS` environment variable, then the machine's available
+/// parallelism. Never more workers than experiments.
+fn resolve_workers(cfg: &SimHarnessConfig, experiments: u32) -> usize {
+    let requested = cfg
+        .workers
+        .or_else(|| {
+            let value = std::env::var("LOKI_WORKERS").ok()?;
+            match value.trim().parse() {
+                Ok(n) => Some(n),
+                Err(_) => {
+                    eprintln!(
+                        "loki: ignoring unparseable LOKI_WORKERS={value:?}; \
+                         using available parallelism"
+                    );
+                    None
+                }
+            }
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    requested.clamp(1, experiments.max(1) as usize)
+}
+
 /// Runs `experiments` experiments of `study`, with per-experiment seeds.
+///
+/// Experiments fan out across a scoped worker pool (see
+/// [`SimHarnessConfig::workers`]); each experiment seeds its own simulation
+/// from `(cfg.seed, experiment_index)`, so the returned data — order,
+/// timelines, sync samples, verdict-relevant fields, everything — is
+/// byte-identical whatever the worker count or scheduling.
 pub fn run_study(
     study: &Arc<Study>,
     factory: AppFactory,
     cfg: &SimHarnessConfig,
     experiments: u32,
 ) -> Vec<ExperimentData> {
-    (0..experiments)
-        .map(|k| run_experiment(study, factory.clone(), cfg, k))
-        .collect()
+    run_study_with_workers(
+        study,
+        factory,
+        cfg,
+        experiments,
+        resolve_workers(cfg, experiments),
+    )
+}
+
+/// [`run_study`] with an explicit worker count (`workers == 1` runs
+/// entirely on the calling thread).
+pub fn run_study_with_workers(
+    study: &Arc<Study>,
+    factory: AppFactory,
+    cfg: &SimHarnessConfig,
+    experiments: u32,
+    workers: usize,
+) -> Vec<ExperimentData> {
+    let workers = workers.clamp(1, experiments.max(1) as usize);
+    if workers == 1 {
+        return (0..experiments)
+            .map(|k| run_experiment(study, factory.clone(), cfg, k))
+            .collect();
+    }
+
+    // Round-robin striping: worker `w` runs experiments `w, w+workers,
+    // w+2·workers, …` and returns them in that order. Each worker runs
+    // whole experiments (all per-experiment `Rc` state stays
+    // thread-local); only the study and the factory cross the thread
+    // boundary. Experiments of one study cost roughly the same, so a
+    // static partition balances well without a shared queue.
+    let mut stripes: Vec<Vec<ExperimentData>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers as u32)
+            .map(|w| {
+                let factory = factory.clone();
+                scope.spawn(move || {
+                    (w..experiments)
+                        .step_by(workers)
+                        .map(|k| run_experiment(study, factory.clone(), cfg, k))
+                        .collect::<Vec<ExperimentData>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment worker panicked"))
+            .collect()
+    });
+
+    // Interleave the stripes back into experiment order (stripe `w`,
+    // round `i` holds experiment `i·workers + w`).
+    let mut stripes: Vec<_> = stripes.drain(..).map(Vec::into_iter).collect();
+    let mut results = Vec::with_capacity(experiments as usize);
+    loop {
+        let mut produced = false;
+        for stripe in &mut stripes {
+            if let Some(data) = stripe.next() {
+                results.push(data);
+                produced = true;
+            }
+        }
+        if !produced {
+            break;
+        }
+    }
+    debug_assert_eq!(results.len(), experiments as usize);
+    results
 }

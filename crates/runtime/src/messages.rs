@@ -138,7 +138,11 @@ impl std::fmt::Debug for RtMsg {
             RtMsg::Register { sm, restarted } => {
                 write!(f, "Register({sm:?}, restarted={restarted})")
             }
-            RtMsg::Notify { from_sm, state, targets } => {
+            RtMsg::Notify {
+                from_sm,
+                state,
+                targets,
+            } => {
                 write!(f, "Notify({from_sm:?} -> {state:?}, to {targets:?})")
             }
             RtMsg::DeliverNotify { from_sm, state } => {
@@ -148,10 +152,18 @@ impl std::fmt::Debug for RtMsg {
             RtMsg::StateUpdateReply { from_sm, state } => {
                 write!(f, "StateUpdateReply({from_sm:?} in {state:?})")
             }
-            RtMsg::ForwardNotify { from_sm, state, targets } => {
+            RtMsg::ForwardNotify {
+                from_sm,
+                state,
+                targets,
+            } => {
                 write!(f, "ForwardNotify({from_sm:?} in {state:?}, to {targets:?})")
             }
-            RtMsg::NodeUp { sm, restarted, host } => {
+            RtMsg::NodeUp {
+                sm,
+                restarted,
+                host,
+            } => {
                 write!(f, "NodeUp({sm:?}, restarted={restarted}, host={host})")
             }
             RtMsg::NodeDown { sm, crashed, host } => {

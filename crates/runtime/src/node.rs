@@ -75,11 +75,7 @@ impl NodeRuntime {
 
     /// Applies a local event (or the initial notification) and queues the
     /// resulting notifications/injections.
-    fn apply_local(
-        &mut self,
-        ctx: &mut Ctx<'_, RtMsg>,
-        name: &str,
-    ) -> Result<(), CoreError> {
+    fn apply_local(&mut self, ctx: &mut Ctx<'_, RtMsg>, name: &str) -> Result<(), CoreError> {
         let outcome = if self.sm.is_initialized() {
             self.sm.apply_event_name(name)?
         } else {
@@ -275,7 +271,8 @@ impl<'a, 'b> NodeCtx<'a, 'b> {
     /// Appends a free-form message to the local timeline.
     pub fn record_user_message(&mut self, message: &str) {
         let now = self.sim.local_clock();
-        self.rt.record(now, RecordKind::UserMessage(message.to_owned()));
+        self.rt
+            .record(now, RecordKind::UserMessage(message.to_owned()));
     }
 }
 
@@ -287,6 +284,7 @@ pub struct NodeActor {
 
 impl NodeActor {
     /// Creates the node for `sm`, attached to `daemon`.
+    #[allow(clippy::too_many_arguments)] // mirrors the Bundle fields one-to-one
     pub(crate) fn new(
         study: Arc<Study>,
         sm_id: SmId,
@@ -326,7 +324,10 @@ impl NodeActor {
         f: impl FnOnce(&mut dyn AppLogic, &mut NodeCtx<'_, '_>),
     ) {
         {
-            let mut node_ctx = NodeCtx { sim: ctx, rt: &mut self.rt };
+            let mut node_ctx = NodeCtx {
+                sim: ctx,
+                rt: &mut self.rt,
+            };
             f(self.app.as_mut(), &mut node_ctx);
         }
         // Drain injections queued by the fault parser. Stop immediately if
@@ -338,7 +339,10 @@ impl NodeActor {
             let now = ctx.local_clock();
             self.rt.record(now, RecordKind::FaultInjection { fault });
             let name = self.rt.study.fault_names.name(fault).to_owned();
-            let mut node_ctx = NodeCtx { sim: ctx, rt: &mut self.rt };
+            let mut node_ctx = NodeCtx {
+                sim: ctx,
+                rt: &mut self.rt,
+            };
             self.app.on_fault(&mut node_ctx, &name);
         }
         if ctx.terminating() && self.rt.exiting {
@@ -362,13 +366,7 @@ impl NodeActor {
             );
         }
         let me = self.rt.me;
-        let targets: Vec<SmId> = self
-            .rt
-            .study
-            .sms
-            .ids()
-            .filter(|&sm| sm != me)
-            .collect();
+        let targets: Vec<SmId> = self.rt.study.sms.ids().filter(|&sm| sm != me).collect();
         self.rt.route_notify(ctx, exit_state, targets);
         self.rt.exiting = false;
     }

@@ -141,7 +141,11 @@ mod tests {
         let mut sim: Simulation<RtMsg> = Simulation::new(11);
         let ref_clock = ClockParams::ideal();
         let m_clock = ClockParams::with_drift_ppm(3e6, 140.0);
-        let h_ref = sim.add_host(HostConfig::new("ref").clock(ref_clock).timeslice_ns(1_000_000));
+        let h_ref = sim.add_host(
+            HostConfig::new("ref")
+                .clock(ref_clock)
+                .timeslice_ns(1_000_000),
+        );
         let h2 = sim.add_host(HostConfig::new("h2").clock(m_clock).timeslice_ns(1_000_000));
 
         let collector = SyncCollector::new();
@@ -158,7 +162,10 @@ mod tests {
 
         let bounds = estimate_alpha_beta(&syncs[0].samples, &SyncOptions::default()).unwrap();
         let (alpha, beta) = m_clock.relative_to(&ref_clock);
-        assert!(bounds.contains(alpha, beta), "{bounds:?} vs ({alpha},{beta})");
+        assert!(
+            bounds.contains(alpha, beta),
+            "{bounds:?} vs ({alpha},{beta})"
+        );
     }
 
     #[test]

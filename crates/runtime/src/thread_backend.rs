@@ -65,8 +65,7 @@ pub trait ThreadApp: Send {
 }
 
 /// Factory producing thread-backend applications.
-pub type ThreadAppFactory =
-    Arc<dyn Fn(&Study, SmId) -> Box<dyn ThreadApp> + Send + Sync>;
+pub type ThreadAppFactory = Arc<dyn Fn(&Study, SmId) -> Box<dyn ThreadApp> + Send + Sync>;
 
 /// Routing table shared by all node threads (the application's name
 /// service plus Loki's transport).
@@ -346,8 +345,8 @@ pub fn run_thread_experiment(
             // Drain the remaining reports (threads exit on Kill).
             while running > 0 {
                 if let Ok(report) = report_rx.recv_timeout(Duration::from_secs(5)) {
-                    let (NodeReport::Exited { timeline }
-                    | NodeReport::Crashed { timeline, .. }) = report;
+                    let (NodeReport::Exited { timeline } | NodeReport::Crashed { timeline, .. }) =
+                        report;
                     timelines.push(timeline);
                     running -= 1;
                 } else {
@@ -444,7 +443,7 @@ fn sync_phase(
         for _ in 0..rounds {
             // reference → machine
             let send = ref_clock.read(epoch.elapsed().as_nanos() as u64);
-            std::hint::black_box(busy_wait_ns(2_000));
+            busy_wait_ns(2_000);
             let recv = clock.read(epoch.elapsed().as_nanos() as u64);
             samples.push(SyncSample {
                 from_reference: true,
@@ -453,7 +452,7 @@ fn sync_phase(
             });
             // machine → reference
             let send = clock.read(epoch.elapsed().as_nanos() as u64);
-            std::hint::black_box(busy_wait_ns(2_000));
+            busy_wait_ns(2_000);
             let recv = ref_clock.read(epoch.elapsed().as_nanos() as u64);
             samples.push(SyncSample {
                 from_reference: false,
@@ -599,9 +598,7 @@ fn spawn_node(
                     });
                     continue;
                 }
-                Some(std::cmp::Reverse((deadline, _))) => {
-                    Duration::from_nanos(deadline - now_ns)
-                }
+                Some(std::cmp::Reverse((deadline, _))) => Duration::from_nanos(deadline - now_ns),
                 None => Duration::from_millis(50),
             };
             match rx.recv_timeout(wait) {
@@ -811,11 +808,7 @@ mod tests {
             fn on_fault(&mut self, _: &mut ThreadCtx<'_>, _: &str) {}
         }
         let def = StudyDef::new("s")
-            .machine(
-                StateMachineSpec::builder("a")
-                    .states(&["WATCH"])
-                    .build(),
-            )
+            .machine(StateMachineSpec::builder("a").states(&["WATCH"]).build())
             .place("a", "host1");
         let study = Study::compile_arc(&def).unwrap();
         let cfg = ThreadHarnessConfig {

@@ -1,16 +1,15 @@
 //! End-to-end runtime tests: full experiments on the simulation backend.
 
+use loki_core::campaign::ExperimentEnd;
 use loki_core::fault::{FaultExpr, Trigger};
 use loki_core::recorder::RecordKind;
 use loki_core::spec::{StateMachineSpec, StudyDef};
 use loki_core::study::Study;
-use loki_core::campaign::ExperimentEnd;
 use loki_runtime::daemons::{RestartPlacement, RestartPolicy};
 use loki_runtime::harness::{run_experiment, SimHarnessConfig};
 use loki_runtime::messages::NotifyRouting;
 use loki_runtime::node::{AppLogic, NodeCtx};
 use loki_runtime::AppFactory;
-use std::rc::Rc;
 use std::sync::Arc;
 
 /// A two-machine study: `a` does INIT → WORK → EXIT; `b` watches `a`.
@@ -116,7 +115,7 @@ impl AppLogic for WatcherB {
 }
 
 fn factory(crash_on_fault: bool) -> AppFactory {
-    Rc::new(move |study: &Study, sm| -> Box<dyn AppLogic> {
+    Arc::new(move |study: &Study, sm| -> Box<dyn AppLogic> {
         if study.sms.name(sm) == "a" {
             Box::new(WorkerA { crash_on_fault })
         } else {
@@ -172,7 +171,11 @@ fn experiment_completes_and_injects_on_remote_state() {
     // Record times are monotone per stint (single host clock).
     for t in &data.timelines {
         for w in t.records.windows(2) {
-            assert!(w[0].time <= w[1].time, "non-monotone records in {}", t.sm_name);
+            assert!(
+                w[0].time <= w[1].time,
+                "non-monotone records in {}",
+                t.sm_name
+            );
         }
     }
 }
@@ -272,7 +275,12 @@ fn once_fault_fires_once_across_reentries() {
                 .build(),
         )
         .fault("b", "once_f", FaultExpr::atom("a", "WORK"), Trigger::Once)
-        .fault("b", "always_f", FaultExpr::atom("a", "WORK"), Trigger::Always)
+        .fault(
+            "b",
+            "always_f",
+            FaultExpr::atom("a", "WORK"),
+            Trigger::Always,
+        )
         .place("a", "host1")
         .place("b", "host2");
     let study = Study::compile_arc(&def).unwrap();
@@ -314,7 +322,7 @@ fn once_fault_fires_once_across_reentries() {
         fn on_fault(&mut self, _ctx: &mut NodeCtx<'_, '_>, _fault: &str) {}
     }
 
-    let f: AppFactory = Rc::new(|study: &Study, sm| -> Box<dyn AppLogic> {
+    let f: AppFactory = Arc::new(|study: &Study, sm| -> Box<dyn AppLogic> {
         if study.sms.name(sm) == "a" {
             Box::new(Cycler)
         } else {

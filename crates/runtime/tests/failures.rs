@@ -8,7 +8,6 @@ use loki_core::study::Study;
 use loki_runtime::harness::{run_experiment, SimHarnessConfig};
 use loki_runtime::node::{AppLogic, NodeCtx};
 use loki_runtime::AppFactory;
-use std::rc::Rc;
 use std::sync::Arc;
 
 struct ShortLived {
@@ -74,7 +73,7 @@ fn notification_to_dead_machine_is_dropped_with_warning() {
         .place("a", "host1")
         .place("b", "host2");
     let study = Study::compile_arc(&def).unwrap();
-    let factory: AppFactory = Rc::new(|study: &Study, sm| -> Box<dyn AppLogic> {
+    let factory: AppFactory = Arc::new(|study: &Study, sm| -> Box<dyn AppLogic> {
         if study.sms.name(sm) == "a" {
             Box::new(ShortLived {
                 lifetime_ns: 800_000_000,
@@ -122,7 +121,7 @@ fn dynamic_entry_machine_not_started_at_begin() {
         .place("a", "host1")
         .dynamic("ghost");
     let study = Study::compile_arc(&def).unwrap();
-    let factory: AppFactory = Rc::new(|_, _| {
+    let factory: AppFactory = Arc::new(|_, _| {
         Box::new(ShortLived {
             lifetime_ns: 150_000_000,
             notify_after_death_of: None,
@@ -160,7 +159,7 @@ fn daemon_crash_aborts_the_experiment() {
         .place("a", "host1")
         .place("b", "host2");
     let study = Study::compile_arc(&def).unwrap();
-    let factory: AppFactory = Rc::new(|_, _| {
+    let factory: AppFactory = Arc::new(|_, _| {
         Box::new(ShortLived {
             lifetime_ns: 500_000_000,
             notify_after_death_of: None,

@@ -79,7 +79,8 @@ pub fn load_study(
 ) -> Result<StudyDef, ParseError> {
     let mut def = StudyDef::new(name);
     for (machine, sources) in machines {
-        def.machines.push(sm_spec::parse(machine, &sources.sm_spec)?);
+        def.machines
+            .push(sm_spec::parse(machine, &sources.sm_spec)?);
         if !sources.fault_spec.trim().is_empty() {
             def.faults
                 .extend(parse_fault_spec(machine, &sources.fault_spec)?);

@@ -198,7 +198,10 @@ pub fn parse_expr(input: &str) -> Result<FaultExpr, ParseError> {
     if p.pos != p.tokens.len() {
         return Err(ParseError::at(
             1,
-            format!("trailing tokens after fault expression: {:?}", &p.tokens[p.pos..]),
+            format!(
+                "trailing tokens after fault expression: {:?}",
+                &p.tokens[p.pos..]
+            ),
         ));
     }
     Ok(expr)
@@ -210,7 +213,10 @@ mod tests {
 
     #[test]
     fn atoms() {
-        assert_eq!(parse_expr("(black:LEAD)").unwrap(), FaultExpr::atom("black", "LEAD"));
+        assert_eq!(
+            parse_expr("(black:LEAD)").unwrap(),
+            FaultExpr::atom("black", "LEAD")
+        );
         assert_eq!(
             parse_expr("( SM1 : ELECT )").unwrap(),
             FaultExpr::atom("SM1", "ELECT")
@@ -253,7 +259,12 @@ mod tests {
         let e = parse_expr("~~(a:X)").unwrap();
         assert_eq!(e, FaultExpr::atom("a", "X").not().not());
         let e = parse_expr("~((a:X) & (b:Y))").unwrap();
-        assert_eq!(e, FaultExpr::atom("a", "X").and(FaultExpr::atom("b", "Y")).not());
+        assert_eq!(
+            e,
+            FaultExpr::atom("a", "X")
+                .and(FaultExpr::atom("b", "Y"))
+                .not()
+        );
     }
 
     #[test]
@@ -275,7 +286,7 @@ mod tests {
     fn errors() {
         assert!(parse_expr("").is_err());
         assert!(parse_expr("(a:)").is_err());
-        assert!(parse_expr("(a:X") .is_err());
+        assert!(parse_expr("(a:X").is_err());
         assert!(parse_expr("(a:X) &").is_err());
         assert!(parse_expr("(a:X) (b:Y)").is_err());
         assert!(parse_expr("(a:X) @ (b:Y)").is_err());

@@ -51,10 +51,9 @@ pub fn parse_fault_spec(owner: &str, text: &str) -> Result<Vec<FaultSpec>, Parse
     for (lineno, line) in content_lines(text) {
         let name = line.split_whitespace().next().expect("non-empty");
         let rest = line[name.len()..].trim();
-        let trigger_word = rest
-            .split_whitespace()
-            .last()
-            .ok_or_else(|| ParseError::at(lineno, "fault line needs an expression and a trigger"))?;
+        let trigger_word = rest.split_whitespace().last().ok_or_else(|| {
+            ParseError::at(lineno, "fault line needs an expression and a trigger")
+        })?;
         let trigger = match trigger_word {
             "once" => Trigger::Once,
             "always" => Trigger::Always,
@@ -66,9 +65,8 @@ pub fn parse_fault_spec(owner: &str, text: &str) -> Result<Vec<FaultSpec>, Parse
             }
         };
         let expr_text = rest[..rest.len() - trigger_word.len()].trim();
-        let expr = parse_expr(expr_text).map_err(|e| {
-            ParseError::at(lineno, format!("in fault `{name}`: {}", e.message))
-        })?;
+        let expr = parse_expr(expr_text)
+            .map_err(|e| ParseError::at(lineno, format!("in fault `{name}`: {}", e.message)))?;
         out.push(FaultSpec {
             owner: owner.to_owned(),
             name: name.to_owned(),
@@ -100,7 +98,10 @@ pub fn parse_node_file(text: &str) -> Result<Vec<NodePlacement>, ParseError> {
         let sm = tokens.next().expect("non-empty").to_owned();
         let host = tokens.next().map(str::to_owned);
         if tokens.next().is_some() {
-            return Err(ParseError::at(lineno, "node file lines have at most two fields"));
+            return Err(ParseError::at(
+                lineno,
+                "node file lines have at most two fields",
+            ));
         }
         out.push(NodePlacement { sm, host });
     }
@@ -331,7 +332,13 @@ gfault3 ((green:FOLLOW) | (green:ELECT)) once
     fn daemon_startup_roundtrip() {
         let text = "host1 9000\nhost2 9001\n";
         let eps = parse_daemon_startup(text).unwrap();
-        assert_eq!(eps[1], DaemonEndpoint { host: "host2".into(), port: 9001 });
+        assert_eq!(
+            eps[1],
+            DaemonEndpoint {
+                host: "host2".into(),
+                port: 9001
+            }
+        );
         assert_eq!(write_daemon_startup(&eps), text);
         assert!(parse_daemon_startup("host1\n").is_err());
         assert!(parse_daemon_startup("host1 notaport\n").is_err());

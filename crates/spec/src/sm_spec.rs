@@ -186,7 +186,10 @@ fn strip_comment(line: &str) -> &str {
 
 fn expect_single_token(s: &str, lineno: usize, what: &str) -> Result<(), ParseError> {
     if s.split_whitespace().count() != 1 {
-        return Err(ParseError::at(lineno, format!("expected a single {what}: `{s}`")));
+        return Err(ParseError::at(
+            lineno,
+            format!("expected a single {what}: `{s}`"),
+        ));
     }
     Ok(())
 }

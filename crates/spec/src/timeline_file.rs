@@ -371,11 +371,7 @@ fn parse_u32(token: Option<&str>, lineno: usize, what: &str) -> Result<u32, Pars
         .map_err(|_| ParseError::at(lineno, format!("invalid {what} `{t}`")))
 }
 
-fn parse_time(
-    hi: Option<&str>,
-    lo: Option<&str>,
-    lineno: usize,
-) -> Result<LocalNanos, ParseError> {
+fn parse_time(hi: Option<&str>, lo: Option<&str>, lineno: usize) -> Result<LocalNanos, ParseError> {
     let hi = parse_u32(hi, lineno, "time high word")?;
     let lo = parse_u32(lo, lineno, "time low word")?;
     Ok(LocalNanos::from_hi_lo(hi, lo))
@@ -405,7 +401,12 @@ mod tests {
                     .state("INIT", &[], &[("INIT_DONE", "ELECT")])
                     .build(),
             )
-            .fault("black", "bfault1", FaultExpr::atom("black", "LEAD"), Trigger::Always);
+            .fault(
+                "black",
+                "bfault1",
+                FaultExpr::atom("black", "LEAD"),
+                Trigger::Always,
+            );
         Study::compile(&def).unwrap()
     }
 
@@ -459,7 +460,9 @@ mod tests {
         // and trigger.
         assert!(text.contains("bfault1 (black:LEAD) always"));
         // Times appear as 32-bit halves: 10ms = 10_000_000 ns -> hi 0.
-        assert!(text.lines().any(|l| l.starts_with("1 ") && l.contains(" 0 ")));
+        assert!(text
+            .lines()
+            .any(|l| l.starts_with("1 ") && l.contains(" 0 ")));
     }
 
     #[test]

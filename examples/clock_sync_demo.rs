@@ -77,7 +77,14 @@ fn main() {
     println!("contain the truth — the foundation of the conservative injection check:");
     let samples = {
         let mut s = exchange(&reference, &machine, 20, 1_000_000, jitter, 0);
-        s.extend(exchange(&reference, &machine, 20, 1_000_000, jitter, 10_000_000_000));
+        s.extend(exchange(
+            &reference,
+            &machine,
+            20,
+            1_000_000,
+            jitter,
+            10_000_000_000,
+        ));
         s
     };
     let bounds = estimate_alpha_beta(&samples, &SyncOptions::default()).unwrap();

@@ -15,7 +15,7 @@ use loki::runtime::AppFactory;
 use loki::spec::campaign_loader::{load_study_dir, write_study_dir};
 use loki::spec::{load_study, MachineSources};
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 const PING_SPEC: &str = "\
 # ping.sm — state machine specification (thesis §3.5.3 format)
@@ -142,7 +142,7 @@ fn main() {
 
     // --- compile and run -------------------------------------------------------
     let study = Study::compile_arc(&def).expect("study compiles");
-    let factory: AppFactory = Rc::new(|study: &Study, sm| -> Box<dyn AppLogic> {
+    let factory: AppFactory = Arc::new(|study: &Study, sm| -> Box<dyn AppLogic> {
         // Periods comfortably above the notification latency (a few OS
         // timeslices through the daemons), so injections are provable.
         let period_ns = if study.sms.name(sm) == "ping" {
@@ -162,20 +162,26 @@ fn main() {
     if std::env::var("LOKI_DEBUG").is_ok() {
         for a in &analyzed {
             if let Some(v) = &a.verdict {
-                eprintln!("exp {}: accepted={} missing={:?}", a.data.experiment, v.accepted, v.missing);
+                eprintln!(
+                    "exp {}: accepted={} missing={:?}",
+                    a.data.experiment, v.accepted, v.missing
+                );
                 for c in &v.checks {
-                    eprintln!("   check fault {:?} at {}: {:?}", c.fault, c.bounds, c.verdict);
+                    eprintln!(
+                        "   check fault {:?} at {}: {:?}",
+                        c.fault, c.bounds, c.verdict
+                    );
                 }
             } else {
-                eprintln!("exp {}: end={:?} err={:?}", a.data.experiment, a.data.end, a.error);
+                eprintln!(
+                    "exp {}: end={:?} err={:?}",
+                    a.data.experiment, a.data.end, a.error
+                );
             }
         }
     }
     let accepted = analyzed.iter().filter(|a| a.accepted()).count();
-    let injections: usize = analyzed
-        .iter()
-        .map(|a| a.data.total_injections())
-        .sum();
+    let injections: usize = analyzed.iter().map(|a| a.data.total_injections()).sum();
     println!(
         "{injections} injections of `poke ((ping:ACTIVE) & (pong:IDLE)) always` across 8 runs; \
          {accepted}/8 experiments provably correct"

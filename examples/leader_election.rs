@@ -104,7 +104,10 @@ fn main() {
                 println!(
                     "experiment {}: black ran on {:?}",
                     a.data.experiment,
-                    tl.stints.iter().map(|s| s.host.as_str()).collect::<Vec<_>>()
+                    tl.stints
+                        .iter()
+                        .map(|s| s.host.as_str())
+                        .collect::<Vec<_>>()
                 );
             }
         }

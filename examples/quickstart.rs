@@ -18,7 +18,7 @@ use loki::measure::prelude::*;
 use loki::runtime::harness::{run_study, SimHarnessConfig};
 use loki::runtime::node::{AppLogic, NodeCtx};
 use loki::runtime::AppFactory;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// `worker` grinds through INIT → BUSY → DONE; `observer` watches and
 /// injects a fault whenever the worker is BUSY — based purely on its
@@ -111,7 +111,7 @@ fn main() {
     let study = Study::compile_arc(&def).expect("specification is valid");
 
     // --- 2./3. run experiments ----------------------------------------------
-    let factory: AppFactory = Rc::new(|study: &Study, sm| -> Box<dyn AppLogic> {
+    let factory: AppFactory = Arc::new(|study: &Study, sm| -> Box<dyn AppLogic> {
         if study.sms.name(sm) == "worker" {
             Box::new(Worker)
         } else {

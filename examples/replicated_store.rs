@@ -61,12 +61,7 @@ fn main() {
             // primary" period is initialization. duration(F of PRIMARY...)
             // is expressed directly on the no_primary predicate: measure
             // the true-run after its second rise.
-            observation: ObservationFn::duration(
-                loki::measure::TrueFalse::True,
-                2,
-                0.0,
-                1e9,
-            ),
+            observation: ObservationFn::duration(loki::measure::TrueFalse::True, 2, 0.0, 1e9),
         });
 
     let gaps: Vec<f64> = accepted

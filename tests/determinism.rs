@@ -1,0 +1,95 @@
+//! Campaign determinism: the parallel experiment executor must produce
+//! results *byte-identical* to a forced single-worker run — same
+//! timelines, same sync samples, same experiment ends, and, after the
+//! analysis phase, the same verdict for every experiment. Each experiment
+//! seeds its own simulation from `(study_seed, experiment_index)`, so the
+//! worker count and thread scheduling must be unobservable in the output.
+
+use loki::analysis::{analyze, AnalysisOptions};
+use loki::apps::token_ring::{ring_factory, ring_study, RingConfig};
+use loki::core::fault::{FaultExpr, Trigger};
+use loki::core::study::Study;
+use loki::runtime::harness::{run_study, run_study_with_workers, SimHarnessConfig};
+
+/// The token-ring campaign of the acceptance scenario: a ring of three
+/// members, killing the token holder once it provably holds the token.
+fn ring_campaign() -> (std::sync::Arc<Study>, loki::runtime::AppFactory) {
+    let def = ring_study("ring-determinism", 3).fault(
+        "tr2",
+        "kill_holder",
+        FaultExpr::atom("tr2", "HAS_TOKEN"),
+        Trigger::Once,
+    );
+    let study = Study::compile_arc(&def).expect("valid study");
+    (study, ring_factory(RingConfig::default()))
+}
+
+#[test]
+fn parallel_run_study_is_byte_identical_to_single_worker() {
+    let (study, factory) = ring_campaign();
+    let cfg = SimHarnessConfig::three_hosts(0xD5E7);
+    let experiments = 12;
+
+    let sequential = run_study_with_workers(&study, factory.clone(), &cfg, experiments, 1);
+    let parallel = run_study_with_workers(&study, factory.clone(), &cfg, experiments, 4);
+    // More workers than experiments must also work (workers are clamped).
+    let oversubscribed = run_study_with_workers(&study, factory, &cfg, experiments, 64);
+
+    assert_eq!(sequential.len(), experiments as usize);
+    assert_eq!(sequential, parallel, "worker count changed experiment data");
+    assert_eq!(sequential, oversubscribed);
+
+    // Experiments come back in index order.
+    for (k, data) in sequential.iter().enumerate() {
+        assert_eq!(data.experiment, k as u32);
+    }
+}
+
+#[test]
+fn parallel_and_sequential_agree_on_verdicts_and_timelines() {
+    let (study, factory) = ring_campaign();
+    let cfg = SimHarnessConfig::three_hosts(0xBEEF);
+    let experiments = 8;
+
+    let seq_data = run_study_with_workers(&study, factory.clone(), &cfg, experiments, 1);
+    let par_data = run_study_with_workers(&study, factory, &cfg, experiments, 3);
+
+    let opts = AnalysisOptions::default();
+    let seq = analyze(&study, seq_data, &opts);
+    let par = analyze(&study, par_data, &opts);
+
+    assert_eq!(seq.len(), par.len());
+    for (s, p) in seq.iter().zip(&par) {
+        assert_eq!(s.accepted(), p.accepted(), "verdict diverged");
+        assert_eq!(s.data.end, p.data.end, "experiment end diverged");
+        assert_eq!(s.data.timelines, p.data.timelines, "timelines diverged");
+        assert_eq!(s.data.pre_sync, p.data.pre_sync);
+        assert_eq!(s.data.post_sync, p.data.post_sync);
+    }
+    // The campaign does something: at least one injection was attempted
+    // and at least one experiment completed.
+    assert!(seq.iter().any(|a| a.data.total_injections() > 0));
+}
+
+#[test]
+fn run_study_defaults_respect_env_override() {
+    // `run_study` resolves its worker count from the config (None here),
+    // then the LOKI_WORKERS environment variable, then available
+    // parallelism — whichever it picks, the result must match a single
+    // worker. The other tests in this file don't read the environment, so
+    // setting the variable here doesn't race them.
+    let (study, factory) = ring_campaign();
+    let cfg = SimHarnessConfig::three_hosts(7);
+    let forced = run_study_with_workers(&study, factory.clone(), &cfg, 4, 1);
+
+    std::env::set_var("LOKI_WORKERS", "3");
+    let via_env = run_study(&study, factory.clone(), &cfg, 4);
+    std::env::set_var("LOKI_WORKERS", "not-a-number");
+    let via_bad_env = run_study(&study, factory.clone(), &cfg, 4);
+    std::env::remove_var("LOKI_WORKERS");
+    let auto = run_study(&study, factory, &cfg, 4);
+
+    assert_eq!(via_env, forced);
+    assert_eq!(via_bad_env, forced);
+    assert_eq!(auto, forced);
+}

@@ -96,7 +96,7 @@ fn wo_study(busy_ms: u64) -> (Arc<Study>, AppFactory) {
     }
 
     let busy_ns = busy_ms * 1_000_000;
-    let factory: AppFactory = Rc::new(move |study: &Study, sm| -> Box<dyn AppLogic> {
+    let factory: AppFactory = Arc::new(move |study: &Study, sm| -> Box<dyn AppLogic> {
         if study.sms.name(sm) == "worker" {
             Box::new(Worker { busy_ns })
         } else {
@@ -120,7 +120,10 @@ fn full_pipeline_accepts_long_states_and_rejects_short_ones() {
     let data = run_study(&study, factory, &harness(1), 8);
     let analyzed = analyze(&study, data, &AnalysisOptions::default());
     let long_accepted = analyzed.iter().filter(|a| a.accepted()).count();
-    assert!(long_accepted >= 6, "long states accepted: {long_accepted}/8");
+    assert!(
+        long_accepted >= 6,
+        "long states accepted: {long_accepted}/8"
+    );
 
     // 2 ms of BUSY: the stale partial view makes most injections land
     // after BUSY ended; analysis must catch them.
@@ -186,12 +189,7 @@ fn election_campaign_end_to_end_with_restart() {
         max_restarts: 1,
         placement: RestartPlacement::NextHost,
     });
-    let data = run_study(
-        &study,
-        election_factory(ElectionConfig::default()),
-        &h,
-        10,
-    );
+    let data = run_study(&study, election_factory(ElectionConfig::default()), &h, 10);
     let analyzed = analyze(&study, data, &AnalysisOptions::default());
     let accepted = accepted_timelines(&analyzed);
     assert!(accepted.len() >= 8, "accepted {}/10", accepted.len());

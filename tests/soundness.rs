@@ -23,7 +23,6 @@ use loki::runtime::messages::NotifyRouting;
 use loki::runtime::node::{AppLogic, NodeCtx};
 use loki::runtime::AppFactory;
 use loki::sim::config::HostConfig;
-use std::rc::Rc;
 use std::sync::Arc;
 
 struct Target {
@@ -92,7 +91,11 @@ fn oracle_study() -> Arc<Study> {
             StateMachineSpec::builder("target")
                 .states(&["SETUP", "ARMED", "COOL"])
                 .events(&["ENTER", "LEAVE", "DONE"])
-                .state("SETUP", &["watcher"], &[("ENTER", "ARMED"), ("DONE", "EXIT")])
+                .state(
+                    "SETUP",
+                    &["watcher"],
+                    &[("ENTER", "ARMED"), ("DONE", "EXIT")],
+                )
                 .state("ARMED", &["watcher"], &[("LEAVE", "COOL")])
                 .state("COOL", &["watcher"], &[("DONE", "EXIT")])
                 .build(),
@@ -150,7 +153,7 @@ fn analysis_acceptance_is_sound_against_ground_truth() {
 
     for (i, hold_ms) in hold_values_ms.iter().enumerate() {
         let hold_ns = hold_ms * 1_000_000;
-        let factory: AppFactory = Rc::new(move |study: &Study, sm| -> Box<dyn AppLogic> {
+        let factory: AppFactory = Arc::new(move |study: &Study, sm| -> Box<dyn AppLogic> {
             if study.sms.name(sm) == "target" {
                 Box::new(Target {
                     settle_ns: 150_000_000,

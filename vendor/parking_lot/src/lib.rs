@@ -1,0 +1,95 @@
+//! Minimal parking_lot shim: `Mutex` and `RwLock` over `std::sync` with
+//! the parking_lot calling convention (`lock()`/`read()`/`write()` return
+//! guards directly; a poisoned lock panics, which matches parking_lot's
+//! behavior of not tracking poison at all for the purposes of this
+//! workspace — a panicked holder is a bug either way).
+
+#![forbid(unsafe_code)]
+
+use std::sync;
+
+/// A mutex whose `lock` returns the guard directly.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking the current thread.
+    pub fn lock(&self) -> sync::MutexGuard<'_, T> {
+        self.inner.lock().expect("mutex poisoned")
+    }
+
+    /// Mutable access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().expect("mutex poisoned")
+    }
+}
+
+/// A reader-writer lock whose `read`/`write` return guards directly.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new lock.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read lock.
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        self.inner.read().expect("rwlock poisoned")
+    }
+
+    /// Acquires an exclusive write lock.
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        self.inner.write().expect("rwlock poisoned")
+    }
+
+    /// Mutable access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().expect("rwlock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Mutex, RwLock};
+
+    #[test]
+    fn mutex_and_rwlock_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+
+        let rw = RwLock::new(vec![1, 2]);
+        rw.write().push(3);
+        assert_eq!(rw.read().len(), 3);
+    }
+}

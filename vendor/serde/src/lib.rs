@@ -1,0 +1,26 @@
+//! Minimal serde shim: `Serialize`/`Deserialize` as blanket marker traits
+//! plus the no-op derive macros from `serde_derive`.
+//!
+//! The workspace annotates its data model with serde derives so the types
+//! are ready for real serialization once the actual crates are available,
+//! but nothing serializes today — so marker traits suffice. The blanket
+//! impls mean every type satisfies `T: Serialize` bounds.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Stand-in for `serde::de`, re-exporting the owned-deserialize marker.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

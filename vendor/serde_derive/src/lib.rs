@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the vendored serde
+//! shim. The workspace derives these traits on its data types but never
+//! performs actual serialization, so the derives only need to accept the
+//! item (including `#[serde(...)]` helper attributes) and emit nothing.
+//! The blanket impls in the `serde` shim crate satisfy any trait bounds.
+
+use proc_macro::TokenStream;
+
+/// Accepts the derive input (and any `#[serde(...)]` attributes) and emits
+/// no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the derive input (and any `#[serde(...)]` attributes) and emits
+/// no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
