@@ -19,12 +19,9 @@ use loki_core::ids::SmId;
 use loki_core::probe::{ActionProbe, FaultAction};
 use loki_core::spec::{StateMachineSpec, StudyDef};
 use loki_core::study::Study;
-use loki_runtime::daemons::AppFactory;
-use loki_runtime::node::{AppLogic, NodeCtx};
-use loki_runtime::AppPayload;
+use loki_runtime::{App, AppFactory, NodeCtx, Payload};
 use rand::Rng;
 use std::collections::HashMap;
-use std::rc::Rc;
 use std::sync::Arc;
 
 /// Tunables of the election application.
@@ -130,7 +127,7 @@ impl Election {
         }
     }
 
-    fn begin_round(&mut self, ctx: &mut NodeCtx<'_, '_>) {
+    fn begin_round(&mut self, ctx: &mut NodeCtx<'_>) {
         self.round += 1;
         let value = ctx.rng().gen_range(0..=self.cfg.number_range.max(1));
         self.numbers
@@ -148,15 +145,15 @@ impl Election {
         );
     }
 
-    fn send_broadcast(&mut self, ctx: &mut NodeCtx<'_, '_>, msg: Msg) {
+    fn send_broadcast(&mut self, ctx: &mut NodeCtx<'_>, msg: Msg) {
         if self.drop_remaining > 0 {
             self.drop_remaining -= 1;
             return;
         }
-        ctx.broadcast(Rc::new(msg));
+        ctx.broadcast(Arc::new(msg));
     }
 
-    fn decide(&mut self, ctx: &mut NodeCtx<'_, '_>, round: u32) {
+    fn decide(&mut self, ctx: &mut NodeCtx<'_>, round: u32) {
         if self.role != Role::Electing || round != self.round {
             return; // stale deadline or already decided via heartbeat
         }
@@ -186,7 +183,7 @@ impl Election {
         }
     }
 
-    fn become_follower(&mut self, ctx: &mut NodeCtx<'_, '_>, leader: SmId) {
+    fn become_follower(&mut self, ctx: &mut NodeCtx<'_>, leader: SmId) {
         self.role = Role::Follower;
         self.leader = Some(leader);
         self.last_heartbeat_ns = ctx.local_time().as_nanos();
@@ -194,7 +191,7 @@ impl Election {
         ctx.set_timer(self.cfg.heartbeat_timeout_ns / 2, TAG_HB_CHECK);
     }
 
-    fn leader_silent(&self, ctx: &NodeCtx<'_, '_>) -> bool {
+    fn leader_silent(&self, ctx: &NodeCtx<'_>) -> bool {
         ctx.local_time()
             .as_nanos()
             .saturating_sub(self.last_heartbeat_ns)
@@ -202,8 +199,8 @@ impl Election {
     }
 }
 
-impl AppLogic for Election {
-    fn on_start(&mut self, ctx: &mut NodeCtx<'_, '_>, restarted: bool) {
+impl App for Election {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>, restarted: bool) {
         ctx.set_timer(self.cfg.lifetime_ns, TAG_LIFETIME);
         if restarted {
             self.role = Role::Restarting;
@@ -216,7 +213,7 @@ impl AppLogic for Election {
         }
     }
 
-    fn on_app_message(&mut self, ctx: &mut NodeCtx<'_, '_>, from: SmId, payload: AppPayload) {
+    fn on_app_message(&mut self, ctx: &mut NodeCtx<'_>, from: SmId, payload: Payload) {
         let Some(msg) = payload.downcast_ref::<Msg>() else {
             return;
         };
@@ -245,7 +242,7 @@ impl AppLogic for Election {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tag: u64) {
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
         match tag {
             TAG_INIT_DONE => {
                 if self.role == Role::Init {
@@ -297,7 +294,7 @@ impl AppLogic for Election {
         }
     }
 
-    fn on_fault(&mut self, ctx: &mut NodeCtx<'_, '_>, fault: &str) {
+    fn on_fault(&mut self, ctx: &mut NodeCtx<'_>, fault: &str) {
         let action = match self.probe.action_for(fault) {
             Some(action) => action.clone(),
             None => FaultAction::CrashWithProbability {
@@ -425,7 +422,7 @@ pub fn election_study(name: &str) -> StudyDef {
 /// An [`AppFactory`] producing election processes with a shared config.
 pub fn election_factory(cfg: ElectionConfig) -> AppFactory {
     let cfg = Arc::new(cfg);
-    Arc::new(move |_study: &Study, _sm| Box::new(Election::new(cfg.clone())) as Box<dyn AppLogic>)
+    Arc::new(move |_study: &Study, _sm| Box::new(Election::new(cfg.clone())) as Box<dyn App>)
 }
 
 #[cfg(test)]

@@ -16,12 +16,9 @@ use loki_core::ids::SmId;
 use loki_core::probe::{ActionProbe, FaultAction};
 use loki_core::spec::{StateMachineSpec, StudyDef};
 use loki_core::study::Study;
-use loki_runtime::daemons::AppFactory;
-use loki_runtime::node::{AppLogic, NodeCtx};
-use loki_runtime::AppPayload;
+use loki_runtime::{App, AppFactory, NodeCtx, Payload};
 use rand::Rng;
 use std::collections::HashMap;
-use std::rc::Rc;
 use std::sync::Arc;
 
 /// Tunables of the store.
@@ -113,14 +110,14 @@ impl KvReplica {
     /// The deterministic successor: the lowest-id live machine other than
     /// the (presumed dead) initial primary — approximated as the lowest-id
     /// machine currently executing.
-    fn i_am_successor(&self, ctx: &NodeCtx<'_, '_>) -> bool {
+    fn i_am_successor(&self, ctx: &NodeCtx<'_>) -> bool {
         let me = ctx.my_sm();
         ctx.live_machines().into_iter().min() == Some(me)
     }
 }
 
-impl AppLogic for KvReplica {
-    fn on_start(&mut self, ctx: &mut NodeCtx<'_, '_>, restarted: bool) {
+impl App for KvReplica {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>, restarted: bool) {
         ctx.set_timer(self.cfg.lifetime_ns, TAG_LIFETIME);
         // Restarted replicas rejoin as backups (not modelled further).
         let _ = restarted;
@@ -128,7 +125,7 @@ impl AppLogic for KvReplica {
         ctx.set_timer(self.cfg.init_delay_ns, TAG_INIT_DONE);
     }
 
-    fn on_app_message(&mut self, ctx: &mut NodeCtx<'_, '_>, _from: SmId, payload: AppPayload) {
+    fn on_app_message(&mut self, ctx: &mut NodeCtx<'_>, _from: SmId, payload: Payload) {
         let Some(msg) = payload.downcast_ref::<Msg>() else {
             return;
         };
@@ -156,7 +153,7 @@ impl AppLogic for KvReplica {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tag: u64) {
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
         match tag {
             TAG_INIT_DONE => {
                 if self.role != Role::Init {
@@ -179,7 +176,7 @@ impl AppLogic for KvReplica {
                     let key = ctx.rng().gen_range(0..64);
                     let value = ctx.rng().gen();
                     self.store.insert(key, value);
-                    ctx.broadcast(Rc::new(Msg::Replicate {
+                    ctx.broadcast(Arc::new(Msg::Replicate {
                         seq: self.seq,
                         key,
                         value,
@@ -220,7 +217,7 @@ impl AppLogic for KvReplica {
                 if self.role == Role::Failover {
                     self.role = Role::Primary;
                     ctx.notify_event("PROMOTED").expect("FAILOVER -> PRIMARY");
-                    ctx.broadcast(Rc::new(Msg::NewPrimary));
+                    ctx.broadcast(Arc::new(Msg::NewPrimary));
                     ctx.set_timer(self.cfg.op_interval_ns, TAG_OP);
                 }
             }
@@ -232,7 +229,7 @@ impl AppLogic for KvReplica {
         }
     }
 
-    fn on_fault(&mut self, ctx: &mut NodeCtx<'_, '_>, fault: &str) {
+    fn on_fault(&mut self, ctx: &mut NodeCtx<'_>, fault: &str) {
         match self.probe.action_for(fault).cloned() {
             Some(FaultAction::CrashNode) | None => ctx.crash(),
             Some(FaultAction::CrashWithProbability { activation, .. }) => {
@@ -319,7 +316,7 @@ pub fn kv_factory(cfg: KvConfig) -> AppFactory {
     let cfg = Arc::new(cfg);
     Arc::new(move |study: &Study, sm| {
         let is_primary = study.sms.name(sm) == "kv1";
-        Box::new(KvReplica::new(cfg.clone(), is_primary)) as Box<dyn AppLogic>
+        Box::new(KvReplica::new(cfg.clone(), is_primary)) as Box<dyn App>
     })
 }
 

@@ -1,8 +1,14 @@
 //! # loki-apps
 //!
 //! Instrumented example distributed applications for the Loki fault
-//! injector — each implements [`loki_runtime::node::AppLogic`] (the probe
-//! interface) and ships a study builder with the state-machine
+//! injector — each implements the backend-agnostic [`loki_runtime::App`]
+//! trait (the probe interface) once and therefore runs unmodified on
+//! *every* execution backend: pass each app's factory to
+//! [`loki_runtime::run_study`] with
+//! [`loki_runtime::Backend::Sim`] for deterministic simulated campaigns or
+//! [`loki_runtime::Backend::Threads`] for genuinely concurrent ones
+//! (`tests/cross_backend.rs` at the workspace root exercises all three on
+//! both). Each module also ships a study builder with the state-machine
 //! specifications and notify lists its faults need:
 //!
 //! * [`election`] — the thesis's Chapter-5 test application: leader

@@ -16,11 +16,8 @@ use loki_core::ids::SmId;
 use loki_core::probe::{ActionProbe, FaultAction};
 use loki_core::spec::{StateMachineSpec, StudyDef};
 use loki_core::study::Study;
-use loki_runtime::daemons::AppFactory;
-use loki_runtime::node::{AppLogic, NodeCtx};
-use loki_runtime::AppPayload;
+use loki_runtime::{App, AppFactory, NodeCtx, Payload};
 use rand::Rng;
-use std::rc::Rc;
 use std::sync::Arc;
 
 /// Tunables of the ring.
@@ -96,7 +93,7 @@ impl RingMember {
         }
     }
 
-    fn take_token(&mut self, ctx: &mut NodeCtx<'_, '_>, generation: u32) {
+    fn take_token(&mut self, ctx: &mut NodeCtx<'_>, generation: u32) {
         self.generation = generation;
         self.last_token_ns = ctx.local_time().as_nanos();
         self.phase = Phase::Holding;
@@ -104,7 +101,7 @@ impl RingMember {
         ctx.set_timer(self.cfg.hold_ns, TAG_RELEASE);
     }
 
-    fn pass_token(&mut self, ctx: &mut NodeCtx<'_, '_>) {
+    fn pass_token(&mut self, ctx: &mut NodeCtx<'_>) {
         let _ = ctx.notify_event("TOKEN_PASSED");
         self.phase = Phase::Idle;
         if self.drop_next_pass > 0 {
@@ -113,7 +110,7 @@ impl RingMember {
         } else if let Some(next) = self.next_in_ring(ctx) {
             ctx.send_to(
                 next,
-                Rc::new(Token {
+                Arc::new(Token {
                     generation: self.generation,
                 }),
             );
@@ -122,7 +119,7 @@ impl RingMember {
     }
 
     /// The next *live* machine after us in study order (ring order).
-    fn next_in_ring(&self, ctx: &NodeCtx<'_, '_>) -> Option<SmId> {
+    fn next_in_ring(&self, ctx: &NodeCtx<'_>) -> Option<SmId> {
         let me = ctx.my_sm();
         let all: Vec<SmId> = ctx.machines();
         let live = ctx.live_machines();
@@ -136,19 +133,19 @@ impl RingMember {
         None
     }
 
-    fn i_am_regenerator(&self, ctx: &NodeCtx<'_, '_>) -> bool {
+    fn i_am_regenerator(&self, ctx: &NodeCtx<'_>) -> bool {
         ctx.live_machines().into_iter().min() == Some(ctx.my_sm())
     }
 }
 
-impl AppLogic for RingMember {
-    fn on_start(&mut self, ctx: &mut NodeCtx<'_, '_>, _restarted: bool) {
+impl App for RingMember {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>, _restarted: bool) {
         ctx.set_timer(self.cfg.lifetime_ns, TAG_LIFETIME);
         ctx.notify_event("INIT").expect("initial state");
         ctx.set_timer(self.cfg.init_delay_ns, TAG_INIT_DONE);
     }
 
-    fn on_app_message(&mut self, ctx: &mut NodeCtx<'_, '_>, _from: SmId, payload: AppPayload) {
+    fn on_app_message(&mut self, ctx: &mut NodeCtx<'_>, _from: SmId, payload: Payload) {
         let Some(token) = payload.downcast_ref::<Token>() else {
             return;
         };
@@ -168,7 +165,7 @@ impl AppLogic for RingMember {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tag: u64) {
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
         match tag {
             TAG_INIT_DONE => {
                 if self.phase == Phase::Init {
@@ -232,7 +229,7 @@ impl AppLogic for RingMember {
         }
     }
 
-    fn on_fault(&mut self, ctx: &mut NodeCtx<'_, '_>, fault: &str) {
+    fn on_fault(&mut self, ctx: &mut NodeCtx<'_>, fault: &str) {
         match self.probe.action_for(fault).cloned() {
             Some(FaultAction::CrashNode) | None => ctx.crash(),
             Some(FaultAction::DropMessages { count }) => self.drop_next_pass += count,
@@ -325,7 +322,7 @@ pub fn ring_study(name: &str, members: usize) -> StudyDef {
 /// An [`AppFactory`] for ring members.
 pub fn ring_factory(cfg: RingConfig) -> AppFactory {
     let cfg = Arc::new(cfg);
-    Arc::new(move |_study: &Study, _sm| Box::new(RingMember::new(cfg.clone())) as Box<dyn AppLogic>)
+    Arc::new(move |_study: &Study, _sm| Box::new(RingMember::new(cfg.clone())) as Box<dyn App>)
 }
 
 #[cfg(test)]

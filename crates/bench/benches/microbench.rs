@@ -65,6 +65,71 @@ fn bench_fault_parser(c: &mut Criterion) {
     });
 }
 
+/// Incremental vs. full fault-parser re-evaluation on a large study: 32
+/// machines, 64 faults. A node's view changes one machine at a time, so
+/// the parser indexes expressions by the machines they mention and
+/// re-evaluates only those ([`FaultParser::on_machine_change`]); this
+/// benchmark quantifies the win over the full `on_view_change` scan.
+fn bench_fault_parser_incremental(c: &mut Criterion) {
+    const MACHINES: u32 = 32;
+    const FAULTS: u32 = 64;
+    let def = (0..MACHINES).fold(StudyDef::new("big"), |def, i| {
+        def.machine(
+            StateMachineSpec::builder(&format!("m{i}"))
+                .states(&["A", "B", "C"])
+                .events(&["go"])
+                .state("A", &[], &[("go", "B")])
+                .build(),
+        )
+    });
+    // Each fault observes three machines; collectively they cover all 32.
+    let def = (0..FAULTS).fold(def, |def, i| {
+        let expr = FaultExpr::atom(&format!("m{}", i % MACHINES), "B")
+            .and(FaultExpr::atom(&format!("m{}", (i + 7) % MACHINES), "A").not())
+            .or(FaultExpr::atom(&format!("m{}", (i + 13) % MACHINES), "C"));
+        def.fault("m0", &format!("f{i}"), expr, Trigger::Always)
+    });
+    let study = Study::compile(&def).unwrap();
+    let faults = study.faults_owned_by(study.sm_id("m0").unwrap());
+    let a = study.states.lookup("A").unwrap();
+    let b = study.states.lookup("B").unwrap();
+
+    // A primed parser; each iteration flips machine 5 between B and A —
+    // two genuine single-machine view changes (with real false→true
+    // edges), no parser construction or teardown inside the timed region.
+    let setup = || {
+        let mut view = PartialView::new(MACHINES as usize);
+        for i in 0..MACHINES {
+            view.set(Id::from_raw(i), a);
+        }
+        let mut parser = FaultParser::new(faults.clone());
+        parser.on_view_change(&view); // prime
+        (parser, view)
+    };
+    let m5 = Id::from_raw(5);
+
+    let mut group = c.benchmark_group("fault_parser_32m_64f");
+    group.bench_function("full_scan_on_one_change", |bencher| {
+        let (mut parser, mut view) = setup();
+        bencher.iter(|| {
+            view.set(m5, b);
+            criterion::black_box(parser.on_view_change(&view));
+            view.set(m5, a);
+            criterion::black_box(parser.on_view_change(&view));
+        })
+    });
+    group.bench_function("indexed_scan_on_one_change", |bencher| {
+        let (mut parser, mut view) = setup();
+        bencher.iter(|| {
+            view.set(m5, b);
+            criterion::black_box(parser.on_machine_change(&view, m5));
+            view.set(m5, a);
+            criterion::black_box(parser.on_machine_change(&view, m5));
+        })
+    });
+    group.finish();
+}
+
 /// Recorder append (the intrusion §3.5.6 minimizes with index tables).
 fn bench_recorder(c: &mut Criterion) {
     c.bench_function("recorder/append_state_change", |bencher| {
@@ -150,6 +215,7 @@ fn bench_pipeline(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_fault_parser,
+    bench_fault_parser_incremental,
     bench_recorder,
     bench_clock_sync,
     bench_measure,

@@ -75,15 +75,13 @@ pub fn notification_latency(
     let time_in_state_ns = cfg.time_in_state_ns;
     let factory: loki_runtime::AppFactory = {
         use crate::accuracy::{InjectorApp, TargetApp};
-        Arc::new(
-            move |study: &Study, sm| -> Box<dyn loki_runtime::AppLogic> {
-                if study.sms.name(sm) == "target" {
-                    Box::new(TargetApp::new(settle_ns, time_in_state_ns))
-                } else {
-                    Box::new(InjectorApp::new(lifetime_ns))
-                }
-            },
-        )
+        Arc::new(move |study: &Study, sm| -> Box<dyn loki_runtime::App> {
+            if study.sms.name(sm) == "target" {
+                Box::new(TargetApp::new(settle_ns, time_in_state_ns))
+            } else {
+                Box::new(InjectorApp::new(lifetime_ns))
+            }
+        })
     };
 
     let harness = SimHarnessConfig {

@@ -19,7 +19,7 @@ use loki_core::study::Study;
 use loki_runtime::daemons::AppFactory;
 use loki_runtime::harness::{run_study, SimHarnessConfig};
 use loki_runtime::messages::NotifyRouting;
-use loki_runtime::node::{AppLogic, NodeCtx};
+use loki_runtime::{App, NodeCtx, Payload};
 use loki_sim::config::HostConfig;
 use std::sync::Arc;
 
@@ -86,19 +86,19 @@ impl TargetApp {
     }
 }
 
-impl AppLogic for TargetApp {
-    fn on_start(&mut self, ctx: &mut NodeCtx<'_, '_>, _restarted: bool) {
+impl App for TargetApp {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>, _restarted: bool) {
         ctx.notify_event("SETUP").expect("initial state");
         ctx.set_timer(self.settle_ns, TAG_ENTER);
     }
     fn on_app_message(
         &mut self,
-        _ctx: &mut NodeCtx<'_, '_>,
+        _ctx: &mut NodeCtx<'_>,
         _from: loki_core::ids::SmId,
-        _payload: loki_runtime::AppPayload,
+        _payload: Payload,
     ) {
     }
-    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tag: u64) {
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
         match tag {
             TAG_ENTER => {
                 ctx.notify_event("ENTER").expect("SETUP -> ARMED");
@@ -115,7 +115,7 @@ impl AppLogic for TargetApp {
             _ => {}
         }
     }
-    fn on_fault(&mut self, _ctx: &mut NodeCtx<'_, '_>, _fault: &str) {}
+    fn on_fault(&mut self, _ctx: &mut NodeCtx<'_>, _fault: &str) {}
 }
 
 /// The injector application: watches passively; its fault parser performs
@@ -131,25 +131,25 @@ impl InjectorApp {
     }
 }
 
-impl AppLogic for InjectorApp {
-    fn on_start(&mut self, ctx: &mut NodeCtx<'_, '_>, _restarted: bool) {
+impl App for InjectorApp {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>, _restarted: bool) {
         ctx.notify_event("WATCH").expect("initial state");
         ctx.set_timer(self.lifetime_ns, TAG_LIFETIME);
     }
     fn on_app_message(
         &mut self,
-        _ctx: &mut NodeCtx<'_, '_>,
+        _ctx: &mut NodeCtx<'_>,
         _from: loki_core::ids::SmId,
-        _payload: loki_runtime::AppPayload,
+        _payload: Payload,
     ) {
     }
-    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tag: u64) {
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
         if tag == TAG_LIFETIME {
             let _ = ctx.notify_event("DONE");
             ctx.exit();
         }
     }
-    fn on_fault(&mut self, _ctx: &mut NodeCtx<'_, '_>, _fault: &str) {
+    fn on_fault(&mut self, _ctx: &mut NodeCtx<'_>, _fault: &str) {
         // The actual injection effect is irrelevant for the accuracy
         // measurement; only its recorded time matters.
     }
@@ -198,7 +198,7 @@ pub fn injection_accuracy(cfg: &AccuracyConfig) -> AccuracyPoint {
     let settle_ns = 150_000_000; // everyone registered before ARMED
     let lifetime_ns = settle_ns + cfg.time_in_state_ns + 250_000_000;
     let time_in_state_ns = cfg.time_in_state_ns;
-    let factory: AppFactory = Arc::new(move |study: &Study, sm| -> Box<dyn AppLogic> {
+    let factory: AppFactory = Arc::new(move |study: &Study, sm| -> Box<dyn App> {
         if study.sms.name(sm) == "target" {
             Box::new(TargetApp::new(settle_ns, time_in_state_ns))
         } else {

@@ -198,6 +198,14 @@ pub struct CompiledFault {
 /// returns the faults whose expressions transitioned false→true (honouring
 /// [`Trigger::Once`]).
 ///
+/// Expressions are indexed by the state machines they mention, so the
+/// common path — [`FaultParser::on_machine_change`], called when exactly
+/// one machine's entry in the view changed — re-evaluates only the
+/// expressions that can possibly have changed value. An expression that
+/// mentions none of the changed machines evaluates to the same truth value
+/// as before (its atoms read unchanged view entries), so skipping it
+/// produces the identical injection sequence as a full re-evaluation.
+///
 /// # Examples
 ///
 /// ```
@@ -225,6 +233,13 @@ pub struct FaultParser {
     faults: Vec<CompiledFault>,
     prev: Vec<bool>,
     fired: Vec<bool>,
+    /// Fault indices (ascending) per mentioned state machine.
+    by_machine: std::collections::HashMap<SmId, Vec<usize>>,
+    /// Whether a first full evaluation has happened. Before it, even an
+    /// incremental call scans everything: an expression that is true in
+    /// the very first view (e.g. `~(other:X)` over an unknown machine)
+    /// must fire its initial edge no matter which machine changed.
+    primed: bool,
 }
 
 impl FaultParser {
@@ -233,35 +248,77 @@ impl FaultParser {
     /// expression that is true in the very first view produces an edge.
     pub fn new(faults: Vec<CompiledFault>) -> Self {
         let n = faults.len();
+        let mut by_machine: std::collections::HashMap<SmId, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, fault) in faults.iter().enumerate() {
+            for sm in fault.expr.observed_machines() {
+                by_machine.entry(sm).or_default().push(i);
+            }
+        }
         FaultParser {
             faults,
             prev: vec![false; n],
             fired: vec![false; n],
+            by_machine,
+            primed: false,
         }
     }
 
     /// Re-evaluates all expressions against `view`; returns the ids of
     /// faults that must be injected now.
     pub fn on_view_change(&mut self, view: &PartialView) -> Vec<FaultId> {
+        self.primed = true;
         let mut inject = Vec::new();
-        for (i, fault) in self.faults.iter().enumerate() {
-            let now = fault.expr.eval(view);
-            let edge = now && !self.prev[i];
-            self.prev[i] = now;
-            if !edge {
-                continue;
-            }
-            match fault.trigger {
-                Trigger::Always => inject.push(fault.id),
-                Trigger::Once => {
-                    if !self.fired[i] {
-                        self.fired[i] = true;
-                        inject.push(fault.id);
-                    }
-                }
+        for i in 0..self.faults.len() {
+            if let Some(id) = self.eval_edge(i, view) {
+                inject.push(id);
             }
         }
         inject
+    }
+
+    /// Like [`FaultParser::on_view_change`], but told that only `changed`'s
+    /// entry in the view differs from the previous evaluation: only the
+    /// expressions mentioning `changed` are re-evaluated. The first call
+    /// ever falls back to a full scan (see the type-level docs).
+    pub fn on_machine_change(&mut self, view: &PartialView, changed: SmId) -> Vec<FaultId> {
+        if !self.primed {
+            return self.on_view_change(view);
+        }
+        let Some(indices) = self.by_machine.get(&changed) else {
+            return Vec::new();
+        };
+        let indices = indices.clone(); // indices are ascending: injection order is stable
+        let mut inject = Vec::new();
+        for i in indices {
+            if let Some(id) = self.eval_edge(i, view) {
+                inject.push(id);
+            }
+        }
+        inject
+    }
+
+    /// Evaluates fault `i`, updating edge state; returns its id when it
+    /// must be injected now.
+    fn eval_edge(&mut self, i: usize, view: &PartialView) -> Option<FaultId> {
+        let fault = &self.faults[i];
+        let now = fault.expr.eval(view);
+        let edge = now && !self.prev[i];
+        self.prev[i] = now;
+        if !edge {
+            return None;
+        }
+        match fault.trigger {
+            Trigger::Always => Some(fault.id),
+            Trigger::Once => {
+                if self.fired[i] {
+                    None
+                } else {
+                    self.fired[i] = true;
+                    Some(fault.id)
+                }
+            }
+        }
     }
 
     /// The faults this parser manages.
@@ -272,6 +329,7 @@ impl FaultParser {
     /// Resets edge state (used when a node restarts: its runtime is fresh).
     pub fn reset(&mut self) {
         self.prev.iter_mut().for_each(|p| *p = false);
+        self.primed = false;
         // `fired` is intentionally preserved across resets so that a `once`
         // fault is injected at most once per experiment even if the owning
         // node restarts.
@@ -441,6 +499,89 @@ mod tests {
         assert_eq!(compiled.observed_machines(), vec![sm(0), sm(1)]);
         let err = compile_expr(&FaultExpr::atom("red", "LEAD"), &|_| None, &|_| None);
         assert!(matches!(err, Err(CoreError::UnknownStateMachine { .. })));
+    }
+
+    #[test]
+    fn incremental_matches_full_reevaluation() {
+        // Four faults over three machines; drive both a full-scan parser
+        // and an incremental parser through the same single-machine view
+        // changes and require identical injection sequences.
+        let faults: Vec<CompiledFault> = vec![
+            fault(0, CompiledExpr::Atom(sm(0), st(1)), Trigger::Always),
+            fault(
+                1,
+                CompiledExpr::And(
+                    Box::new(CompiledExpr::Atom(sm(0), st(1))),
+                    Box::new(CompiledExpr::Atom(sm(1), st(2))),
+                ),
+                Trigger::Once,
+            ),
+            fault(
+                2,
+                CompiledExpr::Not(Box::new(CompiledExpr::Atom(sm(2), st(0)))),
+                Trigger::Always,
+            ),
+            fault(
+                3,
+                CompiledExpr::Or(
+                    Box::new(CompiledExpr::Atom(sm(1), st(2))),
+                    Box::new(CompiledExpr::Atom(sm(2), st(1))),
+                ),
+                Trigger::Always,
+            ),
+        ];
+        let mut full = FaultParser::new(faults.clone());
+        let mut incr = FaultParser::new(faults);
+        let mut view = PartialView::new(3);
+        let steps = [
+            (sm(0), st(1)),
+            (sm(1), st(2)),
+            (sm(2), st(0)),
+            (sm(2), st(1)),
+            (sm(0), st(0)),
+            (sm(0), st(1)),
+            (sm(1), st(2)), // no change in value: no edges anywhere
+        ];
+        for (machine, state) in steps {
+            view.set(machine, state);
+            let a = full.on_view_change(&view);
+            let b = incr.on_machine_change(&view, machine);
+            assert_eq!(a, b, "diverged after setting {machine:?}={state:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_first_call_fires_initially_true_expressions() {
+        // `~(m1:X)` is true from the start (unknown machine). The first
+        // incremental call — for an *unrelated* machine — must still fire
+        // its initial edge, exactly as a full evaluation would.
+        let f = fault(
+            0,
+            CompiledExpr::Not(Box::new(CompiledExpr::Atom(sm(1), st(0)))),
+            Trigger::Once,
+        );
+        let mut p = FaultParser::new(vec![f]);
+        let mut view = PartialView::new(2);
+        view.set(sm(0), st(1));
+        assert_eq!(p.on_machine_change(&view, sm(0)).len(), 1);
+        // Primed now: further changes to the unrelated machine do nothing.
+        view.set(sm(0), st(0));
+        assert!(p.on_machine_change(&view, sm(0)).is_empty());
+    }
+
+    #[test]
+    fn incremental_skips_unrelated_machines_after_priming() {
+        let f = fault(0, CompiledExpr::Atom(sm(0), st(1)), Trigger::Once);
+        let mut p = FaultParser::new(vec![f]);
+        let mut view = PartialView::new(2);
+        view.set(sm(0), st(1));
+        assert_eq!(p.on_machine_change(&view, sm(0)).len(), 1);
+        // A change of machine 1 cannot affect the expression.
+        view.set(sm(1), st(1));
+        assert!(p.on_machine_change(&view, sm(1)).is_empty());
+        // Reset unprimes: the next incremental call scans everything again.
+        p.reset();
+        assert!(p.on_machine_change(&view, sm(1)).is_empty()); // once already fired
     }
 
     #[test]

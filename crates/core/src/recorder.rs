@@ -175,6 +175,12 @@ impl Recorder {
         self.push(time, RecordKind::UserMessage(message.to_owned()));
     }
 
+    /// Records an arbitrary kind (used by the runtime's backend adapters,
+    /// which receive already-assembled [`RecordKind`]s from the node core).
+    pub fn record(&mut self, time: LocalNanos, kind: RecordKind) {
+        self.push(time, kind);
+    }
+
     /// The timeline accumulated so far.
     pub fn timeline(&self) -> &LocalTimeline {
         &self.timeline

@@ -1,0 +1,398 @@
+//! The portable node core: one application interface for every backend.
+//!
+//! A *node* is one component of the system under study together with its
+//! Loki runtime (§2.2.2). The runtime half — state machine, partial view of
+//! global state, positive-edge fault parser, recorder, injection drain loop
+//! — is system- *and* backend-independent; it lives in the crate-private
+//! `NodeCore`. The application half is supplied by the user as an
+//! implementation of the [`App`] trait and runs unmodified on every
+//! execution backend:
+//!
+//! * the deterministic simulation backend ([`crate::node`],
+//!   [`crate::harness`]) — virtual time, modelled scheduling and link
+//!   delays, byte-identical replays;
+//! * the real-concurrency thread backend ([`crate::thread_backend`]) — one
+//!   OS thread per node, real time, genuinely nondeterministic
+//!   interleavings.
+//!
+//! Campaigns choose per study with [`crate::harness::Backend`]. Each
+//! backend contributes only a thin transport adapter (the crate-private
+//! `Port` trait): how to deliver a notification, read a clock, set a
+//! timer, record a timeline entry. Everything else — what to record, when
+//! to re-evaluate fault expressions, how injections drain, how exits and
+//! crashes propagate — is shared, so the fault-injection *semantics* are
+//! identical across backends by construction.
+//!
+//! The probe interface mirrors the thesis exactly: the application calls
+//! [`NodeCtx::notify_event`] where the thesis's probe calls
+//! `notifyEvent()`, and the runtime calls [`App::on_fault`] where the
+//! thesis's fault parser calls the probe's `injectFault()`.
+
+use loki_core::error::CoreError;
+use loki_core::fault::FaultParser;
+use loki_core::ids::{FaultId, SmId, StateId};
+use loki_core::recorder::RecordKind;
+use loki_core::state_machine::StateMachine;
+use loki_core::study::Study;
+use loki_core::time::LocalNanos;
+use rand::rngs::StdRng;
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Application-defined payload carried by application messages.
+///
+/// One payload type for every backend: `Arc` lets an application broadcast
+/// a payload to many peers without cloning the underlying data, and the
+/// `Send + Sync` bounds let the same payload cross thread boundaries on
+/// the real-concurrency backend. (The simulation backend is
+/// single-threaded; it simply never shares the `Arc` across threads.)
+pub type Payload = Arc<dyn Any + Send + Sync>;
+
+/// The application half of a node: the system under study plus its probe.
+///
+/// All callbacks receive a [`NodeCtx`] that exposes the probe interface
+/// (`notify_event`), application messaging, timers, clocks, and crash/exit
+/// controls. Implementations must be `Send`: on the thread backend each
+/// node runs on its own OS thread.
+pub trait App: Send {
+    /// Called when the node starts. `restarted` is true when the node found
+    /// its earlier timeline (it crashed and was restarted, §3.6.3); the
+    /// first `notify_event` call must then name the restart entry state.
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>, restarted: bool);
+
+    /// Called for each application message from another node.
+    fn on_app_message(&mut self, ctx: &mut NodeCtx<'_>, from: SmId, payload: Payload);
+
+    /// Called when an application timer fires.
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
+        let _ = (ctx, tag);
+    }
+
+    /// The probe's `injectFault()`: perform the actual fault injection.
+    /// The injection time is recorded by the runtime immediately before
+    /// this call.
+    fn on_fault(&mut self, ctx: &mut NodeCtx<'_>, fault: &str);
+}
+
+/// Creates the application half of a node. Called once per (re)start of a
+/// machine, so stateful applications get a fresh instance each incarnation.
+///
+/// The factory is `Send + Sync` (and `Arc`-shared) so one factory can be
+/// handed to every worker of the parallel experiment executor
+/// ([`crate::harness::run_study`]) and to every node thread of the thread
+/// backend; the [`App`] instances it produces stay where they were created.
+pub type AppFactory = Arc<dyn Fn(&Study, SmId) -> Box<dyn App> + Send + Sync>;
+
+/// Handle to an application timer set via [`NodeCtx::set_timer`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct AppTimer(pub(crate) u64);
+
+/// The backend adapter: everything the node core needs from a transport.
+///
+/// Implemented by the simulation backend (over the simulated actor
+/// context) and the thread backend (over channels and virtual host
+/// clocks). Keeping this surface small is what makes new backends cheap:
+/// a future process-based or async backend implements these dozen methods
+/// and inherits the full injection pipeline.
+pub(crate) trait Port {
+    /// This node's host clock (local time).
+    fn now(&self) -> LocalNanos;
+    /// Appends to this node's local timeline.
+    fn record(&mut self, time: LocalNanos, kind: RecordKind);
+    /// Routes a state notification from `from` to `targets` (the
+    /// backend's notification design: through daemons, direct, …).
+    fn notify(&mut self, from: SmId, state: StateId, targets: Vec<SmId>);
+    /// Delivers an application message on the application's own
+    /// connections. Silently dropped if the target is not executing.
+    fn send_app(&mut self, from: SmId, to: SmId, payload: Payload);
+    /// Arms a one-shot timer; returns a backend-specific raw handle.
+    fn set_timer(&mut self, delay_ns: u64, tag: u64) -> u64;
+    /// Cancels a timer by raw handle.
+    fn cancel_timer(&mut self, raw: u64);
+    /// Crashes this node (no cleanup).
+    fn crash(&mut self);
+    /// Exits this node cleanly.
+    fn exit(&mut self);
+    /// Whether the node is going down (crash or exit was requested).
+    fn terminating(&self) -> bool;
+    /// The deterministic (sim) or per-node (thread) RNG.
+    fn rng(&mut self) -> &mut StdRng;
+    /// Machines currently executing (the application's name service).
+    fn live_machines(&self) -> Vec<SmId>;
+    /// The host this node currently runs on.
+    fn host_name(&self) -> String;
+}
+
+/// The backend-agnostic node runtime: state machine (owning the partial
+/// view), positive-edge fault parser, recording discipline, and the
+/// injection drain loop. Both backends embed exactly one `NodeCore` per
+/// node incarnation and drive it through their `Port`.
+pub(crate) struct NodeCore {
+    pub study: Arc<Study>,
+    pub sm: StateMachine,
+    pub parser: FaultParser,
+    pub me: SmId,
+    pub restarted: bool,
+    pub exiting: bool,
+    pub pending_faults: VecDeque<FaultId>,
+}
+
+impl NodeCore {
+    /// Creates the runtime core for machine `me`.
+    pub fn new(study: Arc<Study>, me: SmId) -> Self {
+        let sm = StateMachine::new(study.clone(), me);
+        let parser = FaultParser::new(study.faults_owned_by(me));
+        NodeCore {
+            study,
+            sm,
+            parser,
+            me,
+            restarted: false,
+            exiting: false,
+            pending_faults: VecDeque::new(),
+        }
+    }
+
+    /// Applies a local event (or the initial notification): records the
+    /// state change, routes the new state's notify list, and re-evaluates
+    /// fault expressions over the changed view entry.
+    fn apply_local(&mut self, port: &mut dyn Port, name: &str) -> Result<(), CoreError> {
+        let outcome = if self.sm.is_initialized() {
+            self.sm.apply_event_name(name)?
+        } else {
+            self.sm.initialize(name)?
+        };
+        let now = port.now();
+        port.record(
+            now,
+            RecordKind::StateChange {
+                event: outcome.event,
+                new_state: outcome.new_state,
+            },
+        );
+        if !outcome.notify.is_empty() {
+            port.notify(self.me, outcome.new_state, outcome.notify.clone());
+        }
+        self.reparse(self.me);
+        Ok(())
+    }
+
+    /// Incorporates a remote state notification; returns whether the view
+    /// changed (and injections may be pending).
+    pub fn apply_remote(&mut self, from: SmId, state: StateId) -> bool {
+        if self.sm.apply_remote(from, state) {
+            self.reparse(from);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Re-evaluates the fault expressions mentioning `changed`; queues
+    /// injections for the drain loop.
+    fn reparse(&mut self, changed: SmId) {
+        for fault in self.parser.on_machine_change(self.sm.view(), changed) {
+            self.pending_faults.push_back(fault);
+        }
+    }
+
+    /// Replies to a restarted machine's state-update request (§3.6.3).
+    pub fn state_update_reply(&mut self, port: &mut dyn Port, for_sm: SmId) {
+        if for_sm != self.me && self.sm.is_initialized() {
+            port.notify(self.me, self.sm.state(), vec![for_sm]);
+        }
+    }
+
+    /// Runs one application callback, then drains pending fault injections
+    /// (each injection may itself notify events and queue more injections,
+    /// FIFO). Stops immediately if the application crashed/exited the
+    /// node; on a clean exit the exit notifications are sent (§3.6.2).
+    pub fn run_callback(
+        &mut self,
+        port: &mut dyn Port,
+        app: &mut dyn App,
+        f: impl FnOnce(&mut dyn App, &mut NodeCtx<'_>),
+    ) {
+        f(app, &mut NodeCtx { core: self, port });
+        while !port.terminating() {
+            let Some(fault) = self.pending_faults.pop_front() else {
+                break;
+            };
+            let now = port.now();
+            port.record(now, RecordKind::FaultInjection { fault });
+            let name = self.study.fault_names.name(fault).to_owned();
+            app.on_fault(&mut NodeCtx { core: self, port }, &name);
+        }
+        if port.terminating() && self.exiting {
+            self.send_exit_notifications(port);
+        }
+    }
+
+    /// On clean exit: enter the `EXIT` state (if the application has not
+    /// already transitioned there) and notify all other machines (§3.6.2).
+    fn send_exit_notifications(&mut self, port: &mut dyn Port) {
+        let exit_state = self.study.reserved.exit;
+        if self.sm.state() != exit_state {
+            let now = port.now();
+            let alias = self.study.init_alias(exit_state);
+            port.record(
+                now,
+                RecordKind::StateChange {
+                    event: alias,
+                    new_state: exit_state,
+                },
+            );
+        }
+        let me = self.me;
+        let targets: Vec<SmId> = self.study.sms.ids().filter(|&sm| sm != me).collect();
+        port.notify(me, exit_state, targets);
+        self.exiting = false;
+    }
+
+    /// Records this node's own crash and delivers the `CRASH` state's
+    /// notifications on the machine's behalf (the thesis's
+    /// overridden-signal-handler path, §3.6.2). Used by backends where the
+    /// dying node itself writes the record; on the simulation backend the
+    /// local daemon plays watchdog instead.
+    pub fn record_self_crash(&mut self, port: &mut dyn Port) {
+        let crash_state = self.study.reserved.crash;
+        let now = port.now();
+        port.record(
+            now,
+            RecordKind::StateChange {
+                event: self.study.reserved.crash_event,
+                new_state: crash_state,
+            },
+        );
+        let targets = self
+            .study
+            .machine(self.me)
+            .notify_list(crash_state)
+            .to_vec();
+        if !targets.is_empty() {
+            port.notify(self.me, crash_state, targets);
+        }
+    }
+}
+
+/// The context handed to [`App`] callbacks — the same type on every
+/// backend.
+pub struct NodeCtx<'a> {
+    pub(crate) core: &'a mut NodeCore,
+    pub(crate) port: &'a mut (dyn Port + 'a),
+}
+
+impl NodeCtx<'_> {
+    /// The probe's event notification (`notifyEvent()`): informs the state
+    /// machine of a local event. The first call initializes the machine
+    /// (§3.5.7). State changes are recorded, remote machines on the new
+    /// state's notify list are notified, and fault expressions re-evaluated.
+    ///
+    /// # Errors
+    ///
+    /// Returns the state machine's error when the event has no transition
+    /// or the initial notification is invalid.
+    pub fn notify_event(&mut self, name: &str) -> Result<(), CoreError> {
+        self.core.apply_local(self.port, name)
+    }
+
+    /// Sends an application message to another machine (on the application's
+    /// own connections, not through Loki). Silently dropped if the target is
+    /// not currently executing.
+    pub fn send_to(&mut self, to: SmId, payload: Payload) {
+        self.port.send_app(self.core.me, to, payload);
+    }
+
+    /// Broadcasts an application message to every other executing machine.
+    pub fn broadcast(&mut self, payload: Payload) {
+        let me = self.core.me;
+        for sm in self.port.live_machines() {
+            if sm != me {
+                self.send_to(sm, payload.clone());
+            }
+        }
+    }
+
+    /// Sets an application timer.
+    pub fn set_timer(&mut self, delay_ns: u64, tag: u64) -> AppTimer {
+        AppTimer(self.port.set_timer(delay_ns, tag))
+    }
+
+    /// Cancels an application timer.
+    pub fn cancel_timer(&mut self, timer: AppTimer) {
+        self.port.cancel_timer(timer.0);
+    }
+
+    /// Reads this node's host clock (local time).
+    pub fn local_time(&self) -> LocalNanos {
+        self.port.now()
+    }
+
+    /// Crashes this node: the process dies without cleanup; the crash is
+    /// detected and recorded (§3.6.2) — by the local daemon on the
+    /// simulation backend, by the dying node thread itself on the thread
+    /// backend.
+    pub fn crash(&mut self) {
+        self.port.crash();
+    }
+
+    /// Exits this node cleanly: an exit notification is sent to all other
+    /// machines and the runtime is informed (the thesis's `notifyOnExit()`).
+    pub fn exit(&mut self) {
+        self.core.exiting = true;
+        self.port.exit();
+    }
+
+    /// The node's RNG (deterministic on the simulation backend).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.port.rng()
+    }
+
+    /// This node's state machine id.
+    pub fn my_sm(&self) -> SmId {
+        self.core.me
+    }
+
+    /// This node's nickname.
+    pub fn my_name(&self) -> &str {
+        self.core.study.sms.name(self.core.me)
+    }
+
+    /// Nickname of any machine.
+    pub fn sm_name(&self, sm: SmId) -> &str {
+        self.core.study.sms.name(sm)
+    }
+
+    /// All machines of the study (alive or not).
+    pub fn machines(&self) -> Vec<SmId> {
+        self.core.study.sms.ids().collect()
+    }
+
+    /// Machines currently executing (from the application's name service).
+    pub fn live_machines(&self) -> Vec<SmId> {
+        self.port.live_machines()
+    }
+
+    /// The compiled study.
+    pub fn study(&self) -> &Arc<Study> {
+        &self.core.study
+    }
+
+    /// The host this node currently runs on.
+    pub fn host_name(&self) -> String {
+        self.port.host_name()
+    }
+
+    /// Whether this incarnation is a restart.
+    pub fn is_restarted(&self) -> bool {
+        self.core.restarted
+    }
+
+    /// Appends a free-form message to the local timeline.
+    pub fn record_user_message(&mut self, message: &str) {
+        let now = self.port.now();
+        self.port
+            .record(now, RecordKind::UserMessage(message.to_owned()));
+    }
+}

@@ -17,7 +17,7 @@
 //!   possibly on a different host (§3.6.3).
 
 use crate::messages::{NotifyRouting, RtMsg};
-use crate::node::{AppLogic, NodeActor};
+use crate::node::NodeActor;
 use crate::store::{ExperimentControl, NodeDirectory, TimelineStore, WarningSink};
 use crate::wiring::Wiring;
 use loki_core::ids::SmId;
@@ -29,14 +29,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::Arc;
 
-/// Creates the application half of a node. Called once per (re)start of a
-/// machine, so stateful applications get a fresh instance each incarnation.
-///
-/// The factory is `Send + Sync` (and `Arc`-shared) so one factory can be
-/// handed to every worker of the parallel experiment executor
-/// ([`crate::harness::run_study`]); the [`AppLogic`] instances it produces
-/// stay on the worker that created them.
-pub type AppFactory = Arc<dyn Fn(&Study, SmId) -> Box<dyn AppLogic> + Send + Sync>;
+pub use crate::app::AppFactory;
 
 /// Shared construction context for daemons and nodes.
 #[derive(Clone)]

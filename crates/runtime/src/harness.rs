@@ -1,14 +1,24 @@
-//! The experiment harness: runs studies on the simulation backend.
+//! The experiment harness: runs studies on a selectable execution backend.
 //!
 //! One experiment (§2.3) = pre-sync mini-phase → runtime phase (daemons +
 //! nodes until completion or timeout) → post-sync mini-phase. The harness
 //! assembles the resulting [`ExperimentData`] — local timelines plus sync
 //! samples — which feeds the analysis phase.
+//!
+//! Campaigns pick their execution environment per study with
+//! [`SimHarnessConfig::backend`]: [`Backend::Sim`] runs on the
+//! deterministic simulation, [`Backend::Threads`] runs the *same*
+//! applications with every node as an OS thread (the thread backend
+//! derives its host/clock/timeout/restart settings from the same config).
+//! Either way, [`run_study`] fans experiments out across the parallel
+//! worker pool.
 
-use crate::daemons::{AppFactory, Bundle, CentralDaemon, LocalDaemon, RestartPolicy, Supervisor};
+use crate::app::AppFactory;
+use crate::daemons::{Bundle, CentralDaemon, LocalDaemon, RestartPolicy, Supervisor};
 use crate::messages::{NotifyRouting, RtMsg};
 use crate::store::{ExperimentControl, NodeDirectory, SyncCollector, TimelineStore, WarningSink};
 use crate::syncer::{SyncEcho, Syncer};
+use crate::thread_backend::{run_thread_experiment, ThreadHarnessConfig};
 use crate::wiring::Wiring;
 use loki_clock::params::fastest_reference;
 use loki_core::campaign::{ExperimentData, ExperimentEnd, HostSync};
@@ -17,8 +27,26 @@ use loki_sim::config::{HostConfig, NetworkConfig};
 use loki_sim::engine::{HostId, Simulation};
 use std::rc::Rc;
 use std::sync::Arc;
+use std::time::Duration;
 
-/// Configuration of the simulation harness.
+/// The execution backend a study runs on.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// The deterministic simulation: virtual time, modelled OS scheduling
+    /// and link delays, byte-identical results per `(seed, experiment)`.
+    #[default]
+    Sim,
+    /// Real concurrency: every node an OS thread with a virtual per-host
+    /// clock; wall-clock time, genuinely nondeterministic interleavings.
+    Threads,
+}
+
+/// Configuration of the experiment harness.
+///
+/// The host list, seed, timeout, sync rounds, and restart policy apply to
+/// every backend; `network`, `routing`, `kill_daemon`, and
+/// `sync_interval_ns` are simulation-only knobs (the thread backend routes
+/// notifications directly and paces its sync exchanges in real time).
 #[derive(Clone, Debug)]
 pub struct SimHarnessConfig {
     /// The simulated hosts. Their order defines host indices; placements in
@@ -46,10 +74,14 @@ pub struct SimHarnessConfig {
     /// Worker threads for [`run_study`]: `Some(n)` forces `n` workers
     /// (`Some(1)` runs sequentially on the calling thread); `None` uses the
     /// `LOKI_WORKERS` environment variable if set, otherwise the machine's
-    /// available parallelism. Experiment results are identical for every
+    /// available parallelism. `Some(0)` and unparseable `LOKI_WORKERS`
+    /// values are rejected with a panic — a silent fallback would hide a
+    /// misconfigured campaign. Simulation results are identical for every
     /// worker count — each experiment is fully determined by
     /// `(seed, experiment_index)`.
     pub workers: Option<usize>,
+    /// The execution backend experiments run on.
+    pub backend: Backend,
 }
 
 impl Default for SimHarnessConfig {
@@ -65,6 +97,7 @@ impl Default for SimHarnessConfig {
             kill_daemon: None,
             seed: 0,
             workers: None,
+            backend: Backend::Sim,
         }
     }
 }
@@ -91,15 +124,53 @@ impl SimHarnessConfig {
         fastest_reference(self.hosts.iter().map(|h| (h.name.as_str(), &h.clock)))
             .expect("at least one host")
     }
+
+    /// Selects the execution backend (builder-style).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Derives the thread backend's configuration from this one: same
+    /// hosts (names + clock models), sync rounds, timeout, seed, and — as
+    /// the closest thread-backend equivalent of the supervisor — the
+    /// restart probability.
+    pub fn thread_config(&self) -> ThreadHarnessConfig {
+        ThreadHarnessConfig {
+            hosts: self
+                .hosts
+                .iter()
+                .map(|h| (h.name.clone(), h.clock))
+                .collect(),
+            sync_rounds: self.sync_rounds,
+            timeout: Duration::from_nanos(self.timeout_ns),
+            restart_probability: self.restart.map(|p| p.probability),
+            seed: self.seed,
+        }
+    }
 }
 
-/// Runs one experiment of `study` and returns its raw data.
+/// Runs one experiment of `study` on the configured backend and returns
+/// its raw data.
 ///
 /// # Panics
 ///
 /// Panics if the configuration has no hosts or a placement names an
 /// unknown host.
 pub fn run_experiment(
+    study: &Arc<Study>,
+    factory: AppFactory,
+    cfg: &SimHarnessConfig,
+    experiment: u32,
+) -> ExperimentData {
+    match cfg.backend {
+        Backend::Sim => run_sim_experiment(study, factory, cfg, experiment),
+        Backend::Threads => run_thread_experiment(study, factory, &cfg.thread_config(), experiment),
+    }
+}
+
+/// Runs one experiment on the deterministic simulation backend.
+fn run_sim_experiment(
     study: &Arc<Study>,
     factory: AppFactory,
     cfg: &SimHarnessConfig,
@@ -248,37 +319,64 @@ fn run_sync_phase(
 /// Resolves the worker count for a study: explicit config, then the
 /// `LOKI_WORKERS` environment variable, then the machine's available
 /// parallelism. Never more workers than experiments.
+///
+/// # Panics
+///
+/// Panics when the configured count is `Some(0)` or `LOKI_WORKERS` is not
+/// a positive integer — a silent fallback would run a misconfigured
+/// campaign with a surprise worker count.
 fn resolve_workers(cfg: &SimHarnessConfig, experiments: u32) -> usize {
-    let requested = cfg
-        .workers
-        .or_else(|| {
-            let value = std::env::var("LOKI_WORKERS").ok()?;
-            match value.trim().parse() {
-                Ok(n) => Some(n),
-                Err(_) => {
-                    eprintln!(
-                        "loki: ignoring unparseable LOKI_WORKERS={value:?}; \
-                         using available parallelism"
-                    );
-                    None
-                }
-            }
-        })
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        });
-    requested.clamp(1, experiments.max(1) as usize)
+    let env = std::env::var("LOKI_WORKERS").ok();
+    match worker_count(cfg.workers, env.as_deref(), experiments) {
+        Ok(n) => n,
+        Err(message) => panic!("{message}"),
+    }
 }
 
-/// Runs `experiments` experiments of `study`, with per-experiment seeds.
+/// The pure worker-count resolution; see [`resolve_workers`].
+fn worker_count(
+    explicit: Option<usize>,
+    env: Option<&str>,
+    experiments: u32,
+) -> Result<usize, String> {
+    let requested = match explicit {
+        Some(0) => {
+            return Err(
+                "loki: worker count must be at least 1 (config has `workers: Some(0)`); \
+                 use `None` for automatic selection"
+                    .to_owned(),
+            )
+        }
+        Some(n) => n,
+        None => match env {
+            Some(raw) => match raw.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    return Err(format!(
+                        "loki: LOKI_WORKERS must be a positive integer, got {raw:?}"
+                    ))
+                }
+            },
+            None => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        },
+    };
+    Ok(requested.clamp(1, experiments.max(1) as usize))
+}
+
+/// Runs `experiments` experiments of `study` on the backend selected by
+/// [`SimHarnessConfig::backend`], with per-experiment seeds.
 ///
 /// Experiments fan out across a scoped worker pool (see
-/// [`SimHarnessConfig::workers`]); each experiment seeds its own simulation
-/// from `(cfg.seed, experiment_index)`, so the returned data — order,
+/// [`SimHarnessConfig::workers`]) on every backend; on [`Backend::Sim`]
+/// each experiment seeds its own simulation from
+/// `(cfg.seed, experiment_index)`, so the returned data — order,
 /// timelines, sync samples, verdict-relevant fields, everything — is
-/// byte-identical whatever the worker count or scheduling.
+/// byte-identical whatever the worker count or scheduling. On
+/// [`Backend::Threads`] the per-experiment *fault-injection semantics* are
+/// the same (the node core is shared), but timing and interleavings are
+/// genuinely nondeterministic.
 pub fn run_study(
     study: &Arc<Study>,
     factory: AppFactory,
@@ -296,6 +394,10 @@ pub fn run_study(
 
 /// [`run_study`] with an explicit worker count (`workers == 1` runs
 /// entirely on the calling thread).
+///
+/// # Panics
+///
+/// Panics when `workers == 0`.
 pub fn run_study_with_workers(
     study: &Arc<Study>,
     factory: AppFactory,
@@ -303,6 +405,7 @@ pub fn run_study_with_workers(
     experiments: u32,
     workers: usize,
 ) -> Vec<ExperimentData> {
+    assert!(workers >= 1, "loki: worker count must be at least 1");
     let workers = workers.clamp(1, experiments.max(1) as usize);
     if workers == 1 {
         return (0..experiments)
@@ -352,4 +455,60 @@ pub fn run_study_with_workers(
     }
     debug_assert_eq!(results.len(), experiments as usize);
     results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count_prefers_explicit_config() {
+        assert_eq!(worker_count(Some(3), Some("7"), 100), Ok(3));
+        // Clamped to the experiment count.
+        assert_eq!(worker_count(Some(64), None, 4), Ok(4));
+        assert_eq!(worker_count(Some(2), None, 0), Ok(1));
+    }
+
+    #[test]
+    fn worker_count_rejects_zero_config() {
+        let err = worker_count(Some(0), None, 8).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn worker_count_parses_env() {
+        assert_eq!(worker_count(None, Some("5"), 100), Ok(5));
+        assert_eq!(worker_count(None, Some(" 2 "), 100), Ok(2));
+    }
+
+    #[test]
+    fn worker_count_rejects_bad_env() {
+        for bad in ["0", "-1", "many", "", "3.5"] {
+            let err = worker_count(None, Some(bad), 8).unwrap_err();
+            assert!(err.contains("LOKI_WORKERS"), "{bad:?}: {err}");
+            assert!(err.contains(bad), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn worker_count_defaults_to_available_parallelism() {
+        let n = worker_count(None, None, 1_000_000).unwrap();
+        assert!(n >= 1);
+    }
+
+    #[test]
+    fn thread_config_derives_from_sim_config() {
+        let mut cfg = SimHarnessConfig::three_hosts(99);
+        cfg.timeout_ns = 5_000_000_000;
+        cfg.restart = Some(RestartPolicy {
+            probability: 0.5,
+            ..Default::default()
+        });
+        let t = cfg.thread_config();
+        assert_eq!(t.hosts.len(), 3);
+        assert_eq!(t.hosts[0].0, "host1");
+        assert_eq!(t.timeout, Duration::from_secs(5));
+        assert_eq!(t.restart_probability, Some(0.5));
+        assert_eq!(t.seed, 99);
+    }
 }

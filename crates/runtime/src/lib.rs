@@ -1,32 +1,43 @@
 //! # loki-runtime
 //!
-//! The enhanced Loki runtime (thesis Chapter 3) on a deterministic
-//! simulation backend:
+//! The enhanced Loki runtime (thesis Chapter 3), built around a portable
+//! node core so one application definition runs on every execution
+//! backend:
 //!
-//! * [`node`] — the per-node runtime (state machine + transport + fault
-//!   parser + recorder) and the [`node::AppLogic`] trait applications
-//!   implement (the probe interface).
+//! * [`app`] — the backend-agnostic heart: the [`app::App`] trait
+//!   applications implement (the probe interface), the unified
+//!   [`app::Payload`] type, the [`app::NodeCtx`] handed to every callback,
+//!   and the shared node core (state machine + partial view + positive-edge
+//!   fault parser + recorder + injection drain loop).
+//! * [`node`] — the simulation-backend adapter: embeds the node core into
+//!   a deterministic simulated actor.
+//! * [`thread_backend`] — the real-concurrency adapter: embeds the same
+//!   core into one OS thread per node with virtual per-host clocks.
 //! * [`daemons`] — local daemons (routing, watchdog, crash records,
 //!   experiment-completion checks), the central daemon (startup, timeout,
 //!   abort), and the restart supervisor (the system under study's recovery
 //!   mechanism, supporting restart on a *different* host).
 //! * [`syncer`] — the synchronization mini-phases before and after each
 //!   experiment.
-//! * [`harness`] — experiment orchestration: returns
+//! * [`harness`] — experiment orchestration with per-study backend
+//!   selection ([`harness::Backend::Sim`] | [`harness::Backend::Threads`])
+//!   and a parallel worker pool; returns
 //!   [`loki_core::campaign::ExperimentData`] ready for the analysis phase.
-//! * [`thread_backend`] — a real-concurrency backend (nodes as OS threads
-//!   with virtual per-host clocks) producing the same `ExperimentData`.
-//! * [`messages`] — the runtime protocol and the §3.4.1 design-choice
-//!   routing modes (through-daemons / direct / centralized) used by the
-//!   design ablation.
+//! * [`messages`] — the simulation-backend protocol and the §3.4.1
+//!   design-choice routing modes (through-daemons / direct / centralized)
+//!   used by the design ablation.
 //!
-//! The runtime communicates exclusively through simulated messages with
-//! realistic scheduling and link delays; the shared stores in [`store`]
-//! model the thesis's NFS-mounted timeline files, not a covert channel.
+//! The simulation backend communicates exclusively through simulated
+//! messages with realistic scheduling and link delays; the shared stores in
+//! [`store`] model the thesis's NFS-mounted timeline files, not a covert
+//! channel. The thread backend exchanges real channel messages between OS
+//! threads. Both produce the same `ExperimentData`, and both share the
+//! injection semantics of the node core by construction.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod app;
 pub mod daemons;
 pub mod harness;
 pub mod messages;
@@ -36,11 +47,8 @@ pub mod syncer;
 pub mod thread_backend;
 pub mod wiring;
 
-pub use daemons::{AppFactory, RestartPlacement, RestartPolicy};
-pub use harness::{run_experiment, run_study, SimHarnessConfig};
-pub use messages::{AppPayload, NotifyRouting, RtMsg};
-pub use node::{AppLogic, NodeCtx};
-pub use thread_backend::{
-    run_thread_experiment, ThreadApp, ThreadAppFactory, ThreadCtx, ThreadHarnessConfig,
-    ThreadPayload,
-};
+pub use app::{App, AppFactory, AppTimer, NodeCtx, Payload};
+pub use daemons::{RestartPlacement, RestartPolicy};
+pub use harness::{run_experiment, run_study, run_study_with_workers, Backend, SimHarnessConfig};
+pub use messages::{NotifyRouting, RtMsg};
+pub use thread_backend::{run_thread_experiment, ThreadHarnessConfig};

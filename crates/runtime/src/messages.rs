@@ -6,16 +6,9 @@
 //! application's own connections. The design-ablation routing modes
 //! (§3.4.1) reuse the same message set with different paths.
 
+use crate::app::Payload;
 use loki_core::ids::{SmId, StateId};
 use loki_core::time::LocalNanos;
-use std::any::Any;
-use std::rc::Rc;
-
-/// Application-defined payload carried by [`RtMsg::App`].
-///
-/// `Rc<dyn Any>` lets an application broadcast one payload to many peers
-/// without cloning the underlying data (the simulation is single-threaded).
-pub type AppPayload = Rc<dyn Any>;
 
 /// All messages exchanged by runtime actors.
 #[derive(Clone)]
@@ -127,8 +120,8 @@ pub enum RtMsg {
     App {
         /// Sending state machine.
         from_sm: SmId,
-        /// Payload.
-        payload: AppPayload,
+        /// Payload (the backend-agnostic [`Payload`] type).
+        payload: Payload,
     },
 }
 
@@ -211,14 +204,14 @@ mod tests {
         assert!(s.contains("Notify"));
         let m = RtMsg::App {
             from_sm: Id::from_raw(2),
-            payload: Rc::new(42u32),
+            payload: std::sync::Arc::new(42u32),
         };
         assert!(format!("{m:?}").contains("App"));
     }
 
     #[test]
     fn payload_downcasts() {
-        let p: AppPayload = Rc::new("hello".to_owned());
+        let p: Payload = std::sync::Arc::new("hello".to_owned());
         assert_eq!(p.downcast_ref::<String>().unwrap(), "hello");
         assert!(p.downcast_ref::<u32>().is_none());
     }

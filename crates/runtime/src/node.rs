@@ -1,133 +1,64 @@
-//! The Loki node: application logic + the attached per-node runtime.
+//! The simulation-backend node adapter.
 //!
-//! A *node* is one component of the system under study together with its
-//! Loki runtime (§2.2.2). The runtime part — state machine, state machine
-//! transport, fault parser, recorder — is system-independent; the
-//! application and its probe are supplied by the user as an [`AppLogic`]
-//! implementation. The split mirrors the thesis exactly:
+//! Embeds the backend-agnostic [`NodeCore`](crate::app) into a simulated
+//! actor: the adapter translates the core's transport needs (the
+//! crate-private `Port` trait) onto the simulated message fabric — state
+//! notifications route through the configured §3.4.1 design (local daemon,
+//! direct, or centralized), timelines live in the shared
+//! [`TimelineStore`] (the thesis's NFS-mounted files, so the local daemon
+//! can append crash records after the node dies), and timers/clocks/RNG
+//! come from the deterministic simulation context.
 //!
-//! * the application calls [`NodeCtx::notify_event`] where the thesis's
-//!   probe calls `notifyEvent()`;
-//! * the runtime calls [`AppLogic::on_fault`] where the thesis's fault
-//!   parser calls the probe's `injectFault()`.
+//! Applications implement [`crate::app::App`]; this module contains no
+//! application-facing API of its own.
 
-use crate::messages::{AppPayload, NotifyRouting, RtMsg};
+use crate::app::{App, NodeCore, Payload, Port};
+use crate::messages::{NotifyRouting, RtMsg};
 use crate::store::{NodeDirectory, TimelineStore, WarningSink};
-use loki_core::error::CoreError;
-use loki_core::fault::FaultParser;
-use loki_core::ids::{FaultId, SmId};
-use loki_core::recorder::{HostStint, LocalTimeline, RecordKind, TimelineRecord};
-use loki_core::state_machine::StateMachine;
+use loki_core::ids::{SmId, StateId};
+use loki_core::recorder::{RecordKind, Recorder, TimelineRecord};
 use loki_core::study::Study;
 use loki_core::time::LocalNanos;
 use loki_sim::engine::{ActorId, Ctx, TimerId};
 use rand::rngs::StdRng;
-use std::collections::VecDeque;
 use std::sync::Arc;
 
-/// The application half of a node: the system under study plus its probe.
-///
-/// All callbacks receive a [`NodeCtx`] that exposes the probe interface
-/// (`notify_event`), application messaging, timers, clocks, and crash/exit
-/// controls.
-pub trait AppLogic {
-    /// Called when the node starts. `restarted` is true when the node found
-    /// its earlier timeline (it crashed and was restarted, §3.6.3); the
-    /// first `notify_event` call must then name the restart entry state.
-    fn on_start(&mut self, ctx: &mut NodeCtx<'_, '_>, restarted: bool);
+/// Simulation-backend wiring shared by all of one node's callbacks.
+struct SimShared {
+    study: Arc<Study>,
+    me: SmId,
+    daemon: ActorId,
+    routing: NotifyRouting,
+    store: TimelineStore,
+    directory: NodeDirectory,
+    warnings: WarningSink,
+}
 
-    /// Called for each application message from another node.
-    fn on_app_message(&mut self, ctx: &mut NodeCtx<'_, '_>, from: SmId, payload: AppPayload);
+/// The per-callback `Port` implementation over the simulated actor
+/// context.
+struct SimPort<'a, 'b> {
+    sim: &'a mut Ctx<'b, RtMsg>,
+    shared: &'a SimShared,
+}
 
-    /// Called when an application timer fires.
-    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tag: u64) {
-        let _ = (ctx, tag);
+impl Port for SimPort<'_, '_> {
+    fn now(&self) -> LocalNanos {
+        self.sim.local_clock()
     }
 
-    /// The probe's `injectFault()`: perform the actual fault injection.
-    /// The injection time is recorded by the runtime immediately before
-    /// this call.
-    fn on_fault(&mut self, ctx: &mut NodeCtx<'_, '_>, fault: &str);
-}
-
-/// Everything a node runtime needs besides the application.
-pub(crate) struct NodeRuntime {
-    pub study: Arc<Study>,
-    pub sm: StateMachine,
-    pub parser: FaultParser,
-    pub me: SmId,
-    pub daemon: ActorId,
-    pub routing: NotifyRouting,
-    pub store: TimelineStore,
-    pub directory: NodeDirectory,
-    pub warnings: WarningSink,
-    pub restarted: bool,
-    pub exiting: bool,
-    pub pending_faults: VecDeque<FaultId>,
-}
-
-impl NodeRuntime {
-    fn record(&self, time: LocalNanos, kind: RecordKind) {
-        self.store.with_mut(self.me, |t| {
+    fn record(&mut self, time: LocalNanos, kind: RecordKind) {
+        self.shared.store.with_mut(self.shared.me, |t| {
             t.records.push(TimelineRecord { time, kind });
         });
     }
 
-    /// Applies a local event (or the initial notification) and queues the
-    /// resulting notifications/injections.
-    fn apply_local(&mut self, ctx: &mut Ctx<'_, RtMsg>, name: &str) -> Result<(), CoreError> {
-        let outcome = if self.sm.is_initialized() {
-            self.sm.apply_event_name(name)?
-        } else {
-            self.sm.initialize(name)?
-        };
-        let now = ctx.local_clock();
-        self.record(
-            now,
-            RecordKind::StateChange {
-                event: outcome.event,
-                new_state: outcome.new_state,
-            },
-        );
-        if !outcome.notify.is_empty() {
-            self.route_notify(ctx, outcome.new_state, outcome.notify.clone());
-        }
-        self.reparse(ctx);
-        Ok(())
-    }
-
-    /// Incorporates a remote state notification.
-    fn apply_remote(
-        &mut self,
-        ctx: &mut Ctx<'_, RtMsg>,
-        from: SmId,
-        state: loki_core::ids::StateId,
-    ) {
-        if self.sm.apply_remote(from, state) {
-            self.reparse(ctx);
-        }
-    }
-
-    /// Re-evaluates fault expressions; queues injections for the drain loop.
-    fn reparse(&mut self, _ctx: &mut Ctx<'_, RtMsg>) {
-        for fault in self.parser.on_view_change(self.sm.view()) {
-            self.pending_faults.push_back(fault);
-        }
-    }
-
-    /// Routes a state notification according to the configured design.
-    fn route_notify(
-        &mut self,
-        ctx: &mut Ctx<'_, RtMsg>,
-        state: loki_core::ids::StateId,
-        targets: Vec<SmId>,
-    ) {
-        match self.routing {
+    fn notify(&mut self, from: SmId, state: StateId, targets: Vec<SmId>) {
+        match self.shared.routing {
             NotifyRouting::ThroughDaemons | NotifyRouting::Centralized => {
-                ctx.send(
-                    self.daemon,
+                self.sim.send(
+                    self.shared.daemon,
                     RtMsg::Notify {
-                        from_sm: self.me,
+                        from_sm: from,
                         state,
                         targets,
                     },
@@ -135,151 +66,75 @@ impl NodeRuntime {
             }
             NotifyRouting::Direct => {
                 for target in targets {
-                    match self.directory.lookup(target) {
-                        Some(actor) => ctx.send(
+                    match self.shared.directory.lookup(target) {
+                        Some(actor) => self.sim.send(
                             actor,
                             RtMsg::DeliverNotify {
-                                from_sm: self.me,
+                                from_sm: from,
                                 state,
                             },
                         ),
-                        None => self.warnings.warn(format!(
+                        None => self.shared.warnings.warn(format!(
                             "notification from {} to non-executing machine {} discarded",
-                            self.study.sms.name(self.me),
-                            self.study.sms.name(target)
+                            self.shared.study.sms.name(from),
+                            self.shared.study.sms.name(target)
                         )),
                     }
                 }
             }
         }
     }
-}
 
-/// The context handed to [`AppLogic`] callbacks.
-pub struct NodeCtx<'a, 'b> {
-    pub(crate) sim: &'a mut Ctx<'b, RtMsg>,
-    pub(crate) rt: &'a mut NodeRuntime,
-}
-
-impl<'a, 'b> NodeCtx<'a, 'b> {
-    /// The probe's event notification (`notifyEvent()`): informs the state
-    /// machine of a local event. The first call initializes the machine
-    /// (§3.5.7). State changes are recorded, remote machines on the new
-    /// state's notify list are notified, and fault expressions re-evaluated.
-    ///
-    /// # Errors
-    ///
-    /// Returns the state machine's error when the event has no transition
-    /// or the initial notification is invalid.
-    pub fn notify_event(&mut self, name: &str) -> Result<(), CoreError> {
-        self.rt.apply_local(self.sim, name)
-    }
-
-    /// Sends an application message to another machine (on the application's
-    /// own connections, not through Loki). Silently dropped if the target is
-    /// not currently executing.
-    pub fn send_to(&mut self, to: SmId, payload: AppPayload) {
-        if let Some(actor) = self.rt.directory.lookup(to) {
-            let from_sm = self.rt.me;
-            self.sim.send(actor, RtMsg::App { from_sm, payload });
+    fn send_app(&mut self, from: SmId, to: SmId, payload: Payload) {
+        if let Some(actor) = self.shared.directory.lookup(to) {
+            self.sim.send(
+                actor,
+                RtMsg::App {
+                    from_sm: from,
+                    payload,
+                },
+            );
         }
     }
 
-    /// Broadcasts an application message to every other executing machine.
-    pub fn broadcast(&mut self, payload: AppPayload) {
-        let me = self.rt.me;
-        for sm in self.rt.directory.machines() {
-            if sm != me {
-                self.send_to(sm, payload.clone());
-            }
-        }
+    fn set_timer(&mut self, delay_ns: u64, tag: u64) -> u64 {
+        self.sim.set_timer(delay_ns, tag).raw()
     }
 
-    /// Sets an application timer.
-    pub fn set_timer(&mut self, delay_ns: u64, tag: u64) -> TimerId {
-        self.sim.set_timer(delay_ns, tag)
+    fn cancel_timer(&mut self, raw: u64) {
+        self.sim.cancel_timer(TimerId::from_raw(raw));
     }
 
-    /// Cancels an application timer.
-    pub fn cancel_timer(&mut self, id: TimerId) {
-        self.sim.cancel_timer(id)
-    }
-
-    /// Reads this node's host clock (local time).
-    pub fn local_time(&self) -> LocalNanos {
-        self.sim.local_clock()
-    }
-
-    /// Crashes this node: the process dies without cleanup; the local
-    /// daemon detects the crash and records it (§3.6.2).
-    pub fn crash(&mut self) {
+    fn crash(&mut self) {
         self.sim.crash_self();
     }
 
-    /// Exits this node cleanly: an exit notification is sent to all other
-    /// machines and the daemon is informed (the thesis's `notifyOnExit()`).
-    pub fn exit(&mut self) {
-        self.rt.exiting = true;
+    fn exit(&mut self) {
         self.sim.exit_self();
     }
 
-    /// The deterministic RNG.
-    pub fn rng(&mut self) -> &mut StdRng {
+    fn terminating(&self) -> bool {
+        self.sim.terminating()
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
         self.sim.rng()
     }
 
-    /// This node's state machine id.
-    pub fn my_sm(&self) -> SmId {
-        self.rt.me
+    fn live_machines(&self) -> Vec<SmId> {
+        self.shared.directory.machines()
     }
 
-    /// This node's nickname.
-    pub fn my_name(&self) -> &str {
-        self.rt.study.sms.name(self.rt.me)
-    }
-
-    /// Nickname of any machine.
-    pub fn sm_name(&self, sm: SmId) -> &str {
-        self.rt.study.sms.name(sm)
-    }
-
-    /// All machines of the study (alive or not).
-    pub fn machines(&self) -> Vec<SmId> {
-        self.rt.study.sms.ids().collect()
-    }
-
-    /// Machines currently executing (from the application's name service).
-    pub fn live_machines(&self) -> Vec<SmId> {
-        self.rt.directory.machines()
-    }
-
-    /// The compiled study.
-    pub fn study(&self) -> &Arc<Study> {
-        &self.rt.study
-    }
-
-    /// The host this node currently runs on.
-    pub fn host_name(&self) -> String {
+    fn host_name(&self) -> String {
         self.sim.my_host_name()
-    }
-
-    /// Whether this incarnation is a restart.
-    pub fn is_restarted(&self) -> bool {
-        self.rt.restarted
-    }
-
-    /// Appends a free-form message to the local timeline.
-    pub fn record_user_message(&mut self, message: &str) {
-        let now = self.sim.local_clock();
-        self.rt
-            .record(now, RecordKind::UserMessage(message.to_owned()));
     }
 }
 
-/// The actor embodying one node (application + runtime).
+/// The actor embodying one node (application + runtime core).
 pub struct NodeActor {
-    app: Box<dyn AppLogic>,
-    rt: NodeRuntime,
+    app: Box<dyn App>,
+    core: NodeCore,
+    shared: SimShared,
 }
 
 impl NodeActor {
@@ -293,128 +148,63 @@ impl NodeActor {
         store: TimelineStore,
         directory: NodeDirectory,
         warnings: WarningSink,
-        app: Box<dyn AppLogic>,
+        app: Box<dyn App>,
     ) -> Self {
-        let sm = StateMachine::new(study.clone(), sm_id);
-        let parser = FaultParser::new(study.faults_owned_by(sm_id));
         NodeActor {
             app,
-            rt: NodeRuntime {
+            core: NodeCore::new(study.clone(), sm_id),
+            shared: SimShared {
                 study,
-                sm,
-                parser,
                 me: sm_id,
                 daemon,
                 routing,
                 store,
                 directory,
                 warnings,
-                restarted: false,
-                exiting: false,
-                pending_faults: VecDeque::new(),
             },
         }
     }
 
-    /// Runs an application callback, then drains pending fault injections
-    /// (each injection may itself notify events and queue more injections).
+    /// Runs an application callback through the core (which then drains
+    /// pending fault injections).
     fn with_app(
         &mut self,
         ctx: &mut Ctx<'_, RtMsg>,
-        f: impl FnOnce(&mut dyn AppLogic, &mut NodeCtx<'_, '_>),
+        f: impl FnOnce(&mut dyn App, &mut crate::app::NodeCtx<'_>),
     ) {
-        {
-            let mut node_ctx = NodeCtx {
-                sim: ctx,
-                rt: &mut self.rt,
-            };
-            f(self.app.as_mut(), &mut node_ctx);
-        }
-        // Drain injections queued by the fault parser. Stop immediately if
-        // the application crashed/exited the node.
-        while !ctx.terminating() {
-            let Some(fault) = self.rt.pending_faults.pop_front() else {
-                break;
-            };
-            let now = ctx.local_clock();
-            self.rt.record(now, RecordKind::FaultInjection { fault });
-            let name = self.rt.study.fault_names.name(fault).to_owned();
-            let mut node_ctx = NodeCtx {
-                sim: ctx,
-                rt: &mut self.rt,
-            };
-            self.app.on_fault(&mut node_ctx, &name);
-        }
-        if ctx.terminating() && self.rt.exiting {
-            self.send_exit_notifications(ctx);
-        }
-    }
-
-    /// On clean exit: enter the `EXIT` state (if the application has not
-    /// already transitioned there) and notify all other machines (§3.6.2).
-    fn send_exit_notifications(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
-        let exit_state = self.rt.study.reserved.exit;
-        if self.rt.sm.state() != exit_state {
-            let now = ctx.local_clock();
-            let alias = self.rt.study.init_alias(exit_state);
-            self.rt.record(
-                now,
-                RecordKind::StateChange {
-                    event: alias,
-                    new_state: exit_state,
-                },
-            );
-        }
-        let me = self.rt.me;
-        let targets: Vec<SmId> = self.rt.study.sms.ids().filter(|&sm| sm != me).collect();
-        self.rt.route_notify(ctx, exit_state, targets);
-        self.rt.exiting = false;
+        let mut port = SimPort {
+            sim: ctx,
+            shared: &self.shared,
+        };
+        self.core.run_callback(&mut port, self.app.as_mut(), f);
     }
 }
 
 impl loki_sim::engine::Actor<RtMsg> for NodeActor {
     fn on_start(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
-        let me = self.rt.me;
+        let me = self.shared.me;
         let host = ctx.my_host_name();
         let now = ctx.local_clock();
 
         // Restart detection: the timeline file already exists (§3.6.3).
-        let restarted = self.rt.store.contains(me);
-        self.rt.restarted = restarted;
-        if restarted {
-            self.rt.store.with_mut(me, |t| {
-                t.stints.push(HostStint {
-                    host: host.clone(),
-                    first_record: t.records.len(),
-                });
-                t.records.push(TimelineRecord {
-                    time: now,
-                    kind: RecordKind::Restart { host: host.clone() },
-                });
-            });
-        } else {
-            self.rt.store.put(
-                me,
-                LocalTimeline {
-                    sm: me,
-                    sm_name: self.rt.study.sms.name(me).to_owned(),
-                    records: Vec::new(),
-                    stints: vec![HostStint {
-                        host: host.clone(),
-                        first_record: 0,
-                    }],
-                },
-            );
-        }
+        // Both branches go through the shared `Recorder` helpers so stint
+        // and restart bookkeeping cannot diverge from the thread backend.
+        let restarted = self.shared.store.contains(me);
+        self.core.restarted = restarted;
+        let recorder = match self.shared.store.take(me) {
+            Some(prior) => Recorder::resume(prior, now, &host),
+            None => Recorder::new(me, self.shared.study.sms.name(me), &host),
+        };
+        self.shared.store.put(me, recorder.finish());
 
         // Contact the local daemon (the thesis's shared-memory connect).
-        ctx.send(self.rt.daemon, RtMsg::Register { sm: me, restarted });
+        ctx.send(self.shared.daemon, RtMsg::Register { sm: me, restarted });
         // Join the application's name service.
-        self.rt.directory.insert(me, ctx.me());
+        self.shared.directory.insert(me, ctx.me());
 
         // A restarted machine asks all others for state updates (§3.6.3).
         if restarted {
-            ctx.send(self.rt.daemon, RtMsg::StateUpdateRequest { for_sm: me });
+            ctx.send(self.shared.daemon, RtMsg::StateUpdateRequest { for_sm: me });
         }
 
         self.with_app(ctx, |app, node_ctx| app.on_start(node_ctx, restarted));
@@ -423,17 +213,18 @@ impl loki_sim::engine::Actor<RtMsg> for NodeActor {
     fn on_message(&mut self, ctx: &mut Ctx<'_, RtMsg>, _from: ActorId, msg: RtMsg) {
         match msg {
             RtMsg::DeliverNotify { from_sm, state } => {
-                self.rt.apply_remote(ctx, from_sm, state);
+                self.core.apply_remote(from_sm, state);
                 // Injections may have been queued; drain via a no-op
                 // application callback.
                 self.with_app(ctx, |_, _| {});
             }
             RtMsg::StateUpdateRequest { for_sm } => {
                 // Another (restarted) machine asks for our state.
-                if for_sm != self.rt.me && self.rt.sm.is_initialized() {
-                    let state = self.rt.sm.state();
-                    self.rt.route_notify(ctx, state, vec![for_sm]);
-                }
+                let mut port = SimPort {
+                    sim: ctx,
+                    shared: &self.shared,
+                };
+                self.core.state_update_reply(&mut port, for_sm);
             }
             RtMsg::App { from_sm, payload } => {
                 self.with_app(ctx, |app, node_ctx| {
@@ -441,7 +232,7 @@ impl loki_sim::engine::Actor<RtMsg> for NodeActor {
                 });
             }
             other => {
-                self.rt
+                self.shared
                     .warnings
                     .warn(format!("node received unexpected message {other:?}"));
             }

@@ -8,34 +8,32 @@
 //! nondeterministic executions. The output is the same
 //! [`ExperimentData`] the analysis phase consumes.
 //!
-//! Scope: the thread backend supports the full injection pipeline — state
-//! machines, partial views, notifications, edge-triggered injection,
-//! recorders, sync mini-phases, crash (cooperative) and coordinator-driven
-//! restart on a different virtual host. It routes notifications directly
-//! (the original runtime's design); the daemon topologies exist in the
-//! simulation backend where their latencies can be controlled.
+//! Applications are ordinary [`App`] implementations — the same ones that
+//! run on the simulation backend. This module is a transport adapter over
+//! the shared node core ([`crate::app`]): it contributes channels, real
+//! timers, virtual clocks, and the coordinator (completion, timeout,
+//! restart on a different virtual host); the state machines, partial
+//! views, edge-triggered injection, recording, and sync mini-phases come
+//! from the core and are therefore identical to the simulation backend by
+//! construction. Notifications route directly (the original runtime's
+//! design); the daemon topologies exist in the simulation backend where
+//! their latencies can be controlled.
 
+use crate::app::{App, AppFactory, NodeCore, Payload, Port};
 use crate::messages::NotifyRouting;
 use loki_clock::params::{fastest_reference, ClockParams, VirtualClock};
 use loki_core::campaign::{ExperimentData, ExperimentEnd, HostSync, SyncSample};
-use loki_core::error::CoreError;
-use loki_core::fault::FaultParser;
 use loki_core::ids::{SmId, StateId};
-use loki_core::recorder::{HostStint, LocalTimeline, RecordKind, TimelineRecord};
-use loki_core::state_machine::StateMachine;
+use loki_core::recorder::{LocalTimeline, RecordKind, Recorder};
 use loki_core::study::Study;
 use loki_core::time::LocalNanos;
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::any::Any;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::mpsc::{RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// Application payload on the thread backend.
-pub type ThreadPayload = Arc<dyn Any + Send + Sync>;
 
 /// Messages delivered to a node thread.
 enum TMsg {
@@ -44,28 +42,10 @@ enum TMsg {
     /// A restarted machine asks for our current state.
     StateUpdateRequest { for_sm: SmId },
     /// An application message.
-    App { from: SmId, payload: ThreadPayload },
+    App { from: SmId, payload: Payload },
     /// Coordinator orders the node killed (timeout/abort).
     Kill,
 }
-
-/// The application trait for the thread backend (the probe interface).
-pub trait ThreadApp: Send {
-    /// Called when the node starts; the first
-    /// [`ThreadCtx::notify_event`] initializes the state machine.
-    fn on_start(&mut self, ctx: &mut ThreadCtx<'_>, restarted: bool);
-    /// An application message arrived.
-    fn on_app_message(&mut self, ctx: &mut ThreadCtx<'_>, from: SmId, payload: ThreadPayload);
-    /// A timer set via [`ThreadCtx::set_timer`] fired.
-    fn on_timer(&mut self, ctx: &mut ThreadCtx<'_>, tag: u64) {
-        let _ = (ctx, tag);
-    }
-    /// The probe's `injectFault()`.
-    fn on_fault(&mut self, ctx: &mut ThreadCtx<'_>, fault: &str);
-}
-
-/// Factory producing thread-backend applications.
-pub type ThreadAppFactory = Arc<dyn Fn(&Study, SmId) -> Box<dyn ThreadApp> + Send + Sync>;
 
 /// Routing table shared by all node threads (the application's name
 /// service plus Loki's transport).
@@ -106,139 +86,118 @@ enum LifeCycle {
     Exiting,
 }
 
-/// The context handed to [`ThreadApp`] callbacks.
-pub struct ThreadCtx<'a> {
-    study: &'a Arc<Study>,
-    sm: &'a mut StateMachine,
-    parser: &'a mut FaultParser,
-    timeline: &'a mut LocalTimeline,
+/// One-shot timers of a node thread, ordered by monotonic deadline.
+#[derive(Default)]
+struct ThreadTimers {
+    /// `Reverse((deadline_ns, id, tag))` — min-heap over deadlines.
+    heap: BinaryHeap<std::cmp::Reverse<(u64, u64, u64)>>,
+    next_id: u64,
+    cancelled: HashSet<u64>,
+}
+
+impl ThreadTimers {
+    fn arm(&mut self, deadline_ns: u64, tag: u64) -> u64 {
+        self.next_id += 1;
+        self.heap
+            .push(std::cmp::Reverse((deadline_ns, self.next_id, tag)));
+        self.next_id
+    }
+
+    fn cancel(&mut self, id: u64) {
+        // Tombstone only ids still in the heap: cancelling an
+        // already-fired (or already-cancelled) timer must not grow
+        // `cancelled` forever.
+        if self
+            .heap
+            .iter()
+            .any(|&std::cmp::Reverse((_, i, _))| i == id)
+        {
+            self.cancelled.insert(id);
+        }
+    }
+
+    /// Pops the next live timer if its deadline has passed; `Err(deadline)`
+    /// when the earliest live timer is still pending, `Err(None)`-like
+    /// `Ok(None)` when empty.
+    fn due(&mut self, now_ns: u64) -> Result<Option<u64>, u64> {
+        while let Some(std::cmp::Reverse((deadline, id, tag))) = self.heap.peek().copied() {
+            if self.cancelled.remove(&id) {
+                self.heap.pop();
+                continue;
+            }
+            if deadline <= now_ns {
+                self.heap.pop();
+                return Ok(Some(tag));
+            }
+            return Err(deadline);
+        }
+        Ok(None)
+    }
+}
+
+/// The per-callback `Port` implementation over channels, virtual clocks,
+/// and real timers.
+struct ThreadPort<'a> {
     router: &'a Router,
     clock: &'a VirtualClock,
     epoch: Instant,
-    timers: &'a mut BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+    host: &'a str,
+    recorder: &'a mut Recorder,
+    timers: &'a mut ThreadTimers,
     rng: &'a mut StdRng,
     life: &'a mut LifeCycle,
-    restarted: bool,
-    pending_faults: Vec<loki_core::ids::FaultId>,
 }
 
-impl<'a> ThreadCtx<'a> {
-    /// Reads this node's (virtual) host clock.
-    pub fn local_time(&self) -> LocalNanos {
+impl Port for ThreadPort<'_> {
+    fn now(&self) -> LocalNanos {
         self.clock.read(self.epoch.elapsed().as_nanos() as u64)
     }
 
-    /// The probe's event notification; see
-    /// [`NodeCtx::notify_event`](crate::node::NodeCtx::notify_event).
-    ///
-    /// # Errors
-    ///
-    /// Returns the state machine's error for invalid events.
-    pub fn notify_event(&mut self, name: &str) -> Result<(), CoreError> {
-        let outcome = if self.sm.is_initialized() {
-            self.sm.apply_event_name(name)?
-        } else {
-            self.sm.initialize(name)?
-        };
-        let now = self.local_time();
-        self.timeline.records.push(TimelineRecord {
-            time: now,
-            kind: RecordKind::StateChange {
-                event: outcome.event,
-                new_state: outcome.new_state,
-            },
-        });
-        for target in &outcome.notify {
-            self.router.send(
-                *target,
-                TMsg::Notify {
-                    from: self.sm.id(),
-                    state: outcome.new_state,
-                },
-            );
-        }
-        self.reparse();
-        Ok(())
+    fn record(&mut self, time: LocalNanos, kind: RecordKind) {
+        self.recorder.record(time, kind);
     }
 
-    fn reparse(&mut self) {
-        for fault in self.parser.on_view_change(self.sm.view()) {
-            self.pending_faults.push(fault);
+    fn notify(&mut self, from: SmId, state: StateId, targets: Vec<SmId>) {
+        for target in targets {
+            self.router.send(target, TMsg::Notify { from, state });
         }
     }
 
-    /// Sends an application message to another machine.
-    pub fn send_to(&self, to: SmId, payload: ThreadPayload) {
-        self.router.send(
-            to,
-            TMsg::App {
-                from: self.sm.id(),
-                payload,
-            },
-        );
+    fn send_app(&mut self, from: SmId, to: SmId, payload: Payload) {
+        self.router.send(to, TMsg::App { from, payload });
     }
 
-    /// Broadcasts an application message to every executing machine.
-    pub fn broadcast(&self, payload: ThreadPayload) {
-        let me = self.sm.id();
-        for sm in self.router.machines() {
-            if sm != me {
-                self.send_to(sm, payload.clone());
-            }
-        }
-    }
-
-    /// Sets a one-shot timer `delay_ns` from now.
-    pub fn set_timer(&mut self, delay_ns: u64, tag: u64) {
+    fn set_timer(&mut self, delay_ns: u64, tag: u64) -> u64 {
         let deadline = self.epoch.elapsed().as_nanos() as u64 + delay_ns;
-        self.timers.push(std::cmp::Reverse((deadline, tag)));
+        self.timers.arm(deadline, tag)
     }
 
-    /// Crashes this node (cooperative: the thread stops without cleanup
-    /// and the node records its own crash, the thesis's overridden-signal-
-    /// handler path, §3.6.2).
-    pub fn crash(&mut self) {
+    fn cancel_timer(&mut self, raw: u64) {
+        self.timers.cancel(raw);
+    }
+
+    fn crash(&mut self) {
         *self.life = LifeCycle::Crashing;
     }
 
-    /// Exits this node cleanly (sends exit notifications).
-    pub fn exit(&mut self) {
+    fn exit(&mut self) {
         *self.life = LifeCycle::Exiting;
     }
 
-    /// This node's machine id.
-    pub fn my_sm(&self) -> SmId {
-        self.sm.id()
+    fn terminating(&self) -> bool {
+        *self.life != LifeCycle::Running
     }
 
-    /// This node's nickname.
-    pub fn my_name(&self) -> &str {
-        self.study.sms.name(self.sm.id())
+    fn rng(&mut self) -> &mut StdRng {
+        self.rng
     }
 
-    /// All machines of the study.
-    pub fn machines(&self) -> Vec<SmId> {
-        self.study.sms.ids().collect()
-    }
-
-    /// Machines currently executing.
-    pub fn live_machines(&self) -> Vec<SmId> {
+    fn live_machines(&self) -> Vec<SmId> {
         self.router.machines()
     }
 
-    /// The compiled study.
-    pub fn study(&self) -> &Arc<Study> {
-        self.study
-    }
-
-    /// Whether this incarnation is a restart.
-    pub fn is_restarted(&self) -> bool {
-        self.restarted
-    }
-
-    /// A per-node RNG.
-    pub fn rng(&mut self) -> &mut StdRng {
-        self.rng
+    fn host_name(&self) -> String {
+        self.host.to_owned()
     }
 }
 
@@ -283,7 +242,7 @@ impl Default for ThreadHarnessConfig {
 /// Panics if the study places machines on hosts absent from the config.
 pub fn run_thread_experiment(
     study: &Arc<Study>,
-    factory: ThreadAppFactory,
+    factory: AppFactory,
     cfg: &ThreadHarnessConfig,
     experiment: u32,
 ) -> ExperimentData {
@@ -479,7 +438,7 @@ fn busy_wait_ns(ns: u64) {
 #[allow(clippy::too_many_arguments)]
 fn spawn_node(
     study: Arc<Study>,
-    factory: ThreadAppFactory,
+    factory: AppFactory,
     sm_id: SmId,
     host: String,
     clock: VirtualClock,
@@ -492,33 +451,19 @@ fn spawn_node(
     std::thread::spawn(move || {
         let (tx, rx) = std::sync::mpsc::channel::<TMsg>();
         let restarted = prior.is_some();
-        let mut timeline = match prior {
-            Some(mut t) => {
+        let mut recorder = match prior {
+            // Resume the earlier timeline: new host stint + restart record
+            // (§3.6.3).
+            Some(t) => {
                 let now = clock.read(epoch.elapsed().as_nanos() as u64);
-                t.stints.push(HostStint {
-                    host: host.clone(),
-                    first_record: t.records.len(),
-                });
-                t.records.push(TimelineRecord {
-                    time: now,
-                    kind: RecordKind::Restart { host: host.clone() },
-                });
-                t
+                Recorder::resume(t, now, &host)
             }
-            None => LocalTimeline {
-                sm: sm_id,
-                sm_name: study.sms.name(sm_id).to_owned(),
-                records: Vec::new(),
-                stints: vec![HostStint {
-                    host: host.clone(),
-                    first_record: 0,
-                }],
-            },
+            None => Recorder::new(sm_id, study.sms.name(sm_id), &host),
         };
 
-        let mut sm = StateMachine::new(study.clone(), sm_id);
-        let mut parser = FaultParser::new(study.faults_owned_by(sm_id));
-        let mut timers: BinaryHeap<std::cmp::Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut core = NodeCore::new(study.clone(), sm_id);
+        core.restarted = restarted;
+        let mut timers = ThreadTimers::default();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut app = factory(&study, sm_id);
         let mut life = LifeCycle::Running;
@@ -533,97 +478,64 @@ fn spawn_node(
             }
         }
 
-        // Helper: run one app callback and drain pending injections.
+        // Helper: run one app callback through the shared core (which
+        // records, routes notifications, and drains pending injections).
         macro_rules! with_app {
             ($f:expr) => {{
-                let mut ctx = ThreadCtx {
-                    study: &study,
-                    sm: &mut sm,
-                    parser: &mut parser,
-                    timeline: &mut timeline,
+                let mut port = ThreadPort {
                     router: &router,
                     clock: &clock,
                     epoch,
+                    host: &host,
+                    recorder: &mut recorder,
                     timers: &mut timers,
                     rng: &mut rng,
                     life: &mut life,
-                    restarted,
-                    pending_faults: Vec::new(),
                 };
-                #[allow(clippy::redundant_closure_call)]
-                ($f)(&mut *app, &mut ctx);
-                let mut pending: Vec<_> = ctx.pending_faults.drain(..).collect();
-                while let Some(fault) = pending.pop() {
-                    if life != LifeCycle::Running {
-                        break;
-                    }
-                    let now = clock.read(epoch.elapsed().as_nanos() as u64);
-                    timeline.records.push(TimelineRecord {
-                        time: now,
-                        kind: RecordKind::FaultInjection { fault },
-                    });
-                    let name = study.fault_names.name(fault).to_owned();
-                    let mut ctx = ThreadCtx {
-                        study: &study,
-                        sm: &mut sm,
-                        parser: &mut parser,
-                        timeline: &mut timeline,
-                        router: &router,
-                        clock: &clock,
-                        epoch,
-                        timers: &mut timers,
-                        rng: &mut rng,
-                        life: &mut life,
-                        restarted,
-                        pending_faults: Vec::new(),
-                    };
-                    app.on_fault(&mut ctx, &name);
-                    pending.extend(ctx.pending_faults.drain(..));
-                }
+                core.run_callback(&mut port, app.as_mut(), $f);
             }};
         }
 
-        with_app!(|app: &mut dyn ThreadApp, ctx: &mut ThreadCtx<'_>| {
-            app.on_start(ctx, restarted)
-        });
+        with_app!(|app, ctx| app.on_start(ctx, restarted));
 
         while life == LifeCycle::Running {
             // Earliest timer deadline bounds the wait.
             let now_ns = epoch.elapsed().as_nanos() as u64;
-            let wait = match timers.peek() {
-                Some(std::cmp::Reverse((deadline, _))) if *deadline <= now_ns => {
-                    let std::cmp::Reverse((_, tag)) = timers.pop().expect("peeked");
-                    with_app!(|app: &mut dyn ThreadApp, ctx: &mut ThreadCtx<'_>| {
-                        app.on_timer(ctx, tag)
-                    });
+            let wait = match timers.due(now_ns) {
+                Ok(Some(tag)) => {
+                    with_app!(move |app, ctx| app.on_timer(ctx, tag));
                     continue;
                 }
-                Some(std::cmp::Reverse((deadline, _))) => Duration::from_nanos(deadline - now_ns),
-                None => Duration::from_millis(50),
+                Err(deadline) => Duration::from_nanos(deadline - now_ns),
+                Ok(None) => Duration::from_millis(50),
             };
             match rx.recv_timeout(wait) {
                 Ok(TMsg::Notify { from, state }) => {
-                    if sm.apply_remote(from, state) {
-                        with_app!(|_app: &mut dyn ThreadApp, ctx: &mut ThreadCtx<'_>| {
-                            ctx.reparse()
-                        });
+                    if core.apply_remote(from, state) {
+                        // Injections may be pending; drain via a no-op
+                        // callback.
+                        with_app!(|_, _| {});
                     }
                 }
                 Ok(TMsg::StateUpdateRequest { for_sm }) => {
-                    if sm.is_initialized() {
-                        router.send(
-                            for_sm,
-                            TMsg::Notify {
-                                from: sm_id,
-                                state: sm.state(),
-                            },
-                        );
-                    }
+                    let mut port = ThreadPort {
+                        router: &router,
+                        clock: &clock,
+                        epoch,
+                        host: &host,
+                        recorder: &mut recorder,
+                        timers: &mut timers,
+                        rng: &mut rng,
+                        life: &mut life,
+                    };
+                    core.state_update_reply(&mut port, for_sm);
                 }
                 Ok(TMsg::App { from, payload }) => {
-                    with_app!(|app: &mut dyn ThreadApp, ctx: &mut ThreadCtx<'_>| {
-                        app.on_app_message(ctx, from, payload.clone())
-                    });
+                    with_app!(
+                        move |app: &mut dyn App, ctx: &mut crate::app::NodeCtx<'_>| {
+                            app.on_app_message(ctx, from, payload)
+                        }
+                    );
                 }
                 Ok(TMsg::Kill) => {
                     life = LifeCycle::Crashing;
@@ -635,56 +547,31 @@ fn spawn_node(
 
         router.remove(sm_id);
         match life {
+            // Exit notifications were already sent by the core when the
+            // application called `exit()` (§3.6.2).
             LifeCycle::Exiting => {
-                // Enter EXIT (if not already) and notify everyone (§3.6.2).
-                let exit_state = study.reserved.exit;
-                if sm.state() != exit_state {
-                    let now = clock.read(epoch.elapsed().as_nanos() as u64);
-                    timeline.records.push(TimelineRecord {
-                        time: now,
-                        kind: RecordKind::StateChange {
-                            event: study.init_alias(exit_state),
-                            new_state: exit_state,
-                        },
-                    });
-                }
-                for peer in study.sms.ids() {
-                    if peer != sm_id {
-                        router.send(
-                            peer,
-                            TMsg::Notify {
-                                from: sm_id,
-                                state: exit_state,
-                            },
-                        );
-                    }
-                }
-                let _ = report.send(NodeReport::Exited { timeline });
+                let _ = report.send(NodeReport::Exited {
+                    timeline: recorder.finish(),
+                });
             }
             _ => {
-                // Crash: record it (the overridden-signal-handler path) and
-                // notify the CRASH state's list on the machine's behalf.
-                let crash_state = study.reserved.crash;
-                let now = clock.read(epoch.elapsed().as_nanos() as u64);
-                timeline.records.push(TimelineRecord {
-                    time: now,
-                    kind: RecordKind::StateChange {
-                        event: study.reserved.crash_event,
-                        new_state: crash_state,
-                    },
-                });
-                for peer in study.machine(sm_id).notify_list(crash_state) {
-                    router.send(
-                        *peer,
-                        TMsg::Notify {
-                            from: sm_id,
-                            state: crash_state,
-                        },
-                    );
-                }
+                // Crash: the dying node records it and notifies the CRASH
+                // state's list on its own behalf (the overridden-signal-
+                // handler path, §3.6.2).
+                let mut port = ThreadPort {
+                    router: &router,
+                    clock: &clock,
+                    epoch,
+                    host: &host,
+                    recorder: &mut recorder,
+                    timers: &mut timers,
+                    rng: &mut rng,
+                    life: &mut life,
+                };
+                core.record_self_crash(&mut port);
                 let _ = report.send(NodeReport::Crashed {
                     sm: sm_id,
-                    timeline,
+                    timeline: recorder.finish(),
                 });
             }
         }
@@ -697,6 +584,7 @@ pub const THREAD_BACKEND_ROUTING: NotifyRouting = NotifyRouting::Direct;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::app::NodeCtx;
     use loki_analysis::{analyze, AnalysisOptions};
     use loki_core::fault::{FaultExpr, Trigger};
     use loki_core::spec::{StateMachineSpec, StudyDef};
@@ -731,13 +619,13 @@ mod tests {
     }
 
     struct Worker;
-    impl ThreadApp for Worker {
-        fn on_start(&mut self, ctx: &mut ThreadCtx<'_>, _restarted: bool) {
+    impl App for Worker {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>, _restarted: bool) {
             ctx.notify_event("INIT").unwrap();
             ctx.set_timer(30_000_000, 1);
         }
-        fn on_app_message(&mut self, _: &mut ThreadCtx<'_>, _: SmId, _: ThreadPayload) {}
-        fn on_timer(&mut self, ctx: &mut ThreadCtx<'_>, tag: u64) {
+        fn on_app_message(&mut self, _: &mut NodeCtx<'_>, _: SmId, _: Payload) {}
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
             match tag {
                 1 => {
                     ctx.notify_event("GO").unwrap();
@@ -750,27 +638,27 @@ mod tests {
                 _ => {}
             }
         }
-        fn on_fault(&mut self, _: &mut ThreadCtx<'_>, _: &str) {}
+        fn on_fault(&mut self, _: &mut NodeCtx<'_>, _: &str) {}
     }
 
     struct Observer;
-    impl ThreadApp for Observer {
-        fn on_start(&mut self, ctx: &mut ThreadCtx<'_>, _restarted: bool) {
+    impl App for Observer {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>, _restarted: bool) {
             ctx.notify_event("WATCH").unwrap();
             ctx.set_timer(250_000_000, 1);
         }
-        fn on_app_message(&mut self, _: &mut ThreadCtx<'_>, _: SmId, _: ThreadPayload) {}
-        fn on_timer(&mut self, ctx: &mut ThreadCtx<'_>, tag: u64) {
+        fn on_app_message(&mut self, _: &mut NodeCtx<'_>, _: SmId, _: Payload) {}
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
             if tag == 1 {
                 ctx.notify_event("STOP").unwrap();
                 ctx.exit();
             }
         }
-        fn on_fault(&mut self, _: &mut ThreadCtx<'_>, _: &str) {}
+        fn on_fault(&mut self, _: &mut NodeCtx<'_>, _: &str) {}
     }
 
-    fn factory() -> ThreadAppFactory {
-        Arc::new(|study: &Study, sm| -> Box<dyn ThreadApp> {
+    fn factory() -> AppFactory {
+        Arc::new(|study: &Study, sm| -> Box<dyn App> {
             if study.sms.name(sm) == "worker" {
                 Box::new(Worker)
             } else {
@@ -800,12 +688,12 @@ mod tests {
     #[test]
     fn thread_timeout_kills_everything() {
         struct Immortal;
-        impl ThreadApp for Immortal {
-            fn on_start(&mut self, ctx: &mut ThreadCtx<'_>, _: bool) {
+        impl App for Immortal {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>, _: bool) {
                 ctx.notify_event("WATCH").unwrap();
             }
-            fn on_app_message(&mut self, _: &mut ThreadCtx<'_>, _: SmId, _: ThreadPayload) {}
-            fn on_fault(&mut self, _: &mut ThreadCtx<'_>, _: &str) {}
+            fn on_app_message(&mut self, _: &mut NodeCtx<'_>, _: SmId, _: Payload) {}
+            fn on_fault(&mut self, _: &mut NodeCtx<'_>, _: &str) {}
         }
         let def = StudyDef::new("s")
             .machine(StateMachineSpec::builder("a").states(&["WATCH"]).build())
@@ -816,7 +704,7 @@ mod tests {
             timeout: Duration::from_millis(200),
             ..Default::default()
         };
-        let f: ThreadAppFactory = Arc::new(|_, _| Box::new(Immortal));
+        let f: AppFactory = Arc::new(|_, _| Box::new(Immortal));
         let data = run_thread_experiment(&study, f, &cfg, 0);
         assert_eq!(data.end, ExperimentEnd::TimedOut);
     }
@@ -824,8 +712,8 @@ mod tests {
     #[test]
     fn thread_crash_and_restart_on_other_host() {
         struct Crasher;
-        impl ThreadApp for Crasher {
-            fn on_start(&mut self, ctx: &mut ThreadCtx<'_>, restarted: bool) {
+        impl App for Crasher {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>, restarted: bool) {
                 if restarted {
                     ctx.notify_event("DONE").unwrap(); // init alias to DONE
                     ctx.set_timer(20_000_000, 9);
@@ -834,8 +722,8 @@ mod tests {
                     ctx.set_timer(30_000_000, 1);
                 }
             }
-            fn on_app_message(&mut self, _: &mut ThreadCtx<'_>, _: SmId, _: ThreadPayload) {}
-            fn on_timer(&mut self, ctx: &mut ThreadCtx<'_>, tag: u64) {
+            fn on_app_message(&mut self, _: &mut NodeCtx<'_>, _: SmId, _: Payload) {}
+            fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
                 match tag {
                     1 => {
                         ctx.notify_event("GO").unwrap(); // -> BUSY triggers fault
@@ -844,7 +732,7 @@ mod tests {
                     _ => {}
                 }
             }
-            fn on_fault(&mut self, ctx: &mut ThreadCtx<'_>, _: &str) {
+            fn on_fault(&mut self, ctx: &mut NodeCtx<'_>, _: &str) {
                 ctx.crash();
             }
         }
@@ -870,7 +758,7 @@ mod tests {
             timeout: Duration::from_secs(10),
             ..Default::default()
         };
-        let f: ThreadAppFactory = Arc::new(|_, _| Box::new(Crasher));
+        let f: AppFactory = Arc::new(|_, _| Box::new(Crasher));
         let data = run_thread_experiment(&study, f, &cfg, 0);
         assert_eq!(data.end, ExperimentEnd::Completed);
         let t = data.timeline_for("a").unwrap();
@@ -882,5 +770,39 @@ mod tests {
             .iter()
             .any(|r| matches!(&r.kind, RecordKind::Restart { host } if host == "host2")));
         assert_eq!(t.injection_count(), 1);
+    }
+
+    #[test]
+    fn cancelled_thread_timer_never_fires() {
+        struct Canceller;
+        impl App for Canceller {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>, _: bool) {
+                ctx.notify_event("WATCH").unwrap();
+                let doomed = ctx.set_timer(10_000_000, 1); // would crash
+                ctx.cancel_timer(doomed);
+                ctx.set_timer(40_000_000, 2); // exits
+            }
+            fn on_app_message(&mut self, _: &mut NodeCtx<'_>, _: SmId, _: Payload) {}
+            fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
+                match tag {
+                    1 => ctx.crash(),
+                    2 => ctx.exit(),
+                    _ => {}
+                }
+            }
+            fn on_fault(&mut self, _: &mut NodeCtx<'_>, _: &str) {}
+        }
+        let def = StudyDef::new("s")
+            .machine(StateMachineSpec::builder("a").states(&["WATCH"]).build())
+            .place("a", "host1");
+        let study = Study::compile_arc(&def).unwrap();
+        let cfg = ThreadHarnessConfig {
+            hosts: vec![("host1".to_owned(), ClockParams::ideal())],
+            timeout: Duration::from_secs(5),
+            ..Default::default()
+        };
+        let f: AppFactory = Arc::new(|_, _| Box::new(Canceller));
+        let data = run_thread_experiment(&study, f, &cfg, 0);
+        assert_eq!(data.end, ExperimentEnd::Completed);
     }
 }

@@ -8,8 +8,8 @@ use loki_core::study::Study;
 use loki_runtime::daemons::{RestartPlacement, RestartPolicy};
 use loki_runtime::harness::{run_experiment, SimHarnessConfig};
 use loki_runtime::messages::NotifyRouting;
-use loki_runtime::node::{AppLogic, NodeCtx};
 use loki_runtime::AppFactory;
+use loki_runtime::{App, NodeCtx, Payload};
 use std::sync::Arc;
 
 /// A two-machine study: `a` does INIT → WORK → EXIT; `b` watches `a`.
@@ -50,8 +50,8 @@ struct WorkerA {
     crash_on_fault: bool,
 }
 
-impl AppLogic for WorkerA {
-    fn on_start(&mut self, ctx: &mut NodeCtx<'_, '_>, restarted: bool) {
+impl App for WorkerA {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>, restarted: bool) {
         if restarted {
             ctx.notify_event("RESTART_SM").unwrap();
             ctx.set_timer(10_000_000, 2); // exit soon after restart
@@ -65,12 +65,12 @@ impl AppLogic for WorkerA {
     }
     fn on_app_message(
         &mut self,
-        _ctx: &mut NodeCtx<'_, '_>,
+        _ctx: &mut NodeCtx<'_>,
         _from: loki_core::ids::SmId,
-        _payload: loki_runtime::AppPayload,
+        _payload: Payload,
     ) {
     }
-    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tag: u64) {
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
         match tag {
             1 => {
                 ctx.notify_event("GO").unwrap();
@@ -83,7 +83,7 @@ impl AppLogic for WorkerA {
             _ => {}
         }
     }
-    fn on_fault(&mut self, ctx: &mut NodeCtx<'_, '_>, _fault: &str) {
+    fn on_fault(&mut self, ctx: &mut NodeCtx<'_>, _fault: &str) {
         if self.crash_on_fault {
             ctx.crash();
         }
@@ -93,29 +93,29 @@ impl AppLogic for WorkerA {
 /// Application for machine `b`: INIT, exits after 100 ms. Ignores faults.
 struct WatcherB;
 
-impl AppLogic for WatcherB {
-    fn on_start(&mut self, ctx: &mut NodeCtx<'_, '_>, _restarted: bool) {
+impl App for WatcherB {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>, _restarted: bool) {
         ctx.notify_event("INIT").unwrap();
         ctx.set_timer(200_000_000, 1);
     }
     fn on_app_message(
         &mut self,
-        _ctx: &mut NodeCtx<'_, '_>,
+        _ctx: &mut NodeCtx<'_>,
         _from: loki_core::ids::SmId,
-        _payload: loki_runtime::AppPayload,
+        _payload: Payload,
     ) {
     }
-    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tag: u64) {
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
         if tag == 1 {
             let _ = ctx.notify_event("DONE");
             ctx.exit();
         }
     }
-    fn on_fault(&mut self, _ctx: &mut NodeCtx<'_, '_>, _fault: &str) {}
+    fn on_fault(&mut self, _ctx: &mut NodeCtx<'_>, _fault: &str) {}
 }
 
 fn factory(crash_on_fault: bool) -> AppFactory {
-    Arc::new(move |study: &Study, sm| -> Box<dyn AppLogic> {
+    Arc::new(move |study: &Study, sm| -> Box<dyn App> {
         if study.sms.name(sm) == "a" {
             Box::new(WorkerA { crash_on_fault })
         } else {
@@ -286,19 +286,19 @@ fn once_fault_fires_once_across_reentries() {
     let study = Study::compile_arc(&def).unwrap();
 
     struct Cycler;
-    impl AppLogic for Cycler {
-        fn on_start(&mut self, ctx: &mut NodeCtx<'_, '_>, _restarted: bool) {
+    impl App for Cycler {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>, _restarted: bool) {
             ctx.notify_event("INIT").unwrap();
             ctx.set_timer(50_000_000, 1); // GO after everyone registered
         }
         fn on_app_message(
             &mut self,
-            _ctx: &mut NodeCtx<'_, '_>,
+            _ctx: &mut NodeCtx<'_>,
             _from: loki_core::ids::SmId,
-            _payload: loki_runtime::AppPayload,
+            _payload: Payload,
         ) {
         }
-        fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tag: u64) {
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
             match tag {
                 1 => {
                     ctx.notify_event("GO").unwrap();
@@ -319,10 +319,10 @@ fn once_fault_fires_once_across_reentries() {
                 _ => {}
             }
         }
-        fn on_fault(&mut self, _ctx: &mut NodeCtx<'_, '_>, _fault: &str) {}
+        fn on_fault(&mut self, _ctx: &mut NodeCtx<'_>, _fault: &str) {}
     }
 
-    let f: AppFactory = Arc::new(|study: &Study, sm| -> Box<dyn AppLogic> {
+    let f: AppFactory = Arc::new(|study: &Study, sm| -> Box<dyn App> {
         if study.sms.name(sm) == "a" {
             Box::new(Cycler)
         } else {
@@ -343,4 +343,45 @@ fn once_fault_fires_once_across_reentries() {
     };
     assert_eq!(count(once_f), 1);
     assert_eq!(count(always_f), 2);
+}
+
+#[test]
+fn cancelled_sim_timer_never_fires() {
+    // The unified `AppTimer` handle must map back onto the simulation's
+    // timer ids: a cancelled timer would otherwise crash the node.
+    struct Canceller;
+    impl App for Canceller {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>, _: bool) {
+            ctx.notify_event("WATCH").unwrap();
+            let doomed = ctx.set_timer(10_000_000, 1); // would crash
+            ctx.cancel_timer(doomed);
+            ctx.set_timer(40_000_000, 2); // exits
+        }
+        fn on_app_message(&mut self, _: &mut NodeCtx<'_>, _: loki_core::ids::SmId, _: Payload) {}
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
+            match tag {
+                1 => ctx.crash(),
+                2 => ctx.exit(),
+                _ => {}
+            }
+        }
+        fn on_fault(&mut self, _: &mut NodeCtx<'_>, _: &str) {}
+    }
+    let def = StudyDef::new("s")
+        .machine(StateMachineSpec::builder("a").states(&["WATCH"]).build())
+        .place("a", "host1");
+    let study = Study::compile_arc(&def).unwrap();
+    let mut cfg = SimHarnessConfig::three_hosts(21);
+    cfg.hosts.truncate(1);
+    let f: AppFactory = Arc::new(|_, _| Box::new(Canceller));
+    let data = run_experiment(&study, f, &cfg, 0);
+    assert_eq!(data.end, ExperimentEnd::Completed);
+    let t = data.timeline_for("a").unwrap();
+    assert!(
+        !t.records.iter().any(
+            |r| matches!(r.kind, RecordKind::StateChange { new_state, .. }
+                if new_state == study.reserved.crash)
+        ),
+        "cancelled timer fired: {t:?}"
+    );
 }

@@ -6,8 +6,8 @@ use loki_core::fault::{FaultExpr, Trigger};
 use loki_core::spec::{StateMachineSpec, StudyDef};
 use loki_core::study::Study;
 use loki_runtime::harness::{run_experiment, SimHarnessConfig};
-use loki_runtime::node::{AppLogic, NodeCtx};
 use loki_runtime::AppFactory;
+use loki_runtime::{App, NodeCtx, Payload};
 use std::sync::Arc;
 
 struct ShortLived {
@@ -15,22 +15,16 @@ struct ShortLived {
     notify_after_death_of: Option<String>,
 }
 
-impl AppLogic for ShortLived {
-    fn on_start(&mut self, ctx: &mut NodeCtx<'_, '_>, _restarted: bool) {
+impl App for ShortLived {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>, _restarted: bool) {
         ctx.notify_event("RUN").unwrap();
         ctx.set_timer(self.lifetime_ns, 1);
         if self.notify_after_death_of.is_some() {
             ctx.set_timer(self.lifetime_ns / 2, 2);
         }
     }
-    fn on_app_message(
-        &mut self,
-        _: &mut NodeCtx<'_, '_>,
-        _: loki_core::ids::SmId,
-        _: loki_runtime::AppPayload,
-    ) {
-    }
-    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tag: u64) {
+    fn on_app_message(&mut self, _: &mut NodeCtx<'_>, _: loki_core::ids::SmId, _: Payload) {}
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
         match tag {
             1 => {
                 let _ = ctx.notify_event("DONE");
@@ -46,7 +40,7 @@ impl AppLogic for ShortLived {
             _ => {}
         }
     }
-    fn on_fault(&mut self, _: &mut NodeCtx<'_, '_>, _: &str) {}
+    fn on_fault(&mut self, _: &mut NodeCtx<'_>, _: &str) {}
 }
 
 #[test]
@@ -73,7 +67,7 @@ fn notification_to_dead_machine_is_dropped_with_warning() {
         .place("a", "host1")
         .place("b", "host2");
     let study = Study::compile_arc(&def).unwrap();
-    let factory: AppFactory = Arc::new(|study: &Study, sm| -> Box<dyn AppLogic> {
+    let factory: AppFactory = Arc::new(|study: &Study, sm| -> Box<dyn App> {
         if study.sms.name(sm) == "a" {
             Box::new(ShortLived {
                 lifetime_ns: 800_000_000,
@@ -125,7 +119,7 @@ fn dynamic_entry_machine_not_started_at_begin() {
         Box::new(ShortLived {
             lifetime_ns: 150_000_000,
             notify_after_death_of: None,
-        }) as Box<dyn AppLogic>
+        }) as Box<dyn App>
     });
     let mut cfg = SimHarnessConfig::three_hosts(22);
     cfg.hosts.truncate(2);
@@ -163,7 +157,7 @@ fn daemon_crash_aborts_the_experiment() {
         Box::new(ShortLived {
             lifetime_ns: 500_000_000,
             notify_after_death_of: None,
-        }) as Box<dyn AppLogic>
+        }) as Box<dyn App>
     });
     let mut cfg = SimHarnessConfig::three_hosts(23);
     cfg.hosts.truncate(2);

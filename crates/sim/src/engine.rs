@@ -29,6 +29,18 @@ pub struct ActorId(pub u32);
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub struct TimerId(u64);
 
+impl TimerId {
+    /// The raw id (for embedding into backend-agnostic timer handles).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a timer id from [`TimerId::raw`].
+    pub fn from_raw(raw: u64) -> TimerId {
+        TimerId(raw)
+    }
+}
+
 /// Why a watched peer went down.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum DownReason {

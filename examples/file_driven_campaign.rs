@@ -10,8 +10,8 @@
 use loki::analysis::{analyze, AnalysisOptions};
 use loki::core::study::Study;
 use loki::runtime::harness::{run_study, SimHarnessConfig};
-use loki::runtime::node::{AppLogic, NodeCtx};
 use loki::runtime::AppFactory;
+use loki::runtime::{App, NodeCtx, Payload};
 use loki::spec::campaign_loader::{load_study_dir, write_study_dir};
 use loki::spec::{load_study, MachineSources};
 use std::collections::BTreeMap;
@@ -69,19 +69,13 @@ struct Pulser {
     pulses: u32,
 }
 
-impl AppLogic for Pulser {
-    fn on_start(&mut self, ctx: &mut NodeCtx<'_, '_>, _restarted: bool) {
+impl App for Pulser {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>, _restarted: bool) {
         ctx.notify_event("IDLE").unwrap();
         ctx.set_timer(100_000_000, 1);
     }
-    fn on_app_message(
-        &mut self,
-        _: &mut NodeCtx<'_, '_>,
-        _: loki::core::ids::SmId,
-        _: loki::runtime::AppPayload,
-    ) {
-    }
-    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tag: u64) {
+    fn on_app_message(&mut self, _: &mut NodeCtx<'_>, _: loki::core::ids::SmId, _: Payload) {}
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
         match tag {
             1 => {
                 ctx.notify_event("WAKE").unwrap();
@@ -99,7 +93,7 @@ impl AppLogic for Pulser {
             _ => {}
         }
     }
-    fn on_fault(&mut self, ctx: &mut NodeCtx<'_, '_>, fault: &str) {
+    fn on_fault(&mut self, ctx: &mut NodeCtx<'_>, fault: &str) {
         ctx.record_user_message(&format!("probe injected {fault}"));
     }
 }
@@ -142,7 +136,7 @@ fn main() {
 
     // --- compile and run -------------------------------------------------------
     let study = Study::compile_arc(&def).expect("study compiles");
-    let factory: AppFactory = Arc::new(|study: &Study, sm| -> Box<dyn AppLogic> {
+    let factory: AppFactory = Arc::new(|study: &Study, sm| -> Box<dyn App> {
         // Periods comfortably above the notification latency (a few OS
         // timeslices through the daemons), so injections are provable.
         let period_ns = if study.sms.name(sm) == "ping" {

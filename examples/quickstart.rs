@@ -1,10 +1,11 @@
 //! Quickstart: the whole Loki pipeline in one file.
 //!
 //! 1. Specify a two-machine system (state machines + a global-state fault).
-//! 2. Implement the application against the probe interface.
+//! 2. Implement the application against the probe interface — once.
 //! 3. Run experiments on the simulation backend (clocks drift, messages lag).
 //! 4. Analyze: off-line clock sync → global timeline → correctness check.
 //! 5. Estimate a measure from the accepted experiments.
+//! 6. Re-run the *same* application on the real-concurrency thread backend.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -15,9 +16,9 @@ use loki::core::fault::{FaultExpr, Trigger};
 use loki::core::spec::{StateMachineSpec, StudyDef};
 use loki::core::study::Study;
 use loki::measure::prelude::*;
-use loki::runtime::harness::{run_study, SimHarnessConfig};
-use loki::runtime::node::{AppLogic, NodeCtx};
+use loki::runtime::harness::{run_study, Backend, SimHarnessConfig};
 use loki::runtime::AppFactory;
+use loki::runtime::{App, NodeCtx, Payload};
 use std::sync::Arc;
 
 /// `worker` grinds through INIT → BUSY → DONE; `observer` watches and
@@ -26,19 +27,19 @@ use std::sync::Arc;
 struct Worker;
 struct Observer;
 
-impl AppLogic for Worker {
-    fn on_start(&mut self, ctx: &mut NodeCtx<'_, '_>, _restarted: bool) {
+impl App for Worker {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>, _restarted: bool) {
         ctx.notify_event("INIT").unwrap();
         ctx.set_timer(100_000_000, 1); // 100 ms of setup
     }
     fn on_app_message(
         &mut self,
-        _ctx: &mut NodeCtx<'_, '_>,
+        _ctx: &mut NodeCtx<'_>,
         _from: loki::core::ids::SmId,
-        _payload: loki::runtime::AppPayload,
+        _payload: Payload,
     ) {
     }
-    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tag: u64) {
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
         match tag {
             1 => {
                 ctx.notify_event("GO").unwrap(); // -> BUSY
@@ -51,28 +52,28 @@ impl AppLogic for Worker {
             _ => {}
         }
     }
-    fn on_fault(&mut self, _ctx: &mut NodeCtx<'_, '_>, _fault: &str) {}
+    fn on_fault(&mut self, _ctx: &mut NodeCtx<'_>, _fault: &str) {}
 }
 
-impl AppLogic for Observer {
-    fn on_start(&mut self, ctx: &mut NodeCtx<'_, '_>, _restarted: bool) {
+impl App for Observer {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>, _restarted: bool) {
         ctx.notify_event("WATCH").unwrap();
         ctx.set_timer(400_000_000, 1);
     }
     fn on_app_message(
         &mut self,
-        _ctx: &mut NodeCtx<'_, '_>,
+        _ctx: &mut NodeCtx<'_>,
         _from: loki::core::ids::SmId,
-        _payload: loki::runtime::AppPayload,
+        _payload: Payload,
     ) {
     }
-    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tag: u64) {
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
         if tag == 1 {
             ctx.notify_event("STOP").unwrap();
             ctx.exit();
         }
     }
-    fn on_fault(&mut self, ctx: &mut NodeCtx<'_, '_>, fault: &str) {
+    fn on_fault(&mut self, ctx: &mut NodeCtx<'_>, fault: &str) {
         // The probe's injectFault(): here we only log; campaigns usually
         // crash/corrupt the process.
         ctx.record_user_message(&format!("injected {fault}"));
@@ -111,7 +112,7 @@ fn main() {
     let study = Study::compile_arc(&def).expect("specification is valid");
 
     // --- 2./3. run experiments ----------------------------------------------
-    let factory: AppFactory = Arc::new(|study: &Study, sm| -> Box<dyn AppLogic> {
+    let factory: AppFactory = Arc::new(|study: &Study, sm| -> Box<dyn App> {
         if study.sms.name(sm) == "worker" {
             Box::new(Worker)
         } else {
@@ -120,7 +121,7 @@ fn main() {
     });
     let mut harness = SimHarnessConfig::three_hosts(7);
     harness.hosts.truncate(2);
-    let experiments = run_study(&study, factory, &harness, 10);
+    let experiments = run_study(&study, factory.clone(), &harness, 10);
     println!("ran {} experiments", experiments.len());
 
     // --- 4. analysis ----------------------------------------------------------
@@ -152,4 +153,17 @@ fn main() {
             stats.n
         );
     }
+
+    // --- 6. one app, every backend ---------------------------------------------
+    // The exact same `App` implementations and factory now run with every
+    // node as an OS thread: real time, real concurrency, nondeterministic
+    // interleavings — and the identical off-line analysis pipeline.
+    let threaded = harness.backend(Backend::Threads);
+    let concurrent = run_study(&study, factory, &threaded, 2);
+    let analyzed = analyze(&study, concurrent, &AnalysisOptions::default());
+    println!(
+        "thread backend: {}/{} genuinely concurrent experiments provably correct",
+        analyzed.iter().filter(|a| a.accepted()).count(),
+        analyzed.len()
+    );
 }

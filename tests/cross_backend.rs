@@ -1,0 +1,175 @@
+//! Cross-backend acceptance: every app in `crates/apps` implements the
+//! unified `App` trait exactly once, and that one implementation runs the
+//! same study on both the deterministic simulation backend and the
+//! real-concurrency thread backend.
+//!
+//! For each app this test checks that
+//! * the simulation backend produces *identical fault-injection intent*
+//!   (which faults fired, per machine, per experiment) across repeated
+//!   runs and across worker counts;
+//! * both backends produce `ExperimentData` the analysis pipeline
+//!   consumes, with at least one experiment's injections provably correct.
+
+use loki::analysis::{analyze, AnalysisOptions};
+use loki::apps::election::{election_factory, election_study, ElectionConfig};
+use loki::apps::kvstore::{kv_factory, kv_study, KvConfig};
+use loki::apps::token_ring::{ring_factory, ring_study, RingConfig};
+use loki::core::campaign::{ExperimentData, ExperimentEnd};
+use loki::core::fault::{FaultExpr, Trigger};
+use loki::core::probe::{ActionProbe, FaultAction};
+use loki::core::recorder::RecordKind;
+use loki::core::study::Study;
+use loki::runtime::harness::{run_study, run_study_with_workers, Backend, SimHarnessConfig};
+use loki::runtime::AppFactory;
+use std::sync::Arc;
+
+/// The fault names injected in one experiment, per machine in timeline
+/// order — the campaign's injection *intent*, independent of timestamps.
+fn injection_intent(study: &Study, data: &ExperimentData) -> Vec<(String, Vec<String>)> {
+    data.timelines
+        .iter()
+        .map(|t| {
+            let fired = t
+                .records
+                .iter()
+                .filter_map(|r| match r.kind {
+                    RecordKind::FaultInjection { fault } => {
+                        Some(study.fault_names.name(fault).to_owned())
+                    }
+                    _ => None,
+                })
+                .collect();
+            (t.sm_name.clone(), fired)
+        })
+        .collect()
+}
+
+/// Runs one app's campaign on both backends and checks the acceptance
+/// criteria above.
+fn check_cross_backend(label: &str, study: &Arc<Study>, factory: AppFactory, seed: u64) {
+    let sim_cfg = SimHarnessConfig::three_hosts(seed);
+
+    // --- deterministic backend -------------------------------------------
+    let first = run_study_with_workers(study, factory.clone(), &sim_cfg, 3, 1);
+    let rerun = run_study_with_workers(study, factory.clone(), &sim_cfg, 3, 1);
+    let parallel = run_study_with_workers(study, factory.clone(), &sim_cfg, 3, 2);
+
+    let intent: Vec<_> = first.iter().map(|d| injection_intent(study, d)).collect();
+    assert!(
+        intent.iter().flatten().any(|(_, fired)| !fired.is_empty()),
+        "{label}: the sim campaign never injected"
+    );
+    let rerun_intent: Vec<_> = rerun.iter().map(|d| injection_intent(study, d)).collect();
+    let parallel_intent: Vec<_> = parallel
+        .iter()
+        .map(|d| injection_intent(study, d))
+        .collect();
+    assert_eq!(intent, rerun_intent, "{label}: intent diverged across runs");
+    assert_eq!(
+        intent, parallel_intent,
+        "{label}: intent diverged across worker counts"
+    );
+
+    let analyzed = analyze(study, first, &AnalysisOptions::default());
+    assert!(
+        analyzed.iter().any(|a| a.accepted()),
+        "{label}: no sim experiment accepted by the analysis"
+    );
+
+    // --- thread backend: the same factory, real concurrency ---------------
+    let thread_cfg = sim_cfg.clone().backend(Backend::Threads);
+    let data = run_study(study, factory, &thread_cfg, 1);
+    assert_eq!(data.len(), 1);
+    let d = &data[0];
+    assert_eq!(d.end, ExperimentEnd::Completed, "{label}: thread run hung");
+    assert_eq!(
+        d.timelines.len(),
+        study.num_machines(),
+        "{label}: missing thread timelines"
+    );
+    assert!(
+        !d.pre_sync.is_empty() && !d.post_sync.is_empty(),
+        "{label}: missing sync mini-phases"
+    );
+    assert!(
+        d.total_injections() >= 1,
+        "{label}: the thread campaign never injected"
+    );
+    let analyzed = analyze(study, data, &AnalysisOptions::default());
+    assert!(
+        analyzed.iter().any(|a| a.accepted()),
+        "{label}: thread experiment rejected: {:?}",
+        analyzed[0].verdict
+    );
+}
+
+#[test]
+fn election_runs_on_both_backends() {
+    // Every machine faults on its *own* LEAD entry, so whichever machine
+    // wins, an injection happens — and it happens with zero notification
+    // latency, keeping it provably correct on both backends.
+    let mut def = election_study("cross-election");
+    for (fault, sm) in [
+        ("bfault1", "black"),
+        ("yfault1", "yellow"),
+        ("gfault1", "green"),
+    ] {
+        def = def.fault(sm, fault, FaultExpr::atom(sm, "LEAD"), Trigger::Once);
+    }
+    let study = Study::compile_arc(&def).unwrap();
+    // Durations shortened (the thread backend runs in real time) but with
+    // detection timeouts several times larger than any plausible CI
+    // scheduling stall, so a loaded runner cannot fake a failure.
+    let cfg = ElectionConfig {
+        init_delay_ns: 60_000_000,
+        collect_timeout_ns: 80_000_000,
+        heartbeat_interval_ns: 25_000_000,
+        heartbeat_timeout_ns: 150_000_000,
+        lifetime_ns: 1_000_000_000,
+        restart_done_delay_ns: 15_000_000,
+        ..Default::default()
+    };
+    check_cross_backend("election", &study, election_factory(cfg), 0xE1EC);
+}
+
+#[test]
+fn kvstore_runs_on_both_backends() {
+    let def = kv_study("cross-kv", 3).fault(
+        "kv1",
+        "kill_primary",
+        FaultExpr::atom("kv1", "PRIMARY"),
+        Trigger::Once,
+    );
+    let study = Study::compile_arc(&def).unwrap();
+    let cfg = KvConfig {
+        init_delay_ns: 60_000_000,
+        op_interval_ns: 20_000_000,
+        fail_timeout_ns: 120_000_000,
+        promote_delay_ns: 30_000_000,
+        lifetime_ns: 700_000_000,
+        ..Default::default()
+    };
+    check_cross_backend("kvstore", &study, kv_factory(cfg), 0x4B56);
+}
+
+#[test]
+fn token_ring_runs_on_both_backends() {
+    // A communication fault instead of a crash: the holder drops its next
+    // pass, the ring detects the drought and regenerates the token.
+    let def = ring_study("cross-ring", 3).fault(
+        "tr2",
+        "drop_pass",
+        FaultExpr::atom("tr2", "HAS_TOKEN"),
+        Trigger::Once,
+    );
+    let study = Study::compile_arc(&def).unwrap();
+    let cfg = RingConfig {
+        init_delay_ns: 60_000_000,
+        hold_ns: 15_000_000,
+        loss_timeout_ns: 150_000_000,
+        regen_delay_ns: 25_000_000,
+        lifetime_ns: 800_000_000,
+        probe: ActionProbe::new().on("drop_pass", FaultAction::DropMessages { count: 1 }),
+    };
+    check_cross_backend("token-ring", &study, ring_factory(cfg), 0x716);
+}

@@ -84,12 +84,27 @@ fn run_study_defaults_respect_env_override() {
 
     std::env::set_var("LOKI_WORKERS", "3");
     let via_env = run_study(&study, factory.clone(), &cfg, 4);
-    std::env::set_var("LOKI_WORKERS", "not-a-number");
-    let via_bad_env = run_study(&study, factory.clone(), &cfg, 4);
+
+    // Invalid worker counts are rejected loudly — a silent fallback would
+    // run the campaign with a surprise worker count.
+    for bad in ["not-a-number", "0"] {
+        std::env::set_var("LOKI_WORKERS", bad);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_study(&study, factory.clone(), &cfg, 4)
+        }));
+        let Err(err) = result else {
+            panic!("LOKI_WORKERS={bad:?} must be rejected");
+        };
+        let message = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string panic>".into());
+        assert!(message.contains("LOKI_WORKERS"), "{message}");
+    }
+
     std::env::remove_var("LOKI_WORKERS");
     let auto = run_study(&study, factory, &cfg, 4);
 
     assert_eq!(via_env, forced);
-    assert_eq!(via_bad_env, forced);
     assert_eq!(auto, forced);
 }

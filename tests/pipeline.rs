@@ -9,8 +9,8 @@ use loki::core::study::Study;
 use loki::measure::prelude::*;
 use loki::runtime::daemons::{RestartPlacement, RestartPolicy};
 use loki::runtime::harness::{run_experiment, run_study, SimHarnessConfig};
-use loki::runtime::node::{AppLogic, NodeCtx};
 use loki::runtime::AppFactory;
+use loki::runtime::{App, NodeCtx, Payload};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -46,19 +46,19 @@ fn wo_study(busy_ms: u64) -> (Arc<Study>, AppFactory) {
     struct Worker {
         busy_ns: u64,
     }
-    impl AppLogic for Worker {
-        fn on_start(&mut self, ctx: &mut NodeCtx<'_, '_>, _restarted: bool) {
+    impl App for Worker {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>, _restarted: bool) {
             ctx.notify_event("INIT").unwrap();
             ctx.set_timer(100_000_000, 1);
         }
         fn on_app_message(
             &mut self,
-            _ctx: &mut NodeCtx<'_, '_>,
+            _ctx: &mut NodeCtx<'_>,
             _from: loki::core::ids::SmId,
-            _p: loki::runtime::AppPayload,
+            _p: Payload,
         ) {
         }
-        fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tag: u64) {
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
             match tag {
                 1 => {
                     ctx.notify_event("GO").unwrap();
@@ -71,32 +71,32 @@ fn wo_study(busy_ms: u64) -> (Arc<Study>, AppFactory) {
                 _ => {}
             }
         }
-        fn on_fault(&mut self, _ctx: &mut NodeCtx<'_, '_>, _fault: &str) {}
+        fn on_fault(&mut self, _ctx: &mut NodeCtx<'_>, _fault: &str) {}
     }
     struct Observer;
-    impl AppLogic for Observer {
-        fn on_start(&mut self, ctx: &mut NodeCtx<'_, '_>, _restarted: bool) {
+    impl App for Observer {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>, _restarted: bool) {
             ctx.notify_event("WATCH").unwrap();
             ctx.set_timer(500_000_000, 1);
         }
         fn on_app_message(
             &mut self,
-            _ctx: &mut NodeCtx<'_, '_>,
+            _ctx: &mut NodeCtx<'_>,
             _from: loki::core::ids::SmId,
-            _p: loki::runtime::AppPayload,
+            _p: Payload,
         ) {
         }
-        fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tag: u64) {
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
             if tag == 1 {
                 ctx.notify_event("STOP").unwrap();
                 ctx.exit();
             }
         }
-        fn on_fault(&mut self, _ctx: &mut NodeCtx<'_, '_>, _fault: &str) {}
+        fn on_fault(&mut self, _ctx: &mut NodeCtx<'_>, _fault: &str) {}
     }
 
     let busy_ns = busy_ms * 1_000_000;
-    let factory: AppFactory = Arc::new(move |study: &Study, sm| -> Box<dyn AppLogic> {
+    let factory: AppFactory = Arc::new(move |study: &Study, sm| -> Box<dyn App> {
         if study.sms.name(sm) == "worker" {
             Box::new(Worker { busy_ns })
         } else {

@@ -20,8 +20,8 @@ use loki::core::spec::{StateMachineSpec, StudyDef};
 use loki::core::study::Study;
 use loki::runtime::harness::{run_study, SimHarnessConfig};
 use loki::runtime::messages::NotifyRouting;
-use loki::runtime::node::{AppLogic, NodeCtx};
 use loki::runtime::AppFactory;
+use loki::runtime::{App, NodeCtx, Payload};
 use loki::sim::config::HostConfig;
 use std::sync::Arc;
 
@@ -29,19 +29,13 @@ struct Target {
     settle_ns: u64,
     hold_ns: u64,
 }
-impl AppLogic for Target {
-    fn on_start(&mut self, ctx: &mut NodeCtx<'_, '_>, _: bool) {
+impl App for Target {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>, _: bool) {
         ctx.notify_event("SETUP").unwrap();
         ctx.set_timer(self.settle_ns, 1);
     }
-    fn on_app_message(
-        &mut self,
-        _: &mut NodeCtx<'_, '_>,
-        _: loki::core::ids::SmId,
-        _: loki::runtime::AppPayload,
-    ) {
-    }
-    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tag: u64) {
+    fn on_app_message(&mut self, _: &mut NodeCtx<'_>, _: loki::core::ids::SmId, _: Payload) {}
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
         match tag {
             1 => {
                 ctx.notify_event("ENTER").unwrap();
@@ -58,31 +52,25 @@ impl AppLogic for Target {
             _ => {}
         }
     }
-    fn on_fault(&mut self, _: &mut NodeCtx<'_, '_>, _: &str) {}
+    fn on_fault(&mut self, _: &mut NodeCtx<'_>, _: &str) {}
 }
 
 struct Watcher {
     lifetime_ns: u64,
 }
-impl AppLogic for Watcher {
-    fn on_start(&mut self, ctx: &mut NodeCtx<'_, '_>, _: bool) {
+impl App for Watcher {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>, _: bool) {
         ctx.notify_event("WATCH").unwrap();
         ctx.set_timer(self.lifetime_ns, 1);
     }
-    fn on_app_message(
-        &mut self,
-        _: &mut NodeCtx<'_, '_>,
-        _: loki::core::ids::SmId,
-        _: loki::runtime::AppPayload,
-    ) {
-    }
-    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, '_>, tag: u64) {
+    fn on_app_message(&mut self, _: &mut NodeCtx<'_>, _: loki::core::ids::SmId, _: Payload) {}
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
         if tag == 1 {
             let _ = ctx.notify_event("DONE");
             ctx.exit();
         }
     }
-    fn on_fault(&mut self, _: &mut NodeCtx<'_, '_>, _: &str) {}
+    fn on_fault(&mut self, _: &mut NodeCtx<'_>, _: &str) {}
 }
 
 fn oracle_study() -> Arc<Study> {
@@ -153,7 +141,7 @@ fn analysis_acceptance_is_sound_against_ground_truth() {
 
     for (i, hold_ms) in hold_values_ms.iter().enumerate() {
         let hold_ns = hold_ms * 1_000_000;
-        let factory: AppFactory = Arc::new(move |study: &Study, sm| -> Box<dyn AppLogic> {
+        let factory: AppFactory = Arc::new(move |study: &Study, sm| -> Box<dyn App> {
             if study.sms.name(sm) == "target" {
                 Box::new(Target {
                     settle_ns: 150_000_000,
