@@ -101,7 +101,7 @@ pub enum Verdict {
 }
 
 /// The check result for one injection occurrence.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct InjectionCheck {
     /// The fault injected.
     pub fault: FaultId,
@@ -126,7 +126,7 @@ pub enum MissingPolicy {
 }
 
 /// The verdict for a whole experiment.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExperimentVerdict {
     /// Per-injection checks.
     pub checks: Vec<InjectionCheck>,

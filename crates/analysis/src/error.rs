@@ -22,6 +22,14 @@ pub enum AnalysisError {
         /// The state machine whose timeline referenced it.
         sm: String,
     },
+    /// The analysis window of [`crate::global::GlobalOptions`] is unusable:
+    /// bounds must be finite with `lo <= hi`.
+    InvalidWindow {
+        /// The offending lower bound (ns).
+        lo: f64,
+        /// The offending upper bound (ns).
+        hi: f64,
+    },
 }
 
 impl fmt::Display for AnalysisError {
@@ -33,6 +41,10 @@ impl fmt::Display for AnalysisError {
             AnalysisError::UnknownHost { host, sm } => write!(
                 f,
                 "timeline of `{sm}` references host `{host}` with no sync data"
+            ),
+            AnalysisError::InvalidWindow { lo, hi } => write!(
+                f,
+                "invalid analysis window [{lo}, {hi}] ns: bounds must be finite with lo <= hi"
             ),
         }
     }
@@ -64,6 +76,9 @@ mod tests {
             sm: "black".into(),
         };
         assert!(e.to_string().contains("black"));
+        assert!(e.source().is_none());
+        let e = AnalysisError::InvalidWindow { lo: 2.0, hi: 1.0 };
+        assert!(e.to_string().contains("analysis window"));
         assert!(e.source().is_none());
     }
 }

@@ -14,7 +14,13 @@
 //!    expression held; experiments with unprovable or missing injections
 //!    are discarded, and only the survivors feed the measure phase.
 //!
-//! [`analyze`] runs the whole phase for a batch of experiments.
+//! [`analyze_one`] runs the whole phase for a single experiment and emits a
+//! compact [`AnalyzedExperiment`] that does **not** retain the raw
+//! [`ExperimentData`] — the form the streaming campaign pipeline
+//! (`loki_runtime::harness::CampaignPipeline`) folds per experiment so
+//! campaign memory stays bounded by the worker count. [`analyze`] is the
+//! batch wrapper for callers that genuinely need the raw timelines next to
+//! their verdicts: it keeps each experiment's data in an [`AnalyzedRun`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -34,13 +40,23 @@ pub use intervals::IntervalSet;
 use loki_core::campaign::{ExperimentData, ExperimentEnd};
 use loki_core::study::Study;
 
-/// One experiment after analysis: its raw data, global timeline, and
-/// verdict.
-#[derive(Clone, Debug)]
+/// One experiment after analysis, **without** its raw data: the global
+/// timeline, the correctness verdict, and the few raw facts campaigns
+/// aggregate (how the run ended, how many injections it recorded).
+///
+/// This is the unit the streaming campaign pipeline emits: the raw
+/// [`ExperimentData`] is dropped the moment [`analyze_one`] returns, so a
+/// campaign holds at most one raw experiment per worker at any time.
+#[derive(Clone, Debug, PartialEq)]
 pub struct AnalyzedExperiment {
-    /// The raw experiment output.
-    pub data: ExperimentData,
-    /// The constructed global timeline (`None` when construction failed).
+    /// Experiment index within the study.
+    pub experiment: u32,
+    /// How the experiment ended.
+    pub end: ExperimentEnd,
+    /// Total fault injections recorded across all local timelines.
+    pub injections: usize,
+    /// The constructed global timeline (`None` when construction failed or
+    /// the experiment did not complete).
     pub global: Option<GlobalTimeline>,
     /// The correctness verdict (`accepted == false` when the experiment
     /// aborted, timed out, failed analysis, or failed the check).
@@ -52,8 +68,39 @@ pub struct AnalyzedExperiment {
 impl AnalyzedExperiment {
     /// Whether this experiment's results may be used for measures.
     pub fn accepted(&self) -> bool {
-        self.data.end == ExperimentEnd::Completed
+        self.end == ExperimentEnd::Completed
             && self.verdict.as_ref().map(|v| v.accepted).unwrap_or(false)
+    }
+}
+
+/// One experiment after batch analysis: the compact analysis result plus
+/// the raw data it was derived from.
+///
+/// Only the batch path ([`analyze`]) produces these; campaigns that can
+/// live without raw timelines should stream [`AnalyzedExperiment`]s through
+/// the campaign pipeline instead and keep memory bounded.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnalyzedRun {
+    /// The raw experiment output.
+    pub data: ExperimentData,
+    /// The compact analysis of that output.
+    pub analysis: AnalyzedExperiment,
+}
+
+impl AnalyzedRun {
+    /// Whether this experiment's results may be used for measures.
+    pub fn accepted(&self) -> bool {
+        self.analysis.accepted()
+    }
+
+    /// The constructed global timeline, if any.
+    pub fn global(&self) -> Option<&GlobalTimeline> {
+        self.analysis.global.as_ref()
+    }
+
+    /// The correctness verdict, if the analysis got that far.
+    pub fn verdict(&self) -> Option<&ExperimentVerdict> {
+        self.analysis.verdict.as_ref()
     }
 }
 
@@ -66,7 +113,40 @@ pub struct AnalysisOptions {
     pub missing: MissingPolicy,
 }
 
-/// Runs the complete analysis phase over a batch of experiments.
+/// Runs the complete analysis phase over one experiment, returning the
+/// compact result (the caller keeps — or, in the streaming pipeline,
+/// immediately drops — the raw data).
+///
+/// Aborted and timed-out experiments are analyzed to a non-accepted
+/// result, not an error.
+pub fn analyze_one(
+    study: &Study,
+    data: &ExperimentData,
+    opts: &AnalysisOptions,
+) -> AnalyzedExperiment {
+    let mut analyzed = AnalyzedExperiment {
+        experiment: data.experiment,
+        end: data.end,
+        injections: data.total_injections(),
+        global: None,
+        verdict: None,
+        error: None,
+    };
+    if data.end != ExperimentEnd::Completed {
+        return analyzed;
+    }
+    match make_global(study, data, &opts.global) {
+        Ok(gt) => {
+            analyzed.verdict = Some(check_experiment(study, &gt, opts.missing));
+            analyzed.global = Some(gt);
+        }
+        Err(e) => analyzed.error = Some(e),
+    }
+    analyzed
+}
+
+/// Runs the complete analysis phase over a batch of experiments, retaining
+/// the raw data of every experiment (thin wrapper over [`analyze_one`]).
 ///
 /// Aborted and timed-out experiments are retained (for bookkeeping) but
 /// never accepted.
@@ -74,44 +154,21 @@ pub fn analyze(
     study: &Study,
     experiments: Vec<ExperimentData>,
     opts: &AnalysisOptions,
-) -> Vec<AnalyzedExperiment> {
+) -> Vec<AnalyzedRun> {
     experiments
         .into_iter()
-        .map(|data| {
-            if data.end != ExperimentEnd::Completed {
-                return AnalyzedExperiment {
-                    data,
-                    global: None,
-                    verdict: None,
-                    error: None,
-                };
-            }
-            match make_global(study, &data, &opts.global) {
-                Ok(gt) => {
-                    let verdict = check_experiment(study, &gt, opts.missing);
-                    AnalyzedExperiment {
-                        data,
-                        global: Some(gt),
-                        verdict: Some(verdict),
-                        error: None,
-                    }
-                }
-                Err(e) => AnalyzedExperiment {
-                    data,
-                    global: None,
-                    verdict: None,
-                    error: Some(e),
-                },
-            }
+        .map(|data| AnalyzedRun {
+            analysis: analyze_one(study, &data, opts),
+            data,
         })
         .collect()
 }
 
 /// Convenience: the accepted experiments' global timelines.
-pub fn accepted_timelines(analyzed: &[AnalyzedExperiment]) -> Vec<&GlobalTimeline> {
+pub fn accepted_timelines(analyzed: &[AnalyzedRun]) -> Vec<&GlobalTimeline> {
     analyzed
         .iter()
         .filter(|a| a.accepted())
-        .filter_map(|a| a.global.as_ref())
+        .filter_map(|a| a.global())
         .collect()
 }

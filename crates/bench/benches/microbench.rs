@@ -7,6 +7,8 @@
 //! measure-evaluation costs.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use loki_analysis::{accepted_timelines, analyze, AnalysisOptions};
+use loki_apps::token_ring::{ring_factory, ring_study, RingConfig};
 use loki_bench::accuracy::{injection_accuracy, AccuracyConfig};
 use loki_clock::params::{ClockParams, VirtualClock};
 use loki_clock::sync::{estimate_alpha_beta, SyncOptions};
@@ -20,6 +22,8 @@ use loki_core::time::LocalNanos;
 use loki_core::view::PartialView;
 use loki_measure::fig42::{fig_4_2, predicate_3};
 use loki_measure::obsfn::{ImpulseStep, ObservationFn, UpDown};
+use loki_measure::prelude::*;
+use loki_runtime::harness::{run_study_with_workers, CampaignPipeline, SimHarnessConfig};
 use loki_runtime::messages::NotifyRouting;
 
 /// Fault parser re-evaluation on a view change (the §3.5.5 hot path).
@@ -212,6 +216,89 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
+/// Campaign-level throughput: the batch collect-everything path
+/// (`run_study` → `analyze` → measure fold over all accepted timelines)
+/// against the streaming `CampaignPipeline` + `StudyAccumulator` on the
+/// identical token-ring campaign. Streaming additionally bounds raw-data
+/// retention to the worker count; the gauge line printed before the timed
+/// samples shows it next to the batch path's O(experiments) retention.
+fn bench_campaign_pipeline(c: &mut Criterion) {
+    const EXPERIMENTS: u32 = 8;
+    const WORKERS: usize = 2;
+    // The untimed gauge pass below runs real campaigns, so skip it (and
+    // its output) entirely when the CLI name filter excludes this group.
+    let bench_names = [
+        "campaign_pipeline/batch_8exp_2workers",
+        "campaign_pipeline/streaming_8exp_2workers",
+    ];
+    if bench_names.iter().all(|n| criterion::is_filtered_out(n)) {
+        return;
+    }
+    let def = ring_study("bench-ring", 3).fault(
+        "tr2",
+        "kill_holder",
+        FaultExpr::atom("tr2", "HAS_TOKEN"),
+        Trigger::Once,
+    );
+    let study = Study::compile_arc(&def).expect("valid study");
+    let cfg = SimHarnessConfig::three_hosts(0xBE7C);
+    let factory = || ring_factory(RingConfig::default());
+    let measure = || {
+        StudyMeasure::new("token-held").step(MeasureStep {
+            subset: SubsetSel::All,
+            predicate: Predicate::state("tr2", "HAS_TOKEN"),
+            observation: ObservationFn::total_true(),
+        })
+    };
+
+    let run_batch = || {
+        let data = run_study_with_workers(&study, factory(), &cfg, EXPERIMENTS, WORKERS);
+        let analyzed = analyze(&study, data, &AnalysisOptions::default());
+        let accepted = accepted_timelines(&analyzed);
+        measure()
+            .apply_all(&study, accepted.iter().copied())
+            .expect("measure evaluates")
+    };
+    let run_streaming = || {
+        let pipeline = CampaignPipeline::new(study.clone(), factory(), cfg.clone());
+        let mut acc = StudyAccumulator::new(measure());
+        let summary = pipeline.run_with_workers(EXPERIMENTS, WORKERS, |analyzed| {
+            acc.push(&study, &analyzed).expect("measure evaluates");
+        });
+        (acc.into_values(), summary)
+    };
+
+    // One untimed pass for the campaign-level gauges the timer can't show:
+    // experiments/sec and peak resident raw experiments, batch vs
+    // streaming. The batch path by construction holds every experiment.
+    let start = std::time::Instant::now();
+    let batch_values = run_batch();
+    let batch_rate = EXPERIMENTS as f64 / start.elapsed().as_secs_f64();
+    let start = std::time::Instant::now();
+    let (streaming_values, summary) = run_streaming();
+    let streaming_rate = EXPERIMENTS as f64 / start.elapsed().as_secs_f64();
+    assert_eq!(
+        batch_values, streaming_values,
+        "pipeline must be unobservable"
+    );
+    println!(
+        "campaign_pipeline: {EXPERIMENTS} experiments, {WORKERS} workers — \
+         batch {batch_rate:.1} exp/s holding {EXPERIMENTS} raw experiments; \
+         streaming {streaming_rate:.1} exp/s holding peak {} raw experiments",
+        summary.peak_raw_retained
+    );
+
+    let mut group = c.benchmark_group("campaign_pipeline");
+    group.sample_size(10);
+    group.bench_function("batch_8exp_2workers", |bencher| {
+        bencher.iter(|| criterion::black_box(run_batch()))
+    });
+    group.bench_function("streaming_8exp_2workers", |bencher| {
+        bencher.iter(|| criterion::black_box(run_streaming().0))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_fault_parser,
@@ -219,6 +306,7 @@ criterion_group!(
     bench_recorder,
     bench_clock_sync,
     bench_measure,
-    bench_pipeline
+    bench_pipeline,
+    bench_campaign_pipeline
 );
 criterion_main!(benches);

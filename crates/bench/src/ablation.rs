@@ -10,9 +10,10 @@
 //! the design's topology (as §3.4.2 argues them).
 
 use crate::accuracy::{accuracy_study, AccuracyConfig};
+use loki_core::campaign::ExperimentData;
 use loki_core::recorder::RecordKind;
 use loki_core::study::Study;
-use loki_runtime::harness::{run_study, SimHarnessConfig};
+use loki_runtime::harness::{CampaignPipeline, SimHarnessConfig};
 use loki_runtime::messages::NotifyRouting;
 use loki_sim::config::HostConfig;
 use std::sync::Arc;
@@ -95,30 +96,32 @@ pub fn notification_latency(
     };
 
     let armed = study.states.lookup("ARMED").expect("state exists");
-    let mut latencies = Vec::new();
-    for data in run_study(&study, factory, &harness, experiments) {
-        let Some(target) = data.timeline_for("target") else {
-            continue;
-        };
-        let Some(injector) = data.timeline_for("injector") else {
-            continue;
-        };
+    // The latency extraction needs *raw* record timestamps, so it runs as
+    // a pipeline tap: inside the worker, on the raw data, right before the
+    // data is dropped. Only the extracted `Option<f64>` flows back (in
+    // experiment order), keeping this campaign on the bounded-memory path.
+    let extract = move |data: &ExperimentData| -> Option<f64> {
+        let target = data.timeline_for("target")?;
+        let injector = data.timeline_for("injector")?;
         let entry = target.records.iter().find_map(|r| match r.kind {
             RecordKind::StateChange { new_state, .. } if new_state == armed => {
                 Some(r.time.as_nanos())
             }
             _ => None,
-        });
+        })?;
         let injection = injector.records.iter().find_map(|r| match r.kind {
             RecordKind::FaultInjection { .. } => Some(r.time.as_nanos()),
             _ => None,
-        });
-        if let (Some(entry), Some(injection)) = (entry, injection) {
-            if injection >= entry {
-                latencies.push((injection - entry) as f64);
-            }
+        })?;
+        (injection >= entry).then(|| (injection - entry) as f64)
+    };
+    let pipeline = CampaignPipeline::new(study, factory, harness);
+    let mut latencies = Vec::new();
+    pipeline.run_tapped(experiments, extract, |_analyzed, latency| {
+        if let Some(latency) = latency {
+            latencies.push(latency);
         }
-    }
+    });
     LatencySample {
         routing,
         latencies_ns: latencies,

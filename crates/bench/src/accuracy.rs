@@ -12,12 +12,11 @@
 //! injection rises to ≈1 once the residence time exceeds a couple of OS
 //! timeslices.
 
-use loki_analysis::{analyze, AnalysisOptions};
 use loki_core::fault::{FaultExpr, Trigger};
 use loki_core::spec::{StateMachineSpec, StudyDef};
 use loki_core::study::Study;
 use loki_runtime::daemons::AppFactory;
-use loki_runtime::harness::{run_study, SimHarnessConfig};
+use loki_runtime::harness::{CampaignPipeline, SimHarnessConfig};
 use loki_runtime::messages::NotifyRouting;
 use loki_runtime::{App, NodeCtx, Payload};
 use loki_sim::config::HostConfig;
@@ -220,13 +219,19 @@ pub fn injection_accuracy(cfg: &AccuracyConfig) -> AccuracyPoint {
         ..Default::default()
     };
 
-    let experiments = run_study(&study, factory, &harness, cfg.experiments);
-    let injected = experiments
-        .iter()
-        .filter(|e| e.total_injections() > 0)
-        .count() as u32;
-    let analyzed = analyze(&study, experiments, &AnalysisOptions::default());
-    let correct = analyzed.iter().filter(|a| a.accepted()).count() as u32;
+    // Streaming: each experiment is classified the moment it finishes and
+    // its raw data dropped; only the two counters survive.
+    let pipeline = CampaignPipeline::new(study, factory, harness);
+    let mut injected = 0u32;
+    let mut correct = 0u32;
+    pipeline.run(cfg.experiments, |analyzed| {
+        if analyzed.injections > 0 {
+            injected += 1;
+        }
+        if analyzed.accepted() {
+            correct += 1;
+        }
+    });
     AccuracyPoint {
         total: cfg.experiments,
         injected,

@@ -21,8 +21,12 @@
 //! `gfault2 ((black:CRASH) & ((green:FOLLOW) | (green:ELECT)))`; study 5
 //! injects `gfault3 ((green:FOLLOW) | (green:ELECT))` alone. Comparing the
 //! fractions of injections that became errors estimates the correlation.
+//!
+//! Both campaigns run on the streaming [`CampaignPipeline`]: every
+//! experiment is analyzed and folded into its study measure the moment it
+//! finishes, so campaign memory stays bounded by the worker count however
+//! many experiments are requested.
 
-use loki_analysis::{accepted_timelines, analyze, AnalysisOptions};
 use loki_apps::election::{election_factory, election_study, ElectionConfig};
 use loki_core::fault::{FaultExpr, Trigger};
 use loki_core::probe::{ActionProbe, FaultAction};
@@ -30,7 +34,7 @@ use loki_core::study::Study;
 use loki_measure::prelude::*;
 use loki_measure::ObservationFn as Obs;
 use loki_runtime::daemons::{RestartPlacement, RestartPolicy};
-use loki_runtime::harness::{run_study, SimHarnessConfig};
+use loki_runtime::harness::{CampaignPipeline, SimHarnessConfig};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -132,20 +136,20 @@ pub fn coverage_campaign(
             placement: RestartPlacement::NextHost,
         });
 
-        let data = run_study(
-            &study,
+        // Streaming: each worker analyzes its experiment in place and the
+        // coverage measure folds per experiment — no raw data or timeline
+        // batch is ever materialized.
+        let pipeline = CampaignPipeline::new(
+            study.clone(),
             election_factory(ElectionConfig::default()),
-            &harness,
-            experiments,
+            harness,
         );
-        let analyzed = analyze(&study, data, &AnalysisOptions::default());
-        let accepted = accepted_timelines(&analyzed);
-        let accepted_count = accepted.len();
-
-        let measure = coverage_measure(machine);
-        let values = measure
-            .apply_all(&study, accepted.iter().copied())
-            .expect("measure evaluates");
+        let mut acc = StudyAccumulator::new(coverage_measure(machine));
+        pipeline.run(experiments, |analyzed| {
+            acc.push(&study, &analyzed).expect("measure evaluates");
+        });
+        let accepted_count = acc.accepted();
+        let values = acc.into_values();
         let covered = values.iter().filter(|v| **v > 0.5).count();
         studies.push(CoverageStudy {
             machine: (*machine).to_owned(),
@@ -210,14 +214,6 @@ pub fn correlation_campaign(experiments: u32, activation: f64, seed: u64) -> Cor
         ),
         ..Default::default()
     };
-    let data4 = run_study(
-        &study4,
-        election_factory(app_cfg4),
-        &SimHarnessConfig::three_hosts(seed),
-        experiments,
-    );
-    let analyzed4 = analyze(&study4, data4, &AnalysisOptions::default());
-    let accepted4 = accepted_timelines(&analyzed4);
     // m4: black crashed -> did green crash too?
     let m4 = StudyMeasure::new("m4")
         .step(MeasureStep {
@@ -230,9 +226,16 @@ pub fn correlation_campaign(experiments: u32, activation: f64, seed: u64) -> Cor
             predicate: Predicate::state("green", "CRASH"),
             observation: ever_true(),
         });
-    let v4 = m4
-        .apply_all(&study4, accepted4.iter().copied())
-        .expect("measure evaluates");
+    let pipeline4 = CampaignPipeline::new(
+        study4.clone(),
+        election_factory(app_cfg4),
+        SimHarnessConfig::three_hosts(seed),
+    );
+    let mut acc4 = StudyAccumulator::new(m4);
+    pipeline4.run(experiments, |analyzed| {
+        acc4.push(&study4, &analyzed).expect("measure evaluates");
+    });
+    let v4 = acc4.into_values();
 
     // --- study 5: gfault3 alone ----------------------------------------------
     let def = election_study("study5").fault(
@@ -252,22 +255,21 @@ pub fn correlation_campaign(experiments: u32, activation: f64, seed: u64) -> Cor
         ),
         ..Default::default()
     };
-    let data5 = run_study(
-        &study5,
-        election_factory(app_cfg5),
-        &SimHarnessConfig::three_hosts(seed.wrapping_add(1 << 40)),
-        experiments,
-    );
-    let analyzed5 = analyze(&study5, data5, &AnalysisOptions::default());
-    let accepted5 = accepted_timelines(&analyzed5);
     let m5 = StudyMeasure::new("m5").step(MeasureStep {
         subset: SubsetSel::All,
         predicate: Predicate::state("green", "CRASH"),
         observation: ever_true(),
     });
-    let v5 = m5
-        .apply_all(&study5, accepted5.iter().copied())
-        .expect("measure evaluates");
+    let pipeline5 = CampaignPipeline::new(
+        study5.clone(),
+        election_factory(app_cfg5),
+        SimHarnessConfig::three_hosts(seed.wrapping_add(1 << 40)),
+    );
+    let mut acc5 = StudyAccumulator::new(m5);
+    pipeline5.run(experiments, |analyzed| {
+        acc5.push(&study5, &analyzed).expect("measure evaluates");
+    });
+    let v5 = acc5.into_values();
 
     let frac = |v: &[f64]| {
         if v.is_empty() {

@@ -13,6 +13,9 @@
 //!   `duration`, `instant`, `total_duration`, plus user-defined ones.
 //! * [`study_measure`] — study-level measures: ordered sequences of
 //!   (subset selection, predicate, observation function) triples.
+//! * [`accumulator`] — the streaming counterpart: an online,
+//!   experiment-index-ordered fold of a study measure over analyzed
+//!   experiments, for campaigns that never materialize the whole batch.
 //! * [`campaign_measure`] — simple-sampling, stratified-weighted, and
 //!   stratified-user campaign measures.
 //! * [`stats`] — four-moment statistics, skewness/kurtosis, and
@@ -42,6 +45,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod accumulator;
 pub mod campaign_measure;
 pub mod error;
 pub mod fig42;
@@ -52,17 +56,19 @@ pub mod study_measure;
 pub mod timeline;
 pub mod timeref;
 
+pub use accumulator::StudyAccumulator;
 pub use campaign_measure::{simple_sampling, stratified_user, stratified_weighted};
 pub use error::MeasureError;
 pub use obsfn::{ImpulseStep, ObservationFn, TrueFalse, UpDown};
 pub use predicate::{CompiledPredicate, Predicate};
 pub use stats::MomentStats;
 pub use study_measure::{MeasureStep, StudyMeasure, SubsetSel};
-pub use timeline::{PredicateTimeline, TransKind, TransSource, Transition};
+pub use timeline::{PredicateTimeline, TransKind, TransSource, Transition, Transitions};
 pub use timeref::{TimeRef, Window};
 
 /// Convenient glob import for building measures.
 pub mod prelude {
+    pub use crate::accumulator::StudyAccumulator;
     pub use crate::campaign_measure::{simple_sampling, stratified_user, stratified_weighted};
     pub use crate::obsfn::{ImpulseStep, ObservationFn, TrueFalse, UpDown};
     pub use crate::predicate::Predicate;

@@ -198,7 +198,6 @@ impl ObservationFn {
                 let (lo, hi) = (start.resolve(exp_window), end.resolve(exp_window));
                 timeline
                     .transitions()
-                    .iter()
                     .filter(|t| {
                         lo <= t.at && t.at <= hi && trans.matches(t.kind) && kind.matches(t.source)
                     })
@@ -224,7 +223,6 @@ impl ObservationFn {
                 };
                 let nth = timeline
                     .transitions()
-                    .into_iter()
                     .filter(|t| lo <= t.at && t.at <= hi && t.kind == wanted)
                     .nth((*x as usize).saturating_sub(1));
                 match nth {
@@ -254,7 +252,6 @@ impl ObservationFn {
                 let (lo, hi) = (start.resolve(exp_window), end.resolve(exp_window));
                 timeline
                     .transitions()
-                    .into_iter()
                     .filter(|t| {
                         lo <= t.at && t.at <= hi && trans.matches(t.kind) && kind.matches(t.source)
                     })

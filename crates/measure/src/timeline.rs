@@ -130,47 +130,21 @@ impl PredicateTimeline {
         PredicateTimeline::new(self.window, steps, Vec::new())
     }
 
-    /// All transitions in time order. A step region contributes an up edge
-    /// at its start and a down edge at its end; an impulse contributes an
-    /// up and a down at its instant. A span touching the window boundary
-    /// still yields its edge (the value before the experiment is false).
-    pub fn transitions(&self) -> Vec<Transition> {
-        let mut out = Vec::new();
-        for &(lo, hi) in self.steps.spans() {
-            out.push(Transition {
-                at: lo,
-                kind: TransKind::Up,
-                source: TransSource::Step,
-            });
-            out.push(Transition {
-                at: hi,
-                kind: TransKind::Down,
-                source: TransSource::Step,
-            });
+    /// All transitions in time order, as a lazy iterator (no allocation —
+    /// observation functions walk this on every evaluation). A step region
+    /// contributes an up edge at its start and a down edge at its end; an
+    /// impulse contributes an up and a down at its instant. A span touching
+    /// the window boundary still yields its edge (the value before the
+    /// experiment is false). Ups sort before downs at equal instants.
+    pub fn transitions(&self) -> Transitions<'_> {
+        Transitions {
+            spans: self.steps.spans(),
+            span_idx: 0,
+            pending_downs: std::collections::VecDeque::new(),
+            impulses: &self.impulses,
+            imp_idx: 0,
+            imp_down: None,
         }
-        for &t in &self.impulses {
-            out.push(Transition {
-                at: t,
-                kind: TransKind::Up,
-                source: TransSource::Impulse,
-            });
-            out.push(Transition {
-                at: t,
-                kind: TransKind::Down,
-                source: TransSource::Impulse,
-            });
-        }
-        out.sort_by(|a, b| {
-            a.at.total_cmp(&b.at).then_with(|| {
-                // Ups before downs at equal instants (impulse ordering).
-                match (a.kind, b.kind) {
-                    (TransKind::Up, TransKind::Down) => std::cmp::Ordering::Less,
-                    (TransKind::Down, TransKind::Up) => std::cmp::Ordering::Greater,
-                    _ => std::cmp::Ordering::Equal,
-                }
-            })
-        });
-        out
     }
 
     /// Duration (ns) for which the value stays true starting at `t` (zero
@@ -219,6 +193,113 @@ impl PredicateTimeline {
         self.steps
             .intersect(&IntervalSet::from_spans(vec![(lo, hi)]))
             .total_length()
+    }
+}
+
+/// Lazy, allocation-free iterator over a timeline's transitions in time
+/// order (see [`PredicateTimeline::transitions`]).
+///
+/// Merges two already-sorted edge streams: step-span edges (spans are
+/// sorted and non-overlapping, so their `up, down, up, down, …` edge
+/// sequence is non-decreasing — with the one wrinkle that a span *touching*
+/// its successor yields the successor's up edge before its own down edge,
+/// matching the ups-before-downs ordering) and impulse edges (an up and a
+/// down per instant). Impulses absorbed by steps were dropped at
+/// construction, so the two streams never tie; a defensive tie-break still
+/// orders step edges first.
+#[derive(Clone, Debug)]
+pub struct Transitions<'a> {
+    spans: &'a [(f64, f64)],
+    span_idx: usize,
+    /// Down edges of spans whose up edge is out but whose down edge is
+    /// deferred behind a touching successor's up edge. Non-decreasing.
+    pending_downs: std::collections::VecDeque<f64>,
+    impulses: &'a [f64],
+    imp_idx: usize,
+    /// The down half of the impulse whose up half was just emitted.
+    imp_down: Option<f64>,
+}
+
+impl Transitions<'_> {
+    /// The next step edge, honouring ups-before-downs at equal instants.
+    fn next_step(&mut self) -> Option<(f64, TransKind)> {
+        if let Some(&down) = self.pending_downs.front() {
+            // A touching successor's up edge (same instant) goes first.
+            if let Some(&(lo, hi)) = self.spans.get(self.span_idx) {
+                if lo <= down {
+                    self.span_idx += 1;
+                    self.pending_downs.push_back(hi);
+                    return Some((lo, TransKind::Up));
+                }
+            }
+            self.pending_downs.pop_front();
+            return Some((down, TransKind::Down));
+        }
+        let &(lo, hi) = self.spans.get(self.span_idx)?;
+        self.span_idx += 1;
+        self.pending_downs.push_back(hi);
+        Some((lo, TransKind::Up))
+    }
+
+    /// Peek of [`Transitions::next_step`] without consuming.
+    fn peek_step(&self) -> Option<(f64, TransKind)> {
+        match (self.pending_downs.front(), self.spans.get(self.span_idx)) {
+            (Some(&down), Some(&(lo, _))) if lo <= down => Some((lo, TransKind::Up)),
+            (Some(&down), _) => Some((down, TransKind::Down)),
+            (None, Some(&(lo, _))) => Some((lo, TransKind::Up)),
+            (None, None) => None,
+        }
+    }
+
+    fn peek_impulse(&self) -> Option<(f64, TransKind)> {
+        match self.imp_down {
+            Some(t) => Some((t, TransKind::Down)),
+            None => self.impulses.get(self.imp_idx).map(|&t| (t, TransKind::Up)),
+        }
+    }
+
+    fn next_impulse(&mut self) -> Option<(f64, TransKind)> {
+        let edge = self.peek_impulse()?;
+        match self.imp_down.take() {
+            Some(_) => {}
+            None => {
+                self.imp_idx += 1;
+                self.imp_down = Some(edge.0);
+            }
+        }
+        Some(edge)
+    }
+}
+
+impl Iterator for Transitions<'_> {
+    type Item = Transition;
+
+    fn next(&mut self) -> Option<Transition> {
+        /// Up edges order before down edges at equal instants.
+        fn rank(kind: TransKind) -> u8 {
+            match kind {
+                TransKind::Up => 0,
+                TransKind::Down => 1,
+            }
+        }
+        let step = self.peek_step();
+        let impulse = self.peek_impulse();
+        let take_step = match (step, impulse) {
+            (None, None) => return None,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some((s_at, s_kind)), Some((i_at, i_kind))) => {
+                (s_at, rank(s_kind)) <= (i_at, rank(i_kind))
+            }
+        };
+        let (at, kind, source) = if take_step {
+            let (at, kind) = self.next_step().expect("peeked");
+            (at, kind, TransSource::Step)
+        } else {
+            let (at, kind) = self.next_impulse().expect("peeked");
+            (at, kind, TransSource::Impulse)
+        };
+        Some(Transition { at, kind, source })
     }
 }
 
@@ -276,7 +357,7 @@ mod tests {
     #[test]
     fn transitions_ordered_with_sources() {
         let t = tl(&[(10.0, 20.0)], &[5.0]);
-        let trans = t.transitions();
+        let trans: Vec<Transition> = t.transitions().collect();
         assert_eq!(trans.len(), 4);
         assert_eq!(trans[0].at, 5.0);
         assert_eq!(trans[0].kind, TransKind::Up);
@@ -303,7 +384,65 @@ mod tests {
     fn never_is_false_everywhere() {
         let t = PredicateTimeline::never((0.0, 10.0));
         assert!(!t.value_at(5.0));
-        assert!(t.transitions().is_empty());
+        assert_eq!(t.transitions().count(), 0);
         assert_eq!(t.false_run_after(3.0), 7.0);
+    }
+
+    /// The lazy iterator must match the eager collect-and-sort it
+    /// replaced: sorted by instant, ups before downs at equal instants —
+    /// including the touching-span edges an `and` of adjacent regions can
+    /// produce (where a span's down edge coincides with its successor's up
+    /// edge).
+    #[test]
+    fn transitions_iterator_matches_sorted_order() {
+        let cases: Vec<PredicateTimeline> = vec![
+            tl(&[(10.0, 20.0), (40.0, 60.0)], &[5.0, 30.0, 70.0]),
+            tl(&[], &[1.0, 2.0, 3.0]),
+            tl(&[(0.0, 100.0)], &[]),
+            // Touching spans, built without from_spans' merging.
+            PredicateTimeline::new(
+                (0.0, 100.0),
+                IntervalSet::from_spans(vec![(0.0, 50.0)])
+                    .intersect(&IntervalSet::from_spans(vec![(10.0, 20.0), (20.0, 30.0)])),
+                vec![60.0],
+            ),
+        ];
+        for t in &cases {
+            let got: Vec<Transition> = t.transitions().collect();
+            // The reference order: eager collection + stable sort.
+            let mut expect = Vec::new();
+            for &(lo, hi) in t.steps().spans() {
+                expect.push(Transition {
+                    at: lo,
+                    kind: TransKind::Up,
+                    source: TransSource::Step,
+                });
+                expect.push(Transition {
+                    at: hi,
+                    kind: TransKind::Down,
+                    source: TransSource::Step,
+                });
+            }
+            for &at in t.impulses() {
+                expect.push(Transition {
+                    at,
+                    kind: TransKind::Up,
+                    source: TransSource::Impulse,
+                });
+                expect.push(Transition {
+                    at,
+                    kind: TransKind::Down,
+                    source: TransSource::Impulse,
+                });
+            }
+            expect.sort_by(|a, b| {
+                a.at.total_cmp(&b.at).then_with(|| match (a.kind, b.kind) {
+                    (TransKind::Up, TransKind::Down) => std::cmp::Ordering::Less,
+                    (TransKind::Down, TransKind::Up) => std::cmp::Ordering::Greater,
+                    _ => std::cmp::Ordering::Equal,
+                })
+            });
+            assert_eq!(got, expect, "steps {:?}", t.steps().spans());
+        }
     }
 }

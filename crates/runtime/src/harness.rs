@@ -12,6 +12,14 @@
 //! derives its host/clock/timeout/restart settings from the same config).
 //! Either way, [`run_study`] fans experiments out across the parallel
 //! worker pool.
+//!
+//! Campaigns that do not need the raw per-experiment timelines after
+//! analysis should use the streaming [`CampaignPipeline`] instead of
+//! `run_study` + batch `analyze`: it fuses execution, global-timeline
+//! construction, and verdict checking into one per-experiment flow on the
+//! same worker pool, dropping each experiment's raw [`ExperimentData`]
+//! immediately after analysis so campaign memory stays O(workers) instead
+//! of O(experiments).
 
 use crate::app::AppFactory;
 use crate::daemons::{Bundle, CentralDaemon, LocalDaemon, RestartPolicy, Supervisor};
@@ -20,13 +28,15 @@ use crate::store::{ExperimentControl, NodeDirectory, SyncCollector, TimelineStor
 use crate::syncer::{SyncEcho, Syncer};
 use crate::thread_backend::{run_thread_experiment, ThreadHarnessConfig};
 use crate::wiring::Wiring;
+use loki_analysis::{analyze_one, AnalysisOptions, AnalyzedExperiment};
 use loki_clock::params::fastest_reference;
 use loki_core::campaign::{ExperimentData, ExperimentEnd, HostSync};
 use loki_core::study::Study;
 use loki_sim::config::{HostConfig, NetworkConfig};
 use loki_sim::engine::{HostId, Simulation};
 use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 /// The execution backend a study runs on.
@@ -455,6 +465,262 @@ pub fn run_study_with_workers(
     }
     debug_assert_eq!(results.len(), experiments as usize);
     results
+}
+
+/// Aggregate counters of one [`CampaignPipeline`] run.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PipelineSummary {
+    /// Experiments executed.
+    pub experiments: u32,
+    /// Experiments that completed normally ([`ExperimentEnd::Completed`]).
+    pub completed: usize,
+    /// Experiments whose injections were provably correct (usable for
+    /// measures).
+    pub accepted: usize,
+    /// Total fault injections recorded across all experiments.
+    pub injections: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Peak number of raw [`ExperimentData`] alive at once inside the
+    /// pipeline — at most `workers`, by construction. This is the bounded
+    /// retention the streaming design exists for; tests assert on it.
+    pub peak_raw_retained: usize,
+}
+
+/// The streaming campaign pipeline: execution, global-timeline
+/// construction, and verdict checking fused into a single per-experiment
+/// flow on the [`run_study`] worker pool.
+///
+/// Each worker runs one experiment at a time and, the moment it finishes,
+/// analyzes it in place (`loki_analysis::analyze_one`: clock calibration →
+/// `make_global` → `check_experiment`) and **drops the raw
+/// [`ExperimentData`]** before starting the next one. Only the compact
+/// [`AnalyzedExperiment`] crosses the (bounded) channel to the caller, so
+/// campaign memory is O(workers) in raw experiments and analysis overlaps
+/// execution instead of trailing it as a batch phase.
+///
+/// # Determinism contract
+///
+/// Results are merged **by experiment index**: the sink closure is invoked
+/// exactly once per experiment, in strictly increasing index order
+/// `0, 1, …, experiments − 1`, whatever the worker count or completion
+/// order (striping makes experiment `k`'s owner statically known, so the
+/// coordinator receives in index order from per-worker bounded channels —
+/// compact-result retention is O(workers) as well, not just raw
+/// retention). On [`Backend::Sim`], experiment `k` is fully determined by
+/// `(cfg.seed, k)`, so everything the sink observes — timelines, verdicts,
+/// measure folds — is byte-identical across worker counts and identical to
+/// the batch `run_study` + `analyze` path.
+///
+/// # Examples
+///
+/// ```no_run
+/// use loki_runtime::harness::{CampaignPipeline, SimHarnessConfig};
+/// # fn demo(study: std::sync::Arc<loki_core::study::Study>,
+/// #         factory: loki_runtime::AppFactory) {
+/// let pipeline = CampaignPipeline::new(study, factory, SimHarnessConfig::three_hosts(7));
+/// let mut accepted = 0;
+/// let summary = pipeline.run(1_000, |analyzed| {
+///     // Called in experiment order; raw data is already gone.
+///     if analyzed.accepted() {
+///         accepted += 1;
+///     }
+/// });
+/// assert!(summary.peak_raw_retained <= summary.workers);
+/// # }
+/// ```
+pub struct CampaignPipeline {
+    study: Arc<Study>,
+    factory: AppFactory,
+    cfg: SimHarnessConfig,
+    analysis: AnalysisOptions,
+}
+
+impl CampaignPipeline {
+    /// Creates a pipeline over `study` with default [`AnalysisOptions`].
+    pub fn new(study: Arc<Study>, factory: AppFactory, cfg: SimHarnessConfig) -> Self {
+        CampaignPipeline {
+            study,
+            factory,
+            cfg,
+            analysis: AnalysisOptions::default(),
+        }
+    }
+
+    /// Sets the analysis options (builder-style).
+    pub fn analysis(mut self, analysis: AnalysisOptions) -> Self {
+        self.analysis = analysis;
+        self
+    }
+
+    /// The harness configuration the pipeline runs with.
+    pub fn config(&self) -> &SimHarnessConfig {
+        &self.cfg
+    }
+
+    /// Runs `experiments` experiments through the fused pipeline, feeding
+    /// each compact result to `sink` in experiment-index order. The worker
+    /// count resolves exactly like [`run_study`]'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid worker configuration (see
+    /// [`SimHarnessConfig::workers`]) or invalid analysis options (a
+    /// degenerate analysis window) — both are campaign misconfigurations
+    /// that must fail loudly before any experiment runs.
+    pub fn run(&self, experiments: u32, sink: impl FnMut(AnalyzedExperiment)) -> PipelineSummary {
+        self.run_with_workers(experiments, resolve_workers(&self.cfg, experiments), sink)
+    }
+
+    /// [`CampaignPipeline::run`] with an explicit worker count
+    /// (`workers == 1` runs entirely on the calling thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers == 0` or the analysis options are invalid.
+    pub fn run_with_workers(
+        &self,
+        experiments: u32,
+        workers: usize,
+        mut sink: impl FnMut(AnalyzedExperiment),
+    ) -> PipelineSummary {
+        self.run_tapped_with_workers(experiments, workers, |_| (), |analyzed, ()| sink(analyzed))
+    }
+
+    /// [`CampaignPipeline::run`] with a raw-data *tap*: `tap` runs inside
+    /// the worker on the raw [`ExperimentData`] (right before it is
+    /// dropped) and its output rides along to the sink. This keeps
+    /// campaigns that need a raw extract — e.g. notification latencies
+    /// from record timestamps — on the bounded-memory path.
+    pub fn run_tapped<T: Send>(
+        &self,
+        experiments: u32,
+        tap: impl Fn(&ExperimentData) -> T + Sync,
+        sink: impl FnMut(AnalyzedExperiment, T),
+    ) -> PipelineSummary {
+        self.run_tapped_with_workers(
+            experiments,
+            resolve_workers(&self.cfg, experiments),
+            tap,
+            sink,
+        )
+    }
+
+    /// The fully general pipeline entry point; see
+    /// [`CampaignPipeline::run`] and [`CampaignPipeline::run_tapped`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers == 0`, or when the analysis options are
+    /// invalid, or when a worker thread panics.
+    pub fn run_tapped_with_workers<T: Send>(
+        &self,
+        experiments: u32,
+        workers: usize,
+        tap: impl Fn(&ExperimentData) -> T + Sync,
+        mut sink: impl FnMut(AnalyzedExperiment, T),
+    ) -> PipelineSummary {
+        assert!(workers >= 1, "loki: worker count must be at least 1");
+        if let Err(e) = self.analysis.global.validate() {
+            panic!("loki: invalid analysis options: {e}");
+        }
+        let workers = workers.clamp(1, experiments.max(1) as usize);
+        let mut summary = PipelineSummary {
+            experiments,
+            workers,
+            ..Default::default()
+        };
+        let raw_live = AtomicUsize::new(0);
+        let raw_peak = AtomicUsize::new(0);
+
+        // One experiment through the fused flow: run → analyze → tap →
+        // drop the raw data. The retention gauge brackets the raw data's
+        // whole lifetime.
+        let one = |k: u32| -> (AnalyzedExperiment, T) {
+            let live = raw_live.fetch_add(1, Ordering::SeqCst) + 1;
+            raw_peak.fetch_max(live, Ordering::SeqCst);
+            let data = run_experiment(&self.study, self.factory.clone(), &self.cfg, k);
+            let analyzed = analyze_one(&self.study, &data, &self.analysis);
+            let tapped = tap(&data);
+            drop(data);
+            raw_live.fetch_sub(1, Ordering::SeqCst);
+            (analyzed, tapped)
+        };
+        let account = |summary: &mut PipelineSummary, analyzed: &AnalyzedExperiment| {
+            if analyzed.end == ExperimentEnd::Completed {
+                summary.completed += 1;
+            }
+            if analyzed.accepted() {
+                summary.accepted += 1;
+            }
+            summary.injections += analyzed.injections;
+        };
+
+        let mut delivered = 0u32;
+        if workers == 1 {
+            for k in 0..experiments {
+                let (analyzed, tapped) = one(k);
+                account(&mut summary, &analyzed);
+                sink(analyzed, tapped);
+                delivered += 1;
+            }
+        } else {
+            // Workers stripe the experiment space exactly like
+            // `run_study_with_workers` (worker `w` owns experiments
+            // `w, w+workers, …`), each pushing compact results through its
+            // *own* bounded channel. Because experiment `k` always belongs
+            // to worker `k % workers`, the coordinator (this thread)
+            // receives in index order directly — no reorder buffer — and
+            // the per-worker channel capacity of 1 gives real
+            // backpressure: a worker can be at most one finished result
+            // plus one in-flight experiment ahead of the sink, so
+            // *compact* retention is O(workers) too, not just raw
+            // retention. Raw data never crosses a channel.
+            std::thread::scope(|scope| {
+                let one = &one;
+                let receivers: Vec<mpsc::Receiver<(AnalyzedExperiment, T)>> = (0..workers as u32)
+                    .map(|w| {
+                        let (tx, rx) = mpsc::sync_channel::<(AnalyzedExperiment, T)>(1);
+                        scope.spawn(move || {
+                            for k in (w..experiments).step_by(workers) {
+                                let result = one(k);
+                                if tx.send(result).is_err() {
+                                    return; // coordinator gone (sink or sibling panicked)
+                                }
+                            }
+                        });
+                        rx
+                    })
+                    .collect();
+                for next in 0..experiments {
+                    match receivers[next as usize % workers].recv() {
+                        Ok((analyzed, tapped)) => {
+                            account(&mut summary, &analyzed);
+                            sink(analyzed, tapped);
+                            delivered += 1;
+                        }
+                        // The owning worker died; stop and let the scope
+                        // propagate its panic.
+                        Err(mpsc::RecvError) => break,
+                    }
+                }
+            });
+        }
+        // After the scope: a worker panic has already propagated, so an
+        // undelivered experiment here is a genuine pipeline bug.
+        assert_eq!(delivered, experiments, "pipeline lost experiments");
+        summary.peak_raw_retained = raw_peak.load(Ordering::SeqCst);
+        summary
+    }
+
+    /// Convenience: runs the pipeline and collects every compact result
+    /// (in experiment order). The *raw* data is still dropped per
+    /// experiment — this collects analyses, not timeline stores.
+    pub fn collect(&self, experiments: u32) -> (Vec<AnalyzedExperiment>, PipelineSummary) {
+        let mut out = Vec::with_capacity(experiments as usize);
+        let summary = self.run(experiments, |analyzed| out.push(analyzed));
+        (out, summary)
+    }
 }
 
 #[cfg(test)]

@@ -22,7 +22,9 @@
 //! * [`harness`] — experiment orchestration with per-study backend
 //!   selection ([`harness::Backend::Sim`] | [`harness::Backend::Threads`])
 //!   and a parallel worker pool; returns
-//!   [`loki_core::campaign::ExperimentData`] ready for the analysis phase.
+//!   [`loki_core::campaign::ExperimentData`] ready for the analysis phase —
+//!   or, via the streaming [`harness::CampaignPipeline`], fuses execution
+//!   with per-experiment analysis so raw data never outlives its worker.
 //! * [`messages`] — the simulation-backend protocol and the §3.4.1
 //!   design-choice routing modes (through-daemons / direct / centralized)
 //!   used by the design ablation.
@@ -49,6 +51,9 @@ pub mod wiring;
 
 pub use app::{App, AppFactory, AppTimer, NodeCtx, Payload};
 pub use daemons::{RestartPlacement, RestartPolicy};
-pub use harness::{run_experiment, run_study, run_study_with_workers, Backend, SimHarnessConfig};
+pub use harness::{
+    run_experiment, run_study, run_study_with_workers, Backend, CampaignPipeline, PipelineSummary,
+    SimHarnessConfig,
+};
 pub use messages::{NotifyRouting, RtMsg};
 pub use thread_backend::{run_thread_experiment, ThreadHarnessConfig};

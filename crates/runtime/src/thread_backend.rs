@@ -682,7 +682,7 @@ mod tests {
         // an 80 ms BUSY window and channel latencies in the microseconds,
         // the injection is provably correct.
         let analyzed = analyze(&study, vec![data], &AnalysisOptions::default());
-        assert!(analyzed[0].accepted(), "{:?}", analyzed[0].verdict);
+        assert!(analyzed[0].accepted(), "{:?}", analyzed[0].verdict());
     }
 
     #[test]

@@ -1,15 +1,16 @@
 //! The thesis's file-driven workflow (§5.6): write the specification files
 //! (state machine specs, fault specs, node file) to disk in the original
 //! formats, load them back into a study, derive the notify lists
-//! automatically from the fault specifications, and run the campaign.
+//! automatically from the fault specifications, and run the campaign —
+//! through the streaming pipeline, which analyzes and discards each
+//! experiment as it completes.
 //!
 //! ```text
 //! cargo run --example file_driven_campaign
 //! ```
 
-use loki::analysis::{analyze, AnalysisOptions};
 use loki::core::study::Study;
-use loki::runtime::harness::{run_study, SimHarnessConfig};
+use loki::runtime::harness::{CampaignPipeline, SimHarnessConfig};
 use loki::runtime::AppFactory;
 use loki::runtime::{App, NodeCtx, Payload};
 use loki::spec::campaign_loader::{load_study_dir, write_study_dir};
@@ -151,33 +152,30 @@ fn main() {
     });
     let mut harness = SimHarnessConfig::three_hosts(55);
     harness.hosts.truncate(2);
-    let data = run_study(&study, factory, &harness, 8);
-    let analyzed = analyze(&study, data, &AnalysisOptions::default());
-    if std::env::var("LOKI_DEBUG").is_ok() {
-        for a in &analyzed {
-            if let Some(v) = &a.verdict {
+    let debug = std::env::var("LOKI_DEBUG").is_ok();
+    let pipeline = CampaignPipeline::new(study, factory, harness);
+    let summary = pipeline.run(8, |a| {
+        if !debug {
+            return;
+        }
+        if let Some(v) = &a.verdict {
+            eprintln!(
+                "exp {}: accepted={} missing={:?}",
+                a.experiment, v.accepted, v.missing
+            );
+            for c in &v.checks {
                 eprintln!(
-                    "exp {}: accepted={} missing={:?}",
-                    a.data.experiment, v.accepted, v.missing
-                );
-                for c in &v.checks {
-                    eprintln!(
-                        "   check fault {:?} at {}: {:?}",
-                        c.fault, c.bounds, c.verdict
-                    );
-                }
-            } else {
-                eprintln!(
-                    "exp {}: end={:?} err={:?}",
-                    a.data.experiment, a.data.end, a.error
+                    "   check fault {:?} at {}: {:?}",
+                    c.fault, c.bounds, c.verdict
                 );
             }
+        } else {
+            eprintln!("exp {}: end={:?} err={:?}", a.experiment, a.end, a.error);
         }
-    }
-    let accepted = analyzed.iter().filter(|a| a.accepted()).count();
-    let injections: usize = analyzed.iter().map(|a| a.data.total_injections()).sum();
+    });
     println!(
-        "{injections} injections of `poke ((ping:ACTIVE) & (pong:IDLE)) always` across 8 runs; \
-         {accepted}/8 experiments provably correct"
+        "{} injections of `poke ((ping:ACTIVE) & (pong:IDLE)) always` across 8 runs; \
+         {}/8 experiments provably correct",
+        summary.injections, summary.accepted
     );
 }

@@ -2,21 +2,22 @@
 //!
 //! 1. Specify a two-machine system (state machines + a global-state fault).
 //! 2. Implement the application against the probe interface — once.
-//! 3. Run experiments on the simulation backend (clocks drift, messages lag).
-//! 4. Analyze: off-line clock sync → global timeline → correctness check.
-//! 5. Estimate a measure from the accepted experiments.
-//! 6. Re-run the *same* application on the real-concurrency thread backend.
+//! 3. Run the streaming campaign pipeline on the simulation backend: each
+//!    experiment is executed, analyzed (off-line clock sync → global
+//!    timeline → correctness check), and folded into the measure the
+//!    moment it finishes — raw data never outlives its worker.
+//! 4. Read the measure estimate off the accumulator.
+//! 5. Re-run the *same* application on the real-concurrency thread backend.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use loki::analysis::{analyze, AnalysisOptions};
 use loki::core::fault::{FaultExpr, Trigger};
 use loki::core::spec::{StateMachineSpec, StudyDef};
 use loki::core::study::Study;
 use loki::measure::prelude::*;
-use loki::runtime::harness::{run_study, Backend, SimHarnessConfig};
+use loki::runtime::harness::{Backend, CampaignPipeline, SimHarnessConfig};
 use loki::runtime::AppFactory;
 use loki::runtime::{App, NodeCtx, Payload};
 use std::sync::Arc;
@@ -111,7 +112,11 @@ fn main() {
         .place("observer", "host2");
     let study = Study::compile_arc(&def).expect("specification is valid");
 
-    // --- 2./3. run experiments ----------------------------------------------
+    // --- 2./3./4. the streaming campaign pipeline -----------------------------
+    // Execution, clock sync, global-timeline construction, verdict
+    // checking, and the measure fold all happen per experiment, on the
+    // worker pool; at no point does the campaign hold more than one raw
+    // experiment per worker.
     let factory: AppFactory = Arc::new(|study: &Study, sm| -> Box<dyn App> {
         if study.sms.name(sm) == "worker" {
             Box::new(Worker)
@@ -121,31 +126,29 @@ fn main() {
     });
     let mut harness = SimHarnessConfig::three_hosts(7);
     harness.hosts.truncate(2);
-    let experiments = run_study(&study, factory.clone(), &harness, 10);
-    println!("ran {} experiments", experiments.len());
 
-    // --- 4. analysis ----------------------------------------------------------
-    let analyzed = analyze(&study, experiments, &AnalysisOptions::default());
-    let accepted: Vec<_> = analyzed.iter().filter(|a| a.accepted()).collect();
-    println!(
-        "analysis accepted {}/{} experiments (injections provably in (worker:BUSY))",
-        accepted.len(),
-        analyzed.len()
-    );
-
-    // --- 5. measures ------------------------------------------------------------
     // "How long was the worker BUSY?" across accepted experiments.
     let measure = StudyMeasure::new("busy-time").step(MeasureStep {
         subset: SubsetSel::All,
         predicate: Predicate::state("worker", "BUSY"),
         observation: ObservationFn::total_true(),
     });
-    let values: Vec<f64> = accepted
-        .iter()
-        .filter_map(|a| a.global.as_ref())
-        .filter_map(|gt| measure.apply(&study, gt).unwrap())
-        .collect();
-    if let Some(stats) = MomentStats::from_sample(&values) {
+    let mut busy_time = StudyAccumulator::new(measure);
+    let pipeline = CampaignPipeline::new(study.clone(), factory.clone(), harness.clone());
+    let summary = pipeline.run(10, |analyzed| {
+        busy_time
+            .push(&study, &analyzed)
+            .expect("measure evaluates");
+    });
+    println!(
+        "ran {} experiments on {} workers (peak raw experiments in memory: {})",
+        summary.experiments, summary.workers, summary.peak_raw_retained
+    );
+    println!(
+        "analysis accepted {}/{} experiments (injections provably in (worker:BUSY))",
+        summary.accepted, summary.experiments
+    );
+    if let Some(stats) = busy_time.stats() {
         println!(
             "busy time: mean {:.2} ms, std-dev {:.3} ms over {} experiments",
             stats.mean(),
@@ -154,16 +157,14 @@ fn main() {
         );
     }
 
-    // --- 6. one app, every backend ---------------------------------------------
+    // --- 5. one app, every backend ---------------------------------------------
     // The exact same `App` implementations and factory now run with every
     // node as an OS thread: real time, real concurrency, nondeterministic
-    // interleavings — and the identical off-line analysis pipeline.
+    // interleavings — and the identical streaming analysis pipeline.
     let threaded = harness.backend(Backend::Threads);
-    let concurrent = run_study(&study, factory, &threaded, 2);
-    let analyzed = analyze(&study, concurrent, &AnalysisOptions::default());
+    let summary = CampaignPipeline::new(study, factory, threaded).run(2, |_| {});
     println!(
         "thread backend: {}/{} genuinely concurrent experiments provably correct",
-        analyzed.iter().filter(|a| a.accepted()).count(),
-        analyzed.len()
+        summary.accepted, summary.experiments
     );
 }

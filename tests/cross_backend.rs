@@ -10,7 +10,7 @@
 //! * both backends produce `ExperimentData` the analysis pipeline
 //!   consumes, with at least one experiment's injections provably correct.
 
-use loki::analysis::{analyze, AnalysisOptions};
+use loki::analysis::{analyze, analyze_one, AnalysisOptions};
 use loki::apps::election::{election_factory, election_study, ElectionConfig};
 use loki::apps::kvstore::{kv_factory, kv_study, KvConfig};
 use loki::apps::token_ring::{ring_factory, ring_study, RingConfig};
@@ -19,7 +19,10 @@ use loki::core::fault::{FaultExpr, Trigger};
 use loki::core::probe::{ActionProbe, FaultAction};
 use loki::core::recorder::RecordKind;
 use loki::core::study::Study;
-use loki::runtime::harness::{run_study, run_study_with_workers, Backend, SimHarnessConfig};
+use loki::measure::prelude::*;
+use loki::runtime::harness::{
+    run_study, run_study_with_workers, Backend, CampaignPipeline, SimHarnessConfig,
+};
 use loki::runtime::AppFactory;
 use std::sync::Arc;
 
@@ -99,15 +102,15 @@ fn check_cross_backend(label: &str, study: &Arc<Study>, factory: AppFactory, see
     assert!(
         analyzed.iter().any(|a| a.accepted()),
         "{label}: thread experiment rejected: {:?}",
-        analyzed[0].verdict
+        analyzed[0].verdict()
     );
 }
 
-#[test]
-fn election_runs_on_both_backends() {
-    // Every machine faults on its *own* LEAD entry, so whichever machine
-    // wins, an injection happens — and it happens with zero notification
-    // latency, keeping it provably correct on both backends.
+/// The quick election campaign used by several tests: every machine faults
+/// on its *own* LEAD entry, so whichever machine wins, an injection
+/// happens — with zero notification latency, keeping it provably correct
+/// on both backends.
+fn quick_election() -> (Arc<Study>, AppFactory) {
     let mut def = election_study("cross-election");
     for (fault, sm) in [
         ("bfault1", "black"),
@@ -129,7 +132,111 @@ fn election_runs_on_both_backends() {
         restart_done_delay_ns: 15_000_000,
         ..Default::default()
     };
-    check_cross_backend("election", &study, election_factory(cfg), 0xE1EC);
+    (study, election_factory(cfg))
+}
+
+#[test]
+fn election_runs_on_both_backends() {
+    let (study, factory) = quick_election();
+    check_cross_backend("election", &study, factory, 0xE1EC);
+}
+
+/// A one-step study measure over the election campaign: how long `black`
+/// held LEAD.
+fn lead_measure() -> StudyMeasure {
+    StudyMeasure::new("black-lead").step(MeasureStep {
+        subset: SubsetSel::All,
+        predicate: Predicate::state("black", "LEAD"),
+        observation: ObservationFn::total_true(),
+    })
+}
+
+/// The tentpole acceptance test: the streaming pipeline must be
+/// *unobservable* in the results — byte-identical to the batch
+/// `run_study` → `analyze` → measure fold, for every worker count — while
+/// never holding more than O(workers) raw `ExperimentData` in memory
+/// (asserted via the pipeline's retention gauge).
+#[test]
+fn pipeline_streaming_matches_batch_and_bounds_raw_retention() {
+    let (study, factory) = quick_election();
+    let cfg = SimHarnessConfig::three_hosts(0x51DE);
+    let experiments = 6u32;
+
+    // --- batch reference ---------------------------------------------------
+    let raw = run_study_with_workers(&study, factory.clone(), &cfg, experiments, 1);
+    let batch = analyze(&study, raw, &AnalysisOptions::default());
+    let batch_accepted = batch.iter().filter(|a| a.accepted()).count();
+    let batch_values = lead_measure()
+        .apply_all(
+            &study,
+            batch
+                .iter()
+                .filter(|a| a.accepted())
+                .filter_map(|a| a.global()),
+        )
+        .unwrap();
+    assert!(batch_accepted > 0, "campaign must accept something");
+
+    for workers in [1usize, 4] {
+        let pipeline = CampaignPipeline::new(study.clone(), factory.clone(), cfg.clone());
+        let mut acc = StudyAccumulator::new(lead_measure());
+        let mut streamed = Vec::new();
+        let summary = pipeline.run_with_workers(experiments, workers, |analyzed| {
+            acc.push(&study, &analyzed).unwrap();
+            streamed.push(analyzed);
+        });
+
+        // Bounded memory: never more raw experiments alive than workers.
+        assert!(
+            (1..=workers).contains(&summary.peak_raw_retained),
+            "workers {workers}: peak raw retention {}",
+            summary.peak_raw_retained
+        );
+
+        // Sink sees every experiment exactly once, in index order.
+        let indices: Vec<u32> = streamed.iter().map(|a| a.experiment).collect();
+        assert_eq!(indices, (0..experiments).collect::<Vec<u32>>());
+
+        // Byte-identical analyses, verdicts, and measure values.
+        assert_eq!(streamed.len(), batch.len());
+        for (s, b) in streamed.iter().zip(&batch) {
+            assert_eq!(s, &b.analysis, "workers {workers}: analysis diverged");
+        }
+        assert_eq!(summary.accepted, batch_accepted);
+        assert!(acc.is_drained());
+        assert_eq!(acc.accepted(), batch_accepted);
+        assert_eq!(acc.into_values(), batch_values, "workers {workers}");
+    }
+}
+
+/// On the thread backend the interleavings are genuinely nondeterministic,
+/// so streaming-vs-batch equality is checked on the *same* raw data: the
+/// per-experiment `analyze_one` the pipeline fuses into its workers must be
+/// byte-identical to the batch `analyze`. The pipeline itself must still
+/// deliver every experiment once, in index order, with bounded retention.
+#[test]
+fn pipeline_analysis_is_faithful_on_the_thread_backend() {
+    let (study, factory) = quick_election();
+    let cfg = SimHarnessConfig::three_hosts(0x7EAD).backend(Backend::Threads);
+    let opts = AnalysisOptions::default();
+
+    let data = run_study_with_workers(&study, factory.clone(), &cfg, 2, 1);
+    let batch = analyze(&study, data.clone(), &opts);
+    for (d, b) in data.iter().zip(&batch) {
+        assert_eq!(
+            analyze_one(&study, d, &opts),
+            b.analysis,
+            "streamed analysis diverged from batch on experiment {}",
+            d.experiment
+        );
+    }
+
+    let pipeline = CampaignPipeline::new(study, factory, cfg);
+    let mut indices = Vec::new();
+    let summary = pipeline.run_with_workers(3, 2, |analyzed| indices.push(analyzed.experiment));
+    assert_eq!(indices, vec![0, 1, 2]);
+    assert!(summary.peak_raw_retained <= 2);
+    assert_eq!(summary.completed, 3, "thread experiments must complete");
 }
 
 #[test]

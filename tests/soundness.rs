@@ -186,11 +186,7 @@ fn analysis_acceptance_is_sound_against_ground_truth() {
             }
             // Only consider the injection verdicts (MissingPolicy::Ignore
             // keeps never-injected experiments accepted with zero checks).
-            let has_injection = a
-                .verdict
-                .as_ref()
-                .map(|v| !v.checks.is_empty())
-                .unwrap_or(false);
+            let has_injection = a.verdict().map(|v| !v.checks.is_empty()).unwrap_or(false);
             if a.accepted() && has_injection {
                 accepted_total += 1;
                 // SOUNDNESS: accepted ⇒ truly correct.

@@ -139,7 +139,25 @@ impl Bencher {
     }
 }
 
+/// Name filtering à la real criterion: positional CLI arguments are
+/// substring filters (flags are ignored). `cargo bench -- campaign` runs
+/// only benchmarks whose full name contains `campaign` — CI uses this to
+/// smoke-run a single group quickly.
+///
+/// Public (a shim extension, not a real-criterion API) so benchmarks with
+/// untimed setup passes can skip them when their group is filtered out.
+pub fn is_filtered_out(name: &str) -> bool {
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    !filters.is_empty() && !filters.iter().any(|f| name.contains(f.as_str()))
+}
+
 fn run_one(name: &str, settings: &Settings, f: &mut dyn FnMut(&mut Bencher)) {
+    if is_filtered_out(name) {
+        return;
+    }
     let mut bencher = Bencher {
         samples: Vec::new(),
         sample_size: settings.sample_size,
