@@ -348,9 +348,17 @@ mod tests {
     use crate::global::{make_global, GlobalOptions};
     use loki_core::campaign::{ExperimentData, HostSync, SyncSample};
     use loki_core::fault::FaultExpr;
+    use loki_core::ids::{HostId, SymbolTable};
     use loki_core::recorder::Recorder;
     use loki_core::spec::{StateMachineSpec, StudyDef};
     use loki_core::time::LocalNanos;
+    use std::sync::Arc;
+
+    /// The non-reference host every test machine runs on (`h1`, id 0, is
+    /// the reference).
+    fn h2() -> HostId {
+        HostId::from_raw(1)
+    }
 
     /// Machines `a` (worker, INIT→WORK→EXIT) and `b` (injector); fault `f`
     /// on `(a:WORK)` owned by `b` — the cross-machine case whose
@@ -376,7 +384,7 @@ mod tests {
         Study::compile(&def).unwrap()
     }
 
-    fn ideal_sync(host: &str) -> HostSync {
+    fn ideal_sync(host: HostId) -> HostSync {
         let mut samples = Vec::new();
         for k in 0..10u64 {
             let t = k * 1_000_000;
@@ -391,10 +399,7 @@ mod tests {
                 recv: LocalNanos(t + 530_000),
             });
         }
-        HostSync {
-            host: host.to_owned(),
-            samples,
-        }
+        HostSync { host, samples }
     }
 
     /// Builds an experiment where `a` enters WORK at `work_ms` and leaves at
@@ -410,11 +415,11 @@ mod tests {
         let work = study.states.lookup("WORK").unwrap();
         let watch = study.states.lookup("WATCH").unwrap();
         let f = study.fault_names.lookup("f").unwrap();
-        let mut rec_a = Recorder::new(a, "a", "h2");
+        let mut rec_a = Recorder::new(a, h2());
         rec_a.record_state_change(LocalNanos::from_millis(1), go, init);
         rec_a.record_state_change(LocalNanos::from_millis(work_ms), go, work);
         rec_a.record_state_change(LocalNanos::from_millis(exit_ms), done, study.reserved.exit);
-        let mut rec_b = Recorder::new(b, "b", "h2");
+        let mut rec_b = Recorder::new(b, h2());
         rec_b.record_state_change(LocalNanos::from_millis(1), go, watch);
         rec_b.record_injection(LocalNanos::from_millis(inject_ms), f);
         rec_b.record_state_change(LocalNanos::from_millis(exit_ms), done, study.reserved.exit);
@@ -422,10 +427,11 @@ mod tests {
             study: "s".into(),
             experiment: 0,
             timelines: vec![rec_a.finish(), rec_b.finish()],
-            hosts: vec!["h1".into(), "h2".into()],
-            reference_host: "h1".into(),
-            pre_sync: vec![ideal_sync("h2")],
-            post_sync: vec![ideal_sync("h2")],
+            hosts: vec![HostId::from_raw(0), h2()],
+            reference_host: HostId::from_raw(0),
+            symbols: Arc::new(SymbolTable::for_hosts(["h1", "h2"])),
+            pre_sync: vec![ideal_sync(h2())],
+            post_sync: vec![ideal_sync(h2())],
             end: Default::default(),
             warnings: vec![],
         }
@@ -487,7 +493,7 @@ mod tests {
         let init = study.states.lookup("INIT").unwrap();
         let work = study.states.lookup("WORK").unwrap();
         // WORK entered but no injection recorded.
-        let mut rec = Recorder::new(a, "a", "h2");
+        let mut rec = Recorder::new(a, h2());
         rec.record_state_change(LocalNanos::from_millis(1), go, init);
         rec.record_state_change(LocalNanos::from_millis(10), go, work);
         rec.record_state_change(LocalNanos::from_millis(30), done, study.reserved.exit);
@@ -495,10 +501,11 @@ mod tests {
             study: "s".into(),
             experiment: 0,
             timelines: vec![rec.finish()],
-            hosts: vec!["h1".into(), "h2".into()],
-            reference_host: "h1".into(),
-            pre_sync: vec![ideal_sync("h2")],
-            post_sync: vec![ideal_sync("h2")],
+            hosts: vec![HostId::from_raw(0), h2()],
+            reference_host: HostId::from_raw(0),
+            symbols: Arc::new(SymbolTable::for_hosts(["h1", "h2"])),
+            pre_sync: vec![ideal_sync(h2())],
+            post_sync: vec![ideal_sync(h2())],
             end: Default::default(),
             warnings: vec![],
         };
@@ -521,7 +528,7 @@ mod tests {
         let work = study.states.lookup("WORK").unwrap();
         let f = study.fault_names.lookup("f").unwrap();
         // Two WORK visits, only one injection: missing.
-        let mut rec = Recorder::new(a, "a", "h2");
+        let mut rec = Recorder::new(a, h2());
         rec.record_state_change(LocalNanos::from_millis(1), go, init);
         rec.record_state_change(LocalNanos::from_millis(10), go, work);
         rec.record_injection(LocalNanos::from_millis(15), f);
@@ -532,10 +539,11 @@ mod tests {
             study: "s".into(),
             experiment: 0,
             timelines: vec![rec.finish()],
-            hosts: vec!["h1".into(), "h2".into()],
-            reference_host: "h1".into(),
-            pre_sync: vec![ideal_sync("h2")],
-            post_sync: vec![ideal_sync("h2")],
+            hosts: vec![HostId::from_raw(0), h2()],
+            reference_host: HostId::from_raw(0),
+            symbols: Arc::new(SymbolTable::for_hosts(["h1", "h2"])),
+            pre_sync: vec![ideal_sync(h2())],
+            post_sync: vec![ideal_sync(h2())],
             end: Default::default(),
             warnings: vec![],
         };
@@ -582,12 +590,12 @@ mod tests {
         let f2 = study.fault_names.lookup("f2").unwrap();
 
         let make = |inject_ms: u64, b_work: (u64, u64)| {
-            let mut rec_a = Recorder::new(a, "a", "h2");
+            let mut rec_a = Recorder::new(a, h2());
             rec_a.record_state_change(LocalNanos::from_millis(1), go, init);
             rec_a.record_state_change(LocalNanos::from_millis(10), go, work);
             rec_a.record_injection(LocalNanos::from_millis(inject_ms), f2);
             rec_a.record_state_change(LocalNanos::from_millis(50), done, study.reserved.exit);
-            let mut rec_b = Recorder::new(b, "b", "h2");
+            let mut rec_b = Recorder::new(b, h2());
             rec_b.record_state_change(LocalNanos::from_millis(1), go, init);
             rec_b.record_state_change(LocalNanos::from_millis(b_work.0), go, work);
             rec_b.record_state_change(LocalNanos::from_millis(b_work.1), done, study.reserved.exit);
@@ -595,10 +603,11 @@ mod tests {
                 study: "s".into(),
                 experiment: 0,
                 timelines: vec![rec_a.finish(), rec_b.finish()],
-                hosts: vec!["h1".into(), "h2".into()],
-                reference_host: "h1".into(),
-                pre_sync: vec![ideal_sync("h2")],
-                post_sync: vec![ideal_sync("h2")],
+                hosts: vec![HostId::from_raw(0), h2()],
+                reference_host: HostId::from_raw(0),
+                symbols: Arc::new(SymbolTable::for_hosts(["h1", "h2"])),
+                pre_sync: vec![ideal_sync(h2())],
+                post_sync: vec![ideal_sync(h2())],
                 end: Default::default(),
                 warnings: vec![],
             }
@@ -637,7 +646,7 @@ mod tests {
         let init = study.states.lookup("INIT").unwrap();
         let work = study.states.lookup("WORK").unwrap();
         let f = study.fault_names.lookup("own").unwrap();
-        let mut rec = Recorder::new(a, "a", "h2");
+        let mut rec = Recorder::new(a, h2());
         rec.record_state_change(LocalNanos::from_millis(1), go, init);
         rec.record_state_change(LocalNanos::from_millis(10), go, work);
         rec.record_injection(LocalNanos::from_millis(10), f); // same instant
@@ -646,10 +655,11 @@ mod tests {
             study: "s".into(),
             experiment: 0,
             timelines: vec![rec.finish()],
-            hosts: vec!["h1".into(), "h2".into()],
-            reference_host: "h1".into(),
-            pre_sync: vec![ideal_sync("h2")],
-            post_sync: vec![ideal_sync("h2")],
+            hosts: vec![HostId::from_raw(0), h2()],
+            reference_host: HostId::from_raw(0),
+            symbols: Arc::new(SymbolTable::for_hosts(["h1", "h2"])),
+            pre_sync: vec![ideal_sync(h2())],
+            post_sync: vec![ideal_sync(h2())],
             end: Default::default(),
             warnings: vec![],
         };
@@ -659,7 +669,7 @@ mod tests {
 
         // But the same injection recorded *before* the WORK record is
         // definitely wrong (record order proves it).
-        let mut rec = Recorder::new(a, "a", "h2");
+        let mut rec = Recorder::new(a, h2());
         rec.record_state_change(LocalNanos::from_millis(1), go, init);
         rec.record_injection(LocalNanos::from_millis(9), f);
         rec.record_state_change(LocalNanos::from_millis(10), go, work);
@@ -668,10 +678,11 @@ mod tests {
             study: "s".into(),
             experiment: 0,
             timelines: vec![rec.finish()],
-            hosts: vec!["h1".into(), "h2".into()],
-            reference_host: "h1".into(),
-            pre_sync: vec![ideal_sync("h2")],
-            post_sync: vec![ideal_sync("h2")],
+            hosts: vec![HostId::from_raw(0), h2()],
+            reference_host: HostId::from_raw(0),
+            symbols: Arc::new(SymbolTable::for_hosts(["h1", "h2"])),
+            pre_sync: vec![ideal_sync(h2())],
+            post_sync: vec![ideal_sync(h2())],
             end: Default::default(),
             warnings: vec![],
         };
@@ -703,7 +714,7 @@ mod tests {
         let f3 = study.fault_names.lookup("f3").unwrap();
 
         let make = |inject_ms: u64| {
-            let mut rec = Recorder::new(a, "a", "h2");
+            let mut rec = Recorder::new(a, h2());
             rec.record_state_change(LocalNanos::from_millis(1), go, init);
             rec.record_injection(LocalNanos::from_millis(inject_ms), f3);
             rec.record_state_change(LocalNanos::from_millis(10), go, work);
@@ -712,10 +723,11 @@ mod tests {
                 study: "s".into(),
                 experiment: 0,
                 timelines: vec![rec.finish()],
-                hosts: vec!["h1".into(), "h2".into()],
-                reference_host: "h1".into(),
-                pre_sync: vec![ideal_sync("h2")],
-                post_sync: vec![ideal_sync("h2")],
+                hosts: vec![HostId::from_raw(0), h2()],
+                reference_host: HostId::from_raw(0),
+                symbols: Arc::new(SymbolTable::for_hosts(["h1", "h2"])),
+                pre_sync: vec![ideal_sync(h2())],
+                post_sync: vec![ideal_sync(h2())],
                 end: Default::default(),
                 warnings: vec![],
             }

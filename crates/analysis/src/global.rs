@@ -11,11 +11,11 @@
 use crate::error::AnalysisError;
 use loki_clock::sync::{estimate_alpha_beta, AlphaBetaBounds, SyncOptions};
 use loki_core::campaign::ExperimentData;
-use loki_core::ids::{EventId, FaultId, SmId, StateId};
+use loki_core::ids::{EventId, FaultId, HostId, SmId, StateId, SymbolTable};
 use loki_core::recorder::RecordKind;
 use loki_core::study::Study;
 use loki_core::time::{GlobalNanos, TimeBounds};
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The payload of a global-timeline event.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -37,8 +37,9 @@ pub enum GlobalEventKind {
     },
     /// The machine restarted on `host`.
     Restart {
-        /// Host of the new incarnation.
-        host: String,
+        /// Host of the new incarnation (resolve through
+        /// [`GlobalTimeline::host_name`]).
+        host: HostId,
     },
     /// A user message.
     UserMessage(String),
@@ -72,6 +73,12 @@ pub struct StateInterval {
 }
 
 /// The single global timeline of one experiment (§2.5).
+///
+/// Hosts appear as [`HostId`]s throughout; `alpha_beta` is a dense vector
+/// indexed by `HostId` (hosts the experiment never calibrated hold the
+/// identity projection — no record referenced them, or `make_global` would
+/// have failed). The study-run [`SymbolTable`] rides along behind an `Arc`
+/// so reports can resolve names without the (dropped) raw data.
 #[derive(Clone, Debug, PartialEq)]
 pub struct GlobalTimeline {
     /// All events, sorted by the midpoint of their bounds.
@@ -82,10 +89,13 @@ pub struct GlobalTimeline {
     pub start: GlobalNanos,
     /// Experiment window end (maximum upper bound over events).
     pub end: GlobalNanos,
-    /// Per-host `(α, β)` bounds used for the projection.
-    pub alpha_beta: HashMap<String, AlphaBetaBounds>,
+    /// Per-host `(α, β)` bounds used for the projection, indexed by
+    /// [`HostId`].
+    pub alpha_beta: Vec<AlphaBetaBounds>,
     /// The reference host.
-    pub reference_host: String,
+    pub reference_host: HostId,
+    /// The study-run symbol table resolving every [`HostId`] above.
+    pub symbols: Arc<SymbolTable>,
 }
 
 impl GlobalTimeline {
@@ -100,6 +110,34 @@ impl GlobalTimeline {
             GlobalEventKind::Injection { fault } => Some((e, fault)),
             _ => None,
         })
+    }
+
+    /// The name of `host` (display/report boundary).
+    pub fn host_name(&self, host: HostId) -> &str {
+        self.symbols.host_name(host)
+    }
+
+    /// Approximate heap + inline size of this timeline in bytes — the bulk
+    /// of a compact `AnalyzedExperiment`'s cross-channel payload. Used by
+    /// the campaign-pipeline benchmark to track how much each experiment
+    /// ships to the sink.
+    pub fn approx_size_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let strings: usize = self
+            .events
+            .iter()
+            .map(|e| match &e.kind {
+                GlobalEventKind::UserMessage(m) => m.len(),
+                _ => 0,
+            })
+            .sum();
+        size_of::<Self>()
+            + self.events.len() * size_of::<GlobalEvent>()
+            + self.intervals.len() * size_of::<StateInterval>()
+            + self.alpha_beta.len() * size_of::<AlphaBetaBounds>()
+            + strings
+        // `symbols` is shared per study run, not per experiment — the Arc
+        // pointer is already counted in `size_of::<Self>()`.
     }
 }
 
@@ -151,35 +189,57 @@ pub fn make_global(
 ) -> Result<GlobalTimeline, AnalysisError> {
     opts.validate()?;
     // --- alphabeta: per-host clock calibration -----------------------------
-    let mut alpha_beta: HashMap<String, AlphaBetaBounds> = HashMap::new();
-    alpha_beta.insert(data.reference_host.clone(), AlphaBetaBounds::identity());
-    for host in &data.hosts {
-        if *host == data.reference_host {
+    // Dense, indexed by `HostId`: the projection loop below resolves a
+    // record's bounds with one array index instead of hashing a host-name
+    // string per record. `None` marks hosts with no calibration — touching
+    // one from a timeline is the `UnknownHost` error. Ids outside the
+    // symbol table (malformed or foreign-table data) resolve to a
+    // placeholder label in error paths rather than panicking.
+    let host_label = |host: HostId| -> String {
+        data.symbols
+            .try_host_name(host)
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("<host #{}>", host.raw()))
+    };
+    let num_hosts = data
+        .symbols
+        .num_hosts()
+        .max(data.reference_host.index() + 1)
+        .max(data.hosts.iter().map(|h| h.index() + 1).max().unwrap_or(0));
+    let mut calibrated: Vec<Option<AlphaBetaBounds>> = vec![None; num_hosts];
+    calibrated[data.reference_host.index()] = Some(AlphaBetaBounds::identity());
+    for &host in &data.hosts {
+        if host == data.reference_host {
             continue;
         }
         let samples = data.sync_samples_for(host);
         let bounds =
             estimate_alpha_beta(&samples, &opts.sync).map_err(|source| AnalysisError::Sync {
-                host: host.clone(),
+                host: host_label(host),
                 source,
             })?;
-        alpha_beta.insert(host.clone(), bounds);
+        calibrated[host.index()] = Some(bounds);
     }
 
     // --- makeglobal: project every record -----------------------------------
-    let mut events: Vec<GlobalEvent> = Vec::new();
-    let mut intervals: Vec<StateInterval> = Vec::new();
+    // Exact capacity up front: one event per record, at most one interval
+    // per record — the loop below never reallocates.
+    let total_records: usize = data.timelines.iter().map(|t| t.records.len()).sum();
+    let mut events: Vec<GlobalEvent> = Vec::with_capacity(total_records);
+    let mut intervals: Vec<StateInterval> =
+        Vec::with_capacity(total_records + data.timelines.len());
 
     for timeline in &data.timelines {
         let mut current_state = study.reserved.begin;
         let mut open: Option<(StateId, TimeBounds)> = None;
 
         for (idx, host, record) in timeline.records_with_hosts() {
-            let ab = alpha_beta
-                .get(host)
+            let ab = calibrated
+                .get(host.index())
+                .and_then(|c| c.as_ref())
                 .ok_or_else(|| AnalysisError::UnknownHost {
-                    host: host.to_owned(),
-                    sm: timeline.sm_name.clone(),
+                    host: host_label(host),
+                    sm: study.sms.name(timeline.sm).to_owned(),
                 })?;
             let bounds = ab.project(record.time);
             let kind = match &record.kind {
@@ -219,7 +279,7 @@ pub fn make_global(
                     }
                     open = Some((study.reserved.begin, bounds));
                     current_state = study.reserved.begin;
-                    GlobalEventKind::Restart { host: host.clone() }
+                    GlobalEventKind::Restart { host: *host }
                 }
                 RecordKind::UserMessage(m) => GlobalEventKind::UserMessage(m.clone()),
             };
@@ -269,13 +329,21 @@ pub fn make_global(
         None => (start, end),
     };
 
+    // Uncalibrated hosts were never referenced (the loop above would have
+    // errored); the identity filler keeps the vector dense.
+    let alpha_beta: Vec<AlphaBetaBounds> = calibrated
+        .into_iter()
+        .map(|c| c.unwrap_or_else(AlphaBetaBounds::identity))
+        .collect();
+
     Ok(GlobalTimeline {
         events,
         intervals,
         start,
         end,
         alpha_beta,
-        reference_host: data.reference_host.clone(),
+        reference_host: data.reference_host,
+        symbols: data.symbols.clone(),
     })
 }
 
@@ -300,7 +368,7 @@ mod tests {
     }
 
     /// Sync samples for an ideal (identical) clock pair: tight bounds.
-    fn ideal_sync(host: &str) -> HostSync {
+    fn ideal_sync(host: loki_core::ids::HostId) -> HostSync {
         let mut samples = Vec::new();
         for k in 0..10u64 {
             let t = k * 1_000_000;
@@ -315,20 +383,20 @@ mod tests {
                 recv: LocalNanos(t + 550_000),
             });
         }
-        HostSync {
-            host: host.to_owned(),
-            samples,
-        }
+        HostSync { host, samples }
     }
 
     fn experiment(study: &Study) -> ExperimentData {
+        let symbols = Arc::new(SymbolTable::for_hosts(["h1", "h2"]));
+        let h1 = symbols.lookup_host("h1").unwrap();
+        let h2 = symbols.lookup_host("h2").unwrap();
         let a = study.sm_id("a").unwrap();
         let go = study.events.lookup("GO").unwrap();
         let done = study.events.lookup("DONE").unwrap();
         let init = study.states.lookup("INIT").unwrap();
         let work = study.states.lookup("WORK").unwrap();
         let exit = study.reserved.exit;
-        let mut rec = Recorder::new(a, "a", "h2");
+        let mut rec = Recorder::new(a, h2);
         rec.record_state_change(LocalNanos::from_millis(10), go, init);
         rec.record_state_change(LocalNanos::from_millis(20), go, work);
         rec.record_state_change(LocalNanos::from_millis(30), done, exit);
@@ -336,10 +404,11 @@ mod tests {
             study: "s".into(),
             experiment: 0,
             timelines: vec![rec.finish()],
-            hosts: vec!["h1".into(), "h2".into()],
-            reference_host: "h1".into(),
-            pre_sync: vec![ideal_sync("h2")],
-            post_sync: vec![ideal_sync("h2")],
+            hosts: vec![h1, h2],
+            reference_host: h1,
+            symbols,
+            pre_sync: vec![ideal_sync(h2)],
+            post_sync: vec![ideal_sync(h2)],
             end: Default::default(),
             warnings: vec![],
         }
@@ -468,11 +537,37 @@ mod tests {
     }
 
     #[test]
+    fn out_of_table_host_is_a_clean_unknown_host_error() {
+        // A timeline whose stint carries a HostId the symbol table never
+        // interned (e.g. loaded against a different table) must surface as
+        // `UnknownHost`, not an index panic.
+        let study = study();
+        let mut data = experiment(&study);
+        data.timelines[0].stints[0].host = loki_core::ids::HostId::from_raw(99);
+        let err = make_global(&study, &data, &GlobalOptions::default());
+        match err {
+            Err(AnalysisError::UnknownHost { host, .. }) => {
+                assert_eq!(host, "<host #99>");
+            }
+            other => panic!("expected UnknownHost, got {other:?}"),
+        }
+        // An in-table host with no sync data errs with its real name.
+        let mut data = experiment(&study);
+        let h2 = data.symbols.lookup_host("h2").unwrap();
+        data.hosts.retain(|&h| h != h2); // never calibrated
+        let err = make_global(&study, &data, &GlobalOptions::default());
+        assert!(
+            matches!(err, Err(AnalysisError::UnknownHost { ref host, .. }) if host == "h2"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
     fn reference_host_projects_exactly() {
         let study = study();
         let mut data = experiment(&study);
         // Move the machine onto the reference host: exact projection.
-        data.timelines[0].stints[0].host = "h1".into();
+        data.timelines[0].stints[0].host = data.reference_host;
         let gt = make_global(&study, &data, &GlobalOptions::default()).unwrap();
         let e = &gt.events[0];
         assert_eq!(e.bounds.lo.as_f64(), 10_000_000.0);

@@ -21,6 +21,19 @@
 //! campaign memory stays bounded by the worker count. [`analyze`] is the
 //! batch wrapper for callers that genuinely need the raw timelines next to
 //! their verdicts: it keeps each experiment's data in an [`AnalyzedRun`].
+//!
+//! ## Interned hosts and the display-boundary rule
+//!
+//! The per-experiment hot path is allocation-free with respect to
+//! identities: hosts arrive as dense
+//! [`HostId`](loki_core::ids::HostId)s from the study-run
+//! [`SymbolTable`](loki_core::ids::SymbolTable), `make_global` resolves a
+//! record's clock calibration by indexing a dense
+//! `Vec<AlphaBetaBounds>` (no per-record string hashing), and
+//! [`GlobalEvent`]/[`GlobalTimeline`] carry ids throughout. Names are
+//! resolved back to `&str` only at display/report boundaries —
+//! [`GlobalTimeline::host_name`], `study.sms.name(..)` — or inside error
+//! constructors, never per record.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -70,6 +83,37 @@ impl AnalyzedExperiment {
     pub fn accepted(&self) -> bool {
         self.end == ExperimentEnd::Completed
             && self.verdict.as_ref().map(|v| v.accepted).unwrap_or(false)
+    }
+
+    /// Approximate size in bytes of this compact result — what the
+    /// streaming pipeline ships across its channel per experiment. Host
+    /// interning keeps this free of per-record host strings; the
+    /// campaign-pipeline benchmark reports it to track payload growth.
+    pub fn approx_size_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let verdict = self
+            .verdict
+            .as_ref()
+            .map(|v| {
+                size_of::<ExperimentVerdict>()
+                    + v.checks.len() * size_of::<checker::InjectionCheck>()
+                    + v.missing.len() * size_of::<loki_core::ids::FaultId>()
+                    + v.checks
+                        .iter()
+                        .map(|c| match &c.verdict {
+                            Verdict::Incorrect { reason } => reason.len(),
+                            Verdict::Correct => 0,
+                        })
+                        .sum::<usize>()
+            })
+            .unwrap_or(0);
+        size_of::<Self>()
+            + self
+                .global
+                .as_ref()
+                .map(|g| g.approx_size_bytes())
+                .unwrap_or(0)
+            + verdict
     }
 }
 

@@ -3,10 +3,10 @@
 use loki_analysis::checker::expr_truth;
 use loki_analysis::global::{GlobalTimeline, StateInterval};
 use loki_core::fault::CompiledExpr;
-use loki_core::ids::Id;
+use loki_core::ids::{Id, SymbolTable};
 use loki_core::time::{GlobalNanos, TimeBounds};
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Builds a synthetic global timeline: for each machine, a sequence of
 /// state intervals with bounded-uncertainty transition times.
@@ -38,8 +38,9 @@ fn timeline_strategy() -> impl Strategy<Value = GlobalTimeline> {
             intervals,
             start: GlobalNanos(0.0),
             end: GlobalNanos(200.0),
-            alpha_beta: HashMap::new(),
-            reference_host: "ref".into(),
+            alpha_beta: Vec::new(),
+            reference_host: Id::from_raw(0),
+            symbols: Arc::new(SymbolTable::for_hosts(["ref"])),
         }
     })
 }
@@ -134,8 +135,9 @@ proptest! {
             intervals,
             start: GlobalNanos(0.0),
             end: GlobalNanos(100.0),
-            alpha_beta: HashMap::new(),
-            reference_host: "ref".into(),
+            alpha_beta: Vec::new(),
+            reference_host: Id::from_raw(0),
+            symbols: Arc::new(SymbolTable::for_hosts(["ref"])),
         };
         let window = (-1.0, 101.0);
         let truth = expr_truth(&gt, &expr, window);

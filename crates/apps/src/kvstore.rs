@@ -333,7 +333,7 @@ mod tests {
         data: &loki_core::campaign::ExperimentData,
         sm: &str,
     ) -> Vec<&'a str> {
-        data.timeline_for(sm)
+        data.timeline_for(study.sm_id(sm).unwrap())
             .unwrap()
             .records
             .iter()

@@ -340,7 +340,7 @@ mod tests {
         state: &str,
     ) -> usize {
         let sid = study.states.lookup(state).unwrap();
-        data.timeline_for(sm)
+        data.timeline_for(study.sm_id(sm).unwrap())
             .unwrap()
             .records
             .iter()

@@ -6,25 +6,29 @@
 //! our implementation's equivalents, plus the off-line analysis and
 //! measure-evaluation costs.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, BatchSize, Criterion};
+use loki_analysis::global::{make_global, GlobalOptions};
 use loki_analysis::{accepted_timelines, analyze, AnalysisOptions};
 use loki_apps::token_ring::{ring_factory, ring_study, RingConfig};
 use loki_bench::accuracy::{injection_accuracy, AccuracyConfig};
+use loki_bench::report;
 use loki_clock::params::{ClockParams, VirtualClock};
-use loki_clock::sync::{estimate_alpha_beta, SyncOptions};
-use loki_core::campaign::SyncSample;
+use loki_clock::sync::{estimate_alpha_beta, AlphaBetaBounds, SyncOptions};
+use loki_core::campaign::{ExperimentData, HostSync, SyncSample};
 use loki_core::fault::{FaultExpr, FaultParser, Trigger};
-use loki_core::ids::Id;
-use loki_core::recorder::Recorder;
+use loki_core::ids::{Id, StateId, SymbolTable};
+use loki_core::recorder::{RecordKind, Recorder};
 use loki_core::spec::{StateMachineSpec, StudyDef};
 use loki_core::study::Study;
-use loki_core::time::LocalNanos;
+use loki_core::time::{LocalNanos, TimeBounds};
 use loki_core::view::PartialView;
 use loki_measure::fig42::{fig_4_2, predicate_3};
 use loki_measure::obsfn::{ImpulseStep, ObservationFn, UpDown};
 use loki_measure::prelude::*;
 use loki_runtime::harness::{run_study_with_workers, CampaignPipeline, SimHarnessConfig};
 use loki_runtime::messages::NotifyRouting;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Fault parser re-evaluation on a view change (the §3.5.5 hot path).
 fn bench_fault_parser(c: &mut Criterion) {
@@ -138,7 +142,7 @@ fn bench_fault_parser_incremental(c: &mut Criterion) {
 fn bench_recorder(c: &mut Criterion) {
     c.bench_function("recorder/append_state_change", |bencher| {
         bencher.iter_batched(
-            || Recorder::new(Id::from_raw(0), "m", "h"),
+            || Recorder::new(Id::from_raw(0), Id::from_raw(0)),
             |mut rec| {
                 for i in 0..100u64 {
                     rec.record_state_change(LocalNanos(i), Id::from_raw(0), Id::from_raw(1));
@@ -216,6 +220,278 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
+/// A large multi-host analyze-phase fixture: 32 machines over 8 hosts
+/// with fleet-style FQDN names, each timeline segmented by restart churn
+/// into 64 host stints, ~250 records per machine (state changes plus one
+/// injection per stint).
+fn make_global_fixture() -> (Study, ExperimentData) {
+    const MACHINES: u32 = 32;
+    const HOSTS: u32 = 8;
+    const STINTS: u64 = 64;
+    const CHANGES_PER_STINT: u64 = 2;
+
+    let def = (0..MACHINES).fold(StudyDef::new("mg32"), |def, i| {
+        def.machine(
+            StateMachineSpec::builder(&format!("m{i}"))
+                .states(&["A", "B"])
+                .events(&["GO"])
+                .state("A", &[], &[("GO", "B")])
+                .state("B", &[], &[("GO", "A")])
+                .build(),
+        )
+    });
+    let def = (0..MACHINES).fold(def, |def, i| {
+        def.fault(
+            &format!("m{i}"),
+            &format!("f{i}"),
+            FaultExpr::atom(&format!("m{i}"), "B"),
+            Trigger::Always,
+        )
+    });
+    let study = Study::compile(&def).expect("valid study");
+
+    // Realistic fleet-style host names: the PR 3 baseline hashed one of
+    // these per record.
+    let symbols =
+        Arc::new(SymbolTable::for_hosts((0..HOSTS).map(|h| {
+            format!("worker-{h:02}.rack{}.dc1.cluster.example.com", h % 4)
+        })));
+    let go = study.events.lookup("GO").unwrap();
+    let a_state = study.states.lookup("A").unwrap();
+    let b_state = study.states.lookup("B").unwrap();
+
+    let timelines = (0..MACHINES)
+        .map(|m| {
+            let sm = study.sm_id(&format!("m{m}")).unwrap();
+            let fault = study.fault_names.lookup(&format!("f{m}")).unwrap();
+            let first_host = Id::from_raw(m % HOSTS);
+            let mut rec = Recorder::new(sm, first_host);
+            let mut t = 1_000_000u64;
+            for stint in 0..STINTS {
+                if stint > 0 {
+                    let host = Id::from_raw((m + stint as u32) % HOSTS);
+                    rec = Recorder::resume(rec.finish(), LocalNanos(t), host);
+                    t += 500_000;
+                }
+                for k in 0..CHANGES_PER_STINT {
+                    let state = if k % 2 == 0 { b_state } else { a_state };
+                    rec.record_state_change(LocalNanos(t), go, state);
+                    t += 700_000;
+                    if k == 0 {
+                        rec.record_injection(LocalNanos(t), fault);
+                        t += 100_000;
+                    }
+                }
+            }
+            rec.record_state_change(LocalNanos(t), go, study.reserved.exit);
+            rec.finish()
+        })
+        .collect();
+
+    let sync_for = |host: u32| {
+        let mut samples = Vec::new();
+        for k in 0..8u64 {
+            let t = k * 1_000_000 + host as u64 * 37;
+            samples.push(SyncSample {
+                from_reference: true,
+                send: LocalNanos(t),
+                recv: LocalNanos(t + 45_000),
+            });
+            samples.push(SyncSample {
+                from_reference: false,
+                send: LocalNanos(t + 450_000),
+                recv: LocalNanos(t + 495_000),
+            });
+        }
+        HostSync {
+            host: Id::from_raw(host),
+            samples,
+        }
+    };
+    let data = ExperimentData {
+        study: "mg32".into(),
+        experiment: 0,
+        timelines,
+        hosts: symbols.host_ids().collect(),
+        reference_host: Id::from_raw(0),
+        symbols,
+        pre_sync: (1..HOSTS).map(sync_for).collect(),
+        post_sync: (1..HOSTS).map(sync_for).collect(),
+        end: Default::default(),
+        warnings: vec![],
+    };
+    (study, data)
+}
+
+/// The event payload the PR 3 `GlobalEventKind` carried: ids for state
+/// changes and injections, an owned `String` for restart hosts.
+#[allow(dead_code)] // mirrors the retired type; fields exist to be built
+enum BaselineKind {
+    StateChange {
+        event: loki_core::ids::EventId,
+        from_state: StateId,
+        new_state: StateId,
+    },
+    Injection {
+        fault: loki_core::ids::FaultId,
+    },
+    Restart {
+        host: String,
+    },
+    UserMessage(String),
+}
+
+#[allow(dead_code)] // mirrors the retired type; fields exist to be built
+struct BaselineEvent {
+    sm: u32,
+    kind: BaselineKind,
+    bounds: TimeBounds,
+    record_index: usize,
+}
+
+type BaselineInterval = (u32, StateId, TimeBounds, Option<TimeBounds>);
+
+/// The PR 3 string-based `make_global`, reproduced cost-for-cost: a
+/// name-keyed `HashMap<String, AlphaBetaBounds>` for calibration, a full
+/// stint rescan (`host_of_record`) plus a string-hash lookup per record,
+/// owned host `String`s cloned into restart events, no capacity
+/// reservation — and the same event/interval construction and final sort
+/// as the real thing, so the comparison isolates exactly what interning
+/// and the cursor scan removed.
+fn make_global_strings_baseline(
+    study: &Study,
+    data: &ExperimentData,
+) -> (
+    Vec<BaselineEvent>,
+    Vec<BaselineInterval>,
+    HashMap<String, AlphaBetaBounds>,
+) {
+    let opts = SyncOptions::default();
+    let mut alpha_beta: HashMap<String, AlphaBetaBounds> = HashMap::new();
+    alpha_beta.insert(
+        data.host_name(data.reference_host).to_owned(),
+        AlphaBetaBounds::identity(),
+    );
+    for &host in &data.hosts {
+        if host == data.reference_host {
+            continue;
+        }
+        let samples = data.sync_samples_for(host);
+        let bounds = estimate_alpha_beta(&samples, &opts).unwrap();
+        alpha_beta.insert(data.host_name(host).to_owned(), bounds);
+    }
+
+    let mut events: Vec<BaselineEvent> = Vec::new();
+    let mut intervals: Vec<BaselineInterval> = Vec::new();
+    for timeline in &data.timelines {
+        let mut current_state = study.reserved.begin;
+        let mut open: Option<(StateId, TimeBounds)> = None;
+        for (idx, record) in timeline.records.iter().enumerate() {
+            // PR 3 shape: full stint scan per record, then hash the name.
+            let host = data.host_name(timeline.host_of_record(idx));
+            let ab = &alpha_beta[host];
+            let bounds = ab.project(record.time);
+            let kind = match &record.kind {
+                RecordKind::StateChange { event, new_state } => {
+                    let from_state = current_state;
+                    if let Some((state, enter)) = open.take() {
+                        intervals.push((timeline.sm.raw(), state, enter, Some(bounds)));
+                    }
+                    open = Some((*new_state, bounds));
+                    current_state = *new_state;
+                    BaselineKind::StateChange {
+                        event: *event,
+                        from_state,
+                        new_state: *new_state,
+                    }
+                }
+                RecordKind::FaultInjection { fault } => BaselineKind::Injection { fault: *fault },
+                RecordKind::Restart { host } => {
+                    if let Some((state, enter)) = open.take() {
+                        intervals.push((timeline.sm.raw(), state, enter, Some(bounds)));
+                    }
+                    open = Some((study.reserved.begin, bounds));
+                    current_state = study.reserved.begin;
+                    BaselineKind::Restart {
+                        host: data.host_name(*host).to_owned(),
+                    }
+                }
+                RecordKind::UserMessage(m) => BaselineKind::UserMessage(m.clone()),
+            };
+            events.push(BaselineEvent {
+                sm: timeline.sm.raw(),
+                kind,
+                bounds,
+                record_index: idx,
+            });
+        }
+        if let Some((state, enter)) = open.take() {
+            intervals.push((timeline.sm.raw(), state, enter, None));
+        }
+    }
+    events.sort_by(|a, b| a.bounds.mid().total_cmp(&b.bounds.mid()));
+    (events, intervals, alpha_beta)
+}
+
+/// `make_global` on the 32-machine / 8-host / 64-stint view: the interned
+/// hot path against the PR 3 string-based baseline. The untimed gauge pass
+/// records the speedup and ns/op for the `BENCH_pr4.json` artifact.
+fn bench_make_global(c: &mut Criterion) {
+    let names = [
+        "make_global_32m/interned",
+        "make_global_32m/strings_baseline",
+    ];
+    if names.iter().all(|n| criterion::is_filtered_out(n)) {
+        return;
+    }
+    let (study, data) = make_global_fixture();
+    let opts = GlobalOptions::default();
+
+    // Sanity: both paths see the same projected event count.
+    let gt = make_global(&study, &data, &opts).expect("fixture analyzes");
+    let (ref_events, ref_intervals, _) = make_global_strings_baseline(&study, &data);
+    assert_eq!(gt.events.len(), ref_events.len());
+    assert_eq!(gt.intervals.len(), ref_intervals.len());
+
+    // Untimed gauge pass for the metrics artifact.
+    let time = |f: &dyn Fn()| {
+        const ITERS: u32 = 20;
+        for _ in 0..3 {
+            f(); // warm up caches and the allocator
+        }
+        let start = std::time::Instant::now();
+        for _ in 0..ITERS {
+            f();
+        }
+        start.elapsed().as_nanos() as f64 / ITERS as f64
+    };
+    let interned_ns = time(&|| {
+        criterion::black_box(make_global(&study, &data, &opts).unwrap());
+    });
+    let strings_ns = time(&|| {
+        criterion::black_box(make_global_strings_baseline(&study, &data));
+    });
+    report::record("make_global_32m_ns_per_op", interned_ns);
+    report::record("make_global_32m_strings_ns_per_op", strings_ns);
+    report::record("make_global_32m_speedup", strings_ns / interned_ns);
+    println!(
+        "make_global_32m: interned {:.0} ns/op, string baseline {:.0} ns/op ({:.2}x)",
+        interned_ns,
+        strings_ns,
+        strings_ns / interned_ns
+    );
+
+    let mut group = c.benchmark_group("make_global_32m");
+    group.sample_size(20);
+    group.bench_function("interned", |bencher| {
+        bencher.iter(|| criterion::black_box(make_global(&study, &data, &opts).unwrap()))
+    });
+    group.bench_function("strings_baseline", |bencher| {
+        bencher.iter(|| criterion::black_box(make_global_strings_baseline(&study, &data)))
+    });
+    group.finish();
+}
+
 /// Campaign-level throughput: the batch collect-everything path
 /// (`run_study` → `analyze` → measure fold over all accepted timelines)
 /// against the streaming `CampaignPipeline` + `StudyAccumulator` on the
@@ -262,29 +538,37 @@ fn bench_campaign_pipeline(c: &mut Criterion) {
     let run_streaming = || {
         let pipeline = CampaignPipeline::new(study.clone(), factory(), cfg.clone());
         let mut acc = StudyAccumulator::new(measure());
+        let mut compact_bytes = 0usize;
         let summary = pipeline.run_with_workers(EXPERIMENTS, WORKERS, |analyzed| {
+            compact_bytes += analyzed.approx_size_bytes();
             acc.push(&study, &analyzed).expect("measure evaluates");
         });
-        (acc.into_values(), summary)
+        (acc.into_values(), summary, compact_bytes)
     };
 
     // One untimed pass for the campaign-level gauges the timer can't show:
-    // experiments/sec and peak resident raw experiments, batch vs
-    // streaming. The batch path by construction holds every experiment.
+    // experiments/sec, peak resident raw experiments, and the compact
+    // cross-channel payload per experiment (host interning shrank it; the
+    // artifact tracks it from PR 4 on).
     let start = std::time::Instant::now();
     let batch_values = run_batch();
     let batch_rate = EXPERIMENTS as f64 / start.elapsed().as_secs_f64();
     let start = std::time::Instant::now();
-    let (streaming_values, summary) = run_streaming();
+    let (streaming_values, summary, compact_bytes) = run_streaming();
     let streaming_rate = EXPERIMENTS as f64 / start.elapsed().as_secs_f64();
     assert_eq!(
         batch_values, streaming_values,
         "pipeline must be unobservable"
     );
+    let bytes_per_experiment = compact_bytes as f64 / EXPERIMENTS as f64;
+    report::record("campaign_pipeline_streaming_exp_per_sec", streaming_rate);
+    report::record("campaign_pipeline_batch_exp_per_sec", batch_rate);
+    report::record("compact_result_bytes_per_experiment", bytes_per_experiment);
     println!(
         "campaign_pipeline: {EXPERIMENTS} experiments, {WORKERS} workers — \
          batch {batch_rate:.1} exp/s holding {EXPERIMENTS} raw experiments; \
-         streaming {streaming_rate:.1} exp/s holding peak {} raw experiments",
+         streaming {streaming_rate:.1} exp/s holding peak {} raw experiments; \
+         compact result {bytes_per_experiment:.0} bytes/experiment",
         summary.peak_raw_retained
     );
 
@@ -306,7 +590,15 @@ criterion_group!(
     bench_recorder,
     bench_clock_sync,
     bench_measure,
+    bench_make_global,
     bench_pipeline,
     bench_campaign_pipeline
 );
-criterion_main!(benches);
+
+// Custom main instead of `criterion_main!`: after the groups run, flush
+// the collected metrics to the `$LOKI_BENCH_JSON` artifact (no-op when the
+// variable is unset).
+fn main() {
+    benches();
+    report::flush();
+}

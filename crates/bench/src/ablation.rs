@@ -96,13 +96,15 @@ pub fn notification_latency(
     };
 
     let armed = study.states.lookup("ARMED").expect("state exists");
+    let target_sm = study.sm_id("target").expect("machine exists");
+    let injector_sm = study.sm_id("injector").expect("machine exists");
     // The latency extraction needs *raw* record timestamps, so it runs as
     // a pipeline tap: inside the worker, on the raw data, right before the
     // data is dropped. Only the extracted `Option<f64>` flows back (in
     // experiment order), keeping this campaign on the bounded-memory path.
     let extract = move |data: &ExperimentData| -> Option<f64> {
-        let target = data.timeline_for("target")?;
-        let injector = data.timeline_for("injector")?;
+        let target = data.timeline_for(target_sm)?;
+        let injector = data.timeline_for(injector_sm)?;
         let entry = target.records.iter().find_map(|r| match r.kind {
             RecordKind::StateChange { new_state, .. } if new_state == armed => {
                 Some(r.time.as_nanos())

@@ -1,0 +1,70 @@
+//! Machine-readable benchmark metrics (`BENCH_pr*.json` artifacts).
+//!
+//! Benchmarks call [`record`] with flat `key → value` metrics as they run;
+//! a custom `main` calls [`flush`] once at the end. When the
+//! `LOKI_BENCH_JSON` environment variable names a path, the collected
+//! metrics are written there as a single JSON object — CI uploads the file
+//! as an artifact so the perf trajectory (experiments/sec, `make_global`
+//! ns/op, compact-result bytes) is tracked across PRs. Without the
+//! variable, [`flush`] is a no-op, so local `cargo bench` runs are
+//! unaffected.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+static METRICS: Mutex<BTreeMap<String, f64>> = Mutex::new(BTreeMap::new());
+
+/// Records one metric. Last write per key wins; keys are emitted sorted.
+pub fn record(key: &str, value: f64) {
+    METRICS
+        .lock()
+        .expect("bench metrics lock")
+        .insert(key.to_owned(), value);
+}
+
+/// Serializes the recorded metrics as a JSON object (stable key order).
+pub fn to_json() -> String {
+    let metrics = METRICS.lock().expect("bench metrics lock");
+    let mut out = String::from("{\n");
+    for (i, (key, value)) in metrics.iter().enumerate() {
+        let comma = if i + 1 == metrics.len() { "" } else { "," };
+        // Finite f64 values only; NaN/inf would produce invalid JSON.
+        let value = if value.is_finite() { *value } else { -1.0 };
+        out.push_str(&format!("  \"{key}\": {value}{comma}\n"));
+    }
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+/// Writes the metrics to `$LOKI_BENCH_JSON` if set; no-op otherwise.
+pub fn flush() {
+    let Ok(path) = std::env::var("LOKI_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let json = to_json();
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("bench metrics written to {path}"),
+        Err(e) => eprintln!("bench metrics: failed to write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_serialize_as_sorted_json() {
+        record("zeta", 2.5);
+        record("alpha", 1.0);
+        record("alpha", 3.0); // last write wins
+        let json = to_json();
+        let alpha = json.find("\"alpha\": 3").expect("alpha present");
+        let zeta = json.find("\"zeta\": 2.5").expect("zeta present");
+        assert!(alpha < zeta, "keys must be sorted: {json}");
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

@@ -6,9 +6,11 @@
 //! machine plus the synchronization samples gathered in the mini-phases
 //! before and after the run (§2.3). The analysis phase consumes these.
 
+use crate::ids::{HostId, SmId, SymbolTable};
 use crate::recorder::LocalTimeline;
 use crate::time::LocalNanos;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One synchronization message exchanged between a host and the reference
 /// host during a sync mini-phase.
@@ -29,10 +31,10 @@ pub struct SyncSample {
 }
 
 /// All sync samples between one host and the reference host.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HostSync {
     /// The calibrated (non-reference) host.
-    pub host: String,
+    pub host: HostId,
     /// The samples, in exchange order.
     pub samples: Vec<SyncSample>,
 }
@@ -51,6 +53,12 @@ pub enum ExperimentEnd {
 }
 
 /// The raw output of one experiment run.
+///
+/// Hosts are interned [`HostId`]s; the study-wide [`SymbolTable`] that
+/// resolves them rides along behind an `Arc` (one shared table per study
+/// run, not one per experiment), so cloning an `ExperimentData` clones no
+/// host strings and the analysis phase indexes hosts instead of hashing
+/// names.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentData {
     /// The study this experiment instantiates.
@@ -60,10 +68,12 @@ pub struct ExperimentData {
     /// One local timeline per state machine that ever ran.
     pub timelines: Vec<LocalTimeline>,
     /// All hosts that participated.
-    pub hosts: Vec<String>,
+    pub hosts: Vec<HostId>,
     /// The reference host for the global timeline (the fastest machine,
     /// §5.7).
-    pub reference_host: String,
+    pub reference_host: HostId,
+    /// The study-run symbol table resolving every [`HostId`] above.
+    pub symbols: Arc<SymbolTable>,
     /// Sync samples from the mini-phase before the run.
     pub pre_sync: Vec<HostSync>,
     /// Sync samples from the mini-phase after the run.
@@ -76,7 +86,7 @@ pub struct ExperimentData {
 
 impl ExperimentData {
     /// All sync samples (pre- and post-phase) for `host`, in order.
-    pub fn sync_samples_for(&self, host: &str) -> Vec<SyncSample> {
+    pub fn sync_samples_for(&self, host: HostId) -> Vec<SyncSample> {
         let mut out = Vec::new();
         for phase in [&self.pre_sync, &self.post_sync] {
             for hs in phase.iter().filter(|hs| hs.host == host) {
@@ -86,9 +96,14 @@ impl ExperimentData {
         out
     }
 
-    /// The timeline for the machine named `sm`, if present.
-    pub fn timeline_for(&self, sm: &str) -> Option<&LocalTimeline> {
-        self.timelines.iter().find(|t| t.sm_name == sm)
+    /// The timeline of machine `sm`, if present.
+    pub fn timeline_for(&self, sm: SmId) -> Option<&LocalTimeline> {
+        self.timelines.iter().find(|t| t.sm == sm)
+    }
+
+    /// The name of `host`, resolved through the study-run symbol table.
+    pub fn host_name(&self, host: HostId) -> &str {
+        self.symbols.host_name(host)
     }
 
     /// Total number of fault injections across all timelines.
@@ -104,16 +119,20 @@ mod tests {
     use crate::recorder::Recorder;
 
     fn data() -> ExperimentData {
-        let mut rec = Recorder::new(Id::from_raw(0), "black", "h1");
+        let symbols = Arc::new(SymbolTable::for_hosts(["h1", "h2", "h3"]));
+        let h1 = symbols.lookup_host("h1").unwrap();
+        let h2 = symbols.lookup_host("h2").unwrap();
+        let mut rec = Recorder::new(Id::from_raw(0), h1);
         rec.record_injection(LocalNanos(5), Id::from_raw(0));
         ExperimentData {
             study: "s1".into(),
             experiment: 0,
             timelines: vec![rec.finish()],
-            hosts: vec!["h1".into(), "h2".into()],
-            reference_host: "h1".into(),
+            hosts: vec![h1, h2],
+            reference_host: h1,
+            symbols,
             pre_sync: vec![HostSync {
-                host: "h2".into(),
+                host: h2,
                 samples: vec![SyncSample {
                     from_reference: true,
                     send: LocalNanos(1),
@@ -121,7 +140,7 @@ mod tests {
                 }],
             }],
             post_sync: vec![HostSync {
-                host: "h2".into(),
+                host: h2,
                 samples: vec![SyncSample {
                     from_reference: false,
                     send: LocalNanos(9),
@@ -136,18 +155,21 @@ mod tests {
     #[test]
     fn sync_samples_concatenate_phases() {
         let d = data();
-        let samples = d.sync_samples_for("h2");
+        let h2 = d.symbols.lookup_host("h2").unwrap();
+        let h3 = d.symbols.lookup_host("h3").unwrap();
+        let samples = d.sync_samples_for(h2);
         assert_eq!(samples.len(), 2);
         assert!(samples[0].from_reference);
         assert!(!samples[1].from_reference);
-        assert!(d.sync_samples_for("h3").is_empty());
+        assert!(d.sync_samples_for(h3).is_empty());
     }
 
     #[test]
     fn lookup_and_counting() {
         let d = data();
-        assert!(d.timeline_for("black").is_some());
-        assert!(d.timeline_for("white").is_none());
+        assert!(d.timeline_for(Id::from_raw(0)).is_some());
+        assert!(d.timeline_for(Id::from_raw(9)).is_none());
+        assert_eq!(d.host_name(d.reference_host), "h1");
         assert_eq!(d.total_injections(), 1);
         assert_eq!(d.end, ExperimentEnd::Completed);
     }

@@ -1,10 +1,14 @@
-//! Interned identifiers for state machines, states, events, and faults.
+//! Interned identifiers for state machines, states, events, faults, and
+//! hosts.
 //!
 //! The thesis's on-disk timeline format replaces names with small integer
 //! indices "to make the local timeline compact and decrease intrusion during
 //! recording" (§3.5.6). We use the same scheme in memory: every name is
 //! interned once per study into a [`NameTable`], and the runtime manipulates
-//! only the typed index newtypes below.
+//! only the typed index newtypes below. Names the *runtime* discovers —
+//! hosts from the harness configuration, free-form symbols — intern into a
+//! per-study-run [`SymbolTable`] that is `Arc`-shared into every worker;
+//! ids resolve back to strings only at display/report boundaries.
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -23,6 +27,12 @@ pub enum EventTag {}
 /// Marker for fault names.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum FaultTag {}
+/// Marker for host names (see [`SymbolTable`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum HostTag {}
+/// Marker for free-form interned symbols (see [`SymbolTable`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SymTag {}
 
 /// A typed index into a [`NameTable`].
 ///
@@ -98,6 +108,15 @@ pub type StateId = Id<StateTag>;
 pub type EventId = Id<EventTag>;
 /// Index of a fault within the study-wide fault list.
 pub type FaultId = Id<FaultTag>;
+/// Index of a host within a study's [`SymbolTable`].
+///
+/// Host ids are dense (`0..num_hosts`) and assigned in the deterministic
+/// order the harness configuration lists its hosts, so the same study
+/// configuration always produces the same ids — a prerequisite for the
+/// byte-identical-results guarantee across worker counts and backends.
+pub type HostId = Id<HostTag>;
+/// Index of a free-form interned symbol within a study's [`SymbolTable`].
+pub type SymId = Id<SymTag>;
 
 /// An order-preserving name interner.
 ///
@@ -207,6 +226,138 @@ impl<Tag> NameTable<Tag> {
     }
 }
 
+/// Per-study interner for names discovered by the *runtime* rather than the
+/// study specification: host names and free-form symbols.
+///
+/// State-machine, state, event, and fault names are interned at study
+/// compile time (the [`NameTable`]s inside `Study`); host names come from
+/// the harness configuration instead. The harness builds one `SymbolTable`
+/// per study run — interning every host in configuration order, so ids are
+/// dense and deterministic — and shares it immutably (`Arc`) with every
+/// worker. Timelines, sync records, and the global timeline then carry
+/// [`HostId`]s; the table is consulted only at display/report boundaries.
+///
+/// # Examples
+///
+/// ```
+/// use loki_core::ids::SymbolTable;
+///
+/// let table = SymbolTable::for_hosts(["host1", "host2"]);
+/// let h2 = table.lookup_host("host2").unwrap();
+/// assert_eq!(h2.raw(), 1);
+/// assert_eq!(table.host_name(h2), "host2");
+/// assert_eq!(table.num_hosts(), 2);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SymbolTable {
+    hosts: NameTable<HostTag>,
+    syms: NameTable<SymTag>,
+}
+
+impl Default for SymbolTable {
+    fn default() -> Self {
+        SymbolTable {
+            hosts: NameTable::new(),
+            syms: NameTable::new(),
+        }
+    }
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Builds a table with `hosts` interned in iteration order (the
+    /// deterministic id assignment the harness relies on).
+    pub fn for_hosts<I, S>(hosts: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut t = SymbolTable::new();
+        for h in hosts {
+            t.intern_host(h.as_ref());
+        }
+        t
+    }
+
+    /// Interns a host name, returning its id (idempotent).
+    pub fn intern_host(&mut self, name: &str) -> HostId {
+        self.hosts.intern(name)
+    }
+
+    /// Looks up an already-interned host.
+    pub fn lookup_host(&self, name: &str) -> Option<HostId> {
+        self.hosts.lookup(name)
+    }
+
+    /// The name of host `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn host_name(&self, id: HostId) -> &str {
+        self.hosts.name(id)
+    }
+
+    /// The name of host `id`, or `None` when `id` is not from this table
+    /// (e.g. a timeline interned against a different table). Error paths
+    /// use this so malformed data reports cleanly instead of panicking.
+    pub fn try_host_name(&self, id: HostId) -> Option<&str> {
+        self.hosts.names.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of interned hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Iterates over `(id, name)` pairs of all hosts in interning order.
+    pub fn hosts(&self) -> impl Iterator<Item = (HostId, &str)> {
+        self.hosts.iter()
+    }
+
+    /// All host ids in interning order.
+    pub fn host_ids(&self) -> impl Iterator<Item = HostId> {
+        self.hosts.ids()
+    }
+
+    /// Interns a free-form symbol, returning its id (idempotent).
+    pub fn intern_sym(&mut self, name: &str) -> SymId {
+        self.syms.intern(name)
+    }
+
+    /// Looks up an already-interned symbol.
+    pub fn lookup_sym(&self, name: &str) -> Option<SymId> {
+        self.syms.lookup(name)
+    }
+
+    /// The text of symbol `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn sym_name(&self, id: SymId) -> &str {
+        self.syms.name(id)
+    }
+
+    /// Number of interned symbols.
+    pub fn num_syms(&self) -> usize {
+        self.syms.len()
+    }
+}
+
+/// Tables are equal when they intern the same names in the same order
+/// (the reverse indices are derived state).
+impl PartialEq for SymbolTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.hosts.names == other.hosts.names && self.syms.names == other.syms.names
+    }
+}
+impl Eq for SymbolTable {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +400,30 @@ mod tests {
         fn takes_sm(_: SmId) {}
         let mut t: NameTable<SmTag> = NameTable::new();
         takes_sm(t.intern("x"));
+    }
+
+    #[test]
+    fn symbol_table_hosts_and_syms_are_separate_spaces() {
+        let mut t = SymbolTable::for_hosts(["h1", "h2"]);
+        assert_eq!(t.num_hosts(), 2);
+        assert_eq!(t.lookup_host("h1").map(|h| h.raw()), Some(0));
+        assert_eq!(t.lookup_host("nope"), None);
+        let s = t.intern_sym("h1"); // same text, different namespace
+        assert_eq!(s.raw(), 0);
+        assert_eq!(t.num_syms(), 1);
+        assert_eq!(t.sym_name(s), "h1");
+        assert_eq!(t.host_ids().count(), 2);
+        let names: Vec<&str> = t.hosts().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["h1", "h2"]);
+    }
+
+    #[test]
+    fn symbol_table_equality_ignores_derived_indices() {
+        let a = SymbolTable::for_hosts(["x", "y"]);
+        let b = SymbolTable::for_hosts(["x", "y"]);
+        let c = SymbolTable::for_hosts(["y", "x"]);
+        assert_eq!(a, b);
+        assert_ne!(a, c); // interning order is part of the identity
     }
 
     #[test]

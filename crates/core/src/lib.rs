@@ -5,6 +5,12 @@
 //! CRHC-00-09). This crate contains the paper's primary concepts, free of
 //! any I/O or scheduling concerns:
 //!
+//! * [`ids`] — typed interned identifiers: study-compile-time
+//!   [`ids::NameTable`]s for machines/states/events/faults and the
+//!   per-study-run [`ids::SymbolTable`] interning hosts ([`ids::HostId`])
+//!   and free-form symbols ([`ids::SymId`]). Hot paths manipulate only
+//!   the dense `u32` ids; names are resolved at display/report
+//!   boundaries.
 //! * [`spec`] / [`study`] — state machine and fault specifications, and
 //!   their compiled, validated form.
 //! * [`state_machine`] — the per-node tracker of the *partial view of

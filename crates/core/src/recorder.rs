@@ -7,8 +7,14 @@
 //! *different* host (§3.6.3), a timeline is segmented into [`HostStint`]s:
 //! runs of records whose timestamps were produced by one particular host's
 //! clock.
+//!
+//! Hosts appear as interned [`HostId`]s from the study's
+//! [`SymbolTable`](crate::ids::SymbolTable) — the timeline carries no owned
+//! strings except user messages, so cloning a record is a few machine words
+//! and the analysis hot path resolves hosts by array index, not by hashing
+//! names. Names reappear only at display/report boundaries.
 
-use crate::ids::{EventId, FaultId, SmId, StateId};
+use crate::ids::{EventId, FaultId, HostId, SmId, StateId};
 use crate::time::LocalNanos;
 use serde::{Deserialize, Serialize};
 
@@ -29,11 +35,11 @@ pub enum RecordKind {
         /// The injected fault.
         fault: FaultId,
     },
-    /// The node restarted on `host`; the host name is recorded because
+    /// The node restarted on `host`; the host is recorded because
     /// subsequent timestamps come from that host's clock (§3.6.3).
     Restart {
         /// Host the node restarted on.
-        host: String,
+        host: HostId,
     },
     /// A free-form user message (§3.5.6 allows arbitrary messages).
     UserMessage(String),
@@ -49,21 +55,22 @@ pub struct TimelineRecord {
 }
 
 /// A run of records timestamped by one host's clock.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HostStint {
     /// The host whose clock stamped these records.
-    pub host: String,
+    pub host: HostId,
     /// Index of the first record of the stint.
     pub first_record: usize,
 }
 
 /// The local timeline of one state machine across one experiment.
+///
+/// The machine's nickname is not stored — `sm` resolves through the study's
+/// name table when a report needs it.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LocalTimeline {
     /// The state machine this timeline belongs to.
     pub sm: SmId,
-    /// The machine's nickname (kept for the on-disk header).
-    pub sm_name: String,
     /// All records in append order.
     pub records: Vec<TimelineRecord>,
     /// Host stints covering `records`; always non-empty, and
@@ -72,16 +79,20 @@ pub struct LocalTimeline {
 }
 
 impl LocalTimeline {
-    /// The host whose clock stamped record `index`.
+    /// The host whose clock stamped record `index` (point lookup).
+    ///
+    /// For a full scan use [`records_with_hosts`](Self::records_with_hosts),
+    /// which advances a stint cursor once instead of rescanning the stints
+    /// per record.
     ///
     /// # Panics
     ///
     /// Panics if the timeline has no stints (it always has at least one).
-    pub fn host_of_record(&self, index: usize) -> &str {
-        let mut host = &self.stints[0].host;
+    pub fn host_of_record(&self, index: usize) -> HostId {
+        let mut host = self.stints[0].host;
         for stint in &self.stints {
             if stint.first_record <= index {
-                host = &stint.host;
+                host = stint.host;
             } else {
                 break;
             }
@@ -89,12 +100,20 @@ impl LocalTimeline {
         host
     }
 
-    /// Iterates over `(record index, host, record)`.
-    pub fn records_with_hosts(&self) -> impl Iterator<Item = (usize, &str, &TimelineRecord)> {
-        self.records
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (i, self.host_of_record(i), r))
+    /// Iterates over `(record index, host, record)` in a single pass.
+    ///
+    /// The stint cursor advances monotonically with the record index, so
+    /// the whole scan is O(records + stints) — not O(records × stints) as a
+    /// per-record [`host_of_record`](Self::host_of_record) would be. This
+    /// is the shape `make_global` consumes per experiment.
+    pub fn records_with_hosts(&self) -> impl Iterator<Item = (usize, HostId, &TimelineRecord)> {
+        let mut cursor = 0usize;
+        self.records.iter().enumerate().map(move |(i, r)| {
+            while cursor + 1 < self.stints.len() && self.stints[cursor + 1].first_record <= i {
+                cursor += 1;
+            }
+            (i, self.stints[cursor].host, r)
+        })
     }
 
     /// Number of fault injections recorded.
@@ -115,12 +134,13 @@ impl LocalTimeline {
 /// use loki_core::recorder::{Recorder, RecordKind};
 /// use loki_core::time::LocalNanos;
 ///
-/// let mut rec = Recorder::new(Id::from_raw(0), "black", "host1");
+/// let host = Id::from_raw(0);
+/// let mut rec = Recorder::new(Id::from_raw(0), host);
 /// rec.record_state_change(LocalNanos::from_millis(1), Id::from_raw(0), Id::from_raw(1));
 /// rec.record_injection(LocalNanos::from_millis(2), Id::from_raw(0));
 /// let timeline = rec.finish();
 /// assert_eq!(timeline.records.len(), 2);
-/// assert_eq!(timeline.host_of_record(1), "host1");
+/// assert_eq!(timeline.host_of_record(1), host);
 /// ```
 #[derive(Clone, Debug)]
 pub struct Recorder {
@@ -128,16 +148,15 @@ pub struct Recorder {
 }
 
 impl Recorder {
-    /// Creates a recorder for machine `sm` (named `sm_name`) whose first
-    /// stint runs on `host`.
-    pub fn new(sm: SmId, sm_name: &str, host: &str) -> Self {
+    /// Creates a recorder for machine `sm` whose first stint runs on
+    /// `host`.
+    pub fn new(sm: SmId, host: HostId) -> Self {
         Recorder {
             timeline: LocalTimeline {
                 sm,
-                sm_name: sm_name.to_owned(),
                 records: Vec::new(),
                 stints: vec![HostStint {
-                    host: host.to_owned(),
+                    host,
                     first_record: 0,
                 }],
             },
@@ -146,16 +165,14 @@ impl Recorder {
 
     /// Resumes recording into an existing timeline (node restart): appends a
     /// `Restart` record and opens a new stint on `host`.
-    pub fn resume(mut timeline: LocalTimeline, time: LocalNanos, host: &str) -> Self {
+    pub fn resume(mut timeline: LocalTimeline, time: LocalNanos, host: HostId) -> Self {
         timeline.stints.push(HostStint {
-            host: host.to_owned(),
+            host,
             first_record: timeline.records.len(),
         });
         timeline.records.push(TimelineRecord {
             time,
-            kind: RecordKind::Restart {
-                host: host.to_owned(),
-            },
+            kind: RecordKind::Restart { host },
         });
         Recorder { timeline }
     }
@@ -210,10 +227,13 @@ mod tests {
     fn f(i: u32) -> FaultId {
         Id::from_raw(i)
     }
+    fn h(i: u32) -> HostId {
+        Id::from_raw(i)
+    }
 
     #[test]
     fn records_append_in_order() {
-        let mut r = Recorder::new(Id::from_raw(0), "a", "h1");
+        let mut r = Recorder::new(Id::from_raw(0), h(0));
         r.record_state_change(LocalNanos(10), ev(0), st(1));
         r.record_injection(LocalNanos(20), f(0));
         r.record_user_message(LocalNanos(30), "note");
@@ -226,32 +246,55 @@ mod tests {
 
     #[test]
     fn host_stints_track_restarts() {
-        let mut r = Recorder::new(Id::from_raw(0), "a", "h1");
+        let mut r = Recorder::new(Id::from_raw(0), h(1));
         r.record_state_change(LocalNanos(10), ev(0), st(1));
         r.record_state_change(LocalNanos(20), ev(1), st(2)); // crash on h1
         let timeline = r.finish();
 
         // Restart on a different host.
-        let mut r = Recorder::resume(timeline, LocalNanos(5), "h2");
+        let mut r = Recorder::resume(timeline, LocalNanos(5), h(2));
         r.record_state_change(LocalNanos(6), ev(0), st(3));
         let t = r.finish();
 
         assert_eq!(t.stints.len(), 2);
-        assert_eq!(t.host_of_record(0), "h1");
-        assert_eq!(t.host_of_record(1), "h1");
-        assert_eq!(t.host_of_record(2), "h2"); // the Restart record itself
-        assert_eq!(t.host_of_record(3), "h2");
-        assert!(matches!(t.records[2].kind, RecordKind::Restart { ref host } if host == "h2"));
+        assert_eq!(t.host_of_record(0), h(1));
+        assert_eq!(t.host_of_record(1), h(1));
+        assert_eq!(t.host_of_record(2), h(2)); // the Restart record itself
+        assert_eq!(t.host_of_record(3), h(2));
+        assert!(matches!(t.records[2].kind, RecordKind::Restart { host } if host == h(2)));
     }
 
     #[test]
     fn records_with_hosts_pairs_correctly() {
-        let mut r = Recorder::new(Id::from_raw(0), "a", "h1");
+        let mut r = Recorder::new(Id::from_raw(0), h(1));
         r.record_state_change(LocalNanos(1), ev(0), st(0));
-        let mut r = Recorder::resume(r.finish(), LocalNanos(2), "h2");
+        let mut r = Recorder::resume(r.finish(), LocalNanos(2), h(2));
         r.record_state_change(LocalNanos(3), ev(0), st(1));
         let t = r.finish();
-        let hosts: Vec<&str> = t.records_with_hosts().map(|(_, h, _)| h).collect();
-        assert_eq!(hosts, vec!["h1", "h2", "h2"]);
+        let hosts: Vec<HostId> = t.records_with_hosts().map(|(_, host, _)| host).collect();
+        assert_eq!(hosts, vec![h(1), h(2), h(2)]);
+    }
+
+    #[test]
+    fn cursor_scan_matches_point_lookups_across_many_stints() {
+        // Several restarts, including back-to-back ones, so stint
+        // boundaries of every shape exist; the single-pass iterator must
+        // agree with `host_of_record` at every index.
+        let mut r = Recorder::new(Id::from_raw(0), h(0));
+        for i in 0..5u64 {
+            r.record_state_change(LocalNanos(i), ev(0), st(0));
+        }
+        let mut t = r.finish();
+        for host in [1u32, 2, 3] {
+            let mut r = Recorder::resume(t, LocalNanos(100 + host as u64), h(host));
+            for i in 0..host as u64 {
+                r.record_state_change(LocalNanos(200 + i), ev(0), st(0));
+            }
+            t = r.finish();
+        }
+        assert_eq!(t.stints.len(), 4);
+        for (i, host, _) in t.records_with_hosts() {
+            assert_eq!(host, t.host_of_record(i), "record {i}");
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! Property tests for the core abstractions.
 
 use loki_core::fault::{CompiledExpr, CompiledFault, FaultExpr, FaultParser, Trigger};
-use loki_core::ids::Id;
+use loki_core::ids::{Id, SymbolTable};
 use loki_core::spec::{StateMachineSpec, StudyDef};
 use loki_core::study::Study;
 use loki_core::view::PartialView;
@@ -226,5 +226,57 @@ proptest! {
         }
         let compiled = Study::compile(&derived);
         prop_assert!(compiled.is_ok());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Symbol-table interning round-trips: `intern` → `resolve` is the
+    /// identity, ids are dense (`0..n` in first-mention order), interning
+    /// is idempotent, and two tables fed the same study host sequence
+    /// assign identical ids — the determinism the harness relies on for
+    /// byte-identical results across worker counts.
+    #[test]
+    fn interning_roundtrips_and_is_dense_deterministic(
+        names in prop::collection::vec("[a-z][a-z0-9]{0,7}", 1..24),
+    ) {
+        let mut table = SymbolTable::new();
+        let ids: Vec<_> = names.iter().map(|n| table.intern_host(n)).collect();
+
+        // Round-trip: every id resolves back to the name it was made from.
+        for (name, id) in names.iter().zip(&ids) {
+            prop_assert_eq!(table.host_name(*id), name.as_str());
+            prop_assert_eq!(table.lookup_host(name), Some(*id));
+        }
+
+        // Dense in first-mention order: distinct names get 0, 1, 2, …
+        let mut first_mention: Vec<&str> = Vec::new();
+        for name in &names {
+            if !first_mention.contains(&name.as_str()) {
+                first_mention.push(name);
+            }
+        }
+        prop_assert_eq!(table.num_hosts(), first_mention.len());
+        for (expected_raw, name) in first_mention.iter().enumerate() {
+            prop_assert_eq!(
+                table.lookup_host(name).map(|h| h.raw()),
+                Some(expected_raw as u32)
+            );
+        }
+
+        // Idempotent: re-interning the whole sequence changes nothing.
+        let again: Vec<_> = names.iter().map(|n| table.intern_host(n)).collect();
+        prop_assert_eq!(&again, &ids);
+        prop_assert_eq!(table.num_hosts(), first_mention.len());
+
+        // Deterministic: an independent table on the same input agrees.
+        let mut other = SymbolTable::new();
+        let other_ids: Vec<_> = names.iter().map(|n| other.intern_host(n)).collect();
+        prop_assert_eq!(other_ids, ids);
+        prop_assert_eq!(&other, &table);
+
+        // `for_hosts` is the same construction.
+        prop_assert_eq!(&SymbolTable::for_hosts(&names), &table);
     }
 }

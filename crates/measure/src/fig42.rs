@@ -15,10 +15,11 @@
 use crate::predicate::Predicate;
 use crate::timeref::Window;
 use loki_analysis::global::{GlobalEvent, GlobalEventKind, GlobalTimeline, StateInterval};
+use loki_core::ids::SymbolTable;
 use loki_core::spec::{StateMachineSpec, StudyDef};
 use loki_core::study::Study;
 use loki_core::time::{GlobalNanos, TimeBounds};
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Milliseconds → point bounds (the figure evaluates at the mean of the
 /// two — very close — bounds; exact points reproduce that).
@@ -117,18 +118,16 @@ pub fn fig_4_2() -> (Study, GlobalTimeline) {
         iv("SM6", "State0", 37.9, None),
     ];
 
-    let mut alpha_beta = HashMap::new();
-    alpha_beta.insert(
-        "ref".to_owned(),
-        loki_clock::sync::AlphaBetaBounds::identity(),
-    );
+    let symbols = Arc::new(SymbolTable::for_hosts(["ref"]));
+    let reference_host = symbols.lookup_host("ref").unwrap();
     let gt = GlobalTimeline {
         events: events_vec,
         intervals,
         start: GlobalNanos::ZERO,
         end: GlobalNanos::from_millis(50.0),
-        alpha_beta,
-        reference_host: "ref".to_owned(),
+        alpha_beta: vec![loki_clock::sync::AlphaBetaBounds::identity()],
+        reference_host,
+        symbols,
     };
     (study, gt)
 }

@@ -30,7 +30,7 @@
 
 use loki_core::error::CoreError;
 use loki_core::fault::FaultParser;
-use loki_core::ids::{FaultId, SmId, StateId};
+use loki_core::ids::{FaultId, HostId, SmId, StateId, SymbolTable};
 use loki_core::recorder::RecordKind;
 use loki_core::state_machine::StateMachine;
 use loki_core::study::Study;
@@ -120,8 +120,9 @@ pub(crate) trait Port {
     fn rng(&mut self) -> &mut StdRng;
     /// Machines currently executing (the application's name service).
     fn live_machines(&self) -> Vec<SmId>;
-    /// The host this node currently runs on.
-    fn host_name(&self) -> String;
+    /// The host this node currently runs on (an id into the study-run
+    /// symbol table).
+    fn host_id(&self) -> HostId;
 }
 
 /// The backend-agnostic node runtime: state machine (owning the partial
@@ -130,6 +131,7 @@ pub(crate) trait Port {
 /// node incarnation and drive it through their `Port`.
 pub(crate) struct NodeCore {
     pub study: Arc<Study>,
+    pub symbols: Arc<SymbolTable>,
     pub sm: StateMachine,
     pub parser: FaultParser,
     pub me: SmId,
@@ -140,11 +142,12 @@ pub(crate) struct NodeCore {
 
 impl NodeCore {
     /// Creates the runtime core for machine `me`.
-    pub fn new(study: Arc<Study>, me: SmId) -> Self {
+    pub fn new(study: Arc<Study>, symbols: Arc<SymbolTable>, me: SmId) -> Self {
         let sm = StateMachine::new(study.clone(), me);
         let parser = FaultParser::new(study.faults_owned_by(me));
         NodeCore {
             study,
+            symbols,
             sm,
             parser,
             me,
@@ -380,8 +383,13 @@ impl NodeCtx<'_> {
     }
 
     /// The host this node currently runs on.
-    pub fn host_name(&self) -> String {
-        self.port.host_name()
+    pub fn host_id(&self) -> HostId {
+        self.port.host_id()
+    }
+
+    /// The name of the host this node currently runs on.
+    pub fn host_name(&self) -> &str {
+        self.core.symbols.host_name(self.port.host_id())
     }
 
     /// Whether this incarnation is a restart.

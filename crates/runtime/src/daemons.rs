@@ -20,7 +20,7 @@ use crate::messages::{NotifyRouting, RtMsg};
 use crate::node::NodeActor;
 use crate::store::{ExperimentControl, NodeDirectory, TimelineStore, WarningSink};
 use crate::wiring::Wiring;
-use loki_core::ids::SmId;
+use loki_core::ids::{SmId, SymbolTable};
 use loki_core::recorder::{RecordKind, TimelineRecord};
 use loki_core::study::Study;
 use loki_sim::engine::{ActorId, Ctx, DownReason, HostId};
@@ -41,15 +41,14 @@ pub(crate) struct Bundle {
     pub wiring: Rc<Wiring>,
     pub factory: AppFactory,
     pub routing: NotifyRouting,
-    pub host_names: Rc<Vec<String>>,
+    /// The study-run symbol table: hosts interned in configuration order,
+    /// so a host's id doubles as its simulation host index.
+    pub symbols: Arc<SymbolTable>,
 }
 
 impl Bundle {
     fn host_idx(&self, name: &str) -> Option<u32> {
-        self.host_names
-            .iter()
-            .position(|h| h == name)
-            .map(|i| i as u32)
+        self.symbols.lookup_host(name).map(|h| h.raw())
     }
 }
 
@@ -119,6 +118,7 @@ impl LocalDaemon {
             HostId(host),
             Box::new(NodeActor::new(
                 self.bundle.study.clone(),
+                self.bundle.symbols.clone(),
                 sm,
                 ctx.me(),
                 self.bundle.routing,
@@ -530,7 +530,7 @@ impl loki_sim::engine::Actor<RtMsg> for Supervisor {
                 return;
             }
             *count += 1;
-            let n = self.bundle.host_names.len() as u32;
+            let n = self.bundle.symbols.num_hosts() as u32;
             let target = match self.policy.placement {
                 RestartPlacement::SameHost => host,
                 RestartPlacement::NextHost => (host + 1) % n,

@@ -26,16 +26,18 @@ use crate::daemons::{Bundle, CentralDaemon, LocalDaemon, RestartPolicy, Supervis
 use crate::messages::{NotifyRouting, RtMsg};
 use crate::store::{ExperimentControl, NodeDirectory, SyncCollector, TimelineStore, WarningSink};
 use crate::syncer::{SyncEcho, Syncer};
-use crate::thread_backend::{run_thread_experiment, ThreadHarnessConfig};
+use crate::thread_backend::{run_thread_experiment_with, ThreadHarnessConfig};
 use crate::wiring::Wiring;
 use loki_analysis::{analyze_one, AnalysisOptions, AnalyzedExperiment};
 use loki_clock::params::fastest_reference;
 use loki_core::campaign::{ExperimentData, ExperimentEnd, HostSync};
+use loki_core::ids::{HostId, SymbolTable};
 use loki_core::study::Study;
 use loki_sim::config::{HostConfig, NetworkConfig};
-use loki_sim::engine::{HostId, Simulation};
+use loki_sim::engine::{HostId as SimHostId, Simulation};
+use std::collections::BTreeMap;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
@@ -141,6 +143,15 @@ impl SimHarnessConfig {
         self
     }
 
+    /// Builds the study-run [`SymbolTable`]: every host interned in
+    /// configuration order, so [`HostId`]s are dense, deterministic, and
+    /// double as simulation host indices. `run_study` and the campaign
+    /// pipeline build this once per study and `Arc`-share it into every
+    /// worker; per-experiment data then carries ids, not strings.
+    pub fn symbols(&self) -> Arc<SymbolTable> {
+        Arc::new(SymbolTable::for_hosts(self.hosts.iter().map(|h| &h.name)))
+    }
+
     /// Derives the thread backend's configuration from this one: same
     /// hosts (names + clock models), sync rounds, timeout, seed, and — as
     /// the closest thread-backend equivalent of the supervisor — the
@@ -173,9 +184,23 @@ pub fn run_experiment(
     cfg: &SimHarnessConfig,
     experiment: u32,
 ) -> ExperimentData {
+    run_experiment_with(study, factory, cfg, &cfg.symbols(), experiment)
+}
+
+/// [`run_experiment`] with an already-built study-run symbol table (the
+/// form the worker pools use: one table per study, not per experiment).
+fn run_experiment_with(
+    study: &Arc<Study>,
+    factory: AppFactory,
+    cfg: &SimHarnessConfig,
+    symbols: &Arc<SymbolTable>,
+    experiment: u32,
+) -> ExperimentData {
     match cfg.backend {
-        Backend::Sim => run_sim_experiment(study, factory, cfg, experiment),
-        Backend::Threads => run_thread_experiment(study, factory, &cfg.thread_config(), experiment),
+        Backend::Sim => run_sim_experiment(study, factory, cfg, symbols, experiment),
+        Backend::Threads => {
+            run_thread_experiment_with(study, factory, &cfg.thread_config(), symbols, experiment)
+        }
     }
 }
 
@@ -184,18 +209,19 @@ fn run_sim_experiment(
     study: &Arc<Study>,
     factory: AppFactory,
     cfg: &SimHarnessConfig,
+    symbols: &Arc<SymbolTable>,
     experiment: u32,
 ) -> ExperimentData {
     assert!(!cfg.hosts.is_empty(), "need at least one host");
     let mut sim: Simulation<RtMsg> = Simulation::new(cfg.seed.wrapping_add(experiment as u64));
     sim.disable_trace();
     sim.set_network(cfg.network);
-    let host_ids: Vec<HostId> = cfg.hosts.iter().map(|h| sim.add_host(h.clone())).collect();
-    let host_names: Rc<Vec<String>> = Rc::new(cfg.hosts.iter().map(|h| h.name.clone()).collect());
-    let reference = cfg.reference_host().to_owned();
-    let ref_idx = host_names
+    let host_ids: Vec<SimHostId> = cfg.hosts.iter().map(|h| sim.add_host(h.clone())).collect();
+    let reference = cfg.reference_host();
+    let ref_idx = cfg
+        .hosts
         .iter()
-        .position(|h| *h == reference)
+        .position(|h| h.name == reference)
         .expect("reference host exists");
 
     // --- pre-experiment synchronization mini-phase -------------------------
@@ -204,7 +230,7 @@ fn run_sim_experiment(
     // dispatched without scheduling delay.
     let collector = SyncCollector::new();
     sim.set_sched_enabled(false);
-    run_sync_phase(&mut sim, &host_ids, &host_names, ref_idx, cfg, &collector);
+    run_sync_phase(&mut sim, &host_ids, ref_idx, cfg, &collector);
     sim.set_sched_enabled(true);
     let pre_sync = collector.drain();
 
@@ -222,7 +248,7 @@ fn run_sim_experiment(
         wiring: wiring.clone(),
         factory,
         routing: cfg.routing,
-        host_names: host_names.clone(),
+        symbols: symbols.clone(),
     };
 
     let daemons: Vec<_> = match cfg.routing {
@@ -273,7 +299,7 @@ fn run_sim_experiment(
 
     // --- post-experiment synchronization mini-phase -------------------------
     sim.set_sched_enabled(false);
-    run_sync_phase(&mut sim, &host_ids, &host_names, ref_idx, cfg, &collector);
+    run_sync_phase(&mut sim, &host_ids, ref_idx, cfg, &collector);
     sim.set_sched_enabled(true);
     let post_sync = collector.drain();
 
@@ -289,8 +315,9 @@ fn run_sim_experiment(
         study: study.name.clone(),
         experiment,
         timelines: store.drain(),
-        hosts: host_names.as_ref().clone(),
-        reference_host: reference,
+        hosts: symbols.host_ids().collect(),
+        reference_host: HostId::from_raw(ref_idx as u32),
+        symbols: symbols.clone(),
         pre_sync,
         post_sync,
         end,
@@ -300,8 +327,7 @@ fn run_sim_experiment(
 
 fn run_sync_phase(
     sim: &mut Simulation<RtMsg>,
-    host_ids: &[HostId],
-    host_names: &[String],
+    host_ids: &[SimHostId],
     ref_idx: usize,
     cfg: &SimHarnessConfig,
     collector: &SyncCollector,
@@ -315,7 +341,7 @@ fn run_sync_phase(
             host,
             Box::new(Syncer::new(
                 echo,
-                &host_names[idx],
+                HostId::from_raw(idx as u32),
                 cfg.sync_rounds,
                 cfg.sync_interval_ns,
                 collector.clone(),
@@ -417,9 +443,10 @@ pub fn run_study_with_workers(
 ) -> Vec<ExperimentData> {
     assert!(workers >= 1, "loki: worker count must be at least 1");
     let workers = workers.clamp(1, experiments.max(1) as usize);
+    let symbols = cfg.symbols();
     if workers == 1 {
         return (0..experiments)
-            .map(|k| run_experiment(study, factory.clone(), cfg, k))
+            .map(|k| run_experiment_with(study, factory.clone(), cfg, &symbols, k))
             .collect();
     }
 
@@ -430,13 +457,14 @@ pub fn run_study_with_workers(
     // boundary. Experiments of one study cost roughly the same, so a
     // static partition balances well without a shared queue.
     let mut stripes: Vec<Vec<ExperimentData>> = std::thread::scope(|scope| {
+        let symbols = &symbols;
         let handles: Vec<_> = (0..workers as u32)
             .map(|w| {
                 let factory = factory.clone();
                 scope.spawn(move || {
                     (w..experiments)
                         .step_by(workers)
-                        .map(|k| run_experiment(study, factory.clone(), cfg, k))
+                        .map(|k| run_experiment_with(study, factory.clone(), cfg, symbols, k))
                         .collect::<Vec<ExperimentData>>()
                 })
             })
@@ -499,15 +527,18 @@ pub struct PipelineSummary {
 /// campaign memory is O(workers) in raw experiments and analysis overlaps
 /// execution instead of trailing it as a batch phase.
 ///
-/// # Determinism contract
+/// # Scheduling and determinism contract
 ///
-/// Results are merged **by experiment index**: the sink closure is invoked
-/// exactly once per experiment, in strictly increasing index order
-/// `0, 1, …, experiments − 1`, whatever the worker count or completion
-/// order (striping makes experiment `k`'s owner statically known, so the
-/// coordinator receives in index order from per-worker bounded channels —
-/// compact-result retention is O(workers) as well, not just raw
-/// retention). On [`Backend::Sim`], experiment `k` is fully determined by
+/// Workers claim experiments dynamically from a shared atomic index
+/// counter (work stealing): whichever worker finishes first takes the next
+/// unstarted experiment, so a heavy-tailed study — one slow experiment
+/// among cheap ones — no longer idles the rest of the pool the way static
+/// striping did. Results are still merged **by experiment index**: the
+/// sink closure is invoked exactly once per experiment, in strictly
+/// increasing index order `0, 1, …, experiments − 1`, whatever the worker
+/// count or completion order (out-of-order compact results wait in a
+/// reorder buffer; raw data never crosses a channel). On
+/// [`Backend::Sim`], experiment `k` is fully determined by
 /// `(cfg.seed, k)`, so everything the sink observes — timelines, verdicts,
 /// measure folds — is byte-identical across worker counts and identical to
 /// the batch `run_study` + `analyze` path.
@@ -625,6 +656,7 @@ impl CampaignPipeline {
             panic!("loki: invalid analysis options: {e}");
         }
         let workers = workers.clamp(1, experiments.max(1) as usize);
+        let symbols = self.cfg.symbols();
         let mut summary = PipelineSummary {
             experiments,
             workers,
@@ -639,7 +671,8 @@ impl CampaignPipeline {
         let one = |k: u32| -> (AnalyzedExperiment, T) {
             let live = raw_live.fetch_add(1, Ordering::SeqCst) + 1;
             raw_peak.fetch_max(live, Ordering::SeqCst);
-            let data = run_experiment(&self.study, self.factory.clone(), &self.cfg, k);
+            let data =
+                run_experiment_with(&self.study, self.factory.clone(), &self.cfg, &symbols, k);
             let analyzed = analyze_one(&self.study, &data, &self.analysis);
             let tapped = tap(&data);
             drop(data);
@@ -665,42 +698,57 @@ impl CampaignPipeline {
                 delivered += 1;
             }
         } else {
-            // Workers stripe the experiment space exactly like
-            // `run_study_with_workers` (worker `w` owns experiments
-            // `w, w+workers, …`), each pushing compact results through its
-            // *own* bounded channel. Because experiment `k` always belongs
-            // to worker `k % workers`, the coordinator (this thread)
-            // receives in index order directly — no reorder buffer — and
-            // the per-worker channel capacity of 1 gives real
-            // backpressure: a worker can be at most one finished result
-            // plus one in-flight experiment ahead of the sink, so
-            // *compact* retention is O(workers) too, not just raw
-            // retention. Raw data never crosses a channel.
+            // Work-stealing claim: every worker loops on a shared atomic
+            // index counter, so a heavy-tailed study keeps the whole pool
+            // busy — the worker stuck on a slow experiment holds exactly
+            // that one experiment while the others drain the rest. Compact
+            // results flow through one bounded channel (capacity =
+            // workers, real backpressure) tagged with their index; the
+            // coordinator commits them to the sink in strictly increasing
+            // index order via a reorder buffer. The buffer holds only
+            // *compact* results whose predecessors are still running — in
+            // the worst case (one experiment monopolizing a worker while
+            // the others finish everything else) that is the skew the
+            // stealing exists to absorb; raw data never crosses a channel
+            // and stays O(workers) regardless.
+            let next_claim = AtomicU32::new(0);
             std::thread::scope(|scope| {
                 let one = &one;
-                let receivers: Vec<mpsc::Receiver<(AnalyzedExperiment, T)>> = (0..workers as u32)
-                    .map(|w| {
-                        let (tx, rx) = mpsc::sync_channel::<(AnalyzedExperiment, T)>(1);
-                        scope.spawn(move || {
-                            for k in (w..experiments).step_by(workers) {
-                                let result = one(k);
-                                if tx.send(result).is_err() {
-                                    return; // coordinator gone (sink or sibling panicked)
-                                }
-                            }
-                        });
-                        rx
-                    })
-                    .collect();
-                for next in 0..experiments {
-                    match receivers[next as usize % workers].recv() {
-                        Ok((analyzed, tapped)) => {
-                            account(&mut summary, &analyzed);
-                            sink(analyzed, tapped);
-                            delivered += 1;
+                let next_claim = &next_claim;
+                let (tx, rx) = mpsc::sync_channel::<(u32, (AnalyzedExperiment, T))>(workers);
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    scope.spawn(move || loop {
+                        // Relaxed suffices: the claim is the only shared
+                        // state, and the channel send orders the result.
+                        let k = next_claim.fetch_add(1, Ordering::Relaxed);
+                        if k >= experiments {
+                            return;
                         }
-                        // The owning worker died; stop and let the scope
-                        // propagate its panic.
+                        let result = one(k);
+                        if tx.send((k, result)).is_err() {
+                            return; // coordinator gone (sink or sibling panicked)
+                        }
+                    });
+                }
+                // All senders are worker-owned; the coordinator's recv
+                // loop must observe disconnect once they finish or die.
+                drop(tx);
+                let mut reorder: BTreeMap<u32, (AnalyzedExperiment, T)> = BTreeMap::new();
+                let mut next_commit = 0u32;
+                while delivered < experiments {
+                    match rx.recv() {
+                        Ok((k, result)) => {
+                            reorder.insert(k, result);
+                            while let Some((analyzed, tapped)) = reorder.remove(&next_commit) {
+                                account(&mut summary, &analyzed);
+                                sink(analyzed, tapped);
+                                next_commit += 1;
+                                delivered += 1;
+                            }
+                        }
+                        // A worker died mid-experiment; stop and let the
+                        // scope propagate its panic.
                         Err(mpsc::RecvError) => break,
                     }
                 }

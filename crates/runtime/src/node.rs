@@ -15,7 +15,7 @@
 use crate::app::{App, NodeCore, Payload, Port};
 use crate::messages::{NotifyRouting, RtMsg};
 use crate::store::{NodeDirectory, TimelineStore, WarningSink};
-use loki_core::ids::{SmId, StateId};
+use loki_core::ids::{HostId, SmId, StateId, SymbolTable};
 use loki_core::recorder::{RecordKind, Recorder, TimelineRecord};
 use loki_core::study::Study;
 use loki_core::time::LocalNanos;
@@ -125,8 +125,10 @@ impl Port for SimPort<'_, '_> {
         self.shared.directory.machines()
     }
 
-    fn host_name(&self) -> String {
-        self.sim.my_host_name()
+    fn host_id(&self) -> HostId {
+        // Simulation host indices follow the harness configuration order,
+        // which is exactly the symbol table's interning order.
+        HostId::from_raw(self.sim.my_host().0)
     }
 }
 
@@ -142,6 +144,7 @@ impl NodeActor {
     #[allow(clippy::too_many_arguments)] // mirrors the Bundle fields one-to-one
     pub(crate) fn new(
         study: Arc<Study>,
+        symbols: Arc<SymbolTable>,
         sm_id: SmId,
         daemon: ActorId,
         routing: NotifyRouting,
@@ -152,7 +155,7 @@ impl NodeActor {
     ) -> Self {
         NodeActor {
             app,
-            core: NodeCore::new(study.clone(), sm_id),
+            core: NodeCore::new(study.clone(), symbols, sm_id),
             shared: SimShared {
                 study,
                 me: sm_id,
@@ -183,7 +186,7 @@ impl NodeActor {
 impl loki_sim::engine::Actor<RtMsg> for NodeActor {
     fn on_start(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
         let me = self.shared.me;
-        let host = ctx.my_host_name();
+        let host = HostId::from_raw(ctx.my_host().0);
         let now = ctx.local_clock();
 
         // Restart detection: the timeline file already exists (§3.6.3).
@@ -192,8 +195,8 @@ impl loki_sim::engine::Actor<RtMsg> for NodeActor {
         let restarted = self.shared.store.contains(me);
         self.core.restarted = restarted;
         let recorder = match self.shared.store.take(me) {
-            Some(prior) => Recorder::resume(prior, now, &host),
-            None => Recorder::new(me, self.shared.study.sms.name(me), &host),
+            Some(prior) => Recorder::resume(prior, now, host),
+            None => Recorder::new(me, host),
         };
         self.shared.store.put(me, recorder.finish());
 

@@ -8,7 +8,7 @@
 //! runtime coordination flows exclusively through messages.
 
 use loki_core::campaign::{HostSync, SyncSample};
-use loki_core::ids::SmId;
+use loki_core::ids::{HostId, SmId};
 use loki_core::recorder::LocalTimeline;
 use loki_sim::engine::ActorId;
 use std::cell::RefCell;
@@ -26,7 +26,7 @@ use std::rc::Rc;
 ///
 /// let store = TimelineStore::new();
 /// let sm = Id::from_raw(0);
-/// store.put(sm, Recorder::new(sm, "black", "h1").finish());
+/// store.put(sm, Recorder::new(sm, Id::from_raw(0)).finish());
 /// assert!(store.take(sm).is_some());
 /// assert!(store.take(sm).is_none());
 /// ```
@@ -75,7 +75,7 @@ impl TimelineStore {
 /// Collector for synchronization samples, keyed by calibrated host.
 #[derive(Clone, Debug, Default)]
 pub struct SyncCollector {
-    inner: Rc<RefCell<HashMap<String, Vec<SyncSample>>>>,
+    inner: Rc<RefCell<HashMap<HostId, Vec<SyncSample>>>>,
 }
 
 impl SyncCollector {
@@ -85,15 +85,16 @@ impl SyncCollector {
     }
 
     /// Appends a sample for `host`.
-    pub fn push(&self, host: &str, sample: SyncSample) {
+    pub fn push(&self, host: HostId, sample: SyncSample) {
         self.inner
             .borrow_mut()
-            .entry(host.to_owned())
+            .entry(host)
             .or_default()
             .push(sample);
     }
 
-    /// Drains all samples into per-host records.
+    /// Drains all samples into per-host records, in host-id order (the
+    /// deterministic configuration order of the hosts).
     pub fn drain(&self) -> Vec<HostSync> {
         let mut v: Vec<HostSync> = self
             .inner
@@ -101,7 +102,7 @@ impl SyncCollector {
             .drain()
             .map(|(host, samples)| HostSync { host, samples })
             .collect();
-        v.sort_by(|a, b| a.host.cmp(&b.host));
+        v.sort_by_key(|hs| hs.host);
         v
     }
 }
@@ -233,7 +234,7 @@ mod tests {
         let store = TimelineStore::new();
         let sm = Id::from_raw(3);
         assert!(!store.contains(sm));
-        store.put(sm, Recorder::new(sm, "x", "h").finish());
+        store.put(sm, Recorder::new(sm, Id::from_raw(0)).finish());
         assert!(store.contains(sm));
         store.with_mut(sm, |t| {
             t.records.push(loki_core::recorder::TimelineRecord {
@@ -251,7 +252,7 @@ mod tests {
         let store = TimelineStore::new();
         for i in [2u32, 0, 1] {
             let sm = Id::from_raw(i);
-            store.put(sm, Recorder::new(sm, &format!("m{i}"), "h").finish());
+            store.put(sm, Recorder::new(sm, Id::from_raw(0)).finish());
         }
         let drained = store.drain();
         let ids: Vec<u32> = drained.iter().map(|t| t.sm.raw()).collect();
@@ -266,12 +267,14 @@ mod tests {
             send: LocalNanos(1),
             recv: LocalNanos(2),
         };
-        c.push("h2", s);
-        c.push("h2", s);
-        c.push("h3", s);
+        let h2: HostId = Id::from_raw(2);
+        let h3: HostId = Id::from_raw(3);
+        c.push(h2, s);
+        c.push(h2, s);
+        c.push(h3, s);
         let drained = c.drain();
         assert_eq!(drained.len(), 2);
-        assert_eq!(drained[0].host, "h2");
+        assert_eq!(drained[0].host, h2);
         assert_eq!(drained[0].samples.len(), 2);
     }
 

@@ -10,6 +10,7 @@
 use crate::messages::RtMsg;
 use crate::store::SyncCollector;
 use loki_core::campaign::SyncSample;
+use loki_core::ids::HostId;
 use loki_core::time::LocalNanos;
 use loki_sim::engine::{ActorId, Ctx};
 use std::collections::HashMap;
@@ -41,7 +42,7 @@ impl loki_sim::engine::Actor<RtMsg> for SyncEcho {
 /// with `interval_ns` spacing and records the samples.
 pub struct Syncer {
     echo: ActorId,
-    host_name: String,
+    host: HostId,
     rounds: u32,
     interval_ns: u64,
     collector: SyncCollector,
@@ -49,17 +50,17 @@ pub struct Syncer {
 }
 
 impl Syncer {
-    /// Creates a syncer for `host_name` talking to `echo`.
+    /// Creates a syncer for `host` talking to `echo`.
     pub fn new(
         echo: ActorId,
-        host_name: &str,
+        host: HostId,
         rounds: u32,
         interval_ns: u64,
         collector: SyncCollector,
     ) -> Self {
         Syncer {
             echo,
-            host_name: host_name.to_owned(),
+            host,
             rounds,
             interval_ns,
             collector,
@@ -95,7 +96,7 @@ impl loki_sim::engine::Actor<RtMsg> for Syncer {
             if let Some(my_send) = self.sent.remove(&seq) {
                 // machine → reference leg.
                 self.collector.push(
-                    &self.host_name,
+                    self.host,
                     SyncSample {
                         from_reference: false,
                         send: my_send,
@@ -104,7 +105,7 @@ impl loki_sim::engine::Actor<RtMsg> for Syncer {
                 );
                 // reference → machine leg.
                 self.collector.push(
-                    &self.host_name,
+                    self.host,
                     SyncSample {
                         from_reference: true,
                         send: ref_send,
@@ -152,7 +153,13 @@ mod tests {
         let echo = sim.spawn(h_ref, Box::new(SyncEcho));
         sim.spawn(
             h2,
-            Box::new(Syncer::new(echo, "h2", 15, 2_000_000, collector.clone())),
+            Box::new(Syncer::new(
+                echo,
+                HostId::from_raw(1),
+                15,
+                2_000_000,
+                collector.clone(),
+            )),
         );
         sim.run();
 
@@ -174,7 +181,16 @@ mod tests {
         let h = sim.add_host(HostConfig::new("h"));
         let collector = SyncCollector::new();
         let echo = sim.spawn(h, Box::new(SyncEcho));
-        sim.spawn(h, Box::new(Syncer::new(echo, "h", 0, 1, collector.clone())));
+        sim.spawn(
+            h,
+            Box::new(Syncer::new(
+                echo,
+                HostId::from_raw(0),
+                0,
+                1,
+                collector.clone(),
+            )),
+        );
         sim.run();
         assert!(collector.drain().is_empty());
     }

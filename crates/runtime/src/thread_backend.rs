@@ -23,7 +23,7 @@ use crate::app::{App, AppFactory, NodeCore, Payload, Port};
 use crate::messages::NotifyRouting;
 use loki_clock::params::{fastest_reference, ClockParams, VirtualClock};
 use loki_core::campaign::{ExperimentData, ExperimentEnd, HostSync, SyncSample};
-use loki_core::ids::{SmId, StateId};
+use loki_core::ids::{HostId, SmId, StateId, SymbolTable};
 use loki_core::recorder::{LocalTimeline, RecordKind, Recorder};
 use loki_core::study::Study;
 use loki_core::time::LocalNanos;
@@ -141,7 +141,7 @@ struct ThreadPort<'a> {
     router: &'a Router,
     clock: &'a VirtualClock,
     epoch: Instant,
-    host: &'a str,
+    host: HostId,
     recorder: &'a mut Recorder,
     timers: &'a mut ThreadTimers,
     rng: &'a mut StdRng,
@@ -196,8 +196,8 @@ impl Port for ThreadPort<'_> {
         self.router.machines()
     }
 
-    fn host_name(&self) -> String {
-        self.host.to_owned()
+    fn host_id(&self) -> HostId {
+        self.host
     }
 }
 
@@ -246,37 +246,58 @@ pub fn run_thread_experiment(
     cfg: &ThreadHarnessConfig,
     experiment: u32,
 ) -> ExperimentData {
+    let symbols = Arc::new(SymbolTable::for_hosts(cfg.hosts.iter().map(|(n, _)| n)));
+    run_thread_experiment_with(study, factory, cfg, &symbols, experiment)
+}
+
+/// [`run_thread_experiment`] with an already-built study-run symbol table
+/// (hosts interned in configuration order; the worker pools build one
+/// table per study and share it).
+pub(crate) fn run_thread_experiment_with(
+    study: &Arc<Study>,
+    factory: AppFactory,
+    cfg: &ThreadHarnessConfig,
+    symbols: &Arc<SymbolTable>,
+    experiment: u32,
+) -> ExperimentData {
     let epoch = Instant::now();
-    let clocks: HashMap<String, VirtualClock> = cfg
+    let clocks: Vec<VirtualClock> = cfg
         .hosts
         .iter()
-        .map(|(name, params)| (name.clone(), VirtualClock::new(*params)))
+        .map(|(_, params)| VirtualClock::new(*params))
         .collect();
     let reference = fastest_reference(cfg.hosts.iter().map(|(n, c)| (n.as_str(), c)))
-        .expect("at least one host")
-        .to_owned();
+        .expect("at least one host");
+    let ref_idx = cfg
+        .hosts
+        .iter()
+        .position(|(n, _)| n == reference)
+        .expect("reference host exists");
+    let reference = HostId::from_raw(ref_idx as u32);
 
     // --- pre-sync mini-phase -------------------------------------------------
-    let pre_sync = sync_phase(&clocks, &reference, epoch, cfg.sync_rounds);
+    let pre_sync = sync_phase(&clocks, ref_idx, epoch, cfg.sync_rounds);
 
     // --- runtime phase ---------------------------------------------------------
     let router = Router::default();
     let (report_tx, report_rx) = std::sync::mpsc::channel::<NodeReport>();
 
-    let mut host_of: HashMap<SmId, String> = HashMap::new();
+    let mut host_of: HashMap<SmId, HostId> = HashMap::new();
     let mut handles = Vec::new();
     let mut running = 0usize;
     for (sm, host) in &study.placements {
         let Some(host) = host else { continue };
-        let clock = *clocks
-            .get(host)
+        let host = symbols
+            .lookup_host(host)
             .unwrap_or_else(|| panic!("placement on unknown host `{host}`"));
-        host_of.insert(*sm, host.clone());
+        let clock = clocks[host.index()];
+        host_of.insert(*sm, host);
         handles.push(spawn_node(
             study.clone(),
+            symbols.clone(),
             factory.clone(),
             *sm,
-            host.clone(),
+            host,
             clock,
             epoch,
             router.clone(),
@@ -332,20 +353,17 @@ pub fn run_thread_experiment(
                 if restart {
                     *attempts += 1;
                     // Restart on the *next* virtual host.
-                    let old_host = host_of.get(&sm).cloned().unwrap_or_default();
-                    let idx = cfg
-                        .hosts
-                        .iter()
-                        .position(|(n, _)| *n == old_host)
-                        .unwrap_or(0);
-                    let (new_host, params) = &cfg.hosts[(idx + 1) % cfg.hosts.len()];
-                    host_of.insert(sm, new_host.clone());
+                    let idx = host_of.get(&sm).map(|h| h.index()).unwrap_or(0);
+                    let new_idx = (idx + 1) % cfg.hosts.len();
+                    let new_host = HostId::from_raw(new_idx as u32);
+                    host_of.insert(sm, new_host);
                     handles.push(spawn_node(
                         study.clone(),
+                        symbols.clone(),
                         factory.clone(),
                         sm,
-                        new_host.clone(),
-                        VirtualClock::new(*params),
+                        new_host,
+                        VirtualClock::new(cfg.hosts[new_idx].1),
                         epoch,
                         router.clone(),
                         report_tx.clone(),
@@ -367,14 +385,15 @@ pub fn run_thread_experiment(
     timelines.sort_by_key(|t| t.sm);
 
     // --- post-sync mini-phase ----------------------------------------------------
-    let post_sync = sync_phase(&clocks, &reference, epoch, cfg.sync_rounds);
+    let post_sync = sync_phase(&clocks, ref_idx, epoch, cfg.sync_rounds);
 
     ExperimentData {
         study: study.name.clone(),
         experiment,
         timelines,
-        hosts: cfg.hosts.iter().map(|(n, _)| n.clone()).collect(),
+        hosts: symbols.host_ids().collect(),
         reference_host: reference,
+        symbols: symbols.clone(),
         pre_sync,
         post_sync,
         end,
@@ -387,15 +406,15 @@ pub fn run_thread_experiment(
 /// elapsed time in between, so every constraint the estimator derives is
 /// physically valid.
 fn sync_phase(
-    clocks: &HashMap<String, VirtualClock>,
-    reference: &str,
+    clocks: &[VirtualClock],
+    ref_idx: usize,
     epoch: Instant,
     rounds: u32,
 ) -> Vec<HostSync> {
-    let ref_clock = &clocks[reference];
+    let ref_clock = &clocks[ref_idx];
     let mut out = Vec::new();
-    for (host, clock) in clocks {
-        if host == reference {
+    for (idx, clock) in clocks.iter().enumerate() {
+        if idx == ref_idx {
             continue;
         }
         let mut samples = Vec::new();
@@ -420,11 +439,10 @@ fn sync_phase(
             });
         }
         out.push(HostSync {
-            host: host.clone(),
+            host: HostId::from_raw(idx as u32),
             samples,
         });
     }
-    out.sort_by(|a, b| a.host.cmp(&b.host));
     out
 }
 
@@ -438,9 +456,10 @@ fn busy_wait_ns(ns: u64) {
 #[allow(clippy::too_many_arguments)]
 fn spawn_node(
     study: Arc<Study>,
+    symbols: Arc<SymbolTable>,
     factory: AppFactory,
     sm_id: SmId,
-    host: String,
+    host: HostId,
     clock: VirtualClock,
     epoch: Instant,
     router: Router,
@@ -456,12 +475,12 @@ fn spawn_node(
             // (§3.6.3).
             Some(t) => {
                 let now = clock.read(epoch.elapsed().as_nanos() as u64);
-                Recorder::resume(t, now, &host)
+                Recorder::resume(t, now, host)
             }
-            None => Recorder::new(sm_id, study.sms.name(sm_id), &host),
+            None => Recorder::new(sm_id, host),
         };
 
-        let mut core = NodeCore::new(study.clone(), sm_id);
+        let mut core = NodeCore::new(study.clone(), symbols, sm_id);
         core.restarted = restarted;
         let mut timers = ThreadTimers::default();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -486,7 +505,7 @@ fn spawn_node(
                     router: &router,
                     clock: &clock,
                     epoch,
-                    host: &host,
+                    host,
                     recorder: &mut recorder,
                     timers: &mut timers,
                     rng: &mut rng,
@@ -522,7 +541,7 @@ fn spawn_node(
                         router: &router,
                         clock: &clock,
                         epoch,
-                        host: &host,
+                        host,
                         recorder: &mut recorder,
                         timers: &mut timers,
                         rng: &mut rng,
@@ -562,7 +581,7 @@ fn spawn_node(
                     router: &router,
                     clock: &clock,
                     epoch,
-                    host: &host,
+                    host,
                     recorder: &mut recorder,
                     timers: &mut timers,
                     rng: &mut rng,
@@ -761,14 +780,15 @@ mod tests {
         let f: AppFactory = Arc::new(|_, _| Box::new(Crasher));
         let data = run_thread_experiment(&study, f, &cfg, 0);
         assert_eq!(data.end, ExperimentEnd::Completed);
-        let t = data.timeline_for("a").unwrap();
+        let t = data.timeline_for(study.sm_id("a").unwrap()).unwrap();
+        let host2 = data.symbols.lookup_host("host2").unwrap();
         assert_eq!(t.stints.len(), 2);
-        assert_eq!(t.stints[0].host, "host1");
-        assert_eq!(t.stints[1].host, "host2");
+        assert_eq!(data.host_name(t.stints[0].host), "host1");
+        assert_eq!(t.stints[1].host, host2);
         assert!(t
             .records
             .iter()
-            .any(|r| matches!(&r.kind, RecordKind::Restart { host } if host == "host2")));
+            .any(|r| matches!(&r.kind, RecordKind::Restart { host } if *host == host2)));
         assert_eq!(t.injection_count(), 1);
     }
 

@@ -144,14 +144,14 @@ fn experiment_completes_and_injects_on_remote_state() {
 
     assert_eq!(data.end, ExperimentEnd::Completed);
     assert_eq!(data.timelines.len(), 2);
-    assert_eq!(data.reference_host, "host1"); // fastest clock
+    assert_eq!(data.host_name(data.reference_host), "host1"); // fastest clock
 
     // b's fault parser saw (a:WORK) via a notification and injected f1.
-    let b = data.timeline_for("b").unwrap();
+    let b = data.timeline_for(study.sm_id("b").unwrap()).unwrap();
     assert_eq!(b.injection_count(), 1);
 
     // a recorded INIT, WORK, EXIT state changes.
-    let a = data.timeline_for("a").unwrap();
+    let a = data.timeline_for(study.sm_id("a").unwrap()).unwrap();
     let states: Vec<&str> = a
         .records
         .iter()
@@ -165,7 +165,7 @@ fn experiment_completes_and_injects_on_remote_state() {
     // Sync samples exist for the non-reference host, both phases.
     assert_eq!(data.pre_sync.len(), 1);
     assert_eq!(data.post_sync.len(), 1);
-    assert_eq!(data.pre_sync[0].host, "host2");
+    assert_eq!(data.host_name(data.pre_sync[0].host), "host2");
     assert!(data.pre_sync[0].samples.len() >= 20);
 
     // Record times are monotone per stint (single host clock).
@@ -174,7 +174,7 @@ fn experiment_completes_and_injects_on_remote_state() {
             assert!(
                 w[0].time <= w[1].time,
                 "non-monotone records in {}",
-                t.sm_name
+                study.sms.name(t.sm)
             );
         }
     }
@@ -203,7 +203,7 @@ fn crash_is_recorded_by_daemon_and_node_restarts_on_other_host() {
     let data = run_experiment(&study, factory(true), &cfg, 0);
     assert_eq!(data.end, ExperimentEnd::Completed);
 
-    let a = data.timeline_for("a").unwrap();
+    let a = data.timeline_for(study.sm_id("a").unwrap()).unwrap();
     // The injection is recorded, then the daemon-written CRASH state change.
     assert_eq!(a.injection_count(), 1);
     let crash_state = study.reserved.crash;
@@ -212,13 +212,14 @@ fn crash_is_recorded_by_daemon_and_node_restarts_on_other_host() {
         RecordKind::StateChange { new_state, .. } if new_state == crash_state
     )));
     // Restart happened on the other host.
+    let host2 = data.symbols.lookup_host("host2").unwrap();
     assert!(a
         .records
         .iter()
-        .any(|r| matches!(&r.kind, RecordKind::Restart { host } if host == "host2")));
+        .any(|r| matches!(&r.kind, RecordKind::Restart { host } if *host == host2)));
     assert_eq!(a.stints.len(), 2);
-    assert_eq!(a.stints[0].host, "host1");
-    assert_eq!(a.stints[1].host, "host2");
+    assert_eq!(data.host_name(a.stints[0].host), "host1");
+    assert_eq!(a.stints[1].host, host2);
     // After restart it reached RESTART_SM and exited cleanly.
     let restart_sm = study.states.lookup("RESTART_SM").unwrap();
     assert!(a.records.iter().any(|r| matches!(
@@ -249,7 +250,7 @@ fn routing_modes_all_deliver_notifications() {
         cfg.routing = routing;
         let data = run_experiment(&study, factory(false), &cfg, 0);
         assert_eq!(data.end, ExperimentEnd::Completed, "{routing:?}");
-        let b = data.timeline_for("b").unwrap();
+        let b = data.timeline_for(study.sm_id("b").unwrap()).unwrap();
         assert_eq!(b.injection_count(), 1, "{routing:?}");
     }
 }
@@ -332,7 +333,7 @@ fn once_fault_fires_once_across_reentries() {
     let data = run_experiment(&study, f, &two_host_config(6), 0);
     assert_eq!(data.end, ExperimentEnd::Completed);
 
-    let b = data.timeline_for("b").unwrap();
+    let b = data.timeline_for(study.sm_id("b").unwrap()).unwrap();
     let once_f = study.fault_names.lookup("once_f").unwrap();
     let always_f = study.fault_names.lookup("always_f").unwrap();
     let count = |fid| {
@@ -376,7 +377,7 @@ fn cancelled_sim_timer_never_fires() {
     let f: AppFactory = Arc::new(|_, _| Box::new(Canceller));
     let data = run_experiment(&study, f, &cfg, 0);
     assert_eq!(data.end, ExperimentEnd::Completed);
-    let t = data.timeline_for("a").unwrap();
+    let t = data.timeline_for(study.sm_id("a").unwrap()).unwrap();
     assert!(
         !t.records.iter().any(
             |r| matches!(r.kind, RecordKind::StateChange { new_state, .. }

@@ -125,8 +125,8 @@ fn dynamic_entry_machine_not_started_at_begin() {
     cfg.hosts.truncate(2);
     let data = run_experiment(&study, factory, &cfg, 0);
     assert_eq!(data.end, ExperimentEnd::Completed);
-    assert!(data.timeline_for("a").is_some());
-    assert!(data.timeline_for("ghost").is_none());
+    assert!(data.timeline_for(study.sm_id("a").unwrap()).is_some());
+    assert!(data.timeline_for(study.sm_id("ghost").unwrap()).is_none());
     // The fault on the never-started machine never fired.
     assert_eq!(data.total_injections(), 0);
 }

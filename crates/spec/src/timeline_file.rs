@@ -35,20 +35,26 @@
 //! and permits arbitrary user messages.
 
 use crate::error::ParseError;
+use loki_core::ids::SymbolTable;
 use loki_core::recorder::{HostStint, LocalTimeline, RecordKind, TimelineRecord};
 use loki_core::study::Study;
 use loki_core::time::LocalNanos;
 use std::collections::HashMap;
 
-/// Writes `timeline` in the on-disk format, using `study` for names.
+/// Writes `timeline` in the on-disk format, using `study` for names and
+/// `symbols` (the study-run symbol table) to resolve host ids — the file
+/// stays name-based and therefore portable across table orderings.
 ///
 /// The fault table lists the faults owned by the timeline's machine, as in
 /// the thesis; the state machine, state, and event tables are study-wide.
-pub fn write(study: &Study, timeline: &LocalTimeline) -> String {
+pub fn write(study: &Study, symbols: &SymbolTable, timeline: &LocalTimeline) -> String {
     let mut out = String::new();
-    out.push_str(&timeline.sm_name);
+    out.push_str(study.sms.name(timeline.sm));
     out.push('\n');
-    out.push_str(&format!("host {}\n", timeline.stints[0].host));
+    out.push_str(&format!(
+        "host {}\n",
+        symbols.host_name(timeline.stints[0].host)
+    ));
 
     out.push_str("state_machine_list\n");
     for (id, name) in study.sms.iter() {
@@ -105,7 +111,7 @@ pub fn write(study: &Study, timeline: &LocalTimeline) -> String {
                 out.push_str(&format!("1 {} {} {}\n", fault.raw(), hi, lo));
             }
             RecordKind::Restart { host } => {
-                out.push_str(&format!("2 {} {} {}\n", host, hi, lo));
+                out.push_str(&format!("2 {} {} {}\n", symbols.host_name(*host), hi, lo));
             }
             RecordKind::UserMessage(msg) => {
                 out.push_str(&format!("3 {} {} {}\n", hi, lo, msg));
@@ -131,7 +137,9 @@ enum Mode {
     Done,
 }
 
-/// Parses an on-disk timeline, resolving names through `study`.
+/// Parses an on-disk timeline, resolving names through `study` and
+/// interning host names into `symbols` (unknown hosts are added — a loaded
+/// timeline may mention hosts the current configuration does not).
 ///
 /// Indices in the file are mapped through the file's own tables to names
 /// and then to `study` ids, so files written against a differently-ordered
@@ -141,14 +149,18 @@ enum Mode {
 ///
 /// Returns a [`ParseError`] for structural problems or names unknown to
 /// `study`.
-pub fn parse(study: &Study, text: &str) -> Result<LocalTimeline, ParseError> {
+pub fn parse(
+    study: &Study,
+    symbols: &mut SymbolTable,
+    text: &str,
+) -> Result<LocalTimeline, ParseError> {
     let mut sm_name: Option<String> = None;
     let mut initial_host: Option<String> = None;
     let mut state_table: HashMap<u32, String> = HashMap::new();
     let mut event_table: HashMap<u32, String> = HashMap::new();
     let mut fault_table: HashMap<u32, String> = HashMap::new();
     let mut records: Vec<TimelineRecord> = Vec::new();
-    let mut restart_stints: Vec<(String, usize)> = Vec::new();
+    let mut restart_stints: Vec<(loki_core::ids::HostId, usize)> = Vec::new();
     let mut mode = Mode::Header;
 
     for (idx, raw) in text.lines().enumerate() {
@@ -277,12 +289,12 @@ pub fn parse(study: &Study, text: &str) -> Result<LocalTimeline, ParseError> {
                         });
                     }
                     "2" => {
-                        let host = tokens
+                        let host_name = tokens
                             .next()
-                            .ok_or_else(|| ParseError::at(lineno, "restart record needs a host"))?
-                            .to_owned();
+                            .ok_or_else(|| ParseError::at(lineno, "restart record needs a host"))?;
+                        let host = symbols.intern_host(host_name);
                         let time = parse_time(tokens.next(), tokens.next(), lineno)?;
-                        restart_stints.push((host.clone(), records.len()));
+                        restart_stints.push((host, records.len()));
                         records.push(TimelineRecord {
                             time,
                             kind: RecordKind::Restart { host },
@@ -322,8 +334,9 @@ pub fn parse(study: &Study, text: &str) -> Result<LocalTimeline, ParseError> {
         .lookup(&sm_name)
         .ok_or_else(|| ParseError::eof(format!("unknown state machine `{sm_name}`")))?;
 
+    let initial_host = symbols.intern_host(initial_host.as_deref().unwrap_or("unknown"));
     let mut stints = vec![HostStint {
-        host: initial_host.unwrap_or_else(|| "unknown".to_owned()),
+        host: initial_host,
         first_record: 0,
     }];
     for (host, first_record) in restart_stints {
@@ -332,7 +345,6 @@ pub fn parse(study: &Study, text: &str) -> Result<LocalTimeline, ParseError> {
 
     Ok(LocalTimeline {
         sm,
-        sm_name,
         records,
         stints,
     })
@@ -410,20 +422,26 @@ mod tests {
         Study::compile(&def).unwrap()
     }
 
-    fn sample_timeline(study: &Study) -> LocalTimeline {
+    fn symbols() -> SymbolTable {
+        SymbolTable::for_hosts(["host1", "host2"])
+    }
+
+    fn sample_timeline(study: &Study, symbols: &SymbolTable) -> LocalTimeline {
         let black = study.sm_id("black").unwrap();
         let init_done = study.events.lookup("INIT_DONE").unwrap();
         let leader = study.events.lookup("LEADER").unwrap();
         let elect = study.states.lookup("ELECT").unwrap();
         let lead = study.states.lookup("LEAD").unwrap();
         let bfault1 = study.fault_names.lookup("bfault1").unwrap();
+        let host1 = symbols.lookup_host("host1").unwrap();
+        let host2 = symbols.lookup_host("host2").unwrap();
 
-        let mut rec = Recorder::new(black, "black", "host1");
+        let mut rec = Recorder::new(black, host1);
         rec.record_state_change(LocalNanos::from_millis(5), init_done, elect);
         rec.record_state_change(LocalNanos::from_millis(9), leader, lead);
         rec.record_injection(LocalNanos::from_millis(10), bfault1);
         rec.record_user_message(LocalNanos::from_millis(11), "hello world");
-        let mut rec = Recorder::resume(rec.finish(), LocalNanos::from_millis(1), "host2");
+        let mut rec = Recorder::resume(rec.finish(), LocalNanos::from_millis(1), host2);
         rec.record_state_change(LocalNanos::from_millis(2), init_done, elect);
         rec.finish()
     }
@@ -431,17 +449,35 @@ mod tests {
     #[test]
     fn write_parse_roundtrip() {
         let study = study();
-        let timeline = sample_timeline(&study);
-        let text = write(&study, &timeline);
-        let parsed = parse(&study, &text).unwrap();
+        let mut symbols = symbols();
+        let timeline = sample_timeline(&study, &symbols);
+        let text = write(&study, &symbols, &timeline);
+        let parsed = parse(&study, &mut symbols, &text).unwrap();
         assert_eq!(parsed, timeline);
+    }
+
+    #[test]
+    fn parse_interns_hosts_unknown_to_the_table() {
+        // A file written against one table loads into an empty table: the
+        // parser interns the hosts it encounters and the stints stay
+        // consistent with the restart records.
+        let study = study();
+        let symbols = symbols();
+        let timeline = sample_timeline(&study, &symbols);
+        let text = write(&study, &symbols, &timeline);
+        let mut fresh = SymbolTable::new();
+        let parsed = parse(&study, &mut fresh, &text).unwrap();
+        assert_eq!(fresh.num_hosts(), 2);
+        assert_eq!(fresh.host_name(parsed.stints[0].host), "host1");
+        assert_eq!(fresh.host_name(parsed.stints[1].host), "host2");
     }
 
     #[test]
     fn written_file_has_thesis_structure() {
         let study = study();
-        let timeline = sample_timeline(&study);
-        let text = write(&study, &timeline);
+        let symbols = symbols();
+        let timeline = sample_timeline(&study, &symbols);
+        let text = write(&study, &symbols, &timeline);
         for section in [
             "state_machine_list",
             "end_state_machine_list",
@@ -468,44 +504,50 @@ mod tests {
     #[test]
     fn hi_lo_split_survives_large_times() {
         let study = study();
+        let mut symbols = symbols();
         let black = study.sm_id("black").unwrap();
         let init_done = study.events.lookup("INIT_DONE").unwrap();
         let elect = study.states.lookup("ELECT").unwrap();
         let big = LocalNanos(u32::MAX as u64 * 7 + 123); // > 2^32 ns
-        let mut rec = Recorder::new(black, "black", "host1");
+        let mut rec = Recorder::new(black, symbols.lookup_host("host1").unwrap());
         rec.record_state_change(big, init_done, elect);
         let timeline = rec.finish();
-        let parsed = parse(&study, &write(&study, &timeline)).unwrap();
+        let text = write(&study, &symbols, &timeline);
+        let parsed = parse(&study, &mut symbols, &text).unwrap();
         assert_eq!(parsed.records[0].time, big);
     }
 
     #[test]
     fn parse_rejects_garbage() {
         let study = study();
-        assert!(parse(&study, "").is_err());
-        assert!(parse(&study, "black\nstate_machine_list\n").is_err());
-        let timeline = sample_timeline(&study);
-        let good = write(&study, &timeline);
+        let mut symbols = symbols();
+        assert!(parse(&study, &mut symbols, "").is_err());
+        assert!(parse(&study, &mut symbols, "black\nstate_machine_list\n").is_err());
+        let timeline = sample_timeline(&study, &symbols);
+        let good = write(&study, &symbols, &timeline);
         let tampered = good.replace("1 0 ", "9 0 ");
-        assert!(parse(&study, &tampered).is_err());
+        assert!(parse(&study, &mut symbols, &tampered).is_err());
     }
 
     #[test]
     fn parse_rejects_unknown_machine() {
         let study = study();
-        let timeline = sample_timeline(&study);
-        let text = write(&study, &timeline).replace("black\nhost", "white\nhost");
-        assert!(parse(&study, &text).is_err());
+        let mut symbols = symbols();
+        let timeline = sample_timeline(&study, &symbols);
+        let text = write(&study, &symbols, &timeline).replace("black\nhost", "white\nhost");
+        assert!(parse(&study, &mut symbols, &text).is_err());
     }
 
     #[test]
     fn restart_records_rebuild_stints() {
         let study = study();
-        let timeline = sample_timeline(&study);
-        let parsed = parse(&study, &write(&study, &timeline)).unwrap();
+        let mut symbols = symbols();
+        let timeline = sample_timeline(&study, &symbols);
+        let text = write(&study, &symbols, &timeline);
+        let parsed = parse(&study, &mut symbols, &text).unwrap();
         assert_eq!(parsed.stints.len(), 2);
-        assert_eq!(parsed.stints[0].host, "host1");
-        assert_eq!(parsed.stints[1].host, "host2");
+        assert_eq!(symbols.host_name(parsed.stints[0].host), "host1");
+        assert_eq!(symbols.host_name(parsed.stints[1].host), "host2");
         assert_eq!(parsed.stints[1].first_record, 4);
     }
 }

@@ -15,16 +15,18 @@
 
 use crate::error::ParseError;
 use loki_core::campaign::{HostSync, SyncSample};
+use loki_core::ids::{HostId, SymbolTable};
 use loki_core::time::LocalNanos;
 
-/// Writes a timestamps file.
-pub fn write(reference: &str, host_syncs: &[HostSync]) -> String {
-    let mut out = format!("reference {reference}\n");
+/// Writes a timestamps file, resolving host ids through `symbols` (the
+/// file stays name-based and therefore portable).
+pub fn write(symbols: &SymbolTable, reference: HostId, host_syncs: &[HostSync]) -> String {
+    let mut out = format!("reference {}\n", symbols.host_name(reference));
     for hs in host_syncs {
         for s in &hs.samples {
             out.push_str(&format!(
                 "{} {} {} {}\n",
-                hs.host,
+                symbols.host_name(hs.host),
                 if s.from_reference { 1 } else { 0 },
                 s.send.as_nanos(),
                 s.recv.as_nanos()
@@ -34,14 +36,15 @@ pub fn write(reference: &str, host_syncs: &[HostSync]) -> String {
     out
 }
 
-/// Parses a timestamps file, returning `(reference host, per-host samples)`.
+/// Parses a timestamps file, returning `(reference host, per-host samples)`
+/// with every host name interned into `symbols`.
 ///
 /// # Errors
 ///
 /// Returns a [`ParseError`] for a missing `reference` header or malformed
 /// sample lines.
-pub fn parse(text: &str) -> Result<(String, Vec<HostSync>), ParseError> {
-    let mut reference: Option<String> = None;
+pub fn parse(symbols: &mut SymbolTable, text: &str) -> Result<(HostId, Vec<HostSync>), ParseError> {
+    let mut reference: Option<HostId> = None;
     let mut syncs: Vec<HostSync> = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
@@ -53,7 +56,7 @@ pub fn parse(text: &str) -> Result<(String, Vec<HostSync>), ParseError> {
             if reference.is_some() {
                 return Err(ParseError::at(lineno, "duplicate `reference` line"));
             }
-            reference = Some(host.trim().to_owned());
+            reference = Some(symbols.intern_host(host.trim()));
             continue;
         }
         let tokens: Vec<&str> = line.split_whitespace().collect();
@@ -84,10 +87,11 @@ pub fn parse(text: &str) -> Result<(String, Vec<HostSync>), ParseError> {
             send: LocalNanos(send),
             recv: LocalNanos(recv),
         };
-        match syncs.iter_mut().find(|hs| hs.host == tokens[0]) {
+        let host = symbols.intern_host(tokens[0]);
+        match syncs.iter_mut().find(|hs| hs.host == host) {
             Some(hs) => hs.samples.push(sample),
             None => syncs.push(HostSync {
-                host: tokens[0].to_owned(),
+                host,
                 samples: vec![sample],
             }),
         }
@@ -100,10 +104,10 @@ pub fn parse(text: &str) -> Result<(String, Vec<HostSync>), ParseError> {
 mod tests {
     use super::*;
 
-    fn sample_syncs() -> Vec<HostSync> {
+    fn sample_syncs(symbols: &SymbolTable) -> Vec<HostSync> {
         vec![
             HostSync {
-                host: "h2".into(),
+                host: symbols.lookup_host("h2").unwrap(),
                 samples: vec![
                     SyncSample {
                         from_reference: true,
@@ -118,7 +122,7 @@ mod tests {
                 ],
             },
             HostSync {
-                host: "h3".into(),
+                host: symbols.lookup_host("h3").unwrap(),
                 samples: vec![SyncSample {
                     from_reference: true,
                     send: LocalNanos(105),
@@ -130,26 +134,41 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let syncs = sample_syncs();
-        let text = write("h1", &syncs);
-        let (reference, parsed) = parse(&text).unwrap();
-        assert_eq!(reference, "h1");
+        let mut symbols = SymbolTable::for_hosts(["h1", "h2", "h3"]);
+        let syncs = sample_syncs(&symbols);
+        let h1 = symbols.lookup_host("h1").unwrap();
+        let text = write(&symbols, h1, &syncs);
+        let (reference, parsed) = parse(&mut symbols, &text).unwrap();
+        assert_eq!(reference, h1);
         assert_eq!(parsed, syncs);
     }
 
     #[test]
+    fn parse_interns_into_a_fresh_table() {
+        let symbols = SymbolTable::for_hosts(["h1", "h2", "h3"]);
+        let syncs = sample_syncs(&symbols);
+        let text = write(&symbols, symbols.lookup_host("h1").unwrap(), &syncs);
+        let mut fresh = SymbolTable::new();
+        let (reference, parsed) = parse(&mut fresh, &text).unwrap();
+        assert_eq!(fresh.host_name(reference), "h1");
+        assert_eq!(fresh.num_hosts(), 3);
+        assert_eq!(fresh.host_name(parsed[0].host), "h2");
+    }
+
+    #[test]
     fn errors() {
-        assert!(parse("h2 1 5 6\n").is_err()); // no reference line
-        assert!(parse("reference h1\nreference h1\n").is_err());
-        assert!(parse("reference h1\nh2 2 5 6\n").is_err());
-        assert!(parse("reference h1\nh2 1 5\n").is_err());
-        assert!(parse("reference h1\nh2 1 x 6\n").is_err());
+        let mut t = SymbolTable::new();
+        assert!(parse(&mut t, "h2 1 5 6\n").is_err()); // no reference line
+        assert!(parse(&mut t, "reference h1\nreference h1\n").is_err());
+        assert!(parse(&mut t, "reference h1\nh2 2 5 6\n").is_err());
+        assert!(parse(&mut t, "reference h1\nh2 1 5\n").is_err());
+        assert!(parse(&mut t, "reference h1\nh2 1 x 6\n").is_err());
     }
 
     #[test]
     fn comments_ignored() {
         let text = "# stamp dump\nreference h1\n# body\nh2 0 1 2\n";
-        let (_, parsed) = parse(text).unwrap();
+        let (_, parsed) = parse(&mut SymbolTable::new(), text).unwrap();
         assert_eq!(parsed[0].samples.len(), 1);
     }
 }

@@ -1,6 +1,7 @@
 //! Property tests: every writer round-trips through its parser.
 
 use loki_core::fault::{FaultExpr, Trigger};
+use loki_core::ids::SymbolTable;
 use loki_core::recorder::Recorder;
 use loki_core::spec::{NodePlacement, StateMachineSpec, StudyDef};
 use loki_core::study::Study;
@@ -96,7 +97,8 @@ proptest! {
         let b = study.states.lookup("B").unwrap();
         let f = study.fault_names.lookup("f").unwrap();
 
-        let mut rec = Recorder::new(m, "m", "host1");
+        let mut symbols = SymbolTable::for_hosts(["host1"]);
+        let mut rec = Recorder::new(m, symbols.lookup_host("host1").unwrap());
         for (i, t) in times.iter().enumerate() {
             if *inject_at.get(i % inject_at.len()).unwrap_or(&false) {
                 rec.record_injection(LocalNanos(*t), f);
@@ -105,8 +107,8 @@ proptest! {
             }
         }
         let timeline = rec.finish();
-        let text = timeline_file::write(&study, &timeline);
-        let parsed = timeline_file::parse(&study, &text).unwrap();
+        let text = timeline_file::write(&study, &symbols, &timeline);
+        let parsed = timeline_file::parse(&study, &mut symbols, &text).unwrap();
         prop_assert_eq!(parsed, timeline);
     }
 
@@ -115,8 +117,10 @@ proptest! {
         sends in prop::collection::vec((any::<bool>(), 0u64..1u64<<62, 0u64..1u64<<62), 1..30)
     ) {
         use loki_core::campaign::{HostSync, SyncSample};
+        let mut symbols = SymbolTable::for_hosts(["h1", "h2"]);
+        let h1 = symbols.lookup_host("h1").unwrap();
         let syncs = vec![HostSync {
-            host: "h2".into(),
+            host: symbols.lookup_host("h2").unwrap(),
             samples: sends
                 .into_iter()
                 .map(|(d, s, r)| SyncSample {
@@ -126,9 +130,9 @@ proptest! {
                 })
                 .collect(),
         }];
-        let text = timestamps_file::write("h1", &syncs);
-        let (reference, parsed) = timestamps_file::parse(&text).unwrap();
-        prop_assert_eq!(reference, "h1");
+        let text = timestamps_file::write(&symbols, h1, &syncs);
+        let (reference, parsed) = timestamps_file::parse(&mut symbols, &text).unwrap();
+        prop_assert_eq!(reference, h1);
         prop_assert_eq!(parsed, syncs);
     }
 }

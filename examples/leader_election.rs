@@ -99,14 +99,14 @@ fn main() {
 
     // Restarts on *different hosts* show up in the timelines:
     for a in analyzed.iter().filter(|a| a.accepted()) {
-        if let Some(tl) = a.data.timeline_for("black") {
+        if let Some(tl) = a.data.timeline_for(study.sm_id("black").unwrap()) {
             if tl.stints.len() > 1 {
                 println!(
                     "experiment {}: black ran on {:?}",
                     a.data.experiment,
                     tl.stints
                         .iter()
-                        .map(|s| s.host.as_str())
+                        .map(|s| a.data.host_name(s.host))
                         .collect::<Vec<_>>()
                 );
             }

@@ -42,7 +42,7 @@ fn injection_intent(study: &Study, data: &ExperimentData) -> Vec<(String, Vec<St
                     _ => None,
                 })
                 .collect();
-            (t.sm_name.clone(), fired)
+            (study.sms.name(t.sm).to_owned(), fired)
         })
         .collect()
 }
@@ -151,11 +151,15 @@ fn lead_measure() -> StudyMeasure {
     })
 }
 
-/// The tentpole acceptance test: the streaming pipeline must be
+/// The pipeline acceptance test: the streaming pipeline must be
 /// *unobservable* in the results — byte-identical to the batch
 /// `run_study` → `analyze` → measure fold, for every worker count — while
 /// never holding more than O(workers) raw `ExperimentData` in memory
-/// (asserted via the pipeline's retention gauge).
+/// (asserted via the pipeline's retention gauge). Workers claim
+/// experiments from a shared index counter (work stealing), so which
+/// worker runs which experiment varies with scheduling; the sweep below
+/// pins that the *results* nevertheless stay byte-identical across every
+/// worker count, including counts that do not divide the experiment count.
 #[test]
 fn pipeline_streaming_matches_batch_and_bounds_raw_retention() {
     let (study, factory) = quick_election();
@@ -177,7 +181,7 @@ fn pipeline_streaming_matches_batch_and_bounds_raw_retention() {
         .unwrap();
     assert!(batch_accepted > 0, "campaign must accept something");
 
-    for workers in [1usize, 4] {
+    for workers in [1usize, 2, 4, 5, 6] {
         let pipeline = CampaignPipeline::new(study.clone(), factory.clone(), cfg.clone());
         let mut acc = StudyAccumulator::new(lead_measure());
         let mut streamed = Vec::new();

@@ -255,12 +255,15 @@ fn timelines_roundtrip_through_on_disk_format_and_reanalyze() {
     // Write every local timeline to the thesis's file format and read it
     // back; the analysis of the round-tripped data must agree.
     let mut roundtripped = data.clone();
+    // Hosts written to disk already live in the study-run table, so
+    // re-interning on parse reproduces the same ids.
+    let mut symbols = (*data.symbols).clone();
     roundtripped.timelines = data
         .timelines
         .iter()
         .map(|t| {
-            let text = timeline_file::write(&study, t);
-            timeline_file::parse(&study, &text).expect("roundtrip parses")
+            let text = timeline_file::write(&study, &data.symbols, t);
+            timeline_file::parse(&study, &mut symbols, &text).expect("roundtrip parses")
         })
         .collect();
     assert_eq!(roundtripped.timelines, data.timelines);

@@ -110,8 +110,8 @@ fn oracle_study() -> Arc<Study> {
 fn truly_correct(study: &Study, data: &loki::core::ExperimentData) -> Option<bool> {
     let armed = study.states.lookup("ARMED").unwrap();
     let cool = study.states.lookup("COOL").unwrap();
-    let target = data.timeline_for("target")?;
-    let watcher = data.timeline_for("watcher")?;
+    let target = data.timeline_for(study.sm_id("target")?)?;
+    let watcher = data.timeline_for(study.sm_id("watcher")?)?;
     let mut enter = None;
     let mut leave = None;
     for r in &target.records {
