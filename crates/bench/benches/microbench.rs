@@ -583,6 +583,300 @@ fn bench_campaign_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
+/// The `sim_event_core` storm: 32 hosts, one node per host, each driving
+/// a heartbeat that fans out notification-like messages to three peers,
+/// re-arms (set + cancel) a watchdog timer every round, and watches its
+/// neighbour; a quarter of the nodes crash at the end, exercising the
+/// peer-down path. The same workload runs on the real engine (index heap +
+/// timer slab + dense actor state + `InlineVec` fan-out) and on
+/// [`loki_bench::event_baseline`] — a structure-for-structure replica of
+/// the previous engine (full-payload heap, `HashMap` FIFO horizons,
+/// `HashSet` timer tombstones, `Vec` fan-out) — so the measured delta is
+/// exactly the event-core rework.
+mod storm {
+    use loki_core::small::InlineVec;
+
+    pub const HOSTS: u32 = 32;
+    pub const ROUNDS: u32 = 48;
+    pub const FANOUT: u32 = 3;
+    pub const TAG_TICK: u64 = 0;
+    pub const TAG_DOG: u64 = 1;
+
+    /// A notification-shaped message: the fan-out list is the part the
+    /// engines carry differently (inline vs heap-allocated).
+    pub enum NewMsg {
+        Note {
+            seq: u64,
+            hops: u8,
+            targets: InlineVec<u32, 4>,
+        },
+    }
+
+    /// The baseline's message: identical content, `Vec` fan-out (one heap
+    /// allocation per message, as before the rework).
+    pub enum BaseMsg {
+        Note {
+            seq: u64,
+            hops: u8,
+            targets: Vec<u32>,
+        },
+    }
+
+    /// Deterministic peer choice shared by both implementations.
+    pub fn peer(idx: u32, k: u32) -> u32 {
+        (idx + k * 7 + 1) % HOSTS
+    }
+}
+
+/// The storm on the real (indexed) engine.
+fn run_storm_indexed(seed: u64) -> u64 {
+    use loki_core::small::InlineVec;
+    use loki_sim::engine::{Actor, ActorId, Ctx, Simulation, TimerId};
+    use std::cell::Cell;
+    use std::rc::Rc;
+    use storm::{NewMsg, FANOUT, HOSTS, ROUNDS, TAG_DOG, TAG_TICK};
+
+    struct Node {
+        idx: u32,
+        rounds_left: u32,
+        seq: u64,
+        watchdog: Option<TimerId>,
+        delivered: Rc<Cell<u64>>,
+    }
+    impl Actor<NewMsg> for Node {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, NewMsg>) {
+            ctx.watch(ActorId((self.idx + 1) % HOSTS));
+            ctx.set_timer(10_000 + u64::from(self.idx) * 97, TAG_TICK);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, NewMsg>, from: ActorId, msg: NewMsg) {
+            let NewMsg::Note { seq, hops, targets } = msg;
+            // Consume the fan-out list like a daemon routing it.
+            self.delivered
+                .set(self.delivered.get() + targets.len() as u64);
+            if hops == 0 && seq % 4 == 0 {
+                let targets: InlineVec<u32, 4> = [self.idx].into_iter().collect();
+                ctx.send(
+                    from,
+                    NewMsg::Note {
+                        seq: seq + 1,
+                        hops: 1,
+                        targets,
+                    },
+                );
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, NewMsg>, tag: u64) {
+            if tag != TAG_TICK {
+                return;
+            }
+            if let Some(old) = self.watchdog.take() {
+                ctx.cancel_timer(old);
+            }
+            self.watchdog = Some(ctx.set_timer(5_000_000, TAG_DOG));
+            for k in 0..FANOUT {
+                let to = storm::peer(self.idx, k);
+                let targets: InlineVec<u32, 4> = [self.idx, to, k].into_iter().collect();
+                self.seq += 1;
+                ctx.send(
+                    ActorId(to),
+                    NewMsg::Note {
+                        seq: self.seq,
+                        hops: 0,
+                        targets,
+                    },
+                );
+            }
+            self.rounds_left -= 1;
+            if self.rounds_left > 0 {
+                ctx.set_timer(20_000 + u64::from(self.idx * 31 % 11) * 1_000, TAG_TICK);
+            } else if self.idx % 4 == 3 {
+                ctx.crash_self();
+            }
+        }
+        fn on_peer_down(
+            &mut self,
+            _ctx: &mut Ctx<'_, NewMsg>,
+            _peer: ActorId,
+            _reason: loki_sim::engine::DownReason,
+        ) {
+            self.delivered.set(self.delivered.get() + 1);
+        }
+    }
+
+    let mut sim: Simulation<NewMsg> = Simulation::new(seed);
+    sim.disable_trace();
+    let delivered = Rc::new(Cell::new(0u64));
+    let hosts: Vec<_> = (0..HOSTS)
+        .map(|i| {
+            sim.add_host(
+                loki_sim::config::HostConfig::new(&format!("h{i}")).timeslice_ns(2_000_000),
+            )
+        })
+        .collect();
+    for (i, &h) in hosts.iter().enumerate() {
+        sim.spawn(
+            h,
+            Box::new(Node {
+                idx: i as u32,
+                rounds_left: ROUNDS,
+                seq: 0,
+                watchdog: None,
+                delivered: delivered.clone(),
+            }),
+        );
+    }
+    sim.run();
+    delivered.get()
+}
+
+/// The identical storm on the baseline (previous-structures) engine.
+fn run_storm_baseline(seed: u64) -> u64 {
+    use loki_bench::event_baseline::{
+        ActorId, BaselineActor, BaselineCtx, BaselineSim, DownReason, TimerId,
+    };
+    use std::cell::Cell;
+    use std::rc::Rc;
+    use storm::{BaseMsg, FANOUT, HOSTS, ROUNDS, TAG_DOG, TAG_TICK};
+
+    struct Node {
+        idx: u32,
+        rounds_left: u32,
+        seq: u64,
+        watchdog: Option<TimerId>,
+        delivered: Rc<Cell<u64>>,
+    }
+    impl BaselineActor<BaseMsg> for Node {
+        fn on_start(&mut self, ctx: &mut BaselineCtx<'_, BaseMsg>) {
+            ctx.watch(ActorId((self.idx + 1) % HOSTS));
+            ctx.set_timer(10_000 + u64::from(self.idx) * 97, TAG_TICK);
+        }
+        fn on_message(&mut self, ctx: &mut BaselineCtx<'_, BaseMsg>, from: ActorId, msg: BaseMsg) {
+            let BaseMsg::Note { seq, hops, targets } = msg;
+            // Consume the fan-out list like a daemon routing it.
+            self.delivered
+                .set(self.delivered.get() + targets.len() as u64);
+            if hops == 0 && seq % 4 == 0 {
+                ctx.send(
+                    from,
+                    BaseMsg::Note {
+                        seq: seq + 1,
+                        hops: 1,
+                        targets: vec![self.idx],
+                    },
+                );
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut BaselineCtx<'_, BaseMsg>, tag: u64) {
+            if tag != TAG_TICK {
+                return;
+            }
+            if let Some(old) = self.watchdog.take() {
+                ctx.cancel_timer(old);
+            }
+            self.watchdog = Some(ctx.set_timer(5_000_000, TAG_DOG));
+            for k in 0..FANOUT {
+                let to = storm::peer(self.idx, k);
+                self.seq += 1;
+                ctx.send(
+                    ActorId(to),
+                    BaseMsg::Note {
+                        seq: self.seq,
+                        hops: 0,
+                        targets: vec![self.idx, to, k],
+                    },
+                );
+            }
+            self.rounds_left -= 1;
+            if self.rounds_left > 0 {
+                ctx.set_timer(20_000 + u64::from(self.idx * 31 % 11) * 1_000, TAG_TICK);
+            } else if self.idx % 4 == 3 {
+                ctx.crash_self();
+            }
+        }
+        fn on_peer_down(
+            &mut self,
+            _ctx: &mut BaselineCtx<'_, BaseMsg>,
+            _peer: ActorId,
+            _reason: DownReason,
+        ) {
+            self.delivered.set(self.delivered.get() + 1);
+        }
+    }
+
+    let mut sim: BaselineSim<BaseMsg> = BaselineSim::new(seed);
+    let delivered = Rc::new(Cell::new(0u64));
+    let hosts: Vec<_> = (0..HOSTS)
+        .map(|i| {
+            sim.add_host(
+                loki_sim::config::HostConfig::new(&format!("h{i}")).timeslice_ns(2_000_000),
+            )
+        })
+        .collect();
+    for (i, &h) in hosts.iter().enumerate() {
+        sim.spawn(
+            h,
+            Box::new(Node {
+                idx: i as u32,
+                rounds_left: ROUNDS,
+                seq: 0,
+                watchdog: None,
+                delivered: delivered.clone(),
+            }),
+        );
+    }
+    sim.run();
+    delivered.get()
+}
+
+/// The event-core storm: the indexed engine against the cost-faithful
+/// replica of the previous structures. The untimed gauge pass records the
+/// speedup for the `BENCH_pr5.json` artifact.
+fn bench_sim_event_core(c: &mut Criterion) {
+    let names = [
+        "sim_event_core/indexed_slab_engine",
+        "sim_event_core/hash_heap_baseline",
+    ];
+    if names.iter().all(|n| criterion::is_filtered_out(n)) {
+        return;
+    }
+
+    // Sanity: both engines drive the identical storm (same RNG draws, same
+    // delivery schedule) — the workloads being compared are the same.
+    assert_eq!(run_storm_indexed(0x10C0), run_storm_baseline(0x10C0));
+
+    let time = |f: &dyn Fn() -> u64| {
+        const ITERS: u32 = 30;
+        for _ in 0..10 {
+            criterion::black_box(f()); // warm caches and the allocator
+        }
+        let start = std::time::Instant::now();
+        for _ in 0..ITERS {
+            criterion::black_box(f());
+        }
+        start.elapsed().as_nanos() as f64 / ITERS as f64
+    };
+    let indexed_ns = time(&|| run_storm_indexed(7));
+    let baseline_ns = time(&|| run_storm_baseline(7));
+    report::record("sim_event_core_indexed_ns_per_storm", indexed_ns);
+    report::record("sim_event_core_baseline_ns_per_storm", baseline_ns);
+    report::record("sim_event_core_speedup", baseline_ns / indexed_ns);
+    println!(
+        "sim_event_core: indexed {:.0} ns/storm, hash/heap baseline {:.0} ns/storm ({:.2}x)",
+        indexed_ns,
+        baseline_ns,
+        baseline_ns / indexed_ns
+    );
+
+    let mut group = c.benchmark_group("sim_event_core");
+    group.bench_function("indexed_slab_engine", |bencher| {
+        bencher.iter(|| criterion::black_box(run_storm_indexed(7)))
+    });
+    group.bench_function("hash_heap_baseline", |bencher| {
+        bencher.iter(|| criterion::black_box(run_storm_baseline(7)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_fault_parser,
@@ -591,6 +885,7 @@ criterion_group!(
     bench_clock_sync,
     bench_measure,
     bench_make_global,
+    bench_sim_event_core,
     bench_pipeline,
     bench_campaign_pipeline
 );

@@ -1,0 +1,346 @@
+//! A cost-faithful replica of the pre-index-heap simulation event core,
+//! for the `sim_event_core` microbenchmark.
+//!
+//! This is the engine `loki_sim::engine::Simulation` shipped before the
+//! hash-free rework, reproduced structure for structure so the benchmark
+//! isolates exactly what changed:
+//!
+//! * the pending queue is a `BinaryHeap<Scheduled<M>>` carrying **full
+//!   event bodies**, so every sift moves the whole payload;
+//! * FIFO horizons live in a `HashMap<(ActorId, ActorId), u64>` — one
+//!   hash probe and one hash insert per send;
+//! * cancelled timers tombstone into a `HashSet<TimerId>` — a hash insert
+//!   per cancel, a hash probe per timer pop, and unbounded growth under
+//!   cancel-heavy watchdog traffic;
+//! * watcher lists live in a `HashMap<ActorId, Vec<ActorId>>`.
+//!
+//! Scheduling-delay and link-latency sampling, the dispatch discipline
+//! (take the actor box out, run the callback, put it back), FIFO
+//! tie-breaking, and crash bookkeeping are identical to the real engine,
+//! so the benchmark's delta is the data structures, not the workload.
+//! Trace collection is omitted on both sides (benchmarks disable it).
+
+use loki_sim::config::{HostConfig, NetworkConfig};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+pub use loki_sim::engine::DownReason;
+
+/// Identifies a simulated host (baseline replica).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub u32);
+
+/// Identifies an actor (baseline replica).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActorId(pub u32);
+
+/// Identifies a timer (baseline replica: globally unique, never reused —
+/// the tombstone set design needs unique ids).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+/// The baseline actor trait, mirroring [`loki_sim::engine::Actor`].
+pub trait BaselineActor<M> {
+    /// Called once at spawn.
+    fn on_start(&mut self, ctx: &mut BaselineCtx<'_, M>) {
+        let _ = ctx;
+    }
+    /// Called per delivered message.
+    fn on_message(&mut self, ctx: &mut BaselineCtx<'_, M>, from: ActorId, msg: M);
+    /// Called when a timer fires.
+    fn on_timer(&mut self, ctx: &mut BaselineCtx<'_, M>, tag: u64) {
+        let _ = (ctx, tag);
+    }
+    /// Called when a watched peer dies.
+    fn on_peer_down(&mut self, ctx: &mut BaselineCtx<'_, M>, peer: ActorId, reason: DownReason) {
+        let _ = (ctx, peer, reason);
+    }
+}
+
+enum Event<M> {
+    Start {
+        actor: ActorId,
+    },
+    Deliver {
+        to: ActorId,
+        from: ActorId,
+        msg: M,
+    },
+    Timer {
+        actor: ActorId,
+        id: TimerId,
+        tag: u64,
+    },
+    PeerDown {
+        observer: ActorId,
+        dead: ActorId,
+        reason: DownReason,
+    },
+}
+
+/// The full-payload heap entry the old engine sifted on every push/pop.
+struct Scheduled<M> {
+    time: u64,
+    seq: u64,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The baseline simulation: the previous engine's structures, verbatim.
+pub struct BaselineSim<M> {
+    time: u64,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<M>>,
+    hosts: Vec<HostConfig>,
+    actors: Vec<Option<Box<dyn BaselineActor<M>>>>,
+    actor_hosts: Vec<HostId>,
+    alive: Vec<bool>,
+    watchers: HashMap<ActorId, Vec<ActorId>>,
+    fifo_horizon: HashMap<(ActorId, ActorId), u64>,
+    cancelled_timers: HashSet<TimerId>,
+    next_timer: u64,
+    network: NetworkConfig,
+    rng: rand::rngs::StdRng,
+    events_processed: u64,
+}
+
+impl<M: 'static> BaselineSim<M> {
+    /// Creates an empty baseline simulation.
+    pub fn new(seed: u64) -> Self {
+        use rand::SeedableRng;
+        BaselineSim {
+            time: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            hosts: Vec::new(),
+            actors: Vec::new(),
+            actor_hosts: Vec::new(),
+            alive: Vec::new(),
+            watchers: HashMap::new(),
+            fifo_horizon: HashMap::new(),
+            cancelled_timers: HashSet::new(),
+            next_timer: 0,
+            network: NetworkConfig::default(),
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            events_processed: 0,
+        }
+    }
+
+    /// Replaces the network latency configuration.
+    pub fn set_network(&mut self, network: NetworkConfig) {
+        self.network = network;
+    }
+
+    /// Adds a host; returns its id.
+    pub fn add_host(&mut self, config: HostConfig) -> HostId {
+        let id = HostId(self.hosts.len() as u32);
+        self.hosts.push(config);
+        id
+    }
+
+    /// Spawns an actor on `host`.
+    pub fn spawn(&mut self, host: HostId, actor: Box<dyn BaselineActor<M>>) -> ActorId {
+        let id = ActorId(self.actors.len() as u32);
+        self.actors.push(Some(actor));
+        self.actor_hosts.push(host);
+        self.alive.push(true);
+        self.push(self.time, Event::Start { actor: id });
+        id
+    }
+
+    /// Total events processed (for cross-checking against the real engine).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Runs the queue dry.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    fn is_alive(&self, actor: ActorId) -> bool {
+        self.alive.get(actor.0 as usize).copied().unwrap_or(false)
+    }
+
+    fn step(&mut self) -> bool {
+        let Some(s) = self.queue.pop() else {
+            return false;
+        };
+        self.events_processed += 1;
+        self.time = s.time;
+        match s.event {
+            Event::Start { actor } => {
+                self.dispatch(actor, |a, ctx| a.on_start(ctx));
+            }
+            Event::Deliver { to, from, msg } => {
+                self.dispatch(to, move |a, ctx| a.on_message(ctx, from, msg));
+            }
+            Event::Timer { actor, id, tag } => {
+                if self.cancelled_timers.remove(&id) {
+                    return true;
+                }
+                self.dispatch(actor, move |a, ctx| a.on_timer(ctx, tag));
+            }
+            Event::PeerDown {
+                observer,
+                dead,
+                reason,
+            } => {
+                self.dispatch(observer, move |a, ctx| a.on_peer_down(ctx, dead, reason));
+            }
+        }
+        true
+    }
+
+    fn dispatch(
+        &mut self,
+        actor: ActorId,
+        f: impl FnOnce(&mut Box<dyn BaselineActor<M>>, &mut BaselineCtx<'_, M>),
+    ) {
+        if !self.is_alive(actor) {
+            return;
+        }
+        let mut a = match self.actors[actor.0 as usize].take() {
+            Some(a) => a,
+            None => return,
+        };
+        let mut ctx = BaselineCtx {
+            sim: self,
+            me: actor,
+            self_down: None,
+        };
+        f(&mut a, &mut ctx);
+        let self_down = ctx.self_down;
+        match self_down {
+            None => {
+                if self.alive[actor.0 as usize] {
+                    self.actors[actor.0 as usize] = Some(a);
+                }
+            }
+            Some(reason) => {
+                self.actors[actor.0 as usize] = Some(a);
+                self.kill_internal(actor, reason);
+            }
+        }
+    }
+
+    fn kill_internal(&mut self, actor: ActorId, reason: DownReason) {
+        if !self.is_alive(actor) {
+            return;
+        }
+        self.alive[actor.0 as usize] = false;
+        self.actors[actor.0 as usize] = None;
+        let detect = self.hosts[self.actor_hosts[actor.0 as usize].0 as usize].crash_detect_ns;
+        if let Some(watchers) = self.watchers.remove(&actor) {
+            for observer in watchers {
+                self.push(
+                    self.time + detect,
+                    Event::PeerDown {
+                        observer,
+                        dead: actor,
+                        reason,
+                    },
+                );
+            }
+        }
+    }
+
+    fn push(&mut self, time: u64, event: Event<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { time, seq, event });
+    }
+}
+
+/// The baseline actor-callback context, mirroring
+/// [`loki_sim::engine::Ctx`].
+pub struct BaselineCtx<'a, M> {
+    sim: &'a mut BaselineSim<M>,
+    me: ActorId,
+    self_down: Option<DownReason>,
+}
+
+impl<'a, M: 'static> BaselineCtx<'a, M> {
+    /// The current actor's id.
+    pub fn me(&self) -> ActorId {
+        self.me
+    }
+
+    /// Sends with scheduling delays and link latency, FIFO per pair —
+    /// identical sampling to the real engine.
+    pub fn send(&mut self, to: ActorId, msg: M) {
+        let from_host = self.sim.actor_hosts[self.me.0 as usize];
+        let to_host = self.sim.actor_hosts[to.0 as usize];
+        let link = if from_host == to_host {
+            self.sim.network.ipc
+        } else {
+            self.sim.network.tcp
+        };
+        let d_send = self.sim.hosts[from_host.0 as usize].sched_delay(&mut self.sim.rng);
+        let d_recv = self.sim.hosts[to_host.0 as usize].sched_delay(&mut self.sim.rng);
+        let d_link = link.sample(&mut self.sim.rng);
+        let at = self.sim.time + d_send + d_link + d_recv;
+        // The old FIFO horizon: one hash probe + one hash insert per send.
+        let key = (self.me, to);
+        let at = match self.sim.fifo_horizon.get(&key) {
+            Some(&last) if at <= last => last + 1,
+            _ => at,
+        };
+        self.sim.fifo_horizon.insert(key, at);
+        self.sim.push(
+            at,
+            Event::Deliver {
+                to,
+                from: self.me,
+                msg,
+            },
+        );
+    }
+
+    /// Arms a timer; ids are unique forever (the tombstone design).
+    pub fn set_timer(&mut self, delay_ns: u64, tag: u64) -> TimerId {
+        let id = TimerId(self.sim.next_timer);
+        self.sim.next_timer += 1;
+        let at = self.sim.time + delay_ns;
+        self.sim.push(
+            at,
+            Event::Timer {
+                actor: self.me,
+                id,
+                tag,
+            },
+        );
+        id
+    }
+
+    /// Cancels a timer by tombstoning its id.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.sim.cancelled_timers.insert(id);
+    }
+
+    /// Watches a peer for death.
+    pub fn watch(&mut self, peer: ActorId) {
+        self.sim.watchers.entry(peer).or_default().push(self.me);
+    }
+
+    /// Crashes the current actor.
+    pub fn crash_self(&mut self) {
+        self.self_down = Some(DownReason::Crash);
+    }
+}

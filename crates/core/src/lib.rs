@@ -20,6 +20,8 @@
 //! * [`recorder`] — local timelines of state changes and injections.
 //! * [`probe`] — the system-dependent injection interface.
 //! * [`campaign`] — experiment data containers and sync-sample records.
+//! * [`small`] — allocation-lean small-vector storage
+//!   ([`small::InlineVec`]) for the runtime's hot-path fan-out lists.
 //! * [`time`] — local clock readings and global-time interval bounds.
 //!
 //! The runtime (daemons, transports, node lifecycle) lives in
@@ -68,6 +70,7 @@ pub mod fault;
 pub mod ids;
 pub mod probe;
 pub mod recorder;
+pub mod small;
 pub mod spec;
 pub mod state_machine;
 pub mod study;
@@ -80,6 +83,7 @@ pub use fault::{CompiledExpr, CompiledFault, FaultExpr, FaultParser, Trigger};
 pub use ids::{EventId, FaultId, NameTable, SmId, StateId};
 pub use probe::{ActionProbe, FaultAction, Probe};
 pub use recorder::{LocalTimeline, RecordKind, Recorder, TimelineRecord};
+pub use small::InlineVec;
 pub use spec::{CampaignDef, FaultSpec, NodePlacement, StateMachineSpec, StudyDef};
 pub use state_machine::{StateMachine, TransitionOutcome};
 pub use study::{CompiledSm, ReservedIds, Study};

@@ -28,6 +28,7 @@
 //! `notifyEvent()`, and the runtime calls [`App::on_fault`] where the
 //! thesis's fault parser calls the probe's `injectFault()`.
 
+use crate::messages::SmTargets;
 use loki_core::error::CoreError;
 use loki_core::fault::FaultParser;
 use loki_core::ids::{FaultId, HostId, SmId, StateId, SymbolTable};
@@ -101,8 +102,10 @@ pub(crate) trait Port {
     /// Appends to this node's local timeline.
     fn record(&mut self, time: LocalNanos, kind: RecordKind);
     /// Routes a state notification from `from` to `targets` (the
-    /// backend's notification design: through daemons, direct, …).
-    fn notify(&mut self, from: SmId, state: StateId, targets: Vec<SmId>);
+    /// backend's notification design: through daemons, direct, …). The
+    /// target list is inline ([`crate::messages::SmTargets`]) so the
+    /// steady-state notification path allocates nothing.
+    fn notify(&mut self, from: SmId, state: StateId, targets: SmTargets);
     /// Delivers an application message on the application's own
     /// connections. Silently dropped if the target is not executing.
     fn send_app(&mut self, from: SmId, to: SmId, payload: Payload);
@@ -175,7 +178,8 @@ impl NodeCore {
             },
         );
         if !outcome.notify.is_empty() {
-            port.notify(self.me, outcome.new_state, outcome.notify.clone());
+            let targets: SmTargets = outcome.notify.iter().copied().collect();
+            port.notify(self.me, outcome.new_state, targets);
         }
         self.reparse(self.me);
         Ok(())
@@ -203,7 +207,7 @@ impl NodeCore {
     /// Replies to a restarted machine's state-update request (§3.6.3).
     pub fn state_update_reply(&mut self, port: &mut dyn Port, for_sm: SmId) {
         if for_sm != self.me && self.sm.is_initialized() {
-            port.notify(self.me, self.sm.state(), vec![for_sm]);
+            port.notify(self.me, self.sm.state(), SmTargets::one(for_sm));
         }
     }
 
@@ -248,7 +252,7 @@ impl NodeCore {
             );
         }
         let me = self.me;
-        let targets: Vec<SmId> = self.study.sms.ids().filter(|&sm| sm != me).collect();
+        let targets: SmTargets = self.study.sms.ids().filter(|&sm| sm != me).collect();
         port.notify(me, exit_state, targets);
         self.exiting = false;
     }
@@ -268,11 +272,13 @@ impl NodeCore {
                 new_state: crash_state,
             },
         );
-        let targets = self
+        let targets: SmTargets = self
             .study
             .machine(self.me)
             .notify_list(crash_state)
-            .to_vec();
+            .iter()
+            .copied()
+            .collect();
         if !targets.is_empty() {
             port.notify(self.me, crash_state, targets);
         }

@@ -16,7 +16,7 @@
 //!   supervisor implements that restart with a configurable policy,
 //!   possibly on a different host (§3.6.3).
 
-use crate::messages::{NotifyRouting, RtMsg};
+use crate::messages::{NotifyRouting, RtMsg, SmTargets};
 use crate::node::NodeActor;
 use crate::store::{ExperimentControl, NodeDirectory, TimelineStore, WarningSink};
 use crate::wiring::Wiring;
@@ -150,9 +150,9 @@ impl LocalDaemon {
         ctx: &mut Ctx<'_, RtMsg>,
         from_sm: SmId,
         state: loki_core::ids::StateId,
-        targets: Vec<SmId>,
+        targets: SmTargets,
     ) {
-        let mut per_host: BTreeMap<u32, Vec<SmId>> = BTreeMap::new();
+        let mut per_host: BTreeMap<u32, SmTargets> = BTreeMap::new();
         for target in targets {
             if let Some(&actor) = self.local_nodes.get(&target) {
                 ctx.send(actor, RtMsg::DeliverNotify { from_sm, state });
@@ -228,7 +228,12 @@ impl LocalDaemon {
             });
             // Deliver the CRASH state's notifications on the machine's
             // behalf (e.g. `state CRASH notify green yellow`, §5.3).
-            let targets = study.machine(sm).notify_list(crash_state).to_vec();
+            let targets: SmTargets = study
+                .machine(sm)
+                .notify_list(crash_state)
+                .iter()
+                .copied()
+                .collect();
             if !targets.is_empty() {
                 self.route(ctx, sm, crash_state, targets);
             }

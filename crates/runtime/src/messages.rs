@@ -8,7 +8,14 @@
 
 use crate::app::Payload;
 use loki_core::ids::{SmId, StateId};
+use loki_core::small::InlineVec;
 use loki_core::time::LocalNanos;
+
+/// A notification's recipient list. Fan-outs are almost always one or two
+/// machines (a state's notify list, the per-host slice of a route), so the
+/// list lives inline in the message and the steady-state notification path
+/// allocates nothing.
+pub type SmTargets = InlineVec<SmId, 4>;
 
 /// All messages exchanged by runtime actors.
 #[derive(Clone)]
@@ -28,7 +35,7 @@ pub enum RtMsg {
         /// Its new state.
         state: StateId,
         /// Recipient state machines (the new state's notify list).
-        targets: Vec<SmId>,
+        targets: SmTargets,
     },
     /// A state notification delivered to a node's state machine transport.
     DeliverNotify {
@@ -60,7 +67,7 @@ pub enum RtMsg {
         /// Its new state.
         state: StateId,
         /// Recipients on the destination host.
-        targets: Vec<SmId>,
+        targets: SmTargets,
     },
     /// A machine entered the system (register seen by its daemon).
     NodeUp {
@@ -198,7 +205,7 @@ mod tests {
         let m = RtMsg::Notify {
             from_sm: Id::from_raw(0),
             state: Id::from_raw(3),
-            targets: vec![Id::from_raw(1)],
+            targets: SmTargets::one(Id::from_raw(1)),
         };
         let s = format!("{m:?}");
         assert!(s.contains("Notify"));

@@ -13,7 +13,7 @@
 //! application-facing API of its own.
 
 use crate::app::{App, NodeCore, Payload, Port};
-use crate::messages::{NotifyRouting, RtMsg};
+use crate::messages::{NotifyRouting, RtMsg, SmTargets};
 use crate::store::{NodeDirectory, TimelineStore, WarningSink};
 use loki_core::ids::{HostId, SmId, StateId, SymbolTable};
 use loki_core::recorder::{RecordKind, Recorder, TimelineRecord};
@@ -52,7 +52,7 @@ impl Port for SimPort<'_, '_> {
         });
     }
 
-    fn notify(&mut self, from: SmId, state: StateId, targets: Vec<SmId>) {
+    fn notify(&mut self, from: SmId, state: StateId, targets: SmTargets) {
         match self.shared.routing {
             NotifyRouting::ThroughDaemons | NotifyRouting::Centralized => {
                 self.sim.send(

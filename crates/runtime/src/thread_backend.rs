@@ -20,7 +20,7 @@
 //! their latencies can be controlled.
 
 use crate::app::{App, AppFactory, NodeCore, Payload, Port};
-use crate::messages::NotifyRouting;
+use crate::messages::{NotifyRouting, SmTargets};
 use loki_clock::params::{fastest_reference, ClockParams, VirtualClock};
 use loki_core::campaign::{ExperimentData, ExperimentEnd, HostSync, SyncSample};
 use loki_core::ids::{HostId, SmId, StateId, SymbolTable};
@@ -157,7 +157,7 @@ impl Port for ThreadPort<'_> {
         self.recorder.record(time, kind);
     }
 
-    fn notify(&mut self, from: SmId, state: StateId, targets: Vec<SmId>) {
+    fn notify(&mut self, from: SmId, state: StateId, targets: SmTargets) {
         for target in targets {
             self.router.send(target, TMsg::Notify { from, state });
         }

@@ -7,14 +7,40 @@
 //! crashes, and read their host's drifting virtual clock. Execution is
 //! fully deterministic for a given seed: the event queue is ordered by
 //! `(time, sequence number)` and all randomness flows from one seeded RNG.
+//!
+//! # Event-core internals
+//!
+//! The steady-state event loop does no hashing and no per-event
+//! allocation:
+//!
+//! * the pending-event queue is an **index heap**
+//!   ([`crate::queue::EventQueue`]): the binary heap orders packed
+//!   `(time, seq, slot)` keys while event bodies park in a recycled slab,
+//!   so sifts never move message payloads;
+//! * timers are **generation-stamped slots**
+//!   ([`crate::queue::TimerSlab`]): cancel is one array write and the
+//!   pop-side liveness check one integer compare — no tombstone set that
+//!   grows with cancel traffic;
+//! * per-actor state is **dense**: watcher lists are a vector of inline
+//!   small-vectors ([`loki_core::small::InlineVec`]) indexed by the
+//!   watched actor, and FIFO horizons are per-sender sorted vectors
+//!   binary-searched by receiver (senders talk to few peers, so the probe
+//!   touches one or two cache lines; an open-addressed `(from, to)` map
+//!   benched no better and costs the memory of its empty slots).
+//!
+//! Pop order remains total on `(time, seq)` with `seq` assigned at push —
+//! byte-identical to the previous full-payload heap, as pinned by the
+//! model-equivalence proptest in `tests/prop_sim.rs` and the repo-level
+//! determinism suites.
 
 use crate::config::{HostConfig, NetworkConfig};
+use crate::queue::{EventQueue, TimerKey, TimerSlab};
 use loki_clock::params::VirtualClock;
+use loki_core::small::InlineVec;
 use loki_core::time::LocalNanos;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Identifies a simulated host.
@@ -26,6 +52,10 @@ pub struct HostId(pub u32);
 pub struct ActorId(pub u32);
 
 /// Identifies a timer set by an actor.
+///
+/// The raw value encodes the timer's slab slot and the generation it was
+/// armed under (see [`crate::queue::TimerSlab`]); backend-agnostic timer
+/// handles embed it opaquely via [`TimerId::raw`]/[`TimerId::from_raw`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub struct TimerId(u64);
 
@@ -97,30 +127,6 @@ enum Event<M> {
     },
 }
 
-struct Scheduled<M> {
-    time: u64,
-    seq: u64,
-    event: Event<M>,
-}
-
-impl<M> PartialEq for Scheduled<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Scheduled<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
-
 /// One entry of the simulation trace (for debugging and tests).
 #[derive(Clone, Debug)]
 pub enum TraceEntry {
@@ -152,6 +158,10 @@ pub enum TraceEntry {
         to: ActorId,
     },
 }
+
+/// Inline capacity of a watcher list: almost every watched actor (a node)
+/// has exactly one watcher, its local daemon.
+const WATCHERS_INLINE: usize = 4;
 
 /// The discrete-event simulation.
 ///
@@ -190,17 +200,23 @@ pub enum TraceEntry {
 /// ```
 pub struct Simulation<M> {
     time: u64,
-    seq: u64,
-    queue: BinaryHeap<Scheduled<M>>,
+    queue: EventQueue<Event<M>>,
     hosts: Vec<HostConfig>,
+    /// Name → host index (first registration wins), so
+    /// [`Ctx::find_host`] is O(1) instead of a linear scan.
+    host_index: HashMap<String, u32>,
     clocks: Vec<VirtualClock>,
     actors: Vec<Option<Box<dyn Actor<M>>>>,
     actor_hosts: Vec<HostId>,
     alive: Vec<bool>,
-    watchers: HashMap<ActorId, Vec<ActorId>>,
-    fifo_horizon: HashMap<(ActorId, ActorId), u64>,
-    cancelled_timers: HashSet<TimerId>,
-    next_timer: u64,
+    /// Watcher lists, indexed by the *watched* actor. Dense and inline:
+    /// registering and draining never hashes, and the common
+    /// single-watcher case never allocates.
+    watchers: Vec<InlineVec<ActorId, WATCHERS_INLINE>>,
+    /// Per-sender FIFO horizons: `(receiver, last delivery time)` sorted
+    /// by receiver, binary-searched per send.
+    fifo_out: Vec<Vec<(u32, u64)>>,
+    timers: TimerSlab,
     network: NetworkConfig,
     sched_enabled: bool,
     rng: StdRng,
@@ -215,17 +231,16 @@ impl<M: 'static> Simulation<M> {
     pub fn new(seed: u64) -> Self {
         Simulation {
             time: 0,
-            seq: 0,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(),
             hosts: Vec::new(),
+            host_index: HashMap::new(),
             clocks: Vec::new(),
             actors: Vec::new(),
             actor_hosts: Vec::new(),
             alive: Vec::new(),
-            watchers: HashMap::new(),
-            fifo_horizon: HashMap::new(),
-            cancelled_timers: HashSet::new(),
-            next_timer: 0,
+            watchers: Vec::new(),
+            fifo_out: Vec::new(),
+            timers: TimerSlab::new(),
             network: NetworkConfig::default(),
             sched_enabled: true,
             rng: StdRng::seed_from_u64(seed),
@@ -266,6 +281,7 @@ impl<M: 'static> Simulation<M> {
     pub fn add_host(&mut self, config: HostConfig) -> HostId {
         let id = HostId(self.hosts.len() as u32);
         self.clocks.push(VirtualClock::new(config.clock));
+        self.host_index.entry(config.name.clone()).or_insert(id.0);
         self.hosts.push(config);
         id
     }
@@ -290,6 +306,12 @@ impl<M: 'static> Simulation<M> {
         self.actors.push(Some(actor));
         self.actor_hosts.push(host);
         self.alive.push(true);
+        self.fifo_out.push(Vec::new());
+        if self.watchers.len() < self.actors.len() {
+            // May already extend past `id` when a watcher registered
+            // interest before this actor was spawned.
+            self.watchers.resize_with(self.actors.len(), InlineVec::new);
+        }
         if self.trace_enabled {
             self.trace.push(TraceEntry::Spawn {
                 time: self.time,
@@ -330,6 +352,19 @@ impl<M: 'static> Simulation<M> {
         &self.trace
     }
 
+    /// High-water mark of concurrently armed timers (a diagnostic: the
+    /// timer slab recycles slots, so this stays bounded however much
+    /// arm/cancel traffic a workload generates).
+    pub fn timer_slots(&self) -> usize {
+        self.timers.slots()
+    }
+
+    /// High-water mark of concurrently pending events (the event slab's
+    /// size; slots are recycled).
+    pub fn event_slots(&self) -> usize {
+        self.queue.slab_slots()
+    }
+
     /// Kills an actor from outside the simulation (test harness use).
     pub fn kill(&mut self, actor: ActorId, reason: DownReason) {
         self.kill_internal(actor, reason);
@@ -346,17 +381,18 @@ impl<M: 'static> Simulation<M> {
 
     /// Runs until the queue drains or the simulation clock passes
     /// `deadline_ns`, then advances the clock to `deadline_ns` if it is
-    /// still behind. Returns `true` if the deadline was hit with events
-    /// still pending.
+    /// still behind (time never moves backwards: a deadline earlier than
+    /// the current clock leaves it untouched). Returns `true` if the
+    /// deadline was hit with events still pending.
     pub fn run_until(&mut self, deadline_ns: u64) -> bool {
         loop {
-            match self.queue.peek() {
+            match self.queue.peek_time() {
                 None => {
                     self.time = self.time.max(deadline_ns);
                     return false;
                 }
-                Some(s) if s.time > deadline_ns => {
-                    self.time = deadline_ns;
+                Some(t) if t > deadline_ns => {
+                    self.time = self.time.max(deadline_ns);
                     return true;
                 }
                 Some(_) => {
@@ -368,7 +404,7 @@ impl<M: 'static> Simulation<M> {
 
     /// Processes one event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(s) = self.queue.pop() else {
+        let Some((time, event)) = self.queue.pop() else {
             return false;
         };
         self.events_processed += 1;
@@ -377,9 +413,9 @@ impl<M: 'static> Simulation<M> {
             "simulation exceeded {} events — runaway?",
             self.max_events
         );
-        debug_assert!(s.time >= self.time, "time went backwards");
-        self.time = s.time;
-        match s.event {
+        debug_assert!(time >= self.time, "time went backwards");
+        self.time = time;
+        match event {
             Event::Start { actor } => {
                 self.dispatch(actor, |a, ctx| a.on_start(ctx));
             }
@@ -394,8 +430,8 @@ impl<M: 'static> Simulation<M> {
                 self.dispatch(to, move |a, ctx| a.on_message(ctx, from, msg));
             }
             Event::Timer { actor, id, tag } => {
-                if self.cancelled_timers.remove(&id) {
-                    return true;
+                if !self.timers.fire(TimerKey::unpack(id.raw())) {
+                    return true; // cancelled while queued
                 }
                 self.dispatch(actor, move |a, ctx| a.on_timer(ctx, tag));
             }
@@ -459,24 +495,21 @@ impl<M: 'static> Simulation<M> {
             });
         }
         let detect = self.hosts[self.actor_hosts[actor.0 as usize].0 as usize].crash_detect_ns;
-        if let Some(watchers) = self.watchers.remove(&actor) {
-            for observer in watchers {
-                self.push(
-                    self.time + detect,
-                    Event::PeerDown {
-                        observer,
-                        dead: actor,
-                        reason,
-                    },
-                );
-            }
+        let watchers = std::mem::take(&mut self.watchers[actor.0 as usize]);
+        for observer in watchers {
+            self.push(
+                self.time + detect,
+                Event::PeerDown {
+                    observer,
+                    dead: actor,
+                    reason,
+                },
+            );
         }
     }
 
     fn push(&mut self, time: u64, event: Event<M>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Scheduled { time, seq, event });
+        self.queue.push(time, event);
     }
 }
 
@@ -511,8 +544,8 @@ impl<'a, M: 'static> Ctx<'a, M> {
     }
 
     /// The host name of the current actor.
-    pub fn my_host_name(&self) -> String {
-        self.sim.host(self.my_host()).name.clone()
+    pub fn my_host_name(&self) -> &str {
+        &self.sim.host(self.my_host()).name
     }
 
     /// Reads the *local clock* of this actor's host — the only notion of
@@ -570,12 +603,24 @@ impl<'a, M: 'static> Ctx<'a, M> {
     }
 
     fn deliver_fifo(&mut self, to: ActorId, at: u64, msg: M) {
-        let key = (self.me, to);
-        let at = match self.sim.fifo_horizon.get(&key) {
-            Some(&last) if at <= last => last + 1,
-            _ => at,
+        // Per-sender horizons, sorted by receiver: the probe is a binary
+        // search over this sender's few peers instead of a hash of the
+        // `(from, to)` pair.
+        let horizons = &mut self.sim.fifo_out[self.me.0 as usize];
+        let at = match horizons.binary_search_by_key(&to.0, |&(receiver, _)| receiver) {
+            Ok(i) => {
+                let last = horizons[i].1;
+                let at = if at <= last { last + 1 } else { at };
+                horizons[i].1 = at;
+                at
+            }
+            Err(i) => {
+                // First message to this receiver (cold path: allocates or
+                // shifts only when the peer set grows).
+                horizons.insert(i, (to.0, at));
+                at
+            }
         };
-        self.sim.fifo_horizon.insert(key, at);
         self.sim.push(
             at,
             Event::Deliver {
@@ -589,8 +634,7 @@ impl<'a, M: 'static> Ctx<'a, M> {
     /// Sets a timer firing after `delay_ns`; `tag` is returned to
     /// [`Actor::on_timer`].
     pub fn set_timer(&mut self, delay_ns: u64, tag: u64) -> TimerId {
-        let id = TimerId(self.sim.next_timer);
-        self.sim.next_timer += 1;
+        let id = TimerId(self.sim.timers.alloc().pack());
         let at = self.sim.time + delay_ns;
         self.sim.push(
             at,
@@ -605,13 +649,18 @@ impl<'a, M: 'static> Ctx<'a, M> {
 
     /// Cancels a pending timer (firing already-queued timers is prevented).
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.sim.cancelled_timers.insert(id);
+        self.sim.timers.cancel(TimerKey::unpack(id.raw()));
     }
 
     /// Registers interest in `peer`'s death; [`Actor::on_peer_down`] will be
-    /// called (after the host's crash-detection latency).
+    /// called (after the host's crash-detection latency). The peer need not
+    /// be spawned yet.
     pub fn watch(&mut self, peer: ActorId) {
-        self.sim.watchers.entry(peer).or_default().push(self.me);
+        let idx = peer.0 as usize;
+        if self.sim.watchers.len() <= idx {
+            self.sim.watchers.resize_with(idx + 1, InlineVec::new);
+        }
+        self.sim.watchers[idx].push(self.me);
     }
 
     /// Spawns a new actor on `host` (it starts at the current instant).
@@ -659,13 +708,10 @@ impl<'a, M: 'static> Ctx<'a, M> {
         &self.sim.host(host).name
     }
 
-    /// Looks up a host id by name.
+    /// Looks up a host id by name (O(1); first registration wins when
+    /// names collide).
     pub fn find_host(&self, name: &str) -> Option<HostId> {
-        self.sim
-            .hosts
-            .iter()
-            .position(|h| h.name == name)
-            .map(|i| HostId(i as u32))
+        self.sim.host_index.get(name).map(|&i| HostId(i))
     }
 
     /// The deterministic simulation RNG.
@@ -804,7 +850,8 @@ mod tests {
     fn watcher_notified_of_crash_after_detect_delay() {
         let (mut sim, h1, _) = two_host_sim(3);
         let seen = Rc::new(RefCell::new(None));
-        // Spawn watcher first so it registers before the crash.
+        // Spawn watcher first so it registers before the crash. The watch
+        // targets an actor id that does not exist yet.
         let crasher_id = ActorId(1);
         sim.spawn(
             h1,
@@ -883,6 +930,54 @@ mod tests {
         assert_eq!(*fired2.borrow(), vec![1, 2]);
     }
 
+    /// A watchdog that re-arms (set + cancel) a timer on every round: the
+    /// cancel-heavy pattern that grew the old tombstone set without bound.
+    struct Watchdog {
+        rounds: u32,
+        pending: Option<TimerId>,
+    }
+    impl Actor<Msg> for Watchdog {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            ctx.set_timer(1_000, 0);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, Msg>, _: ActorId, _: Msg) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _tag: u64) {
+            if let Some(old) = self.pending.take() {
+                ctx.cancel_timer(old);
+            }
+            if self.rounds == 0 {
+                return;
+            }
+            self.rounds -= 1;
+            // The watchdog: armed, then cancelled on the next round before
+            // it can fire.
+            self.pending = Some(ctx.set_timer(1_000_000, 99));
+            // The heartbeat driving the loop.
+            ctx.set_timer(1_000, 0);
+        }
+    }
+
+    #[test]
+    fn cancel_heavy_watchdog_reuses_timer_slots() {
+        let (mut sim, h1, _) = two_host_sim(6);
+        sim.spawn(
+            h1,
+            Box::new(Watchdog {
+                rounds: 1_000,
+                pending: None,
+            }),
+        );
+        sim.run();
+        // 1000 set+cancel rounds with at most 2 timers armed at once (the
+        // heartbeat and one watchdog): the slab must stay at the high-water
+        // mark instead of accumulating a tombstone per cancel.
+        assert!(
+            sim.timer_slots() <= 3,
+            "timer slab grew to {} slots under cancel churn",
+            sim.timer_slots()
+        );
+    }
+
     #[test]
     fn local_clocks_drift_apart() {
         use loki_clock::params::ClockParams;
@@ -913,6 +1008,81 @@ mod tests {
         assert!(pending);
         assert_eq!(*fired.borrow(), vec![1]);
         assert_eq!(sim.now(), 1_500);
+    }
+
+    #[test]
+    fn run_until_never_moves_time_backwards() {
+        // Regression: with events pending beyond the deadline, a second
+        // call with an *earlier* deadline used to rewind the clock.
+        let (mut sim, h1, _) = two_host_sim(9);
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        sim.spawn(
+            h1,
+            Box::new(TimerActor {
+                fired,
+                cancel_second: false,
+            }),
+        );
+        assert!(sim.run_until(1_500)); // timer 2 still pending at 2_000
+        assert_eq!(sim.now(), 1_500);
+        assert!(sim.run_until(500)); // earlier deadline: time must not rewind
+        assert_eq!(sim.now(), 1_500);
+
+        // Same property once the queue has drained.
+        sim.run_until(10_000);
+        assert_eq!(sim.now(), 10_000);
+        assert!(!sim.run_until(3_000));
+        assert_eq!(sim.now(), 10_000);
+    }
+
+    #[test]
+    fn find_host_resolves_names_in_constant_time_path() {
+        let (mut sim, h1, h2) = two_host_sim(1);
+        // find_host/my_host_name are Ctx methods; probe through an actor.
+        struct Probe {
+            h1: HostId,
+            h2: HostId,
+            ran: Rc<RefCell<bool>>,
+        }
+        impl Actor<Msg> for Probe {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                assert_eq!(ctx.find_host("h1"), Some(self.h1));
+                assert_eq!(ctx.find_host("h2"), Some(self.h2));
+                assert_eq!(ctx.find_host("nope"), None);
+                assert_eq!(ctx.my_host_name(), "h1");
+                *self.ran.borrow_mut() = true;
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, Msg>, _: ActorId, _: Msg) {}
+        }
+        let ran = Rc::new(RefCell::new(false));
+        sim.spawn(
+            h1,
+            Box::new(Probe {
+                h1,
+                h2,
+                ran: ran.clone(),
+            }),
+        );
+        sim.run();
+        assert!(*ran.borrow());
+    }
+
+    #[test]
+    fn duplicate_host_names_resolve_to_first() {
+        let mut sim: Simulation<Msg> = Simulation::new(1);
+        let first = sim.add_host(HostConfig::new("dup"));
+        let _second = sim.add_host(HostConfig::new("dup"));
+        struct Probe {
+            expect: HostId,
+        }
+        impl Actor<Msg> for Probe {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                assert_eq!(ctx.find_host("dup"), Some(self.expect));
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, Msg>, _: ActorId, _: Msg) {}
+        }
+        sim.spawn(first, Box::new(Probe { expect: first }));
+        sim.run();
     }
 
     #[test]

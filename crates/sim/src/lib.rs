@@ -17,12 +17,17 @@
 //!   nodes need.
 //!
 //! Runs are exactly reproducible for a given seed.
+//!
+//! The event core underneath is hash-free and allocation-lean: see
+//! [`queue`] for the index heap and the generation-stamped timer slab, and
+//! the [`engine`] module docs for how the engine uses them.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod config;
 pub mod engine;
+pub mod queue;
 
 pub use config::{HostConfig, LatencyModel, NetworkConfig};
 pub use engine::{Actor, ActorId, Ctx, DownReason, HostId, Simulation, TimerId, TraceEntry};

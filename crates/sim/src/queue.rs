@@ -1,0 +1,345 @@
+//! The hash-free, allocation-lean event core: an index heap over a
+//! free-list slab, and a generation-stamped timer slab.
+//!
+//! Both structures exist to keep [`Simulation::step`](crate::engine::Simulation::step)
+//! free of hashing and per-event allocation in the steady state:
+//!
+//! * [`EventQueue`] — the priority queue keeps only packed
+//!   `(time, seq, slot)` keys (24 bytes) in its binary heap while the event
+//!   bodies park in a slab recycled through an intrusive free list. Heap
+//!   sifts therefore move small fixed-size keys instead of full message
+//!   payloads, and once the slab has grown to the simulation's
+//!   high-water mark of in-flight events, pushing an event allocates
+//!   nothing.
+//! * [`TimerSlab`] — live timers occupy generation-stamped slots.
+//!   Cancelling is one array write (bump the generation); the pop-side
+//!   liveness check is one generation compare. Unlike a tombstone set,
+//!   cancel-heavy workloads (watchdogs that re-arm on every message) reuse
+//!   a bounded set of slots instead of growing without bound.
+//!
+//! Pop order is total on `(time, seq)` with `seq` assigned in push order,
+//! which is exactly the ordering contract of the previous
+//! full-payload heap — the engine's determinism guarantee is preserved by
+//! construction and pinned by the equivalence proptest in
+//! `tests/prop_sim.rs`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Sentinel for "no next free slot" in the intrusive free lists.
+const NIL: u32 = u32::MAX;
+
+/// The packed heap key: event bodies stay in the slab, the heap orders
+/// only these.
+#[derive(Copy, Clone, Debug)]
+struct HeapKey {
+    time: u64,
+    seq: u64,
+    slot: u32,
+}
+
+// Identity is `(time, seq)`, consistent with `Ord`; the slot is payload.
+impl PartialEq for HeapKey {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl Eq for HeapKey {}
+
+impl PartialOrd for HeapKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first. The
+        // slot is payload, not identity — `seq` is unique per entry, so the
+        // order is already total.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+enum Slot<T> {
+    /// Free slot, linking to the next free one (`NIL` ends the list).
+    Vacant { next: u32 },
+    /// An event body waiting for its key to surface in the heap.
+    Occupied(T),
+}
+
+/// A time-ordered event queue: an index heap over a free-list slab.
+///
+/// Entries pop in `(time, insertion order)` — ties on `time` resolve to
+/// the earlier push, matching a `BinaryHeap<(Reverse(time, seq), body)>`
+/// byte for byte while never moving the bodies during sifts.
+///
+/// # Examples
+///
+/// ```
+/// use loki_sim::queue::EventQueue;
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.push(20, "late");
+/// q.push(10, "first");
+/// q.push(10, "second"); // same time: pops after "first"
+/// assert_eq!(q.peek_time(), Some(10));
+/// assert_eq!(q.pop(), Some((10, "first")));
+/// assert_eq!(q.pop(), Some((10, "second")));
+/// assert_eq!(q.pop(), Some((20, "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<T> {
+    heap: BinaryHeap<HeapKey>,
+    slab: Vec<Slot<T>>,
+    free_head: u32,
+    seq: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            slab: Vec::new(),
+            free_head: NIL,
+            seq: 0,
+        }
+    }
+
+    /// Schedules `body` at `time`. Amortized allocation-free once the slab
+    /// reaches the queue's high-water mark.
+    pub fn push(&mut self, time: u64, body: T) {
+        let slot = if self.free_head != NIL {
+            let slot = self.free_head;
+            match std::mem::replace(&mut self.slab[slot as usize], Slot::Occupied(body)) {
+                Slot::Vacant { next } => self.free_head = next,
+                Slot::Occupied(_) => unreachable!("free list pointed at an occupied slot"),
+            }
+            slot
+        } else {
+            let slot = u32::try_from(self.slab.len()).expect("event slab overflow");
+            self.slab.push(Slot::Occupied(body));
+            slot
+        };
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(HeapKey { time, seq, slot });
+    }
+
+    /// Pops the earliest entry as `(time, body)`.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        let key = self.heap.pop()?;
+        let next = self.free_head;
+        self.free_head = key.slot;
+        match std::mem::replace(&mut self.slab[key.slot as usize], Slot::Vacant { next }) {
+            Slot::Occupied(body) => Some((key.time, body)),
+            Slot::Vacant { .. } => unreachable!("heap key pointed at a vacant slot"),
+        }
+    }
+
+    /// The scheduled time of the earliest entry.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|k| k.time)
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of slab slots ever allocated — the high-water mark of
+    /// concurrently pending events (slots are recycled, not dropped).
+    pub fn slab_slots(&self) -> usize {
+        self.slab.len()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A live timer registration handle: slot plus the generation it was
+/// allocated under. Packs into a `u64` for embedding in opaque
+/// backend-agnostic timer handles.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TimerKey {
+    slot: u32,
+    gen: u32,
+}
+
+impl TimerKey {
+    /// Packs the key into a `u64` (`generation << 32 | slot`).
+    pub fn pack(self) -> u64 {
+        (u64::from(self.gen) << 32) | u64::from(self.slot)
+    }
+
+    /// Unpacks a key produced by [`TimerKey::pack`].
+    pub fn unpack(raw: u64) -> TimerKey {
+        TimerKey {
+            slot: raw as u32,
+            gen: (raw >> 32) as u32,
+        }
+    }
+}
+
+/// Generation-stamped timer registrations.
+///
+/// Each armed timer holds a slot; the slot's generation is bumped when the
+/// timer is cancelled or fires, so stale handles (and the timer's
+/// still-queued pop event) fail a single integer compare. Slots recycle
+/// through a free list: a watchdog that arms and cancels a timer per
+/// message occupies O(concurrently-armed) slots forever, where the
+/// tombstone-set design this replaces grew O(total-cancellations).
+///
+/// # Examples
+///
+/// ```
+/// use loki_sim::queue::TimerSlab;
+///
+/// let mut timers = TimerSlab::new();
+/// let a = timers.alloc();
+/// assert!(timers.cancel(a));
+/// assert!(!timers.fire(a)); // cancelled: the queued pop is skipped
+/// let b = timers.alloc(); // reuses the slot under a new generation
+/// assert!(timers.fire(b));
+/// assert_eq!(timers.slots(), 1);
+/// ```
+pub struct TimerSlab {
+    /// Current generation per slot. A handle is live iff its generation
+    /// matches.
+    gens: Vec<u32>,
+    /// Free slots (retired by cancel or fire).
+    free: Vec<u32>,
+}
+
+impl TimerSlab {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        TimerSlab {
+            gens: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Registers a new timer, reusing a retired slot when one exists.
+    pub fn alloc(&mut self) -> TimerKey {
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                let slot = u32::try_from(self.gens.len()).expect("timer slab overflow");
+                self.gens.push(0);
+                slot
+            }
+        };
+        TimerKey {
+            slot,
+            gen: self.gens[slot as usize],
+        }
+    }
+
+    /// Cancels `key`. Returns whether it was still live; a handle that
+    /// already fired or was already cancelled is a no-op (`false`).
+    pub fn cancel(&mut self, key: TimerKey) -> bool {
+        self.retire(key)
+    }
+
+    /// Pop-side liveness check: returns `true` (and retires the slot) when
+    /// `key` is still live, `false` when it was cancelled in the meantime.
+    pub fn fire(&mut self, key: TimerKey) -> bool {
+        self.retire(key)
+    }
+
+    fn retire(&mut self, key: TimerKey) -> bool {
+        let gen = &mut self.gens[key.slot as usize];
+        if *gen != key.gen {
+            return false;
+        }
+        // Wrapping: a slot reused 2^32 times aliases an ancient handle,
+        // which no real campaign holds across that many arms.
+        *gen = gen.wrapping_add(1);
+        self.free.push(key.slot);
+        true
+    }
+
+    /// Total slots ever allocated — the high-water mark of concurrently
+    /// armed timers, not of total arm/cancel traffic.
+    pub fn slots(&self) -> usize {
+        self.gens.len()
+    }
+
+    /// Number of currently live registrations.
+    pub fn live(&self) -> usize {
+        self.gens.len() - self.free.len()
+    }
+}
+
+impl Default for TimerSlab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_push_order() {
+        let mut q = EventQueue::new();
+        q.push(5, 'a');
+        q.push(3, 'b');
+        q.push(5, 'c');
+        q.push(1, 'd');
+        let order: Vec<(u64, char)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(1, 'd'), (3, 'b'), (5, 'a'), (5, 'c')]);
+    }
+
+    #[test]
+    fn slab_recycles_slots() {
+        let mut q = EventQueue::new();
+        for round in 0..100u64 {
+            q.push(round, round);
+            assert_eq!(q.pop(), Some((round, round)));
+        }
+        assert_eq!(q.slab_slots(), 1, "drain-refill must reuse one slot");
+        for i in 0..8u64 {
+            q.push(i, i);
+        }
+        assert_eq!(q.slab_slots(), 8);
+        assert_eq!(q.len(), 8);
+    }
+
+    #[test]
+    fn timer_generations_protect_reused_slots() {
+        let mut timers = TimerSlab::new();
+        let a = timers.alloc();
+        let b = timers.alloc();
+        assert_eq!(timers.live(), 2);
+        assert!(timers.cancel(a));
+        assert!(!timers.cancel(a), "double cancel is a no-op");
+        let c = timers.alloc(); // reuses a's slot
+        assert_eq!(timers.slots(), 2);
+        assert!(!timers.fire(a), "stale handle must not fire the new timer");
+        assert!(timers.fire(c));
+        assert!(timers.fire(b));
+        assert_eq!(timers.live(), 0);
+    }
+
+    #[test]
+    fn timer_key_packs_roundtrip() {
+        let key = TimerKey { slot: 7, gen: 42 };
+        assert_eq!(TimerKey::unpack(key.pack()), key);
+        let max = TimerKey {
+            slot: u32::MAX - 1,
+            gen: u32::MAX,
+        };
+        assert_eq!(TimerKey::unpack(max.pack()), max);
+    }
+}

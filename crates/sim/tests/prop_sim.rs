@@ -1,9 +1,11 @@
-//! Property tests for the discrete-event engine.
+//! Property tests for the discrete-event engine and its event core.
 
 use loki_sim::config::{HostConfig, LatencyModel, NetworkConfig};
 use loki_sim::engine::{Actor, ActorId, Ctx, Simulation};
+use loki_sim::queue::{EventQueue, TimerKey, TimerSlab};
 use proptest::prelude::*;
 use std::cell::RefCell;
+use std::collections::{BinaryHeap, HashSet};
 use std::rc::Rc;
 
 /// Sends a burst of numbered messages to a sink.
@@ -29,8 +31,148 @@ impl Actor<u32> for Sink {
     }
 }
 
+/// One operation against both the index-heap queue and the reference
+/// model (the engine's previous structures: a full-payload `BinaryHeap`
+/// plus a cancelled-timer tombstone set).
+#[derive(Clone, Debug)]
+enum QOp {
+    /// Schedule a message `dt % 4` ns ahead (small range forces time ties).
+    Push(u8),
+    /// Arm a timer `dt % 4` ns ahead.
+    Timer(u8),
+    /// Cancel the n-th currently live timer (mod the live count).
+    Cancel(u8),
+    /// Pop the next live entry.
+    Pop,
+}
+
+fn qop_strategy() -> impl Strategy<Value = QOp> {
+    prop_oneof![
+        any::<u8>().prop_map(QOp::Push),
+        any::<u8>().prop_map(QOp::Timer),
+        any::<u8>().prop_map(QOp::Cancel),
+        Just(QOp::Pop),
+    ]
+}
+
+/// A queued entry on the new side: either a plain message or a timer
+/// carrying its slab key (the engine stores `TimerId`s the same way).
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Item {
+    Msg(u32),
+    Timer(u32, TimerKey),
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The index-heap queue plus the generation-stamped timer slab pop in
+    /// exactly the order of the engine's previous core — a full-payload
+    /// `BinaryHeap` ordered by `(time, seq)` with a `HashSet` of cancelled
+    /// timer ids — under arbitrary interleavings of push, timer arm,
+    /// cancel, and pop, including time ties and cancels of queued timers.
+    #[test]
+    fn event_core_matches_reference_heap_model(
+        ops in prop::collection::vec(qop_strategy(), 1..120),
+    ) {
+        // New core.
+        let mut queue: EventQueue<Item> = EventQueue::new();
+        let mut timers = TimerSlab::new();
+        // Reference model (the pre-index-heap structures).
+        let mut ref_heap: BinaryHeap<std::cmp::Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+        let mut ref_seq = 0u64;
+        let mut ref_cancelled: HashSet<u32> = HashSet::new();
+
+        // Shared bookkeeping so both sides cancel the *same* timer.
+        let mut live: Vec<(u32, TimerKey)> = Vec::new();
+        let mut label = 0u32;
+        let mut now = 0u64;
+        let mut popped_new: Vec<Option<(u64, u32)>> = Vec::new();
+        let mut popped_ref: Vec<Option<(u64, u32)>> = Vec::new();
+
+        let pop_new = |queue: &mut EventQueue<Item>,
+                           timers: &mut TimerSlab,
+                           live: &mut Vec<(u32, TimerKey)>|
+         -> Option<(u64, u32)> {
+            loop {
+                match queue.pop() {
+                    None => return None,
+                    Some((t, Item::Msg(l))) => return Some((t, l)),
+                    Some((t, Item::Timer(l, key))) => {
+                        if timers.fire(key) {
+                            live.retain(|&(ll, _)| ll != l);
+                            return Some((t, l));
+                        }
+                        // Cancelled while queued: skip, like the engine.
+                    }
+                }
+            }
+        };
+        let pop_ref = |ref_heap: &mut BinaryHeap<std::cmp::Reverse<(u64, u64, u32)>>,
+                           ref_cancelled: &mut HashSet<u32>|
+         -> Option<(u64, u32)> {
+            loop {
+                match ref_heap.pop() {
+                    None => return None,
+                    Some(std::cmp::Reverse((t, _, l))) => {
+                        if ref_cancelled.remove(&l) {
+                            continue;
+                        }
+                        return Some((t, l));
+                    }
+                }
+            }
+        };
+
+        for op in ops {
+            now += 1;
+            match op {
+                QOp::Push(dt) => {
+                    let t = now + u64::from(dt % 4);
+                    queue.push(t, Item::Msg(label));
+                    ref_heap.push(std::cmp::Reverse((t, ref_seq, label)));
+                    ref_seq += 1;
+                    label += 1;
+                }
+                QOp::Timer(dt) => {
+                    let t = now + u64::from(dt % 4);
+                    let key = timers.alloc();
+                    queue.push(t, Item::Timer(label, key));
+                    ref_heap.push(std::cmp::Reverse((t, ref_seq, label)));
+                    ref_seq += 1;
+                    live.push((label, key));
+                    label += 1;
+                }
+                QOp::Cancel(i) => {
+                    if !live.is_empty() {
+                        let (l, key) = live.remove(i as usize % live.len());
+                        prop_assert!(timers.cancel(key));
+                        ref_cancelled.insert(l);
+                    }
+                }
+                QOp::Pop => {
+                    popped_new.push(pop_new(&mut queue, &mut timers, &mut live));
+                    popped_ref.push(pop_ref(&mut ref_heap, &mut ref_cancelled));
+                }
+            }
+        }
+        // Drain both completely: the full pop sequence must match.
+        loop {
+            let a = pop_new(&mut queue, &mut timers, &mut live);
+            let b = pop_ref(&mut ref_heap, &mut ref_cancelled);
+            let done = a.is_none() && b.is_none();
+            popped_new.push(a);
+            popped_ref.push(b);
+            if done {
+                break;
+            }
+        }
+        prop_assert_eq!(popped_new, popped_ref);
+        // Slot recycling: the slab never exceeds the number of timers that
+        // were ever live at once (bounded by total arms, unaffected by
+        // cancel volume).
+        prop_assert!(timers.slots() <= label as usize);
+    }
 
     /// FIFO per sender-receiver pair: messages sent in order arrive in
     /// order, whatever the sampled delays.
