@@ -33,9 +33,9 @@ use loki_clock::params::fastest_reference;
 use loki_core::campaign::{ExperimentData, ExperimentEnd, HostSync};
 use loki_core::ids::{HostId, SymbolTable};
 use loki_core::study::Study;
+use loki_sim::batch::WorldSet;
 use loki_sim::config::{HostConfig, NetworkConfig};
-use loki_sim::engine::{HostId as SimHostId, Simulation};
-use std::collections::BTreeMap;
+use loki_sim::engine::{HostId as SimHostId, Simulation, WorldConfig};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -92,6 +92,16 @@ pub struct SimHarnessConfig {
     /// worker count — each experiment is fully determined by
     /// `(seed, experiment_index)`.
     pub workers: Option<usize>,
+    /// Experiments interleaved per worker by the [`CampaignPipeline`] on
+    /// the simulation backend: each worker claims chunks of this many
+    /// experiments and drives them through one
+    /// [`loki_sim::batch::WorldSet`] (FoundationDB-style many-worlds
+    /// batching). `Some(k)` forces a batch of `k`; `None` uses the
+    /// `LOKI_BATCH` environment variable if set, otherwise 1. `Some(0)`
+    /// and unparseable `LOKI_BATCH` values are rejected with a panic,
+    /// exactly like `workers`. Study results are byte-identical for every
+    /// batch size — batching only changes how worlds share a thread.
+    pub batch: Option<usize>,
     /// The execution backend experiments run on.
     pub backend: Backend,
 }
@@ -109,6 +119,7 @@ impl Default for SimHarnessConfig {
             kill_daemon: None,
             seed: 0,
             workers: None,
+            batch: None,
             backend: Backend::Sim,
         }
     }
@@ -204,7 +215,11 @@ fn run_experiment_with(
     }
 }
 
-/// Runs one experiment on the deterministic simulation backend.
+/// Runs one experiment on the deterministic simulation backend. This is
+/// the per-experiment path (`run_study` and the pipeline's
+/// [`CampaignPipeline::per_experiment_baseline`] mode): it pays the full
+/// world construction — config build, host clones, slab growth — for every
+/// experiment, exactly like the pre-batching engine did.
 fn run_sim_experiment(
     study: &Arc<Study>,
     factory: AppFactory,
@@ -212,144 +227,295 @@ fn run_sim_experiment(
     symbols: &Arc<SymbolTable>,
     experiment: u32,
 ) -> ExperimentData {
-    assert!(!cfg.hosts.is_empty(), "need at least one host");
-    let mut sim: Simulation<RtMsg> = Simulation::new(cfg.seed.wrapping_add(experiment as u64));
-    sim.disable_trace();
-    sim.set_network(cfg.network);
-    let host_ids: Vec<SimHostId> = cfg.hosts.iter().map(|h| sim.add_host(h.clone())).collect();
-    let reference = cfg.reference_host();
-    let ref_idx = cfg
-        .hosts
-        .iter()
-        .position(|h| h.name == reference)
-        .expect("reference host exists");
-
-    // --- pre-experiment synchronization mini-phase -------------------------
-    // Sync phases run on an otherwise idle system (§2.5: messages are
-    // exchanged before and after the experiment), so endpoints are
-    // dispatched without scheduling delay.
-    let collector = SyncCollector::new();
-    sim.set_sched_enabled(false);
-    run_sync_phase(&mut sim, &host_ids, ref_idx, cfg, &collector);
-    sim.set_sched_enabled(true);
-    let pre_sync = collector.drain();
-
-    // --- runtime phase ------------------------------------------------------
-    let store = TimelineStore::new();
-    let directory = NodeDirectory::new();
-    let warnings = WarningSink::new();
-    let control = ExperimentControl::new();
-    let wiring = Rc::new(Wiring::new());
-    let bundle = Bundle {
-        study: study.clone(),
-        store: store.clone(),
-        directory,
-        warnings: warnings.clone(),
-        wiring: wiring.clone(),
-        factory,
-        routing: cfg.routing,
-        symbols: symbols.clone(),
-    };
-
-    let daemons: Vec<_> = match cfg.routing {
-        NotifyRouting::Centralized => {
-            // One global daemon, placed on the reference host.
-            let d = sim.spawn(
-                host_ids[ref_idx],
-                Box::new(LocalDaemon::new(bundle.clone(), ref_idx as u32)),
-            );
-            vec![d; host_ids.len()]
-        }
-        _ => host_ids
-            .iter()
-            .enumerate()
-            .map(|(idx, &h)| sim.spawn(h, Box::new(LocalDaemon::new(bundle.clone(), idx as u32))))
-            .collect(),
-    };
-    wiring.set_daemons(daemons);
-
-    if let Some(policy) = cfg.restart {
-        let supervisor = sim.spawn(
-            host_ids[ref_idx],
-            Box::new(Supervisor::new(bundle.clone(), policy)),
-        );
-        wiring.set_supervisor(supervisor);
-    }
-
-    let central = sim.spawn(
-        host_ids[ref_idx],
-        Box::new(CentralDaemon::new(
-            bundle.clone(),
-            control.clone(),
-            cfg.timeout_ns,
-            100_000_000, // 100 ms shutdown grace
-        )),
-    );
-    wiring.set_central(central);
-
-    if let Some((host, after_ns)) = cfg.kill_daemon {
-        let victim = wiring.daemon_for(host as usize);
-        sim.spawn(
-            host_ids[ref_idx],
-            Box::new(crate::daemons::Saboteur { victim, after_ns }),
-        );
-    }
-
-    sim.run();
-
-    // --- post-experiment synchronization mini-phase -------------------------
-    sim.set_sched_enabled(false);
-    run_sync_phase(&mut sim, &host_ids, ref_idx, cfg, &collector);
-    sim.set_sched_enabled(true);
-    let post_sync = collector.drain();
-
-    let end = if control.completed() {
-        ExperimentEnd::Completed
-    } else if control.timed_out() {
-        ExperimentEnd::TimedOut
-    } else {
-        ExperimentEnd::Aborted
-    };
-
-    ExperimentData {
-        study: study.name.clone(),
-        experiment,
-        timelines: store.drain(),
-        hosts: symbols.host_ids().collect(),
-        reference_host: HostId::from_raw(ref_idx as u32),
-        symbols: symbols.clone(),
-        pre_sync,
-        post_sync,
-        end,
-        warnings: warnings.drain(),
-    }
+    let sim_study = SimStudy::new(study, &factory, cfg, symbols);
+    let mut sim: Simulation<RtMsg> = Simulation::with_config(sim_study.world.clone(), 0);
+    sim_study.run_one(&mut sim, experiment)
 }
 
-fn run_sync_phase(
-    sim: &mut Simulation<RtMsg>,
-    host_ids: &[SimHostId],
+/// One study compiled for the simulation backend: the shared immutable
+/// [`WorldConfig`] (`Arc`-shared by every world of the study, across
+/// workers) plus everything needed to script an experiment through its
+/// three phases on any world.
+///
+/// The experiment itself is a small state machine ([`ExpScript`]): *begin*
+/// resets a world to the experiment's seed and spawns the pre-sync actors;
+/// each time the world's event queue drains, [`SimStudy::on_drained`]
+/// advances the phase — spawning the runtime daemons/nodes, then the
+/// post-sync actors, then assembling the [`ExperimentData`]. Driving the
+/// machine via one `sim.run()` per phase (the [`SimStudy::run_one`]
+/// baseline) or via interleaved [`WorldSet::step_earliest`] calls (the
+/// batched pipeline) produces byte-identical results: a world only reaches
+/// `on_drained` when it has no events left, and worlds never interact.
+struct SimStudy<'a> {
+    study: &'a Arc<Study>,
+    factory: &'a AppFactory,
+    cfg: &'a SimHarnessConfig,
+    symbols: &'a Arc<SymbolTable>,
+    world: Arc<WorldConfig>,
     ref_idx: usize,
-    cfg: &SimHarnessConfig,
-    collector: &SyncCollector,
-) -> Vec<HostSync> {
-    for (idx, &host) in host_ids.iter().enumerate() {
-        if idx == ref_idx {
-            continue;
+}
+
+/// Where an in-flight experiment is in its pre-sync → runtime → post-sync
+/// progression.
+enum ExpPhase {
+    PreSync,
+    Runtime,
+    PostSync,
+}
+
+/// The per-experiment state riding alongside a world: phase progress plus
+/// the collectors the runtime actors write into.
+///
+/// Every collector drains (sorted) into [`ExperimentData`] at assembly, so
+/// a script is empty again when its experiment finishes — the batched
+/// pipeline recycles it for the next experiment, keeping the `Rc` blocks
+/// and map capacities instead of reallocating them. Drain order is sorted
+/// and lookups are key-addressed, so recycling is unobservable in results.
+struct ExpScript {
+    experiment: u32,
+    phase: ExpPhase,
+    collector: SyncCollector,
+    pre_sync: Vec<HostSync>,
+    store: TimelineStore,
+    warnings: WarningSink,
+    control: ExperimentControl,
+    directory: NodeDirectory,
+    wiring: Rc<Wiring>,
+}
+
+impl<'a> SimStudy<'a> {
+    /// Compiles `cfg` into the shared world description.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration has no hosts or two hosts share a
+    /// name.
+    fn new(
+        study: &'a Arc<Study>,
+        factory: &'a AppFactory,
+        cfg: &'a SimHarnessConfig,
+        symbols: &'a Arc<SymbolTable>,
+    ) -> Self {
+        assert!(!cfg.hosts.is_empty(), "need at least one host");
+        let mut world = WorldConfig::new();
+        world.set_network(cfg.network);
+        for host in &cfg.hosts {
+            if let Err(e) = world.add_host(host.clone()) {
+                panic!("loki: invalid harness config: {e}");
+            }
         }
-        let echo = sim.spawn(host_ids[ref_idx], Box::new(SyncEcho));
-        sim.spawn(
-            host,
-            Box::new(Syncer::new(
-                echo,
-                HostId::from_raw(idx as u32),
-                cfg.sync_rounds,
-                cfg.sync_interval_ns,
-                collector.clone(),
+        let reference = cfg.reference_host();
+        let ref_idx = cfg
+            .hosts
+            .iter()
+            .position(|h| h.name == reference)
+            .expect("reference host exists");
+        SimStudy {
+            study,
+            factory,
+            cfg,
+            symbols,
+            world: Arc::new(world),
+            ref_idx,
+        }
+    }
+
+    /// Rewinds `sim` to experiment `experiment`'s seed and spawns the
+    /// pre-sync actors. The caller drives the world until it drains, then
+    /// calls [`SimStudy::on_drained`].
+    fn begin(&self, sim: &mut Simulation<RtMsg>, experiment: u32) -> ExpScript {
+        self.begin_with(sim, experiment, None)
+    }
+
+    /// [`SimStudy::begin`], recycling a finished experiment's script when
+    /// one is available: the collectors' `Rc` blocks and map capacities
+    /// survive, the *contents* are reset (an aborted experiment can leave
+    /// directory entries and control flags behind).
+    fn begin_with(
+        &self,
+        sim: &mut Simulation<RtMsg>,
+        experiment: u32,
+        recycled: Option<ExpScript>,
+    ) -> ExpScript {
+        sim.reset(self.cfg.seed.wrapping_add(experiment as u64));
+        sim.disable_trace();
+        // Sync phases run on an otherwise idle system (§2.5: messages are
+        // exchanged before and after the experiment), so endpoints are
+        // dispatched without scheduling delay.
+        sim.set_sched_enabled(false);
+        let script = match recycled {
+            Some(mut script) => {
+                script.experiment = experiment;
+                script.phase = ExpPhase::PreSync;
+                script.control.reset();
+                script.directory.clear();
+                script.wiring.reset();
+                script
+            }
+            None => ExpScript {
+                experiment,
+                phase: ExpPhase::PreSync,
+                collector: SyncCollector::new(),
+                pre_sync: Vec::new(),
+                store: TimelineStore::new(),
+                warnings: WarningSink::new(),
+                control: ExperimentControl::new(),
+                directory: NodeDirectory::new(),
+                wiring: Rc::new(Wiring::new()),
+            },
+        };
+        self.spawn_sync_actors(sim, &script.collector);
+        script
+    }
+
+    /// Advances a drained world to its next phase. Returns the finished
+    /// experiment's data once the post-sync phase has drained; `None`
+    /// while the experiment needs more driving. A phase may drain
+    /// instantly (a one-host study has no sync partners), so callers loop
+    /// while the world is still drained.
+    fn on_drained(
+        &self,
+        sim: &mut Simulation<RtMsg>,
+        script: &mut ExpScript,
+    ) -> Option<ExperimentData> {
+        match script.phase {
+            ExpPhase::PreSync => {
+                sim.set_sched_enabled(true);
+                script.pre_sync = script.collector.drain();
+                self.spawn_runtime(sim, script);
+                script.phase = ExpPhase::Runtime;
+                None
+            }
+            ExpPhase::Runtime => {
+                sim.set_sched_enabled(false);
+                self.spawn_sync_actors(sim, &script.collector);
+                script.phase = ExpPhase::PostSync;
+                None
+            }
+            ExpPhase::PostSync => {
+                sim.set_sched_enabled(true);
+                Some(self.assemble(script))
+            }
+        }
+    }
+
+    /// Runs one experiment to completion on `sim` (which may be fresh or
+    /// reset-reused), driving the phase machine with one `sim.run()` per
+    /// phase.
+    fn run_one(&self, sim: &mut Simulation<RtMsg>, experiment: u32) -> ExperimentData {
+        let mut script = self.begin(sim, experiment);
+        loop {
+            sim.run();
+            if let Some(data) = self.on_drained(sim, &mut script) {
+                return data;
+            }
+        }
+    }
+
+    /// Spawns one `SyncEcho`/`Syncer` pair per non-reference host (a sync
+    /// mini-phase, §2.5/§5.7).
+    fn spawn_sync_actors(&self, sim: &mut Simulation<RtMsg>, collector: &SyncCollector) {
+        for idx in 0..self.cfg.hosts.len() {
+            if idx == self.ref_idx {
+                continue;
+            }
+            let echo = sim.spawn(SimHostId(self.ref_idx as u32), Box::new(SyncEcho));
+            sim.spawn(
+                SimHostId(idx as u32),
+                Box::new(Syncer::new(
+                    echo,
+                    HostId::from_raw(idx as u32),
+                    self.cfg.sync_rounds,
+                    self.cfg.sync_interval_ns,
+                    collector.clone(),
+                )),
+            );
+        }
+    }
+
+    /// Spawns the runtime phase: local daemons per the routing design,
+    /// optional supervisor, the central daemon, and the optional saboteur.
+    fn spawn_runtime(&self, sim: &mut Simulation<RtMsg>, script: &mut ExpScript) {
+        let ref_host = SimHostId(self.ref_idx as u32);
+        let wiring = script.wiring.clone();
+        let bundle = Bundle {
+            study: self.study.clone(),
+            store: script.store.clone(),
+            directory: script.directory.clone(),
+            warnings: script.warnings.clone(),
+            wiring: wiring.clone(),
+            factory: self.factory.clone(),
+            routing: self.cfg.routing,
+            symbols: self.symbols.clone(),
+        };
+
+        match self.cfg.routing {
+            NotifyRouting::Centralized => {
+                // One global daemon, placed on the reference host.
+                let d = sim.spawn(
+                    ref_host,
+                    Box::new(LocalDaemon::new(bundle.clone(), self.ref_idx as u32)),
+                );
+                wiring.fill_daemons((0..self.cfg.hosts.len()).map(|_| d));
+            }
+            _ => {
+                wiring.fill_daemons((0..self.cfg.hosts.len()).map(|idx| {
+                    sim.spawn(
+                        SimHostId(idx as u32),
+                        Box::new(LocalDaemon::new(bundle.clone(), idx as u32)),
+                    )
+                }));
+            }
+        }
+
+        if let Some(policy) = self.cfg.restart {
+            let supervisor = sim.spawn(ref_host, Box::new(Supervisor::new(bundle.clone(), policy)));
+            wiring.set_supervisor(supervisor);
+        }
+
+        let central = sim.spawn(
+            ref_host,
+            Box::new(CentralDaemon::new(
+                bundle.clone(),
+                script.control.clone(),
+                self.cfg.timeout_ns,
+                100_000_000, // 100 ms shutdown grace
             )),
         );
+        wiring.set_central(central);
+
+        if let Some((host, after_ns)) = self.cfg.kill_daemon {
+            let victim = wiring.daemon_for(host as usize);
+            sim.spawn(
+                ref_host,
+                Box::new(crate::daemons::Saboteur { victim, after_ns }),
+            );
+        }
     }
-    sim.run();
-    Vec::new()
+
+    /// Packs a finished experiment's collectors into [`ExperimentData`].
+    fn assemble(&self, script: &mut ExpScript) -> ExperimentData {
+        let post_sync = script.collector.drain();
+        let end = if script.control.completed() {
+            ExperimentEnd::Completed
+        } else if script.control.timed_out() {
+            ExperimentEnd::TimedOut
+        } else {
+            ExperimentEnd::Aborted
+        };
+        ExperimentData {
+            study: self.study.name.clone(),
+            experiment: script.experiment,
+            timelines: script.store.drain(),
+            hosts: self.symbols.host_ids().collect(),
+            reference_host: HostId::from_raw(self.ref_idx as u32),
+            symbols: self.symbols.clone(),
+            pre_sync: std::mem::take(&mut script.pre_sync),
+            post_sync,
+            end,
+            warnings: script.warnings.drain(),
+        }
+    }
 }
 
 /// Resolves the worker count for a study: explicit config, then the
@@ -399,6 +565,43 @@ fn worker_count(
         },
     };
     Ok(requested.clamp(1, experiments.max(1) as usize))
+}
+
+/// Resolves the per-worker batch size for the campaign pipeline: explicit
+/// config, then the `LOKI_BATCH` environment variable, then 1.
+///
+/// # Panics
+///
+/// Panics when the configured size is `Some(0)` or `LOKI_BATCH` is not a
+/// positive integer — the same loud-failure policy as
+/// [`resolve_workers`].
+fn resolve_batch(cfg: &SimHarnessConfig) -> usize {
+    let env = std::env::var("LOKI_BATCH").ok();
+    match batch_size(cfg.batch, env.as_deref()) {
+        Ok(n) => n,
+        Err(message) => panic!("{message}"),
+    }
+}
+
+/// The pure batch-size resolution; see [`resolve_batch`].
+fn batch_size(explicit: Option<usize>, env: Option<&str>) -> Result<usize, String> {
+    match explicit {
+        Some(0) => Err(
+            "loki: batch size must be at least 1 (config has `batch: Some(0)`); \
+             use `None` for the default"
+                .to_owned(),
+        ),
+        Some(n) => Ok(n),
+        None => match env {
+            Some(raw) => match raw.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(format!(
+                    "loki: LOKI_BATCH must be a positive integer, got {raw:?}"
+                )),
+            },
+            None => Ok(1),
+        },
+    }
 }
 
 /// Runs `experiments` experiments of `study` on the backend selected by
@@ -509,29 +712,209 @@ pub struct PipelineSummary {
     pub injections: usize,
     /// Worker threads used.
     pub workers: usize,
-    /// Peak number of raw [`ExperimentData`] alive at once inside the
-    /// pipeline — at most `workers`, by construction. This is the bounded
-    /// retention the streaming design exists for; tests assert on it.
+    /// Experiments interleaved per worker ([`SimHarnessConfig::batch`]);
+    /// 1 on the threads backend and in the per-experiment baseline mode.
+    pub batch: usize,
+    /// Peak number of in-flight experiments (raw [`ExperimentData`] plus
+    /// live world state) inside the pipeline — at most
+    /// `workers × batch`, by construction. This is the bounded retention
+    /// the streaming design exists for; tests assert on it.
     pub peak_raw_retained: usize,
+}
+
+/// The pipeline's reorder buffer: holds finished experiments whose
+/// predecessors are still running, releasing them in strictly increasing
+/// index order. A sorted `Vec` (descending, so the next index to commit
+/// sits at the tail) instead of a `BTreeMap`: the buffer holds at most
+/// `workers × batch` entries, and the `Vec` reuses its capacity across the
+/// whole campaign where a map allocates a node per experiment — visible
+/// overhead when experiments are tiny.
+struct Reorder<V> {
+    pending: Vec<(u32, V)>,
+}
+
+impl<V> Reorder<V> {
+    fn new() -> Self {
+        Reorder {
+            pending: Vec::new(),
+        }
+    }
+
+    /// Buffers the result of experiment `k`.
+    fn insert(&mut self, k: u32, value: V) {
+        let at = self.pending.partition_point(|&(index, _)| index > k);
+        self.pending.insert(at, (k, value));
+    }
+
+    /// Removes and returns experiment `next`'s result, if buffered.
+    fn pop(&mut self, next: u32) -> Option<V> {
+        match self.pending.last() {
+            Some(&(index, _)) if index == next => self.pending.pop().map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// The pipeline's retention gauge: counts in-flight experiments and
+/// remembers the high-water mark that
+/// [`PipelineSummary::peak_raw_retained`] reports.
+struct RetentionGauge {
+    live: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl RetentionGauge {
+    fn new() -> Self {
+        RetentionGauge {
+            live: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }
+    }
+
+    fn inc(&self) {
+        let live = self.live.fetch_add(1, Ordering::SeqCst) + 1;
+        self.peak.fetch_max(live, Ordering::SeqCst);
+    }
+
+    fn dec(&self) {
+        self.live.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn peak(&self) -> usize {
+        self.peak.load(Ordering::SeqCst)
+    }
+}
+
+/// One worker's batched experiment loop: claim a chunk of `batch`
+/// consecutive experiment indices from the shared counter, drive them
+/// through one reused [`WorldSet`] (earliest-next-event interleaving),
+/// hand each finished experiment to `process`, repeat until the claim
+/// counter passes `experiments`.
+///
+/// Worlds and their slabs persist across chunks — after the first chunk a
+/// worker's steady state allocates almost nothing per experiment.
+/// `process` returns `false` to stop the worker early (the coordinator
+/// hung up); the current chunk is abandoned without claiming more.
+fn drive_chunked(
+    sim_study: &SimStudy<'_>,
+    experiments: u32,
+    batch: usize,
+    next_claim: &AtomicU32,
+    gauge: &RetentionGauge,
+    mut process: impl FnMut(u32, ExperimentData) -> bool,
+) {
+    let mut set: WorldSet<RtMsg> = WorldSet::with_capacity(batch);
+    let mut scripts: Vec<Option<ExpScript>> = Vec::with_capacity(batch);
+    // Finished experiments return their (drained-empty) scripts here;
+    // `begin_with` recycles them, so in steady state a worker reallocates
+    // none of the per-experiment scaffolding.
+    let mut spare: Vec<ExpScript> = Vec::with_capacity(batch);
+    loop {
+        // Relaxed suffices: the claim is the only shared state, and the
+        // result hand-off orders everything else.
+        let base = next_claim.fetch_add(batch as u32, Ordering::Relaxed);
+        if base >= experiments {
+            return;
+        }
+        let end = experiments.min(base.saturating_add(batch as u32));
+
+        // Load the chunk: one world per experiment, reset-reused from the
+        // previous chunk. A phase can drain instantly (a one-host study
+        // has no sync partners), so pump each world through any
+        // already-drained phases right after `begin`.
+        let mut inflight = 0usize;
+        for (slot, k) in (base..end).enumerate() {
+            if slot == set.len() {
+                set.push(Simulation::with_config(sim_study.world.clone(), 0));
+                scripts.push(None);
+            }
+            gauge.inc();
+            let recycled = spare.pop();
+            let mut script = set.with_world_mut(slot, |sim| sim_study.begin_with(sim, k, recycled));
+            let mut finished = None;
+            while set.drained(slot) {
+                if let Some(data) =
+                    set.with_world_mut(slot, |sim| sim_study.on_drained(sim, &mut script))
+                {
+                    finished = Some(data);
+                    break;
+                }
+            }
+            match finished {
+                Some(data) => {
+                    spare.push(script);
+                    if !process(k, data) {
+                        return;
+                    }
+                }
+                None => {
+                    scripts[slot] = Some(script);
+                    inflight += 1;
+                }
+            }
+        }
+
+        // Interleave: always step the world with the earliest next event;
+        // when a world drains, advance its phase (possibly through several
+        // instantly-drained phases) or retire its finished experiment.
+        while inflight > 0 {
+            let idx = set
+                .run_earliest()
+                .expect("worlds with in-flight experiments have events");
+            if !set.drained(idx) {
+                continue;
+            }
+            let mut script = scripts[idx].take().expect("drained world has a script");
+            let mut finished = None;
+            loop {
+                if let Some(data) =
+                    set.with_world_mut(idx, |sim| sim_study.on_drained(sim, &mut script))
+                {
+                    finished = Some(data);
+                    break;
+                }
+                if !set.drained(idx) {
+                    break;
+                }
+            }
+            match finished {
+                Some(data) => {
+                    inflight -= 1;
+                    let k = script.experiment;
+                    spare.push(script);
+                    if !process(k, data) {
+                        return;
+                    }
+                }
+                None => scripts[idx] = Some(script),
+            }
+        }
+    }
 }
 
 /// The streaming campaign pipeline: execution, global-timeline
 /// construction, and verdict checking fused into a single per-experiment
 /// flow on the [`run_study`] worker pool.
 ///
-/// Each worker runs one experiment at a time and, the moment it finishes,
-/// analyzes it in place (`loki_analysis::analyze_one`: clock calibration →
-/// `make_global` → `check_experiment`) and **drops the raw
-/// [`ExperimentData`]** before starting the next one. Only the compact
-/// [`AnalyzedExperiment`] crosses the (bounded) channel to the caller, so
-/// campaign memory is O(workers) in raw experiments and analysis overlaps
-/// execution instead of trailing it as a batch phase.
+/// On the simulation backend each worker drives a **batch** of
+/// [`SimHarnessConfig::batch`] independent worlds at once through one
+/// [`WorldSet`] (FoundationDB-style many-worlds interleaving: always step
+/// the world with the earliest next event), reusing the worlds — and
+/// their event/timer slab allocations — across chunks via
+/// [`loki_sim::engine::Simulation::reset`]. The moment an experiment
+/// finishes, the worker analyzes it in place (`loki_analysis::analyze_one`:
+/// clock calibration → `make_global` → `check_experiment`) and **drops
+/// the raw [`ExperimentData`]**. Only the compact [`AnalyzedExperiment`]
+/// crosses the (bounded) channel to the caller, so campaign memory is
+/// O(workers × batch) in raw experiments and analysis overlaps execution
+/// instead of trailing it as a batch phase.
 ///
 /// # Scheduling and determinism contract
 ///
 /// Workers claim experiments dynamically from a shared atomic index
-/// counter (work stealing): whichever worker finishes first takes the next
-/// unstarted experiment, so a heavy-tailed study — one slow experiment
+/// counter (work stealing, in chunks of the batch size): whichever worker
+/// finishes first takes the next
+/// unstarted experiments, so a heavy-tailed study — one slow experiment
 /// among cheap ones — no longer idles the rest of the pool the way static
 /// striping did. Results are still merged **by experiment index**: the
 /// sink closure is invoked exactly once per experiment, in strictly
@@ -539,9 +922,11 @@ pub struct PipelineSummary {
 /// count or completion order (out-of-order compact results wait in a
 /// reorder buffer; raw data never crosses a channel). On
 /// [`Backend::Sim`], experiment `k` is fully determined by
-/// `(cfg.seed, k)`, so everything the sink observes — timelines, verdicts,
-/// measure folds — is byte-identical across worker counts and identical to
-/// the batch `run_study` + `analyze` path.
+/// `(cfg.seed, k)` — a reset world replays exactly like a fresh one, and
+/// interleaved worlds never interact — so everything the sink observes —
+/// timelines, verdicts, measure folds — is byte-identical across worker
+/// counts *and batch sizes* and identical to the batch `run_study` +
+/// `analyze` path.
 ///
 /// # Examples
 ///
@@ -565,6 +950,7 @@ pub struct CampaignPipeline {
     factory: AppFactory,
     cfg: SimHarnessConfig,
     analysis: AnalysisOptions,
+    per_experiment: bool,
 }
 
 impl CampaignPipeline {
@@ -575,12 +961,24 @@ impl CampaignPipeline {
             factory,
             cfg,
             analysis: AnalysisOptions::default(),
+            per_experiment: false,
         }
     }
 
     /// Sets the analysis options (builder-style).
     pub fn analysis(mut self, analysis: AnalysisOptions) -> Self {
         self.analysis = analysis;
+        self
+    }
+
+    /// Forces the pre-batching per-experiment engine path: a fresh
+    /// simulation (full world construction, fresh slabs) for every
+    /// experiment, ignoring [`SimHarnessConfig::batch`] / `LOKI_BATCH`.
+    /// Results are byte-identical to the batched path — this mode exists
+    /// as the honest baseline for the batched-vs-per-experiment bench
+    /// comparison, not for campaigns.
+    pub fn per_experiment_baseline(mut self) -> Self {
+        self.per_experiment = true;
         self
     }
 
@@ -595,10 +993,11 @@ impl CampaignPipeline {
     ///
     /// # Panics
     ///
-    /// Panics on an invalid worker configuration (see
-    /// [`SimHarnessConfig::workers`]) or invalid analysis options (a
-    /// degenerate analysis window) — both are campaign misconfigurations
-    /// that must fail loudly before any experiment runs.
+    /// Panics on an invalid worker or batch configuration (see
+    /// [`SimHarnessConfig::workers`] / [`SimHarnessConfig::batch`]) or
+    /// invalid analysis options (a degenerate analysis window) — all are
+    /// campaign misconfigurations that must fail loudly before any
+    /// experiment runs.
     pub fn run(&self, experiments: u32, sink: impl FnMut(AnalyzedExperiment)) -> PipelineSummary {
         self.run_with_workers(experiments, resolve_workers(&self.cfg, experiments), sink)
     }
@@ -656,28 +1055,39 @@ impl CampaignPipeline {
             panic!("loki: invalid analysis options: {e}");
         }
         let workers = workers.clamp(1, experiments.max(1) as usize);
+        // Many-worlds batching is a simulation-backend technique; the
+        // threads backend and the per-experiment baseline run one
+        // experiment at a time per worker.
+        let batched = self.cfg.backend == Backend::Sim && !self.per_experiment;
+        let batch = if batched { resolve_batch(&self.cfg) } else { 1 };
         let symbols = self.cfg.symbols();
+        let sim_study =
+            batched.then(|| SimStudy::new(&self.study, &self.factory, &self.cfg, &symbols));
         let mut summary = PipelineSummary {
             experiments,
             workers,
+            batch,
             ..Default::default()
         };
-        let raw_live = AtomicUsize::new(0);
-        let raw_peak = AtomicUsize::new(0);
+        let gauge = RetentionGauge::new();
 
-        // One experiment through the fused flow: run → analyze → tap →
-        // drop the raw data. The retention gauge brackets the raw data's
-        // whole lifetime.
-        let one = |k: u32| -> (AnalyzedExperiment, T) {
-            let live = raw_live.fetch_add(1, Ordering::SeqCst) + 1;
-            raw_peak.fetch_max(live, Ordering::SeqCst);
-            let data =
-                run_experiment_with(&self.study, self.factory.clone(), &self.cfg, &symbols, k);
+        // The back half of the fused flow: analyze → tap → drop the raw
+        // data. The retention gauge (raised when an experiment begins)
+        // brackets the raw data's whole lifetime.
+        let finish = |data: ExperimentData| -> (AnalyzedExperiment, T) {
             let analyzed = analyze_one(&self.study, &data, &self.analysis);
             let tapped = tap(&data);
             drop(data);
-            raw_live.fetch_sub(1, Ordering::SeqCst);
+            gauge.dec();
             (analyzed, tapped)
+        };
+        // One experiment through the per-experiment flow (threads backend
+        // and the baseline mode): run → finish.
+        let one = |k: u32| -> (AnalyzedExperiment, T) {
+            gauge.inc();
+            let data =
+                run_experiment_with(&self.study, self.factory.clone(), &self.cfg, &symbols, k);
+            finish(data)
         };
         let account = |summary: &mut PipelineSummary, analyzed: &AnalyzedExperiment| {
             if analyzed.end == ExperimentEnd::Completed {
@@ -691,17 +1101,42 @@ impl CampaignPipeline {
 
         let mut delivered = 0u32;
         if workers == 1 {
-            for k in 0..experiments {
-                let (analyzed, tapped) = one(k);
-                account(&mut summary, &analyzed);
-                sink(analyzed, tapped);
-                delivered += 1;
+            if let Some(sim_study) = &sim_study {
+                // A chunk completes in event-time order, not index order,
+                // so even the single-worker path reorders before the
+                // sink. `delivered` doubles as the next index to commit —
+                // commits are strictly in index order.
+                let next_claim = AtomicU32::new(0);
+                let mut reorder: Reorder<(AnalyzedExperiment, T)> = Reorder::new();
+                drive_chunked(
+                    sim_study,
+                    experiments,
+                    batch,
+                    &next_claim,
+                    &gauge,
+                    |k, data| {
+                        reorder.insert(k, finish(data));
+                        while let Some((analyzed, tapped)) = reorder.pop(delivered) {
+                            account(&mut summary, &analyzed);
+                            sink(analyzed, tapped);
+                            delivered += 1;
+                        }
+                        true
+                    },
+                );
+            } else {
+                for k in 0..experiments {
+                    let (analyzed, tapped) = one(k);
+                    account(&mut summary, &analyzed);
+                    sink(analyzed, tapped);
+                    delivered += 1;
+                }
             }
         } else {
             // Work-stealing claim: every worker loops on a shared atomic
-            // index counter, so a heavy-tailed study keeps the whole pool
-            // busy — the worker stuck on a slow experiment holds exactly
-            // that one experiment while the others drain the rest. Compact
+            // index counter — claiming chunks of `batch` experiments on
+            // the simulation backend, single experiments otherwise — so a
+            // heavy-tailed study keeps the whole pool busy. Compact
             // results flow through one bounded channel (capacity =
             // workers, real backpressure) tagged with their index; the
             // coordinator commits them to the sink in strictly increasing
@@ -710,37 +1145,60 @@ impl CampaignPipeline {
             // the worst case (one experiment monopolizing a worker while
             // the others finish everything else) that is the skew the
             // stealing exists to absorb; raw data never crosses a channel
-            // and stays O(workers) regardless.
+            // and stays O(workers × batch) regardless.
             let next_claim = AtomicU32::new(0);
             std::thread::scope(|scope| {
                 let one = &one;
+                let finish = &finish;
+                let gauge = &gauge;
+                let sim_study = sim_study.as_ref();
                 let next_claim = &next_claim;
                 let (tx, rx) = mpsc::sync_channel::<(u32, (AnalyzedExperiment, T))>(workers);
                 for _ in 0..workers {
                     let tx = tx.clone();
-                    scope.spawn(move || loop {
-                        // Relaxed suffices: the claim is the only shared
-                        // state, and the channel send orders the result.
-                        let k = next_claim.fetch_add(1, Ordering::Relaxed);
-                        if k >= experiments {
-                            return;
+                    match sim_study {
+                        Some(sim_study) => {
+                            scope.spawn(move || {
+                                drive_chunked(
+                                    sim_study,
+                                    experiments,
+                                    batch,
+                                    next_claim,
+                                    gauge,
+                                    // A failed send means the coordinator
+                                    // is gone (sink or sibling panicked):
+                                    // stop claiming and bail out.
+                                    |k, data| tx.send((k, finish(data))).is_ok(),
+                                );
+                            });
                         }
-                        let result = one(k);
-                        if tx.send((k, result)).is_err() {
-                            return; // coordinator gone (sink or sibling panicked)
+                        None => {
+                            scope.spawn(move || loop {
+                                // Relaxed suffices: the claim is the only
+                                // shared state, and the channel send
+                                // orders the result.
+                                let k = next_claim.fetch_add(1, Ordering::Relaxed);
+                                if k >= experiments {
+                                    return;
+                                }
+                                let result = one(k);
+                                if tx.send((k, result)).is_err() {
+                                    return; // coordinator gone
+                                }
+                            });
                         }
-                    });
+                    }
                 }
                 // All senders are worker-owned; the coordinator's recv
                 // loop must observe disconnect once they finish or die.
                 drop(tx);
-                let mut reorder: BTreeMap<u32, (AnalyzedExperiment, T)> = BTreeMap::new();
+                let mut reorder: Reorder<(AnalyzedExperiment, T)> = Reorder::new();
                 let mut next_commit = 0u32;
                 while delivered < experiments {
                     match rx.recv() {
                         Ok((k, result)) => {
                             reorder.insert(k, result);
-                            while let Some((analyzed, tapped)) = reorder.remove(&next_commit) {
+                            while let Some((analyzed, tapped)) = reorder.pop(next_commit) {
                                 account(&mut summary, &analyzed);
                                 sink(analyzed, tapped);
                                 next_commit += 1;
@@ -757,7 +1215,7 @@ impl CampaignPipeline {
         // After the scope: a worker panic has already propagated, so an
         // undelivered experiment here is a genuine pipeline bug.
         assert_eq!(delivered, experiments, "pipeline lost experiments");
-        summary.peak_raw_retained = raw_peak.load(Ordering::SeqCst);
+        summary.peak_raw_retained = gauge.peak();
         summary
     }
 
@@ -808,6 +1266,35 @@ mod tests {
     fn worker_count_defaults_to_available_parallelism() {
         let n = worker_count(None, None, 1_000_000).unwrap();
         assert!(n >= 1);
+    }
+
+    #[test]
+    fn batch_size_prefers_explicit_config() {
+        assert_eq!(batch_size(Some(4), Some("7")), Ok(4));
+        assert_eq!(batch_size(Some(1), None), Ok(1));
+    }
+
+    #[test]
+    fn batch_size_rejects_zero_config() {
+        let err = batch_size(Some(0), None).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        assert!(err.contains("batch"), "{err}");
+    }
+
+    #[test]
+    fn batch_size_parses_env_and_defaults_to_one() {
+        assert_eq!(batch_size(None, Some("8")), Ok(8));
+        assert_eq!(batch_size(None, Some(" 2 ")), Ok(2));
+        assert_eq!(batch_size(None, None), Ok(1));
+    }
+
+    #[test]
+    fn batch_size_rejects_bad_env() {
+        for bad in ["0", "-1", "many", "", "3.5"] {
+            let err = batch_size(None, Some(bad)).unwrap_err();
+            assert!(err.contains("LOKI_BATCH"), "{bad:?}: {err}");
+            assert!(err.contains(bad), "{bad:?}: {err}");
+        }
     }
 
     #[test]

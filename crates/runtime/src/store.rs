@@ -179,6 +179,13 @@ impl ExperimentControl {
     pub fn completed(&self) -> bool {
         self.inner.borrow().completed
     }
+
+    /// Clears all flags so the block can serve the next experiment (the
+    /// batched pipeline recycles experiment scaffolding instead of
+    /// reallocating it).
+    pub fn reset(&self) {
+        *self.inner.borrow_mut() = ControlState::default();
+    }
 }
 
 /// The application's own name service: maps state machines to the actors
@@ -219,6 +226,15 @@ impl NodeDirectory {
         let mut v: Vec<SmId> = self.inner.borrow().keys().copied().collect();
         v.sort();
         v
+    }
+
+    /// Empties the directory, keeping its capacity. An aborted or timed-out
+    /// experiment can leave machines registered; the batched pipeline
+    /// clears the recycled directory before the next experiment. Lookup
+    /// results are key-addressed and [`NodeDirectory::machines`] sorts, so
+    /// retained capacity is unobservable.
+    pub fn clear(&self) {
+        self.inner.borrow_mut().clear();
     }
 }
 

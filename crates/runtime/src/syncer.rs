@@ -13,7 +13,6 @@ use loki_core::campaign::SyncSample;
 use loki_core::ids::HostId;
 use loki_core::time::LocalNanos;
 use loki_sim::engine::{ActorId, Ctx};
-use std::collections::HashMap;
 
 /// Echo endpoint on the reference host.
 pub struct SyncEcho;
@@ -46,7 +45,10 @@ pub struct Syncer {
     rounds: u32,
     interval_ns: u64,
     collector: SyncCollector,
-    sent: HashMap<u32, LocalNanos>,
+    /// The outstanding ping's `(seq, local send time)`. Rounds are strictly
+    /// sequential — the next ping is only scheduled once the previous echo
+    /// arrives — so at most one ping is ever in flight.
+    sent: Option<(u32, LocalNanos)>,
 }
 
 impl Syncer {
@@ -64,13 +66,13 @@ impl Syncer {
             rounds,
             interval_ns,
             collector,
-            sent: HashMap::new(),
+            sent: None,
         }
     }
 
     fn ping(&mut self, ctx: &mut Ctx<'_, RtMsg>, seq: u32) {
         let send_local = ctx.local_clock();
-        self.sent.insert(seq, send_local);
+        self.sent = Some((seq, send_local));
         ctx.send(self.echo, RtMsg::SyncPing { seq, send_local });
     }
 }
@@ -93,7 +95,7 @@ impl loki_sim::engine::Actor<RtMsg> for Syncer {
         } = msg
         {
             let now = ctx.local_clock();
-            if let Some(my_send) = self.sent.remove(&seq) {
+            if let Some((_, my_send)) = self.sent.take_if(|&mut (s, _)| s == seq) {
                 // machine → reference leg.
                 self.collector.push(
                     self.host,

@@ -28,6 +28,23 @@ impl Wiring {
         *self.daemons.borrow_mut() = daemons;
     }
 
+    /// Fills the per-host daemon list from an iterator, reusing the list's
+    /// existing allocation (the batched pipeline recycles wiring tables
+    /// across experiments).
+    pub fn fill_daemons(&self, daemons: impl IntoIterator<Item = ActorId>) {
+        let mut list = self.daemons.borrow_mut();
+        list.clear();
+        list.extend(daemons);
+    }
+
+    /// Clears the whole table (keeping the daemon list's capacity) so it
+    /// can be refilled for the next experiment.
+    pub fn reset(&self) {
+        self.daemons.borrow_mut().clear();
+        *self.central.borrow_mut() = None;
+        *self.supervisor.borrow_mut() = None;
+    }
+
     /// The daemon serving `host_idx`.
     ///
     /// # Panics

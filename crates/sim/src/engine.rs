@@ -40,8 +40,10 @@ use loki_core::small::InlineVec;
 use loki_core::time::LocalNanos;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifies a simulated host.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -163,6 +165,111 @@ pub enum TraceEntry {
 /// has exactly one watcher, its local daemon.
 const WATCHERS_INLINE: usize = 4;
 
+/// A host name was registered twice.
+///
+/// Placements and [`Ctx::find_host`] resolve hosts by name, so a
+/// duplicate would silently shadow the second host; registration rejects
+/// it instead. Returned by [`WorldConfig::add_host`] and
+/// [`Simulation::try_add_host`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DuplicateHost {
+    /// The name that was registered twice.
+    pub name: String,
+}
+
+impl fmt::Display for DuplicateHost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "duplicate host name {:?}: every simulated host needs a unique name \
+             (placements resolve hosts by name)",
+            self.name
+        )
+    }
+}
+
+impl std::error::Error for DuplicateHost {}
+
+/// The immutable world description: host configurations, their virtual
+/// clocks, the name → index map, and the network latency models.
+///
+/// Everything here is fixed for the lifetime of an experiment and — by
+/// the engine's determinism contract — identical for every experiment of
+/// a study, so a campaign builds one `WorldConfig` and `Arc`-shares it
+/// across all its simulations ([`Simulation::with_config`]). The
+/// per-world mutable state (event slab, timer slab, watcher/FIFO state,
+/// RNG) stays in [`Simulation`], which makes a world cheap enough to hold
+/// many of at once — the basis of [`crate::batch::WorldSet`].
+///
+/// [`VirtualClock`]s live here rather than in the per-world state because
+/// they are pure functions of their [`loki_clock::params::ClockParams`]
+/// and the current simulation time — reading one mutates nothing.
+#[derive(Clone, Debug, Default)]
+pub struct WorldConfig {
+    hosts: Vec<HostConfig>,
+    /// Name → host index, so [`Ctx::find_host`] is O(1) instead of a
+    /// linear scan.
+    host_index: HashMap<String, u32>,
+    clocks: Vec<VirtualClock>,
+    network: NetworkConfig,
+}
+
+impl WorldConfig {
+    /// Creates an empty world description with the default network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a host; returns its id. Host ids are dense and assigned in
+    /// registration order.
+    pub fn add_host(&mut self, config: HostConfig) -> Result<HostId, DuplicateHost> {
+        let id = HostId(self.hosts.len() as u32);
+        match self.host_index.entry(config.name.clone()) {
+            Entry::Occupied(_) => return Err(DuplicateHost { name: config.name }),
+            Entry::Vacant(vacant) => {
+                vacant.insert(id.0);
+            }
+        }
+        self.clocks.push(VirtualClock::new(config.clock));
+        self.hosts.push(config);
+        Ok(id)
+    }
+
+    /// Replaces the network latency configuration.
+    pub fn set_network(&mut self, network: NetworkConfig) {
+        self.network = network;
+    }
+
+    /// The network latency configuration.
+    pub fn network(&self) -> &NetworkConfig {
+        &self.network
+    }
+
+    /// Host configuration lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is not part of this world.
+    pub fn host(&self, host: HostId) -> &HostConfig {
+        &self.hosts[host.0 as usize]
+    }
+
+    /// The hosts in registration (= id) order.
+    pub fn hosts(&self) -> &[HostConfig] {
+        &self.hosts
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Looks up a host id by name (O(1)).
+    pub fn find_host(&self, name: &str) -> Option<HostId> {
+        self.host_index.get(name).map(|&i| HostId(i))
+    }
+}
+
 /// The discrete-event simulation.
 ///
 /// # Examples
@@ -199,13 +306,13 @@ const WATCHERS_INLINE: usize = 4;
 /// assert!(sim.now() > 0); // messages took simulated time
 /// ```
 pub struct Simulation<M> {
+    /// The shared immutable world description (hosts, clocks, network).
+    /// `Arc`-shared across a batch; the legacy mutating builders
+    /// ([`Simulation::add_host`], [`Simulation::set_network`]) copy on
+    /// write when the description is actually shared.
+    config: Arc<WorldConfig>,
     time: u64,
     queue: EventQueue<Event<M>>,
-    hosts: Vec<HostConfig>,
-    /// Name → host index (first registration wins), so
-    /// [`Ctx::find_host`] is O(1) instead of a linear scan.
-    host_index: HashMap<String, u32>,
-    clocks: Vec<VirtualClock>,
     actors: Vec<Option<Box<dyn Actor<M>>>>,
     actor_hosts: Vec<HostId>,
     alive: Vec<bool>,
@@ -214,10 +321,11 @@ pub struct Simulation<M> {
     /// single-watcher case never allocates.
     watchers: Vec<InlineVec<ActorId, WATCHERS_INLINE>>,
     /// Per-sender FIFO horizons: `(receiver, last delivery time)` sorted
-    /// by receiver, binary-searched per send.
+    /// by receiver, binary-searched per send. Kept at its high-water
+    /// length across [`Simulation::reset`] so re-spawned actors reuse the
+    /// inner allocations.
     fifo_out: Vec<Vec<(u32, u64)>>,
     timers: TimerSlab,
-    network: NetworkConfig,
     sched_enabled: bool,
     rng: StdRng,
     trace: Vec<TraceEntry>,
@@ -229,19 +337,24 @@ pub struct Simulation<M> {
 impl<M: 'static> Simulation<M> {
     /// Creates an empty simulation seeded with `seed`.
     pub fn new(seed: u64) -> Self {
+        Self::with_config(Arc::new(WorldConfig::new()), seed)
+    }
+
+    /// Creates a simulation over an existing — typically shared — world
+    /// description. The simulation holds only its compact mutable state;
+    /// a campaign batch `Arc`-shares one [`WorldConfig`] across all its
+    /// worlds.
+    pub fn with_config(config: Arc<WorldConfig>, seed: u64) -> Self {
         Simulation {
+            config,
             time: 0,
             queue: EventQueue::new(),
-            hosts: Vec::new(),
-            host_index: HashMap::new(),
-            clocks: Vec::new(),
             actors: Vec::new(),
             actor_hosts: Vec::new(),
             alive: Vec::new(),
             watchers: Vec::new(),
             fifo_out: Vec::new(),
             timers: TimerSlab::new(),
-            network: NetworkConfig::default(),
             sched_enabled: true,
             rng: StdRng::seed_from_u64(seed),
             trace: Vec::new(),
@@ -251,9 +364,48 @@ impl<M: 'static> Simulation<M> {
         }
     }
 
+    /// Rewinds the world to its pristine state under a new seed while
+    /// keeping every allocation: the event slab, timer slab, watcher
+    /// lists, FIFO horizons, and trace buffer all retain their high-water
+    /// capacity, so a world reused across experiments stops allocating
+    /// once the first experiment has sized it.
+    ///
+    /// After a reset the world is observationally identical to
+    /// `Simulation::with_config(config, seed)` — same hosts (they live in
+    /// the shared config), same RNG stream, trace collection re-enabled,
+    /// scheduling delays re-enabled — except that the event cap set via
+    /// [`Simulation::set_max_events`] is kept (it guards each run).
+    pub fn reset(&mut self, seed: u64) {
+        self.time = 0;
+        self.queue.reset();
+        self.timers.reset();
+        self.actors.clear();
+        self.actor_hosts.clear();
+        self.alive.clear();
+        for watchers in &mut self.watchers {
+            watchers.clear();
+        }
+        for horizons in &mut self.fifo_out {
+            horizons.clear();
+        }
+        self.sched_enabled = true;
+        self.rng = StdRng::seed_from_u64(seed);
+        self.trace.clear();
+        self.trace_enabled = true;
+        self.events_processed = 0;
+    }
+
+    /// The world description this simulation runs over.
+    pub fn world_config(&self) -> &Arc<WorldConfig> {
+        &self.config
+    }
+
     /// Replaces the network latency configuration.
+    ///
+    /// Copy-on-write when the world description is shared: other
+    /// simulations holding the same [`WorldConfig`] are unaffected.
     pub fn set_network(&mut self, network: NetworkConfig) {
-        self.network = network;
+        Arc::make_mut(&mut self.config).set_network(network);
     }
 
     /// Enables or disables OS scheduling delays on message endpoints.
@@ -278,12 +430,25 @@ impl<M: 'static> Simulation<M> {
     }
 
     /// Adds a host; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the host's name is already registered — a duplicate
+    /// would silently shadow the second host in every name-based lookup.
+    /// Use [`Simulation::try_add_host`] to handle the error instead.
     pub fn add_host(&mut self, config: HostConfig) -> HostId {
-        let id = HostId(self.hosts.len() as u32);
-        self.clocks.push(VirtualClock::new(config.clock));
-        self.host_index.entry(config.name.clone()).or_insert(id.0);
-        self.hosts.push(config);
-        id
+        match self.try_add_host(config) {
+            Ok(id) => id,
+            Err(e) => panic!("loki-sim: {e}"),
+        }
+    }
+
+    /// Adds a host, rejecting a duplicate name with a typed error.
+    ///
+    /// Copy-on-write when the world description is shared (batch users
+    /// should finish building the [`WorldConfig`] before sharing it).
+    pub fn try_add_host(&mut self, config: HostConfig) -> Result<HostId, DuplicateHost> {
+        Arc::make_mut(&mut self.config).add_host(config)
     }
 
     /// Host configuration lookup.
@@ -292,12 +457,12 @@ impl<M: 'static> Simulation<M> {
     ///
     /// Panics if `host` is not part of this simulation.
     pub fn host(&self, host: HostId) -> &HostConfig {
-        &self.hosts[host.0 as usize]
+        self.config.host(host)
     }
 
     /// Number of hosts.
     pub fn num_hosts(&self) -> usize {
-        self.hosts.len()
+        self.config.num_hosts()
     }
 
     /// Spawns an actor on `host`; its `on_start` runs at the current time.
@@ -306,7 +471,12 @@ impl<M: 'static> Simulation<M> {
         self.actors.push(Some(actor));
         self.actor_hosts.push(host);
         self.alive.push(true);
-        self.fifo_out.push(Vec::new());
+        if let Some(horizons) = self.fifo_out.get_mut(id.0 as usize) {
+            // A slot left over from before a reset: reuse its allocation.
+            horizons.clear();
+        } else {
+            self.fifo_out.push(Vec::new());
+        }
         if self.watchers.len() < self.actors.len() {
             // May already extend past `id` when a watcher registered
             // interest before this actor was spawned.
@@ -330,7 +500,7 @@ impl<M: 'static> Simulation<M> {
 
     /// Reads `host`'s local clock at the current instant.
     pub fn local_clock(&self, host: HostId) -> LocalNanos {
-        self.clocks[host.0 as usize].read(self.time)
+        self.config.clocks[host.0 as usize].read(self.time)
     }
 
     /// Whether `actor` is still alive.
@@ -363,6 +533,24 @@ impl<M: 'static> Simulation<M> {
     /// size; slots are recycled).
     pub fn event_slots(&self) -> usize {
         self.queue.slab_slots()
+    }
+
+    /// Number of events currently pending in the queue.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The scheduled time of the earliest pending event, or `None` when
+    /// the queue has drained. This is the scheduling key
+    /// [`crate::batch::WorldSet`] interleaves worlds by.
+    pub fn next_event_time(&self) -> Option<u64> {
+        self.queue.peek_time()
+    }
+
+    /// Number of events processed since construction or the last
+    /// [`Simulation::reset`].
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Kills an actor from outside the simulation (test harness use).
@@ -399,6 +587,21 @@ impl<M: 'static> Simulation<M> {
                     self.step();
                 }
             }
+        }
+    }
+
+    /// Processes every pending event scheduled at or before `horizon_ns`,
+    /// in order. Unlike [`Simulation::run_until`] the clock is *not*
+    /// advanced to the horizon afterwards — it stays at the last processed
+    /// event — so driving a world in bursts is indistinguishable from
+    /// driving it with [`Simulation::run`] ([`crate::batch::WorldSet`]
+    /// interleaves worlds this way).
+    pub fn run_ready(&mut self, horizon_ns: u64) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon_ns {
+                return;
+            }
+            self.step();
         }
     }
 
@@ -494,7 +697,8 @@ impl<M: 'static> Simulation<M> {
                 reason,
             });
         }
-        let detect = self.hosts[self.actor_hosts[actor.0 as usize].0 as usize].crash_detect_ns;
+        let detect =
+            self.config.hosts[self.actor_hosts[actor.0 as usize].0 as usize].crash_detect_ns;
         let watchers = std::mem::take(&mut self.watchers[actor.0 as usize]);
         for observer in watchers {
             self.push(
@@ -517,7 +721,7 @@ impl<M> fmt::Debug for Simulation<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Simulation")
             .field("time", &self.time)
-            .field("hosts", &self.hosts.len())
+            .field("hosts", &self.config.num_hosts())
             .field("actors", &self.actors.len())
             .field("pending_events", &self.queue.len())
             .finish()
@@ -570,14 +774,14 @@ impl<'a, M: 'static> Ctx<'a, M> {
         let from_host = self.sim.host_of(self.me);
         let to_host = self.sim.host_of(to);
         let link = if from_host == to_host {
-            self.sim.network.ipc
+            self.sim.config.network.ipc
         } else {
-            self.sim.network.tcp
+            self.sim.config.network.tcp
         };
         let (d_send, d_recv) = if self.sim.sched_enabled {
             (
-                self.sim.hosts[from_host.0 as usize].sched_delay(&mut self.sim.rng),
-                self.sim.hosts[to_host.0 as usize].sched_delay(&mut self.sim.rng),
+                self.sim.config.hosts[from_host.0 as usize].sched_delay(&mut self.sim.rng),
+                self.sim.config.hosts[to_host.0 as usize].sched_delay(&mut self.sim.rng),
             )
         } else {
             (0, 0)
@@ -593,9 +797,9 @@ impl<'a, M: 'static> Ctx<'a, M> {
         let from_host = self.sim.host_of(self.me);
         let to_host = self.sim.host_of(to);
         let link = if from_host == to_host {
-            self.sim.network.ipc
+            self.sim.config.network.ipc
         } else {
-            self.sim.network.tcp
+            self.sim.config.network.tcp
         };
         let d_link = link.sample(&mut self.sim.rng);
         let at = self.sim.time + delay_ns + d_link;
@@ -708,10 +912,10 @@ impl<'a, M: 'static> Ctx<'a, M> {
         &self.sim.host(host).name
     }
 
-    /// Looks up a host id by name (O(1); first registration wins when
-    /// names collide).
+    /// Looks up a host id by name (O(1); names are unique — duplicates
+    /// are rejected at registration).
     pub fn find_host(&self, name: &str) -> Option<HostId> {
-        self.sim.host_index.get(name).map(|&i| HostId(i))
+        self.sim.config.find_host(name)
     }
 
     /// The deterministic simulation RNG.
@@ -1068,21 +1272,97 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_host_names_resolve_to_first() {
+    fn duplicate_host_names_are_a_hard_error() {
         let mut sim: Simulation<Msg> = Simulation::new(1);
         let first = sim.add_host(HostConfig::new("dup"));
-        let _second = sim.add_host(HostConfig::new("dup"));
-        struct Probe {
-            expect: HostId,
-        }
-        impl Actor<Msg> for Probe {
-            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
-                assert_eq!(ctx.find_host("dup"), Some(self.expect));
-            }
-            fn on_message(&mut self, _: &mut Ctx<'_, Msg>, _: ActorId, _: Msg) {}
-        }
-        sim.spawn(first, Box::new(Probe { expect: first }));
-        sim.run();
+        let err = sim.try_add_host(HostConfig::new("dup")).unwrap_err();
+        assert_eq!(err.name, "dup");
+        assert!(err.to_string().contains("dup"), "{err}");
+
+        // The panicking entry point rejects it too, and the rejected host
+        // leaves no trace in the world.
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.add_host(HostConfig::new("dup"));
+        }));
+        assert!(panicked.is_err(), "add_host must panic on a duplicate");
+        assert_eq!(sim.num_hosts(), 1);
+        assert_eq!(first, HostId(0));
+
+        // WorldConfig rejects duplicates the same way.
+        let mut config = WorldConfig::new();
+        config.add_host(HostConfig::new("dup")).unwrap();
+        assert!(config.add_host(HostConfig::new("dup")).is_err());
+        assert_eq!(config.num_hosts(), 1);
+    }
+
+    #[test]
+    fn worlds_share_one_config_and_copy_on_write() {
+        let mut config = WorldConfig::new();
+        let h1 = config.add_host(HostConfig::new("h1")).unwrap();
+        let config = Arc::new(config);
+        let mut a: Simulation<Msg> = Simulation::with_config(config.clone(), 1);
+        let b: Simulation<Msg> = Simulation::with_config(config.clone(), 2);
+        assert!(Arc::ptr_eq(a.world_config(), b.world_config()));
+        assert_eq!(a.host(h1).name, "h1");
+
+        // Mutating one world's description copies on write instead of
+        // changing it under the other worlds of the batch.
+        a.add_host(HostConfig::new("h2"));
+        assert_eq!(a.num_hosts(), 2);
+        assert_eq!(b.num_hosts(), 1);
+        assert!(!Arc::ptr_eq(a.world_config(), b.world_config()));
+    }
+
+    #[test]
+    fn reset_replays_identically_and_reuses_slabs() {
+        let (mut sim, h1, h2) = two_host_sim(6);
+        let drive = |sim: &mut Simulation<Msg>| {
+            let fired = Rc::new(RefCell::new(Vec::new()));
+            let log = Rc::new(RefCell::new(Vec::new()));
+            sim.spawn(
+                h1,
+                Box::new(Watchdog {
+                    rounds: 200,
+                    pending: None,
+                }),
+            );
+            sim.spawn(
+                h1,
+                Box::new(TimerActor {
+                    fired: fired.clone(),
+                    cancel_second: false,
+                }),
+            );
+            let ponger = sim.spawn(h2, Box::new(Ponger));
+            sim.spawn(
+                h1,
+                Box::new(Pinger {
+                    target: ponger,
+                    log: log.clone(),
+                }),
+            );
+            sim.run();
+            let fired = fired.borrow().clone();
+            let log = log.borrow().clone();
+            (sim.now(), fired, log, sim.trace().len())
+        };
+
+        let first = drive(&mut sim);
+        let marks = (sim.event_slots(), sim.timer_slots());
+
+        sim.reset(6);
+        assert_eq!(sim.now(), 0);
+        assert_eq!(sim.pending_events(), 0);
+        assert_eq!(sim.next_event_time(), None);
+        assert!(!sim.is_alive(ActorId(0)));
+
+        let second = drive(&mut sim);
+        assert_eq!(first, second, "a reset world must replay byte-identically");
+        assert_eq!(
+            (sim.event_slots(), sim.timer_slots()),
+            marks,
+            "replaying after reset must reuse the slabs, not regrow them"
+        );
     }
 
     #[test]

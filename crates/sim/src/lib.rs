@@ -21,13 +21,24 @@
 //! The event core underneath is hash-free and allocation-lean: see
 //! [`queue`] for the index heap and the generation-stamped timer slab, and
 //! the [`engine`] module docs for how the engine uses them.
+//!
+//! Campaigns that run many independent experiments share one immutable
+//! [`engine::WorldConfig`] across all their simulations and interleave
+//! batches of them on one thread with a [`batch::WorldSet`]
+//! (FoundationDB-style "many worlds, one process"); see the [`batch`]
+//! module docs.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod config;
 pub mod engine;
 pub mod queue;
 
+pub use batch::WorldSet;
 pub use config::{HostConfig, LatencyModel, NetworkConfig};
-pub use engine::{Actor, ActorId, Ctx, DownReason, HostId, Simulation, TimerId, TraceEntry};
+pub use engine::{
+    Actor, ActorId, Ctx, DownReason, DuplicateHost, HostId, Simulation, TimerId, TraceEntry,
+    WorldConfig,
+};

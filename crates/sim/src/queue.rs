@@ -157,6 +157,31 @@ impl<T> EventQueue<T> {
     pub fn slab_slots(&self) -> usize {
         self.slab.len()
     }
+
+    /// Clears the queue while keeping every allocation: the heap's buffer
+    /// and the slab's slots survive for the next run, so a simulation
+    /// reused across experiments stops growing once the first experiment
+    /// has established the high-water mark.
+    ///
+    /// Any still-queued bodies are dropped, the sequence counter rewinds
+    /// to zero, and the free list is rebuilt in ascending slot order —
+    /// pushes after a reset fill slots `0, 1, 2, …` exactly like pushes
+    /// into a fresh queue, so a reset queue is observationally identical
+    /// to a new one (pop order depends only on `(time, seq)`).
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+        let len = self.slab.len() as u32;
+        for (i, slot) in self.slab.iter_mut().enumerate() {
+            let next = if i as u32 + 1 == len {
+                NIL
+            } else {
+                i as u32 + 1
+            };
+            *slot = Slot::Vacant { next };
+        }
+        self.free_head = if len == 0 { NIL } else { 0 };
+    }
 }
 
 impl<T> Default for EventQueue<T> {
@@ -278,6 +303,20 @@ impl TimerSlab {
     pub fn live(&self) -> usize {
         self.gens.len() - self.free.len()
     }
+
+    /// Retires every registration while keeping the slot allocations.
+    ///
+    /// Each slot's generation is bumped, so every handle issued before the
+    /// reset — live or not — fails its liveness check afterwards; the free
+    /// list is rebuilt so allocations after a reset hand out slots
+    /// `0, 1, 2, …` in the same order a fresh slab would.
+    pub fn reset(&mut self) {
+        self.free.clear();
+        for slot in (0..self.gens.len() as u32).rev() {
+            self.gens[slot as usize] = self.gens[slot as usize].wrapping_add(1);
+            self.free.push(slot);
+        }
+    }
 }
 
 impl Default for TimerSlab {
@@ -330,6 +369,63 @@ mod tests {
         assert!(timers.fire(c));
         assert!(timers.fire(b));
         assert_eq!(timers.live(), 0);
+    }
+
+    #[test]
+    fn queue_reset_keeps_slots_and_replays_like_fresh() {
+        let mut q = EventQueue::new();
+        for i in 0..16u64 {
+            q.push(100 - i, i);
+        }
+        for _ in 0..4 {
+            q.pop();
+        }
+        assert_eq!(q.slab_slots(), 16);
+
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        assert_eq!(q.slab_slots(), 16, "reset must keep the slab allocation");
+
+        // A reset queue behaves exactly like a fresh one: same pop order
+        // (seq rewound) and no slab growth while refilling up to the old
+        // high-water mark.
+        let mut fresh = EventQueue::new();
+        for i in 0..16u64 {
+            q.push(i % 5, i);
+            fresh.push(i % 5, i);
+        }
+        assert_eq!(q.slab_slots(), 16, "refill within the mark must not grow");
+        let drained: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        let fresh_drained: Vec<_> = std::iter::from_fn(|| fresh.pop()).collect();
+        assert_eq!(drained, fresh_drained);
+    }
+
+    #[test]
+    fn timer_reset_invalidates_old_handles_and_keeps_slots() {
+        let mut timers = TimerSlab::new();
+        let live = timers.alloc();
+        let retired = timers.alloc();
+        assert!(timers.cancel(retired));
+        assert_eq!(timers.slots(), 2);
+
+        timers.reset();
+        assert_eq!(timers.live(), 0);
+        assert_eq!(timers.slots(), 2, "reset must keep the slot allocations");
+        assert!(!timers.fire(live), "pre-reset handles must be dead");
+        assert!(!timers.cancel(retired));
+
+        // Allocation order after a reset matches a fresh slab: slot 0
+        // first, and no growth until the old high-water mark is passed.
+        let a = timers.alloc();
+        let b = timers.alloc();
+        assert_eq!(timers.slots(), 2);
+        assert!(timers.fire(a));
+        assert!(timers.fire(b));
+        let _ = timers.alloc();
+        let _ = timers.alloc();
+        let _ = timers.alloc();
+        assert_eq!(timers.slots(), 3, "growth resumes past the mark");
     }
 
     #[test]

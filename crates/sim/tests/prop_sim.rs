@@ -1,12 +1,14 @@
 //! Property tests for the discrete-event engine and its event core.
 
+use loki_sim::batch::WorldSet;
 use loki_sim::config::{HostConfig, LatencyModel, NetworkConfig};
-use loki_sim::engine::{Actor, ActorId, Ctx, Simulation};
+use loki_sim::engine::{Actor, ActorId, Ctx, Simulation, WorldConfig};
 use loki_sim::queue::{EventQueue, TimerKey, TimerSlab};
 use proptest::prelude::*;
 use std::cell::RefCell;
 use std::collections::{BinaryHeap, HashSet};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Sends a burst of numbered messages to a sink.
 struct Burst {
@@ -220,6 +222,68 @@ proptest! {
             (v, sim.now())
         };
         prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// `WorldSet` interleaving of random independent event schedules is
+    /// behaviour-preserving: each world ends in exactly the state it
+    /// reaches when run to completion alone.
+    #[test]
+    fn worldset_interleaving_matches_isolated_runs(
+        worlds in prop::collection::vec(
+            (any::<u64>(), 1u32..30, 0u64..20_000_000, 0u64..1_000_000),
+            1..8,
+        ),
+    ) {
+        let mut config = WorldConfig::new();
+        config.set_network(NetworkConfig {
+            ipc: LatencyModel { base_ns: 10_000, jitter_ns: 500_000 },
+            tcp: LatencyModel { base_ns: 100_000, jitter_ns: 500_000 },
+        });
+        // Give every world the max timeslice drawn so the shared config is
+        // fixed while seeds/counts still vary per world.
+        let slice = worlds.iter().map(|w| w.2).max().unwrap_or(0);
+        let h1 = config.add_host(HostConfig::new("h1").timeslice_ns(slice)).unwrap();
+        let h2 = config.add_host(HostConfig::new("h2").timeslice_ns(slice)).unwrap();
+        let config = Arc::new(config);
+
+        let build = |&(seed, count, _, _): &(u64, u32, u64, u64)| {
+            let mut sim: Simulation<u32> = Simulation::with_config(config.clone(), seed);
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let sink = sim.spawn(h2, Box::new(Sink { log: log.clone() }));
+            sim.spawn(h1, Box::new(Burst { target: sink, count }));
+            (sim, log)
+        };
+
+        let isolated: Vec<_> = worlds
+            .iter()
+            .map(|w| {
+                let (mut sim, log) = build(w);
+                sim.run();
+                let delivered = log.borrow().clone();
+                (sim.now(), sim.events_processed(), delivered)
+            })
+            .collect();
+
+        let mut set = WorldSet::new();
+        let logs: Vec<_> = worlds
+            .iter()
+            .map(|w| {
+                let (sim, log) = build(w);
+                set.push(sim);
+                log
+            })
+            .collect();
+        set.run();
+        for (i, log) in logs.iter().enumerate() {
+            prop_assert!(set.drained(i));
+            let sim = set.world(i);
+            let delivered = log.borrow().clone();
+            prop_assert_eq!(
+                &(sim.now(), sim.events_processed(), delivered),
+                &isolated[i],
+                "world {} diverged under interleaving", i
+            );
+        }
     }
 
     /// Virtual clocks are monotone along simulation time.

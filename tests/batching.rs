@@ -1,0 +1,169 @@
+//! Many-worlds batching acceptance: interleaving K experiments per worker
+//! through one reused `WorldSet` must be *unobservable* in the results.
+//! The sweep below pins byte-identical study output for batch
+//! K ∈ {1, 2, 4, 8} crossed with worker counts ∈ {1, 2, 4} against the
+//! per-experiment baseline engine (a fresh simulation per experiment), and
+//! checks the pipeline's retention stays within the documented
+//! workers × batch bound. `run_study` — which still runs per-experiment —
+//! must agree too, pinning that a reset-reused world replays exactly like
+//! a fresh one.
+
+use loki::analysis::AnalyzedExperiment;
+use loki::apps::token_ring::{ring_factory, ring_study, RingConfig};
+use loki::core::fault::{FaultExpr, Trigger};
+use loki::core::study::Study;
+use loki::runtime::harness::{
+    run_study_with_workers, CampaignPipeline, PipelineSummary, SimHarnessConfig,
+};
+use std::sync::Arc;
+
+/// The token-ring campaign: kill the holder once it provably holds the
+/// token. Rich enough to exercise injections, restarts of the token, and
+/// sync phases in every experiment.
+fn ring_campaign() -> (Arc<Study>, loki::runtime::AppFactory) {
+    let def = ring_study("ring-batching", 3).fault(
+        "tr2",
+        "kill_holder",
+        FaultExpr::atom("tr2", "HAS_TOKEN"),
+        Trigger::Once,
+    );
+    let study = Study::compile_arc(&def).expect("valid study");
+    (study, ring_factory(RingConfig::default()))
+}
+
+/// Runs the pipeline and collects every compact result in sink order.
+fn run_collect(
+    pipeline: &CampaignPipeline,
+    experiments: u32,
+    workers: usize,
+) -> (Vec<AnalyzedExperiment>, PipelineSummary) {
+    let mut out = Vec::with_capacity(experiments as usize);
+    let summary = pipeline.run_with_workers(experiments, workers, |analyzed| out.push(analyzed));
+    (out, summary)
+}
+
+#[test]
+fn batched_results_are_byte_identical_across_k_and_workers() {
+    let (study, factory) = ring_campaign();
+    let cfg = SimHarnessConfig::three_hosts(0xBA7C);
+    let experiments = 10u32;
+
+    // Reference: the per-experiment baseline engine, one worker — the
+    // pre-batching path, byte for byte.
+    let baseline_pipeline = CampaignPipeline::new(study.clone(), factory.clone(), cfg.clone())
+        .per_experiment_baseline();
+    let (baseline, baseline_summary) = run_collect(&baseline_pipeline, experiments, 1);
+    assert_eq!(baseline.len(), experiments as usize);
+    assert_eq!(baseline_summary.batch, 1);
+    assert!(
+        baseline.iter().any(|a| a.injections > 0),
+        "campaign must inject"
+    );
+
+    for k in [1usize, 2, 4, 8] {
+        for workers in [1usize, 2, 4] {
+            // Explicit batch: these tests must not read LOKI_BATCH (the
+            // env-validation test owns the environment variable).
+            let mut cfg = cfg.clone();
+            cfg.batch = Some(k);
+            let pipeline = CampaignPipeline::new(study.clone(), factory.clone(), cfg);
+            let (streamed, summary) = run_collect(&pipeline, experiments, workers);
+
+            // Sink sees every experiment exactly once, in index order.
+            let indices: Vec<u32> = streamed.iter().map(|a| a.experiment).collect();
+            assert_eq!(indices, (0..experiments).collect::<Vec<u32>>());
+
+            // Byte-identical compact results and summary counters.
+            assert_eq!(
+                streamed, baseline,
+                "K={k} workers={workers}: results diverged from the per-experiment baseline"
+            );
+            assert_eq!(summary.batch, k);
+            assert_eq!(summary.accepted, baseline_summary.accepted);
+            assert_eq!(summary.completed, baseline_summary.completed);
+            assert_eq!(summary.injections, baseline_summary.injections);
+
+            // Bounded retention: never more in-flight experiments than
+            // workers × batch.
+            assert!(
+                (1..=workers * k).contains(&summary.peak_raw_retained),
+                "K={k} workers={workers}: peak retention {}",
+                summary.peak_raw_retained
+            );
+        }
+    }
+
+    // The per-experiment `run_study` path agrees with the batched
+    // pipeline's verdict-relevant data: reset-reused worlds replay exactly
+    // like the fresh worlds `run_study` builds.
+    let raw = run_study_with_workers(&study, factory, &cfg, experiments, 2);
+    for (data, analyzed) in raw.iter().zip(&baseline) {
+        assert_eq!(data.experiment, analyzed.experiment);
+        assert_eq!(data.end, analyzed.end, "experiment end diverged");
+    }
+}
+
+#[test]
+fn batch_env_override_is_validated_and_applied() {
+    // All LOKI_BATCH manipulation lives in this one test; the other tests
+    // in this binary pass `cfg.batch` explicitly, so nothing races.
+    let (study, factory) = ring_campaign();
+    let cfg = SimHarnessConfig::three_hosts(0xEB7);
+    let experiments = 4u32;
+
+    let mut forced_cfg = cfg.clone();
+    forced_cfg.batch = Some(1);
+    let forced_pipeline = CampaignPipeline::new(study.clone(), factory.clone(), forced_cfg);
+    let (forced, _) = run_collect(&forced_pipeline, experiments, 1);
+
+    std::env::set_var("LOKI_BATCH", "3");
+    let env_pipeline = CampaignPipeline::new(study.clone(), factory.clone(), cfg.clone());
+    let (via_env, summary) = run_collect(&env_pipeline, experiments, 1);
+    assert_eq!(summary.batch, 3, "LOKI_BATCH not picked up");
+    assert_eq!(via_env, forced, "batch size changed the results");
+
+    // Invalid batch sizes are rejected loudly — a silent fallback would
+    // run the campaign with a surprise interleaving width.
+    for bad in ["not-a-number", "0", "", "-2"] {
+        std::env::set_var("LOKI_BATCH", bad);
+        let pipeline = CampaignPipeline::new(study.clone(), factory.clone(), cfg.clone());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_collect(&pipeline, experiments, 1)
+        }));
+        let Err(err) = result else {
+            panic!("LOKI_BATCH={bad:?} must be rejected");
+        };
+        let message = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string panic>".into());
+        assert!(message.contains("LOKI_BATCH"), "{message}");
+    }
+
+    // `batch: Some(0)` is rejected with the config-side message even when
+    // the environment variable is valid.
+    std::env::set_var("LOKI_BATCH", "2");
+    let mut zero_cfg = cfg.clone();
+    zero_cfg.batch = Some(0);
+    let pipeline = CampaignPipeline::new(study.clone(), factory.clone(), zero_cfg);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_collect(&pipeline, experiments, 1)
+    }));
+    let Err(err) = result else {
+        panic!("batch: Some(0) must be rejected");
+    };
+    let message = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "<non-string panic>".into());
+    assert!(
+        message.contains("batch size must be at least 1"),
+        "{message}"
+    );
+
+    std::env::remove_var("LOKI_BATCH");
+    let default_pipeline = CampaignPipeline::new(study, factory, cfg);
+    let (auto, summary) = run_collect(&default_pipeline, experiments, 1);
+    assert_eq!(summary.batch, 1, "default batch must be 1");
+    assert_eq!(auto, forced);
+}
