@@ -25,7 +25,6 @@ use loki_core::fault::{CompiledExpr, Trigger};
 use loki_core::ids::{FaultId, SmId, StateId};
 use loki_core::study::Study;
 use loki_core::time::TimeBounds;
-use std::collections::HashMap;
 
 /// Truth regions of an expression: definite and possible interval sets.
 #[derive(Clone, Debug)]
@@ -159,15 +158,11 @@ pub fn check_experiment(
     // Pad the window so complements extend beyond the last event: a state
     // held at the end remains definitely-true at the final instants.
     let window = (gt.start.as_f64() - 1.0, gt.end.as_f64() + 1.0);
-    let mut truths: HashMap<FaultId, Truth> = HashMap::new();
-    for fault in &study.faults {
-        truths.insert(fault.id, expr_truth(gt, &fault.expr, window));
-    }
 
     let mut checks = Vec::new();
-    let mut injected_counts: HashMap<FaultId, usize> = HashMap::new();
+    let mut injected_counts: Vec<u32> = vec![0; study.faults.len()];
     for (event, fault_id) in gt.injections() {
-        *injected_counts.entry(fault_id).or_insert(0) += 1;
+        injected_counts[fault_id.index()] += 1;
         let fault = &study.faults[fault_id.index()];
         let correct =
             injection_definitely_correct(study, gt, event, &fault.expr, window) == Tri::True;
@@ -196,7 +191,7 @@ pub fn check_experiment(
     let mut missing = Vec::new();
     if policy == MissingPolicy::Fail {
         for fault in &study.faults {
-            let truth = &truths[&fault.id];
+            let truth = expr_truth(gt, &fault.expr, window);
             let definitely_false = truth.possible.complement(window.0, window.1);
             // A false→true edge provably occurred before a definite-true
             // span iff the expression was provably false at some point
@@ -205,8 +200,7 @@ pub fn check_experiment(
             let mut provable_edges = 0usize;
             let mut prev_hi = window.0;
             for &(lo, hi) in truth.definite.spans() {
-                let gap = IntervalSet::from_spans(vec![(prev_hi, lo)]);
-                if !definitely_false.intersect(&gap).is_empty() {
+                if definitely_false.overlaps(prev_hi, lo) {
                     provable_edges += 1;
                 }
                 prev_hi = hi;
@@ -215,7 +209,7 @@ pub fn check_experiment(
                 Trigger::Once => provable_edges.min(1),
                 Trigger::Always => provable_edges,
             };
-            if injected_counts.get(&fault.id).copied().unwrap_or(0) < expected {
+            if (injected_counts[fault.id.index()] as usize) < expected {
                 missing.push(fault.id);
             }
         }
@@ -294,11 +288,7 @@ fn injection_definitely_correct(
                 let (lo, hi) = (injection.bounds.lo.as_f64(), injection.bounds.hi.as_f64());
                 if truth.definite.contains_interval(lo, hi) {
                     Tri::True
-                } else if truth
-                    .possible
-                    .intersect(&IntervalSet::from_spans(vec![(lo, hi)]))
-                    .is_empty()
-                {
+                } else if !truth.possible.overlaps(lo, hi) {
                     Tri::False
                 } else {
                     Tri::Unknown

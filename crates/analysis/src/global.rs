@@ -191,9 +191,9 @@ pub fn make_global(
     // --- alphabeta: per-host clock calibration -----------------------------
     // Dense, indexed by `HostId`: the projection loop below resolves a
     // record's bounds with one array index instead of hashing a host-name
-    // string per record. `None` marks hosts with no calibration — touching
-    // one from a timeline is the `UnknownHost` error. Ids outside the
-    // symbol table (malformed or foreign-table data) resolve to a
+    // string per record. Touching a host outside `data.hosts` (plus the
+    // reference) from a timeline is the `UnknownHost` error. Ids outside
+    // the symbol table (malformed or foreign-table data) resolve to a
     // placeholder label in error paths rather than panicking.
     let host_label = |host: HostId| -> String {
         data.symbols
@@ -206,20 +206,26 @@ pub fn make_global(
         .num_hosts()
         .max(data.reference_host.index() + 1)
         .max(data.hosts.iter().map(|h| h.index() + 1).max().unwrap_or(0));
-    let mut calibrated: Vec<Option<AlphaBetaBounds>> = vec![None; num_hosts];
-    calibrated[data.reference_host.index()] = Some(AlphaBetaBounds::identity());
+    let mut alpha_beta: Vec<AlphaBetaBounds> = vec![AlphaBetaBounds::identity(); num_hosts];
+    let mut samples = Vec::new();
     for &host in &data.hosts {
         if host == data.reference_host {
             continue;
         }
-        let samples = data.sync_samples_for(host);
+        data.sync_samples_into(host, &mut samples);
         let bounds =
             estimate_alpha_beta(&samples, &opts.sync).map_err(|source| AnalysisError::Sync {
                 host: host_label(host),
                 source,
             })?;
-        calibrated[host.index()] = Some(bounds);
+        alpha_beta[host.index()] = bounds;
     }
+    // Estimation failure above is fatal, so from here every host in
+    // `data.hosts` (plus the reference) is calibrated; anything else a
+    // timeline references is the `UnknownHost` error. Membership is checked
+    // once per host change (hosts are constant within a stint), not per
+    // record.
+    let is_calibrated = |host: HostId| host == data.reference_host || data.hosts.contains(&host);
 
     // --- makeglobal: project every record -----------------------------------
     // Exact capacity up front: one event per record, at most one interval
@@ -232,16 +238,19 @@ pub fn make_global(
     for timeline in &data.timelines {
         let mut current_state = study.reserved.begin;
         let mut open: Option<(StateId, TimeBounds)> = None;
+        let mut checked_host: Option<HostId> = None;
 
         for (idx, host, record) in timeline.records_with_hosts() {
-            let ab = calibrated
-                .get(host.index())
-                .and_then(|c| c.as_ref())
-                .ok_or_else(|| AnalysisError::UnknownHost {
-                    host: host_label(host),
-                    sm: study.sms.name(timeline.sm).to_owned(),
-                })?;
-            let bounds = ab.project(record.time);
+            if checked_host != Some(host) {
+                if host.index() >= alpha_beta.len() || !is_calibrated(host) {
+                    return Err(AnalysisError::UnknownHost {
+                        host: host_label(host),
+                        sm: study.sms.name(timeline.sm).to_owned(),
+                    });
+                }
+                checked_host = Some(host);
+            }
+            let bounds = alpha_beta[host.index()].project(record.time);
             let kind = match &record.kind {
                 RecordKind::StateChange { event, new_state } => {
                     let from_state = current_state;
@@ -330,12 +339,7 @@ pub fn make_global(
     };
 
     // Uncalibrated hosts were never referenced (the loop above would have
-    // errored); the identity filler keeps the vector dense.
-    let alpha_beta: Vec<AlphaBetaBounds> = calibrated
-        .into_iter()
-        .map(|c| c.unwrap_or_else(AlphaBetaBounds::identity))
-        .collect();
-
+    // errored); their identity fillers keep the vector dense.
     Ok(GlobalTimeline {
         events,
         intervals,

@@ -20,17 +20,24 @@ impl IntervalSet {
 
     /// Builds a set from arbitrary (possibly overlapping, unsorted)
     /// intervals; empty or inverted inputs are dropped.
+    ///
+    /// Merges in place: the input vector is reused as the backing store,
+    /// so the call allocates nothing beyond what the caller handed over.
     pub fn from_spans(mut spans: Vec<(f64, f64)>) -> Self {
         spans.retain(|(lo, hi)| lo <= hi);
         spans.sort_by(|a, b| a.0.total_cmp(&b.0));
-        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(spans.len());
-        for (lo, hi) in spans {
-            match merged.last_mut() {
-                Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
-                _ => merged.push((lo, hi)),
+        let mut kept = 0;
+        for i in 0..spans.len() {
+            let (lo, hi) = spans[i];
+            if kept > 0 && lo <= spans[kept - 1].1 {
+                spans[kept - 1].1 = spans[kept - 1].1.max(hi);
+            } else {
+                spans[kept] = (lo, hi);
+                kept += 1;
             }
         }
-        IntervalSet { spans: merged }
+        spans.truncate(kept);
+        IntervalSet { spans }
     }
 
     /// The spans of the set.
@@ -56,6 +63,16 @@ impl IntervalSet {
     /// Whether the whole interval `[lo, hi]` lies within a single span.
     pub fn contains_interval(&self, lo: f64, hi: f64) -> bool {
         self.spans.iter().any(|&(a, b)| a <= lo && hi <= b)
+    }
+
+    /// Whether the closed interval `[lo, hi]` meets the set anywhere.
+    ///
+    /// Equivalent to `!self.intersect(&IntervalSet::from_spans(vec![(lo,
+    /// hi)])).is_empty()` but allocation-free; an inverted probe (`lo >
+    /// hi`) is the empty interval and never overlaps, matching
+    /// [`IntervalSet::from_spans`]'s treatment of inverted inputs.
+    pub fn overlaps(&self, lo: f64, hi: f64) -> bool {
+        lo <= hi && self.spans.iter().any(|&(a, b)| a <= hi && lo <= b)
     }
 
     /// Set union.
@@ -143,6 +160,17 @@ mod tests {
         assert!(s.contains_interval(5.5, 7.0));
         assert!(!s.contains_interval(2.0, 6.0)); // spans a gap
         assert!(!IntervalSet::empty().contains(0.0));
+    }
+
+    #[test]
+    fn overlaps_matches_intersect() {
+        let a = set(&[(1.0, 3.0), (5.0, 8.0)]);
+        assert!(a.overlaps(2.0, 4.0));
+        assert!(a.overlaps(3.0, 5.0)); // touches both spans
+        assert!(!a.overlaps(4.0, 4.5)); // falls in the gap
+        assert!(a.overlaps(8.0, 8.0)); // degenerate point on a boundary
+        assert!(!a.overlaps(9.0, 7.0)); // inverted probe is empty
+        assert!(!IntervalSet::empty().overlaps(0.0, 100.0));
     }
 
     #[test]

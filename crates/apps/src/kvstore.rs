@@ -238,7 +238,7 @@ impl App for KvReplica {
                 }
             }
             Some(_) => {
-                ctx.record_user_message(&format!("fault {fault} injected (no-op action)"));
+                ctx.record_user_message(format!("fault {fault} injected (no-op action)"));
             }
         }
     }

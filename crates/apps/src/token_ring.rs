@@ -119,22 +119,20 @@ impl RingMember {
     }
 
     /// The next *live* machine after us in study order (ring order).
+    /// Machine ids are dense in study order, so the ring walk is pure id
+    /// arithmetic plus allocation-free liveness probes.
     fn next_in_ring(&self, ctx: &NodeCtx<'_>) -> Option<SmId> {
+        let n = ctx.study().num_machines() as u32;
         let me = ctx.my_sm();
-        let all: Vec<SmId> = ctx.machines();
-        let live = ctx.live_machines();
-        let my_pos = all.iter().position(|&s| s == me)?;
-        for k in 1..=all.len() {
-            let candidate = all[(my_pos + k) % all.len()];
-            if candidate != me && live.contains(&candidate) {
-                return Some(candidate);
-            }
-        }
-        None
+        (1..n)
+            .map(|k| SmId::from_raw((me.raw() + k) % n))
+            .find(|&candidate| ctx.is_live(candidate))
     }
 
+    /// The regenerator is the lowest-id live machine; we are it exactly
+    /// when no machine below us is live.
     fn i_am_regenerator(&self, ctx: &NodeCtx<'_>) -> bool {
-        ctx.live_machines().into_iter().min() == Some(ctx.my_sm())
+        (0..ctx.my_sm().raw()).all(|below| !ctx.is_live(SmId::from_raw(below)))
     }
 }
 
@@ -239,7 +237,7 @@ impl App for RingMember {
                 }
             }
             Some(_) => {
-                ctx.record_user_message(&format!("fault {fault} injected (no-op action)"));
+                ctx.record_user_message(format!("fault {fault} injected (no-op action)"));
             }
         }
     }

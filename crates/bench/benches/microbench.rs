@@ -689,6 +689,78 @@ fn bench_batched_worlds(c: &mut Criterion) {
     group.finish();
 }
 
+/// All-in per-event overhead of the batched pipeline: wall clock per
+/// simulation event across complete experiments — world reset, (pooled)
+/// actor spawning, event dispatch, recording, sync phases, analysis, and
+/// buffer reclaim all land in this denominator. The single-`Rc`
+/// experiment context, recycled actor hulls, dense daemon tables, and
+/// capacity-retaining timeline shells exist to push this number down;
+/// `summary.events` (counted by the pipeline itself) makes it measurable
+/// without instrumenting the hot loop.
+fn bench_event_overhead(c: &mut Criterion) {
+    const EXPERIMENTS: u32 = 400;
+    const WORKERS: usize = 1; // isolate per-event cost, not thread scaling
+    const K: usize = 8;
+    if criterion::is_filtered_out("event_overhead/batched_all_in") {
+        return;
+    }
+
+    // The three-host ring with full-length sync phases: event-rich enough
+    // that per-experiment fixed costs amortize, faithful enough that the
+    // recording/notification paths dominate like in a real campaign.
+    let def = ring_study("bench-ring-events", 3).fault(
+        "tr2",
+        "kill_holder",
+        FaultExpr::atom("tr2", "HAS_TOKEN"),
+        Trigger::Once,
+    );
+    let study = Study::compile_arc(&def).expect("valid study");
+    let factory = ring_factory(RingConfig::default());
+    let mut cfg = SimHarnessConfig::three_hosts(0xE7E7);
+    cfg.batch = Some(K);
+
+    let run = || {
+        let pipeline = CampaignPipeline::new(study.clone(), factory.clone(), cfg.clone());
+        pipeline.run_with_workers(EXPERIMENTS, WORKERS, |analyzed| {
+            criterion::black_box(analyzed);
+        })
+    };
+
+    // Best-of-5 (plus one warm-up), the same robust estimate as the
+    // batched-worlds gauge.
+    let mut summary = run();
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = std::time::Instant::now();
+        summary = criterion::black_box(run());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    assert!(summary.events > 0, "pipeline must count events");
+    assert!(summary.actor_reuses > 0, "pipeline must recycle hulls");
+    let ns_per_event = best * 1e9 / summary.events as f64;
+    let events_per_exp = summary.events as f64 / f64::from(EXPERIMENTS);
+    report::record("event_overhead_ns_per_event", ns_per_event);
+    report::record("event_overhead_events_per_experiment", events_per_exp);
+    report::record("event_overhead_actor_reuses", summary.actor_reuses as f64);
+    report::record(
+        "event_overhead_timeline_reuses",
+        summary.timeline_reuses as f64,
+    );
+    println!(
+        "event_overhead: {EXPERIMENTS} experiments (K={K}, {WORKERS} worker), \
+         {} events ({events_per_exp:.0}/experiment) — {ns_per_event:.0} ns/event all-in; \
+         {} pooled-hull reuses, {} timeline-shell reuses",
+        summary.events, summary.actor_reuses, summary.timeline_reuses
+    );
+
+    let mut group = c.benchmark_group("event_overhead");
+    group.sample_size(10);
+    group.bench_function("batched_all_in", |bencher| {
+        bencher.iter(|| criterion::black_box(run()))
+    });
+    group.finish();
+}
+
 /// The `sim_event_core` storm: 32 hosts, one node per host, each driving
 /// a heartbeat that fans out notification-like messages to three peers,
 /// re-arms (set + cancel) a watchdog timer every round, and watches its
@@ -994,7 +1066,8 @@ criterion_group!(
     bench_sim_event_core,
     bench_pipeline,
     bench_campaign_pipeline,
-    bench_batched_worlds
+    bench_batched_worlds,
+    bench_event_overhead
 );
 
 // Custom main instead of `criterion_main!`: after the groups run, flush

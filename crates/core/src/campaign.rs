@@ -88,12 +88,20 @@ impl ExperimentData {
     /// All sync samples (pre- and post-phase) for `host`, in order.
     pub fn sync_samples_for(&self, host: HostId) -> Vec<SyncSample> {
         let mut out = Vec::new();
+        self.sync_samples_into(host, &mut out);
+        out
+    }
+
+    /// Appends `host`'s sync samples (pre- then post-phase, in order) into
+    /// `out` after clearing it. Callers iterating many hosts reuse one
+    /// buffer instead of allocating per host.
+    pub fn sync_samples_into(&self, host: HostId, out: &mut Vec<SyncSample>) {
+        out.clear();
         for phase in [&self.pre_sync, &self.post_sync] {
             for hs in phase.iter().filter(|hs| hs.host == host) {
                 out.extend_from_slice(&hs.samples);
             }
         }
-        out
     }
 
     /// The timeline of machine `sm`, if present.

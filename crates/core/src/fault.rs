@@ -233,8 +233,10 @@ pub struct FaultParser {
     faults: Vec<CompiledFault>,
     prev: Vec<bool>,
     fired: Vec<bool>,
-    /// Fault indices (ascending) per mentioned state machine.
-    by_machine: std::collections::HashMap<SmId, Vec<usize>>,
+    /// Fault indices (ascending) per mentioned state machine, dense by raw
+    /// machine id (machine ids are dense per study); machines beyond the
+    /// highest mentioned one are simply absent.
+    by_machine: Vec<Vec<usize>>,
     /// Whether a first full evaluation has happened. Before it, even an
     /// incremental call scans everything: an expression that is true in
     /// the very first view (e.g. `~(other:X)` over an unknown machine)
@@ -248,11 +250,14 @@ impl FaultParser {
     /// expression that is true in the very first view produces an edge.
     pub fn new(faults: Vec<CompiledFault>) -> Self {
         let n = faults.len();
-        let mut by_machine: std::collections::HashMap<SmId, Vec<usize>> =
-            std::collections::HashMap::new();
+        let mut by_machine: Vec<Vec<usize>> = Vec::new();
         for (i, fault) in faults.iter().enumerate() {
             for sm in fault.expr.observed_machines() {
-                by_machine.entry(sm).or_default().push(i);
+                let idx = sm.index();
+                if idx >= by_machine.len() {
+                    by_machine.resize_with(idx + 1, Vec::new);
+                }
+                by_machine[idx].push(i);
             }
         }
         FaultParser {
@@ -285,14 +290,29 @@ impl FaultParser {
         if !self.primed {
             return self.on_view_change(view);
         }
-        let Some(indices) = self.by_machine.get(&changed) else {
+        let Some(indices) = self.by_machine.get(changed.index()) else {
             return Vec::new();
         };
-        let indices = indices.clone(); // indices are ascending: injection order is stable
+        // Indices are ascending: injection order is stable. The edge-state
+        // updates borrow disjoint fields, so no copy of the index list is
+        // needed.
         let mut inject = Vec::new();
-        for i in indices {
-            if let Some(id) = self.eval_edge(i, view) {
-                inject.push(id);
+        for &i in indices {
+            let fault = &self.faults[i];
+            let now = fault.expr.eval(view);
+            let edge = now && !self.prev[i];
+            self.prev[i] = now;
+            if !edge {
+                continue;
+            }
+            match fault.trigger {
+                Trigger::Always => inject.push(fault.id),
+                Trigger::Once => {
+                    if !self.fired[i] {
+                        self.fired[i] = true;
+                        inject.push(fault.id);
+                    }
+                }
             }
         }
         inject
@@ -333,6 +353,17 @@ impl FaultParser {
         // `fired` is intentionally preserved across resets so that a `once`
         // fault is injected at most once per experiment even if the owning
         // node restarts.
+    }
+
+    /// Resets the parser to its freshly-constructed state, including the
+    /// `once` bookkeeping — for reusing a parser across *experiments*
+    /// (unlike [`FaultParser::reset`], which serves within-experiment node
+    /// restarts). Observationally identical to rebuilding the parser over
+    /// the same faults.
+    pub fn reset_all(&mut self) {
+        self.prev.iter_mut().for_each(|p| *p = false);
+        self.fired.iter_mut().for_each(|f| *f = false);
+        self.primed = false;
     }
 }
 

@@ -10,8 +10,8 @@
 //! per-study-run [`SymbolTable`] that is `Arc`-shared into every worker;
 //! ids resolve back to strings only at display/report boundaries.
 
+use crate::hashing::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 use std::marker::PhantomData;
 
@@ -137,7 +137,7 @@ pub type SymId = Id<SymTag>;
 pub struct NameTable<Tag> {
     names: Vec<String>,
     #[serde(skip)]
-    index: HashMap<String, u32>,
+    index: FxHashMap<String, u32>,
     #[serde(skip)]
     _tag: PhantomData<fn() -> Tag>,
 }
@@ -147,7 +147,7 @@ impl<Tag> NameTable<Tag> {
     pub fn new() -> Self {
         NameTable {
             names: Vec::new(),
-            index: HashMap::new(),
+            index: FxHashMap::default(),
             _tag: PhantomData,
         }
     }
@@ -218,7 +218,7 @@ impl<Tag> NameTable<Tag> {
     pub fn from_names<I: IntoIterator<Item = String>>(names: I) -> Self {
         let mut t = NameTable {
             names: names.into_iter().collect(),
-            index: HashMap::new(),
+            index: FxHashMap::default(),
             _tag: PhantomData,
         };
         t.rebuild_index();

@@ -67,6 +67,7 @@
 pub mod campaign;
 pub mod error;
 pub mod fault;
+pub mod hashing;
 pub mod ids;
 pub mod probe;
 pub mod recorder;

@@ -123,6 +123,44 @@ impl LocalTimeline {
             .filter(|r| matches!(r.kind, RecordKind::FaultInjection { .. }))
             .count()
     }
+
+    /// Opens a new stint on `host` and appends the `Restart` record — the
+    /// restart bookkeeping of §3.6.3, shared by [`Recorder::resume`] and
+    /// the runtime's in-place timeline stores so the two cannot diverge.
+    pub fn resume_on(&mut self, time: LocalNanos, host: HostId) {
+        self.stints.push(HostStint {
+            host,
+            first_record: self.records.len(),
+        });
+        self.records.push(TimelineRecord {
+            time,
+            kind: RecordKind::Restart { host },
+        });
+    }
+
+    /// Re-initializes this timeline for a fresh first life of `sm` on
+    /// `host`, clearing records and stints but keeping their capacity (the
+    /// runtime recycles timeline shells across experiments; a recycled
+    /// shell is observationally identical to [`Recorder::new`]'s output).
+    pub fn reset_for(&mut self, sm: SmId, host: HostId) {
+        self.sm = sm;
+        self.records.clear();
+        self.stints.clear();
+        self.stints.push(HostStint {
+            host,
+            first_record: 0,
+        });
+    }
+
+    /// An empty shell with no stints — only useful as recyclable storage
+    /// to pass to [`LocalTimeline::reset_for`] later.
+    pub fn empty_shell() -> Self {
+        LocalTimeline {
+            sm: SmId::from_raw(0),
+            records: Vec::new(),
+            stints: Vec::new(),
+        }
+    }
 }
 
 /// Appends records to a [`LocalTimeline`] on behalf of one node.
@@ -166,14 +204,7 @@ impl Recorder {
     /// Resumes recording into an existing timeline (node restart): appends a
     /// `Restart` record and opens a new stint on `host`.
     pub fn resume(mut timeline: LocalTimeline, time: LocalNanos, host: HostId) -> Self {
-        timeline.stints.push(HostStint {
-            host,
-            first_record: timeline.records.len(),
-        });
-        timeline.records.push(TimelineRecord {
-            time,
-            kind: RecordKind::Restart { host },
-        });
+        timeline.resume_on(time, host);
         Recorder { timeline }
     }
 
@@ -187,9 +218,11 @@ impl Recorder {
         self.push(time, RecordKind::FaultInjection { fault });
     }
 
-    /// Records a free-form user message.
-    pub fn record_user_message(&mut self, time: LocalNanos, message: &str) {
-        self.push(time, RecordKind::UserMessage(message.to_owned()));
+    /// Records a free-form user message. Accepts anything convertible into
+    /// a `String`, so callers holding an owned `String` move it instead of
+    /// re-allocating.
+    pub fn record_user_message(&mut self, time: LocalNanos, message: impl Into<String>) {
+        self.push(time, RecordKind::UserMessage(message.into()));
     }
 
     /// Records an arbitrary kind (used by the runtime's backend adapters,

@@ -10,7 +10,6 @@ use crate::fault::{compile_expr, CompiledFault};
 use crate::ids::{EventId, FaultId, NameTable, SmId, StateId};
 use crate::spec::{StudyDef, DEFAULT_EVENT, RESERVED_EVENTS, RESERVED_STATES};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Ids of the reserved states and events, cached for fast access.
@@ -33,18 +32,26 @@ pub struct ReservedIds {
 }
 
 /// A single state machine with all names resolved.
+///
+/// Transition data is stored in dense tables indexed by the study-wide
+/// [`StateId`]/[`EventId`] spaces (both fully interned before machines are
+/// compiled), so the per-event hot path is array indexing rather than
+/// hashing.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CompiledSm {
     /// This machine's id.
     pub id: SmId,
     /// Its nickname.
     pub name: String,
-    /// Explicit `(state, event) → next state` transitions.
-    transitions: HashMap<(StateId, EventId), StateId>,
-    /// Per-state wildcard transitions (`default` event).
-    defaults: HashMap<StateId, StateId>,
-    /// Per-state notify lists.
-    notify: HashMap<StateId, Vec<SmId>>,
+    /// Row stride of `transitions`: the study-wide event count.
+    num_events: u32,
+    /// Explicit `(state, event) → next state` transitions, row-major by
+    /// `state.index() * num_events + event.index()`.
+    transitions: Vec<Option<StateId>>,
+    /// Per-state wildcard transitions (`default` event), by state index.
+    defaults: Vec<Option<StateId>>,
+    /// Per-state notify lists, by state index.
+    notify: Vec<Vec<SmId>>,
     /// Events declared in this machine's `event_list`.
     pub declared_events: Vec<EventId>,
     /// States for which this machine has a `state` block.
@@ -52,27 +59,32 @@ pub struct CompiledSm {
 }
 
 impl CompiledSm {
+    #[inline]
+    fn slot(&self, state: StateId, event: EventId) -> usize {
+        state.index() * self.num_events as usize + event.index()
+    }
+
     /// Looks up the state entered when `event` occurs in `state`.
     ///
     /// Resolution order matches the runtime semantics: explicit transition,
     /// then the state's `default` transition, then the implicit
     /// `CRASH`-event rule (handled at compile time). Returns `None` when the
     /// machine has no transition for the pair.
+    #[inline]
     pub fn next_state(&self, state: StateId, event: EventId) -> Option<StateId> {
-        self.transitions
-            .get(&(state, event))
-            .or_else(|| self.defaults.get(&state))
-            .copied()
+        self.transitions[self.slot(state, event)].or(self.defaults[state.index()])
     }
 
     /// Whether an *explicit* (non-default) transition exists.
+    #[inline]
     pub fn has_explicit(&self, state: StateId, event: EventId) -> bool {
-        self.transitions.contains_key(&(state, event))
+        self.transitions[self.slot(state, event)].is_some()
     }
 
     /// The machines to notify when this machine enters `state`.
+    #[inline]
     pub fn notify_list(&self, state: StateId) -> &[SmId] {
-        self.notify.get(&state).map(Vec::as_slice).unwrap_or(&[])
+        &self.notify[state.index()]
     }
 }
 
@@ -133,10 +145,10 @@ pub struct Study {
     pub placements: Vec<(SmId, Option<String>)>,
     /// Cached reserved ids.
     pub reserved: ReservedIds,
-    /// Alias event for initializing to a state by name: maps each state to
-    /// the synthesized event with the same name (the thesis treats the first
-    /// probe notification as a state, §3.5.7).
-    init_alias: HashMap<StateId, EventId>,
+    /// Alias event for initializing to a state by name: maps each state
+    /// (densely, by index) to the synthesized event with the same name (the
+    /// thesis treats the first probe notification as a state, §3.5.7).
+    init_alias: Vec<EventId>,
     /// The original definition (kept for spec-file round-tripping).
     pub def: StudyDef,
 }
@@ -199,20 +211,23 @@ impl Study {
 
         // Init aliases: every state name is also usable as the first probe
         // notification, so give each state an event alias of the same name.
-        let mut init_alias = HashMap::new();
-        let state_ids: Vec<(StateId, String)> =
-            states.iter().map(|(id, n)| (id, n.to_owned())).collect();
-        for (sid, name) in &state_ids {
-            init_alias.insert(*sid, events.intern(name));
-        }
+        // All states are interned by now, so the alias table is dense.
+        let state_names: Vec<String> = states.iter().map(|(_, n)| n.to_owned()).collect();
+        let init_alias: Vec<EventId> = state_names.iter().map(|n| events.intern(n)).collect();
+
+        // Both id spaces are final from here on (machine and fault
+        // compilation only look names up), so the per-machine transition
+        // tables can be dense.
+        let num_states = states.len();
+        let num_events = events.len();
 
         // Compile each machine.
         let mut machines = Vec::with_capacity(def.machines.len());
         for (idx, m) in def.machines.iter().enumerate() {
             let id = SmId::from_raw(idx as u32);
-            let mut transitions = HashMap::new();
-            let mut defaults = HashMap::new();
-            let mut notify = HashMap::new();
+            let mut transitions: Vec<Option<StateId>> = vec![None; num_states * num_events];
+            let mut defaults: Vec<Option<StateId>> = vec![None; num_states];
+            let mut notify: Vec<Vec<SmId>> = vec![Vec::new(); num_states];
             let mut declared_states = Vec::new();
 
             for block in &m.states {
@@ -235,7 +250,7 @@ impl Study {
                         list.push(target_id);
                     }
                 }
-                notify.insert(state, list);
+                notify[state.index()] = list;
 
                 for t in &block.transitions {
                     let next =
@@ -246,7 +261,7 @@ impl Study {
                                 state: t.next_state.clone(),
                             })?;
                     if t.event == DEFAULT_EVENT {
-                        defaults.insert(state, next);
+                        defaults[state.index()] = Some(next);
                         continue;
                     }
                     let declared = m.events.iter().any(|e| e == &t.event)
@@ -260,7 +275,7 @@ impl Study {
                     let event = events
                         .lookup(&t.event)
                         .unwrap_or_else(|| unreachable!("declared events are interned above"));
-                    transitions.insert((state, event), next);
+                    transitions[state.index() * num_events + event.index()] = Some(next);
                 }
             }
 
@@ -269,9 +284,10 @@ impl Study {
             let mut crashable: Vec<StateId> = declared_states.clone();
             crashable.push(reserved.begin);
             for s in crashable {
-                transitions
-                    .entry((s, reserved.crash_event))
-                    .or_insert(reserved.crash);
+                let slot = s.index() * num_events + reserved.crash_event.index();
+                if transitions[slot].is_none() {
+                    transitions[slot] = Some(reserved.crash);
+                }
             }
 
             let declared_events = m
@@ -283,6 +299,7 @@ impl Study {
             machines.push(CompiledSm {
                 id,
                 name: m.name.clone(),
+                num_events: num_events as u32,
                 transitions,
                 defaults,
                 notify,
@@ -374,8 +391,9 @@ impl Study {
     }
 
     /// The event alias used when a probe's first notification names a state.
+    #[inline]
     pub fn init_alias(&self, state: StateId) -> EventId {
-        self.init_alias[&state]
+        self.init_alias[state.index()]
     }
 
     /// All machines that observe `sm` through some fault expression (used to

@@ -81,6 +81,13 @@ impl PartialView {
         }
     }
 
+    /// Marks every machine unknown again, keeping the view's size and
+    /// storage (a recycled view is indistinguishable from
+    /// [`PartialView::new`] of the same size).
+    pub fn reset(&mut self) {
+        self.states.fill(None);
+    }
+
     /// Iterates over `(machine, known state)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (SmId, Option<StateId>)> + '_ {
         self.states

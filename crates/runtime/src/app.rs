@@ -123,6 +123,9 @@ pub(crate) trait Port {
     fn rng(&mut self) -> &mut StdRng;
     /// Machines currently executing (the application's name service).
     fn live_machines(&self) -> Vec<SmId>;
+    /// Whether `sm` is currently executing. Allocation-free, unlike
+    /// [`Port::live_machines`].
+    fn is_live(&self, sm: SmId) -> bool;
     /// The host this node currently runs on (an id into the study-run
     /// symbol table).
     fn host_id(&self) -> HostId;
@@ -160,6 +163,24 @@ impl NodeCore {
         }
     }
 
+    /// Re-targets a recycled core at a new incarnation of machine `me`
+    /// (same study): the state machine's view storage is reused in place,
+    /// and when the core last embodied the *same* machine its compiled
+    /// fault set is reused too. Observationally identical to
+    /// `NodeCore::new(study, symbols, me)`.
+    pub fn reinit(&mut self, me: SmId) {
+        self.sm.reinit(me);
+        if self.me == me {
+            self.parser.reset_all();
+        } else {
+            self.parser = FaultParser::new(self.study.faults_owned_by(me));
+            self.me = me;
+        }
+        self.restarted = false;
+        self.exiting = false;
+        self.pending_faults.clear();
+    }
+
     /// Applies a local event (or the initial notification): records the
     /// state change, routes the new state's notify list, and re-evaluates
     /// fault expressions over the changed view entry.
@@ -178,8 +199,7 @@ impl NodeCore {
             },
         );
         if !outcome.notify.is_empty() {
-            let targets: SmTargets = outcome.notify.iter().copied().collect();
-            port.notify(self.me, outcome.new_state, targets);
+            port.notify(self.me, outcome.new_state, outcome.notify);
         }
         self.reparse(self.me);
         Ok(())
@@ -228,8 +248,11 @@ impl NodeCore {
             };
             let now = port.now();
             port.record(now, RecordKind::FaultInjection { fault });
-            let name = self.study.fault_names.name(fault).to_owned();
-            app.on_fault(&mut NodeCtx { core: self, port }, &name);
+            // Borrow the name through a local `Arc` bump instead of copying
+            // the string out of the study.
+            let study = Arc::clone(&self.study);
+            let name = study.fault_names.name(fault);
+            app.on_fault(&mut NodeCtx { core: self, port }, name);
         }
         if port.terminating() && self.exiting {
             self.send_exit_notifications(port);
@@ -383,6 +406,13 @@ impl NodeCtx<'_> {
         self.port.live_machines()
     }
 
+    /// Whether `sm` is currently executing — an allocation-free membership
+    /// test, for hot paths that would otherwise collect
+    /// [`NodeCtx::live_machines`] just to probe it.
+    pub fn is_live(&self, sm: SmId) -> bool {
+        self.port.is_live(sm)
+    }
+
     /// The compiled study.
     pub fn study(&self) -> &Arc<Study> {
         &self.core.study
@@ -403,10 +433,12 @@ impl NodeCtx<'_> {
         self.core.restarted
     }
 
-    /// Appends a free-form message to the local timeline.
-    pub fn record_user_message(&mut self, message: &str) {
+    /// Appends a free-form message to the local timeline. Accepts anything
+    /// convertible into a `String`, so callers holding an owned `String`
+    /// move it instead of re-allocating.
+    pub fn record_user_message(&mut self, message: impl Into<String>) {
         let now = self.port.now();
         self.port
-            .record(now, RecordKind::UserMessage(message.to_owned()));
+            .record(now, RecordKind::UserMessage(message.into()));
     }
 }

@@ -1,5 +1,5 @@
 //! The Loki daemons: local daemons, the central daemon, and the restart
-//! supervisor.
+//! supervisor — plus the per-experiment context they all share.
 //!
 //! * A **local daemon** (§3.5.2) runs on every host: it registers local
 //!   state machines, routes their notification messages (one message per
@@ -15,56 +15,243 @@
 //!   processes "can restart and join the system again" (§5.2); the
 //!   supervisor implements that restart with a configurable policy,
 //!   possibly on a different host (§3.6.3).
+//!
+//! Every runtime actor holds one [`Rc<ExpCtx>`]: the experiment's stores,
+//! wiring, routing config, and actor pool behind a single refcount, so
+//! handing the context to a freshly spawned node is one bump instead of
+//! six. Daemon bookkeeping is dense — state machine ids are dense per
+//! study, so membership and location tables are flat vectors indexed by
+//! raw id, not hash maps.
 
 use crate::messages::{NotifyRouting, RtMsg, SmTargets};
 use crate::node::NodeActor;
-use crate::store::{ExperimentControl, NodeDirectory, TimelineStore, WarningSink};
+use crate::store::{ExperimentControl, NodeDirectory, SyncCollector, TimelineStore, WarningSink};
+use crate::syncer::Syncer;
 use crate::wiring::Wiring;
 use loki_core::ids::{SmId, SymbolTable};
 use loki_core::recorder::{RecordKind, TimelineRecord};
 use loki_core::study::Study;
-use loki_sim::engine::{ActorId, Ctx, DownReason, HostId};
+use loki_sim::engine::{Actor, ActorId, Ctx, DownReason, HostId};
 use rand::Rng;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::any::Any;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::sync::Arc;
 
 pub use crate::app::AppFactory;
 
-/// Shared construction context for daemons and nodes.
-#[derive(Clone)]
-pub(crate) struct Bundle {
+/// A machine location that is not currently known.
+const NO_HOST: u32 = u32::MAX;
+
+/// The single shared per-experiment context (§3.5's shared runtime
+/// configuration and storage, fused): every daemon, node, and syncer of
+/// one experiment holds one `Rc<ExpCtx>`, so cloning the context into a
+/// spawned actor is a single refcount bump and every store access is one
+/// pointer chase.
+pub(crate) struct ExpCtx {
+    /// The compiled study.
     pub study: Arc<Study>,
-    pub store: TimelineStore,
-    pub directory: NodeDirectory,
-    pub warnings: WarningSink,
-    pub wiring: Rc<Wiring>,
-    pub factory: AppFactory,
-    pub routing: NotifyRouting,
     /// The study-run symbol table: hosts interned in configuration order,
     /// so a host's id doubles as its simulation host index.
     pub symbols: Arc<SymbolTable>,
+    /// Creates application halves for (re)started nodes.
+    pub factory: AppFactory,
+    /// Notification routing design (§3.4.1).
+    pub routing: NotifyRouting,
+    /// The "NFS-mounted" timeline storage.
+    pub store: TimelineStore,
+    /// Sync mini-phase sample collector.
+    pub collector: SyncCollector,
+    /// Runtime warning sink.
+    pub warnings: WarningSink,
+    /// Control block between the central daemon and the harness.
+    pub control: ExperimentControl,
+    /// The application's name service.
+    pub directory: NodeDirectory,
+    /// Daemon/central/supervisor wiring.
+    pub wiring: Wiring,
+    /// Recycled actor hulls (see [`ActorPool`]).
+    pub pool: ActorPool,
+    /// Simulation events processed by finished experiments on this
+    /// context (accumulated at assembly; feeds the all-in ns/event
+    /// diagnostics).
+    pub events: Cell<u64>,
 }
 
-impl Bundle {
-    fn host_idx(&self, name: &str) -> Option<u32> {
+impl ExpCtx {
+    /// Creates a fresh context for one experiment slot.
+    pub fn new(
+        study: Arc<Study>,
+        symbols: Arc<SymbolTable>,
+        factory: AppFactory,
+        routing: NotifyRouting,
+    ) -> Self {
+        ExpCtx {
+            study,
+            symbols,
+            factory,
+            routing,
+            store: TimelineStore::new(),
+            collector: SyncCollector::new(),
+            warnings: WarningSink::new(),
+            control: ExperimentControl::new(),
+            directory: NodeDirectory::new(),
+            wiring: Wiring::new(),
+            pool: ActorPool::default(),
+            events: Cell::new(0),
+        }
+    }
+
+    /// The simulation host index of `name`, if it is a configured host.
+    pub fn host_idx(&self, name: &str) -> Option<u32> {
         self.symbols.lookup_host(name).map(|h| h.raw())
+    }
+}
+
+/// A boxed runtime actor, as the engine stores it.
+pub(crate) type ActorHull = Box<dyn Actor<RtMsg>>;
+
+/// Typed free-lists of dead actors' boxes, recycled across a worker's
+/// experiments: the engine parks killed actors in its graveyard (see
+/// [`loki_sim::engine::Simulation::set_reclaim_dead`]), the harness sorts
+/// them in here by concrete type, and the spawn paths re-initialize a
+/// pooled hull in place instead of boxing a new actor. A recycled
+/// [`LocalDaemon`] keeps its tables' capacity warm.
+#[derive(Default)]
+pub(crate) struct ActorPool {
+    nodes: RefCell<Vec<ActorHull>>,
+    daemons: RefCell<Vec<ActorHull>>,
+    syncers: RefCell<Vec<ActorHull>>,
+    centrals: RefCell<Vec<ActorHull>>,
+    supervisors: RefCell<Vec<ActorHull>>,
+    reuses: Cell<u64>,
+}
+
+impl ActorPool {
+    /// Files a corpse into the free-list of its concrete type. Types
+    /// without a downcast hook (zero-sized `SyncEcho`, one-shot
+    /// `Saboteur`) are dropped — their boxes are not worth pooling.
+    pub fn recycle(&self, mut corpse: ActorHull) {
+        let list = match corpse.as_any_mut() {
+            Some(any) if any.is::<NodeActor>() => &self.nodes,
+            Some(any) if any.is::<LocalDaemon>() => &self.daemons,
+            Some(any) if any.is::<Syncer>() => &self.syncers,
+            Some(any) if any.is::<CentralDaemon>() => &self.centrals,
+            Some(any) if any.is::<Supervisor>() => &self.supervisors,
+            _ => return,
+        };
+        list.borrow_mut().push(corpse);
+    }
+
+    fn take(&self, list: &RefCell<Vec<ActorHull>>) -> Option<ActorHull> {
+        let hull = list.borrow_mut().pop();
+        if hull.is_some() {
+            self.reuses.set(self.reuses.get() + 1);
+        }
+        hull
+    }
+
+    /// A recycled [`NodeActor`] hull, if one is pooled — preferring one
+    /// that last embodied `prefer`, so its compiled fault set survives the
+    /// re-initialization. Which hull is handed out is unobservable
+    /// (re-initialization fully resets per-incarnation state); the
+    /// preference only decides how much of the hull's storage is reusable.
+    pub fn take_node(&self, prefer: SmId) -> Option<ActorHull> {
+        let mut list = self.nodes.borrow_mut();
+        let pick = list
+            .iter_mut()
+            .rposition(|hull| {
+                hull.as_any_mut()
+                    .and_then(|any| any.downcast_mut::<NodeActor>())
+                    .is_some_and(|node| node.embodies() == prefer)
+            })
+            .or_else(|| list.len().checked_sub(1))?;
+        let hull = list.swap_remove(pick);
+        self.reuses.set(self.reuses.get() + 1);
+        Some(hull)
+    }
+
+    /// A recycled [`LocalDaemon`] hull, if one is pooled.
+    pub fn take_daemon(&self) -> Option<ActorHull> {
+        self.take(&self.daemons)
+    }
+
+    /// A recycled [`Syncer`] hull, if one is pooled.
+    pub fn take_syncer(&self) -> Option<ActorHull> {
+        self.take(&self.syncers)
+    }
+
+    /// A recycled [`CentralDaemon`] hull, if one is pooled.
+    pub fn take_central(&self) -> Option<ActorHull> {
+        self.take(&self.centrals)
+    }
+
+    /// A recycled [`Supervisor`] hull, if one is pooled.
+    pub fn take_supervisor(&self) -> Option<ActorHull> {
+        self.take(&self.supervisors)
+    }
+
+    /// Number of spawns served from the pool (diagnostics).
+    pub fn reuses(&self) -> u64 {
+        self.reuses.get()
+    }
+
+    /// Drops every pooled hull. Hulls hold `Rc<ExpCtx>` and the pool
+    /// lives *inside* the `ExpCtx`; the owner of the context must clear
+    /// the pool when retiring it, or the cycle keeps the whole context
+    /// alive.
+    pub fn clear(&self) {
+        self.nodes.borrow_mut().clear();
+        self.daemons.borrow_mut().clear();
+        self.syncers.borrow_mut().clear();
+        self.centrals.borrow_mut().clear();
+        self.supervisors.borrow_mut().clear();
+    }
+}
+
+/// Re-initializes a pooled hull of concrete type `T` via `f`, or builds a
+/// fresh boxed actor with `fresh` when the pool had none.
+pub(crate) fn reuse_or_box<T: Actor<RtMsg> + 'static>(
+    hull: Option<ActorHull>,
+    f: impl FnOnce(&mut T),
+    fresh: impl FnOnce() -> T,
+) -> ActorHull {
+    match hull {
+        Some(mut hull) => {
+            let actor = hull
+                .as_any_mut()
+                .and_then(|any| any.downcast_mut::<T>())
+                .expect("pool free-lists are typed");
+            f(actor);
+            hull
+        }
+        None => Box::new(fresh()),
     }
 }
 
 /// The local daemon actor (one per host; one total in the centralized
 /// design).
 pub struct LocalDaemon {
-    bundle: Bundle,
+    ctx: Rc<ExpCtx>,
     my_host: u32,
-    /// Nodes attached to this daemon: machine → actor.
-    local_nodes: HashMap<SmId, ActorId>,
-    /// Reverse map for crash detection.
-    node_of_actor: HashMap<ActorId, SmId>,
-    /// Known location (host index) of every executing machine.
-    locations: HashMap<SmId, u32>,
-    /// Machines believed to be executing anywhere in the system.
-    alive: HashSet<SmId>,
+    /// Nodes attached to this daemon, indexed by machine id.
+    local_nodes: Vec<Option<ActorId>>,
+    /// Reverse map for crash detection, indexed by actor id (grown
+    /// lazily — actor ids are dense per experiment).
+    node_of_actor: Vec<Option<SmId>>,
+    /// Known location (host index, [`NO_HOST`] when unknown) of every
+    /// machine, indexed by machine id.
+    locations: Vec<u32>,
+    /// Machines believed to be executing anywhere in the system, indexed
+    /// by machine id, with a live count so the completion check is O(1).
+    alive: Vec<bool>,
+    alive_count: usize,
+    /// Scratch for the per-host notification fan-out, kept sorted by host
+    /// index (empty between messages; retained for its capacity).
+    route_buf: Vec<(u32, SmTargets)>,
+    /// Scratch for the kill-all sweep (empty between messages; retained
+    /// for its capacity).
+    kill_buf: Vec<ActorId>,
     /// Whether any machine ever started (guards the end check).
     any_started: bool,
     /// Whether the end notice has been sent to the central daemon.
@@ -72,79 +259,128 @@ pub struct LocalDaemon {
 }
 
 impl LocalDaemon {
-    pub(crate) fn new(bundle: Bundle, my_host: u32) -> Self {
-        // Initial placements are known to every daemon from the node file
-        // (§3.5.1), avoiding startup routing races.
-        let mut locations = HashMap::new();
-        for (sm, host) in &bundle.study.placements {
+    pub(crate) fn new(ctx: Rc<ExpCtx>, my_host: u32) -> Self {
+        let num_sms = ctx.study.sms.len();
+        let mut daemon = LocalDaemon {
+            ctx,
+            my_host,
+            local_nodes: vec![None; num_sms],
+            node_of_actor: Vec::new(),
+            locations: vec![NO_HOST; num_sms],
+            alive: vec![false; num_sms],
+            alive_count: 0,
+            route_buf: Vec::new(),
+            kill_buf: Vec::new(),
+            any_started: false,
+            end_sent: false,
+        };
+        daemon.prime_locations();
+        daemon
+    }
+
+    /// Resets a pooled hull for the next experiment, keeping every
+    /// vector's capacity (the tables' sizes are study-determined, so a
+    /// recycled daemon allocates nothing).
+    pub(crate) fn reinit(&mut self, my_host: u32) {
+        self.my_host = my_host;
+        self.local_nodes.fill(None);
+        self.node_of_actor.clear();
+        self.locations.fill(NO_HOST);
+        self.alive.fill(false);
+        self.alive_count = 0;
+        self.route_buf.clear();
+        self.kill_buf.clear();
+        self.any_started = false;
+        self.end_sent = false;
+        self.prime_locations();
+    }
+
+    /// Initial placements are known to every daemon from the node file
+    /// (§3.5.1), avoiding startup routing races.
+    fn prime_locations(&mut self) {
+        for (sm, host) in &self.ctx.study.placements {
             if let Some(host) = host {
-                if let Some(idx) = bundle.host_idx(host) {
-                    locations.insert(*sm, idx);
+                if let Some(idx) = self.ctx.host_idx(host) {
+                    self.locations[sm.raw() as usize] = idx;
                 }
             }
         }
-        LocalDaemon {
-            bundle,
-            my_host,
-            local_nodes: HashMap::new(),
-            node_of_actor: HashMap::new(),
-            locations,
-            alive: HashSet::new(),
-            any_started: false,
-            end_sent: false,
+    }
+
+    fn node_for(&self, actor: ActorId) -> Option<SmId> {
+        self.node_of_actor.get(actor.0 as usize).copied().flatten()
+    }
+
+    fn set_node_for(&mut self, actor: ActorId, sm: SmId) {
+        let idx = actor.0 as usize;
+        if idx >= self.node_of_actor.len() {
+            self.node_of_actor.resize(idx + 1, None);
+        }
+        self.node_of_actor[idx] = Some(sm);
+    }
+
+    fn mark_alive(&mut self, sm: SmId) {
+        let slot = &mut self.alive[sm.raw() as usize];
+        if !*slot {
+            *slot = true;
+            self.alive_count += 1;
         }
     }
 
-    fn peers(&self, ctx: &Ctx<'_, RtMsg>) -> Vec<ActorId> {
-        self.bundle
-            .wiring
-            .unique_daemons()
-            .into_iter()
-            .filter(|&d| d != ctx.me())
-            .collect()
+    fn mark_dead(&mut self, sm: SmId) {
+        let slot = &mut self.alive[sm.raw() as usize];
+        if *slot {
+            *slot = false;
+            self.alive_count -= 1;
+        }
     }
 
     fn broadcast_to_peers(&self, ctx: &mut Ctx<'_, RtMsg>, msg: RtMsg) {
-        for peer in self.peers(ctx) {
-            ctx.send(peer, msg.clone());
-        }
+        let me = ctx.me();
+        self.ctx.wiring.with_unique(|unique| {
+            for &peer in unique {
+                if peer != me {
+                    ctx.send(peer, msg.clone());
+                }
+            }
+        });
     }
 
     /// Spawns a node for `sm` on host `host` (instructed by the central
-    /// daemon or the supervisor).
+    /// daemon or the supervisor), reusing a pooled hull when available.
     fn start_node(&mut self, ctx: &mut Ctx<'_, RtMsg>, sm: SmId, host: u32) {
-        let app = (self.bundle.factory)(&self.bundle.study, sm);
-        let actor = ctx.spawn(
-            HostId(host),
-            Box::new(NodeActor::new(
-                self.bundle.study.clone(),
-                self.bundle.symbols.clone(),
-                sm,
-                ctx.me(),
-                self.bundle.routing,
-                self.bundle.store.clone(),
-                self.bundle.directory.clone(),
-                self.bundle.warnings.clone(),
-                app,
-            )),
+        let app = (self.ctx.factory)(&self.ctx.study, sm);
+        let me = ctx.me();
+        let hull = reuse_or_box(
+            self.ctx.pool.take_node(sm),
+            |node: &mut NodeActor| node.reinit(sm, me, app),
+            // `fresh` is the uncommon path; it can't capture `app` too, so
+            // re-create the application half there.
+            || {
+                let app = (self.ctx.factory)(&self.ctx.study, sm);
+                NodeActor::new(self.ctx.clone(), sm, me, app)
+            },
         );
+        let actor = ctx.spawn(HostId(host), hull);
         ctx.watch(actor);
-        self.local_nodes.insert(sm, actor);
-        self.node_of_actor.insert(actor, sm);
-        self.locations.insert(sm, host);
-        self.alive.insert(sm);
+        self.local_nodes[sm.raw() as usize] = Some(actor);
+        self.set_node_for(actor, sm);
+        self.locations[sm.raw() as usize] = host;
+        self.mark_alive(sm);
         self.any_started = true;
     }
 
     /// Routes a notification to its target machines: local targets get a
     /// direct delivery; remote hosts get one `ForwardNotify` each (§3.6.1).
     ///
-    /// The per-host fan-out iterates a `BTreeMap` so the forwarding order —
-    /// and with it the simulation's event sequence and RNG consumption — is
-    /// deterministic. A `HashMap` here made identically-seeded experiments
-    /// diverge across processes and threads (`RandomState` differs per
-    /// instance), which the parallel study executor turns from a latent
-    /// into a permanent failure.
+    /// The per-host fan-out fills a host-sorted scratch vector so the
+    /// forwarding order — and with it the simulation's event sequence and
+    /// RNG consumption — is deterministic (ascending host index, exactly
+    /// the order the `BTreeMap` this replaced iterated in). A `HashMap`
+    /// here made identically-seeded experiments diverge across processes
+    /// and threads (`RandomState` differs per instance), which the
+    /// parallel study executor turns from a latent into a permanent
+    /// failure.
     fn route(
         &mut self,
         ctx: &mut Ctx<'_, RtMsg>,
@@ -152,23 +388,30 @@ impl LocalDaemon {
         state: loki_core::ids::StateId,
         targets: SmTargets,
     ) {
-        let mut per_host: BTreeMap<u32, SmTargets> = BTreeMap::new();
+        let mut per_host = std::mem::take(&mut self.route_buf);
         for target in targets {
-            if let Some(&actor) = self.local_nodes.get(&target) {
+            if let Some(actor) = self.local_nodes[target.raw() as usize] {
                 ctx.send(actor, RtMsg::DeliverNotify { from_sm, state });
-            } else if let Some(&host) = self.locations.get(&target) {
-                if host == self.my_host {
-                    // Known-local but no live actor: the machine is gone.
-                    self.warn_dropped(from_sm, target);
-                } else {
-                    per_host.entry(host).or_default().push(target);
-                }
             } else {
-                self.warn_dropped(from_sm, target);
+                match self.locations[target.raw() as usize] {
+                    NO_HOST => self.warn_dropped(from_sm, target),
+                    host if host == self.my_host => {
+                        // Known-local but no live actor: the machine is gone.
+                        self.warn_dropped(from_sm, target);
+                    }
+                    host => match per_host.binary_search_by_key(&host, |&(h, _)| h) {
+                        Ok(at) => per_host[at].1.push(target),
+                        Err(at) => {
+                            let mut targets = SmTargets::new();
+                            targets.push(target);
+                            per_host.insert(at, (host, targets));
+                        }
+                    },
+                }
             }
         }
-        for (host, targets) in per_host {
-            let daemon = self.bundle.wiring.daemon_for(host as usize);
+        for (host, targets) in per_host.drain(..) {
+            let daemon = self.ctx.wiring.daemon_for(host as usize);
             ctx.send(
                 daemon,
                 RtMsg::ForwardNotify {
@@ -178,46 +421,50 @@ impl LocalDaemon {
                 },
             );
         }
+        self.route_buf = per_host;
     }
 
     fn warn_dropped(&self, from_sm: SmId, target: SmId) {
-        self.bundle.warnings.warn(format!(
-            "notification from {} to non-executing machine {} discarded",
-            self.bundle.study.sms.name(from_sm),
-            self.bundle.study.sms.name(target)
-        ));
+        self.ctx.warnings.warn_with(|| {
+            format!(
+                "notification from {} to non-executing machine {} discarded",
+                self.ctx.study.sms.name(from_sm),
+                self.ctx.study.sms.name(target)
+            )
+        });
     }
 
     /// The local experiment-completion check (§3.5.2): complete when no
     /// machine is executing anywhere.
     fn check_experiment_end(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
-        if self.any_started && self.alive.is_empty() && !self.end_sent {
+        if self.any_started && self.alive_count == 0 && !self.end_sent {
             self.end_sent = true;
-            let central = self.bundle.wiring.central();
+            let central = self.ctx.wiring.central();
             ctx.send(central, RtMsg::ExperimentEndNotice);
         }
     }
 
     /// Handles the death of one of this daemon's nodes.
     fn handle_node_down(&mut self, ctx: &mut Ctx<'_, RtMsg>, actor: ActorId, reason: DownReason) {
-        let Some(sm) = self.node_of_actor.remove(&actor) else {
+        let Some(sm) = self.node_for(actor) else {
             return;
         };
-        if self.local_nodes.get(&sm) == Some(&actor) {
-            self.local_nodes.remove(&sm);
+        self.node_of_actor[actor.0 as usize] = None;
+        if self.local_nodes[sm.raw() as usize] == Some(actor) {
+            self.local_nodes[sm.raw() as usize] = None;
         }
-        self.bundle.directory.remove_if(sm, actor);
-        self.alive.remove(&sm);
+        self.ctx.directory.remove_if(sm, actor);
+        self.mark_dead(sm);
         let crashed = reason == DownReason::Crash;
         if crashed {
             // Write the crash event and crash state into the node's local
             // timeline, timestamped with this daemon's (same-host) clock at
             // detection time (§3.6.2).
             let now = ctx.local_clock();
-            let study = &self.bundle.study;
+            let study = &self.ctx.study;
             let crash_event = study.reserved.crash_event;
             let crash_state = study.reserved.crash;
-            self.bundle.store.with_mut(sm, |t| {
+            self.ctx.store.with_mut(sm, |t| {
                 t.records.push(TimelineRecord {
                     time: now,
                     kind: RecordKind::StateChange {
@@ -240,14 +487,14 @@ impl LocalDaemon {
         }
         let host = self.my_host;
         self.broadcast_to_peers(ctx, RtMsg::NodeDown { sm, crashed, host });
-        if let Some(supervisor) = self.bundle.wiring.supervisor() {
+        if let Some(supervisor) = self.ctx.wiring.supervisor() {
             ctx.send(supervisor, RtMsg::NodeDown { sm, crashed, host });
         }
         self.check_experiment_end(ctx);
     }
 }
 
-impl loki_sim::engine::Actor<RtMsg> for LocalDaemon {
+impl Actor<RtMsg> for LocalDaemon {
     fn on_message(&mut self, ctx: &mut Ctx<'_, RtMsg>, from: ActorId, msg: RtMsg) {
         match msg {
             RtMsg::StartNode { sm, host } => {
@@ -264,10 +511,10 @@ impl loki_sim::engine::Actor<RtMsg> for LocalDaemon {
                 }
                 // Nodes this daemon spawned are pre-registered; dynamic
                 // entries are recorded here.
-                self.local_nodes.insert(sm, from);
-                self.node_of_actor.insert(from, sm);
-                self.locations.insert(sm, self.my_host);
-                self.alive.insert(sm);
+                self.local_nodes[sm.raw() as usize] = Some(from);
+                self.set_node_for(from, sm);
+                self.locations[sm.raw() as usize] = self.my_host;
+                self.mark_alive(sm);
                 self.any_started = true;
                 let host = self.my_host;
                 self.broadcast_to_peers(
@@ -292,7 +539,7 @@ impl loki_sim::engine::Actor<RtMsg> for LocalDaemon {
                 targets,
             } => {
                 for target in targets {
-                    if let Some(&actor) = self.local_nodes.get(&target) {
+                    if let Some(actor) = self.local_nodes[target.raw() as usize] {
                         ctx.send(actor, RtMsg::DeliverNotify { from_sm, state });
                     } else {
                         self.warn_dropped(from_sm, target);
@@ -300,16 +547,18 @@ impl loki_sim::engine::Actor<RtMsg> for LocalDaemon {
                 }
             }
             RtMsg::StateUpdateRequest { for_sm } => {
-                // Fan out to local nodes (in machine order, for the same
-                // determinism reasons as `route`); if the request came from
-                // one of our own nodes, also forward to the other daemons.
-                let from_local_node = self.node_of_actor.contains_key(&from);
-                let mut local: Vec<(SmId, ActorId)> =
-                    self.local_nodes.iter().map(|(&sm, &a)| (sm, a)).collect();
-                local.sort_by_key(|&(sm, _)| sm);
-                for (sm, actor) in local {
-                    if sm != for_sm {
-                        ctx.send(actor, RtMsg::StateUpdateRequest { for_sm });
+                // Fan out to local nodes (ascending machine id, the dense
+                // table's natural order — the same order the sorted
+                // collection this replaced produced); if the request came
+                // from one of our own nodes, also forward to the other
+                // daemons.
+                let from_local_node = self.node_for(from).is_some();
+                for (idx, slot) in self.local_nodes.iter().enumerate() {
+                    if let Some(actor) = *slot {
+                        let sm = SmId::from_raw(idx as u32);
+                        if sm != for_sm {
+                            ctx.send(actor, RtMsg::StateUpdateRequest { for_sm });
+                        }
                     }
                 }
                 if from_local_node {
@@ -317,36 +566,45 @@ impl loki_sim::engine::Actor<RtMsg> for LocalDaemon {
                 }
             }
             RtMsg::NodeUp { sm, host, .. } => {
-                self.locations.insert(sm, host);
-                self.alive.insert(sm);
+                self.locations[sm.raw() as usize] = host;
+                self.mark_alive(sm);
                 self.any_started = true;
             }
             RtMsg::NodeDown { sm, host, .. } => {
-                if self.locations.get(&sm) == Some(&host) {
-                    self.locations.remove(&sm);
+                if self.locations[sm.raw() as usize] == host {
+                    self.locations[sm.raw() as usize] = NO_HOST;
                 }
-                self.alive.remove(&sm);
+                self.mark_dead(sm);
                 self.check_experiment_end(ctx);
             }
             RtMsg::KillAllNodes => {
-                // Sorted: the kill order schedules watcher notifications
-                // and must not depend on hash-map iteration order.
-                let mut actors: Vec<ActorId> = self.local_nodes.values().copied().collect();
-                actors.sort();
-                for actor in actors {
+                // Sorted by actor id: the kill order schedules watcher
+                // notifications and historically followed the sorted actor
+                // list, which differs from machine order once restarts have
+                // re-spawned actors.
+                let mut actors = std::mem::take(&mut self.kill_buf);
+                actors.extend(self.local_nodes.iter().flatten().copied());
+                actors.sort_unstable();
+                for &actor in &actors {
                     ctx.kill(actor, DownReason::Crash);
                 }
+                actors.clear();
+                self.kill_buf = actors;
             }
             other => {
-                self.bundle
+                self.ctx
                     .warnings
-                    .warn(format!("local daemon received unexpected {other:?}"));
+                    .warn_with(|| format!("local daemon received unexpected {other:?}"));
             }
         }
     }
 
     fn on_peer_down(&mut self, ctx: &mut Ctx<'_, RtMsg>, peer: ActorId, reason: DownReason) {
         self.handle_node_down(ctx, peer, reason);
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn Any> {
+        Some(self)
     }
 }
 
@@ -355,59 +613,66 @@ const TAG_SHUTDOWN: u64 = 2;
 
 /// The central daemon actor.
 pub struct CentralDaemon {
-    bundle: Bundle,
-    control: ExperimentControl,
+    ctx: Rc<ExpCtx>,
     timeout_ns: u64,
     grace_ns: u64,
-    ends: HashSet<ActorId>,
+    /// Daemons that reported completion (a flat vector: there are at most
+    /// a handful of daemons, and insertion checks linearly).
+    ends: Vec<ActorId>,
     done: bool,
 }
 
 impl CentralDaemon {
-    pub(crate) fn new(
-        bundle: Bundle,
-        control: ExperimentControl,
-        timeout_ns: u64,
-        grace_ns: u64,
-    ) -> Self {
+    pub(crate) fn new(ctx: Rc<ExpCtx>, timeout_ns: u64, grace_ns: u64) -> Self {
         CentralDaemon {
-            bundle,
-            control,
+            ctx,
             timeout_ns,
             grace_ns,
-            ends: HashSet::new(),
+            ends: Vec::new(),
             done: false,
         }
     }
 
+    /// Resets a pooled hull for the next experiment.
+    pub(crate) fn reinit(&mut self, timeout_ns: u64, grace_ns: u64) {
+        self.timeout_ns = timeout_ns;
+        self.grace_ns = grace_ns;
+        self.ends.clear();
+        self.done = false;
+    }
+
     fn shutdown(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
-        if let Some(supervisor) = self.bundle.wiring.supervisor() {
+        if let Some(supervisor) = self.ctx.wiring.supervisor() {
             ctx.kill(supervisor, DownReason::Exit);
         }
-        for daemon in self.bundle.wiring.unique_daemons() {
-            ctx.kill(daemon, DownReason::Exit);
-        }
+        self.ctx.wiring.with_unique(|unique| {
+            for &daemon in unique {
+                ctx.kill(daemon, DownReason::Exit);
+            }
+        });
         ctx.exit_self();
     }
 }
 
-impl loki_sim::engine::Actor<RtMsg> for CentralDaemon {
+impl Actor<RtMsg> for CentralDaemon {
     fn on_start(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
-        for daemon in self.bundle.wiring.unique_daemons() {
-            ctx.watch(daemon);
-        }
+        self.ctx.wiring.with_unique(|unique| {
+            for &daemon in unique {
+                ctx.watch(daemon);
+            }
+        });
         ctx.set_timer(self.timeout_ns, TAG_TIMEOUT);
         // Start the machines listed with a host in the node file (§3.5.1).
-        let placements = self.bundle.study.placements.clone();
-        for (sm, host) in placements {
+        let study = Arc::clone(&self.ctx.study);
+        for (sm, host) in &study.placements {
             if let Some(host) = host {
-                if let Some(idx) = self.bundle.host_idx(&host) {
-                    let daemon = self.bundle.wiring.daemon_for(idx as usize);
-                    ctx.send(daemon, RtMsg::StartNode { sm, host: idx });
+                if let Some(idx) = self.ctx.host_idx(host) {
+                    let daemon = self.ctx.wiring.daemon_for(idx as usize);
+                    ctx.send(daemon, RtMsg::StartNode { sm: *sm, host: idx });
                 } else {
-                    self.bundle
+                    self.ctx
                         .warnings
-                        .warn(format!("placement on unknown host `{host}`"));
+                        .warn_with(|| format!("placement on unknown host `{host}`"));
                 }
             }
         }
@@ -416,17 +681,19 @@ impl loki_sim::engine::Actor<RtMsg> for CentralDaemon {
     fn on_message(&mut self, ctx: &mut Ctx<'_, RtMsg>, from: ActorId, msg: RtMsg) {
         match msg {
             RtMsg::ExperimentEndNotice => {
-                self.ends.insert(from);
-                if !self.done && self.ends.len() == self.bundle.wiring.unique_daemons().len() {
+                if !self.ends.contains(&from) {
+                    self.ends.push(from);
+                }
+                if !self.done && self.ends.len() == self.ctx.wiring.num_unique() {
                     self.done = true;
-                    self.control.mark_completed();
+                    self.ctx.control.mark_completed();
                     self.shutdown(ctx);
                 }
             }
             other => {
-                self.bundle
+                self.ctx
                     .warnings
-                    .warn(format!("central daemon received unexpected {other:?}"));
+                    .warn_with(|| format!("central daemon received unexpected {other:?}"));
             }
         }
     }
@@ -436,10 +703,12 @@ impl loki_sim::engine::Actor<RtMsg> for CentralDaemon {
             TAG_TIMEOUT if !self.done => {
                 // Hung experiment: kill everything and abort (§3.5.1).
                 self.done = true;
-                self.control.mark_timed_out();
-                for daemon in self.bundle.wiring.unique_daemons() {
-                    ctx.send(daemon, RtMsg::KillAllNodes);
-                }
+                self.ctx.control.mark_timed_out();
+                self.ctx.wiring.with_unique(|unique| {
+                    for &daemon in unique {
+                        ctx.send(daemon, RtMsg::KillAllNodes);
+                    }
+                });
                 ctx.set_timer(self.grace_ns, TAG_SHUTDOWN);
             }
             TAG_SHUTDOWN => {
@@ -453,14 +722,20 @@ impl loki_sim::engine::Actor<RtMsg> for CentralDaemon {
         // A local daemon crashed: abnormality — abort the experiment.
         if !self.done {
             self.done = true;
-            self.control.mark_aborted();
-            for daemon in self.bundle.wiring.unique_daemons() {
-                if ctx.is_alive(daemon) {
-                    ctx.send(daemon, RtMsg::KillAllNodes);
+            self.ctx.control.mark_aborted();
+            self.ctx.wiring.with_unique(|unique| {
+                for &daemon in unique {
+                    if ctx.is_alive(daemon) {
+                        ctx.send(daemon, RtMsg::KillAllNodes);
+                    }
                 }
-            }
+            });
             ctx.set_timer(self.grace_ns, TAG_SHUTDOWN);
         }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn Any> {
+        Some(self)
     }
 }
 
@@ -504,22 +779,30 @@ impl Default for RestartPolicy {
 
 /// The restart supervisor: the application's recovery mechanism.
 pub struct Supervisor {
-    bundle: Bundle,
+    ctx: Rc<ExpCtx>,
     policy: RestartPolicy,
-    restarts: HashMap<SmId, u32>,
+    /// Restart counts, indexed by machine id.
+    restarts: Vec<u32>,
 }
 
 impl Supervisor {
-    pub(crate) fn new(bundle: Bundle, policy: RestartPolicy) -> Self {
+    pub(crate) fn new(ctx: Rc<ExpCtx>, policy: RestartPolicy) -> Self {
+        let num_sms = ctx.study.sms.len();
         Supervisor {
-            bundle,
+            ctx,
             policy,
-            restarts: HashMap::new(),
+            restarts: vec![0; num_sms],
         }
+    }
+
+    /// Resets a pooled hull for the next experiment.
+    pub(crate) fn reinit(&mut self, policy: RestartPolicy) {
+        self.policy = policy;
+        self.restarts.fill(0);
     }
 }
 
-impl loki_sim::engine::Actor<RtMsg> for Supervisor {
+impl Actor<RtMsg> for Supervisor {
     fn on_message(&mut self, ctx: &mut Ctx<'_, RtMsg>, _from: ActorId, msg: RtMsg) {
         if let RtMsg::NodeDown {
             sm,
@@ -527,7 +810,7 @@ impl loki_sim::engine::Actor<RtMsg> for Supervisor {
             host,
         } = msg
         {
-            let count = self.restarts.entry(sm).or_insert(0);
+            let count = &mut self.restarts[sm.raw() as usize];
             if *count >= self.policy.max_restarts {
                 return;
             }
@@ -535,7 +818,7 @@ impl loki_sim::engine::Actor<RtMsg> for Supervisor {
                 return;
             }
             *count += 1;
-            let n = self.bundle.symbols.num_hosts() as u32;
+            let n = self.ctx.symbols.num_hosts() as u32;
             let target = match self.policy.placement {
                 RestartPlacement::SameHost => host,
                 RestartPlacement::NextHost => (host + 1) % n,
@@ -550,10 +833,14 @@ impl loki_sim::engine::Actor<RtMsg> for Supervisor {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, RtMsg>, tag: u64) {
         let sm = SmId::from_raw((tag >> 32) as u32);
         let host = (tag & 0xffff_ffff) as u32;
-        let daemon = self.bundle.wiring.daemon_for(host as usize);
+        let daemon = self.ctx.wiring.daemon_for(host as usize);
         if ctx.is_alive(daemon) {
             ctx.send(daemon, RtMsg::StartNode { sm, host });
         }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn Any> {
+        Some(self)
     }
 }
 
@@ -569,7 +856,7 @@ pub struct Saboteur {
     pub after_ns: u64,
 }
 
-impl loki_sim::engine::Actor<RtMsg> for Saboteur {
+impl Actor<RtMsg> for Saboteur {
     fn on_start(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
         ctx.set_timer(self.after_ns, 0);
     }
@@ -578,4 +865,27 @@ impl loki_sim::engine::Actor<RtMsg> for Saboteur {
         ctx.kill(self.victim, DownReason::Crash);
         ctx.exit_self();
     }
+}
+
+/// A minimal context for unit tests elsewhere in the crate (the syncer
+/// tests drive sync actors without a real study run).
+#[cfg(test)]
+pub(crate) fn test_ctx(host_names: &[&str]) -> Rc<ExpCtx> {
+    use loki_core::spec::{StateMachineSpec, StudyDef};
+    let def = StudyDef::new("test-ctx").machine(
+        StateMachineSpec::builder("a")
+            .states(&["INIT"])
+            .events(&["GO"])
+            .state("INIT", &[], &[("GO", "INIT")])
+            .build(),
+    );
+    let study = Study::compile_arc(&def).expect("test study compiles");
+    let symbols = Arc::new(SymbolTable::for_hosts(host_names.iter().copied()));
+    let factory: AppFactory = Arc::new(|_, _| unreachable!("test ctx spawns no apps"));
+    Rc::new(ExpCtx::new(
+        study,
+        symbols,
+        factory,
+        NotifyRouting::default(),
+    ))
 }

@@ -22,12 +22,12 @@
 //! of O(experiments).
 
 use crate::app::AppFactory;
-use crate::daemons::{Bundle, CentralDaemon, LocalDaemon, RestartPolicy, Supervisor};
+use crate::daemons::{
+    reuse_or_box, ActorHull, CentralDaemon, ExpCtx, LocalDaemon, RestartPolicy, Supervisor,
+};
 use crate::messages::{NotifyRouting, RtMsg};
-use crate::store::{ExperimentControl, NodeDirectory, SyncCollector, TimelineStore, WarningSink};
 use crate::syncer::{SyncEcho, Syncer};
 use crate::thread_backend::{run_thread_experiment_with, ThreadHarnessConfig};
-use crate::wiring::Wiring;
 use loki_analysis::{analyze_one, AnalysisOptions, AnalyzedExperiment};
 use loki_clock::params::fastest_reference;
 use loki_core::campaign::{ExperimentData, ExperimentEnd, HostSync};
@@ -37,7 +37,7 @@ use loki_sim::batch::WorldSet;
 use loki_sim::config::{HostConfig, NetworkConfig};
 use loki_sim::engine::{HostId as SimHostId, Simulation, WorldConfig};
 use std::rc::Rc;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
@@ -264,23 +264,28 @@ enum ExpPhase {
 }
 
 /// The per-experiment state riding alongside a world: phase progress plus
-/// the collectors the runtime actors write into.
+/// the single shared [`ExpCtx`] the runtime actors write into.
 ///
-/// Every collector drains (sorted) into [`ExperimentData`] at assembly, so
-/// a script is empty again when its experiment finishes — the batched
-/// pipeline recycles it for the next experiment, keeping the `Rc` blocks
-/// and map capacities instead of reallocating them. Drain order is sorted
-/// and lookups are key-addressed, so recycling is unobservable in results.
+/// Every store drains (in deterministic order) into [`ExperimentData`] at
+/// assembly, so a script's context is empty again when its experiment
+/// finishes — the batched pipeline recycles the whole script for the next
+/// experiment, keeping the context's `Rc` block, its stores' capacities,
+/// and its pooled actor hulls instead of reallocating them. Drain orders
+/// are index-determined and lookups are key-addressed, so recycling is
+/// unobservable in results.
 struct ExpScript {
     experiment: u32,
     phase: ExpPhase,
-    collector: SyncCollector,
     pre_sync: Vec<HostSync>,
-    store: TimelineStore,
-    warnings: WarningSink,
-    control: ExperimentControl,
-    directory: NodeDirectory,
-    wiring: Rc<Wiring>,
+    ctx: Rc<ExpCtx>,
+}
+
+impl Drop for ExpScript {
+    fn drop(&mut self) {
+        // Pooled hulls hold `Rc<ExpCtx>` while the pool lives *inside* the
+        // context — clear the pool here or the cycle leaks the context.
+        self.ctx.pool.clear();
+    }
 }
 
 impl<'a> SimStudy<'a> {
@@ -328,9 +333,9 @@ impl<'a> SimStudy<'a> {
     }
 
     /// [`SimStudy::begin`], recycling a finished experiment's script when
-    /// one is available: the collectors' `Rc` blocks and map capacities
-    /// survive, the *contents* are reset (an aborted experiment can leave
-    /// directory entries and control flags behind).
+    /// one is available: the context's `Rc` block, store capacities, and
+    /// pooled actor hulls survive, the *contents* are reset (an aborted
+    /// experiment can leave directory entries and control flags behind).
     fn begin_with(
         &self,
         sim: &mut Simulation<RtMsg>,
@@ -339,6 +344,9 @@ impl<'a> SimStudy<'a> {
     ) -> ExpScript {
         sim.reset(self.cfg.seed.wrapping_add(experiment as u64));
         sim.disable_trace();
+        // Park killed actors' boxes for hull recycling instead of
+        // dropping them (drained into the pool at every phase boundary).
+        sim.set_reclaim_dead(true);
         // Sync phases run on an otherwise idle system (§2.5: messages are
         // exchanged before and after the experiment), so endpoints are
         // dispatched without scheduling delay.
@@ -347,24 +355,24 @@ impl<'a> SimStudy<'a> {
             Some(mut script) => {
                 script.experiment = experiment;
                 script.phase = ExpPhase::PreSync;
-                script.control.reset();
-                script.directory.clear();
-                script.wiring.reset();
+                script.ctx.control.reset();
+                script.ctx.directory.clear();
+                script.ctx.wiring.reset();
                 script
             }
             None => ExpScript {
                 experiment,
                 phase: ExpPhase::PreSync,
-                collector: SyncCollector::new(),
                 pre_sync: Vec::new(),
-                store: TimelineStore::new(),
-                warnings: WarningSink::new(),
-                control: ExperimentControl::new(),
-                directory: NodeDirectory::new(),
-                wiring: Rc::new(Wiring::new()),
+                ctx: Rc::new(ExpCtx::new(
+                    self.study.clone(),
+                    self.symbols.clone(),
+                    self.factory.clone(),
+                    self.cfg.routing,
+                )),
             },
         };
-        self.spawn_sync_actors(sim, &script.collector);
+        self.spawn_sync_actors(sim, &script.ctx);
         script
     }
 
@@ -378,22 +386,30 @@ impl<'a> SimStudy<'a> {
         sim: &mut Simulation<RtMsg>,
         script: &mut ExpScript,
     ) -> Option<ExperimentData> {
+        // A drained phase means every actor killed during it sits in the
+        // engine's graveyard: file the corpses into the typed hull pool so
+        // the next phase (or experiment) respawns without boxing.
+        for corpse in sim.drain_dead() {
+            script.ctx.pool.recycle(corpse);
+        }
         match script.phase {
             ExpPhase::PreSync => {
                 sim.set_sched_enabled(true);
-                script.pre_sync = script.collector.drain();
+                script.pre_sync = script.ctx.collector.drain();
                 self.spawn_runtime(sim, script);
                 script.phase = ExpPhase::Runtime;
                 None
             }
             ExpPhase::Runtime => {
                 sim.set_sched_enabled(false);
-                self.spawn_sync_actors(sim, &script.collector);
+                self.spawn_sync_actors(sim, &script.ctx);
                 script.phase = ExpPhase::PostSync;
                 None
             }
             ExpPhase::PostSync => {
                 sim.set_sched_enabled(true);
+                let events = script.ctx.events.get() + sim.events_processed();
+                script.ctx.events.set(events);
                 Some(self.assemble(script))
             }
         }
@@ -413,23 +429,22 @@ impl<'a> SimStudy<'a> {
     }
 
     /// Spawns one `SyncEcho`/`Syncer` pair per non-reference host (a sync
-    /// mini-phase, §2.5/§5.7).
-    fn spawn_sync_actors(&self, sim: &mut Simulation<RtMsg>, collector: &SyncCollector) {
+    /// mini-phase, §2.5/§5.7), reusing pooled syncer hulls.
+    fn spawn_sync_actors(&self, sim: &mut Simulation<RtMsg>, ctx: &Rc<ExpCtx>) {
         for idx in 0..self.cfg.hosts.len() {
             if idx == self.ref_idx {
                 continue;
             }
             let echo = sim.spawn(SimHostId(self.ref_idx as u32), Box::new(SyncEcho));
-            sim.spawn(
-                SimHostId(idx as u32),
-                Box::new(Syncer::new(
-                    echo,
-                    HostId::from_raw(idx as u32),
-                    self.cfg.sync_rounds,
-                    self.cfg.sync_interval_ns,
-                    collector.clone(),
-                )),
+            let host = HostId::from_raw(idx as u32);
+            let rounds = self.cfg.sync_rounds;
+            let interval = self.cfg.sync_interval_ns;
+            let syncer = reuse_or_box(
+                ctx.pool.take_syncer(),
+                |s: &mut Syncer| s.reinit(echo, host, rounds, interval),
+                || Syncer::new(ctx.clone(), echo, host, rounds, interval),
             );
+            sim.spawn(SimHostId(idx as u32), syncer);
         }
     }
 
@@ -437,55 +452,37 @@ impl<'a> SimStudy<'a> {
     /// optional supervisor, the central daemon, and the optional saboteur.
     fn spawn_runtime(&self, sim: &mut Simulation<RtMsg>, script: &mut ExpScript) {
         let ref_host = SimHostId(self.ref_idx as u32);
-        let wiring = script.wiring.clone();
-        let bundle = Bundle {
-            study: self.study.clone(),
-            store: script.store.clone(),
-            directory: script.directory.clone(),
-            warnings: script.warnings.clone(),
-            wiring: wiring.clone(),
-            factory: self.factory.clone(),
-            routing: self.cfg.routing,
-            symbols: self.symbols.clone(),
-        };
+        let ctx = &script.ctx;
 
         match self.cfg.routing {
             NotifyRouting::Centralized => {
                 // One global daemon, placed on the reference host.
-                let d = sim.spawn(
-                    ref_host,
-                    Box::new(LocalDaemon::new(bundle.clone(), self.ref_idx as u32)),
-                );
-                wiring.fill_daemons((0..self.cfg.hosts.len()).map(|_| d));
+                let d = sim.spawn(ref_host, pooled_daemon(ctx, self.ref_idx as u32));
+                ctx.wiring
+                    .fill_daemons((0..self.cfg.hosts.len()).map(|_| d));
             }
             _ => {
-                wiring.fill_daemons((0..self.cfg.hosts.len()).map(|idx| {
-                    sim.spawn(
-                        SimHostId(idx as u32),
-                        Box::new(LocalDaemon::new(bundle.clone(), idx as u32)),
-                    )
-                }));
+                ctx.wiring.fill_daemons(
+                    (0..self.cfg.hosts.len()).map(|idx| {
+                        sim.spawn(SimHostId(idx as u32), pooled_daemon(ctx, idx as u32))
+                    }),
+                );
             }
         }
 
         if let Some(policy) = self.cfg.restart {
-            let supervisor = sim.spawn(ref_host, Box::new(Supervisor::new(bundle.clone(), policy)));
-            wiring.set_supervisor(supervisor);
+            let supervisor = sim.spawn(ref_host, pooled_supervisor(ctx, policy));
+            ctx.wiring.set_supervisor(supervisor);
         }
 
         let central = sim.spawn(
             ref_host,
-            Box::new(CentralDaemon::new(
-                bundle.clone(),
-                script.control.clone(),
-                self.cfg.timeout_ns,
-                100_000_000, // 100 ms shutdown grace
-            )),
+            pooled_central(ctx, self.cfg.timeout_ns, 100_000_000), // 100 ms shutdown grace
         );
-        wiring.set_central(central);
+        ctx.wiring.set_central(central);
 
         if let Some((host, after_ns)) = self.cfg.kill_daemon {
-            let victim = wiring.daemon_for(host as usize);
+            let victim = ctx.wiring.daemon_for(host as usize);
             sim.spawn(
                 ref_host,
                 Box::new(crate::daemons::Saboteur { victim, after_ns }),
@@ -493,12 +490,13 @@ impl<'a> SimStudy<'a> {
         }
     }
 
-    /// Packs a finished experiment's collectors into [`ExperimentData`].
+    /// Packs a finished experiment's stores into [`ExperimentData`].
     fn assemble(&self, script: &mut ExpScript) -> ExperimentData {
-        let post_sync = script.collector.drain();
-        let end = if script.control.completed() {
+        let ctx = &script.ctx;
+        let post_sync = ctx.collector.drain();
+        let end = if ctx.control.completed() {
             ExperimentEnd::Completed
-        } else if script.control.timed_out() {
+        } else if ctx.control.timed_out() {
             ExperimentEnd::TimedOut
         } else {
             ExperimentEnd::Aborted
@@ -506,16 +504,43 @@ impl<'a> SimStudy<'a> {
         ExperimentData {
             study: self.study.name.clone(),
             experiment: script.experiment,
-            timelines: script.store.drain(),
+            timelines: ctx.store.drain(),
             hosts: self.symbols.host_ids().collect(),
             reference_host: HostId::from_raw(self.ref_idx as u32),
             symbols: self.symbols.clone(),
             pre_sync: std::mem::take(&mut script.pre_sync),
             post_sync,
             end,
-            warnings: script.warnings.drain(),
+            warnings: ctx.warnings.drain(),
         }
     }
+}
+
+/// A (possibly pooled) local-daemon hull for `my_host`.
+fn pooled_daemon(ctx: &Rc<ExpCtx>, my_host: u32) -> ActorHull {
+    reuse_or_box(
+        ctx.pool.take_daemon(),
+        |d: &mut LocalDaemon| d.reinit(my_host),
+        || LocalDaemon::new(ctx.clone(), my_host),
+    )
+}
+
+/// A (possibly pooled) central-daemon hull.
+fn pooled_central(ctx: &Rc<ExpCtx>, timeout_ns: u64, grace_ns: u64) -> ActorHull {
+    reuse_or_box(
+        ctx.pool.take_central(),
+        |c: &mut CentralDaemon| c.reinit(timeout_ns, grace_ns),
+        || CentralDaemon::new(ctx.clone(), timeout_ns, grace_ns),
+    )
+}
+
+/// A (possibly pooled) supervisor hull.
+fn pooled_supervisor(ctx: &Rc<ExpCtx>, policy: RestartPolicy) -> ActorHull {
+    reuse_or_box(
+        ctx.pool.take_supervisor(),
+        |s: &mut Supervisor| s.reinit(policy),
+        || Supervisor::new(ctx.clone(), policy),
+    )
 }
 
 /// Resolves the worker count for a study: explicit config, then the
@@ -720,6 +745,18 @@ pub struct PipelineSummary {
     /// `workers × batch`, by construction. This is the bounded retention
     /// the streaming design exists for; tests assert on it.
     pub peak_raw_retained: usize,
+    /// Actor spawns served from the recycled-hull pool instead of a fresh
+    /// box (0 on the threads backend and in the per-experiment baseline
+    /// mode, which retire their contexts after every experiment).
+    pub actor_reuses: u64,
+    /// Timeline shells begun on a recycled capacity-retaining buffer
+    /// instead of a fresh allocation (0 off the batched simulation path,
+    /// like [`PipelineSummary::actor_reuses`]).
+    pub timeline_reuses: u64,
+    /// Simulation events processed across all experiments (0 off the
+    /// batched simulation path); the all-in ns/event bench divides by
+    /// this.
+    pub events: u64,
 }
 
 /// The pipeline's reorder buffer: holds finished experiments whose
@@ -785,6 +822,27 @@ impl RetentionGauge {
     }
 }
 
+/// Cross-worker accumulator for the recycling counters reported in
+/// [`PipelineSummary`]. Workers absorb each experiment context's cheap
+/// `Cell` counters once, when the context retires at the end of
+/// [`drive_chunked`] — not per experiment.
+#[derive(Default)]
+struct PoolStats {
+    actor_reuses: AtomicU64,
+    timeline_reuses: AtomicU64,
+    events: AtomicU64,
+}
+
+impl PoolStats {
+    fn absorb(&self, ctx: &ExpCtx) {
+        self.actor_reuses
+            .fetch_add(ctx.pool.reuses(), Ordering::Relaxed);
+        self.timeline_reuses
+            .fetch_add(ctx.store.shell_reuses(), Ordering::Relaxed);
+        self.events.fetch_add(ctx.events.get(), Ordering::Relaxed);
+    }
+}
+
 /// One worker's batched experiment loop: claim a chunk of `batch`
 /// consecutive experiment indices from the shared counter, drive them
 /// through one reused [`WorldSet`] (earliest-next-event interleaving),
@@ -801,7 +859,8 @@ fn drive_chunked(
     batch: usize,
     next_claim: &AtomicU32,
     gauge: &RetentionGauge,
-    mut process: impl FnMut(u32, ExperimentData) -> bool,
+    stats: &PoolStats,
+    mut process: impl FnMut(u32, ExperimentData, &ExpCtx) -> bool,
 ) {
     let mut set: WorldSet<RtMsg> = WorldSet::with_capacity(batch);
     let mut scripts: Vec<Option<ExpScript>> = Vec::with_capacity(batch);
@@ -809,12 +868,12 @@ fn drive_chunked(
     // `begin_with` recycles them, so in steady state a worker reallocates
     // none of the per-experiment scaffolding.
     let mut spare: Vec<ExpScript> = Vec::with_capacity(batch);
-    loop {
+    'run: loop {
         // Relaxed suffices: the claim is the only shared state, and the
         // result hand-off orders everything else.
         let base = next_claim.fetch_add(batch as u32, Ordering::Relaxed);
         if base >= experiments {
-            return;
+            break 'run;
         }
         let end = experiments.min(base.saturating_add(batch as u32));
 
@@ -833,18 +892,18 @@ fn drive_chunked(
             let mut script = set.with_world_mut(slot, |sim| sim_study.begin_with(sim, k, recycled));
             let mut finished = None;
             while set.drained(slot) {
-                if let Some(data) =
-                    set.with_world_mut(slot, |sim| sim_study.on_drained(sim, &mut script))
-                {
+                let out = set.with_world_mut(slot, |sim| sim_study.on_drained(sim, &mut script));
+                if let Some(data) = out {
                     finished = Some(data);
                     break;
                 }
             }
             match finished {
                 Some(data) => {
+                    let keep_going = process(k, data, &script.ctx);
                     spare.push(script);
-                    if !process(k, data) {
-                        return;
+                    if !keep_going {
+                        break 'run;
                     }
                 }
                 None => {
@@ -867,9 +926,8 @@ fn drive_chunked(
             let mut script = scripts[idx].take().expect("drained world has a script");
             let mut finished = None;
             loop {
-                if let Some(data) =
-                    set.with_world_mut(idx, |sim| sim_study.on_drained(sim, &mut script))
-                {
+                let out = set.with_world_mut(idx, |sim| sim_study.on_drained(sim, &mut script));
+                if let Some(data) = out {
                     finished = Some(data);
                     break;
                 }
@@ -881,14 +939,21 @@ fn drive_chunked(
                 Some(data) => {
                     inflight -= 1;
                     let k = script.experiment;
+                    let keep_going = process(k, data, &script.ctx);
                     spare.push(script);
-                    if !process(k, data) {
-                        return;
+                    if !keep_going {
+                        break 'run;
                     }
                 }
                 None => scripts[idx] = Some(script),
             }
         }
+    }
+    // Single exit: fold every retiring context's recycling counters into
+    // the shared stats (each script owns its own context; in-flight
+    // scripts only remain after an early bail-out).
+    for script in scripts.iter().flatten().chain(spare.iter()) {
+        stats.absorb(&script.ctx);
     }
 }
 
@@ -1070,24 +1135,31 @@ impl CampaignPipeline {
             ..Default::default()
         };
         let gauge = RetentionGauge::new();
+        let stats = PoolStats::default();
 
-        // The back half of the fused flow: analyze → tap → drop the raw
-        // data. The retention gauge (raised when an experiment begins)
-        // brackets the raw data's whole lifetime.
-        let finish = |data: ExperimentData| -> (AnalyzedExperiment, T) {
+        // The back half of the fused flow: analyze → tap → reclaim the raw
+        // data's buffers into the worker's context (batched path) → drop.
+        // The retention gauge (raised when an experiment begins) brackets
+        // the raw data's whole lifetime.
+        let finish = |mut data: ExperimentData, ctx: Option<&ExpCtx>| -> (AnalyzedExperiment, T) {
             let analyzed = analyze_one(&self.study, &data, &self.analysis);
             let tapped = tap(&data);
+            if let Some(ctx) = ctx {
+                ctx.store.reclaim(std::mem::take(&mut data.timelines));
+                ctx.collector.reclaim(std::mem::take(&mut data.pre_sync));
+                ctx.collector.reclaim(std::mem::take(&mut data.post_sync));
+            }
             drop(data);
             gauge.dec();
             (analyzed, tapped)
         };
         // One experiment through the per-experiment flow (threads backend
-        // and the baseline mode): run → finish.
+        // and the baseline mode): run → finish, nothing reclaimed.
         let one = |k: u32| -> (AnalyzedExperiment, T) {
             gauge.inc();
             let data =
                 run_experiment_with(&self.study, self.factory.clone(), &self.cfg, &symbols, k);
-            finish(data)
+            finish(data, None)
         };
         let account = |summary: &mut PipelineSummary, analyzed: &AnalyzedExperiment| {
             if analyzed.end == ExperimentEnd::Completed {
@@ -1114,8 +1186,9 @@ impl CampaignPipeline {
                     batch,
                     &next_claim,
                     &gauge,
-                    |k, data| {
-                        reorder.insert(k, finish(data));
+                    &stats,
+                    |k, data, ctx| {
+                        reorder.insert(k, finish(data, Some(ctx)));
                         while let Some((analyzed, tapped)) = reorder.pop(delivered) {
                             account(&mut summary, &analyzed);
                             sink(analyzed, tapped);
@@ -1151,6 +1224,7 @@ impl CampaignPipeline {
                 let one = &one;
                 let finish = &finish;
                 let gauge = &gauge;
+                let stats = &stats;
                 let sim_study = sim_study.as_ref();
                 let next_claim = &next_claim;
                 let (tx, rx) = mpsc::sync_channel::<(u32, (AnalyzedExperiment, T))>(workers);
@@ -1165,10 +1239,11 @@ impl CampaignPipeline {
                                     batch,
                                     next_claim,
                                     gauge,
+                                    stats,
                                     // A failed send means the coordinator
                                     // is gone (sink or sibling panicked):
                                     // stop claiming and bail out.
-                                    |k, data| tx.send((k, finish(data))).is_ok(),
+                                    |k, data, ctx| tx.send((k, finish(data, Some(ctx)))).is_ok(),
                                 );
                             });
                         }
@@ -1216,6 +1291,9 @@ impl CampaignPipeline {
         // undelivered experiment here is a genuine pipeline bug.
         assert_eq!(delivered, experiments, "pipeline lost experiments");
         summary.peak_raw_retained = gauge.peak();
+        summary.actor_reuses = stats.actor_reuses.load(Ordering::Relaxed);
+        summary.timeline_reuses = stats.timeline_reuses.load(Ordering::Relaxed);
+        summary.events = stats.events.load(Ordering::Relaxed);
         summary
     }
 

@@ -5,33 +5,31 @@
 //! crate-private `Port` trait) onto the simulated message fabric — state
 //! notifications route through the configured §3.4.1 design (local daemon,
 //! direct, or centralized), timelines live in the shared
-//! [`TimelineStore`] (the thesis's NFS-mounted files, so the local daemon
-//! can append crash records after the node dies), and timers/clocks/RNG
-//! come from the deterministic simulation context.
+//! [`TimelineStore`](crate::store::TimelineStore) (the thesis's NFS-mounted
+//! files, so the local daemon can append crash records after the node
+//! dies), and timers/clocks/RNG come from the deterministic simulation
+//! context.
 //!
 //! Applications implement [`crate::app::App`]; this module contains no
 //! application-facing API of its own.
 
 use crate::app::{App, NodeCore, Payload, Port};
+use crate::daemons::ExpCtx;
 use crate::messages::{NotifyRouting, RtMsg, SmTargets};
-use crate::store::{NodeDirectory, TimelineStore, WarningSink};
-use loki_core::ids::{HostId, SmId, StateId, SymbolTable};
-use loki_core::recorder::{RecordKind, Recorder, TimelineRecord};
-use loki_core::study::Study;
+use loki_core::ids::{HostId, SmId, StateId};
+use loki_core::recorder::{RecordKind, TimelineRecord};
 use loki_core::time::LocalNanos;
 use loki_sim::engine::{ActorId, Ctx, TimerId};
 use rand::rngs::StdRng;
-use std::sync::Arc;
+use std::any::Any;
+use std::rc::Rc;
 
-/// Simulation-backend wiring shared by all of one node's callbacks.
+/// Simulation-backend wiring shared by all of one node's callbacks: the
+/// experiment context plus this node's identity and daemon.
 struct SimShared {
-    study: Arc<Study>,
+    ctx: Rc<ExpCtx>,
     me: SmId,
     daemon: ActorId,
-    routing: NotifyRouting,
-    store: TimelineStore,
-    directory: NodeDirectory,
-    warnings: WarningSink,
 }
 
 /// The per-callback `Port` implementation over the simulated actor
@@ -47,13 +45,13 @@ impl Port for SimPort<'_, '_> {
     }
 
     fn record(&mut self, time: LocalNanos, kind: RecordKind) {
-        self.shared.store.with_mut(self.shared.me, |t| {
+        self.shared.ctx.store.with_mut(self.shared.me, |t| {
             t.records.push(TimelineRecord { time, kind });
         });
     }
 
     fn notify(&mut self, from: SmId, state: StateId, targets: SmTargets) {
-        match self.shared.routing {
+        match self.shared.ctx.routing {
             NotifyRouting::ThroughDaemons | NotifyRouting::Centralized => {
                 self.sim.send(
                     self.shared.daemon,
@@ -66,7 +64,7 @@ impl Port for SimPort<'_, '_> {
             }
             NotifyRouting::Direct => {
                 for target in targets {
-                    match self.shared.directory.lookup(target) {
+                    match self.shared.ctx.directory.lookup(target) {
                         Some(actor) => self.sim.send(
                             actor,
                             RtMsg::DeliverNotify {
@@ -74,11 +72,13 @@ impl Port for SimPort<'_, '_> {
                                 state,
                             },
                         ),
-                        None => self.shared.warnings.warn(format!(
-                            "notification from {} to non-executing machine {} discarded",
-                            self.shared.study.sms.name(from),
-                            self.shared.study.sms.name(target)
-                        )),
+                        None => self.shared.ctx.warnings.warn_with(|| {
+                            format!(
+                                "notification from {} to non-executing machine {} discarded",
+                                self.shared.ctx.study.sms.name(from),
+                                self.shared.ctx.study.sms.name(target)
+                            )
+                        }),
                     }
                 }
             }
@@ -86,7 +86,7 @@ impl Port for SimPort<'_, '_> {
     }
 
     fn send_app(&mut self, from: SmId, to: SmId, payload: Payload) {
-        if let Some(actor) = self.shared.directory.lookup(to) {
+        if let Some(actor) = self.shared.ctx.directory.lookup(to) {
             self.sim.send(
                 actor,
                 RtMsg::App {
@@ -122,7 +122,11 @@ impl Port for SimPort<'_, '_> {
     }
 
     fn live_machines(&self) -> Vec<SmId> {
-        self.shared.directory.machines()
+        self.shared.ctx.directory.machines()
+    }
+
+    fn is_live(&self, sm: SmId) -> bool {
+        self.shared.ctx.directory.lookup(sm).is_some()
     }
 
     fn host_id(&self) -> HostId {
@@ -141,31 +145,34 @@ pub struct NodeActor {
 
 impl NodeActor {
     /// Creates the node for `sm`, attached to `daemon`.
-    #[allow(clippy::too_many_arguments)] // mirrors the Bundle fields one-to-one
-    pub(crate) fn new(
-        study: Arc<Study>,
-        symbols: Arc<SymbolTable>,
-        sm_id: SmId,
-        daemon: ActorId,
-        routing: NotifyRouting,
-        store: TimelineStore,
-        directory: NodeDirectory,
-        warnings: WarningSink,
-        app: Box<dyn App>,
-    ) -> Self {
+    pub(crate) fn new(ctx: Rc<ExpCtx>, sm_id: SmId, daemon: ActorId, app: Box<dyn App>) -> Self {
         NodeActor {
             app,
-            core: NodeCore::new(study.clone(), symbols, sm_id),
+            core: NodeCore::new(ctx.study.clone(), ctx.symbols.clone(), sm_id),
             shared: SimShared {
-                study,
+                ctx,
                 me: sm_id,
                 daemon,
-                routing,
-                store,
-                directory,
-                warnings,
             },
         }
+    }
+
+    /// Re-targets a pooled hull at a new machine incarnation. The context
+    /// is unchanged (hulls are pooled per experiment slot); the core's
+    /// per-incarnation state — state machine interpreter and fault parser —
+    /// is reset in place, reusing its storage.
+    pub(crate) fn reinit(&mut self, sm_id: SmId, daemon: ActorId, app: Box<dyn App>) {
+        self.core.reinit(sm_id);
+        self.shared.me = sm_id;
+        self.shared.daemon = daemon;
+        self.app = app;
+    }
+
+    /// The machine this hull (last) embodied — lets the pool hand a hull
+    /// back to the same machine, whose compiled fault set it can then
+    /// reuse as-is.
+    pub(crate) fn embodies(&self) -> SmId {
+        self.shared.me
     }
 
     /// Runs an application callback through the core (which then drains
@@ -190,20 +197,16 @@ impl loki_sim::engine::Actor<RtMsg> for NodeActor {
         let now = ctx.local_clock();
 
         // Restart detection: the timeline file already exists (§3.6.3).
-        // Both branches go through the shared `Recorder` helpers so stint
-        // and restart bookkeeping cannot diverge from the thread backend.
-        let restarted = self.shared.store.contains(me);
+        // `begin_life` applies the shared `Recorder` stint/restart
+        // bookkeeping in place so it cannot diverge from the thread
+        // backend, without round-tripping the timeline out of the store.
+        let restarted = self.shared.ctx.store.begin_life(me, now, host);
         self.core.restarted = restarted;
-        let recorder = match self.shared.store.take(me) {
-            Some(prior) => Recorder::resume(prior, now, host),
-            None => Recorder::new(me, host),
-        };
-        self.shared.store.put(me, recorder.finish());
 
         // Contact the local daemon (the thesis's shared-memory connect).
         ctx.send(self.shared.daemon, RtMsg::Register { sm: me, restarted });
         // Join the application's name service.
-        self.shared.directory.insert(me, ctx.me());
+        self.shared.ctx.directory.insert(me, ctx.me());
 
         // A restarted machine asks all others for state updates (§3.6.3).
         if restarted {
@@ -236,13 +239,18 @@ impl loki_sim::engine::Actor<RtMsg> for NodeActor {
             }
             other => {
                 self.shared
+                    .ctx
                     .warnings
-                    .warn(format!("node received unexpected message {other:?}"));
+                    .warn_with(|| format!("node received unexpected message {other:?}"));
             }
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, RtMsg>, tag: u64) {
         self.with_app(ctx, |app, node_ctx| app.on_timer(node_ctx, tag));
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn Any> {
+        Some(self)
     }
 }

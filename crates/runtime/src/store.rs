@@ -6,16 +6,33 @@
 //! (§3.6.2–3.6.3). In the simulation backend these stores play the role of
 //! that shared filesystem: they are *storage*, not a communication channel —
 //! runtime coordination flows exclusively through messages.
+//!
+//! Each store is a plain interior-mutability cell (no `Rc` of its own):
+//! they live side by side inside the single per-experiment
+//! `Rc<ExpCtx>`, so an actor clone is one refcount bump and a field
+//! access is one pointer chase. State machine and host ids are dense per
+//! study, so the stores index by raw id instead of hashing, and every
+//! drain emits ascending-id order without a sort. Recycled containers
+//! (timeline shells, sync-sample runs) keep their capacity across
+//! experiments — the batched pipeline's steady state allocates nothing
+//! here.
 
 use loki_core::campaign::{HostSync, SyncSample};
 use loki_core::ids::{HostId, SmId};
 use loki_core::recorder::LocalTimeline;
+use loki_core::time::LocalNanos;
 use loki_sim::engine::ActorId;
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::rc::Rc;
+use std::cell::{Cell, RefCell};
 
-/// The "NFS-mounted" timeline storage: one timeline per state machine.
+/// The "NFS-mounted" timeline storage: one timeline per state machine,
+/// dense by machine id.
+///
+/// Drained timelines come back through [`TimelineStore::reclaim`] as empty
+/// *shells* whose `records`/`stints` capacity survives;
+/// [`TimelineStore::begin_life`] hands a fresh life a recycled shell
+/// before allocating a new one. A recycled shell is observationally
+/// identical to a fresh timeline — contents are fully reset, only
+/// capacity is retained.
 ///
 /// # Examples
 ///
@@ -30,9 +47,18 @@ use std::rc::Rc;
 /// assert!(store.take(sm).is_some());
 /// assert!(store.take(sm).is_none());
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct TimelineStore {
-    inner: Rc<RefCell<HashMap<SmId, LocalTimeline>>>,
+    /// Live timelines, indexed by `SmId::raw()`.
+    lives: RefCell<Vec<Option<LocalTimeline>>>,
+    /// Empty shells with retained capacity, awaiting the next first life.
+    spare: RefCell<Vec<LocalTimeline>>,
+    /// Recycled outer vectors for [`TimelineStore::drain`].
+    spare_drain: RefCell<Vec<Vec<LocalTimeline>>>,
+    /// Lives that started on a recycled shell instead of a fresh
+    /// allocation (a diagnostics counter, like the engine's
+    /// `timer_slots`).
+    shell_reuses: Cell<u64>,
 }
 
 impl TimelineStore {
@@ -41,41 +67,111 @@ impl TimelineStore {
         TimelineStore::default()
     }
 
+    fn slot_mut<R>(&self, sm: SmId, f: impl FnOnce(&mut Option<LocalTimeline>) -> R) -> R {
+        let mut lives = self.lives.borrow_mut();
+        let idx = sm.raw() as usize;
+        if idx >= lives.len() {
+            lives.resize_with(idx + 1, || None);
+        }
+        f(&mut lives[idx])
+    }
+
     /// Stores (replaces) the timeline for `sm`.
     pub fn put(&self, sm: SmId, timeline: LocalTimeline) {
-        self.inner.borrow_mut().insert(sm, timeline);
+        self.slot_mut(sm, |slot| *slot = Some(timeline));
     }
 
     /// Removes and returns the timeline for `sm` (used by a restarting node
     /// to resume its timeline, and by the harness to collect results).
     pub fn take(&self, sm: SmId) -> Option<LocalTimeline> {
-        self.inner.borrow_mut().remove(&sm)
+        self.slot_mut(sm, |slot| slot.take())
     }
 
     /// Whether a timeline exists for `sm` (restart detection, §3.6.3).
     pub fn contains(&self, sm: SmId) -> bool {
-        self.inner.borrow().contains_key(&sm)
+        self.lives
+            .borrow()
+            .get(sm.raw() as usize)
+            .is_some_and(|slot| slot.is_some())
     }
 
     /// Applies `f` to the stored timeline for `sm` (e.g. the daemon
     /// appending a crash record).
     pub fn with_mut<R>(&self, sm: SmId, f: impl FnOnce(&mut LocalTimeline) -> R) -> Option<R> {
-        self.inner.borrow_mut().get_mut(&sm).map(f)
+        self.slot_mut(sm, |slot| slot.as_mut().map(f))
     }
 
-    /// Drains every stored timeline (end of experiment).
+    /// Opens a life of `sm` on `host` at local time `now` and returns
+    /// whether it is a restart: an existing timeline gets the §3.6.3
+    /// restart bookkeeping appended in place, a first life begins on a
+    /// recycled (or fresh) shell. The stored timeline is exactly what the
+    /// equivalent `Recorder::resume`/`Recorder::new` round-trip produces.
+    pub fn begin_life(&self, sm: SmId, now: LocalNanos, host: HostId) -> bool {
+        self.slot_mut(sm, |slot| match slot {
+            Some(timeline) => {
+                timeline.resume_on(now, host);
+                true
+            }
+            None => {
+                let mut shell = match self.spare.borrow_mut().pop() {
+                    Some(shell) => {
+                        self.shell_reuses.set(self.shell_reuses.get() + 1);
+                        shell
+                    }
+                    None => LocalTimeline::empty_shell(),
+                };
+                shell.reset_for(sm, host);
+                *slot = Some(shell);
+                false
+            }
+        })
+    }
+
+    /// Drains every stored timeline (end of experiment) in machine-id
+    /// order. The returned vector is itself recycled via
+    /// [`TimelineStore::reclaim`].
     pub fn drain(&self) -> Vec<LocalTimeline> {
-        let mut map = self.inner.borrow_mut();
-        let mut v: Vec<LocalTimeline> = map.drain().map(|(_, t)| t).collect();
-        v.sort_by_key(|t| t.sm);
-        v
+        let mut out = self.spare_drain.borrow_mut().pop().unwrap_or_default();
+        for slot in self.lives.borrow_mut().iter_mut() {
+            if let Some(timeline) = slot.take() {
+                out.push(timeline);
+            }
+        }
+        out
+    }
+
+    /// Returns drained timelines to the shell pool: contents are cleared
+    /// (capacity retained) and both the shells and the outer vector feed
+    /// future [`TimelineStore::begin_life`]/[`TimelineStore::drain`] calls.
+    pub fn reclaim(&self, mut drained: Vec<LocalTimeline>) {
+        let mut spare = self.spare.borrow_mut();
+        for mut timeline in drained.drain(..) {
+            timeline.records.clear();
+            timeline.stints.clear();
+            spare.push(timeline);
+        }
+        self.spare_drain.borrow_mut().push(drained);
+    }
+
+    /// Number of lives begun on a recycled shell (diagnostics).
+    pub fn shell_reuses(&self) -> u64 {
+        self.shell_reuses.get()
     }
 }
 
-/// Collector for synchronization samples, keyed by calibrated host.
-#[derive(Clone, Debug, Default)]
+/// Collector for synchronization samples, dense by calibrated host.
+///
+/// Sample runs drained into [`HostSync`] records come back through
+/// [`SyncCollector::reclaim`], so in steady state a push reuses a
+/// previously-sized run instead of growing a fresh one.
+#[derive(Debug, Default)]
 pub struct SyncCollector {
-    inner: Rc<RefCell<HashMap<HostId, Vec<SyncSample>>>>,
+    /// Pending samples, indexed by `HostId::raw()`.
+    samples: RefCell<Vec<Vec<SyncSample>>>,
+    /// Recycled sample runs with retained capacity.
+    spare_runs: RefCell<Vec<Vec<SyncSample>>>,
+    /// Recycled outer vectors for [`SyncCollector::drain`].
+    spare_drain: RefCell<Vec<Vec<HostSync>>>,
 }
 
 impl SyncCollector {
@@ -86,32 +182,57 @@ impl SyncCollector {
 
     /// Appends a sample for `host`.
     pub fn push(&self, host: HostId, sample: SyncSample) {
-        self.inner
-            .borrow_mut()
-            .entry(host)
-            .or_default()
-            .push(sample);
+        let mut samples = self.samples.borrow_mut();
+        let idx = host.raw() as usize;
+        if idx >= samples.len() {
+            samples.resize_with(idx + 1, Vec::new);
+        }
+        let run = &mut samples[idx];
+        if run.capacity() == 0 {
+            // First sample of this host's mini-phase: start on a recycled
+            // run so its capacity survives across experiments.
+            if let Some(recycled) = self.spare_runs.borrow_mut().pop() {
+                *run = recycled;
+            }
+        }
+        run.push(sample);
     }
 
     /// Drains all samples into per-host records, in host-id order (the
-    /// deterministic configuration order of the hosts).
+    /// deterministic configuration order of the hosts). Hosts without
+    /// samples are skipped, exactly like the keyed collector this
+    /// replaced.
     pub fn drain(&self) -> Vec<HostSync> {
-        let mut v: Vec<HostSync> = self
-            .inner
-            .borrow_mut()
-            .drain()
-            .map(|(host, samples)| HostSync { host, samples })
-            .collect();
-        v.sort_by_key(|hs| hs.host);
-        v
+        let mut out = self.spare_drain.borrow_mut().pop().unwrap_or_default();
+        for (idx, run) in self.samples.borrow_mut().iter_mut().enumerate() {
+            if !run.is_empty() {
+                out.push(HostSync {
+                    host: HostId::from_raw(idx as u32),
+                    samples: std::mem::take(run),
+                });
+            }
+        }
+        out
+    }
+
+    /// Returns drained [`HostSync`] records to the run pool: sample runs
+    /// are cleared (capacity retained) and the outer vector feeds future
+    /// [`SyncCollector::drain`] calls.
+    pub fn reclaim(&self, mut drained: Vec<HostSync>) {
+        let mut spare = self.spare_runs.borrow_mut();
+        for mut sync in drained.drain(..) {
+            sync.samples.clear();
+            spare.push(std::mem::take(&mut sync.samples));
+        }
+        self.spare_drain.borrow_mut().push(drained);
     }
 }
 
 /// Collector for runtime warnings (e.g. notifications dropped because the
 /// recipient machine is not executing, §3.6.1).
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct WarningSink {
-    inner: Rc<RefCell<Vec<String>>>,
+    inner: RefCell<Vec<String>>,
 }
 
 impl WarningSink {
@@ -125,6 +246,15 @@ impl WarningSink {
         self.inner.borrow_mut().push(message);
     }
 
+    /// Records a warning built by `f`. The lazy form keeps the `format!`
+    /// machinery out of call sites that are on a hot path's cold branch —
+    /// callers write `warn_with(|| format!(…))` and the message is only
+    /// materialized here, at the single point a sink could ever suppress
+    /// or cap it.
+    pub fn warn_with(&self, f: impl FnOnce() -> String) {
+        self.inner.borrow_mut().push(f());
+    }
+
     /// Drains all recorded warnings.
     pub fn drain(&self) -> Vec<String> {
         std::mem::take(&mut *self.inner.borrow_mut())
@@ -132,16 +262,11 @@ impl WarningSink {
 }
 
 /// Shared control block between the central daemon and the harness.
-#[derive(Clone, Debug, Default)]
-pub struct ExperimentControl {
-    inner: Rc<RefCell<ControlState>>,
-}
-
 #[derive(Debug, Default)]
-struct ControlState {
-    timed_out: bool,
-    aborted: bool,
-    completed: bool,
+pub struct ExperimentControl {
+    timed_out: Cell<bool>,
+    aborted: Cell<bool>,
+    completed: Cell<bool>,
 }
 
 impl ExperimentControl {
@@ -152,48 +277,52 @@ impl ExperimentControl {
 
     /// Marks the experiment as timed out.
     pub fn mark_timed_out(&self) {
-        self.inner.borrow_mut().timed_out = true;
+        self.timed_out.set(true);
     }
 
     /// Marks the experiment as aborted (runtime abnormality).
     pub fn mark_aborted(&self) {
-        self.inner.borrow_mut().aborted = true;
+        self.aborted.set(true);
     }
 
     /// Marks normal completion.
     pub fn mark_completed(&self) {
-        self.inner.borrow_mut().completed = true;
+        self.completed.set(true);
     }
 
     /// Whether the experiment timed out.
     pub fn timed_out(&self) -> bool {
-        self.inner.borrow().timed_out
+        self.timed_out.get()
     }
 
     /// Whether the experiment aborted abnormally.
     pub fn aborted(&self) -> bool {
-        self.inner.borrow().aborted
+        self.aborted.get()
     }
 
     /// Whether the experiment completed normally.
     pub fn completed(&self) -> bool {
-        self.inner.borrow().completed
+        self.completed.get()
     }
 
     /// Clears all flags so the block can serve the next experiment (the
     /// batched pipeline recycles experiment scaffolding instead of
     /// reallocating it).
     pub fn reset(&self) {
-        *self.inner.borrow_mut() = ControlState::default();
+        self.timed_out.set(false);
+        self.aborted.set(false);
+        self.completed.set(false);
     }
 }
 
 /// The application's own name service: maps state machines to the actors
 /// currently embodying them (for direct application messaging, which in the
-/// thesis travels on the system-under-study's own LAN).
-#[derive(Clone, Debug, Default)]
+/// thesis travels on the system-under-study's own LAN). Dense by machine
+/// id — lookups index, and [`NodeDirectory::machines`] walks ascending ids
+/// so its output is sorted for free.
+#[derive(Debug, Default)]
 pub struct NodeDirectory {
-    inner: Rc<RefCell<HashMap<SmId, ActorId>>>,
+    inner: RefCell<Vec<Option<ActorId>>>,
 }
 
 impl NodeDirectory {
@@ -204,37 +333,52 @@ impl NodeDirectory {
 
     /// Registers (or replaces) the actor embodying `sm`.
     pub fn insert(&self, sm: SmId, actor: ActorId) {
-        self.inner.borrow_mut().insert(sm, actor);
+        let mut slots = self.inner.borrow_mut();
+        let idx = sm.raw() as usize;
+        if idx >= slots.len() {
+            slots.resize(idx + 1, None);
+        }
+        slots[idx] = Some(actor);
     }
 
     /// Removes `sm` if it is still mapped to `actor` (a stale removal after
     /// a restart must not clobber the new incarnation).
     pub fn remove_if(&self, sm: SmId, actor: ActorId) {
-        let mut map = self.inner.borrow_mut();
-        if map.get(&sm) == Some(&actor) {
-            map.remove(&sm);
+        let mut slots = self.inner.borrow_mut();
+        if let Some(slot) = slots.get_mut(sm.raw() as usize) {
+            if *slot == Some(actor) {
+                *slot = None;
+            }
         }
     }
 
     /// Looks up the actor embodying `sm`.
     pub fn lookup(&self, sm: SmId) -> Option<ActorId> {
-        self.inner.borrow().get(&sm).copied()
+        self.inner
+            .borrow()
+            .get(sm.raw() as usize)
+            .copied()
+            .flatten()
     }
 
-    /// All currently embodied machines.
+    /// All currently embodied machines, in ascending id order.
     pub fn machines(&self) -> Vec<SmId> {
-        let mut v: Vec<SmId> = self.inner.borrow().keys().copied().collect();
-        v.sort();
-        v
+        self.inner
+            .borrow()
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.is_some())
+            .map(|(idx, _)| SmId::from_raw(idx as u32))
+            .collect()
     }
 
     /// Empties the directory, keeping its capacity. An aborted or timed-out
     /// experiment can leave machines registered; the batched pipeline
     /// clears the recycled directory before the next experiment. Lookup
-    /// results are key-addressed and [`NodeDirectory::machines`] sorts, so
+    /// results are id-addressed and [`NodeDirectory::machines`] ascends, so
     /// retained capacity is unobservable.
     pub fn clear(&self) {
-        self.inner.borrow_mut().clear();
+        self.inner.borrow_mut().fill(None);
     }
 }
 
@@ -242,7 +386,7 @@ impl NodeDirectory {
 mod tests {
     use super::*;
     use loki_core::ids::Id;
-    use loki_core::recorder::Recorder;
+    use loki_core::recorder::{RecordKind, Recorder};
     use loki_core::time::LocalNanos;
 
     #[test]
@@ -255,7 +399,7 @@ mod tests {
         store.with_mut(sm, |t| {
             t.records.push(loki_core::recorder::TimelineRecord {
                 time: LocalNanos(1),
-                kind: loki_core::recorder::RecordKind::UserMessage("m".into()),
+                kind: RecordKind::UserMessage("m".into()),
             });
         });
         let t = store.take(sm).unwrap();
@@ -264,7 +408,7 @@ mod tests {
     }
 
     #[test]
-    fn drain_sorts_by_machine() {
+    fn drain_is_in_machine_order() {
         let store = TimelineStore::new();
         for i in [2u32, 0, 1] {
             let sm = Id::from_raw(i);
@@ -273,6 +417,51 @@ mod tests {
         let drained = store.drain();
         let ids: Vec<u32> = drained.iter().map(|t| t.sm.raw()).collect();
         assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn begin_life_matches_recorder_roundtrip() {
+        let store = TimelineStore::new();
+        let sm = Id::from_raw(1);
+        let h0 = Id::from_raw(0);
+        let h1 = Id::from_raw(1);
+
+        // First life == Recorder::new(sm, h0).finish().
+        assert!(!store.begin_life(sm, LocalNanos(5), h0));
+        let expect = Recorder::new(sm, h0).finish();
+        assert_eq!(store.with_mut(sm, |t| t.clone()).unwrap(), expect);
+
+        // Restart == Recorder::resume(prior, now, h1).finish().
+        assert!(store.begin_life(sm, LocalNanos(9), h1));
+        let expect = Recorder::resume(expect, LocalNanos(9), h1).finish();
+        assert_eq!(store.take(sm).unwrap(), expect);
+    }
+
+    #[test]
+    fn reclaimed_shells_are_reused_with_capacity() {
+        let store = TimelineStore::new();
+        let sm = Id::from_raw(0);
+        let host = Id::from_raw(0);
+        store.begin_life(sm, LocalNanos(0), host);
+        store.with_mut(sm, |t| {
+            for i in 0..100 {
+                t.records.push(loki_core::recorder::TimelineRecord {
+                    time: LocalNanos(i),
+                    kind: RecordKind::UserMessage("x".into()),
+                });
+            }
+        });
+        assert_eq!(store.shell_reuses(), 0);
+        store.reclaim(store.drain());
+
+        // The next first life starts on the recycled shell: contents are
+        // fresh, record capacity survives.
+        store.begin_life(sm, LocalNanos(1), host);
+        assert_eq!(store.shell_reuses(), 1);
+        let t = store.take(sm).unwrap();
+        assert!(t.records.is_empty());
+        assert_eq!(t.stints.len(), 1);
+        assert!(t.records.capacity() >= 100, "capacity not retained");
     }
 
     #[test]
@@ -295,6 +484,32 @@ mod tests {
     }
 
     #[test]
+    fn sync_collector_reuses_reclaimed_runs() {
+        let c = SyncCollector::new();
+        let s = SyncSample {
+            from_reference: false,
+            send: LocalNanos(1),
+            recv: LocalNanos(2),
+        };
+        let host: HostId = Id::from_raw(1);
+        for _ in 0..50 {
+            c.push(host, s);
+        }
+        let drained = c.drain();
+        let capacity = drained[0].samples.capacity();
+        c.reclaim(drained);
+
+        c.push(host, s);
+        let drained = c.drain();
+        assert_eq!(drained[0].samples.len(), 1);
+        assert_eq!(
+            drained[0].samples.capacity(),
+            capacity,
+            "run capacity not retained"
+        );
+    }
+
+    #[test]
     fn directory_stale_removal_is_ignored() {
         let d = NodeDirectory::new();
         let sm = Id::from_raw(0);
@@ -304,6 +519,7 @@ mod tests {
         assert_eq!(d.lookup(sm), Some(ActorId(2)));
         d.remove_if(sm, ActorId(2));
         assert_eq!(d.lookup(sm), None);
+        assert!(d.machines().is_empty());
     }
 
     #[test]
@@ -314,13 +530,15 @@ mod tests {
         c.mark_timed_out();
         c.mark_aborted();
         assert!(c.completed() && c.timed_out() && c.aborted());
+        c.reset();
+        assert!(!c.completed() && !c.timed_out() && !c.aborted());
     }
 
     #[test]
     fn warning_sink_drains() {
         let w = WarningSink::new();
         w.warn("a".into());
-        w.warn("b".into());
+        w.warn_with(|| "b".into());
         assert_eq!(w.drain().len(), 2);
         assert!(w.drain().is_empty());
     }

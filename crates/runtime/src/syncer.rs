@@ -7,12 +7,14 @@
 //! drift. The messages travel over the same simulated network as everything
 //! else, so they experience genuine scheduling and link delays.
 
+use crate::daemons::ExpCtx;
 use crate::messages::RtMsg;
-use crate::store::SyncCollector;
 use loki_core::campaign::SyncSample;
 use loki_core::ids::HostId;
 use loki_core::time::LocalNanos;
 use loki_sim::engine::{ActorId, Ctx};
+use std::any::Any;
+use std::rc::Rc;
 
 /// Echo endpoint on the reference host.
 pub struct SyncEcho;
@@ -38,13 +40,14 @@ impl loki_sim::engine::Actor<RtMsg> for SyncEcho {
 }
 
 /// Originator on a calibrated host: drives `rounds` ping/echo exchanges
-/// with `interval_ns` spacing and records the samples.
+/// with `interval_ns` spacing and records the samples into the experiment
+/// context's collector.
 pub struct Syncer {
+    ctx: Rc<ExpCtx>,
     echo: ActorId,
     host: HostId,
     rounds: u32,
     interval_ns: u64,
-    collector: SyncCollector,
     /// The outstanding ping's `(seq, local send time)`. Rounds are strictly
     /// sequential — the next ping is only scheduled once the previous echo
     /// arrives — so at most one ping is ever in flight.
@@ -53,21 +56,30 @@ pub struct Syncer {
 
 impl Syncer {
     /// Creates a syncer for `host` talking to `echo`.
-    pub fn new(
+    pub(crate) fn new(
+        ctx: Rc<ExpCtx>,
         echo: ActorId,
         host: HostId,
         rounds: u32,
         interval_ns: u64,
-        collector: SyncCollector,
     ) -> Self {
         Syncer {
+            ctx,
             echo,
             host,
             rounds,
             interval_ns,
-            collector,
             sent: None,
         }
+    }
+
+    /// Re-targets a pooled hull for the next sync session (same context).
+    pub(crate) fn reinit(&mut self, echo: ActorId, host: HostId, rounds: u32, interval_ns: u64) {
+        self.echo = echo;
+        self.host = host;
+        self.rounds = rounds;
+        self.interval_ns = interval_ns;
+        self.sent = None;
     }
 
     fn ping(&mut self, ctx: &mut Ctx<'_, RtMsg>, seq: u32) {
@@ -97,7 +109,7 @@ impl loki_sim::engine::Actor<RtMsg> for Syncer {
             let now = ctx.local_clock();
             if let Some((_, my_send)) = self.sent.take_if(|&mut (s, _)| s == seq) {
                 // machine → reference leg.
-                self.collector.push(
+                self.ctx.collector.push(
                     self.host,
                     SyncSample {
                         from_reference: false,
@@ -106,7 +118,7 @@ impl loki_sim::engine::Actor<RtMsg> for Syncer {
                     },
                 );
                 // reference → machine leg.
-                self.collector.push(
+                self.ctx.collector.push(
                     self.host,
                     SyncSample {
                         from_reference: true,
@@ -129,11 +141,16 @@ impl loki_sim::engine::Actor<RtMsg> for Syncer {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, RtMsg>, tag: u64) {
         self.ping(ctx, tag as u32);
     }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn Any> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::daemons::test_ctx;
     use loki_clock::params::ClockParams;
     use loki_clock::sync::{estimate_alpha_beta, SyncOptions};
     use loki_sim::config::HostConfig;
@@ -151,21 +168,21 @@ mod tests {
         );
         let h2 = sim.add_host(HostConfig::new("h2").clock(m_clock).timeslice_ns(1_000_000));
 
-        let collector = SyncCollector::new();
+        let ctx = test_ctx(&["ref", "h2"]);
         let echo = sim.spawn(h_ref, Box::new(SyncEcho));
         sim.spawn(
             h2,
             Box::new(Syncer::new(
+                ctx.clone(),
                 echo,
                 HostId::from_raw(1),
                 15,
                 2_000_000,
-                collector.clone(),
             )),
         );
         sim.run();
 
-        let syncs = collector.drain();
+        let syncs = ctx.collector.drain();
         assert_eq!(syncs.len(), 1);
         assert_eq!(syncs[0].samples.len(), 30); // two per round
 
@@ -181,19 +198,13 @@ mod tests {
     fn zero_rounds_terminates_cleanly() {
         let mut sim: Simulation<RtMsg> = Simulation::new(1);
         let h = sim.add_host(HostConfig::new("h"));
-        let collector = SyncCollector::new();
+        let ctx = test_ctx(&["h"]);
         let echo = sim.spawn(h, Box::new(SyncEcho));
         sim.spawn(
             h,
-            Box::new(Syncer::new(
-                echo,
-                HostId::from_raw(0),
-                0,
-                1,
-                collector.clone(),
-            )),
+            Box::new(Syncer::new(ctx.clone(), echo, HostId::from_raw(0), 0, 1)),
         );
         sim.run();
-        assert!(collector.drain().is_empty());
+        assert!(ctx.collector.drain().is_empty());
     }
 }

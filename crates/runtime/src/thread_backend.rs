@@ -71,6 +71,9 @@ impl Router {
         v.sort();
         v
     }
+    fn contains(&self, sm: SmId) -> bool {
+        self.inner.read().contains_key(&sm)
+    }
 }
 
 /// What a finished node reports to the coordinator.
@@ -194,6 +197,10 @@ impl Port for ThreadPort<'_> {
 
     fn live_machines(&self) -> Vec<SmId> {
         self.router.machines()
+    }
+
+    fn is_live(&self, sm: SmId) -> bool {
+        self.router.contains(sm)
     }
 
     fn host_id(&self) -> HostId {

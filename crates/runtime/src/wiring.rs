@@ -4,16 +4,24 @@
 //! file* (§3.5.2): configuration every component reads at startup to find
 //! its peers. The harness fills it after spawning all long-lived actors and
 //! before the simulation runs its first event.
+//!
+//! The distinct-daemon list is computed once at fill time and cached: the
+//! hot consumers (peer broadcast, the completion check, central-daemon
+//! shutdown) borrow the cached slice instead of rebuilding a deduplicated
+//! vector per call.
 
 use loki_sim::engine::ActorId;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 
 /// Shared wiring table.
 #[derive(Debug, Default)]
 pub struct Wiring {
     daemons: RefCell<Vec<ActorId>>,
-    central: RefCell<Option<ActorId>>,
-    supervisor: RefCell<Option<ActorId>>,
+    /// Distinct daemons in host order, recomputed whenever the daemon
+    /// list changes.
+    unique: RefCell<Vec<ActorId>>,
+    central: Cell<Option<ActorId>>,
+    supervisor: Cell<Option<ActorId>>,
 }
 
 impl Wiring {
@@ -26,23 +34,38 @@ impl Wiring {
     /// centralized design every entry is the same actor.
     pub fn set_daemons(&self, daemons: Vec<ActorId>) {
         *self.daemons.borrow_mut() = daemons;
+        self.recompute_unique();
     }
 
     /// Fills the per-host daemon list from an iterator, reusing the list's
     /// existing allocation (the batched pipeline recycles wiring tables
     /// across experiments).
     pub fn fill_daemons(&self, daemons: impl IntoIterator<Item = ActorId>) {
-        let mut list = self.daemons.borrow_mut();
-        list.clear();
-        list.extend(daemons);
+        {
+            let mut list = self.daemons.borrow_mut();
+            list.clear();
+            list.extend(daemons);
+        }
+        self.recompute_unique();
     }
 
-    /// Clears the whole table (keeping the daemon list's capacity) so it
-    /// can be refilled for the next experiment.
+    fn recompute_unique(&self) {
+        let mut unique = self.unique.borrow_mut();
+        unique.clear();
+        for &d in self.daemons.borrow().iter() {
+            if !unique.contains(&d) {
+                unique.push(d);
+            }
+        }
+    }
+
+    /// Clears the whole table (keeping the lists' capacity) so it can be
+    /// refilled for the next experiment.
     pub fn reset(&self) {
         self.daemons.borrow_mut().clear();
-        *self.central.borrow_mut() = None;
-        *self.supervisor.borrow_mut() = None;
+        self.unique.borrow_mut().clear();
+        self.central.set(None);
+        self.supervisor.set(None);
     }
 
     /// The daemon serving `host_idx`.
@@ -54,20 +77,28 @@ impl Wiring {
         self.daemons.borrow()[host_idx]
     }
 
-    /// All *distinct* daemon actors, in host order.
+    /// All *distinct* daemon actors, in host order (a fresh vector; the
+    /// allocation-free form is [`Wiring::with_unique`]).
     pub fn unique_daemons(&self) -> Vec<ActorId> {
-        let mut seen = Vec::new();
-        for &d in self.daemons.borrow().iter() {
-            if !seen.contains(&d) {
-                seen.push(d);
-            }
-        }
-        seen
+        self.unique.borrow().clone()
+    }
+
+    /// Applies `f` to the cached distinct-daemon slice without cloning it.
+    /// The slice is borrowed for the duration of `f`; `f` must not refill
+    /// the wiring (spawning/sending through an actor context is fine — the
+    /// engine never touches the wiring).
+    pub fn with_unique<R>(&self, f: impl FnOnce(&[ActorId]) -> R) -> R {
+        f(&self.unique.borrow())
+    }
+
+    /// Number of distinct daemon actors.
+    pub fn num_unique(&self) -> usize {
+        self.unique.borrow().len()
     }
 
     /// Sets the central daemon.
     pub fn set_central(&self, central: ActorId) {
-        *self.central.borrow_mut() = Some(central);
+        self.central.set(Some(central));
     }
 
     /// The central daemon.
@@ -76,17 +107,17 @@ impl Wiring {
     ///
     /// Panics if unset.
     pub fn central(&self) -> ActorId {
-        self.central.borrow().expect("central daemon wired")
+        self.central.get().expect("central daemon wired")
     }
 
     /// Sets the restart supervisor (optional).
     pub fn set_supervisor(&self, supervisor: ActorId) {
-        *self.supervisor.borrow_mut() = Some(supervisor);
+        self.supervisor.set(Some(supervisor));
     }
 
     /// The restart supervisor, if configured.
     pub fn supervisor(&self) -> Option<ActorId> {
-        *self.supervisor.borrow()
+        self.supervisor.get()
     }
 }
 
@@ -100,7 +131,20 @@ mod tests {
         let d = ActorId(7);
         w.set_daemons(vec![d, d, d]);
         assert_eq!(w.unique_daemons(), vec![d]);
+        assert_eq!(w.num_unique(), 1);
         assert_eq!(w.daemon_for(2), d);
+        w.with_unique(|unique| assert_eq!(unique, [d]));
+    }
+
+    #[test]
+    fn unique_cache_tracks_refills() {
+        let w = Wiring::new();
+        w.fill_daemons([ActorId(1), ActorId(2), ActorId(1)]);
+        assert_eq!(w.unique_daemons(), vec![ActorId(1), ActorId(2)]);
+        w.reset();
+        assert_eq!(w.num_unique(), 0);
+        w.fill_daemons([ActorId(9)]);
+        assert_eq!(w.unique_daemons(), vec![ActorId(9)]);
     }
 
     #[test]

@@ -40,6 +40,7 @@ use loki_core::small::InlineVec;
 use loki_core::time::LocalNanos;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::any::Any;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
@@ -105,6 +106,14 @@ pub trait Actor<M> {
     /// Called when a peer watched via [`Ctx::watch`] dies.
     fn on_peer_down(&mut self, ctx: &mut Ctx<'_, M>, peer: ActorId, reason: DownReason) {
         let _ = (ctx, peer, reason);
+    }
+
+    /// Downcast hook for harnesses that recycle dead actors (see
+    /// [`Simulation::set_reclaim_dead`]): return `Some(self)` to let a
+    /// pool identify this actor's concrete type and reuse its allocation.
+    /// The default `None` opts out — such corpses are dropped as usual.
+    fn as_any_mut(&mut self) -> Option<&mut dyn Any> {
+        None
     }
 }
 
@@ -332,6 +341,10 @@ pub struct Simulation<M> {
     trace_enabled: bool,
     max_events: u64,
     events_processed: u64,
+    /// When enabled, killed actors' boxes are parked in `graveyard`
+    /// instead of dropped, for the harness to drain and recycle.
+    reclaim_dead: bool,
+    graveyard: Vec<Box<dyn Actor<M>>>,
 }
 
 impl<M: 'static> Simulation<M> {
@@ -361,6 +374,8 @@ impl<M: 'static> Simulation<M> {
             trace_enabled: true,
             max_events: 50_000_000,
             events_processed: 0,
+            reclaim_dead: false,
+            graveyard: Vec::new(),
         }
     }
 
@@ -393,6 +408,8 @@ impl<M: 'static> Simulation<M> {
         self.trace.clear();
         self.trace_enabled = true;
         self.events_processed = 0;
+        self.reclaim_dead = false;
+        self.graveyard.clear();
     }
 
     /// The world description this simulation runs over.
@@ -558,6 +575,24 @@ impl<M: 'static> Simulation<M> {
         self.kill_internal(actor, reason);
     }
 
+    /// Parks killed actors' boxes in an internal graveyard instead of
+    /// dropping them, so a harness can [`drain`](Simulation::drain_dead)
+    /// and recycle the allocations. Off by default and switched off again
+    /// by [`Simulation::reset`] (which also empties the graveyard), so
+    /// plain simulations never accumulate corpses.
+    pub fn set_reclaim_dead(&mut self, enabled: bool) {
+        self.reclaim_dead = enabled;
+        if !enabled {
+            self.graveyard.clear();
+        }
+    }
+
+    /// Drains the corpses parked since the last drain (see
+    /// [`Simulation::set_reclaim_dead`]), oldest first.
+    pub fn drain_dead(&mut self) -> std::vec::Drain<'_, Box<dyn Actor<M>>> {
+        self.graveyard.drain(..)
+    }
+
     /// Runs until the event queue drains.
     ///
     /// # Panics
@@ -689,7 +724,12 @@ impl<M: 'static> Simulation<M> {
             return;
         }
         self.alive[actor.0 as usize] = false;
-        self.actors[actor.0 as usize] = None;
+        let corpse = self.actors[actor.0 as usize].take();
+        if self.reclaim_dead {
+            if let Some(corpse) = corpse {
+                self.graveyard.push(corpse);
+            }
+        }
         if self.trace_enabled {
             self.trace.push(TraceEntry::Down {
                 time: self.time,
@@ -1071,6 +1111,26 @@ mod tests {
         assert!(!sim.is_alive(crasher_id));
         // Crash detection took the configured latency.
         assert_eq!(sim.now(), 50_000);
+    }
+
+    #[test]
+    fn reclaim_dead_parks_corpses_for_draining() {
+        let (mut sim, h1, _) = two_host_sim(11);
+        sim.set_reclaim_dead(true);
+        sim.spawn(h1, Box::new(CrashOnStart));
+        sim.spawn(h1, Box::new(CrashOnStart));
+        sim.run();
+        assert_eq!(sim.drain_dead().count(), 2);
+        // Drained once, the graveyard is empty until the next kill.
+        assert_eq!(sim.drain_dead().count(), 0);
+        // Reset empties the graveyard and switches reclaim back off.
+        sim.spawn(h1, Box::new(CrashOnStart));
+        sim.run();
+        sim.reset(11);
+        assert_eq!(sim.drain_dead().count(), 0);
+        sim.spawn(h1, Box::new(CrashOnStart));
+        sim.run();
+        assert_eq!(sim.drain_dead().count(), 0, "reclaim off after reset");
     }
 
     #[test]

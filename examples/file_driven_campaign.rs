@@ -95,7 +95,7 @@ impl App for Pulser {
         }
     }
     fn on_fault(&mut self, ctx: &mut NodeCtx<'_>, fault: &str) {
-        ctx.record_user_message(&format!("probe injected {fault}"));
+        ctx.record_user_message(format!("probe injected {fault}"));
     }
 }
 

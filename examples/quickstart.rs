@@ -77,7 +77,7 @@ impl App for Observer {
     fn on_fault(&mut self, ctx: &mut NodeCtx<'_>, fault: &str) {
         // The probe's injectFault(): here we only log; campaigns usually
         // crash/corrupt the process.
-        ctx.record_user_message(&format!("injected {fault}"));
+        ctx.record_user_message(format!("injected {fault}"));
     }
 }
 

@@ -59,6 +59,11 @@ fn batched_results_are_byte_identical_across_k_and_workers() {
         baseline.iter().any(|a| a.injections > 0),
         "campaign must inject"
     );
+    // The baseline retires its context after every experiment, so the
+    // recycling counters stay at their documented zeros.
+    assert_eq!(baseline_summary.actor_reuses, 0);
+    assert_eq!(baseline_summary.timeline_reuses, 0);
+    assert_eq!(baseline_summary.events, 0);
 
     for k in [1usize, 2, 4, 8] {
         for workers in [1usize, 2, 4] {
@@ -90,6 +95,18 @@ fn batched_results_are_byte_identical_across_k_and_workers() {
                 "K={k} workers={workers}: peak retention {}",
                 summary.peak_raw_retained
             );
+
+            // The batched path counts events and recycles hulls (the
+            // post-sync phase alone reuses every pre-sync syncer), in
+            // every matrix cell — while the results above stay identical.
+            assert!(
+                summary.events > 0,
+                "K={k} workers={workers}: no events counted"
+            );
+            assert!(
+                summary.actor_reuses > 0,
+                "K={k} workers={workers}: no pooled actor reuse"
+            );
         }
     }
 
@@ -101,6 +118,39 @@ fn batched_results_are_byte_identical_across_k_and_workers() {
         assert_eq!(data.experiment, analyzed.experiment);
         assert_eq!(data.end, analyzed.end, "experiment end diverged");
     }
+}
+
+#[test]
+fn pooling_recycles_across_experiments_without_changing_results() {
+    // A restart-policy campaign exercises the full pooled-actor lifecycle:
+    // mid-experiment node respawns (supervisor restarts the killed token
+    // holder) plus cross-experiment recycling of daemons, syncers, the
+    // central daemon, the supervisor, and capacity-retaining timeline
+    // shells. One worker with a small batch and more experiments than the
+    // batch guarantees scripts are recycled through the spare list.
+    use loki::runtime::daemons::RestartPolicy;
+    let (study, factory) = ring_campaign();
+    let mut cfg = SimHarnessConfig::three_hosts(0x9001);
+    cfg.restart = Some(RestartPolicy::default());
+    cfg.batch = Some(2);
+
+    let baseline_pipeline = CampaignPipeline::new(study.clone(), factory.clone(), cfg.clone())
+        .per_experiment_baseline();
+    let (baseline, _) = run_collect(&baseline_pipeline, 12, 1);
+
+    let pipeline = CampaignPipeline::new(study, factory, cfg);
+    let (streamed, summary) = run_collect(&pipeline, 12, 1);
+
+    assert_eq!(streamed, baseline, "pooling changed campaign results");
+    assert!(
+        summary.actor_reuses > 0,
+        "restart campaign must reuse pooled hulls"
+    );
+    assert!(
+        summary.timeline_reuses > 0,
+        "recycled scripts must reuse reclaimed timeline shells"
+    );
+    assert!(summary.events > 0);
 }
 
 #[test]

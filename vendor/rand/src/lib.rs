@@ -195,18 +195,27 @@ impl SampleRange<f64> for RangeInclusive<f64> {
 
 /// Uniform integer in `[0, span)` via Lemire's multiply-shift with
 /// rejection (unbiased). `span == 0` means the full 64-bit range.
+///
+/// The rejection threshold `2^64 mod span` is below `span`, so draws with
+/// `lo >= span` are accepted without computing it — the expensive 64-bit
+/// division runs only with probability `span / 2^64` per draw. The
+/// accepted sample sequence is identical to the always-divide form.
 fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
     if span == 0 {
         return rng.next_u64();
     }
-    loop {
-        let x = rng.next_u64();
-        let m = (x as u128).wrapping_mul(span as u128);
-        let lo = m as u64;
-        if lo >= span.wrapping_neg() % span {
-            return (m >> 64) as u64;
+    let x = rng.next_u64();
+    let mut m = (x as u128).wrapping_mul(span as u128);
+    let mut lo = m as u64;
+    if lo < span {
+        let threshold = span.wrapping_neg() % span;
+        while lo < threshold {
+            let x = rng.next_u64();
+            m = (x as u128).wrapping_mul(span as u128);
+            lo = m as u64;
         }
     }
+    (m >> 64) as u64
 }
 
 /// Named generators.
