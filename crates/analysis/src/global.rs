@@ -9,6 +9,8 @@
 //! check and the measure phase.
 
 use crate::error::AnalysisError;
+use crate::merge::{merge_sorted_runs, MergeScratch};
+use crate::recycle::{Shell, ShellHandle, ShellPool};
 use loki_clock::sync::{estimate_alpha_beta, AlphaBetaBounds, SyncOptions};
 use loki_core::campaign::ExperimentData;
 use loki_core::ids::{EventId, FaultId, HostId, SmId, StateId, SymbolTable};
@@ -79,7 +81,13 @@ pub struct StateInterval {
 /// identity projection — no record referenced them, or `make_global` would
 /// have failed). The study-run [`SymbolTable`] rides along behind an `Arc`
 /// so reports can resolve names without the (dropped) raw data.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Timelines built through [`make_global_pooled`] additionally carry a
+/// [`ShellHandle`]: when the timeline drops, its vectors return to the
+/// [`ShellPool`] they came from (see [`crate::recycle`]). The handle is
+/// invisible to comparison and never survives a clone, so pooled and
+/// unpooled timelines compare equal whenever their data does.
+#[derive(Debug)]
 pub struct GlobalTimeline {
     /// All events, sorted by the midpoint of their bounds.
     pub events: Vec<GlobalEvent>,
@@ -96,6 +104,40 @@ pub struct GlobalTimeline {
     pub reference_host: HostId,
     /// The study-run symbol table resolving every [`HostId`] above.
     pub symbols: Arc<SymbolTable>,
+    /// Return path to the [`ShellPool`] this timeline's vectors came from
+    /// (`None` for unpooled timelines and clones). Consumed on drop.
+    pub recycle: Option<ShellHandle>,
+}
+
+impl Clone for GlobalTimeline {
+    /// Clones the data; the clone is *not* pooled (its `recycle` is
+    /// `None`), so cloning never double-returns a shell.
+    fn clone(&self) -> Self {
+        GlobalTimeline {
+            events: self.events.clone(),
+            intervals: self.intervals.clone(),
+            start: self.start,
+            end: self.end,
+            alpha_beta: self.alpha_beta.clone(),
+            reference_host: self.reference_host,
+            symbols: self.symbols.clone(),
+            recycle: None,
+        }
+    }
+}
+
+impl PartialEq for GlobalTimeline {
+    /// Data equality only — the recycle handle is bookkeeping, not content,
+    /// so pooled results compare byte-identical to unpooled baselines.
+    fn eq(&self, other: &Self) -> bool {
+        self.events == other.events
+            && self.intervals == other.intervals
+            && self.start == other.start
+            && self.end == other.end
+            && self.alpha_beta == other.alpha_beta
+            && self.reference_host == other.reference_host
+            && self.symbols == other.symbols
+    }
 }
 
 impl GlobalTimeline {
@@ -188,6 +230,75 @@ pub fn make_global(
     opts: &GlobalOptions,
 ) -> Result<GlobalTimeline, AnalysisError> {
     opts.validate()?;
+    let mut shell = Shell::default();
+    let mut scratch = MergeScratch::default();
+    let (start, end) = fill_shell(study, data, opts, &mut shell, &mut scratch)?;
+    Ok(assemble(shell, start, end, data, None))
+}
+
+/// [`make_global`] against a [`ShellPool`]: the timeline's vectors come
+/// from the pool (allocation-free once warm) and flow back to it when the
+/// timeline drops, and the k-way merge runs against pooled scratch. Output
+/// is byte-identical to [`make_global`].
+///
+/// # Errors
+///
+/// Exactly as [`make_global`]; on error the drawn shell returns to the
+/// pool, so failed experiments don't leak pooled capacity.
+pub fn make_global_pooled(
+    study: &Study,
+    data: &ExperimentData,
+    opts: &GlobalOptions,
+    pool: &ShellPool,
+) -> Result<GlobalTimeline, AnalysisError> {
+    opts.validate()?;
+    let (mut shell, handle) = pool.take_shell();
+    let mut scratch = pool.take_scratch();
+    let result = fill_shell(study, data, opts, &mut shell, &mut scratch);
+    pool.put_scratch(scratch);
+    match result {
+        Ok((start, end)) => Ok(assemble(shell, start, end, data, Some(handle))),
+        Err(e) => {
+            handle.restock(shell);
+            Err(e)
+        }
+    }
+}
+
+/// Wraps a filled shell into the final timeline.
+fn assemble(
+    shell: Shell,
+    start: GlobalNanos,
+    end: GlobalNanos,
+    data: &ExperimentData,
+    recycle: Option<ShellHandle>,
+) -> GlobalTimeline {
+    GlobalTimeline {
+        events: shell.events,
+        intervals: shell.intervals,
+        start,
+        end,
+        alpha_beta: shell.alpha_beta,
+        reference_host: data.reference_host,
+        symbols: data.symbols.clone(),
+        recycle,
+    }
+}
+
+/// The construction core shared by [`make_global`] and
+/// [`make_global_pooled`]: calibrates, projects, and orders into `shell`'s
+/// (cleared) vectors, returning the experiment window. Assumes the options
+/// are already validated.
+fn fill_shell(
+    study: &Study,
+    data: &ExperimentData,
+    opts: &GlobalOptions,
+    shell: &mut Shell,
+    scratch: &mut MergeScratch,
+) -> Result<(GlobalNanos, GlobalNanos), AnalysisError> {
+    shell.events.clear();
+    shell.intervals.clear();
+    scratch.clear();
     // --- alphabeta: per-host clock calibration -----------------------------
     // Dense, indexed by `HostId`: the projection loop below resolves a
     // record's bounds with one array index instead of hashing a host-name
@@ -206,7 +317,11 @@ pub fn make_global(
         .num_hosts()
         .max(data.reference_host.index() + 1)
         .max(data.hosts.iter().map(|h| h.index() + 1).max().unwrap_or(0));
-    let mut alpha_beta: Vec<AlphaBetaBounds> = vec![AlphaBetaBounds::identity(); num_hosts];
+    shell.alpha_beta.clear();
+    shell
+        .alpha_beta
+        .resize(num_hosts, AlphaBetaBounds::identity());
+    let alpha_beta = &mut shell.alpha_beta;
     let mut samples = Vec::new();
     for &host in &data.hosts {
         if host == data.reference_host {
@@ -229,16 +344,26 @@ pub fn make_global(
 
     // --- makeglobal: project every record -----------------------------------
     // Exact capacity up front: one event per record, at most one interval
-    // per record — the loop below never reallocates.
+    // per record — the loop below never reallocates (and against a warm
+    // recycled shell, never allocates at all).
     let total_records: usize = data.timelines.iter().map(|t| t.records.len()).sum();
-    let mut events: Vec<GlobalEvent> = Vec::with_capacity(total_records);
-    let mut intervals: Vec<StateInterval> =
-        Vec::with_capacity(total_records + data.timelines.len());
+    let events = &mut shell.events;
+    let intervals = &mut shell.intervals;
+    events.reserve(total_records);
+    intervals.reserve(total_records + data.timelines.len());
+    // Each timeline appends one contiguous run of events. While every run
+    // stays mid-monotonic (the affine projection is monotonic in local
+    // time, so only a clock stepping backwards across a host change breaks
+    // this) the global ordering below is a k-way merge instead of a sort.
+    // Run indexes are u32, so absurdly large inputs take the sort fallback.
+    let mut runs_sorted = u32::try_from(total_records).is_ok();
 
     for timeline in &data.timelines {
         let mut current_state = study.reserved.begin;
         let mut open: Option<(StateId, TimeBounds)> = None;
         let mut checked_host: Option<HostId> = None;
+        let run_start = events.len();
+        let mut prev_mid = f64::NEG_INFINITY;
 
         for (idx, host, record) in timeline.records_with_hosts() {
             if checked_host != Some(host) {
@@ -251,6 +376,13 @@ pub fn make_global(
                 checked_host = Some(host);
             }
             let bounds = alpha_beta[host.index()].project(record.time);
+            if runs_sorted {
+                let mid = bounds.mid().as_f64();
+                if prev_mid.total_cmp(&mid) == std::cmp::Ordering::Greater {
+                    runs_sorted = false;
+                }
+                prev_mid = mid;
+            }
             let kind = match &record.kind {
                 RecordKind::StateChange { event, new_state } => {
                     let from_state = current_state;
@@ -307,9 +439,20 @@ pub fn make_global(
                 exit: None,
             });
         }
+        if runs_sorted && events.len() > run_start {
+            scratch.runs.push((run_start as u32, events.len() as u32));
+        }
     }
 
-    events.sort_by(|a, b| a.bounds.mid().total_cmp(&b.bounds.mid()));
+    // Order by midpoint. The merge reproduces the stable sort's exact tie
+    // order — equal mids resolve by (timeline, record position), which is
+    // insertion order — so both arms are byte-identical; the merge is just
+    // O(n log k) and allocation-free against pooled scratch.
+    if runs_sorted {
+        merge_sorted_runs(events, scratch, |e| e.bounds.mid().as_f64());
+    } else {
+        events.sort_by(|a, b| a.bounds.mid().total_cmp(&b.bounds.mid()));
+    }
     let start = events
         .iter()
         .map(|e| e.bounds.lo)
@@ -339,16 +482,8 @@ pub fn make_global(
     };
 
     // Uncalibrated hosts were never referenced (the loop above would have
-    // errored); their identity fillers keep the vector dense.
-    Ok(GlobalTimeline {
-        events,
-        intervals,
-        start,
-        end,
-        alpha_beta,
-        reference_host: data.reference_host,
-        symbols: data.symbols.clone(),
-    })
+    // errored); their identity fillers keep `shell.alpha_beta` dense.
+    Ok((start, end))
 }
 
 #[cfg(test)]

@@ -42,13 +42,17 @@ pub mod checker;
 pub mod error;
 pub mod global;
 pub mod intervals;
+pub mod merge;
+pub mod recycle;
 
 pub use checker::{check_experiment, ExperimentVerdict, MissingPolicy, Verdict};
 pub use error::AnalysisError;
 pub use global::{
-    make_global, GlobalEvent, GlobalEventKind, GlobalOptions, GlobalTimeline, StateInterval,
+    make_global, make_global_pooled, GlobalEvent, GlobalEventKind, GlobalOptions, GlobalTimeline,
+    StateInterval,
 };
 pub use intervals::IntervalSet;
+pub use recycle::{Shell, ShellHandle, ShellPool};
 
 use loki_core::campaign::{ExperimentData, ExperimentEnd};
 use loki_core::study::Study;
@@ -168,6 +172,28 @@ pub fn analyze_one(
     data: &ExperimentData,
     opts: &AnalysisOptions,
 ) -> AnalyzedExperiment {
+    analyze_one_impl(study, data, opts, None)
+}
+
+/// [`analyze_one`] against a [`ShellPool`]: the global timeline is built in
+/// a recycled result shell ([`make_global_pooled`]), so in steady state the
+/// analysis phase allocates no timeline vectors at all — they cycle
+/// sink→pool→worker. Results are byte-identical to [`analyze_one`].
+pub fn analyze_one_pooled(
+    study: &Study,
+    data: &ExperimentData,
+    opts: &AnalysisOptions,
+    pool: &ShellPool,
+) -> AnalyzedExperiment {
+    analyze_one_impl(study, data, opts, Some(pool))
+}
+
+fn analyze_one_impl(
+    study: &Study,
+    data: &ExperimentData,
+    opts: &AnalysisOptions,
+    pool: Option<&ShellPool>,
+) -> AnalyzedExperiment {
     let mut analyzed = AnalyzedExperiment {
         experiment: data.experiment,
         end: data.end,
@@ -179,7 +205,11 @@ pub fn analyze_one(
     if data.end != ExperimentEnd::Completed {
         return analyzed;
     }
-    match make_global(study, data, &opts.global) {
+    let global = match pool {
+        Some(pool) => make_global_pooled(study, data, &opts.global, pool),
+        None => make_global(study, data, &opts.global),
+    };
+    match global {
         Ok(gt) => {
             analyzed.verdict = Some(check_experiment(study, &gt, opts.missing));
             analyzed.global = Some(gt);

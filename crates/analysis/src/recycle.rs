@@ -1,0 +1,227 @@
+//! Result-shell recycling for the analysis hot path.
+//!
+//! Every analyzed experiment used to allocate a fresh set of
+//! [`GlobalTimeline`] vectors (events, intervals, the dense `alpha_beta`
+//! table), ship them across the pipeline's result channel, and drop them in
+//! the sink — three heap round-trips per experiment on an otherwise
+//! allocation-lean path. A [`ShellPool`] closes that loop: `make_global`
+//! draws an empty [`Shell`] from the pool and fills it in place, the
+//! resulting timeline carries a [`ShellHandle`] back to the pool, and when
+//! the timeline is finally dropped — wherever that happens, sink or
+//! mid-pipeline — its vectors flow back for the next experiment. Fresh
+//! allocation happens only while the pool is warming up (or when a sink
+//! retains timelines), and both cases are visible in the
+//! [`ShellPool::shell_reuses`] / [`ShellPool::shell_allocs`] counters that
+//! the campaign pipeline surfaces through its summary.
+//!
+//! The pool also stocks [`MergeScratch`] buffers for the k-way merge:
+//! workers share one pool behind an `Arc`, and a scratch cycles
+//! take→merge→put within each `make_global` call, so the merge allocates
+//! nothing in steady state either.
+
+use crate::global::{GlobalEvent, GlobalTimeline, StateInterval};
+use crate::merge::MergeScratch;
+use loki_clock::sync::AlphaBetaBounds;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The recyclable backing store of one [`GlobalTimeline`]: its three
+/// per-experiment vectors, empty but capacity-warm.
+#[derive(Debug, Default)]
+pub struct Shell {
+    /// Backing store for [`GlobalTimeline::events`].
+    pub events: Vec<GlobalEvent>,
+    /// Backing store for [`GlobalTimeline::intervals`].
+    pub intervals: Vec<StateInterval>,
+    /// Backing store for [`GlobalTimeline::alpha_beta`].
+    pub alpha_beta: Vec<AlphaBetaBounds>,
+}
+
+/// Shared pool state. Two small free-lists behind mutexes — contention is
+/// one lock round-trip per experiment per list, negligible next to the
+/// experiment itself — plus monotonic reuse/alloc counters.
+struct PoolInner {
+    shells: Mutex<Vec<Shell>>,
+    scratch: Mutex<Vec<MergeScratch>>,
+    capacity: usize,
+    shell_reuses: AtomicU64,
+    shell_allocs: AtomicU64,
+}
+
+/// A bounded, thread-shared pool of result shells and merge scratch.
+///
+/// Clones share the same pool. The bound caps retained memory when a sink
+/// drops many timelines at once (e.g. a reorder buffer flushing): shells
+/// beyond `capacity` are simply freed.
+#[derive(Clone)]
+pub struct ShellPool {
+    inner: Arc<PoolInner>,
+}
+
+impl fmt::Debug for ShellPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShellPool")
+            .field("capacity", &self.inner.capacity)
+            .field("shell_reuses", &self.shell_reuses())
+            .field("shell_allocs", &self.shell_allocs())
+            .finish()
+    }
+}
+
+impl Default for ShellPool {
+    /// A pool bounded at 64 shells — comfortably above any realistic
+    /// in-flight window (workers × batch + reorder depth).
+    fn default() -> Self {
+        ShellPool::new(64)
+    }
+}
+
+impl ShellPool {
+    /// Creates a pool retaining at most `capacity` idle shells (and as many
+    /// merge scratches).
+    pub fn new(capacity: usize) -> Self {
+        ShellPool {
+            inner: Arc::new(PoolInner {
+                shells: Mutex::new(Vec::new()),
+                scratch: Mutex::new(Vec::new()),
+                capacity,
+                shell_reuses: AtomicU64::new(0),
+                shell_allocs: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Takes a shell (pooled if available, fresh otherwise) plus the handle
+    /// that will route it back here when the filled timeline drops.
+    pub fn take_shell(&self) -> (Shell, ShellHandle) {
+        let pooled = self.inner.shells.lock().expect("shell pool poisoned").pop();
+        let shell = match pooled {
+            Some(shell) => {
+                self.inner.shell_reuses.fetch_add(1, Ordering::Relaxed);
+                shell
+            }
+            None => {
+                self.inner.shell_allocs.fetch_add(1, Ordering::Relaxed);
+                Shell::default()
+            }
+        };
+        (shell, ShellHandle(self.inner.clone()))
+    }
+
+    /// Takes a merge scratch (pooled or fresh). Return it with
+    /// [`ShellPool::put_scratch`] when the merge is done.
+    pub fn take_scratch(&self) -> MergeScratch {
+        self.inner
+            .scratch
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a merge scratch to the pool (dropped if the pool is full).
+    pub fn put_scratch(&self, mut scratch: MergeScratch) {
+        scratch.clear();
+        let mut pool = self.inner.scratch.lock().expect("scratch pool poisoned");
+        if pool.len() < self.inner.capacity {
+            pool.push(scratch);
+        }
+    }
+
+    /// Number of [`ShellPool::take_shell`] calls served from the pool.
+    pub fn shell_reuses(&self) -> u64 {
+        self.inner.shell_reuses.load(Ordering::Relaxed)
+    }
+
+    /// Number of [`ShellPool::take_shell`] calls that had to allocate a
+    /// fresh shell. In steady state this is bounded by the in-flight window
+    /// (workers × batch + channel + reorder depth), not the experiment
+    /// count.
+    pub fn shell_allocs(&self) -> u64 {
+        self.inner.shell_allocs.load(Ordering::Relaxed)
+    }
+
+    /// Idle shells currently retained (test/diagnostic hook).
+    pub fn idle_shells(&self) -> usize {
+        self.inner.shells.lock().expect("shell pool poisoned").len()
+    }
+}
+
+/// The return path of one shell: carried by a [`GlobalTimeline`] built from
+/// a pool, consumed by its `Drop` to restock the vectors.
+pub struct ShellHandle(Arc<PoolInner>);
+
+impl fmt::Debug for ShellHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ShellHandle")
+    }
+}
+
+impl ShellHandle {
+    /// Clears `shell` and returns it to the pool (dropped if full).
+    pub fn restock(self, mut shell: Shell) {
+        shell.events.clear();
+        shell.intervals.clear();
+        shell.alpha_beta.clear();
+        let mut pool = self.0.shells.lock().expect("shell pool poisoned");
+        if pool.len() < self.0.capacity {
+            pool.push(shell);
+        }
+    }
+}
+
+impl Drop for GlobalTimeline {
+    /// Routes a pooled timeline's vectors back to their [`ShellPool`].
+    /// Timelines built without a pool (or clones, which never carry a
+    /// handle) drop normally.
+    fn drop(&mut self) {
+        if let Some(handle) = self.recycle.take() {
+            handle.restock(Shell {
+                events: std::mem::take(&mut self.events),
+                intervals: std::mem::take(&mut self.intervals),
+                alpha_beta: std::mem::take(&mut self.alpha_beta),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_fresh_then_reuse() {
+        let pool = ShellPool::new(4);
+        let (mut shell, handle) = pool.take_shell();
+        assert_eq!(pool.shell_allocs(), 1);
+        assert_eq!(pool.shell_reuses(), 0);
+        shell.alpha_beta.push(AlphaBetaBounds::identity());
+        handle.restock(shell);
+        assert_eq!(pool.idle_shells(), 1);
+        let (shell, _handle) = pool.take_shell();
+        assert_eq!(pool.shell_reuses(), 1);
+        assert!(shell.alpha_beta.is_empty(), "restock clears contents");
+        assert!(shell.alpha_beta.capacity() > 0, "capacity survives");
+    }
+
+    #[test]
+    fn capacity_bounds_retention() {
+        let pool = ShellPool::new(1);
+        let (a, ha) = pool.take_shell();
+        let (b, hb) = pool.take_shell();
+        ha.restock(a);
+        hb.restock(b); // beyond capacity: dropped
+        assert_eq!(pool.idle_shells(), 1);
+    }
+
+    #[test]
+    fn scratch_round_trip() {
+        let pool = ShellPool::new(2);
+        let mut s = pool.take_scratch();
+        s.runs.push((0, 1));
+        pool.put_scratch(s);
+        let s = pool.take_scratch();
+        assert!(s.runs.is_empty(), "put_scratch clears");
+    }
+}

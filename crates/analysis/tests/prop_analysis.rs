@@ -41,6 +41,7 @@ fn timeline_strategy() -> impl Strategy<Value = GlobalTimeline> {
             alpha_beta: Vec::new(),
             reference_host: Id::from_raw(0),
             symbols: Arc::new(SymbolTable::for_hosts(["ref"])),
+            recycle: None,
         }
     })
 }
@@ -138,6 +139,7 @@ proptest! {
             alpha_beta: Vec::new(),
             reference_host: Id::from_raw(0),
             symbols: Arc::new(SymbolTable::for_hosts(["ref"])),
+            recycle: None,
         };
         let window = (-1.0, 101.0);
         let truth = expr_truth(&gt, &expr, window);

@@ -1,0 +1,29 @@
+//! Dev profiling target: loops the `event_overhead` workload so a
+//! sampling profiler (gprofng) can attribute the per-event cost. Not part
+//! of CI.
+
+use loki_apps::token_ring::{ring_factory, ring_study, RingConfig};
+use loki_core::fault::{FaultExpr, Trigger};
+use loki_core::study::Study;
+use loki_runtime::harness::{CampaignPipeline, SimHarnessConfig};
+
+fn main() {
+    let def = ring_study("bench-ring-events", 3).fault(
+        "tr2",
+        "kill_holder",
+        FaultExpr::atom("tr2", "HAS_TOKEN"),
+        Trigger::Once,
+    );
+    let study = Study::compile_arc(&def).expect("valid study");
+    let factory = ring_factory(RingConfig::default());
+    let mut cfg = SimHarnessConfig::three_hosts(0xE7E7);
+    cfg.batch = Some(8);
+
+    for _ in 0..150 {
+        let pipeline = CampaignPipeline::new(study.clone(), factory.clone(), cfg.clone());
+        let summary = pipeline.run_with_workers(400, 1, |analyzed| {
+            std::hint::black_box(analyzed);
+        });
+        std::hint::black_box(summary);
+    }
+}

@@ -292,8 +292,13 @@ impl<'a, M: 'static> BaselineCtx<'a, M> {
         } else {
             self.sim.network.tcp
         };
-        let d_send = self.sim.hosts[from_host.0 as usize].sched_delay(&mut self.sim.rng);
-        let d_recv = self.sim.hosts[to_host.0 as usize].sched_delay(&mut self.sim.rng);
+        // Same paired draw as the real engine — the benchmark compares
+        // data structures, so the two storms must see identical delays.
+        let (d_send, d_recv) = loki_sim::config::sched_delay_pair(
+            &self.sim.hosts[from_host.0 as usize],
+            &self.sim.hosts[to_host.0 as usize],
+            &mut self.sim.rng,
+        );
         let d_link = link.sample(&mut self.sim.rng);
         let at = self.sim.time + d_send + d_link + d_recv;
         // The old FIFO horizon: one hash probe + one hash insert per send.

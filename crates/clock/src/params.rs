@@ -119,7 +119,15 @@ impl VirtualClock {
         let raw = self.params.offset_ns + self.params.drift * physical_ns as f64;
         let clamped = raw.max(0.0);
         let g = self.params.granularity_ns.max(1);
-        let quantized = (clamped as u64 / g) * g;
+        // Nanosecond granularity (the default) quantizes to itself; skip
+        // the div/mul round trip — this read sits under every timestamped
+        // record and message on the hot path, and a division by a runtime
+        // variable is its single priciest instruction.
+        let quantized = if g == 1 {
+            clamped as u64
+        } else {
+            (clamped as u64 / g) * g
+        };
         LocalNanos(quantized)
     }
 }

@@ -252,59 +252,63 @@ pub fn estimate_alpha_beta(
     // reference-clock reading and y the machine-clock reading:
     //   reference→machine: x = send (ref),  y = recv (machine), y ≥ α + β·x
     //   machine→reference: x = recv (ref),  y = send (machine), y ≤ α + β·x
-    struct Constraint {
-        x: f64,
-        y: f64,
-        upper: bool, // true: α + β·x ≤ y ; false: α + β·x ≥ y
+    //
+    // Returns `(x, y, s)` with `s = +1` for upper constraints
+    // (α + β·x ≤ y) and `−1` for lower ones. Computed on the fly — this
+    // runs once per host per experiment on the analysis hot path, and
+    // materializing the constraint list was a per-call allocation.
+    #[inline]
+    fn constraint(s: &SyncSample, slack: f64) -> (f64, f64, f64) {
+        if s.from_reference {
+            (s.send.as_f64(), s.recv.as_f64() + slack, 1.0)
+        } else {
+            (s.recv.as_f64(), s.send.as_f64() - slack, -1.0)
+        }
     }
-    let constraints: Vec<Constraint> = samples
-        .iter()
-        .map(|s| {
-            if s.from_reference {
-                Constraint {
-                    x: s.send.as_f64(),
-                    y: s.recv.as_f64() + opts.slack_ns,
-                    upper: true,
-                }
-            } else {
-                Constraint {
-                    x: s.recv.as_f64(),
-                    y: s.send.as_f64() - opts.slack_ns,
-                    upper: false,
-                }
-            }
-        })
-        .collect();
 
     // Center the data to keep the clipping well-conditioned: substitute
     // α' = α + β·x̄ − ȳ so constraints become  y' ≷ α' + β·x'.
-    let x_bar = constraints.iter().map(|c| c.x).sum::<f64>() / constraints.len() as f64;
-    let y_bar = constraints.iter().map(|c| c.y).sum::<f64>() / constraints.len() as f64;
+    let (mut x_sum, mut y_sum) = (0.0f64, 0.0f64);
+    for s in samples {
+        let (x, y, _) = constraint(s, opts.slack_ns);
+        x_sum += x;
+        y_sum += y;
+    }
+    let x_bar = x_sum / samples.len() as f64;
+    let y_bar = y_sum / samples.len() as f64;
 
     // Initial polygon: the (β, α') box.
     let (beta_lo, beta_hi) = opts.beta_range;
-    let spread = constraints
-        .iter()
-        .map(|c| (c.y - y_bar).abs() + beta_hi * (c.x - x_bar).abs())
-        .fold(0.0f64, f64::max)
-        + opts.slack_ns.abs()
-        + 1.0;
-    let a_box = 4.0 * spread;
-    let mut poly: Vec<(f64, f64)> = vec![
+    let mut spread = 0.0f64;
+    for s in samples {
+        let (x, y, _) = constraint(s, opts.slack_ns);
+        spread = spread.max((y - y_bar).abs() + beta_hi * (x - x_bar).abs());
+    }
+    let a_box = 4.0 * (spread + opts.slack_ns.abs() + 1.0);
+    // Each clip adds at most one vertex to the 4-vertex box, so sizing both
+    // buffers to `samples + 5` keeps the whole clipping sweep at exactly
+    // two allocations (the ping-pong pair), down from one fresh vector per
+    // constraint.
+    let mut poly: Vec<(f64, f64)> = Vec::with_capacity(samples.len() + 5);
+    poly.extend([
         (beta_lo, -a_box),
         (beta_hi, -a_box),
         (beta_hi, a_box),
         (beta_lo, a_box),
-    ];
+    ]);
+    let mut clipped: Vec<(f64, f64)> = Vec::with_capacity(samples.len() + 5);
 
     // Clip by every constraint half-plane. In (β, α') coordinates a
     // constraint  y' ≥ α' + β·x'  is  α' + β·x' − y' ≤ 0.
-    for c in &constraints {
-        let (xp, yp) = (c.x - x_bar, c.y - y_bar);
+    for sample in samples {
+        let (x, y, s) = constraint(sample, opts.slack_ns);
+        let (xp, yp) = (x - x_bar, y - y_bar);
         // f(β, α') = s · (α' + β·xp − yp) ≤ 0 with s = +1 for upper
         // constraints and −1 for lower ones.
-        let s = if c.upper { 1.0 } else { -1.0 };
-        poly = clip(&poly, |beta, alpha_p| s * (alpha_p + beta * xp - yp));
+        clip_into(&poly, &mut clipped, |beta, alpha_p| {
+            s * (alpha_p + beta * xp - yp)
+        });
+        std::mem::swap(&mut poly, &mut clipped);
         if poly.is_empty() {
             return Err(SyncError::Infeasible);
         }
@@ -328,9 +332,10 @@ pub fn estimate_alpha_beta(
 }
 
 /// Sutherland–Hodgman clip of a convex polygon by the half-plane
-/// `f(x, y) ≤ 0`.
-fn clip(poly: &[(f64, f64)], f: impl Fn(f64, f64) -> f64) -> Vec<(f64, f64)> {
-    let mut out = Vec::with_capacity(poly.len() + 1);
+/// `f(x, y) ≤ 0`, written into `out` (cleared first) so the caller can
+/// ping-pong two buffers instead of allocating per clip.
+fn clip_into(poly: &[(f64, f64)], out: &mut Vec<(f64, f64)>, f: impl Fn(f64, f64) -> f64) {
+    out.clear();
     let n = poly.len();
     for i in 0..n {
         let p = poly[i];
@@ -345,7 +350,6 @@ fn clip(poly: &[(f64, f64)], f: impl Fn(f64, f64) -> f64) -> Vec<(f64, f64)> {
             out.push((p.0 + t * (q.0 - p.0), p.1 + t * (q.1 - p.1)));
         }
     }
-    out
 }
 
 /// Ground-truth helper for tests and the simulator: the true `(α, β)` of

@@ -28,7 +28,7 @@ use crate::daemons::{
 use crate::messages::{NotifyRouting, RtMsg};
 use crate::syncer::{SyncEcho, Syncer};
 use crate::thread_backend::{run_thread_experiment_with, ThreadHarnessConfig};
-use loki_analysis::{analyze_one, AnalysisOptions, AnalyzedExperiment};
+use loki_analysis::{analyze_one_pooled, AnalysisOptions, AnalyzedExperiment, ShellPool};
 use loki_clock::params::fastest_reference;
 use loki_core::campaign::{ExperimentData, ExperimentEnd, HostSync};
 use loki_core::ids::{HostId, SymbolTable};
@@ -757,6 +757,17 @@ pub struct PipelineSummary {
     /// batched simulation path); the all-in ns/event bench divides by
     /// this.
     pub events: u64,
+    /// Analyzed-result shells (the `GlobalTimeline` events/intervals/
+    /// `alpha_beta` vectors) served from the recycling pool: sinks that
+    /// drop their results return the vectors to the workers, so in steady
+    /// state `make_global` fills recycled shells instead of allocating.
+    pub result_shell_reuses: u64,
+    /// Analyzed-result shells that had to be freshly allocated. Bounded by
+    /// the in-flight result window (≈ workers × batch + channel + reorder
+    /// depth) when the sink drops its results, not by the experiment
+    /// count; a retaining sink (e.g. [`CampaignPipeline::collect`]) keeps
+    /// shells alive and pays one alloc per experiment instead.
+    pub result_shell_allocs: u64,
 }
 
 /// The pipeline's reorder buffer: holds finished experiments whose
@@ -1136,13 +1147,17 @@ impl CampaignPipeline {
         };
         let gauge = RetentionGauge::new();
         let stats = PoolStats::default();
+        // Result shells cycle sink→pool→worker across the whole pipeline
+        // (all paths — batched, baseline, threads backend — share it, and
+        // timelines route themselves back on drop wherever they die).
+        let shell_pool = ShellPool::default();
 
-        // The back half of the fused flow: analyze → tap → reclaim the raw
-        // data's buffers into the worker's context (batched path) → drop.
-        // The retention gauge (raised when an experiment begins) brackets
-        // the raw data's whole lifetime.
+        // The back half of the fused flow: analyze (into a recycled result
+        // shell) → tap → reclaim the raw data's buffers into the worker's
+        // context (batched path) → drop. The retention gauge (raised when
+        // an experiment begins) brackets the raw data's whole lifetime.
         let finish = |mut data: ExperimentData, ctx: Option<&ExpCtx>| -> (AnalyzedExperiment, T) {
-            let analyzed = analyze_one(&self.study, &data, &self.analysis);
+            let analyzed = analyze_one_pooled(&self.study, &data, &self.analysis, &shell_pool);
             let tapped = tap(&data);
             if let Some(ctx) = ctx {
                 ctx.store.reclaim(std::mem::take(&mut data.timelines));
@@ -1294,6 +1309,8 @@ impl CampaignPipeline {
         summary.actor_reuses = stats.actor_reuses.load(Ordering::Relaxed);
         summary.timeline_reuses = stats.timeline_reuses.load(Ordering::Relaxed);
         summary.events = stats.events.load(Ordering::Relaxed);
+        summary.result_shell_reuses = shell_pool.shell_reuses();
+        summary.result_shell_allocs = shell_pool.shell_allocs();
         summary
     }
 

@@ -127,6 +127,41 @@ impl HostConfig {
     }
 }
 
+/// Samples the sender- and receiver-side dispatch delays of one message
+/// from a **single** RNG word: each 32-bit half maps onto `[0, timeslice]`
+/// by multiply-shift. Every message send pays this on the hot path, so
+/// halving the generator calls is a measurable per-event cut.
+///
+/// The multiply-shift map carries a uniformity bias of at most
+/// `(timeslice+1)/2^32` per value — under 0.25% at the default 10 ms
+/// timeslice, far below the realism of the scheduling model itself.
+/// Timeslices that don't fit the lane trick (≥ `u32::MAX` ns ≈ 4.3 s) fall
+/// back to two exact full-width draws.
+pub fn sched_delay_pair(from: &HostConfig, to: &HostConfig, rng: &mut impl Rng) -> (u64, u64) {
+    let (a, b) = (from.timeslice_ns, to.timeslice_ns);
+    if a == 0 && b == 0 {
+        return (0, 0);
+    }
+    if a >= u32::MAX as u64 || b >= u32::MAX as u64 {
+        return (from.sched_delay(rng), to.sched_delay(rng));
+    }
+    let word = rng.next_u64();
+    (
+        lane_delay(word as u32, a),
+        lane_delay((word >> 32) as u32, b),
+    )
+}
+
+/// Maps one 32-bit lane onto `[0, timeslice_ns]` (multiply-shift).
+#[inline]
+fn lane_delay(lane: u32, timeslice_ns: u64) -> u64 {
+    if timeslice_ns == 0 {
+        0
+    } else {
+        (lane as u64 * (timeslice_ns + 1)) >> 32
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +191,29 @@ mod tests {
         }
         let h0 = HostConfig::new("h").timeslice_ns(0);
         assert_eq!(h0.sched_delay(&mut rng), 0);
+    }
+
+    #[test]
+    fn sched_delay_pair_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = HostConfig::new("a").timeslice_ns(1_000_000);
+        let b = HostConfig::new("b").timeslice_ns(2_000_000);
+        for _ in 0..200 {
+            let (da, db) = sched_delay_pair(&a, &b, &mut rng);
+            assert!(da <= 1_000_000);
+            assert!(db <= 2_000_000);
+        }
+        // Zero timeslices stay exactly zero, alone and mixed.
+        let z = HostConfig::new("z").timeslice_ns(0);
+        assert_eq!(sched_delay_pair(&z, &z, &mut rng), (0, 0));
+        let (dz, db) = sched_delay_pair(&z, &b, &mut rng);
+        assert_eq!(dz, 0);
+        assert!(db <= 2_000_000);
+        // Oversized timeslices take the exact fallback and stay bounded.
+        let wide = HostConfig::new("w").timeslice_ns(u64::from(u32::MAX) + 7);
+        let (dw, db) = sched_delay_pair(&wide, &b, &mut rng);
+        assert!(dw <= wide.timeslice_ns);
+        assert!(db <= 2_000_000);
     }
 
     #[test]

@@ -819,9 +819,12 @@ impl<'a, M: 'static> Ctx<'a, M> {
             self.sim.config.network.tcp
         };
         let (d_send, d_recv) = if self.sim.sched_enabled {
-            (
-                self.sim.config.hosts[from_host.0 as usize].sched_delay(&mut self.sim.rng),
-                self.sim.config.hosts[to_host.0 as usize].sched_delay(&mut self.sim.rng),
+            // Both endpoint delays from one RNG word (see
+            // `config::sched_delay_pair`): send is the per-event hot path.
+            crate::config::sched_delay_pair(
+                &self.sim.config.hosts[from_host.0 as usize],
+                &self.sim.config.hosts[to_host.0 as usize],
+                &mut self.sim.rng,
             )
         } else {
             (0, 0)

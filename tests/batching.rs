@@ -154,6 +154,46 @@ fn pooling_recycles_across_experiments_without_changing_results() {
 }
 
 #[test]
+fn dropping_sink_recycles_result_shells_in_steady_state() {
+    // The result-shell recycling loop: a sink that drops its
+    // `AnalyzedExperiment` sends the `GlobalTimeline` vectors back to the
+    // workers, so in steady state `make_global` fills recycled shells and
+    // fresh allocations stay bounded by the in-flight window — not by the
+    // campaign length.
+    let (study, factory) = ring_campaign();
+    let mut cfg = SimHarnessConfig::three_hosts(0x5E11);
+    cfg.batch = Some(4);
+    let experiments = 200u32;
+
+    let pipeline = CampaignPipeline::new(study.clone(), factory.clone(), cfg.clone());
+    let summary = pipeline.run_with_workers(experiments, 1, drop);
+
+    // Every analysis fills exactly one shell, recycled or fresh.
+    assert_eq!(
+        summary.result_shell_reuses + summary.result_shell_allocs,
+        u64::from(experiments)
+    );
+    // Steady state: fresh allocations are bounded by the in-flight result
+    // window (reorder depth + the shell currently being filled), which for
+    // one worker at K=4 is a handful — two hundred experiments must not
+    // allocate two hundred shells.
+    assert!(
+        summary.result_shell_allocs <= 10,
+        "fresh shell allocs {} not bounded by the in-flight window",
+        summary.result_shell_allocs
+    );
+    assert!(summary.result_shell_reuses >= u64::from(experiments) - 10);
+
+    // Contrast: a retaining sink (collect) keeps every shell alive until
+    // after the run, so nothing flows back — one fresh alloc per
+    // experiment, zero reuses. Same campaign, same results.
+    let (collected, retaining) = CampaignPipeline::new(study, factory, cfg).collect(experiments);
+    assert_eq!(collected.len(), experiments as usize);
+    assert_eq!(retaining.result_shell_allocs, u64::from(experiments));
+    assert_eq!(retaining.result_shell_reuses, 0);
+}
+
+#[test]
 fn batch_env_override_is_validated_and_applied() {
     // All LOKI_BATCH manipulation lives in this one test; the other tests
     // in this binary pass `cfg.batch` explicitly, so nothing races.
