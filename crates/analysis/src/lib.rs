@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cascade;
 pub mod checker;
 pub mod error;
 pub mod global;
@@ -45,6 +46,7 @@ pub mod intervals;
 pub mod merge;
 pub mod recycle;
 
+pub use cascade::{detect_cascade, CascadeConfig, CascadeVerdict};
 pub use checker::{check_experiment, ExperimentVerdict, MissingPolicy, Verdict};
 pub use error::AnalysisError;
 pub use global::{

@@ -798,6 +798,7 @@ mod storm {
 
     /// A notification-shaped message: the fan-out list is the part the
     /// engines carry differently (inline vs heap-allocated).
+    #[derive(Clone)]
     pub enum NewMsg {
         Note {
             seq: u64,

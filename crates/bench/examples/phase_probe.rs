@@ -57,6 +57,7 @@ fn probe(name: &str, study: &Study, data: &[loki_core::campaign::ExperimentData]
 fn engine_floor() {
     use loki_sim::engine::{Actor, ActorId, Ctx, Simulation};
 
+    #[derive(Clone)]
     enum Msg {
         Ball { _pad: [u64; 4] },
     }

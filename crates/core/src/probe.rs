@@ -51,8 +51,64 @@ pub enum FaultAction {
         /// Application-defined target.
         target: String,
     },
+    /// Partition the network into the named host groups: messages flow only
+    /// within a group. Hosts listed in no group share one implicit extra
+    /// group of their own. Sim-backend only (applied to the simulator's
+    /// `NetFaultPlane`).
+    Partition {
+        /// The host groups, by host name.
+        groups: Vec<Vec<String>>,
+    },
+    /// Remove every active network fault (partitions, link faults, gray
+    /// nodes). Sim-backend only.
+    Heal,
+    /// Degrade one *directed* link `from → to` (asymmetric faults need two
+    /// entries). Probabilities are per message; every probabilistic decision
+    /// draws from the deterministic simulation RNG. Sim-backend only.
+    LinkFault {
+        /// Sending host name.
+        from: String,
+        /// Receiving host name.
+        to: String,
+        /// Probability in `[0,1]` that a message is dropped.
+        drop_prob: f64,
+        /// Probability in `[0,1]` that a message is delivered twice.
+        dup_prob: f64,
+        /// Extra uniform-random delay bound (ns) applied *outside* the FIFO
+        /// discipline, so delayed messages can overtake later ones.
+        reorder_ns: u64,
+        /// Probability in `[0,1]` that a message is corrupted in flight.
+        /// The simulator models the receiver's checksum discarding the
+        /// frame, so a corrupted message is counted and dropped.
+        corrupt_prob: f64,
+        /// Fixed extra latency (ns) added to every message on the link.
+        extra_latency_ns: u64,
+    },
+    /// Make one host "gray": every message into or out of it is slowed by
+    /// the given multiplier (≥ 1.0). Sim-backend only.
+    GrayNode {
+        /// The slow host's name.
+        host: String,
+        /// Delay multiplier applied to messages touching the host.
+        slowdown: f64,
+    },
     /// An application-defined effect identified by name.
     Custom(String),
+}
+
+impl FaultAction {
+    /// Whether this action targets the network fault plane (the sim-only
+    /// variants [`Partition`](Self::Partition), [`Heal`](Self::Heal),
+    /// [`LinkFault`](Self::LinkFault), [`GrayNode`](Self::GrayNode)).
+    pub fn is_net(&self) -> bool {
+        matches!(
+            self,
+            FaultAction::Partition { .. }
+                | FaultAction::Heal
+                | FaultAction::LinkFault { .. }
+                | FaultAction::GrayNode { .. }
+        )
+    }
 }
 
 /// The injection half of the probe interface.
@@ -101,6 +157,20 @@ impl ActionProbe {
     pub fn action_for(&self, fault: &str) -> Option<&FaultAction> {
         self.actions.get(fault)
     }
+
+    /// Whether the table maps no fault names at all. Apps that rely on a
+    /// default action (e.g. "unmapped means crash") check this to decide
+    /// whether an unmapped name is policy or a likely misspelling worth a
+    /// warning.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Iterates over the configured `(fault name, action)` pairs in
+    /// unspecified order (writers sort before emitting).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &FaultAction)> {
+        self.actions.iter().map(|(k, v)| (k.as_str(), v))
+    }
 }
 
 impl Probe for ActionProbe {
@@ -131,5 +201,42 @@ mod tests {
     fn probe_is_object_safe() {
         let p: Box<dyn Probe> = Box::new(ActionProbe::new());
         drop(p);
+    }
+
+    #[test]
+    fn net_variants_classify_as_net() {
+        assert!(FaultAction::Heal.is_net());
+        assert!(FaultAction::Partition { groups: vec![] }.is_net());
+        assert!(FaultAction::GrayNode {
+            host: "h".into(),
+            slowdown: 2.0
+        }
+        .is_net());
+        assert!(FaultAction::LinkFault {
+            from: "a".into(),
+            to: "b".into(),
+            drop_prob: 0.1,
+            dup_prob: 0.0,
+            reorder_ns: 0,
+            corrupt_prob: 0.0,
+            extra_latency_ns: 0,
+        }
+        .is_net());
+        assert!(!FaultAction::CrashNode.is_net());
+        assert!(!FaultAction::Custom("x".into()).is_net());
+    }
+
+    #[test]
+    fn probe_emptiness_and_iteration() {
+        let empty = ActionProbe::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.iter().count(), 0);
+        let p = ActionProbe::new()
+            .on("a", FaultAction::CrashNode)
+            .on("b", FaultAction::Heal);
+        assert!(!p.is_empty());
+        let mut names: Vec<&str> = p.iter().map(|(n, _)| n).collect();
+        names.sort_unstable();
+        assert_eq!(names, ["a", "b"]);
     }
 }

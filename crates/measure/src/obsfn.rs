@@ -109,6 +109,20 @@ pub enum ObservationFn {
         /// Window end.
         end: TimeRef,
     },
+    /// `rate(<U|D|B>, <I|S|B>, START, END)`: matching transitions per
+    /// *second* of window — the natural unit for storm/throughput studies
+    /// (a count alone can't be compared across windows of different
+    /// lengths). 0 for an empty window.
+    Rate {
+        /// Direction selector.
+        trans: UpDown,
+        /// Source selector.
+        kind: ImpulseStep,
+        /// Window start.
+        start: TimeRef,
+        /// Window end.
+        end: TimeRef,
+    },
     /// `total_duration(<T|F>, START, END)`: total time the predicate is
     /// true (false) within the window (ms).
     TotalDuration {
@@ -134,6 +148,9 @@ impl fmt::Debug for ObservationFn {
             ObservationFn::Duration { value, x, .. } => write!(f, "duration({value:?}, {x}, ..)"),
             ObservationFn::Instant { trans, kind, x, .. } => {
                 write!(f, "instant({trans:?}, {kind:?}, {x}, ..)")
+            }
+            ObservationFn::Rate { trans, kind, .. } => {
+                write!(f, "rate({trans:?}, {kind:?}, ..)")
             }
             ObservationFn::TotalDuration { value, .. } => {
                 write!(f, "total_duration({value:?}, ..)")
@@ -170,6 +187,16 @@ impl ObservationFn {
             trans,
             kind,
             x,
+            start: TimeRef::Millis(start_ms),
+            end: TimeRef::Millis(end_ms),
+        }
+    }
+
+    /// Convenience constructor for `rate` over a millisecond window.
+    pub fn rate(trans: UpDown, kind: ImpulseStep, start_ms: f64, end_ms: f64) -> Self {
+        ObservationFn::Rate {
+            trans,
+            kind,
             start: TimeRef::Millis(start_ms),
             end: TimeRef::Millis(end_ms),
         }
@@ -259,6 +286,24 @@ impl ObservationFn {
                     .map(|t| t.at / 1e6)
                     .unwrap_or(0.0)
             }
+            ObservationFn::Rate {
+                trans,
+                kind,
+                start,
+                end,
+            } => {
+                let (lo, hi) = (start.resolve(exp_window), end.resolve(exp_window));
+                if hi <= lo {
+                    return 0.0;
+                }
+                let n = timeline
+                    .transitions()
+                    .filter(|t| {
+                        lo <= t.at && t.at <= hi && trans.matches(t.kind) && kind.matches(t.source)
+                    })
+                    .count() as f64;
+                n / ((hi - lo) / 1e9)
+            }
             ObservationFn::TotalDuration { value, start, end } => {
                 let (lo, hi) = (start.resolve(exp_window), end.resolve(exp_window));
                 let total_true = timeline.total_true(lo, hi);
@@ -297,6 +342,19 @@ mod tests {
         let f = ObservationFn::count(UpDown::Up, ImpulseStep::Both, 10.0, 35.0);
         let got: Vec<f64> = tls.iter().map(|t| f.eval(t, WINDOW)).collect();
         assert_eq!(got, vec![2.0, 2.0, 5.0]);
+    }
+
+    /// `rate` is `count` normalized by the window length in seconds: the
+    /// thesis count example (2, 2, 5 rises in [10, 35] ms) becomes
+    /// (80, 80, 200) rises/second, and an empty window yields 0.
+    #[test]
+    fn rate_normalizes_count_by_window_seconds() {
+        let tls = timelines();
+        let f = ObservationFn::rate(UpDown::Up, ImpulseStep::Both, 10.0, 35.0);
+        let got: Vec<f64> = tls.iter().map(|t| f.eval(t, WINDOW)).collect();
+        assert_eq!(got, vec![80.0, 80.0, 200.0]);
+        let degenerate = ObservationFn::rate(UpDown::Up, ImpulseStep::Both, 10.0, 10.0);
+        assert_eq!(degenerate.eval(&tls[0], WINDOW), 0.0);
     }
 
     /// Thesis: `duration(T, 2, 10, 40)` = 1.4 ms, 0 ms, 7.0 ms.

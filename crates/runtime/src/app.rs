@@ -32,6 +32,7 @@ use crate::messages::SmTargets;
 use loki_core::error::CoreError;
 use loki_core::fault::FaultParser;
 use loki_core::ids::{FaultId, HostId, SmId, StateId, SymbolTable};
+use loki_core::probe::{ActionProbe, FaultAction};
 use loki_core::recorder::RecordKind;
 use loki_core::state_machine::StateMachine;
 use loki_core::study::Study;
@@ -129,6 +130,21 @@ pub(crate) trait Port {
     /// The host this node currently runs on (an id into the study-run
     /// symbol table).
     fn host_id(&self) -> HostId;
+    /// Applies a network fault action to the backend's message fabric.
+    /// Returns whether it took effect; the default covers backends
+    /// without a modelled network (the thread backend's channels carry no
+    /// fault plane), which also surface the unsupported action as a
+    /// runtime warning where they can.
+    fn net_fault(&mut self, action: &FaultAction) -> bool {
+        let _ = action;
+        false
+    }
+    /// Surfaces a fault name the application's probe table does not map —
+    /// a likely misspelling in the study's fault specs. Backends with a
+    /// warning sink dedupe per name; the default is a no-op.
+    fn warn_unknown_fault(&mut self, fault: &str) {
+        let _ = fault;
+    }
 }
 
 /// The backend-agnostic node runtime: state machine (owning the partial
@@ -440,5 +456,35 @@ impl NodeCtx<'_> {
         let now = self.port.now();
         self.port
             .record(now, RecordKind::UserMessage(message.into()));
+    }
+
+    /// Applies a network fault action ([`FaultAction::Partition`],
+    /// [`FaultAction::Heal`], [`FaultAction::LinkFault`],
+    /// [`FaultAction::GrayNode`]) to the backend's message fabric, the
+    /// usual body of an [`App::on_fault`] arm. Returns whether it took
+    /// effect: `false` on backends without a modelled network (the thread
+    /// backend) or when the action's parameters are rejected — rejections
+    /// are also surfaced as runtime warnings where the backend has a sink.
+    pub fn apply_net_fault(&mut self, action: &FaultAction) -> bool {
+        self.port.net_fault(action)
+    }
+
+    /// Looks up `fault` in `probe`, surfacing a miss as a deduped runtime
+    /// warning when the table is non-empty (a configured-but-unmapped
+    /// name is a likely misspelling in the study's fault specs; an empty
+    /// table means the application handles every name itself, which is
+    /// policy, not a typo). Applications with a default action for
+    /// unmapped names should still call this for the warning and handle
+    /// `None` with their default.
+    pub fn probe_action<'p>(
+        &mut self,
+        probe: &'p ActionProbe,
+        fault: &str,
+    ) -> Option<&'p FaultAction> {
+        let action = probe.action_for(fault);
+        if action.is_none() && !probe.is_empty() {
+            self.port.warn_unknown_fault(fault);
+        }
+        action
     }
 }

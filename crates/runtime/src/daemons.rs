@@ -646,6 +646,11 @@ impl CentralDaemon {
     }
 
     fn shutdown(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
+        // Teardown is the injector's out-of-band kill path: it must work
+        // whatever the experiment did to the network, so heal the fault
+        // plane first (a never-healed partition otherwise outlives its
+        // experiment).
+        ctx.clear_net_faults();
         if let Some(supervisor) = self.ctx.wiring.supervisor() {
             ctx.kill(supervisor, DownReason::Exit);
         }
@@ -706,6 +711,10 @@ impl Actor<RtMsg> for CentralDaemon {
         match tag {
             TAG_TIMEOUT if !self.done => {
                 // Hung experiment: kill everything and abort (§3.5.1).
+                // Heal the network first — the kill instructions below are
+                // ordinary messages and must not die in a partition the
+                // experiment armed and never removed.
+                ctx.clear_net_faults();
                 self.done = true;
                 self.ctx.control.mark_timed_out();
                 self.ctx.wiring.with_unique(|unique| {
@@ -725,6 +734,9 @@ impl Actor<RtMsg> for CentralDaemon {
     fn on_peer_down(&mut self, ctx: &mut Ctx<'_, RtMsg>, _peer: ActorId, _reason: DownReason) {
         // A local daemon crashed: abnormality — abort the experiment.
         if !self.done {
+            // Same out-of-band teardown as the timeout path: heal before
+            // sending kill instructions through the network.
+            ctx.clear_net_faults();
             self.done = true;
             self.ctx.control.mark_aborted();
             self.ctx.wiring.with_unique(|unique| {

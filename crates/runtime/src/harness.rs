@@ -402,6 +402,11 @@ impl<'a> SimStudy<'a> {
             }
             ExpPhase::Runtime => {
                 sim.set_sched_enabled(false);
+                // The post-sync mini-phase runs on the injector's own
+                // (healthy) network: drop whatever faults the experiment
+                // left armed. Belt to the central daemon's braces — it
+                // already heals on every teardown path.
+                sim.clear_net_faults();
                 self.spawn_sync_actors(sim, &script.ctx);
                 script.phase = ExpPhase::PostSync;
                 None

@@ -134,6 +134,33 @@ impl Port for SimPort<'_, '_> {
         // which is exactly the symbol table's interning order.
         HostId::from_raw(self.sim.my_host().0)
     }
+
+    fn net_fault(&mut self, action: &loki_core::probe::FaultAction) -> bool {
+        match self.sim.apply_net_fault(action) {
+            Ok(applied) => applied,
+            Err(e) => {
+                self.shared
+                    .ctx
+                    .warnings
+                    .warn_with(|| format!("network fault action rejected: {e}"));
+                false
+            }
+        }
+    }
+
+    fn warn_unknown_fault(&mut self, fault: &str) {
+        // Deduped per fault name: an FNV-1a hash with the top bit forced
+        // keeps these keys clear of the daemons' (sender, target) keys.
+        let mut key: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in fault.bytes() {
+            key ^= u64::from(b);
+            key = key.wrapping_mul(0x100_0000_01b3);
+        }
+        key |= 1 << 63;
+        self.shared.ctx.warnings.warn_once(key, || {
+            format!("fault `{fault}` is not mapped by the application's probe table")
+        });
+    }
 }
 
 /// The actor embodying one node (application + runtime core).

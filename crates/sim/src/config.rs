@@ -183,6 +183,25 @@ mod tests {
     }
 
     #[test]
+    fn zero_jitter_sampling_draws_nothing_from_the_rng() {
+        // The constant-latency fast path must not consume RNG state:
+        // identically-seeded generators stay in lockstep whether or not a
+        // zero-jitter model was sampled in between. Campaign determinism
+        // (byte-identical replays across worker/batch splits) leans on
+        // this — an extra draw would shift every later decision.
+        use rand::RngCore;
+        let mut sampled = StdRng::seed_from_u64(42);
+        let mut untouched = StdRng::seed_from_u64(42);
+        let m = LatencyModel::constant(150_000);
+        for _ in 0..8 {
+            assert_eq!(m.sample(&mut sampled), 150_000);
+        }
+        for _ in 0..4 {
+            assert_eq!(sampled.next_u64(), untouched.next_u64());
+        }
+    }
+
+    #[test]
     fn sched_delay_bounded_by_timeslice() {
         let mut rng = StdRng::seed_from_u64(2);
         let h = HostConfig::new("h").timeslice_ns(1_000_000);

@@ -34,12 +34,14 @@
 //! determinism suites.
 
 use crate::config::{HostConfig, NetworkConfig};
+use crate::netfault::{NetFaultError, NetFaultPlane};
 use crate::queue::{EventQueue, TimerKey, TimerSlab};
 use loki_clock::params::VirtualClock;
+use loki_core::probe::FaultAction;
 use loki_core::small::InlineVec;
 use loki_core::time::LocalNanos;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::any::Any;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -345,6 +347,10 @@ pub struct Simulation<M> {
     /// instead of dropped, for the harness to drain and recycle.
     reclaim_dead: bool,
     graveyard: Vec<Box<dyn Actor<M>>>,
+    /// The dynamic network fault plane, layered over the immutable
+    /// `config` network. Inactive (one branch, zero extra RNG draws on
+    /// the send path) until a net [`FaultAction`] arms it.
+    net_faults: NetFaultPlane,
 }
 
 impl<M: 'static> Simulation<M> {
@@ -376,6 +382,7 @@ impl<M: 'static> Simulation<M> {
             events_processed: 0,
             reclaim_dead: false,
             graveyard: Vec::new(),
+            net_faults: NetFaultPlane::new(),
         }
     }
 
@@ -410,6 +417,7 @@ impl<M: 'static> Simulation<M> {
         self.events_processed = 0;
         self.reclaim_dead = false;
         self.graveyard.clear();
+        self.net_faults.reset();
     }
 
     /// The world description this simulation runs over.
@@ -573,6 +581,33 @@ impl<M: 'static> Simulation<M> {
     /// Kills an actor from outside the simulation (test harness use).
     pub fn kill(&mut self, actor: ActorId, reason: DownReason) {
         self.kill_internal(actor, reason);
+    }
+
+    /// The network fault plane (read-only; inactive in a healthy world).
+    pub fn net_faults(&self) -> &NetFaultPlane {
+        &self.net_faults
+    }
+
+    /// Applies a network [`FaultAction`] to the fault plane, resolving
+    /// host names through the world description. Returns `Ok(false)` when
+    /// the action is not a network action (the caller handles it),
+    /// `Ok(true)` when the plane was updated.
+    ///
+    /// # Errors
+    ///
+    /// [`NetFaultError`] when a host name is unknown or a parameter is
+    /// out of range; the plane is left unchanged.
+    pub fn apply_net_fault(&mut self, action: &FaultAction) -> Result<bool, NetFaultError> {
+        let config = &self.config;
+        self.net_faults
+            .apply_action(action, config.num_hosts(), |name| config.find_host(name))
+    }
+
+    /// Heals the plane: removes every active network fault. The harness
+    /// calls this at experiment teardown (the injector's kill path is
+    /// out-of-band), so an experiment that never heals still drains.
+    pub fn clear_net_faults(&mut self) {
+        self.net_faults.heal();
     }
 
     /// Parks killed actors' boxes in an internal graveyard instead of
@@ -810,7 +845,16 @@ impl<'a, M: 'static> Ctx<'a, M> {
     /// scheduling delay. Deliveries between the same `(sender, receiver)`
     /// pair are FIFO, as over a TCP connection or a shared-memory queue.
     /// Messages to dead actors are silently dropped at delivery time.
-    pub fn send(&mut self, to: ActorId, msg: M) {
+    ///
+    /// When the [`NetFaultPlane`] is armed the message is additionally
+    /// subject to partition cuts, link drop/duplicate/corrupt/reorder
+    /// faults, and gray-node slowdown; while the plane is inactive this
+    /// path is byte-identical (including RNG consumption) to a plane-less
+    /// engine. `M: Clone` supports duplicate delivery.
+    pub fn send(&mut self, to: ActorId, msg: M)
+    where
+        M: Clone,
+    {
         let from_host = self.sim.host_of(self.me);
         let to_host = self.sim.host_of(to);
         let link = if from_host == to_host {
@@ -830,13 +874,22 @@ impl<'a, M: 'static> Ctx<'a, M> {
             (0, 0)
         };
         let d_link = link.sample(&mut self.sim.rng);
-        let at = self.sim.time + d_send + d_link + d_recv;
-        self.deliver_fifo(to, at, msg);
+        let delay = d_send + d_link + d_recv;
+        if self.sim.net_faults.is_active() {
+            self.send_via_plane(to, from_host, to_host, delay, msg);
+        } else {
+            let at = self.sim.time + delay;
+            self.deliver_fifo(to, at, msg);
+        }
     }
 
     /// Sends with an explicit extra delay (e.g. modelling processing time)
-    /// plus the link latency; scheduling delays are not added.
-    pub fn send_after(&mut self, delay_ns: u64, to: ActorId, msg: M) {
+    /// plus the link latency; scheduling delays are not added. Subject to
+    /// the same [`NetFaultPlane`] faults as [`Ctx::send`].
+    pub fn send_after(&mut self, delay_ns: u64, to: ActorId, msg: M)
+    where
+        M: Clone,
+    {
         let from_host = self.sim.host_of(self.me);
         let to_host = self.sim.host_of(to);
         let link = if from_host == to_host {
@@ -845,8 +898,109 @@ impl<'a, M: 'static> Ctx<'a, M> {
             self.sim.config.network.tcp
         };
         let d_link = link.sample(&mut self.sim.rng);
-        let at = self.sim.time + delay_ns + d_link;
-        self.deliver_fifo(to, at, msg);
+        let delay = delay_ns + d_link;
+        if self.sim.net_faults.is_active() {
+            self.send_via_plane(to, from_host, to_host, delay, msg);
+        } else {
+            let at = self.sim.time + delay;
+            self.deliver_fifo(to, at, msg);
+        }
+    }
+
+    /// The armed-plane send path (cold: only reached while a net fault is
+    /// active). Decision order is fixed — partition (structural, no
+    /// draw), then per-link corrupt / drop / reorder / duplicate draws,
+    /// then gray slowdown — so replays stay byte-identical. Kept out of
+    /// line so the fault-free `send` hot path stays small.
+    #[cold]
+    #[inline(never)]
+    fn send_via_plane(
+        &mut self,
+        to: ActorId,
+        from_host: HostId,
+        to_host: HostId,
+        delay: u64,
+        msg: M,
+    ) where
+        M: Clone,
+    {
+        if self.sim.net_faults.partitioned(from_host, to_host) {
+            return;
+        }
+        // Copy the Copy params out so the RNG draws below don't fight the
+        // plane borrow.
+        let link = self.sim.net_faults.link(from_host, to_host);
+        let slow = self.sim.net_faults.slowdown(from_host, to_host);
+        let mut delay = delay;
+        let mut reorder = 0u64;
+        let mut dup = false;
+        if let Some(lf) = link {
+            delay += lf.extra_latency_ns;
+            // Corrupt before drop: the corrupted frame reaches the
+            // receiver and dies at its checksum, but both knobs must stay
+            // independently tunable, so each gets its own draw.
+            if lf.corrupt_prob > 0.0 && self.sim.rng.gen_bool(lf.corrupt_prob) {
+                return;
+            }
+            if lf.drop_prob > 0.0 && self.sim.rng.gen_bool(lf.drop_prob) {
+                return;
+            }
+            if lf.reorder_ns > 0 {
+                reorder = self.sim.rng.gen_range(0..=lf.reorder_ns);
+            }
+            dup = lf.dup_prob > 0.0 && self.sim.rng.gen_bool(lf.dup_prob);
+        }
+        if slow > 1.0 {
+            delay = (delay as f64 * slow) as u64;
+        }
+        let at = self.sim.time + delay;
+        if dup {
+            // The duplicate models a retransmitted frame: it bypasses the
+            // FIFO discipline (it can overtake), arriving at the base time.
+            self.sim.push(
+                at,
+                Event::Deliver {
+                    to,
+                    from: self.me,
+                    msg: msg.clone(),
+                },
+            );
+        }
+        if reorder > 0 {
+            // A reordered delivery skips the FIFO horizon entirely —
+            // overtaking is the point of a reorder fault.
+            self.sim.push(
+                at + reorder,
+                Event::Deliver {
+                    to,
+                    from: self.me,
+                    msg,
+                },
+            );
+        } else {
+            self.deliver_fifo(to, at, msg);
+        }
+    }
+
+    /// Applies a network [`FaultAction`] to the world's fault plane (see
+    /// [`Simulation::apply_net_fault`]).
+    ///
+    /// # Errors
+    ///
+    /// [`NetFaultError`] when a host name is unknown or a parameter is
+    /// out of range; the plane is left unchanged.
+    pub fn apply_net_fault(&mut self, action: &FaultAction) -> Result<bool, NetFaultError> {
+        self.sim.apply_net_fault(action)
+    }
+
+    /// Heals the plane: removes every active network fault.
+    pub fn clear_net_faults(&mut self) {
+        self.sim.clear_net_faults();
+    }
+
+    /// Whether any network fault is currently armed.
+    pub fn net_fault_active(&self) -> bool {
+        self.sim.net_faults.is_active()
     }
 
     fn deliver_fifo(&mut self, to: ActorId, at: u64, msg: M) {
@@ -1425,6 +1579,149 @@ mod tests {
             (sim.event_slots(), sim.timer_slots()),
             marks,
             "replaying after reset must reuse the slabs, not regrow them"
+        );
+    }
+
+    /// Applies a partition at start, sends through it, heals on a timer
+    /// and resends.
+    struct NetFaulter {
+        target: ActorId,
+        log: Rc<RefCell<Vec<(u64, Msg)>>>,
+    }
+    impl Actor<Msg> for NetFaulter {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            let part = FaultAction::Partition {
+                groups: vec![vec!["h1".into()], vec!["h2".into()]],
+            };
+            assert_eq!(ctx.apply_net_fault(&part), Ok(true));
+            assert!(ctx.net_fault_active());
+            ctx.send(self.target, Msg::Ping); // cut by the partition
+            ctx.set_timer(1_000_000, 1);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: ActorId, msg: Msg) {
+            self.log.borrow_mut().push((ctx.physical_now(), msg));
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _tag: u64) {
+            ctx.clear_net_faults();
+            ctx.send(self.target, Msg::Ping); // flows after the heal
+        }
+    }
+
+    #[test]
+    fn partition_cuts_cross_host_traffic_until_healed() {
+        let (mut sim, h1, h2) = two_host_sim(12);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let ponger = sim.spawn(h2, Box::new(Ponger));
+        sim.spawn(
+            h1,
+            Box::new(NetFaulter {
+                target: ponger,
+                log: log.clone(),
+            }),
+        );
+        sim.run();
+        let log = log.borrow();
+        // Only the post-heal ping round-trips: heal at 1 ms + 2 × 150 µs.
+        assert_eq!(*log, vec![(1_300_000, Msg::Pong)]);
+        assert!(!sim.net_faults().is_active(), "heal cleared the plane");
+    }
+
+    #[test]
+    fn link_fault_is_directed() {
+        let (mut sim, h1, h2) = two_host_sim(13);
+        // Total loss h2 → h1 only: pings arrive, pongs die.
+        assert_eq!(
+            sim.apply_net_fault(&FaultAction::LinkFault {
+                from: "h2".into(),
+                to: "h1".into(),
+                drop_prob: 1.0,
+                dup_prob: 0.0,
+                reorder_ns: 0,
+                corrupt_prob: 0.0,
+                extra_latency_ns: 0,
+            }),
+            Ok(true)
+        );
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let ponger = sim.spawn(h2, Box::new(Ponger));
+        sim.spawn(
+            h1,
+            Box::new(Pinger {
+                target: ponger,
+                log: log.clone(),
+            }),
+        );
+        sim.run();
+        assert!(log.borrow().is_empty(), "the pong was dropped");
+        // The ping itself arrived: the last event is its delivery.
+        assert_eq!(sim.now(), 150_000);
+    }
+
+    #[test]
+    fn dup_link_delivers_twice() {
+        let (mut sim, h1, h2) = two_host_sim(14);
+        assert_eq!(
+            sim.apply_net_fault(&FaultAction::LinkFault {
+                from: "h1".into(),
+                to: "h2".into(),
+                drop_prob: 0.0,
+                dup_prob: 1.0,
+                reorder_ns: 0,
+                corrupt_prob: 0.0,
+                extra_latency_ns: 0,
+            }),
+            Ok(true)
+        );
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let ponger = sim.spawn(h2, Box::new(Ponger));
+        sim.spawn(
+            h1,
+            Box::new(Pinger {
+                target: ponger,
+                log: log.clone(),
+            }),
+        );
+        sim.run();
+        // The duplicated ping produced two pongs.
+        assert_eq!(log.borrow().len(), 2);
+    }
+
+    #[test]
+    fn gray_node_slows_both_directions() {
+        let (mut sim, h1, h2) = two_host_sim(15);
+        assert_eq!(
+            sim.apply_net_fault(&FaultAction::GrayNode {
+                host: "h2".into(),
+                slowdown: 2.0,
+            }),
+            Ok(true)
+        );
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let ponger = sim.spawn(h2, Box::new(Ponger));
+        sim.spawn(
+            h1,
+            Box::new(Pinger {
+                target: ponger,
+                log: log.clone(),
+            }),
+        );
+        sim.run();
+        // Both legs touch the gray host: 2 × (150 µs × 2).
+        assert_eq!(*log.borrow(), vec![(600_000, Msg::Pong)]);
+    }
+
+    #[test]
+    fn reset_heals_the_plane() {
+        let (mut sim, _h1, _h2) = two_host_sim(16);
+        sim.apply_net_fault(&FaultAction::Partition {
+            groups: vec![vec!["h1".into()], vec!["h2".into()]],
+        })
+        .unwrap();
+        assert!(sim.net_faults().is_active());
+        sim.reset(16);
+        assert!(
+            !sim.net_faults().is_active(),
+            "a recycled world must start healthy"
         );
     }
 

@@ -34,6 +34,7 @@
 pub mod batch;
 pub mod config;
 pub mod engine;
+pub mod netfault;
 pub mod queue;
 
 pub use batch::WorldSet;
@@ -42,3 +43,4 @@ pub use engine::{
     Actor, ActorId, Ctx, DownReason, DuplicateHost, HostId, Simulation, TimerId, TraceEntry,
     WorldConfig,
 };
+pub use netfault::{LinkFaultParams, NetFaultError, NetFaultPlane};

@@ -12,11 +12,14 @@
 //! <dir>/nodes            — the node file (<SM> [<host>] per line)
 //! <dir>/<sm>.sm          — one state machine specification per machine
 //! <dir>/<sm>.flt         — one fault specification per machine (optional)
+//! <dir>/actions          — fault-name → probe-action table (optional; see
+//!                          [`crate::files::parse_action_file`])
 //! ```
 
 use crate::error::ParseError;
-use crate::files::{parse_fault_spec, parse_node_file};
+use crate::files::{parse_action_file, parse_fault_spec, parse_node_file, write_action_file};
 use crate::sm_spec;
+use loki_core::probe::ActionProbe;
 use loki_core::spec::StudyDef;
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -124,6 +127,51 @@ pub fn load_study_dir(name: &str, dir: &Path) -> Result<StudyDef, ParseError> {
         );
     }
     load_study(name, &node_file, &machines)
+}
+
+/// [`load_study_dir`] plus the optional `<dir>/actions` probe table: what
+/// each named fault *does* when injected. A missing actions file yields an
+/// empty [`ActionProbe`] (applications fall back to their default action,
+/// typically crash).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] exactly as [`load_study_dir`], plus any
+/// action-file syntax error.
+pub fn load_study_dir_with_actions(
+    name: &str,
+    dir: &Path,
+) -> Result<(StudyDef, ActionProbe), ParseError> {
+    let def = load_study_dir(name, dir)?;
+    let actions_path = dir.join("actions");
+    let probe = if actions_path.exists() {
+        let text = std::fs::read_to_string(&actions_path)
+            .map_err(|e| ParseError::eof(format!("cannot read {}: {e}", actions_path.display())))?;
+        parse_action_file(&text)?
+    } else {
+        ActionProbe::new()
+    };
+    Ok((def, probe))
+}
+
+/// [`write_study_dir`] plus the `<dir>/actions` probe table (omitted when
+/// `probe` is empty, mirroring [`load_study_dir_with_actions`]).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] wrapping any I/O failure.
+pub fn write_study_dir_with_actions(
+    def: &StudyDef,
+    probe: &ActionProbe,
+    dir: &Path,
+) -> Result<(), ParseError> {
+    write_study_dir(def, dir)?;
+    if !probe.is_empty() {
+        let path = dir.join("actions");
+        std::fs::write(&path, write_action_file(probe))
+            .map_err(|e| ParseError::eof(format!("cannot write {}: {e}", path.display())))?;
+    }
+    Ok(())
 }
 
 /// Writes a study back to the conventional directory layout.
@@ -239,5 +287,41 @@ DONE EXIT
     fn missing_files_reported_with_path() {
         let err = load_study_dir("s", Path::new("/nonexistent/loki-dir")).unwrap_err();
         assert!(err.message.contains("nodes"));
+    }
+
+    #[test]
+    fn directory_roundtrip_with_actions() {
+        use loki_core::probe::FaultAction;
+
+        let (node_file, machines) = sample_sources();
+        let def = load_study("s", &node_file, &machines).unwrap();
+        let probe = ActionProbe::new()
+            .on(
+                "f1",
+                FaultAction::Partition {
+                    groups: vec![vec!["host1".to_owned()], vec!["host2".to_owned()]],
+                },
+            )
+            .on("f2", FaultAction::Heal);
+
+        let dir = std::env::temp_dir().join(format!("loki-spec-actions-{}", std::process::id()));
+        write_study_dir_with_actions(&def, &probe, &dir).unwrap();
+        let (reloaded, reprobe) = load_study_dir_with_actions("s", &dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert_eq!(reloaded.faults, def.faults);
+        assert_eq!(reprobe.action_for("f2"), Some(&FaultAction::Heal));
+        assert_eq!(reprobe.action_for("f1"), probe.action_for("f1"));
+    }
+
+    #[test]
+    fn missing_actions_file_yields_empty_probe() {
+        let (node_file, machines) = sample_sources();
+        let def = load_study("s", &node_file, &machines).unwrap();
+        let dir = std::env::temp_dir().join(format!("loki-spec-noact-{}", std::process::id()));
+        write_study_dir(&def, &dir).unwrap();
+        let (_, probe) = load_study_dir_with_actions("s", &dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(probe.is_empty());
     }
 }

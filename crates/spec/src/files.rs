@@ -7,12 +7,15 @@
 //! * **daemon contact file** (§3.5.2): `<HostName> <SharedMemoryID> <SemaphoreID>`
 //! * **study file** (§5.6): six fixed lines naming the machine and its
 //!   input files
+//! * **action file**: `<FaultName> <action> [args…]` mapping fault names
+//!   to probe [`FaultAction`]s (see [`parse_action_file`])
 //!
 //! All parsers ignore blank lines and `#` comments.
 
 use crate::error::ParseError;
 use crate::expr::parse_expr;
 use loki_core::fault::Trigger;
+use loki_core::probe::{ActionProbe, FaultAction};
 use loki_core::spec::{FaultSpec, NodePlacement};
 use serde::{Deserialize, Serialize};
 
@@ -226,6 +229,233 @@ pub fn write_daemon_contact(contacts: &[DaemonContact]) -> String {
     out
 }
 
+fn parse_f64(lineno: usize, field: &str, s: &str) -> Result<f64, ParseError> {
+    s.parse()
+        .map_err(|_| ParseError::at(lineno, format!("invalid {field} `{s}`")))
+}
+
+fn parse_u64(lineno: usize, field: &str, s: &str) -> Result<u64, ParseError> {
+    s.parse()
+        .map_err(|_| ParseError::at(lineno, format!("invalid {field} `{s}`")))
+}
+
+/// Parses an action file mapping fault names to probe
+/// [`FaultAction`]s — the campaign-file syntax for what each named fault
+/// *does* when injected (the fault specification files only say *when*).
+/// One line per fault:
+///
+/// ```text
+/// <fault> crash
+/// <fault> crash_p <activation> <dormancy_ns>
+/// <fault> hang <duration_ns>
+/// <fault> drop <count>
+/// <fault> corrupt_state <target>
+/// <fault> custom <name>
+/// <fault> partition <host…> | <host…> [| …]
+/// <fault> link <from> <to> [drop=P] [dup=P] [corrupt=P] [reorder_ns=N] [latency_ns=N]
+/// <fault> gray <host> slowdown=X
+/// <fault> heal
+/// ```
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for unknown action kinds, malformed numbers,
+/// empty partition groups, or duplicate fault names.
+///
+/// # Examples
+///
+/// ```
+/// use loki_spec::files::parse_action_file;
+/// use loki_core::probe::FaultAction;
+///
+/// let probe = parse_action_file(
+///     "netsplit partition host1 | host2 host3\nheal_net heal\n",
+/// )?;
+/// assert_eq!(probe.action_for("heal_net"), Some(&FaultAction::Heal));
+/// # Ok::<(), loki_spec::error::ParseError>(())
+/// ```
+pub fn parse_action_file(text: &str) -> Result<ActionProbe, ParseError> {
+    let mut probe = ActionProbe::new();
+    for (lineno, line) in content_lines(text) {
+        let mut tokens = line.split_whitespace();
+        let name = tokens.next().expect("non-empty");
+        let kind = tokens
+            .next()
+            .ok_or_else(|| ParseError::at(lineno, "action line needs an action kind"))?;
+        let rest: Vec<&str> = tokens.collect();
+        let arity = |n: usize, usage: &str| -> Result<(), ParseError> {
+            if rest.len() == n {
+                Ok(())
+            } else {
+                Err(ParseError::at(lineno, format!("expected `{usage}`")))
+            }
+        };
+        let action = match kind {
+            "crash" => {
+                arity(0, "<fault> crash")?;
+                FaultAction::CrashNode
+            }
+            "crash_p" => {
+                arity(2, "<fault> crash_p <activation> <dormancy_ns>")?;
+                FaultAction::CrashWithProbability {
+                    activation: parse_f64(lineno, "activation", rest[0])?,
+                    dormancy_ns: parse_u64(lineno, "dormancy_ns", rest[1])?,
+                }
+            }
+            "hang" => {
+                arity(1, "<fault> hang <duration_ns>")?;
+                FaultAction::HangNode {
+                    duration_ns: parse_u64(lineno, "duration_ns", rest[0])?,
+                }
+            }
+            "drop" => {
+                arity(1, "<fault> drop <count>")?;
+                FaultAction::DropMessages {
+                    count: parse_u64(lineno, "count", rest[0])? as u32,
+                }
+            }
+            "corrupt_state" => {
+                arity(1, "<fault> corrupt_state <target>")?;
+                FaultAction::CorruptState {
+                    target: rest[0].to_owned(),
+                }
+            }
+            "custom" => {
+                arity(1, "<fault> custom <name>")?;
+                FaultAction::Custom(rest[0].to_owned())
+            }
+            "heal" => {
+                arity(0, "<fault> heal")?;
+                FaultAction::Heal
+            }
+            "partition" => {
+                let mut groups: Vec<Vec<String>> = vec![Vec::new()];
+                for t in &rest {
+                    if *t == "|" {
+                        groups.push(Vec::new());
+                    } else {
+                        groups.last_mut().expect("non-empty").push((*t).to_owned());
+                    }
+                }
+                if groups.iter().any(Vec::is_empty) {
+                    return Err(ParseError::at(
+                        lineno,
+                        "partition groups must be non-empty (`partition h1 | h2 h3`)",
+                    ));
+                }
+                FaultAction::Partition { groups }
+            }
+            "link" => {
+                if rest.len() < 2 {
+                    return Err(ParseError::at(
+                        lineno,
+                        "expected `<fault> link <from> <to> [key=value…]`",
+                    ));
+                }
+                let (mut drop_prob, mut dup_prob, mut corrupt_prob) = (0.0, 0.0, 0.0);
+                let (mut reorder_ns, mut extra_latency_ns) = (0, 0);
+                for t in &rest[2..] {
+                    let (k, v) = t.split_once('=').ok_or_else(|| {
+                        ParseError::at(lineno, format!("expected `key=value`, found `{t}`"))
+                    })?;
+                    match k {
+                        "drop" => drop_prob = parse_f64(lineno, "drop", v)?,
+                        "dup" => dup_prob = parse_f64(lineno, "dup", v)?,
+                        "corrupt" => corrupt_prob = parse_f64(lineno, "corrupt", v)?,
+                        "reorder_ns" => reorder_ns = parse_u64(lineno, "reorder_ns", v)?,
+                        "latency_ns" => extra_latency_ns = parse_u64(lineno, "latency_ns", v)?,
+                        other => {
+                            return Err(ParseError::at(
+                                lineno,
+                                format!("unknown link parameter `{other}`"),
+                            ))
+                        }
+                    }
+                }
+                FaultAction::LinkFault {
+                    from: rest[0].to_owned(),
+                    to: rest[1].to_owned(),
+                    drop_prob,
+                    dup_prob,
+                    reorder_ns,
+                    corrupt_prob,
+                    extra_latency_ns,
+                }
+            }
+            "gray" => {
+                arity(2, "<fault> gray <host> slowdown=X")?;
+                let slowdown = rest[1].strip_prefix("slowdown=").ok_or_else(|| {
+                    ParseError::at(lineno, "expected `<fault> gray <host> slowdown=X`")
+                })?;
+                FaultAction::GrayNode {
+                    host: rest[0].to_owned(),
+                    slowdown: parse_f64(lineno, "slowdown", slowdown)?,
+                }
+            }
+            other => {
+                return Err(ParseError::at(
+                    lineno,
+                    format!("unknown action kind `{other}`"),
+                ))
+            }
+        };
+        if probe.action_for(name).is_some() {
+            return Err(ParseError::at(
+                lineno,
+                format!("duplicate action for fault `{name}`"),
+            ));
+        }
+        probe = probe.on(name, action);
+    }
+    Ok(probe)
+}
+
+/// Writes an action file (fault names in sorted order, so output is
+/// deterministic and round-trips through [`parse_action_file`]).
+pub fn write_action_file(probe: &ActionProbe) -> String {
+    let mut entries: Vec<(&str, &FaultAction)> = probe.iter().collect();
+    entries.sort_by_key(|(name, _)| *name);
+    let mut out = String::new();
+    for (name, action) in entries {
+        let line = match action {
+            FaultAction::CrashNode => format!("{name} crash"),
+            FaultAction::CrashWithProbability {
+                activation,
+                dormancy_ns,
+            } => format!("{name} crash_p {activation} {dormancy_ns}"),
+            FaultAction::HangNode { duration_ns } => format!("{name} hang {duration_ns}"),
+            FaultAction::DropMessages { count } => format!("{name} drop {count}"),
+            FaultAction::CorruptState { target } => format!("{name} corrupt_state {target}"),
+            FaultAction::Custom(target) => format!("{name} custom {target}"),
+            FaultAction::Heal => format!("{name} heal"),
+            FaultAction::Partition { groups } => {
+                let joined: Vec<String> = groups.iter().map(|g| g.join(" ")).collect();
+                format!("{name} partition {}", joined.join(" | "))
+            }
+            FaultAction::LinkFault {
+                from,
+                to,
+                drop_prob,
+                dup_prob,
+                reorder_ns,
+                corrupt_prob,
+                extra_latency_ns,
+            } => format!(
+                "{name} link {from} {to} drop={drop_prob} dup={dup_prob} \
+                 corrupt={corrupt_prob} reorder_ns={reorder_ns} latency_ns={extra_latency_ns}"
+            ),
+            FaultAction::GrayNode { host, slowdown } => {
+                format!("{name} gray {host} slowdown={slowdown}")
+            }
+            // Future probe actions without a file syntax yet.
+            _ => continue,
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
 /// The study file: per-machine pointers to its specification inputs (§5.6).
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StudyFile {
@@ -353,6 +583,74 @@ gfault3 ((green:FOLLOW) | (green:ELECT)) once
         assert_eq!(write_daemon_contact(&cs), text);
         assert!(parse_daemon_contact("host1 12\n").is_err());
         assert!(parse_daemon_contact("host1 x y\n").is_err());
+    }
+
+    #[test]
+    fn action_file_roundtrip_all_kinds() {
+        let text = "\
+# probe table
+kill crash
+maybe crash_p 0.5 1000000
+stall hang 2000000
+mute drop 3
+flip corrupt_state counter
+odd custom special
+netsplit partition host1 | host2 host3
+lossy link host1 host2 drop=0.3 dup=0.05 corrupt=0.01 reorder_ns=250000 latency_ns=50000
+slowpoke gray host3 slowdown=8
+heal_net heal
+";
+        let probe = parse_action_file(text).unwrap();
+        assert_eq!(probe.action_for("kill"), Some(&FaultAction::CrashNode));
+        assert_eq!(
+            probe.action_for("netsplit"),
+            Some(&FaultAction::Partition {
+                groups: vec![
+                    vec!["host1".to_owned()],
+                    vec!["host2".to_owned(), "host3".to_owned()],
+                ],
+            })
+        );
+        assert_eq!(
+            probe.action_for("lossy"),
+            Some(&FaultAction::LinkFault {
+                from: "host1".into(),
+                to: "host2".into(),
+                drop_prob: 0.3,
+                dup_prob: 0.05,
+                reorder_ns: 250_000,
+                corrupt_prob: 0.01,
+                extra_latency_ns: 50_000,
+            })
+        );
+        assert_eq!(
+            probe.action_for("slowpoke"),
+            Some(&FaultAction::GrayNode {
+                host: "host3".into(),
+                slowdown: 8.0,
+            })
+        );
+        assert_eq!(probe.action_for("heal_net"), Some(&FaultAction::Heal));
+        // Writer emits sorted, parseable lines.
+        let rewritten = write_action_file(&probe);
+        let reparsed = parse_action_file(&rewritten).unwrap();
+        for (name, action) in probe.iter() {
+            assert_eq!(reparsed.action_for(name), Some(action), "{name}");
+        }
+    }
+
+    #[test]
+    fn action_file_errors() {
+        assert!(parse_action_file("f\n").is_err()); // no kind
+        assert!(parse_action_file("f explode\n").is_err()); // unknown kind
+        assert!(parse_action_file("f crash extra\n").is_err());
+        assert!(parse_action_file("f crash_p x 0\n").is_err());
+        assert!(parse_action_file("f partition h1 |\n").is_err()); // empty group
+        assert!(parse_action_file("f link h1\n").is_err()); // missing `to`
+        assert!(parse_action_file("f link h1 h2 warp=1\n").is_err());
+        assert!(parse_action_file("f link h1 h2 drop\n").is_err()); // no `=`
+        assert!(parse_action_file("f gray h1 8\n").is_err()); // no slowdown=
+        assert!(parse_action_file("f crash\nf heal\n").is_err()); // duplicate
     }
 
     #[test]

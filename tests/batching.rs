@@ -9,8 +9,10 @@
 //! a fresh one.
 
 use loki::analysis::AnalyzedExperiment;
+use loki::apps::kvstore::{cascade_probe, cascade_study, kv_factory, storm_retry, KvConfig};
 use loki::apps::token_ring::{ring_factory, ring_study, RingConfig};
 use loki::core::fault::{FaultExpr, Trigger};
+use loki::core::probe::FaultAction;
 use loki::core::study::Study;
 use loki::runtime::harness::{
     run_study_with_workers, CampaignPipeline, PipelineSummary, SimHarnessConfig,
@@ -117,6 +119,75 @@ fn batched_results_are_byte_identical_across_k_and_workers() {
     for (data, analyzed) in raw.iter().zip(&baseline) {
         assert_eq!(data.experiment, analyzed.experiment);
         assert_eq!(data.end, analyzed.end, "experiment end diverged");
+    }
+}
+
+/// The cascading-failure study with a lossy link layered on top: the
+/// network fault plane (partition, heal, probabilistic link faults) plus
+/// the retry storm pushing heavy traffic through it. Every drop / dup /
+/// corrupt / reorder decision draws from the per-experiment RNG, so this
+/// is the densest RNG-consumption campaign the suite has.
+fn netfault_campaign() -> (Arc<Study>, loki::runtime::AppFactory) {
+    let def = cascade_study("netfault-batching").fault(
+        "kv2",
+        "lossy",
+        FaultExpr::atom("kv2", "BACKUP"),
+        Trigger::Once,
+    );
+    let study = Study::compile_arc(&def).expect("valid study");
+    let probe = cascade_probe(true).on(
+        "lossy",
+        FaultAction::LinkFault {
+            from: "host2".to_owned(),
+            to: "host3".to_owned(),
+            drop_prob: 0.2,
+            dup_prob: 0.1,
+            reorder_ns: 200_000,
+            corrupt_prob: 0.05,
+            extra_latency_ns: 30_000,
+        },
+    );
+    let cfg = KvConfig {
+        retry: Some(storm_retry()),
+        probe,
+        ..KvConfig::default()
+    };
+    (study, kv_factory(cfg))
+}
+
+#[test]
+fn net_fault_campaign_batches_byte_identically() {
+    // Batching interleaves K experiments through one reused world, and the
+    // network fault plane is part of that world: its armed state and its
+    // RNG draws must reset and replay exactly, or a partition from
+    // experiment N would leak into experiment N+1's messages. Pin the
+    // K × workers matrix against the per-experiment baseline under the
+    // full fault vocabulary.
+    let (study, factory) = netfault_campaign();
+    let cfg = SimHarnessConfig::three_hosts(0x2C2C);
+    let experiments = 8u32;
+
+    let baseline_pipeline = CampaignPipeline::new(study.clone(), factory.clone(), cfg.clone())
+        .per_experiment_baseline();
+    let (baseline, _) = run_collect(&baseline_pipeline, experiments, 1);
+    assert_eq!(baseline.len(), experiments as usize);
+    assert!(
+        baseline.iter().any(|a| a.injections >= 2),
+        "partition and heal must both fire"
+    );
+
+    for k in [1usize, 8] {
+        for workers in [1usize, 4] {
+            let mut cfg = cfg.clone();
+            cfg.batch = Some(k);
+            let pipeline = CampaignPipeline::new(study.clone(), factory.clone(), cfg);
+            let (streamed, summary) = run_collect(&pipeline, experiments, workers);
+            assert_eq!(
+                streamed, baseline,
+                "K={k} workers={workers}: net-fault results diverged from baseline"
+            );
+            assert_eq!(summary.batch, k);
+        }
     }
 }
 
