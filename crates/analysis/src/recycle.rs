@@ -24,7 +24,7 @@ use crate::merge::MergeScratch;
 use loki_clock::sync::AlphaBetaBounds;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// The recyclable backing store of one [`GlobalTimeline`]: its three
 /// per-experiment vectors, empty but capacity-warm.
@@ -95,7 +95,7 @@ impl ShellPool {
     /// Takes a shell (pooled if available, fresh otherwise) plus the handle
     /// that will route it back here when the filled timeline drops.
     pub fn take_shell(&self) -> (Shell, ShellHandle) {
-        let pooled = self.inner.shells.lock().expect("shell pool poisoned").pop();
+        let pooled = lock_unpoisoned(&self.inner.shells).pop();
         let shell = match pooled {
             Some(shell) => {
                 self.inner.shell_reuses.fetch_add(1, Ordering::Relaxed);
@@ -112,10 +112,7 @@ impl ShellPool {
     /// Takes a merge scratch (pooled or fresh). Return it with
     /// [`ShellPool::put_scratch`] when the merge is done.
     pub fn take_scratch(&self) -> MergeScratch {
-        self.inner
-            .scratch
-            .lock()
-            .expect("scratch pool poisoned")
+        lock_unpoisoned(&self.inner.scratch)
             .pop()
             .unwrap_or_default()
     }
@@ -123,7 +120,7 @@ impl ShellPool {
     /// Returns a merge scratch to the pool (dropped if the pool is full).
     pub fn put_scratch(&self, mut scratch: MergeScratch) {
         scratch.clear();
-        let mut pool = self.inner.scratch.lock().expect("scratch pool poisoned");
+        let mut pool = lock_unpoisoned(&self.inner.scratch);
         if pool.len() < self.inner.capacity {
             pool.push(scratch);
         }
@@ -144,8 +141,18 @@ impl ShellPool {
 
     /// Idle shells currently retained (test/diagnostic hook).
     pub fn idle_shells(&self) -> usize {
-        self.inner.shells.lock().expect("shell pool poisoned").len()
+        lock_unpoisoned(&self.inner.shells).len()
     }
+}
+
+/// Locks a free-list, shrugging off poisoning. A panic while the lock
+/// was held (a worker dying mid-`take`/`restock` under the campaign
+/// pipeline's containment) can at worst leave a popped shell unreturned;
+/// the free-lists themselves are always structurally valid, so the pool
+/// must keep serving the surviving workers instead of cascading the
+/// panic through `expect`.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// The return path of one shell: carried by a [`GlobalTimeline`] built from
@@ -164,7 +171,7 @@ impl ShellHandle {
         shell.events.clear();
         shell.intervals.clear();
         shell.alpha_beta.clear();
-        let mut pool = self.0.shells.lock().expect("shell pool poisoned");
+        let mut pool = lock_unpoisoned(&self.0.shells);
         if pool.len() < self.0.capacity {
             pool.push(shell);
         }

@@ -17,6 +17,8 @@
 //!   deterministic failover (unavailability measures).
 //! * [`token_ring`] — token-ring mutual exclusion with loss detection and
 //!   regeneration (global-invariant measures).
+//! * [`chaos`] — a deliberately misbehaving workload (panics, endless
+//!   loops) for survivability campaigns against the harness itself.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -25,10 +27,12 @@
 // behavior around the `t >= TAG_COLLECT_BASE` arms.
 #![allow(clippy::collapsible_match)]
 
+pub mod chaos;
 pub mod election;
 pub mod kvstore;
 pub mod token_ring;
 
+pub use chaos::{chaos_factory, chaos_sm_spec, chaos_study, ChaosConfig, ChaosNode};
 pub use election::{election_factory, election_sm_spec, election_study, Election, ElectionConfig};
 pub use kvstore::{kv_factory, kv_sm_spec, kv_study, KvConfig, KvReplica};
 pub use token_ring::{ring_factory, ring_sm_spec, ring_study, RingConfig, RingMember};

@@ -529,7 +529,8 @@ fn bench_campaign_pipeline(c: &mut Criterion) {
     };
 
     let run_batch = || {
-        let data = run_study_with_workers(&study, factory(), &cfg, EXPERIMENTS, WORKERS);
+        let data = run_study_with_workers(&study, factory(), &cfg, EXPERIMENTS, WORKERS)
+            .expect("valid campaign config");
         let analyzed = analyze(&study, data, &AnalysisOptions::default());
         let accepted = accepted_timelines(&analyzed);
         measure()
@@ -540,10 +541,12 @@ fn bench_campaign_pipeline(c: &mut Criterion) {
         let pipeline = CampaignPipeline::new(study.clone(), factory(), cfg.clone());
         let mut acc = StudyAccumulator::new(measure());
         let mut compact_bytes = 0usize;
-        let summary = pipeline.run_with_workers(EXPERIMENTS, WORKERS, |analyzed| {
-            compact_bytes += analyzed.approx_size_bytes();
-            acc.push(&study, &analyzed).expect("measure evaluates");
-        });
+        let summary = pipeline
+            .run_with_workers(EXPERIMENTS, WORKERS, |analyzed| {
+                compact_bytes += analyzed.approx_size_bytes();
+                acc.push(&study, &analyzed).expect("measure evaluates");
+            })
+            .expect("valid campaign config");
         (acc.into_values(), summary, compact_bytes)
     };
 
@@ -636,7 +639,9 @@ fn bench_batched_worlds(c: &mut Criterion) {
             pipeline = pipeline.per_experiment_baseline();
         }
         let mut out = Vec::with_capacity(EXPERIMENTS as usize);
-        pipeline.run_with_workers(EXPERIMENTS, WORKERS, |analyzed| out.push(analyzed));
+        pipeline
+            .run_with_workers(EXPERIMENTS, WORKERS, |analyzed| out.push(analyzed))
+            .expect("valid campaign config");
         out
     };
     // Best-of-5: micro-campaign timings jitter ±15% on a busy runner, and
@@ -718,12 +723,18 @@ fn bench_event_overhead(c: &mut Criterion) {
     let factory = ring_factory(RingConfig::default());
     let mut cfg = SimHarnessConfig::three_hosts(0xE7E7);
     cfg.batch = Some(K);
+    // Containment armed, ceilings far above what the workload uses: the
+    // gauge prices the armed admission branch, not budget trips.
+    cfg.max_virtual_time = Some(30_000_000_000);
+    cfg.max_events = Some(100_000_000);
 
     let run = || {
         let pipeline = CampaignPipeline::new(study.clone(), factory.clone(), cfg.clone());
-        pipeline.run_with_workers(EXPERIMENTS, WORKERS, |analyzed| {
-            criterion::black_box(analyzed);
-        })
+        pipeline
+            .run_with_workers(EXPERIMENTS, WORKERS, |analyzed| {
+                criterion::black_box(analyzed);
+            })
+            .expect("valid campaign config")
     };
 
     // Best-of-5 (plus one warm-up), the same robust estimate as the

@@ -145,7 +145,7 @@ fn main() {
 
     // Execute-only rate (no analysis): the non-batched study runner.
     let start = Instant::now();
-    let data = run_study_with_workers(&study, factory.clone(), &cfg, 256, 1);
+    let data = run_study_with_workers(&study, factory.clone(), &cfg, 256, 1).expect("valid config");
     let exec_ns = start.elapsed().as_nanos() as f64 / 256.0;
     println!("micro: execute-only (per-experiment engine) {exec_ns:.0} ns/exp");
     probe("micro", &study, &data[..64]);
@@ -155,9 +155,11 @@ fn main() {
     bcfg.batch = Some(8);
     let run = || {
         let pipeline = CampaignPipeline::new(study.clone(), factory.clone(), bcfg.clone());
-        pipeline.run_with_workers(1200, 1, |analyzed| {
-            std::hint::black_box(analyzed);
-        })
+        pipeline
+            .run_with_workers(1200, 1, |analyzed| {
+                std::hint::black_box(analyzed);
+            })
+            .expect("valid config")
     };
     let mut summary = run();
     let mut best = f64::INFINITY;
@@ -185,7 +187,7 @@ fn main() {
     let cfg = SimHarnessConfig::three_hosts(0xE7E7);
 
     let start = Instant::now();
-    let data = run_study_with_workers(&study, factory.clone(), &cfg, 64, 1);
+    let data = run_study_with_workers(&study, factory.clone(), &cfg, 64, 1).expect("valid config");
     let exec_ns = start.elapsed().as_nanos() as f64 / 64.0;
     println!("events: execute-only (per-experiment engine) {exec_ns:.0} ns/exp");
     probe("events", &study, &data[..16]);

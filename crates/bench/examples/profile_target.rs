@@ -21,9 +21,11 @@ fn main() {
 
     for _ in 0..150 {
         let pipeline = CampaignPipeline::new(study.clone(), factory.clone(), cfg.clone());
-        let summary = pipeline.run_with_workers(400, 1, |analyzed| {
-            std::hint::black_box(analyzed);
-        });
+        let summary = pipeline
+            .run_with_workers(400, 1, |analyzed| {
+                std::hint::black_box(analyzed);
+            })
+            .expect("valid config");
         std::hint::black_box(summary);
     }
 }

@@ -119,11 +119,13 @@ pub fn notification_latency(
     };
     let pipeline = CampaignPipeline::new(study, factory, harness);
     let mut latencies = Vec::new();
-    pipeline.run_tapped(experiments, extract, |_analyzed, latency| {
-        if let Some(latency) = latency {
-            latencies.push(latency);
-        }
-    });
+    pipeline
+        .run_tapped(experiments, extract, |_analyzed, latency| {
+            if let Some(latency) = latency {
+                latencies.push(latency);
+            }
+        })
+        .expect("valid campaign config");
     LatencySample {
         routing,
         latencies_ns: latencies,

@@ -224,14 +224,16 @@ pub fn injection_accuracy(cfg: &AccuracyConfig) -> AccuracyPoint {
     let pipeline = CampaignPipeline::new(study, factory, harness);
     let mut injected = 0u32;
     let mut correct = 0u32;
-    pipeline.run(cfg.experiments, |analyzed| {
-        if analyzed.injections > 0 {
-            injected += 1;
-        }
-        if analyzed.accepted() {
-            correct += 1;
-        }
-    });
+    pipeline
+        .run(cfg.experiments, |analyzed| {
+            if analyzed.injections > 0 {
+                injected += 1;
+            }
+            if analyzed.accepted() {
+                correct += 1;
+            }
+        })
+        .expect("valid campaign config");
     AccuracyPoint {
         total: cfg.experiments,
         injected,

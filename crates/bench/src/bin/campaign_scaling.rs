@@ -67,7 +67,8 @@ fn main() {
             &cfg,
             experiments,
             workers,
-        );
+        )
+        .expect("valid campaign config");
         let elapsed = start.elapsed().as_secs_f64();
 
         let completed = data

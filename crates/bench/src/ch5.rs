@@ -145,9 +145,11 @@ pub fn coverage_campaign(
             harness,
         );
         let mut acc = StudyAccumulator::new(coverage_measure(machine));
-        pipeline.run(experiments, |analyzed| {
-            acc.push(&study, &analyzed).expect("measure evaluates");
-        });
+        pipeline
+            .run(experiments, |analyzed| {
+                acc.push(&study, &analyzed).expect("measure evaluates");
+            })
+            .expect("valid campaign config");
         let accepted_count = acc.accepted();
         let values = acc.into_values();
         let covered = values.iter().filter(|v| **v > 0.5).count();
@@ -232,9 +234,11 @@ pub fn correlation_campaign(experiments: u32, activation: f64, seed: u64) -> Cor
         SimHarnessConfig::three_hosts(seed),
     );
     let mut acc4 = StudyAccumulator::new(m4);
-    pipeline4.run(experiments, |analyzed| {
-        acc4.push(&study4, &analyzed).expect("measure evaluates");
-    });
+    pipeline4
+        .run(experiments, |analyzed| {
+            acc4.push(&study4, &analyzed).expect("measure evaluates");
+        })
+        .expect("valid campaign config");
     let v4 = acc4.into_values();
 
     // --- study 5: gfault3 alone ----------------------------------------------
@@ -266,9 +270,11 @@ pub fn correlation_campaign(experiments: u32, activation: f64, seed: u64) -> Cor
         SimHarnessConfig::three_hosts(seed.wrapping_add(1 << 40)),
     );
     let mut acc5 = StudyAccumulator::new(m5);
-    pipeline5.run(experiments, |analyzed| {
-        acc5.push(&study5, &analyzed).expect("measure evaluates");
-    });
+    pipeline5
+        .run(experiments, |analyzed| {
+            acc5.push(&study5, &analyzed).expect("measure evaluates");
+        })
+        .expect("valid campaign config");
     let v5 = acc5.into_values();
 
     let frac = |v: &[f64]| {

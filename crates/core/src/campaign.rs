@@ -39,6 +39,52 @@ pub struct HostSync {
     pub samples: Vec<SyncSample>,
 }
 
+/// Why an experiment *failed* — a containment outcome of the injector
+/// itself, distinct from the study outcomes ([`ExperimentEnd::Completed`]
+/// / [`ExperimentEnd::TimedOut`] / [`ExperimentEnd::Aborted`]) that the
+/// analysis phase reasons about.
+///
+/// A failed experiment never produces a usable global timeline; the
+/// campaign pipeline records the failure, quarantines any pooled state the
+/// experiment touched, and moves on. The variants are deliberately
+/// *shapes*, not messages: human-readable detail (a panic payload, the
+/// exhausted budget's value) travels in [`ExperimentData::warnings`], so
+/// two experiments failing the same way compare equal and campaign-level
+/// reporting can deduplicate them.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ExperimentFailure {
+    /// The application panicked inside a callback. The node was crashed in
+    /// place and the experiment torn down through the normal daemon
+    /// machinery.
+    AppPanic,
+    /// The harness itself misbehaved (a panic while driving the world, or
+    /// an internal invariant violation). The world is unconditionally
+    /// quarantined.
+    Harness,
+    /// The per-experiment virtual-time budget
+    /// (`SimHarnessConfig::max_virtual_time`) was exhausted.
+    BudgetVirtualTime,
+    /// The per-experiment event-count budget
+    /// (`SimHarnessConfig::max_events`) was exhausted.
+    BudgetEvents,
+    /// The wall-clock watchdog expired (thread backend only): one or more
+    /// node threads never finished and were detached.
+    BudgetWallClock,
+}
+
+impl std::fmt::Display for ExperimentFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ExperimentFailure::AppPanic => "application panic",
+            ExperimentFailure::Harness => "harness error",
+            ExperimentFailure::BudgetVirtualTime => "virtual-time budget exceeded",
+            ExperimentFailure::BudgetEvents => "event-count budget exceeded",
+            ExperimentFailure::BudgetWallClock => "wall-clock watchdog expired",
+        })
+    }
+}
+
 /// Why an experiment ended.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ExperimentEnd {
@@ -50,6 +96,21 @@ pub enum ExperimentEnd {
     TimedOut,
     /// A runtime abnormality (e.g. a local daemon crash) forced an abort.
     Aborted,
+    /// The injector contained a per-experiment failure (panic, budget
+    /// blow-up, harness error) instead of letting it take down the
+    /// campaign. Carries the failure shape; detail rides in
+    /// [`ExperimentData::warnings`].
+    Failed(ExperimentFailure),
+}
+
+impl ExperimentEnd {
+    /// The contained failure, when this end is [`ExperimentEnd::Failed`].
+    pub fn failure(&self) -> Option<ExperimentFailure> {
+        match self {
+            ExperimentEnd::Failed(f) => Some(*f),
+            _ => None,
+        }
+    }
 }
 
 /// The raw output of one experiment run.

@@ -78,7 +78,7 @@ pub mod study;
 pub mod time;
 pub mod view;
 
-pub use campaign::{ExperimentData, ExperimentEnd, HostSync, SyncSample};
+pub use campaign::{ExperimentData, ExperimentEnd, ExperimentFailure, HostSync, SyncSample};
 pub use error::CoreError;
 pub use fault::{CompiledExpr, CompiledFault, FaultExpr, FaultParser, Trigger};
 pub use ids::{EventId, FaultId, NameTable, SmId, StateId};

@@ -56,6 +56,7 @@ pub struct StudyAccumulator {
     values: Vec<f64>,
     seen: usize,
     accepted: usize,
+    failed: usize,
 }
 
 impl StudyAccumulator {
@@ -68,6 +69,7 @@ impl StudyAccumulator {
             values: Vec::new(),
             seen: 0,
             accepted: 0,
+            failed: 0,
         }
     }
 
@@ -112,6 +114,9 @@ impl StudyAccumulator {
         if accepted {
             self.accepted += 1;
         }
+        if analyzed.end.failure().is_some() {
+            self.failed += 1;
+        }
         self.seen += 1;
         self.buffered.insert(index, value);
         while let Some(value) = self.buffered.remove(&self.next) {
@@ -131,6 +136,15 @@ impl StudyAccumulator {
     /// Experiments accepted by the analysis so far.
     pub fn accepted(&self) -> usize {
         self.accepted
+    }
+
+    /// Experiments that ended in a typed failure (application panic,
+    /// budget exhaustion, harness error) so far. Failed experiments count
+    /// toward [`seen`](Self::seen), are never accepted, and produce no
+    /// measure value — this counter keeps them visible in the statistics
+    /// report instead of silently folding them into the rejected pile.
+    pub fn failed(&self) -> usize {
+        self.failed
     }
 
     /// Whether every pushed experiment has been committed (no index gaps).
@@ -230,6 +244,23 @@ mod tests {
         assert_eq!(acc.accepted(), 1);
         assert_eq!(acc.values().len(), 1);
         assert!(acc.stats().is_some());
+    }
+
+    #[test]
+    fn failed_experiments_are_counted_separately() {
+        use loki_core::campaign::ExperimentFailure;
+        let (study, _) = fig_4_2();
+        let mut acc = StudyAccumulator::new(measure());
+        acc.push(&study, &analyzed(0, true)).unwrap();
+        let mut crashed = analyzed(1, false);
+        crashed.end = ExperimentEnd::Failed(ExperimentFailure::AppPanic);
+        crashed.global = None;
+        crashed.verdict = None;
+        acc.push(&study, &crashed).unwrap();
+        assert_eq!(acc.seen(), 2);
+        assert_eq!(acc.accepted(), 1);
+        assert_eq!(acc.failed(), 1);
+        assert_eq!(acc.values().len(), 1);
     }
 
     #[test]

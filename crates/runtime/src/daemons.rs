@@ -31,7 +31,7 @@ use crate::wiring::Wiring;
 use loki_core::ids::{SmId, SymbolTable};
 use loki_core::recorder::{RecordKind, TimelineRecord};
 use loki_core::study::Study;
-use loki_sim::engine::{Actor, ActorId, Ctx, DownReason, HostId};
+use loki_sim::engine::{Actor, ActorId, Ctx, DownReason, HostId, TimerId};
 use rand::Rng;
 use std::any::Any;
 use std::cell::{Cell, RefCell};
@@ -624,6 +624,10 @@ pub struct CentralDaemon {
     /// a handful of daemons, and insertion checks linearly).
     ends: Vec<ActorId>,
     done: bool,
+    /// The experiment watchdog, cancelled on clean shutdown so a completed
+    /// experiment leaves no far-future event behind (a virtual-time budget
+    /// would otherwise have to wade past it).
+    watchdog: Option<TimerId>,
 }
 
 impl CentralDaemon {
@@ -634,6 +638,7 @@ impl CentralDaemon {
             grace_ns,
             ends: Vec::new(),
             done: false,
+            watchdog: None,
         }
     }
 
@@ -643,9 +648,13 @@ impl CentralDaemon {
         self.grace_ns = grace_ns;
         self.ends.clear();
         self.done = false;
+        self.watchdog = None;
     }
 
     fn shutdown(&mut self, ctx: &mut Ctx<'_, RtMsg>) {
+        if let Some(watchdog) = self.watchdog.take() {
+            ctx.cancel_timer(watchdog);
+        }
         // Teardown is the injector's out-of-band kill path: it must work
         // whatever the experiment did to the network, so heal the fault
         // plane first (a never-healed partition otherwise outlives its
@@ -670,7 +679,7 @@ impl Actor<RtMsg> for CentralDaemon {
                 ctx.watch(daemon);
             }
         });
-        ctx.set_timer(self.timeout_ns, TAG_TIMEOUT);
+        self.watchdog = Some(ctx.set_timer(self.timeout_ns, TAG_TIMEOUT));
         // Start the machines listed with a host in the node file (§3.5.1).
         let study = Arc::clone(&self.ctx.study);
         for (sm, host) in &study.placements {
@@ -710,10 +719,11 @@ impl Actor<RtMsg> for CentralDaemon {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, RtMsg>, tag: u64) {
         match tag {
             TAG_TIMEOUT if !self.done => {
-                // Hung experiment: kill everything and abort (§3.5.1).
-                // Heal the network first — the kill instructions below are
-                // ordinary messages and must not die in a partition the
-                // experiment armed and never removed.
+                self.watchdog = None; // it just fired
+                                      // Hung experiment: kill everything and abort (§3.5.1).
+                                      // Heal the network first — the kill instructions below are
+                                      // ordinary messages and must not die in a partition the
+                                      // experiment armed and never removed.
                 ctx.clear_net_faults();
                 self.done = true;
                 self.ctx.control.mark_timed_out();

@@ -26,19 +26,21 @@ use crate::daemons::{
     reuse_or_box, ActorHull, CentralDaemon, ExpCtx, LocalDaemon, RestartPolicy, Supervisor,
 };
 use crate::messages::{NotifyRouting, RtMsg};
+use crate::store::WarningSink;
 use crate::syncer::{SyncEcho, Syncer};
 use crate::thread_backend::{run_thread_experiment_with, ThreadHarnessConfig};
 use loki_analysis::{analyze_one_pooled, AnalysisOptions, AnalyzedExperiment, ShellPool};
 use loki_clock::params::fastest_reference;
-use loki_core::campaign::{ExperimentData, ExperimentEnd, HostSync};
+use loki_core::campaign::{ExperimentData, ExperimentEnd, ExperimentFailure, HostSync};
 use loki_core::ids::{HostId, SymbolTable};
 use loki_core::study::Study;
 use loki_sim::batch::WorldSet;
 use loki_sim::config::{HostConfig, NetworkConfig};
-use loki_sim::engine::{HostId as SimHostId, Simulation, WorldConfig};
+use loki_sim::engine::{BudgetExceeded, HostId as SimHostId, Simulation, WorldConfig};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 /// The execution backend a study runs on.
@@ -51,6 +53,64 @@ pub enum Backend {
     /// Real concurrency: every node an OS thread with a virtual per-host
     /// clock; wall-clock time, genuinely nondeterministic interleavings.
     Threads,
+}
+
+/// A campaign misconfiguration, detected before any experiment runs.
+///
+/// Campaign entry points ([`run_study`], [`CampaignPipeline::run`] and
+/// friends) return these instead of panicking, so a campaign driver — a
+/// CLI loading a hand-written campaign file, say — can report the problem
+/// and keep going. The per-experiment convenience wrapper
+/// [`run_experiment`] still panics, documented as such.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CampaignError {
+    /// The host list is empty or invalid (duplicate names).
+    Hosts(String),
+    /// The worker-count configuration is invalid
+    /// ([`SimHarnessConfig::workers`] / `LOKI_WORKERS`).
+    Workers(String),
+    /// The batch-size configuration is invalid
+    /// ([`SimHarnessConfig::batch`] / `LOKI_BATCH`).
+    Batch(String),
+    /// The analysis options are invalid (a degenerate analysis window).
+    Analysis(String),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Hosts(m)
+            | CampaignError::Workers(m)
+            | CampaignError::Batch(m)
+            | CampaignError::Analysis(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// Bounded-retry policy for transient experiment failures on the
+/// *threads* backend, where a failure (panic, watchdog expiry) can be a
+/// scheduling accident rather than a property of the experiment. The
+/// deterministic simulation never retries: a replay of `(seed, k)` is
+/// byte-identical, so a failed experiment would fail identically again.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ExperimentRetry {
+    /// Re-runs allowed per failed experiment (0 disables retry).
+    pub max_retries: u32,
+    /// Base delay before the first re-run; doubles per attempt
+    /// (exponential backoff), giving a wedged machine time to recover.
+    pub backoff: Duration,
+}
+
+impl Default for ExperimentRetry {
+    fn default() -> Self {
+        ExperimentRetry {
+            max_retries: 0,
+            backoff: Duration::from_millis(50),
+        }
+    }
 }
 
 /// Configuration of the experiment harness.
@@ -102,6 +162,25 @@ pub struct SimHarnessConfig {
     /// exactly like `workers`. Study results are byte-identical for every
     /// batch size — batching only changes how worlds share a thread.
     pub batch: Option<usize>,
+    /// Deterministic virtual-time budget: an experiment whose next event
+    /// would be scheduled after this many simulated nanoseconds ends as
+    /// [`ExperimentFailure::BudgetVirtualTime`] instead of running on. The
+    /// trip point depends only on `(seed, experiment)` — never on worker
+    /// count or batch size — so budgeted campaigns stay byte-identical
+    /// across pool shapes. `None` (the default) disarms the budget
+    /// entirely; a disarmed world pays one predictable branch per event.
+    /// Simulation-only; the thread backend's equivalent is the wall-clock
+    /// watchdog derived from [`SimHarnessConfig::timeout_ns`].
+    pub max_virtual_time: Option<u64>,
+    /// Deterministic event-count budget: an experiment that has processed
+    /// this many simulation events ends as
+    /// [`ExperimentFailure::BudgetEvents`]. Counts every event of the
+    /// experiment (sync mini-phases included); same determinism contract
+    /// and default as [`SimHarnessConfig::max_virtual_time`].
+    pub max_events: Option<u64>,
+    /// Retry policy for failed experiments on the threads backend (the
+    /// default retries nothing); ignored by the deterministic simulation.
+    pub retry: ExperimentRetry,
     /// The execution backend experiments run on.
     pub backend: Backend,
 }
@@ -120,6 +199,9 @@ impl Default for SimHarnessConfig {
             seed: 0,
             workers: None,
             batch: None,
+            max_virtual_time: None,
+            max_events: None,
+            retry: ExperimentRetry::default(),
             backend: Backend::Sim,
         }
     }
@@ -187,14 +269,30 @@ impl SimHarnessConfig {
 ///
 /// # Panics
 ///
-/// Panics if the configuration has no hosts or a placement names an
-/// unknown host.
+/// Panics if the configuration has no hosts or two hosts share a name —
+/// this is the one-off convenience wrapper; [`try_run_experiment`] and
+/// the campaign entry points return the same condition as a typed
+/// [`CampaignError`] instead.
 pub fn run_experiment(
     study: &Arc<Study>,
     factory: AppFactory,
     cfg: &SimHarnessConfig,
     experiment: u32,
 ) -> ExperimentData {
+    match try_run_experiment(study, factory, cfg, experiment) {
+        Ok(data) => data,
+        Err(e) => panic!("loki: invalid harness config: {e}"),
+    }
+}
+
+/// [`run_experiment`], returning configuration problems as a typed
+/// [`CampaignError`] instead of panicking.
+pub fn try_run_experiment(
+    study: &Arc<Study>,
+    factory: AppFactory,
+    cfg: &SimHarnessConfig,
+    experiment: u32,
+) -> Result<ExperimentData, CampaignError> {
     run_experiment_with(study, factory, cfg, &cfg.symbols(), experiment)
 }
 
@@ -206,13 +304,39 @@ fn run_experiment_with(
     cfg: &SimHarnessConfig,
     symbols: &Arc<SymbolTable>,
     experiment: u32,
-) -> ExperimentData {
+) -> Result<ExperimentData, CampaignError> {
     match cfg.backend {
         Backend::Sim => run_sim_experiment(study, factory, cfg, symbols, experiment),
         Backend::Threads => {
-            run_thread_experiment_with(study, factory, &cfg.thread_config(), symbols, experiment)
+            validate_hosts(cfg)?;
+            Ok(run_thread_experiment_with(
+                study,
+                factory,
+                &cfg.thread_config(),
+                symbols,
+                experiment,
+            ))
         }
     }
+}
+
+/// Rejects configurations the world build would reject, without building
+/// one: an empty host list or duplicate host names.
+fn validate_hosts(cfg: &SimHarnessConfig) -> Result<(), CampaignError> {
+    if cfg.hosts.is_empty() {
+        return Err(CampaignError::Hosts(
+            "loki: harness config needs at least one host".to_owned(),
+        ));
+    }
+    for (idx, host) in cfg.hosts.iter().enumerate() {
+        if cfg.hosts[..idx].iter().any(|h| h.name == host.name) {
+            return Err(CampaignError::Hosts(format!(
+                "loki: invalid harness config: duplicate host name {:?}",
+                host.name
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Runs one experiment on the deterministic simulation backend. This is
@@ -226,10 +350,10 @@ fn run_sim_experiment(
     cfg: &SimHarnessConfig,
     symbols: &Arc<SymbolTable>,
     experiment: u32,
-) -> ExperimentData {
-    let sim_study = SimStudy::new(study, &factory, cfg, symbols);
+) -> Result<ExperimentData, CampaignError> {
+    let sim_study = SimStudy::new(study, &factory, cfg, symbols)?;
     let mut sim: Simulation<RtMsg> = Simulation::with_config(sim_study.world.clone(), 0);
-    sim_study.run_one(&mut sim, experiment)
+    Ok(sim_study.run_one(&mut sim, experiment))
 }
 
 /// One study compiled for the simulation backend: the shared immutable
@@ -289,24 +413,27 @@ impl Drop for ExpScript {
 }
 
 impl<'a> SimStudy<'a> {
-    /// Compiles `cfg` into the shared world description.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the configuration has no hosts or two hosts share a
-    /// name.
+    /// Compiles `cfg` into the shared world description, rejecting an
+    /// empty host list or duplicate host names as a typed
+    /// [`CampaignError::Hosts`].
     fn new(
         study: &'a Arc<Study>,
         factory: &'a AppFactory,
         cfg: &'a SimHarnessConfig,
         symbols: &'a Arc<SymbolTable>,
-    ) -> Self {
-        assert!(!cfg.hosts.is_empty(), "need at least one host");
+    ) -> Result<Self, CampaignError> {
+        if cfg.hosts.is_empty() {
+            return Err(CampaignError::Hosts(
+                "loki: harness config needs at least one host".to_owned(),
+            ));
+        }
         let mut world = WorldConfig::new();
         world.set_network(cfg.network);
         for host in &cfg.hosts {
             if let Err(e) = world.add_host(host.clone()) {
-                panic!("loki: invalid harness config: {e}");
+                return Err(CampaignError::Hosts(format!(
+                    "loki: invalid harness config: {e}"
+                )));
             }
         }
         let reference = cfg.reference_host();
@@ -315,14 +442,14 @@ impl<'a> SimStudy<'a> {
             .iter()
             .position(|h| h.name == reference)
             .expect("reference host exists");
-        SimStudy {
+        Ok(SimStudy {
             study,
             factory,
             cfg,
             symbols,
             world: Arc::new(world),
             ref_idx,
-        }
+        })
     }
 
     /// Rewinds `sim` to experiment `experiment`'s seed and spawns the
@@ -343,6 +470,10 @@ impl<'a> SimStudy<'a> {
         recycled: Option<ExpScript>,
     ) -> ExpScript {
         sim.reset(self.cfg.seed.wrapping_add(experiment as u64));
+        // Arm the deterministic experiment budgets (`reset` disarmed the
+        // recycled world's). The trip point depends only on the event
+        // stream, which depends only on `(seed, experiment)`.
+        sim.set_budget(self.cfg.max_virtual_time, self.cfg.max_events);
         sim.disable_trace();
         // Park killed actors' boxes for hull recycling instead of
         // dropping them (drained into the pool at every phase boundary).
@@ -391,6 +522,25 @@ impl<'a> SimStudy<'a> {
         // the next phase (or experiment) respawns without boxing.
         for corpse in sim.drain_dead() {
             script.ctx.pool.recycle(corpse);
+        }
+        // A tripped budget reports the world as drained with events still
+        // pending — end the experiment right here, whatever its phase. The
+        // pipeline quarantines the world afterwards, so the undelivered
+        // events can never leak into another experiment.
+        if let Some(exceeded) = sim.budget_exceeded() {
+            let failure = match exceeded {
+                BudgetExceeded::VirtualTime => ExperimentFailure::BudgetVirtualTime,
+                BudgetExceeded::Events => ExperimentFailure::BudgetEvents,
+            };
+            script.ctx.control.mark_failed(failure);
+            let (events, now) = (sim.events_processed(), sim.now());
+            script
+                .ctx
+                .warnings
+                .warn_with(|| format!("{failure} after {events} events at virtual time {now} ns"));
+            let events = script.ctx.events.get() + sim.events_processed();
+            script.ctx.events.set(events);
+            return Some(self.assemble(script));
         }
         match script.phase {
             ExpPhase::PreSync => {
@@ -495,11 +645,15 @@ impl<'a> SimStudy<'a> {
         }
     }
 
-    /// Packs a finished experiment's stores into [`ExperimentData`].
+    /// Packs a finished experiment's stores into [`ExperimentData`]. A
+    /// recorded containment failure trumps every other end — a run that
+    /// panicked *and* "completed" during teardown is still a failed run.
     fn assemble(&self, script: &mut ExpScript) -> ExperimentData {
         let ctx = &script.ctx;
         let post_sync = ctx.collector.drain();
-        let end = if ctx.control.completed() {
+        let end = if let Some(failure) = ctx.control.failure() {
+            ExperimentEnd::Failed(failure)
+        } else if ctx.control.completed() {
             ExperimentEnd::Completed
         } else if ctx.control.timed_out() {
             ExperimentEnd::TimedOut
@@ -517,6 +671,25 @@ impl<'a> SimStudy<'a> {
             post_sync,
             end,
             warnings: ctx.warnings.drain(),
+        }
+    }
+
+    /// A stand-in result for an experiment whose scaffolding died before
+    /// (or instead of) assembling real data: an unwind escaped the
+    /// engine or the harness itself. There are no timelines to report —
+    /// only the typed end and the panic note.
+    fn failed_data(&self, experiment: u32, note: String) -> ExperimentData {
+        ExperimentData {
+            study: self.study.name.clone(),
+            experiment,
+            timelines: Vec::new(),
+            hosts: self.symbols.host_ids().collect(),
+            reference_host: HostId::from_raw(self.ref_idx as u32),
+            symbols: self.symbols.clone(),
+            pre_sync: Vec::new(),
+            post_sync: Vec::new(),
+            end: ExperimentEnd::Failed(ExperimentFailure::Harness),
+            warnings: vec![format!("harness error: {note}")],
         }
     }
 }
@@ -552,17 +725,12 @@ fn pooled_supervisor(ctx: &Rc<ExpCtx>, policy: RestartPolicy) -> ActorHull {
 /// `LOKI_WORKERS` environment variable, then the machine's available
 /// parallelism. Never more workers than experiments.
 ///
-/// # Panics
-///
-/// Panics when the configured count is `Some(0)` or `LOKI_WORKERS` is not
-/// a positive integer — a silent fallback would run a misconfigured
-/// campaign with a surprise worker count.
-fn resolve_workers(cfg: &SimHarnessConfig, experiments: u32) -> usize {
+/// `Some(0)` and an unparseable `LOKI_WORKERS` resolve to
+/// [`CampaignError::Workers`] — a silent fallback would run a
+/// misconfigured campaign with a surprise worker count.
+fn resolve_workers(cfg: &SimHarnessConfig, experiments: u32) -> Result<usize, CampaignError> {
     let env = std::env::var("LOKI_WORKERS").ok();
-    match worker_count(cfg.workers, env.as_deref(), experiments) {
-        Ok(n) => n,
-        Err(message) => panic!("{message}"),
-    }
+    worker_count(cfg.workers, env.as_deref(), experiments).map_err(CampaignError::Workers)
 }
 
 /// The pure worker-count resolution; see [`resolve_workers`].
@@ -600,17 +768,12 @@ fn worker_count(
 /// Resolves the per-worker batch size for the campaign pipeline: explicit
 /// config, then the `LOKI_BATCH` environment variable, then 1.
 ///
-/// # Panics
-///
-/// Panics when the configured size is `Some(0)` or `LOKI_BATCH` is not a
-/// positive integer — the same loud-failure policy as
+/// `Some(0)` and an unparseable `LOKI_BATCH` resolve to
+/// [`CampaignError::Batch`] — the same loud-failure policy as
 /// [`resolve_workers`].
-fn resolve_batch(cfg: &SimHarnessConfig) -> usize {
+fn resolve_batch(cfg: &SimHarnessConfig) -> Result<usize, CampaignError> {
     let env = std::env::var("LOKI_BATCH").ok();
-    match batch_size(cfg.batch, env.as_deref()) {
-        Ok(n) => n,
-        Err(message) => panic!("{message}"),
-    }
+    batch_size(cfg.batch, env.as_deref()).map_err(CampaignError::Batch)
 }
 
 /// The pure batch-size resolution; see [`resolve_batch`].
@@ -646,41 +809,48 @@ fn batch_size(explicit: Option<usize>, env: Option<&str>) -> Result<usize, Strin
 /// [`Backend::Threads`] the per-experiment *fault-injection semantics* are
 /// the same (the node core is shared), but timing and interleavings are
 /// genuinely nondeterministic.
+///
+/// Misconfigurations — an empty or duplicated host list, an invalid
+/// worker count — come back as a typed [`CampaignError`] before any
+/// experiment runs.
 pub fn run_study(
     study: &Arc<Study>,
     factory: AppFactory,
     cfg: &SimHarnessConfig,
     experiments: u32,
-) -> Vec<ExperimentData> {
+) -> Result<Vec<ExperimentData>, CampaignError> {
     run_study_with_workers(
         study,
         factory,
         cfg,
         experiments,
-        resolve_workers(cfg, experiments),
+        resolve_workers(cfg, experiments)?,
     )
 }
 
 /// [`run_study`] with an explicit worker count (`workers == 1` runs
-/// entirely on the calling thread).
-///
-/// # Panics
-///
-/// Panics when `workers == 0`.
+/// entirely on the calling thread); `workers == 0` is
+/// [`CampaignError::Workers`].
 pub fn run_study_with_workers(
     study: &Arc<Study>,
     factory: AppFactory,
     cfg: &SimHarnessConfig,
     experiments: u32,
     workers: usize,
-) -> Vec<ExperimentData> {
-    assert!(workers >= 1, "loki: worker count must be at least 1");
+) -> Result<Vec<ExperimentData>, CampaignError> {
+    if workers == 0 {
+        return Err(CampaignError::Workers(
+            "loki: worker count must be at least 1".to_owned(),
+        ));
+    }
+    validate_hosts(cfg)?;
     let workers = workers.clamp(1, experiments.max(1) as usize);
     let symbols = cfg.symbols();
+    // The config is validated above, so per-experiment runs cannot fail.
+    let run_one =
+        |k| run_experiment_with(study, factory.clone(), cfg, &symbols, k).expect("hosts validated");
     if workers == 1 {
-        return (0..experiments)
-            .map(|k| run_experiment_with(study, factory.clone(), cfg, &symbols, k))
-            .collect();
+        return Ok((0..experiments).map(run_one).collect());
     }
 
     // Round-robin striping: worker `w` runs experiments `w, w+workers,
@@ -697,7 +867,10 @@ pub fn run_study_with_workers(
                 scope.spawn(move || {
                     (w..experiments)
                         .step_by(workers)
-                        .map(|k| run_experiment_with(study, factory.clone(), cfg, symbols, k))
+                        .map(|k| {
+                            run_experiment_with(study, factory.clone(), cfg, symbols, k)
+                                .expect("hosts validated")
+                        })
                         .collect::<Vec<ExperimentData>>()
                 })
             })
@@ -725,7 +898,7 @@ pub fn run_study_with_workers(
         }
     }
     debug_assert_eq!(results.len(), experiments as usize);
-    results
+    Ok(results)
 }
 
 /// Aggregate counters of one [`CampaignPipeline`] run.
@@ -735,6 +908,21 @@ pub struct PipelineSummary {
     pub experiments: u32,
     /// Experiments that completed normally ([`ExperimentEnd::Completed`]).
     pub completed: usize,
+    /// Experiments that ended as [`ExperimentEnd::Failed`] — contained
+    /// application panics, harness errors, and budget trips. Failed
+    /// experiments still reach the sink (typed, in index order); they are
+    /// never counted accepted.
+    pub failed: usize,
+    /// Thread-backend re-runs performed under the
+    /// [`SimHarnessConfig::retry`] policy (0 on the deterministic
+    /// simulation, which never retries).
+    pub retried: usize,
+    /// Worlds rebuilt from scratch after a failed experiment: the world
+    /// slot *and* its pooled scaffolding (actor hulls, timeline shells,
+    /// the experiment context) are discarded rather than recycled, so
+    /// whatever state a panic or budget trip left behind cannot reach a
+    /// later experiment.
+    pub quarantined_worlds: usize,
     /// Experiments whose injections were provably correct (usable for
     /// measures).
     pub accepted: usize,
@@ -847,6 +1035,9 @@ struct PoolStats {
     actor_reuses: AtomicU64,
     timeline_reuses: AtomicU64,
     events: AtomicU64,
+    /// World slots rebuilt fresh after a failed experiment (bumped at
+    /// quarantine time, when the poisoned context retires early).
+    quarantined: AtomicU64,
 }
 
 impl PoolStats {
@@ -869,6 +1060,20 @@ impl PoolStats {
 /// worker's steady state allocates almost nothing per experiment.
 /// `process` returns `false` to stop the worker early (the coordinator
 /// hung up); the current chunk is abandoned without claiming more.
+///
+/// # Failure containment
+///
+/// An experiment that ends as [`ExperimentEnd::Failed`] — a contained
+/// application panic, a budget trip — or whose scaffolding unwinds out of
+/// the engine entirely (a harness error, reported to `process` as
+/// [`ExperimentFailure::Harness`] with no context) poisons its world and
+/// its pooled scaffolding. Both are **quarantined**: the script (context,
+/// hull pool, store shells) is dropped instead of joining the `spare`
+/// recycling list, and the world slot is rebuilt fresh from the shared
+/// [`WorldConfig`]. Sibling worlds never notice — worlds don't interact,
+/// and the claim counter hands out each index exactly once — so the
+/// surviving experiments' results are byte-identical to a failure-free
+/// campaign's.
 fn drive_chunked(
     sim_study: &SimStudy<'_>,
     experiments: u32,
@@ -876,7 +1081,7 @@ fn drive_chunked(
     next_claim: &AtomicU32,
     gauge: &RetentionGauge,
     stats: &PoolStats,
-    mut process: impl FnMut(u32, ExperimentData, &ExpCtx) -> bool,
+    mut process: impl FnMut(u32, ExperimentData, Option<&ExpCtx>) -> bool,
 ) {
     let mut set: WorldSet<RtMsg> = WorldSet::with_capacity(batch);
     let mut scripts: Vec<Option<ExpScript>> = Vec::with_capacity(batch);
@@ -884,6 +1089,22 @@ fn drive_chunked(
     // `begin_with` recycles them, so in steady state a worker reallocates
     // none of the per-experiment scaffolding.
     let mut spare: Vec<ExpScript> = Vec::with_capacity(batch);
+    // Retires a finished experiment's script: healthy scripts feed the
+    // recycling list, failed ones are quarantined with their world.
+    let retire = |script: ExpScript,
+                  failed: bool,
+                  idx: usize,
+                  set: &mut WorldSet<RtMsg>,
+                  spare: &mut Vec<ExpScript>| {
+        if failed {
+            stats.absorb(&script.ctx);
+            drop(script);
+            set.replace(idx, Simulation::with_config(sim_study.world.clone(), 0));
+            stats.quarantined.fetch_add(1, Ordering::Relaxed);
+        } else {
+            spare.push(script);
+        }
+    };
     'run: loop {
         // Relaxed suffices: the claim is the only shared state, and the
         // result hand-off orders everything else.
@@ -905,26 +1126,42 @@ fn drive_chunked(
             }
             gauge.inc();
             let recycled = spare.pop();
-            let mut script = set.with_world_mut(slot, |sim| sim_study.begin_with(sim, k, recycled));
-            let mut finished = None;
-            while set.drained(slot) {
-                let out = set.with_world_mut(slot, |sim| sim_study.on_drained(sim, &mut script));
-                if let Some(data) = out {
-                    finished = Some(data);
-                    break;
+            let loaded = catch_unwind(AssertUnwindSafe(|| {
+                let mut script =
+                    set.with_world_mut(slot, |sim| sim_study.begin_with(sim, k, recycled));
+                let mut finished = None;
+                while set.drained(slot) {
+                    let out =
+                        set.with_world_mut(slot, |sim| sim_study.on_drained(sim, &mut script));
+                    if let Some(data) = out {
+                        finished = Some(data);
+                        break;
+                    }
                 }
-            }
-            match finished {
-                Some(data) => {
-                    let keep_going = process(k, data, &script.ctx);
-                    spare.push(script);
+                (script, finished)
+            }));
+            match loaded {
+                Ok((script, Some(data))) => {
+                    let failed = matches!(data.end, ExperimentEnd::Failed(_));
+                    let keep_going = process(k, data, Some(&script.ctx));
+                    retire(script, failed, slot, &mut set, &mut spare);
                     if !keep_going {
                         break 'run;
                     }
                 }
-                None => {
+                Ok((script, None)) => {
                     scripts[slot] = Some(script);
                     inflight += 1;
+                }
+                Err(payload) => {
+                    // The unwind consumed the script (and possibly a
+                    // recycled one); the half-loaded world is rebuilt.
+                    let note = crate::contain::panic_note(payload.as_ref());
+                    set.replace(slot, Simulation::with_config(sim_study.world.clone(), 0));
+                    stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                    if !process(k, sim_study.failed_data(k, note), None) {
+                        break 'run;
+                    }
                 }
             }
         }
@@ -933,41 +1170,68 @@ fn drive_chunked(
         // when a world drains, advance its phase (possibly through several
         // instantly-drained phases) or retire its finished experiment.
         while inflight > 0 {
-            let idx = set
-                .run_earliest()
+            let (idx, horizon) = set
+                .earliest()
                 .expect("worlds with in-flight experiments have events");
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| set.run_world(idx, horizon))) {
+                // The engine itself unwound: the world is unusable and its
+                // experiment produced nothing. Quarantine and report.
+                let script = scripts[idx].take().expect("running world has a script");
+                inflight -= 1;
+                let k = script.experiment;
+                let note = crate::contain::panic_note(payload.as_ref());
+                retire(script, true, idx, &mut set, &mut spare);
+                if !process(k, sim_study.failed_data(k, note), None) {
+                    break 'run;
+                }
+                continue;
+            }
             if !set.drained(idx) {
                 continue;
             }
             let mut script = scripts[idx].take().expect("drained world has a script");
-            let mut finished = None;
-            loop {
-                let out = set.with_world_mut(idx, |sim| sim_study.on_drained(sim, &mut script));
-                if let Some(data) = out {
-                    finished = Some(data);
-                    break;
+            let pumped = catch_unwind(AssertUnwindSafe(|| {
+                let mut finished = None;
+                loop {
+                    let out = set.with_world_mut(idx, |sim| sim_study.on_drained(sim, &mut script));
+                    if let Some(data) = out {
+                        finished = Some(data);
+                        break;
+                    }
+                    if !set.drained(idx) {
+                        break;
+                    }
                 }
-                if !set.drained(idx) {
-                    break;
-                }
-            }
-            match finished {
-                Some(data) => {
+                finished
+            }));
+            match pumped {
+                Ok(Some(data)) => {
                     inflight -= 1;
                     let k = script.experiment;
-                    let keep_going = process(k, data, &script.ctx);
-                    spare.push(script);
+                    let failed = matches!(data.end, ExperimentEnd::Failed(_));
+                    let keep_going = process(k, data, Some(&script.ctx));
+                    retire(script, failed, idx, &mut set, &mut spare);
                     if !keep_going {
                         break 'run;
                     }
                 }
-                None => scripts[idx] = Some(script),
+                Ok(None) => scripts[idx] = Some(script),
+                Err(payload) => {
+                    inflight -= 1;
+                    let k = script.experiment;
+                    let note = crate::contain::panic_note(payload.as_ref());
+                    retire(script, true, idx, &mut set, &mut spare);
+                    if !process(k, sim_study.failed_data(k, note), None) {
+                        break 'run;
+                    }
+                }
             }
         }
     }
     // Single exit: fold every retiring context's recycling counters into
     // the shared stats (each script owns its own context; in-flight
-    // scripts only remain after an early bail-out).
+    // scripts only remain after an early bail-out; quarantined contexts
+    // were absorbed when they retired).
     for script in scripts.iter().flatten().chain(spare.iter()) {
         stats.absorb(&script.ctx);
     }
@@ -1017,12 +1281,14 @@ fn drive_chunked(
 /// #         factory: loki_runtime::AppFactory) {
 /// let pipeline = CampaignPipeline::new(study, factory, SimHarnessConfig::three_hosts(7));
 /// let mut accepted = 0;
-/// let summary = pipeline.run(1_000, |analyzed| {
-///     // Called in experiment order; raw data is already gone.
-///     if analyzed.accepted() {
-///         accepted += 1;
-///     }
-/// });
+/// let summary = pipeline
+///     .run(1_000, |analyzed| {
+///         // Called in experiment order; raw data is already gone.
+///         if analyzed.accepted() {
+///             accepted += 1;
+///         }
+///     })
+///     .expect("valid campaign config");
 /// assert!(summary.peak_raw_retained <= summary.workers);
 /// # }
 /// ```
@@ -1032,6 +1298,10 @@ pub struct CampaignPipeline {
     cfg: SimHarnessConfig,
     analysis: AnalysisOptions,
     per_experiment: bool,
+    /// Deduplicated per-run failure reports: one line per distinct
+    /// [`ExperimentFailure`] kind, recorded on the coordinator as results
+    /// commit in index order (so "first experiment" is deterministic).
+    failure_log: Mutex<WarningSink>,
 }
 
 impl CampaignPipeline {
@@ -1043,6 +1313,7 @@ impl CampaignPipeline {
             cfg,
             analysis: AnalysisOptions::default(),
             per_experiment: false,
+            failure_log: Mutex::new(WarningSink::new()),
         }
     }
 
@@ -1072,29 +1343,28 @@ impl CampaignPipeline {
     /// each compact result to `sink` in experiment-index order. The worker
     /// count resolves exactly like [`run_study`]'s.
     ///
-    /// # Panics
-    ///
-    /// Panics on an invalid worker or batch configuration (see
-    /// [`SimHarnessConfig::workers`] / [`SimHarnessConfig::batch`]) or
-    /// invalid analysis options (a degenerate analysis window) — all are
-    /// campaign misconfigurations that must fail loudly before any
-    /// experiment runs.
-    pub fn run(&self, experiments: u32, sink: impl FnMut(AnalyzedExperiment)) -> PipelineSummary {
-        self.run_with_workers(experiments, resolve_workers(&self.cfg, experiments), sink)
+    /// Campaign misconfigurations — an invalid worker or batch
+    /// configuration (see [`SimHarnessConfig::workers`] /
+    /// [`SimHarnessConfig::batch`]), an invalid host list, or invalid
+    /// analysis options (a degenerate analysis window) — come back as a
+    /// typed [`CampaignError`] before any experiment runs.
+    pub fn run(
+        &self,
+        experiments: u32,
+        sink: impl FnMut(AnalyzedExperiment),
+    ) -> Result<PipelineSummary, CampaignError> {
+        self.run_with_workers(experiments, resolve_workers(&self.cfg, experiments)?, sink)
     }
 
     /// [`CampaignPipeline::run`] with an explicit worker count
-    /// (`workers == 1` runs entirely on the calling thread).
-    ///
-    /// # Panics
-    ///
-    /// Panics when `workers == 0` or the analysis options are invalid.
+    /// (`workers == 1` runs entirely on the calling thread);
+    /// `workers == 0` is [`CampaignError::Workers`].
     pub fn run_with_workers(
         &self,
         experiments: u32,
         workers: usize,
         mut sink: impl FnMut(AnalyzedExperiment),
-    ) -> PipelineSummary {
+    ) -> Result<PipelineSummary, CampaignError> {
         self.run_tapped_with_workers(experiments, workers, |_| (), |analyzed, ()| sink(analyzed))
     }
 
@@ -1108,10 +1378,10 @@ impl CampaignPipeline {
         experiments: u32,
         tap: impl Fn(&ExperimentData) -> T + Sync,
         sink: impl FnMut(AnalyzedExperiment, T),
-    ) -> PipelineSummary {
+    ) -> Result<PipelineSummary, CampaignError> {
         self.run_tapped_with_workers(
             experiments,
-            resolve_workers(&self.cfg, experiments),
+            resolve_workers(&self.cfg, experiments)?,
             tap,
             sink,
         )
@@ -1120,30 +1390,47 @@ impl CampaignPipeline {
     /// The fully general pipeline entry point; see
     /// [`CampaignPipeline::run`] and [`CampaignPipeline::run_tapped`].
     ///
-    /// # Panics
-    ///
-    /// Panics when `workers == 0`, or when the analysis options are
-    /// invalid, or when a worker thread panics.
+    /// Returns a typed [`CampaignError`] on any campaign
+    /// misconfiguration; still panics if a *sink* or coordinator-side
+    /// closure panics (worker-side panics are contained per experiment).
     pub fn run_tapped_with_workers<T: Send>(
         &self,
         experiments: u32,
         workers: usize,
         tap: impl Fn(&ExperimentData) -> T + Sync,
         mut sink: impl FnMut(AnalyzedExperiment, T),
-    ) -> PipelineSummary {
-        assert!(workers >= 1, "loki: worker count must be at least 1");
+    ) -> Result<PipelineSummary, CampaignError> {
+        if workers == 0 {
+            return Err(CampaignError::Workers(
+                "loki: worker count must be at least 1".to_owned(),
+            ));
+        }
+        validate_hosts(&self.cfg)?;
         if let Err(e) = self.analysis.global.validate() {
-            panic!("loki: invalid analysis options: {e}");
+            return Err(CampaignError::Analysis(format!(
+                "loki: invalid analysis options: {e}"
+            )));
         }
         let workers = workers.clamp(1, experiments.max(1) as usize);
         // Many-worlds batching is a simulation-backend technique; the
         // threads backend and the per-experiment baseline run one
         // experiment at a time per worker.
         let batched = self.cfg.backend == Backend::Sim && !self.per_experiment;
-        let batch = if batched { resolve_batch(&self.cfg) } else { 1 };
+        let batch = if batched {
+            resolve_batch(&self.cfg)?
+        } else {
+            1
+        };
         let symbols = self.cfg.symbols();
-        let sim_study =
-            batched.then(|| SimStudy::new(&self.study, &self.factory, &self.cfg, &symbols));
+        let sim_study = match batched {
+            true => Some(SimStudy::new(
+                &self.study,
+                &self.factory,
+                &self.cfg,
+                &symbols,
+            )?),
+            false => None,
+        };
         let mut summary = PipelineSummary {
             experiments,
             workers,
@@ -1161,8 +1448,21 @@ impl CampaignPipeline {
         // shell) → tap → reclaim the raw data's buffers into the worker's
         // context (batched path) → drop. The retention gauge (raised when
         // an experiment begins) brackets the raw data's whole lifetime.
+        // Analysis runs contained: a panicking analysis (conceivable on a
+        // failed experiment's partial timelines) downgrades that one
+        // result to a harness failure instead of killing the campaign.
         let finish = |mut data: ExperimentData, ctx: Option<&ExpCtx>| -> (AnalyzedExperiment, T) {
-            let analyzed = analyze_one_pooled(&self.study, &data, &self.analysis, &shell_pool);
+            let analyzed = catch_unwind(AssertUnwindSafe(|| {
+                analyze_one_pooled(&self.study, &data, &self.analysis, &shell_pool)
+            }))
+            .unwrap_or_else(|_| AnalyzedExperiment {
+                experiment: data.experiment,
+                end: ExperimentEnd::Failed(ExperimentFailure::Harness),
+                injections: data.total_injections(),
+                global: None,
+                verdict: None,
+                error: None,
+            });
             let tapped = tap(&data);
             if let Some(ctx) = ctx {
                 ctx.store.reclaim(std::mem::take(&mut data.timelines));
@@ -1174,11 +1474,29 @@ impl CampaignPipeline {
             (analyzed, tapped)
         };
         // One experiment through the per-experiment flow (threads backend
-        // and the baseline mode): run → finish, nothing reclaimed.
+        // and the baseline mode): run → finish, nothing reclaimed. On the
+        // threads backend a failed run re-runs under the bounded
+        // `ExperimentRetry` policy with exponential backoff — a real
+        // machine's failure can be a scheduling accident; the
+        // simulation's cannot, so it never retries.
+        let retried = AtomicU64::new(0);
         let one = |k: u32| -> (AnalyzedExperiment, T) {
             gauge.inc();
-            let data =
-                run_experiment_with(&self.study, self.factory.clone(), &self.cfg, &symbols, k);
+            let mut attempt = 0u32;
+            let data = loop {
+                let data =
+                    run_experiment_with(&self.study, self.factory.clone(), &self.cfg, &symbols, k)
+                        .expect("config validated before workers started");
+                let retryable = self.cfg.backend == Backend::Threads
+                    && matches!(data.end, ExperimentEnd::Failed(_))
+                    && attempt < self.cfg.retry.max_retries;
+                if !retryable {
+                    break data;
+                }
+                std::thread::sleep(self.cfg.retry.backoff * (1u32 << attempt.min(16)));
+                attempt += 1;
+                retried.fetch_add(1, Ordering::Relaxed);
+            };
             finish(data, None)
         };
         let account = |summary: &mut PipelineSummary, analyzed: &AnalyzedExperiment| {
@@ -1187,6 +1505,19 @@ impl CampaignPipeline {
             }
             if analyzed.accepted() {
                 summary.accepted += 1;
+            }
+            if let Some(failure) = analyzed.end.failure() {
+                summary.failed += 1;
+                // Runs on the coordinator in strictly increasing index
+                // order, so "first exhibiting experiment" is
+                // deterministic. One report per failure kind per run.
+                let k = analyzed.experiment;
+                self.failure_log
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .warn_once(failure_key(failure), || {
+                        format!("experiment {k}: {failure} (first of its kind this run)")
+                    });
             }
             summary.injections += analyzed.injections;
         };
@@ -1208,7 +1539,7 @@ impl CampaignPipeline {
                     &gauge,
                     &stats,
                     |k, data, ctx| {
-                        reorder.insert(k, finish(data, Some(ctx)));
+                        reorder.insert(k, finish(data, ctx));
                         while let Some((analyzed, tapped)) = reorder.pop(delivered) {
                             account(&mut summary, &analyzed);
                             sink(analyzed, tapped);
@@ -1263,7 +1594,7 @@ impl CampaignPipeline {
                                     // A failed send means the coordinator
                                     // is gone (sink or sibling panicked):
                                     // stop claiming and bail out.
-                                    |k, data, ctx| tx.send((k, finish(data, Some(ctx)))).is_ok(),
+                                    |k, data, ctx| tx.send((k, finish(data, ctx))).is_ok(),
                                 );
                             });
                         }
@@ -1314,18 +1645,47 @@ impl CampaignPipeline {
         summary.actor_reuses = stats.actor_reuses.load(Ordering::Relaxed);
         summary.timeline_reuses = stats.timeline_reuses.load(Ordering::Relaxed);
         summary.events = stats.events.load(Ordering::Relaxed);
+        summary.retried = retried.load(Ordering::Relaxed) as usize;
+        summary.quarantined_worlds = stats.quarantined.load(Ordering::Relaxed) as usize;
         summary.result_shell_reuses = shell_pool.shell_reuses();
         summary.result_shell_allocs = shell_pool.shell_allocs();
-        summary
+        Ok(summary)
+    }
+
+    /// Drains the deduplicated failure reports of the most recent run:
+    /// one line per distinct [`ExperimentFailure`] kind, stamped with the
+    /// first experiment index that exhibited it. Empty for a failure-free
+    /// campaign (or when called twice).
+    pub fn take_failure_reports(&self) -> Vec<String> {
+        self.failure_log
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .drain()
     }
 
     /// Convenience: runs the pipeline and collects every compact result
     /// (in experiment order). The *raw* data is still dropped per
     /// experiment — this collects analyses, not timeline stores.
-    pub fn collect(&self, experiments: u32) -> (Vec<AnalyzedExperiment>, PipelineSummary) {
+    pub fn collect(
+        &self,
+        experiments: u32,
+    ) -> Result<(Vec<AnalyzedExperiment>, PipelineSummary), CampaignError> {
         let mut out = Vec::with_capacity(experiments as usize);
-        let summary = self.run(experiments, |analyzed| out.push(analyzed));
-        (out, summary)
+        let summary = self.run(experiments, |analyzed| out.push(analyzed))?;
+        Ok((out, summary))
+    }
+}
+
+/// Stable dedup key for one failure kind: the pipeline's failure log
+/// records one line per kind per run.
+fn failure_key(failure: ExperimentFailure) -> u64 {
+    match failure {
+        ExperimentFailure::AppPanic => 1,
+        ExperimentFailure::Harness => 2,
+        ExperimentFailure::BudgetVirtualTime => 3,
+        ExperimentFailure::BudgetEvents => 4,
+        ExperimentFailure::BudgetWallClock => 5,
+        _ => u64::MAX,
     }
 }
 

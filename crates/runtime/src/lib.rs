@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 
 pub mod app;
+pub mod contain;
 pub mod daemons;
 pub mod harness;
 pub mod messages;
@@ -52,8 +53,8 @@ pub mod wiring;
 pub use app::{App, AppFactory, AppTimer, NodeCtx, Payload};
 pub use daemons::{RestartPlacement, RestartPolicy};
 pub use harness::{
-    run_experiment, run_study, run_study_with_workers, Backend, CampaignPipeline, PipelineSummary,
-    SimHarnessConfig,
+    run_experiment, run_study, run_study_with_workers, Backend, CampaignError, CampaignPipeline,
+    ExperimentRetry, PipelineSummary, SimHarnessConfig,
 };
 pub use messages::{NotifyRouting, RtMsg};
 pub use thread_backend::{run_thread_experiment, ThreadHarnessConfig};

@@ -16,6 +16,7 @@
 use crate::app::{App, NodeCore, Payload, Port};
 use crate::daemons::ExpCtx;
 use crate::messages::{NotifyRouting, RtMsg, SmTargets};
+use loki_core::campaign::ExperimentFailure;
 use loki_core::ids::{HostId, SmId, StateId};
 use loki_core::recorder::{RecordKind, TimelineRecord};
 use loki_core::time::LocalNanos;
@@ -204,16 +205,51 @@ impl NodeActor {
 
     /// Runs an application callback through the core (which then drains
     /// pending fault injections).
+    ///
+    /// The callback runs under [`std::panic::catch_unwind`]: a panicking
+    /// application fails *its* experiment — marked
+    /// [`ExperimentFailure::AppPanic`] with the panic message preserved as
+    /// a deduped warning — and the node crashes through the ordinary
+    /// simulated-crash path so daemon teardown stays deterministic. The
+    /// world itself is quarantined by the pipeline afterwards, so any
+    /// state the unwind left half-updated never leaks into another
+    /// experiment.
     fn with_app(
         &mut self,
         ctx: &mut Ctx<'_, RtMsg>,
         f: impl FnOnce(&mut dyn App, &mut crate::app::NodeCtx<'_>),
     ) {
-        let mut port = SimPort {
-            sim: ctx,
-            shared: &self.shared,
-        };
-        self.core.run_callback(&mut port, self.app.as_mut(), f);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut port = SimPort {
+                sim: ctx,
+                shared: &self.shared,
+            };
+            self.core.run_callback(&mut port, self.app.as_mut(), f);
+        }));
+        if let Err(payload) = outcome {
+            let note = crate::contain::panic_note(payload.as_ref());
+            self.shared
+                .ctx
+                .control
+                .mark_failed(ExperimentFailure::AppPanic);
+            // Deduped per (machine, message) with the same top-bit-forced
+            // FNV keying as `warn_unknown_fault`, so a panic loop in a
+            // retried callback reports once per shape, not per event.
+            let mut key: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in note.bytes() {
+                key ^= u64::from(b);
+                key = key.wrapping_mul(0x100_0000_01b3);
+            }
+            key ^= u64::from(self.shared.me.raw());
+            key |= 1 << 63;
+            self.shared.ctx.warnings.warn_once(key, || {
+                format!(
+                    "application panic in machine {}: {note}",
+                    self.shared.ctx.study.sms.name(self.shared.me)
+                )
+            });
+            ctx.crash_self();
+        }
     }
 }
 

@@ -17,7 +17,7 @@
 //! experiments — the batched pipeline's steady state allocates nothing
 //! here.
 
-use loki_core::campaign::{HostSync, SyncSample};
+use loki_core::campaign::{ExperimentFailure, HostSync, SyncSample};
 use loki_core::ids::{HostId, SmId};
 use loki_core::recorder::LocalTimeline;
 use loki_core::time::LocalNanos;
@@ -294,6 +294,10 @@ pub struct ExperimentControl {
     timed_out: Cell<bool>,
     aborted: Cell<bool>,
     completed: Cell<bool>,
+    /// Containment outcome: set when the experiment failed abnormally
+    /// (application panic, harness error, budget trip). First failure
+    /// wins — later marks never overwrite the original cause.
+    failed: Cell<Option<ExperimentFailure>>,
 }
 
 impl ExperimentControl {
@@ -332,6 +336,20 @@ impl ExperimentControl {
         self.completed.get()
     }
 
+    /// Marks the experiment as failed with a containment cause. The first
+    /// recorded failure wins: a budget trip followed by a teardown panic
+    /// still reports the budget, which is what actually ended the run.
+    pub fn mark_failed(&self, failure: ExperimentFailure) {
+        if self.failed.get().is_none() {
+            self.failed.set(Some(failure));
+        }
+    }
+
+    /// The containment failure recorded for this experiment, if any.
+    pub fn failure(&self) -> Option<ExperimentFailure> {
+        self.failed.get()
+    }
+
     /// Clears all flags so the block can serve the next experiment (the
     /// batched pipeline recycles experiment scaffolding instead of
     /// reallocating it).
@@ -339,6 +357,7 @@ impl ExperimentControl {
         self.timed_out.set(false);
         self.aborted.set(false);
         self.completed.set(false);
+        self.failed.set(None);
     }
 }
 
@@ -553,12 +572,24 @@ mod tests {
     fn control_flags() {
         let c = ExperimentControl::new();
         assert!(!c.completed() && !c.timed_out() && !c.aborted());
+        assert_eq!(c.failure(), None);
         c.mark_completed();
         c.mark_timed_out();
         c.mark_aborted();
+        c.mark_failed(ExperimentFailure::AppPanic);
         assert!(c.completed() && c.timed_out() && c.aborted());
+        assert_eq!(c.failure(), Some(ExperimentFailure::AppPanic));
         c.reset();
         assert!(!c.completed() && !c.timed_out() && !c.aborted());
+        assert_eq!(c.failure(), None);
+    }
+
+    #[test]
+    fn first_failure_wins() {
+        let c = ExperimentControl::new();
+        c.mark_failed(ExperimentFailure::BudgetEvents);
+        c.mark_failed(ExperimentFailure::AppPanic);
+        assert_eq!(c.failure(), Some(ExperimentFailure::BudgetEvents));
     }
 
     #[test]

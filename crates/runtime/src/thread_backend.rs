@@ -22,7 +22,7 @@
 use crate::app::{App, AppFactory, NodeCore, Payload, Port};
 use crate::messages::{NotifyRouting, SmTargets};
 use loki_clock::params::{fastest_reference, ClockParams, VirtualClock};
-use loki_core::campaign::{ExperimentData, ExperimentEnd, HostSync, SyncSample};
+use loki_core::campaign::{ExperimentData, ExperimentEnd, ExperimentFailure, HostSync, SyncSample};
 use loki_core::ids::{HostId, SmId, StateId, SymbolTable};
 use loki_core::recorder::{LocalTimeline, RecordKind, Recorder};
 use loki_core::study::Study;
@@ -78,8 +78,21 @@ impl Router {
 
 /// What a finished node reports to the coordinator.
 enum NodeReport {
-    Exited { timeline: LocalTimeline },
-    Crashed { sm: SmId, timeline: LocalTimeline },
+    Exited {
+        timeline: LocalTimeline,
+    },
+    Crashed {
+        sm: SmId,
+        timeline: LocalTimeline,
+    },
+    /// The node thread's body panicked. There is no timeline — the
+    /// recorder was consumed by the unwind — only the panic note; the
+    /// coordinator fails the experiment as
+    /// [`ExperimentFailure::AppPanic`].
+    Panicked {
+        sm: SmId,
+        message: String,
+    },
 }
 
 #[derive(Copy, Clone, PartialEq, Eq)]
@@ -318,34 +331,58 @@ pub(crate) fn run_thread_experiment_with(
     // --- coordinator: completion, timeout, restarts ----------------------------
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(experiment as u64));
     let mut timelines: Vec<LocalTimeline> = Vec::new();
+    let mut warnings: Vec<String> = Vec::new();
     let mut restarts: HashMap<SmId, u32> = HashMap::new();
     let deadline = Instant::now() + cfg.timeout;
     let mut end = ExperimentEnd::Completed;
-    while running > 0 {
-        let now = Instant::now();
-        if now >= deadline {
-            end = ExperimentEnd::TimedOut;
-            // Kill whatever is left.
+    // Broadcasts Kill and drains the remaining reports (threads exit on
+    // Kill; a hung thread is dealt with by the bounded join below).
+    let kill_and_drain =
+        |running: &mut usize, timelines: &mut Vec<LocalTimeline>, warnings: &mut Vec<String>| {
             for sm in router.machines() {
                 router.send(sm, TMsg::Kill);
             }
-            // Drain the remaining reports (threads exit on Kill).
-            while running > 0 {
+            while *running > 0 {
                 if let Ok(report) = report_rx.recv_timeout(Duration::from_secs(5)) {
-                    let (NodeReport::Exited { timeline } | NodeReport::Crashed { timeline, .. }) =
-                        report;
-                    timelines.push(timeline);
-                    running -= 1;
+                    match report {
+                        NodeReport::Exited { timeline } | NodeReport::Crashed { timeline, .. } => {
+                            timelines.push(timeline)
+                        }
+                        NodeReport::Panicked { sm, message } => warnings.push(format!(
+                            "application panic in machine {}: {message}",
+                            study.sms.name(sm)
+                        )),
+                    }
+                    *running -= 1;
                 } else {
                     break;
                 }
             }
+        };
+    while running > 0 {
+        let now = Instant::now();
+        if now >= deadline {
+            end = ExperimentEnd::TimedOut;
+            kill_and_drain(&mut running, &mut timelines, &mut warnings);
             break;
         }
         match report_rx.recv_timeout(deadline - now) {
             Ok(NodeReport::Exited { timeline }) => {
                 timelines.push(timeline);
                 running -= 1;
+            }
+            Ok(NodeReport::Panicked { sm, message }) => {
+                running -= 1;
+                // A panicking application fails the experiment (typed, not
+                // propagated); the survivors are torn down so the harness
+                // gets its threads back promptly.
+                end = ExperimentEnd::Failed(ExperimentFailure::AppPanic);
+                warnings.push(format!(
+                    "application panic in machine {}: {message}",
+                    study.sms.name(sm)
+                ));
+                kill_and_drain(&mut running, &mut timelines, &mut warnings);
+                break;
             }
             Ok(NodeReport::Crashed { sm, timeline }) => {
                 running -= 1;
@@ -386,8 +423,33 @@ pub(crate) fn run_thread_experiment_with(
             Err(RecvTimeoutError::Disconnected) => break,
         }
     }
+    // Bounded-grace join: a livelocked node (an application spinning in a
+    // callback, deaf to `Kill`) must not hang the whole campaign on a
+    // blocking `join`. Threads still running when the grace window closes
+    // are detached — their router entries are unreachable and their report
+    // channel is about to drop, so they cannot touch this or any later
+    // experiment's data — and the experiment is failed by the wall-clock
+    // watchdog.
+    let grace = Instant::now() + Duration::from_secs(2);
+    let mut hung = 0usize;
     for handle in handles {
-        let _ = handle.join();
+        loop {
+            if handle.is_finished() {
+                let _ = handle.join();
+                break;
+            }
+            if Instant::now() >= grace {
+                hung += 1;
+                break; // drop the handle: detach the thread
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    if hung > 0 {
+        end = ExperimentEnd::Failed(ExperimentFailure::BudgetWallClock);
+        warnings.push(format!(
+            "{hung} node thread(s) ignored the kill order past the 2 s grace window; detached"
+        ));
     }
     timelines.sort_by_key(|t| t.sm);
 
@@ -404,7 +466,7 @@ pub(crate) fn run_thread_experiment_with(
         pre_sync,
         post_sync,
         end,
-        warnings: Vec::new(),
+        warnings,
     }
 }
 
@@ -475,6 +537,42 @@ fn spawn_node(
     seed: u64,
 ) -> std::thread::JoinHandle<()> {
     std::thread::spawn(move || {
+        // The whole node body runs under `catch_unwind`: a panicking
+        // application callback becomes a typed `Panicked` report instead
+        // of a thread that died silently (and a `join` Err the harness
+        // would have to guess about).
+        let panic_router = router.clone();
+        let panic_report = report.clone();
+        let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            run_node_body(
+                study, symbols, factory, sm_id, host, clock, epoch, router, report, prior, seed,
+            );
+        }));
+        if let Err(payload) = body {
+            panic_router.remove(sm_id);
+            let _ = panic_report.send(NodeReport::Panicked {
+                sm: sm_id,
+                message: crate::contain::panic_note(payload.as_ref()),
+            });
+        }
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_node_body(
+    study: Arc<Study>,
+    symbols: Arc<SymbolTable>,
+    factory: AppFactory,
+    sm_id: SmId,
+    host: HostId,
+    clock: VirtualClock,
+    epoch: Instant,
+    router: Router,
+    report: Sender<NodeReport>,
+    prior: Option<LocalTimeline>,
+    seed: u64,
+) {
+    {
         let (tx, rx) = std::sync::mpsc::channel::<TMsg>();
         let restarted = prior.is_some();
         let mut recorder = match prior {
@@ -601,7 +699,7 @@ fn spawn_node(
                 });
             }
         }
-    })
+    }
 }
 
 /// The routing design implemented by the thread backend.

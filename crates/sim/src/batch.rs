@@ -157,6 +157,21 @@ impl<M: 'static> WorldSet<M> {
         self.next_times[idx] == DRAINED
     }
 
+    /// Replaces world `idx` with `world`, refreshing its scheduling key.
+    /// The previous world is dropped. This is the quarantine primitive: a
+    /// harness that caught a panic out of a world — or saw it trip a
+    /// containment budget — swaps in a slot rebuilt fresh from the shared
+    /// [`WorldConfig`](crate::engine::WorldConfig) instead of trusting
+    /// [`Simulation::reset`] on state a panic may have left half-mutated.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of bounds.
+    pub fn replace(&mut self, idx: usize, world: Simulation<M>) {
+        self.next_times[idx] = world.next_event_time().unwrap_or(DRAINED);
+        self.worlds[idx] = world;
+    }
+
     /// Mutates a world through `f` and refreshes its cached scheduling
     /// key afterwards. All mutation (spawning actors, [`Simulation::reset`]
     /// between experiments) must go through here — mutating a world
@@ -210,6 +225,19 @@ impl<M: 'static> WorldSet<M> {
     /// [`WorldSet::drained`] on the returned index, exactly as with
     /// `step_earliest`.
     pub fn run_earliest(&mut self) -> Option<usize> {
+        let (best, horizon) = self.earliest()?;
+        self.run_world(best, horizon);
+        Some(best)
+    }
+
+    /// The scheduling decision [`WorldSet::run_earliest`] would make,
+    /// without running anything: the index of the world whose next event
+    /// is earliest plus the burst horizon it would run to; `None` when
+    /// every world has drained. Split out so a harness can bracket the
+    /// actual burst ([`WorldSet::run_world`]) with its own containment —
+    /// catching a panic out of the burst, it knows exactly which world is
+    /// poisoned and can [`WorldSet::replace`] it.
+    pub fn earliest(&self) -> Option<(usize, u64)> {
         let mut best_t = DRAINED;
         let mut best = usize::MAX;
         let mut second = DRAINED;
@@ -226,9 +254,19 @@ impl<M: 'static> WorldSet<M> {
         if best == usize::MAX {
             return None;
         }
-        self.worlds[best].run_ready(second.saturating_add(SLACK_NS));
-        self.next_times[best] = self.worlds[best].next_event_time().unwrap_or(DRAINED);
-        Some(best)
+        Some((best, second.saturating_add(SLACK_NS)))
+    }
+
+    /// Bursts world `idx` up to `horizon` and refreshes its scheduling
+    /// key ([`WorldSet::run_earliest`] is [`WorldSet::earliest`] followed
+    /// by this).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of bounds.
+    pub fn run_world(&mut self, idx: usize, horizon: u64) {
+        self.worlds[idx].run_ready(horizon);
+        self.next_times[idx] = self.worlds[idx].next_event_time().unwrap_or(DRAINED);
     }
 
     /// Runs every world to completion, interleaved in earliest-event

@@ -281,6 +281,19 @@ impl WorldConfig {
     }
 }
 
+/// Which per-experiment containment budget a world exhausted (see
+/// [`Simulation::set_budget`]). A tripped world refuses further events
+/// and reads as drained to its driver; the harness maps this into a
+/// typed experiment failure.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BudgetExceeded {
+    /// The virtual-time ceiling was passed: the next pending event was
+    /// scheduled after the allowed horizon.
+    VirtualTime,
+    /// The event-count ceiling was reached.
+    Events,
+}
+
 /// The discrete-event simulation.
 ///
 /// # Examples
@@ -343,6 +356,13 @@ pub struct Simulation<M> {
     trace_enabled: bool,
     max_events: u64,
     events_processed: u64,
+    /// Per-experiment containment budgets (see [`Simulation::set_budget`]).
+    /// `budget_armed` is the single branch the disarmed hot path pays;
+    /// the ceilings and trip record are touched only when armed.
+    budget_armed: bool,
+    budget_virtual_ns: u64,
+    budget_events: u64,
+    budget_tripped: Option<BudgetExceeded>,
     /// When enabled, killed actors' boxes are parked in `graveyard`
     /// instead of dropped, for the harness to drain and recycle.
     reclaim_dead: bool,
@@ -380,6 +400,10 @@ impl<M: 'static> Simulation<M> {
             trace_enabled: true,
             max_events: 50_000_000,
             events_processed: 0,
+            budget_armed: false,
+            budget_virtual_ns: u64::MAX,
+            budget_events: u64::MAX,
+            budget_tripped: None,
             reclaim_dead: false,
             graveyard: Vec::new(),
             net_faults: NetFaultPlane::new(),
@@ -397,6 +421,9 @@ impl<M: 'static> Simulation<M> {
     /// the shared config), same RNG stream, trace collection re-enabled,
     /// scheduling delays re-enabled — except that the event cap set via
     /// [`Simulation::set_max_events`] is kept (it guards each run).
+    /// Containment budgets ([`Simulation::set_budget`]) are *disarmed*:
+    /// they are per-experiment, so a harness reusing the world re-arms
+    /// them after every reset.
     pub fn reset(&mut self, seed: u64) {
         self.time = 0;
         self.queue.reset();
@@ -415,6 +442,10 @@ impl<M: 'static> Simulation<M> {
         self.trace.clear();
         self.trace_enabled = true;
         self.events_processed = 0;
+        self.budget_armed = false;
+        self.budget_virtual_ns = u64::MAX;
+        self.budget_events = u64::MAX;
+        self.budget_tripped = None;
         self.reclaim_dead = false;
         self.graveyard.clear();
         self.net_faults.reset();
@@ -452,6 +483,89 @@ impl<M: 'static> Simulation<M> {
     /// Caps the number of processed events (a runaway guard).
     pub fn set_max_events(&mut self, max: u64) {
         self.max_events = max;
+    }
+
+    /// Arms per-experiment containment budgets: a virtual-time ceiling
+    /// (events scheduled after `max_virtual_ns` never run) and an
+    /// event-count ceiling. `None` leaves a ceiling unbounded; both
+    /// `None` disarms the check entirely, restoring the zero-cost hot
+    /// path (unlike the [`Simulation::set_max_events`] runaway guard,
+    /// which always applies and panics).
+    ///
+    /// Armed, [`Simulation::step`] refuses the first event past either
+    /// ceiling, [`Simulation::budget_exceeded`] reports which ceiling
+    /// tripped, and [`Simulation::next_event_time`] reads `None` so a
+    /// [`WorldSet`](crate::batch::WorldSet) treats the world as drained.
+    /// The trip point depends only on the world's own event sequence —
+    /// never on how the world is driven — so it is identical across
+    /// `step`/`run`/`run_ready` bursts and any batch interleaving.
+    pub fn set_budget(&mut self, max_virtual_ns: Option<u64>, max_events: Option<u64>) {
+        self.budget_virtual_ns = max_virtual_ns.unwrap_or(u64::MAX);
+        self.budget_events = max_events.unwrap_or(u64::MAX);
+        self.budget_armed = max_virtual_ns.is_some() || max_events.is_some();
+        if !self.budget_armed {
+            self.budget_tripped = None;
+        }
+    }
+
+    /// Which containment budget tripped, if any (see
+    /// [`Simulation::set_budget`]). Cleared by [`Simulation::reset`].
+    pub fn budget_exceeded(&self) -> Option<BudgetExceeded> {
+        self.budget_tripped
+    }
+
+    /// Armed-path admission check: trips a budget when the next event
+    /// would pass a ceiling, and refuses it. Deterministic for any
+    /// driver because it reads only `events_processed`, the next event's
+    /// scheduled time, and that event's target-liveness — all invariant
+    /// under burst shape.
+    ///
+    /// Garbage head events — a cancelled timer, or any event addressed
+    /// to a dead actor — are discarded rather than tripped on: processing
+    /// one is a no-op in every drive pattern, and an experiment that has
+    /// in fact finished routinely leaves such events behind (an exited
+    /// daemon's far-future watchdog timer, exit-race deliveries). Tripping
+    /// on those would fail healthy experiments. The discard happens only
+    /// when a ceiling is already passed, so the disarmed and under-budget
+    /// hot paths are untouched.
+    #[inline]
+    fn budget_admit(&mut self) -> bool {
+        if self.budget_tripped.is_some() {
+            return false;
+        }
+        loop {
+            let Some((time, event)) = self.queue.peek() else {
+                // Empty queue: admit; `step` observes the drain itself.
+                return true;
+            };
+            let over_events = self.events_processed >= self.budget_events;
+            if !over_events && time <= self.budget_virtual_ns {
+                return true;
+            }
+            let target = match event {
+                Event::Start { actor } => *actor,
+                Event::Deliver { to, .. } => *to,
+                Event::Timer { actor, .. } => *actor,
+                Event::PeerDown { observer, .. } => *observer,
+            };
+            let cancelled = match event {
+                Event::Timer { id, .. } => !self.timers.pending(TimerKey::unpack(id.raw())),
+                _ => false,
+            };
+            if self.is_alive(target) && !cancelled {
+                self.budget_tripped = Some(if over_events {
+                    BudgetExceeded::Events
+                } else {
+                    BudgetExceeded::VirtualTime
+                });
+                return false;
+            }
+            if let Some((_, Event::Timer { id, .. })) = self.queue.pop() {
+                // Release the slot of a live timer on a dead actor (a
+                // cancelled one was already retired by `cancel`).
+                self.timers.fire(TimerKey::unpack(id.raw()));
+            }
+        }
     }
 
     /// Adds a host; returns its id.
@@ -566,9 +680,14 @@ impl<M: 'static> Simulation<M> {
     }
 
     /// The scheduled time of the earliest pending event, or `None` when
-    /// the queue has drained. This is the scheduling key
+    /// the queue has drained — or when a containment budget has tripped
+    /// (a tripped world refuses further events, so for scheduling
+    /// purposes it *is* drained). This is the scheduling key
     /// [`crate::batch::WorldSet`] interleaves worlds by.
     pub fn next_event_time(&self) -> Option<u64> {
+        if self.budget_tripped.is_some() {
+            return None;
+        }
         self.queue.peek_time()
     }
 
@@ -654,7 +773,12 @@ impl<M: 'static> Simulation<M> {
                     return true;
                 }
                 Some(_) => {
-                    self.step();
+                    if !self.step() {
+                        // A tripped containment budget refuses further
+                        // events: stop with events still pending, without
+                        // advancing the clock to the deadline.
+                        return true;
+                    }
                 }
             }
         }
@@ -668,15 +792,18 @@ impl<M: 'static> Simulation<M> {
     /// interleaves worlds this way).
     pub fn run_ready(&mut self, horizon_ns: u64) {
         while let Some(t) = self.queue.peek_time() {
-            if t > horizon_ns {
+            if t > horizon_ns || !self.step() {
                 return;
             }
-            self.step();
         }
     }
 
-    /// Processes one event. Returns `false` when the queue is empty.
+    /// Processes one event. Returns `false` when the queue is empty or a
+    /// containment budget has tripped (see [`Simulation::set_budget`]).
     pub fn step(&mut self) -> bool {
+        if self.budget_armed && !self.budget_admit() {
+            return false;
+        }
         let Some((time, event)) = self.queue.pop() else {
             return false;
         };

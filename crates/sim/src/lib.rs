@@ -40,7 +40,7 @@ pub mod queue;
 pub use batch::WorldSet;
 pub use config::{HostConfig, LatencyModel, NetworkConfig};
 pub use engine::{
-    Actor, ActorId, Ctx, DownReason, DuplicateHost, HostId, Simulation, TimerId, TraceEntry,
-    WorldConfig,
+    Actor, ActorId, BudgetExceeded, Ctx, DownReason, DuplicateHost, HostId, Simulation, TimerId,
+    TraceEntry, WorldConfig,
 };
 pub use netfault::{LinkFaultParams, NetFaultError, NetFaultPlane};

@@ -223,6 +223,15 @@ impl<T> EventQueue<T> {
         self.heap.peek().map(|k| k.time())
     }
 
+    /// The earliest entry as `(time, &body)`, without removing it.
+    pub fn peek(&self) -> Option<(u64, &T)> {
+        let key = self.heap.peek()?;
+        match &self.slab[key.slot() as usize] {
+            Slot::Occupied(body) => Some((key.time(), body)),
+            Slot::Vacant { .. } => unreachable!("heap key pointed at a vacant slot"),
+        }
+    }
+
     /// Number of pending entries.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -360,6 +369,12 @@ impl TimerSlab {
     /// `key` is still live, `false` when it was cancelled in the meantime.
     pub fn fire(&mut self, key: TimerKey) -> bool {
         self.retire(key)
+    }
+
+    /// Whether `key` is still live (armed, neither fired nor cancelled),
+    /// without retiring it.
+    pub fn pending(&self, key: TimerKey) -> bool {
+        self.gens.get(key.slot as usize) == Some(&key.gen)
     }
 
     fn retire(&mut self, key: TimerKey) -> bool {

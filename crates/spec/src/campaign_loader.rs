@@ -14,10 +14,15 @@
 //! <dir>/<sm>.flt         — one fault specification per machine (optional)
 //! <dir>/actions          — fault-name → probe-action table (optional; see
 //!                          [`crate::files::parse_action_file`])
+//! <dir>/budget           — per-experiment budgets and retry policy
+//!                          (optional; see [`crate::files::parse_budget_file`])
 //! ```
 
 use crate::error::ParseError;
-use crate::files::{parse_action_file, parse_fault_spec, parse_node_file, write_action_file};
+use crate::files::{
+    parse_action_file, parse_budget_file, parse_fault_spec, parse_node_file, write_action_file,
+    write_budget_file, BudgetSpec,
+};
 use crate::sm_spec;
 use loki_core::probe::ActionProbe;
 use loki_core::spec::StudyDef;
@@ -152,6 +157,41 @@ pub fn load_study_dir_with_actions(
         ActionProbe::new()
     };
     Ok((def, probe))
+}
+
+/// Loads the optional `<dir>/budget` file: per-experiment resource budgets
+/// and retry policy. A missing file yields the default (unbounded, no
+/// retry) [`BudgetSpec`], mirroring how a missing actions file yields an
+/// empty probe.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for an unreadable or malformed budget file.
+pub fn load_budget_dir(dir: &Path) -> Result<BudgetSpec, ParseError> {
+    let path = dir.join("budget");
+    if !path.exists() {
+        return Ok(BudgetSpec::default());
+    }
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| ParseError::eof(format!("cannot read {}: {e}", path.display())))?;
+    parse_budget_file(&text)
+}
+
+/// Writes the `<dir>/budget` file (omitted when `spec` is all-default,
+/// mirroring [`load_budget_dir`]).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] wrapping any I/O failure.
+pub fn write_budget_dir(spec: &BudgetSpec, dir: &Path) -> Result<(), ParseError> {
+    if *spec == BudgetSpec::default() {
+        return Ok(());
+    }
+    std::fs::create_dir_all(dir)
+        .map_err(|e| ParseError::eof(format!("cannot create {}: {e}", dir.display())))?;
+    let path = dir.join("budget");
+    std::fs::write(&path, write_budget_file(spec))
+        .map_err(|e| ParseError::eof(format!("cannot write {}: {e}", path.display())))
 }
 
 /// [`write_study_dir`] plus the `<dir>/actions` probe table (omitted when
@@ -312,6 +352,29 @@ DONE EXIT
         assert_eq!(reloaded.faults, def.faults);
         assert_eq!(reprobe.action_for("f2"), Some(&FaultAction::Heal));
         assert_eq!(reprobe.action_for("f1"), probe.action_for("f1"));
+    }
+
+    #[test]
+    fn budget_dir_roundtrip_and_default() {
+        let dir = std::env::temp_dir().join(format!("loki-spec-budget-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Missing file → default (unbounded) budgets; default spec writes
+        // nothing.
+        write_budget_dir(&BudgetSpec::default(), &dir).unwrap();
+        assert!(!dir.join("budget").exists());
+        assert_eq!(load_budget_dir(&dir).unwrap(), BudgetSpec::default());
+
+        let spec = BudgetSpec {
+            max_virtual_time_ns: Some(5_000_000_000),
+            max_events: Some(200_000),
+            max_retries: Some(1),
+            retry_backoff_ms: None,
+        };
+        write_budget_dir(&spec, &dir).unwrap();
+        let reloaded = load_budget_dir(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(reloaded, spec);
     }
 
     #[test]

@@ -456,6 +456,112 @@ pub fn write_action_file(probe: &ActionProbe) -> String {
     out
 }
 
+/// Per-experiment resource budgets and retry policy — the campaign-file
+/// syntax for the harness's survivability knobs.
+///
+/// Mirrors `SimHarnessConfig::{max_virtual_time, max_events}` and the
+/// thread backend's bounded-retry policy. A field absent from the file
+/// stays `None`/default, meaning "unbounded" / "no retry".
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BudgetSpec {
+    /// Virtual-time ceiling per experiment, in nanoseconds.
+    pub max_virtual_time_ns: Option<u64>,
+    /// Event-count ceiling per experiment.
+    pub max_events: Option<u64>,
+    /// Bounded retries for failed experiments (thread backend only).
+    pub max_retries: Option<u32>,
+    /// Base backoff between retries, in milliseconds.
+    pub retry_backoff_ms: Option<u64>,
+}
+
+/// Parses a budget file: `<key> <value>` per line, keys
+/// `max_virtual_time_ns`, `max_events`, `max_retries`, `retry_backoff_ms`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for unknown keys, malformed numbers, missing
+/// values, or duplicate keys.
+///
+/// # Examples
+///
+/// ```
+/// use loki_spec::files::parse_budget_file;
+///
+/// let budget = parse_budget_file("max_virtual_time_ns 2000000000\nmax_events 500000\n")?;
+/// assert_eq!(budget.max_virtual_time_ns, Some(2_000_000_000));
+/// assert_eq!(budget.max_events, Some(500_000));
+/// assert_eq!(budget.max_retries, None);
+/// # Ok::<(), loki_spec::error::ParseError>(())
+/// ```
+pub fn parse_budget_file(text: &str) -> Result<BudgetSpec, ParseError> {
+    let mut spec = BudgetSpec::default();
+    for (lineno, line) in content_lines(text) {
+        let mut tokens = line.split_whitespace();
+        let key = tokens.next().expect("non-empty");
+        let value = tokens
+            .next()
+            .ok_or_else(|| ParseError::at(lineno, format!("budget key `{key}` needs a value")))?;
+        if tokens.next().is_some() {
+            return Err(ParseError::at(lineno, "unexpected extra field"));
+        }
+        let duplicate = |lineno: usize, key: &str| -> ParseError {
+            ParseError::at(lineno, format!("duplicate budget key `{key}`"))
+        };
+        match key {
+            "max_virtual_time_ns" => {
+                if spec.max_virtual_time_ns.is_some() {
+                    return Err(duplicate(lineno, key));
+                }
+                spec.max_virtual_time_ns = Some(parse_u64(lineno, key, value)?);
+            }
+            "max_events" => {
+                if spec.max_events.is_some() {
+                    return Err(duplicate(lineno, key));
+                }
+                spec.max_events = Some(parse_u64(lineno, key, value)?);
+            }
+            "max_retries" => {
+                if spec.max_retries.is_some() {
+                    return Err(duplicate(lineno, key));
+                }
+                spec.max_retries = Some(parse_u64(lineno, key, value)? as u32);
+            }
+            "retry_backoff_ms" => {
+                if spec.retry_backoff_ms.is_some() {
+                    return Err(duplicate(lineno, key));
+                }
+                spec.retry_backoff_ms = Some(parse_u64(lineno, key, value)?);
+            }
+            other => {
+                return Err(ParseError::at(
+                    lineno,
+                    format!("unknown budget key `{other}`"),
+                ))
+            }
+        }
+    }
+    Ok(spec)
+}
+
+/// Writes a budget file (keys in fixed order; absent fields are omitted,
+/// so output round-trips through [`parse_budget_file`]).
+pub fn write_budget_file(spec: &BudgetSpec) -> String {
+    let mut out = String::new();
+    if let Some(v) = spec.max_virtual_time_ns {
+        out.push_str(&format!("max_virtual_time_ns {v}\n"));
+    }
+    if let Some(v) = spec.max_events {
+        out.push_str(&format!("max_events {v}\n"));
+    }
+    if let Some(v) = spec.max_retries {
+        out.push_str(&format!("max_retries {v}\n"));
+    }
+    if let Some(v) = spec.retry_backoff_ms {
+        out.push_str(&format!("retry_backoff_ms {v}\n"));
+    }
+    out
+}
+
 /// The study file: per-machine pointers to its specification inputs (§5.6).
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StudyFile {
@@ -651,6 +757,39 @@ heal_net heal
         assert!(parse_action_file("f link h1 h2 drop\n").is_err()); // no `=`
         assert!(parse_action_file("f gray h1 8\n").is_err()); // no slowdown=
         assert!(parse_action_file("f crash\nf heal\n").is_err()); // duplicate
+    }
+
+    #[test]
+    fn budget_file_roundtrip() {
+        let text = "\
+# per-experiment budgets
+max_virtual_time_ns 2000000000
+max_events 500000
+max_retries 2
+retry_backoff_ms 50
+";
+        let budget = parse_budget_file(text).unwrap();
+        assert_eq!(budget.max_virtual_time_ns, Some(2_000_000_000));
+        assert_eq!(budget.max_events, Some(500_000));
+        assert_eq!(budget.max_retries, Some(2));
+        assert_eq!(budget.retry_backoff_ms, Some(50));
+        let rewritten = write_budget_file(&budget);
+        assert_eq!(parse_budget_file(&rewritten).unwrap(), budget);
+
+        // Partial files leave the other knobs unbounded.
+        let partial = parse_budget_file("max_events 1000\n").unwrap();
+        assert_eq!(partial.max_events, Some(1000));
+        assert_eq!(partial.max_virtual_time_ns, None);
+        assert_eq!(write_budget_file(&BudgetSpec::default()), "");
+    }
+
+    #[test]
+    fn budget_file_errors() {
+        assert!(parse_budget_file("max_events\n").is_err()); // no value
+        assert!(parse_budget_file("max_events 1 2\n").is_err()); // extra field
+        assert!(parse_budget_file("max_events many\n").is_err()); // not a number
+        assert!(parse_budget_file("wall_clock_ns 5\n").is_err()); // unknown key
+        assert!(parse_budget_file("max_events 1\nmax_events 2\n").is_err()); // duplicate
     }
 
     #[test]

@@ -31,14 +31,15 @@ pub mod timeline_file;
 pub mod timestamps_file;
 
 pub use campaign_loader::{
-    load_study, load_study_dir, load_study_dir_with_actions, write_study_dir,
-    write_study_dir_with_actions, MachineSources,
+    load_budget_dir, load_study, load_study_dir, load_study_dir_with_actions, write_budget_dir,
+    write_study_dir, write_study_dir_with_actions, MachineSources,
 };
 pub use error::ParseError;
 pub use expr::parse_expr;
 pub use files::{
-    parse_action_file, parse_daemon_contact, parse_daemon_startup, parse_fault_spec,
-    parse_machines_file, parse_node_file, parse_study_file, write_action_file,
-    write_daemon_contact, write_daemon_startup, write_fault_spec, write_machines_file,
-    write_node_file, write_study_file, DaemonContact, DaemonEndpoint, StudyFile,
+    parse_action_file, parse_budget_file, parse_daemon_contact, parse_daemon_startup,
+    parse_fault_spec, parse_machines_file, parse_node_file, parse_study_file, write_action_file,
+    write_budget_file, write_daemon_contact, write_daemon_startup, write_fault_spec,
+    write_machines_file, write_node_file, write_study_file, BudgetSpec, DaemonContact,
+    DaemonEndpoint, StudyFile,
 };

@@ -39,7 +39,8 @@ fn run_scenario(
         kv_factory(cascade_config(retry, partition)),
         &SimHarnessConfig::three_hosts(4242),
         experiments,
-    );
+    )
+    .expect("valid campaign config");
     let cfg = CascadeConfig::default();
     let verdicts: Vec<CascadeVerdict> = data
         .iter()

@@ -13,8 +13,10 @@ use loki::core::study::Study;
 use loki::runtime::harness::{CampaignPipeline, SimHarnessConfig};
 use loki::runtime::AppFactory;
 use loki::runtime::{App, NodeCtx, Payload};
-use loki::spec::campaign_loader::{load_study_dir, write_study_dir};
-use loki::spec::{load_study, MachineSources};
+use loki::spec::campaign_loader::{
+    load_budget_dir, load_study_dir, write_budget_dir, write_study_dir,
+};
+use loki::spec::{load_study, BudgetSpec, MachineSources};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -130,10 +132,21 @@ fn main() {
     // would store it.
     let dir = std::env::temp_dir().join(format!("loki-campaign-{}", std::process::id()));
     write_study_dir(&def, &dir).expect("campaign directory written");
+    // Per-experiment budgets ride in the same directory: a runaway
+    // experiment (infinite timer loop, event storm) is cut off
+    // deterministically instead of wedging the campaign.
+    let budget = BudgetSpec {
+        max_virtual_time_ns: Some(30_000_000_000),
+        max_events: Some(1_000_000),
+        ..BudgetSpec::default()
+    };
+    write_budget_dir(&budget, &dir).expect("budget file written");
     let reloaded = load_study_dir("file-driven", &dir).expect("campaign directory loads");
+    let reloaded_budget = load_budget_dir(&dir).expect("budget file loads");
     std::fs::remove_dir_all(&dir).ok();
     assert_eq!(reloaded.machines, def.machines);
-    println!("campaign directory round-trip: ok");
+    assert_eq!(reloaded_budget, budget);
+    println!("campaign directory round-trip (incl. budget file): ok");
 
     // --- compile and run -------------------------------------------------------
     let study = Study::compile_arc(&def).expect("study compiles");
@@ -152,27 +165,32 @@ fn main() {
     });
     let mut harness = SimHarnessConfig::three_hosts(55);
     harness.hosts.truncate(2);
+    // Arm the budgets the campaign directory specified.
+    harness.max_virtual_time = budget.max_virtual_time_ns;
+    harness.max_events = budget.max_events;
     let debug = std::env::var("LOKI_DEBUG").is_ok();
     let pipeline = CampaignPipeline::new(study, factory, harness);
-    let summary = pipeline.run(8, |a| {
-        if !debug {
-            return;
-        }
-        if let Some(v) = &a.verdict {
-            eprintln!(
-                "exp {}: accepted={} missing={:?}",
-                a.experiment, v.accepted, v.missing
-            );
-            for c in &v.checks {
-                eprintln!(
-                    "   check fault {:?} at {}: {:?}",
-                    c.fault, c.bounds, c.verdict
-                );
+    let summary = pipeline
+        .run(8, |a| {
+            if !debug {
+                return;
             }
-        } else {
-            eprintln!("exp {}: end={:?} err={:?}", a.experiment, a.end, a.error);
-        }
-    });
+            if let Some(v) = &a.verdict {
+                eprintln!(
+                    "exp {}: accepted={} missing={:?}",
+                    a.experiment, v.accepted, v.missing
+                );
+                for c in &v.checks {
+                    eprintln!(
+                        "   check fault {:?} at {}: {:?}",
+                        c.fault, c.bounds, c.verdict
+                    );
+                }
+            } else {
+                eprintln!("exp {}: end={:?} err={:?}", a.experiment, a.end, a.error);
+            }
+        })
+        .expect("valid campaign config");
     println!(
         "{} injections of `poke ((ping:ACTIVE) & (pong:IDLE)) always` across 8 runs; \
          {}/8 experiments provably correct",

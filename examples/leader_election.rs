@@ -47,7 +47,8 @@ fn main() {
         election_factory(ElectionConfig::default()),
         &harness,
         experiments,
-    );
+    )
+    .expect("valid campaign config");
 
     // Off-line analysis: clock sync, global timelines, correctness check.
     let analyzed = analyze(&study, data, &AnalysisOptions::default());

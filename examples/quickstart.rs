@@ -135,11 +135,13 @@ fn main() {
     });
     let mut busy_time = StudyAccumulator::new(measure);
     let pipeline = CampaignPipeline::new(study.clone(), factory.clone(), harness.clone());
-    let summary = pipeline.run(10, |analyzed| {
-        busy_time
-            .push(&study, &analyzed)
-            .expect("measure evaluates");
-    });
+    let summary = pipeline
+        .run(10, |analyzed| {
+            busy_time
+                .push(&study, &analyzed)
+                .expect("measure evaluates");
+        })
+        .expect("valid campaign config");
     println!(
         "ran {} experiments on {} workers (peak raw experiments in memory: {})",
         summary.experiments, summary.workers, summary.peak_raw_retained
@@ -162,7 +164,9 @@ fn main() {
     // node as an OS thread: real time, real concurrency, nondeterministic
     // interleavings — and the identical streaming analysis pipeline.
     let threaded = harness.backend(Backend::Threads);
-    let summary = CampaignPipeline::new(study, factory, threaded).run(2, |_| {});
+    let summary = CampaignPipeline::new(study, factory, threaded)
+        .run(2, |_| {})
+        .expect("valid campaign config");
     println!(
         "thread backend: {}/{} genuinely concurrent experiments provably correct",
         summary.accepted, summary.experiments

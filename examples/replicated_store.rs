@@ -37,7 +37,8 @@ fn main() {
         kv_factory(KvConfig::default()),
         &SimHarnessConfig::three_hosts(99),
         experiments,
-    );
+    )
+    .expect("valid campaign config");
     let analyzed = analyze(&study, data, &AnalysisOptions::default());
     let accepted = accepted_timelines(&analyzed);
     println!("analysis accepted {}/{}", accepted.len(), analyzed.len());

@@ -44,7 +44,8 @@ fn main() {
         ring_factory(app_cfg),
         &SimHarnessConfig::three_hosts(314),
         experiments,
-    );
+    )
+    .expect("valid campaign config");
     let analyzed = analyze(&study, data, &AnalysisOptions::default());
     let accepted = accepted_timelines(&analyzed);
     println!("analysis accepted {}/{}", accepted.len(), analyzed.len());

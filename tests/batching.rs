@@ -40,7 +40,9 @@ fn run_collect(
     workers: usize,
 ) -> (Vec<AnalyzedExperiment>, PipelineSummary) {
     let mut out = Vec::with_capacity(experiments as usize);
-    let summary = pipeline.run_with_workers(experiments, workers, |analyzed| out.push(analyzed));
+    let summary = pipeline
+        .run_with_workers(experiments, workers, |analyzed| out.push(analyzed))
+        .expect("valid campaign config");
     (out, summary)
 }
 
@@ -115,7 +117,8 @@ fn batched_results_are_byte_identical_across_k_and_workers() {
     // The per-experiment `run_study` path agrees with the batched
     // pipeline's verdict-relevant data: reset-reused worlds replay exactly
     // like the fresh worlds `run_study` builds.
-    let raw = run_study_with_workers(&study, factory, &cfg, experiments, 2);
+    let raw = run_study_with_workers(&study, factory, &cfg, experiments, 2)
+        .expect("valid campaign config");
     for (data, analyzed) in raw.iter().zip(&baseline) {
         assert_eq!(data.experiment, analyzed.experiment);
         assert_eq!(data.end, analyzed.end, "experiment end diverged");
@@ -237,7 +240,9 @@ fn dropping_sink_recycles_result_shells_in_steady_state() {
     let experiments = 200u32;
 
     let pipeline = CampaignPipeline::new(study.clone(), factory.clone(), cfg.clone());
-    let summary = pipeline.run_with_workers(experiments, 1, drop);
+    let summary = pipeline
+        .run_with_workers(experiments, 1, drop)
+        .expect("valid campaign config");
 
     // Every analysis fills exactly one shell, recycled or fresh.
     assert_eq!(
@@ -258,7 +263,9 @@ fn dropping_sink_recycles_result_shells_in_steady_state() {
     // Contrast: a retaining sink (collect) keeps every shell alive until
     // after the run, so nothing flows back — one fresh alloc per
     // experiment, zero reuses. Same campaign, same results.
-    let (collected, retaining) = CampaignPipeline::new(study, factory, cfg).collect(experiments);
+    let (collected, retaining) = CampaignPipeline::new(study, factory, cfg)
+        .collect(experiments)
+        .expect("valid campaign config");
     assert_eq!(collected.len(), experiments as usize);
     assert_eq!(retaining.result_shell_allocs, u64::from(experiments));
     assert_eq!(retaining.result_shell_reuses, 0);
@@ -284,21 +291,15 @@ fn batch_env_override_is_validated_and_applied() {
     assert_eq!(via_env, forced, "batch size changed the results");
 
     // Invalid batch sizes are rejected loudly — a silent fallback would
-    // run the campaign with a surprise interleaving width.
+    // run the campaign with a surprise interleaving width. Since the
+    // survivability work these come back as typed `CampaignError`s.
     for bad in ["not-a-number", "0", "", "-2"] {
         std::env::set_var("LOKI_BATCH", bad);
         let pipeline = CampaignPipeline::new(study.clone(), factory.clone(), cfg.clone());
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_collect(&pipeline, experiments, 1)
-        }));
-        let Err(err) = result else {
-            panic!("LOKI_BATCH={bad:?} must be rejected");
-        };
-        let message = err
-            .downcast_ref::<String>()
-            .cloned()
-            .unwrap_or_else(|| "<non-string panic>".into());
-        assert!(message.contains("LOKI_BATCH"), "{message}");
+        let err = pipeline
+            .run_with_workers(experiments, 1, drop)
+            .expect_err(&format!("LOKI_BATCH={bad:?} must be rejected"));
+        assert!(err.to_string().contains("LOKI_BATCH"), "{err}");
     }
 
     // `batch: Some(0)` is rejected with the config-side message even when
@@ -307,19 +308,12 @@ fn batch_env_override_is_validated_and_applied() {
     let mut zero_cfg = cfg.clone();
     zero_cfg.batch = Some(0);
     let pipeline = CampaignPipeline::new(study.clone(), factory.clone(), zero_cfg);
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_collect(&pipeline, experiments, 1)
-    }));
-    let Err(err) = result else {
-        panic!("batch: Some(0) must be rejected");
-    };
-    let message = err
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_else(|| "<non-string panic>".into());
+    let err = pipeline
+        .run_with_workers(experiments, 1, drop)
+        .expect_err("batch: Some(0) must be rejected");
     assert!(
-        message.contains("batch size must be at least 1"),
-        "{message}"
+        err.to_string().contains("batch size must be at least 1"),
+        "{err}"
     );
 
     std::env::remove_var("LOKI_BATCH");

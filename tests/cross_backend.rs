@@ -53,9 +53,12 @@ fn check_cross_backend(label: &str, study: &Arc<Study>, factory: AppFactory, see
     let sim_cfg = SimHarnessConfig::three_hosts(seed);
 
     // --- deterministic backend -------------------------------------------
-    let first = run_study_with_workers(study, factory.clone(), &sim_cfg, 3, 1);
-    let rerun = run_study_with_workers(study, factory.clone(), &sim_cfg, 3, 1);
-    let parallel = run_study_with_workers(study, factory.clone(), &sim_cfg, 3, 2);
+    let first = run_study_with_workers(study, factory.clone(), &sim_cfg, 3, 1)
+        .expect("valid campaign config");
+    let rerun = run_study_with_workers(study, factory.clone(), &sim_cfg, 3, 1)
+        .expect("valid campaign config");
+    let parallel = run_study_with_workers(study, factory.clone(), &sim_cfg, 3, 2)
+        .expect("valid campaign config");
 
     let intent: Vec<_> = first.iter().map(|d| injection_intent(study, d)).collect();
     assert!(
@@ -81,7 +84,7 @@ fn check_cross_backend(label: &str, study: &Arc<Study>, factory: AppFactory, see
 
     // --- thread backend: the same factory, real concurrency ---------------
     let thread_cfg = sim_cfg.clone().backend(Backend::Threads);
-    let data = run_study(study, factory, &thread_cfg, 1);
+    let data = run_study(study, factory, &thread_cfg, 1).expect("valid campaign config");
     assert_eq!(data.len(), 1);
     let d = &data[0];
     assert_eq!(d.end, ExperimentEnd::Completed, "{label}: thread run hung");
@@ -167,7 +170,8 @@ fn pipeline_streaming_matches_batch_and_bounds_raw_retention() {
     let experiments = 6u32;
 
     // --- batch reference ---------------------------------------------------
-    let raw = run_study_with_workers(&study, factory.clone(), &cfg, experiments, 1);
+    let raw = run_study_with_workers(&study, factory.clone(), &cfg, experiments, 1)
+        .expect("valid campaign config");
     let batch = analyze(&study, raw, &AnalysisOptions::default());
     let batch_accepted = batch.iter().filter(|a| a.accepted()).count();
     let batch_values = lead_measure()
@@ -185,10 +189,12 @@ fn pipeline_streaming_matches_batch_and_bounds_raw_retention() {
         let pipeline = CampaignPipeline::new(study.clone(), factory.clone(), cfg.clone());
         let mut acc = StudyAccumulator::new(lead_measure());
         let mut streamed = Vec::new();
-        let summary = pipeline.run_with_workers(experiments, workers, |analyzed| {
-            acc.push(&study, &analyzed).unwrap();
-            streamed.push(analyzed);
-        });
+        let summary = pipeline
+            .run_with_workers(experiments, workers, |analyzed| {
+                acc.push(&study, &analyzed).unwrap();
+                streamed.push(analyzed);
+            })
+            .expect("valid campaign config");
 
         // Bounded memory: never more raw experiments alive than workers.
         assert!(
@@ -224,7 +230,8 @@ fn pipeline_analysis_is_faithful_on_the_thread_backend() {
     let cfg = SimHarnessConfig::three_hosts(0x7EAD).backend(Backend::Threads);
     let opts = AnalysisOptions::default();
 
-    let data = run_study_with_workers(&study, factory.clone(), &cfg, 2, 1);
+    let data =
+        run_study_with_workers(&study, factory.clone(), &cfg, 2, 1).expect("valid campaign config");
     let batch = analyze(&study, data.clone(), &opts);
     for (d, b) in data.iter().zip(&batch) {
         assert_eq!(
@@ -237,7 +244,9 @@ fn pipeline_analysis_is_faithful_on_the_thread_backend() {
 
     let pipeline = CampaignPipeline::new(study, factory, cfg);
     let mut indices = Vec::new();
-    let summary = pipeline.run_with_workers(3, 2, |analyzed| indices.push(analyzed.experiment));
+    let summary = pipeline
+        .run_with_workers(3, 2, |analyzed| indices.push(analyzed.experiment))
+        .expect("valid campaign config");
     assert_eq!(indices, vec![0, 1, 2]);
     assert!(summary.peak_raw_retained <= 2);
     assert_eq!(summary.completed, 3, "thread experiments must complete");

@@ -32,10 +32,13 @@ fn parallel_run_study_is_byte_identical_to_single_worker() {
     let cfg = SimHarnessConfig::three_hosts(0xD5E7);
     let experiments = 12;
 
-    let sequential = run_study_with_workers(&study, factory.clone(), &cfg, experiments, 1);
-    let parallel = run_study_with_workers(&study, factory.clone(), &cfg, experiments, 4);
+    let sequential = run_study_with_workers(&study, factory.clone(), &cfg, experiments, 1)
+        .expect("valid campaign config");
+    let parallel = run_study_with_workers(&study, factory.clone(), &cfg, experiments, 4)
+        .expect("valid campaign config");
     // More workers than experiments must also work (workers are clamped).
-    let oversubscribed = run_study_with_workers(&study, factory, &cfg, experiments, 64);
+    let oversubscribed = run_study_with_workers(&study, factory, &cfg, experiments, 64)
+        .expect("valid campaign config");
 
     assert_eq!(sequential.len(), experiments as usize);
     assert_eq!(sequential, parallel, "worker count changed experiment data");
@@ -53,8 +56,10 @@ fn parallel_and_sequential_agree_on_verdicts_and_timelines() {
     let cfg = SimHarnessConfig::three_hosts(0xBEEF);
     let experiments = 8;
 
-    let seq_data = run_study_with_workers(&study, factory.clone(), &cfg, experiments, 1);
-    let par_data = run_study_with_workers(&study, factory, &cfg, experiments, 3);
+    let seq_data = run_study_with_workers(&study, factory.clone(), &cfg, experiments, 1)
+        .expect("valid campaign config");
+    let par_data = run_study_with_workers(&study, factory, &cfg, experiments, 3)
+        .expect("valid campaign config");
 
     let opts = AnalysisOptions::default();
     let seq = analyze(&study, seq_data, &opts);
@@ -130,8 +135,10 @@ fn net_fault_campaign_is_byte_identical_across_workers() {
     let cfg = SimHarnessConfig::three_hosts(0x10C1);
     let experiments = 8;
 
-    let sequential = run_study_with_workers(&study, factory.clone(), &cfg, experiments, 1);
-    let parallel = run_study_with_workers(&study, factory, &cfg, experiments, 4);
+    let sequential = run_study_with_workers(&study, factory.clone(), &cfg, experiments, 1)
+        .expect("valid campaign config");
+    let parallel = run_study_with_workers(&study, factory, &cfg, experiments, 4)
+        .expect("valid campaign config");
 
     assert_eq!(sequential.len(), experiments as usize);
     assert_eq!(
@@ -152,30 +159,24 @@ fn run_study_defaults_respect_env_override() {
     // setting the variable here doesn't race them.
     let (study, factory) = ring_campaign();
     let cfg = SimHarnessConfig::three_hosts(7);
-    let forced = run_study_with_workers(&study, factory.clone(), &cfg, 4, 1);
+    let forced =
+        run_study_with_workers(&study, factory.clone(), &cfg, 4, 1).expect("valid campaign config");
 
     std::env::set_var("LOKI_WORKERS", "3");
-    let via_env = run_study(&study, factory.clone(), &cfg, 4);
+    let via_env = run_study(&study, factory.clone(), &cfg, 4).expect("valid campaign config");
 
     // Invalid worker counts are rejected loudly — a silent fallback would
-    // run the campaign with a surprise worker count.
+    // run the campaign with a surprise worker count. Since the survivability
+    // work these come back as typed `CampaignError`s, not panics.
     for bad in ["not-a-number", "0"] {
         std::env::set_var("LOKI_WORKERS", bad);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_study(&study, factory.clone(), &cfg, 4)
-        }));
-        let Err(err) = result else {
-            panic!("LOKI_WORKERS={bad:?} must be rejected");
-        };
-        let message = err
-            .downcast_ref::<String>()
-            .cloned()
-            .unwrap_or_else(|| "<non-string panic>".into());
-        assert!(message.contains("LOKI_WORKERS"), "{message}");
+        let err = run_study(&study, factory.clone(), &cfg, 4)
+            .expect_err(&format!("LOKI_WORKERS={bad:?} must be rejected"));
+        assert!(err.to_string().contains("LOKI_WORKERS"), "{err}");
     }
 
     std::env::remove_var("LOKI_WORKERS");
-    let auto = run_study(&study, factory, &cfg, 4);
+    let auto = run_study(&study, factory, &cfg, 4).expect("valid campaign config");
 
     assert_eq!(via_env, forced);
     assert_eq!(auto, forced);

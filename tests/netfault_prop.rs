@@ -103,6 +103,10 @@ proptest! {
             data.end,
             ExperimentEnd::Completed | ExperimentEnd::TimedOut | ExperimentEnd::Aborted
         ));
+        prop_assert!(
+            !matches!(data.end, ExperimentEnd::Failed(_)),
+            "fault-plane runs must never trip containment"
+        );
 
         // Arbitrary fault-plane states must replay byte-identically.
         let replay = run_experiment(&study, factory, &cfg, 0);

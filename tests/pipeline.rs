@@ -117,7 +117,7 @@ fn full_pipeline_accepts_long_states_and_rejects_short_ones() {
     // 60 ms of BUSY with a 10 ms timeslice: the notification always makes
     // it in time; analysis accepts.
     let (study, factory) = wo_study(60);
-    let data = run_study(&study, factory, &harness(1), 8);
+    let data = run_study(&study, factory, &harness(1), 8).expect("valid campaign config");
     let analyzed = analyze(&study, data, &AnalysisOptions::default());
     let long_accepted = analyzed.iter().filter(|a| a.accepted()).count();
     assert!(
@@ -128,7 +128,7 @@ fn full_pipeline_accepts_long_states_and_rejects_short_ones() {
     // 2 ms of BUSY: the stale partial view makes most injections land
     // after BUSY ended; analysis must catch them.
     let (study, factory) = wo_study(2);
-    let data = run_study(&study, factory, &harness(2), 8);
+    let data = run_study(&study, factory, &harness(2), 8).expect("valid campaign config");
     let analyzed = analyze(&study, data, &AnalysisOptions::default());
     let short_accepted = analyzed.iter().filter(|a| a.accepted()).count();
     assert!(
@@ -152,7 +152,7 @@ fn pipeline_is_deterministic() {
 #[test]
 fn measure_values_track_ground_truth() {
     let (study, factory) = wo_study(40);
-    let data = run_study(&study, factory, &harness(3), 6);
+    let data = run_study(&study, factory, &harness(3), 6).expect("valid campaign config");
     let analyzed = analyze(&study, data, &AnalysisOptions::default());
     let accepted = accepted_timelines(&analyzed);
     assert!(!accepted.is_empty());
@@ -189,7 +189,8 @@ fn election_campaign_end_to_end_with_restart() {
         max_restarts: 1,
         placement: RestartPlacement::NextHost,
     });
-    let data = run_study(&study, election_factory(ElectionConfig::default()), &h, 10);
+    let data = run_study(&study, election_factory(ElectionConfig::default()), &h, 10)
+        .expect("valid campaign config");
     let analyzed = analyze(&study, data, &AnalysisOptions::default());
     let accepted = accepted_timelines(&analyzed);
     assert!(accepted.len() >= 8, "accepted {}/10", accepted.len());
@@ -224,7 +225,7 @@ fn missing_policy_distinguishes_unfired_faults() {
     // the never-injected ones are tolerated (the injected-but-late ones
     // are still rejected).
     let (study, factory) = wo_study(1);
-    let data = run_study(&study, factory, &harness(5), 10);
+    let data = run_study(&study, factory, &harness(5), 10).expect("valid campaign config");
     let with_fail = analyze(
         &study,
         data.clone(),

@@ -163,7 +163,7 @@ fn analysis_acceptance_is_sound_against_ground_truth() {
             seed: 0x50D0 + i as u64,
             ..Default::default()
         };
-        let experiments = run_study(&study, factory, &harness, 12);
+        let experiments = run_study(&study, factory, &harness, 12).expect("valid campaign config");
         let truths: Vec<Option<bool>> = experiments
             .iter()
             .map(|d| truly_correct(&study, d))

@@ -1,0 +1,326 @@
+//! Campaign survivability acceptance: arbitrary per-experiment failure —
+//! application panics, runaway experiments cut off by deterministic
+//! budgets, hung node threads — must never take down the campaign, leak
+//! state into another experiment, or perturb the healthy experiments'
+//! results. The chaos workload ([`loki::apps::chaos`]) draws one RNG roll
+//! per tick in *every* configuration, so a disarmed (never-panicking) run
+//! is the byte-identical baseline for each experiment the armed run
+//! completes — at every workers × batch combination.
+
+use loki::apps::chaos::{chaos_factory, chaos_study, ChaosConfig, CHAOS_PANIC};
+use loki::core::campaign::{ExperimentEnd, ExperimentFailure};
+use loki::core::study::Study;
+use loki::runtime::harness::{Backend, CampaignPipeline, SimHarnessConfig};
+use proptest::prelude::*;
+use std::sync::Once;
+
+/// Installs a panic hook that suppresses the expected chaos unwinds (the
+/// harness catches them; the default hook would still spam stderr with
+/// hundreds of backtraces) while delegating everything else.
+fn quiet_chaos_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let expected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|m| m.contains(CHAOS_PANIC))
+                || info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|m| m.contains(CHAOS_PANIC));
+            if !expected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// A chaos campaign configuration: panics and hangs both armed, with a
+/// virtual-time budget well above the healthy lifetime (6 ticks × 50 ms)
+/// but far below the central daemon's 60 s timeout, so hung experiments
+/// fail fast and deterministically.
+fn chaos_harness(seed: u64) -> SimHarnessConfig {
+    let mut cfg = SimHarnessConfig::three_hosts(seed);
+    cfg.max_virtual_time = Some(3_000_000_000); // 3 s virtual
+    cfg
+}
+
+fn chaos_cfg(armed: bool) -> ChaosConfig {
+    ChaosConfig {
+        panic_p: 0.03,
+        hang_p: 0.02,
+        armed,
+        ..ChaosConfig::default()
+    }
+}
+
+#[test]
+fn survivors_are_byte_identical_to_the_disarmed_baseline() {
+    quiet_chaos_panics();
+    let study = Study::compile_arc(&chaos_study("chaos-survive", 3)).unwrap();
+    let experiments = 24u32;
+
+    // Baseline: same seeds, same budgets, same RNG stream — panic rolls
+    // are simply ignored. Hang rolls still hang (and trip the budget), so
+    // the baseline and armed runs disagree only on panicked experiments.
+    let baseline_pipeline = CampaignPipeline::new(
+        study.clone(),
+        chaos_factory(chaos_cfg(false)),
+        chaos_harness(0xC405),
+    );
+    let (baseline, _) = baseline_pipeline.collect(experiments).unwrap();
+
+    let mut reference: Option<Vec<_>> = None;
+    for workers in [1usize, 4] {
+        for k in [1usize, 8] {
+            let mut cfg = chaos_harness(0xC405);
+            cfg.batch = Some(k);
+            let pipeline =
+                CampaignPipeline::new(study.clone(), chaos_factory(chaos_cfg(true)), cfg);
+            let mut streamed = Vec::new();
+            let summary = pipeline
+                .run_with_workers(experiments, workers, |analyzed| streamed.push(analyzed))
+                .expect("valid campaign config");
+
+            // The campaign ran to completion and delivered every
+            // experiment, in index order, despite the failures.
+            let indices: Vec<u32> = streamed.iter().map(|a| a.experiment).collect();
+            assert_eq!(indices, (0..experiments).collect::<Vec<u32>>());
+
+            // All three populations are present, and the books balance.
+            let panicked = streamed
+                .iter()
+                .filter(|a| a.end == ExperimentEnd::Failed(ExperimentFailure::AppPanic))
+                .count();
+            let budget_cut = streamed
+                .iter()
+                .filter(|a| a.end == ExperimentEnd::Failed(ExperimentFailure::BudgetVirtualTime))
+                .count();
+            let completed = streamed
+                .iter()
+                .filter(|a| a.end == ExperimentEnd::Completed)
+                .count();
+            assert!(panicked > 0, "workers={workers} K={k}: no panic fired");
+            assert!(budget_cut > 0, "workers={workers} K={k}: no budget trip");
+            assert!(completed > 0, "workers={workers} K={k}: nothing healthy");
+            assert_eq!(summary.failed, panicked + budget_cut);
+            assert_eq!(summary.completed, completed);
+            // Failed experiments are never accepted.
+            assert!(streamed
+                .iter()
+                .filter(|a| a.end.failure().is_some())
+                .all(|a| !a.accepted()));
+            // Every failure quarantined its world — and the deterministic
+            // simulation never retries.
+            assert_eq!(summary.quarantined_worlds, summary.failed);
+            assert_eq!(summary.retried, 0);
+
+            // Workers × batch is unobservable, failures included.
+            match &reference {
+                None => reference = Some(streamed.clone()),
+                Some(reference) => assert_eq!(
+                    &streamed, reference,
+                    "workers={workers} K={k}: results diverged"
+                ),
+            }
+
+            // Every experiment the armed run completed is byte-identical
+            // to the disarmed baseline — a panic in experiment N was fully
+            // contained, with no RNG or pooled-state leakage into
+            // experiment N+1.
+            for (armed, base) in streamed.iter().zip(&baseline) {
+                if armed.end == ExperimentEnd::Completed {
+                    assert_eq!(
+                        armed, base,
+                        "workers={workers} K={k}: healthy experiment {} perturbed",
+                        armed.experiment
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn event_budget_trips_identically_across_pool_shapes() {
+    // Every experiment hangs immediately (hang_p = 1.0): the event-count
+    // budget is the only thing that ends them, and its trip point must
+    // depend only on (seed, experiment index).
+    let study = Study::compile_arc(&chaos_study("chaos-budget", 3)).unwrap();
+    let cfg_for = |k: usize| {
+        let mut cfg = SimHarnessConfig::three_hosts(0xB1D6);
+        cfg.max_events = Some(2_000);
+        cfg.batch = Some(k);
+        cfg
+    };
+    let chaos = ChaosConfig {
+        hang_p: 1.0,
+        ..ChaosConfig::default()
+    };
+
+    let mut reference: Option<Vec<_>> = None;
+    for workers in [1usize, 4] {
+        for k in [1usize, 8] {
+            let pipeline =
+                CampaignPipeline::new(study.clone(), chaos_factory(chaos.clone()), cfg_for(k));
+            let mut streamed = Vec::new();
+            let summary = pipeline
+                .run_with_workers(8, workers, |analyzed| streamed.push(analyzed))
+                .expect("valid campaign config");
+            assert_eq!(summary.failed, 8);
+            assert!(streamed
+                .iter()
+                .all(|a| a.end == ExperimentEnd::Failed(ExperimentFailure::BudgetEvents)));
+            match &reference {
+                None => reference = Some(streamed),
+                Some(reference) => assert_eq!(
+                    &streamed, reference,
+                    "workers={workers} K={k}: budget trips diverged"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn failure_reports_are_deduplicated_per_kind() {
+    quiet_chaos_panics();
+    let study = Study::compile_arc(&chaos_study("chaos-reports", 3)).unwrap();
+    let pipeline = CampaignPipeline::new(
+        study,
+        chaos_factory(ChaosConfig {
+            panic_p: 0.2,
+            hang_p: 0.1,
+            ..ChaosConfig::default()
+        }),
+        chaos_harness(0xDED0),
+    );
+    let summary = pipeline
+        .run_with_workers(32, 2, |_| {})
+        .expect("valid campaign config");
+    assert!(summary.failed > 2, "campaign produced {}", summary.failed);
+
+    // Dozens of failures, but one report per failure *shape* — and the
+    // second drain comes back empty.
+    let reports = pipeline.take_failure_reports();
+    assert!(!reports.is_empty());
+    assert!(reports.len() <= 2, "reports not deduplicated: {reports:?}");
+    assert!(reports.iter().any(|r| r.contains("application panic")));
+    assert!(pipeline.take_failure_reports().is_empty());
+}
+
+#[test]
+fn thread_backend_contains_panics_and_retries() {
+    quiet_chaos_panics();
+    let study = Study::compile_arc(&chaos_study("chaos-threads", 3)).unwrap();
+    // Every node panics on its first tick, every attempt.
+    let chaos = ChaosConfig {
+        panic_p: 1.0,
+        ..ChaosConfig::default()
+    };
+    let mut cfg = SimHarnessConfig::three_hosts(0x7EAD).backend(Backend::Threads);
+    cfg.retry.max_retries = 1;
+    cfg.retry.backoff = std::time::Duration::from_millis(1);
+
+    let pipeline = CampaignPipeline::new(study, chaos_factory(chaos), cfg);
+    let (results, summary) = pipeline.collect(2).expect("valid campaign config");
+
+    assert_eq!(summary.experiments, 2);
+    assert_eq!(summary.failed, 2, "panics must surface as typed failures");
+    // Each failed experiment was retried once (and failed again).
+    assert_eq!(summary.retried, 2);
+    for analyzed in &results {
+        assert_eq!(
+            analyzed.end,
+            ExperimentEnd::Failed(ExperimentFailure::AppPanic)
+        );
+        assert!(!analyzed.accepted());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn chaos_campaigns_stay_deterministic_under_any_mix(
+        panic_p in 0.0f64..0.3,
+        hang_p in 0.0f64..0.2,
+        seed in any::<u64>(),
+    ) {
+        quiet_chaos_panics();
+        let study = Study::compile_arc(&chaos_study("chaos-prop", 3)).unwrap();
+        let chaos = ChaosConfig { panic_p, hang_p, armed: true, ..ChaosConfig::default() };
+
+        let run = |workers: usize, k: usize| {
+            let mut cfg = chaos_harness(seed);
+            cfg.batch = Some(k);
+            let pipeline = CampaignPipeline::new(study.clone(), chaos_factory(chaos.clone()), cfg);
+            let mut streamed = Vec::new();
+            let summary = pipeline
+                .run_with_workers(10, workers, |analyzed| streamed.push(analyzed))
+                .expect("valid campaign config");
+            (streamed, summary)
+        };
+        let (reference, reference_summary) = run(1, 1);
+        let (wide, wide_summary) = run(4, 4);
+        prop_assert_eq!(&reference, &wide, "worker/batch split observable");
+        prop_assert_eq!(reference_summary.failed, wide_summary.failed);
+        // Whatever the mix, every experiment ends in a typed state.
+        for analyzed in &reference {
+            prop_assert!(matches!(
+                analyzed.end,
+                ExperimentEnd::Completed | ExperimentEnd::TimedOut
+                    | ExperimentEnd::Aborted | ExperimentEnd::Failed(_)
+            ));
+        }
+    }
+}
+
+/// The CI chaos storm (`LOKI_CHAOS_SELFTEST=1`): a larger campaign with a
+/// dense failure mix, re-checking the survivor-identity contract at scale.
+#[test]
+fn chaos_selftest_storm() {
+    if std::env::var("LOKI_CHAOS_SELFTEST").as_deref() != Ok("1") {
+        return;
+    }
+    quiet_chaos_panics();
+    let study = Study::compile_arc(&chaos_study("chaos-storm", 6)).unwrap();
+    let experiments = 200u32;
+
+    let baseline_pipeline = CampaignPipeline::new(
+        study.clone(),
+        chaos_factory(ChaosConfig {
+            panic_p: 0.02,
+            hang_p: 0.012,
+            armed: false,
+            ..ChaosConfig::default()
+        }),
+        chaos_harness(0x57_02_13),
+    );
+    let (baseline, _) = baseline_pipeline.collect(experiments).unwrap();
+
+    let mut cfg = chaos_harness(0x57_02_13);
+    cfg.batch = Some(8);
+    let pipeline = CampaignPipeline::new(
+        study,
+        chaos_factory(ChaosConfig {
+            panic_p: 0.02,
+            hang_p: 0.012,
+            armed: true,
+            ..ChaosConfig::default()
+        }),
+        cfg,
+    );
+    let (streamed, summary) = pipeline.collect(experiments).unwrap();
+
+    assert_eq!(streamed.len(), experiments as usize);
+    assert!(summary.failed > 10, "storm too tame: {}", summary.failed);
+    assert!(summary.completed > 10, "storm killed everything");
+    assert_eq!(summary.quarantined_worlds, summary.failed);
+    for (armed, base) in streamed.iter().zip(&baseline) {
+        if armed.end == ExperimentEnd::Completed {
+            assert_eq!(armed, base, "survivor {} perturbed", armed.experiment);
+        }
+    }
+}
